@@ -1,0 +1,74 @@
+//! Experiment harness: regenerates every table of EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run -p flogic-bench --bin harness --release            # all experiments
+//!   cargo run -p flogic-bench --bin harness --release -- e3 e5   # a subset
+//!   cargo run -p flogic-bench --bin harness --release -- --quick # smaller workloads
+//!
+//! Tables are printed to stdout and exported as CSV under `bench_results/`.
+
+use std::path::PathBuf;
+
+use flogic_bench::experiments::{self, ExperimentOutput};
+
+fn out_dir() -> PathBuf {
+    // Relative to the invocation directory (usually the workspace root).
+    PathBuf::from("bench_results")
+}
+
+fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
+    let out = match id {
+        "e1" => experiments::e1(),
+        "e2" => experiments::e2(),
+        "e3" => experiments::e3(),
+        "e4" => {
+            if quick {
+                experiments::e4(15, 2)
+            } else {
+                experiments::e4(60, 5)
+            }
+        }
+        "e5" => experiments::e5(if quick { 3 } else { 11 }),
+        "e6" => experiments::e6(if quick { 20 } else { 100 }),
+        "e7" => experiments::e7(),
+        "e8" => experiments::e8(if quick { 5 } else { 15 }),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    if ids.is_empty() {
+        ids = (1..=8).map(|i| format!("e{i}")).collect();
+    }
+
+    let dir = out_dir();
+    for id in &ids {
+        let Some(output) = run(id, quick) else {
+            eprintln!("unknown experiment `{id}` (expected e1..e8)");
+            std::process::exit(2);
+        };
+        for (i, table) in output.tables.iter().enumerate() {
+            println!("{table}");
+            let name = if output.tables.len() == 1 {
+                format!("{id}.csv")
+            } else {
+                format!("{id}_{}.csv", (b'a' + i as u8) as char)
+            };
+            if let Err(e) = table.write_csv(&dir.join(&name)) {
+                eprintln!("warning: could not write {name}: {e}");
+            }
+        }
+        for note in &output.notes {
+            println!("{note}");
+        }
+    }
+    println!("CSV exports written to {}/", dir.display());
+}

@@ -1,0 +1,654 @@
+//! The eight experiments (see crate docs and DESIGN.md).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use flogic_chase::{
+    chase_bounded, chase_minus, find_mandatory_cycles, to_dot, to_text, ChaseOptions,
+    ChaseOutcome,
+};
+use flogic_core::{
+    classic_contains, contains, contains_with, naive, theorem_bound, ContainmentOptions,
+};
+use flogic_datalog::{answers, close_database, ClosureOptions};
+use flogic_gen::{
+    generalize, generalize_from_chase, random_database, random_query, DbGenConfig,
+    GeneralizeConfig, QueryGenConfig,
+};
+use flogic_model::{Atom, ConjunctiveQuery, Pred};
+use flogic_syntax::parse_query;
+use flogic_term::{Symbol, Term};
+
+use crate::Table;
+
+/// Output of one experiment: tables plus free-form notes/artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentOutput {
+    /// The tables to print and export.
+    pub tables: Vec<Table>,
+    /// Extra artifacts (e.g. a DOT rendering) printed after the tables.
+    pub notes: Vec<String>,
+}
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Median wall-clock time of `reps` runs of `f`.
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            let dt = t0.elapsed();
+            std::hint::black_box(out);
+            dt
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn micros(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// The paper's four Section 2 queries.
+pub fn paper_pairs() -> Vec<(&'static str, ConjunctiveQuery, ConjunctiveQuery)> {
+    let q = |s: &str| parse_query(s).expect("paper query parses");
+    vec![
+        (
+            "joinable-attributes",
+            q("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_]."),
+            q("qq(A,B) :- T1[A*=>T2], T2[B*=>_]."),
+        ),
+        (
+            "mandatory-attribute",
+            q("q(Att,Class,Type) :- Class[Att {1,*} *=> _], Class[Att*=>Type], _:Class."),
+            q("qq(Att,Class,Type) :- Obj[Att->_], Obj:Class, Class[Att*=>Type]."),
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// E1 — Section 2 worked containments.
+// ---------------------------------------------------------------------------
+
+/// E1: both worked containments of Section 2 hold under `Σ_FL`, are strict,
+/// and fail classically.
+pub fn e1() -> ExperimentOutput {
+    let mut t = Table::new(
+        "E1: Section 2 worked containments (expected: sigma=true, converse=false, classic=false)",
+        &["pair", "q subset qq (Sigma)", "qq subset q (Sigma)", "q subset qq (classic)", "time_us"],
+    );
+    for (name, q1, q2) in paper_pairs() {
+        let sigma = contains(&q1, &q2).expect("arity ok").holds();
+        let conv = contains(&q2, &q1).expect("arity ok").holds();
+        let classic = classic_contains(&q1, &q2).expect("arity ok");
+        let dt = time_median(21, || contains(&q1, &q2).unwrap().holds());
+        t.push(vec![
+            name.into(),
+            sigma.to_string(),
+            conv.to_string(),
+            classic.to_string(),
+            micros(dt),
+        ]);
+    }
+    ExperimentOutput { tables: vec![t], notes: vec![] }
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Example 1: head rewriting.
+// ---------------------------------------------------------------------------
+
+/// E2: the chase of Example 1 rewrites the head `(V1, V2)` to `(V1, V1)`.
+pub fn e2() -> ExperimentOutput {
+    let q = parse_query(
+        "q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).",
+    )
+    .expect("Example 1 parses");
+    let chase = chase_minus(&q);
+    let mut t = Table::new(
+        "E2: Example 1 head rewriting by rho12 + rho4",
+        &["quantity", "value"],
+    );
+    t.push(vec!["head before chase".into(), "(V1, V2)".into()]);
+    let head: Vec<String> = chase.head().iter().map(|x| x.to_string()).collect();
+    t.push(vec!["head after chase".into(), format!("({})", head.join(", "))]);
+    t.push(vec![
+        "funct(A, O) derived".into(),
+        chase.find(&Atom::funct(Term::var("A"), Term::var("O"))).is_some().to_string(),
+    ]);
+    t.push(vec!["merges performed".into(), chase.stats().merges.to_string()]);
+    let follows = contains(&q, &parse_query("qq(W, W) :- data(O, A, W).").unwrap())
+        .unwrap()
+        .holds();
+    t.push(vec!["q subset qq(W,W) :- data(O,A,W)".into(), follows.to_string()]);
+    ExperimentOutput { tables: vec![t], notes: vec![] }
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Example 2 / Figure 1: chase-graph shape.
+// ---------------------------------------------------------------------------
+
+/// E3: the chase graph of Example 2 — per-level census, cycle detection,
+/// and the Figure 1 rendering (text + DOT artifact).
+pub fn e3() -> ExperimentOutput {
+    let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).")
+        .expect("Example 2 parses");
+    let cycles = find_mandatory_cycles(q.body());
+    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 9, max_conjuncts: 100_000 });
+
+    let mut census = Table::new(
+        "E3: Example 2 chase census per level (the rho5-rho1-rho6-rho10 pump)",
+        &["level", "conjuncts", "data", "member", "type", "mandatory"],
+    );
+    for level in 0..=chase.max_level() {
+        let ids = chase.at_level(level);
+        let count_pred = |p: Pred| {
+            ids.iter().filter(|&&id| chase.atom(id).pred() == p).count().to_string()
+        };
+        census.push(vec![
+            level.to_string(),
+            ids.len().to_string(),
+            count_pred(Pred::Data),
+            count_pred(Pred::Member),
+            count_pred(Pred::Type),
+            count_pred(Pred::Mandatory),
+        ]);
+    }
+
+    let mut facts = Table::new("E3: Example 2 facts", &["quantity", "value"]);
+    facts.push(vec!["mandatory/type cycles in q".into(), cycles.len().to_string()]);
+    facts.push(vec![
+        "chase outcome at bound 9".into(),
+        format!("{:?}", chase.outcome()),
+    ]);
+    facts.push(vec!["nulls invented".into(), chase.stats().nulls_invented.to_string()]);
+    facts.push(vec!["cross-arcs".into(), chase.stats().cross_arcs.to_string()]);
+
+    let text = to_text(&chase);
+    let dot = to_dot(&chase);
+    ExperimentOutput {
+        tables: vec![facts, census],
+        notes: vec![format!("Figure 1 (text rendering):\n{text}"), format!("DOT:\n{dot}")],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E4 — soundness cross-validation.
+// ---------------------------------------------------------------------------
+
+/// E4: verdict agreement between the Theorem 12 procedure, the naive
+/// iterative-deepening baseline, and evaluation over concrete
+/// `Σ_FL`-closed databases.
+///
+/// Pairs whose chase exceeds the conjunct cap are skipped and counted
+/// separately — random variable-heavy queries can have chases that grow
+/// exponentially *within* the Theorem 12 bound (the problem is NP-hard;
+/// the cap keeps the harness total-time bounded).
+pub fn e4(pairs: usize, dbs_per_pair: u64) -> ExperimentOutput {
+    let qcfg = QueryGenConfig { n_atoms: 4, n_vars: 4, n_consts: 2, ..Default::default() };
+    let gcfg = GeneralizeConfig::default();
+    let copts = ContainmentOptions { level_bound: None, max_conjuncts: 50_000 };
+
+    let mut n_holds = 0usize;
+    let mut n_rejects = 0usize;
+    let mut n_vacuous = 0usize;
+    let mut n_capped = 0usize;
+    let mut naive_agree = 0usize;
+    let mut naive_decided = 0usize;
+    let mut db_checks = 0usize;
+    let mut db_violations = 0usize;
+
+    for i in 0..pairs as u64 {
+        let q1 = random_query(&qcfg, &mut rng(i));
+        let q2 = match i % 3 {
+            0 => generalize(&q1, &gcfg, &mut rng(i + 10_000)),
+            1 => match generalize_from_chase(&q1, &gcfg, &mut rng(i + 20_000)) {
+                Some(q) => q,
+                None => continue,
+            },
+            _ => {
+                let alt = random_query(&qcfg, &mut rng(i + 30_000));
+                if alt.arity() != q1.arity() {
+                    continue;
+                }
+                alt
+            }
+        };
+        let verdict = match contains_with(&q1, &q2, &copts) {
+            Ok(v) => v,
+            Err(flogic_core::CoreError::ResourcesExhausted { .. }) => {
+                n_capped += 1;
+                continue;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        };
+        if verdict.is_vacuous() {
+            n_vacuous += 1;
+        } else if verdict.holds() {
+            n_holds += 1;
+        } else {
+            n_rejects += 1;
+        }
+
+        match naive::contains_naive(&q1, &q2, 10, 20_000) {
+            Ok(naive::NaiveOutcome::Holds { .. }) => {
+                naive_decided += 1;
+                if verdict.holds() {
+                    naive_agree += 1;
+                }
+            }
+            Ok(naive::NaiveOutcome::NotContained { .. }) => {
+                naive_decided += 1;
+                if !verdict.holds() {
+                    naive_agree += 1;
+                }
+            }
+            Ok(naive::NaiveOutcome::Unknown)
+            | Err(flogic_core::CoreError::ResourcesExhausted { .. }) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+
+        if verdict.holds() {
+            for s in 0..dbs_per_pair {
+                let db = random_database(&DbGenConfig::default(), &mut rng(i * 100 + s));
+                let Ok((closed, _)) = close_database(&db, &ClosureOptions::default())
+                else {
+                    continue;
+                };
+                db_checks += 1;
+                if !answers(&q1, &closed).is_subset(&answers(&q2, &closed)) {
+                    db_violations += 1;
+                }
+            }
+        }
+    }
+
+    let mut t = Table::new(
+        "E4: soundness cross-validation (expected: agreement 100%, violations 0)",
+        &["quantity", "value"],
+    );
+    t.push(vec!["pairs checked".into(), (n_holds + n_rejects + n_vacuous).to_string()]);
+    t.push(vec!["pairs over the resource cap".into(), n_capped.to_string()]);
+    t.push(vec!["verdict contained".into(), n_holds.to_string()]);
+    t.push(vec!["verdict not contained".into(), n_rejects.to_string()]);
+    t.push(vec!["verdict vacuous (failed chase)".into(), n_vacuous.to_string()]);
+    t.push(vec![
+        "naive baseline agreement".into(),
+        format!("{naive_agree}/{naive_decided}"),
+    ]);
+    t.push(vec!["database subset checks".into(), db_checks.to_string()]);
+    t.push(vec!["database counterexamples".into(), db_violations.to_string()]);
+    ExperimentOutput { tables: vec![t], notes: vec![] }
+}
+
+// ---------------------------------------------------------------------------
+// E5 — scaling (Theorem 13).
+// ---------------------------------------------------------------------------
+
+/// Builds the `sub`-chain query `q(X0, Xn) :- sub(X0,X1), …, sub(X(n-1),Xn)`.
+pub fn sub_chain(n: usize) -> ConjunctiveQuery {
+    let v = |i: usize| Term::var(&format!("X{i}"));
+    let body: Vec<Atom> = (0..n).map(|i| Atom::sub(v(i), v(i + 1))).collect();
+    ConjunctiveQuery::new(Symbol::intern("chain"), vec![v(0), v(n)], body)
+        .expect("chains are valid")
+}
+
+/// E5: decision time and chase size as `|q1|` and `|q2|` grow, on acyclic
+/// chains (positive and negative instances) and on cyclic queries.
+pub fn e5(reps: usize) -> ExperimentOutput {
+    let mut chains = Table::new(
+        "E5a: sub-chain workload — chain(n) subset chain(m) iff m <= n",
+        &["n (=|q1|)", "m (=|q2|)", "holds", "chase conjuncts", "time_us"],
+    );
+    // Negative instances (m > n) force the hom search to exhaust an
+    // exponentially large path space — the NP-hardness of CQ containment
+    // made visible — so they are kept small; positive instances scale
+    // further.
+    for &(n, m) in
+        &[(2usize, 2usize), (4, 2), (4, 4), (4, 6), (8, 4), (8, 8), (8, 10), (16, 8), (16, 16), (24, 24), (32, 32)]
+    {
+        let q1 = sub_chain(n);
+        let q2 = sub_chain(m);
+        let r = contains(&q1, &q2).expect("arity ok");
+        let dt = time_median(reps, || contains(&q1, &q2).unwrap().holds());
+        assert_eq!(r.holds(), m <= n, "chain workload ground truth");
+        chains.push(vec![
+            n.to_string(),
+            m.to_string(),
+            r.holds().to_string(),
+            r.chase_conjuncts().to_string(),
+            micros(dt),
+        ]);
+    }
+
+    let mut cyclic = Table::new(
+        "E5b: cyclic workload — q1 has a mandatory cycle of length k, q2 probes d pump steps",
+        &["k", "d (=|q2|)", "holds", "bound", "chase conjuncts", "time_us"],
+    );
+    for &(k, d) in &[(1usize, 1usize), (1, 3), (2, 2), (2, 4), (3, 3), (3, 6), (4, 4)] {
+        let q1 = cyclic_query(k);
+        let q2 = pump_probe(k, d);
+        let r = contains(&q1, &q2).expect("arity ok");
+        let dt = time_median(reps, || contains(&q1, &q2).unwrap().holds());
+        assert!(r.holds(), "pump probes are always produced by the cycle");
+        cyclic.push(vec![
+            k.to_string(),
+            d.to_string(),
+            r.holds().to_string(),
+            r.level_bound().to_string(),
+            r.chase_conjuncts().to_string(),
+            micros(dt),
+        ]);
+    }
+
+    let mut random = Table::new(
+        "E5c: random workload — median time over 20 random pairs per size",
+        &["|q1| = |q2|", "median_us", "contained_fraction"],
+    );
+    for &n in &[2usize, 4, 8, 12] {
+        let cfg = QueryGenConfig {
+            n_atoms: n,
+            n_vars: n + 2,
+            n_consts: 3,
+            ..Default::default()
+        };
+        let mut times = Vec::new();
+        let mut held = 0usize;
+        let mut total = 0usize;
+        for seed in 0..20u64 {
+            let q1 = random_query(&cfg, &mut rng(seed * 7 + n as u64));
+            let q2 = generalize(
+                &q1,
+                &GeneralizeConfig::default(),
+                &mut rng(seed * 13 + n as u64),
+            );
+            let t0 = Instant::now();
+            let copts = ContainmentOptions { level_bound: None, max_conjuncts: 50_000 };
+            let Ok(r) = contains_with(&q1, &q2, &copts) else {
+                continue; // resource-capped pair: excluded from the medians
+            };
+            times.push(t0.elapsed());
+            total += 1;
+            if r.holds() {
+                held += 1;
+            }
+        }
+        times.sort();
+        random.push(vec![
+            n.to_string(),
+            micros(times[times.len() / 2]),
+            format!("{held}/{total}"),
+        ]);
+    }
+
+    ExperimentOutput { tables: vec![chains, cyclic, random], notes: vec![] }
+}
+
+/// A Boolean query holding a mandatory/type cycle of length `k`
+/// (Section 4's infinite-chase pattern).
+pub fn cyclic_query(k: usize) -> ConjunctiveQuery {
+    let cfg = QueryGenConfig {
+        n_atoms: 1,
+        n_vars: 1,
+        n_consts: 0,
+        const_prob: 0.0,
+        head_arity: 0,
+        // One harmless member atom plus the injected cycle.
+        pred_weights: [1, 0, 0, 0, 0, 0],
+        cycle: Some(k),
+    };
+    random_query(&cfg, &mut rng(0))
+}
+
+/// A probe of `d` pump steps: `data(T0, a0, V1), data(V1, a1, V2), …` with
+/// the cycle's attribute constants; produced by the chase of
+/// [`cyclic_query`] at level ≈ 4·d.
+pub fn pump_probe(k: usize, d: usize) -> ConjunctiveQuery {
+    let v = |i: usize| Term::var(&format!("P{i}"));
+    let attr = |i: usize| Term::constant(&format!("cyc_a{}", i % k));
+    let mut body = vec![Atom::data(Term::constant("cyc_t0"), attr(0), v(1))];
+    for i in 1..d {
+        body.push(Atom::data(v(i), attr(i), v(i + 1)));
+    }
+    ConjunctiveQuery::new(Symbol::intern("probe"), vec![], body).expect("probe is valid")
+}
+
+// ---------------------------------------------------------------------------
+// E6 — Σ_FL containments beyond classical.
+// ---------------------------------------------------------------------------
+
+/// E6: fraction of pairs contained classically vs under `Σ_FL`, on two
+/// workloads (body generalizations vs chase generalizations), plus the
+/// curated pairs where only `Σ_FL` succeeds.
+pub fn e6(pairs: u64) -> ExperimentOutput {
+    let qcfg = QueryGenConfig { n_atoms: 4, n_vars: 4, n_consts: 2, ..Default::default() };
+    let gcfg = GeneralizeConfig::default();
+
+    let mut t = Table::new(
+        "E6: classical vs Sigma_FL containment rates",
+        &["workload", "pairs", "classic holds", "sigma holds", "sigma-only"],
+    );
+    for (name, from_chase) in [("generalize(body)", false), ("generalize(chase)", true)] {
+        let mut total = 0u64;
+        let mut classic_n = 0u64;
+        let mut sigma_n = 0u64;
+        let mut only = 0u64;
+        for seed in 0..pairs {
+            let q1 = random_query(&qcfg, &mut rng(seed));
+            let q2 = if from_chase {
+                match generalize_from_chase(&q1, &gcfg, &mut rng(seed + 40_000)) {
+                    Some(q) => q,
+                    None => continue,
+                }
+            } else {
+                generalize(&q1, &gcfg, &mut rng(seed + 50_000))
+            };
+            let copts = ContainmentOptions { level_bound: None, max_conjuncts: 50_000 };
+            let Ok(r) = contains_with(&q1, &q2, &copts) else {
+                continue; // resource-capped pair
+            };
+            total += 1;
+            let c = classic_contains(&q1, &q2).expect("arity ok");
+            let s = r.holds();
+            assert!(!c || s, "classic must imply sigma");
+            if c {
+                classic_n += 1;
+            }
+            if s {
+                sigma_n += 1;
+            }
+            if s && !c {
+                only += 1;
+            }
+        }
+        t.push(vec![
+            name.into(),
+            total.to_string(),
+            classic_n.to_string(),
+            sigma_n.to_string(),
+            only.to_string(),
+        ]);
+    }
+
+    let mut curated = Table::new(
+        "E6b: curated sigma-only containments",
+        &["q1", "q2", "classic", "sigma"],
+    );
+    let cases = [
+        ("q(X,Z) :- sub(X,Y), sub(Y,Z).", "p(X,Z) :- sub(X,Z)."),
+        ("q(O,D) :- member(O,C), sub(C,D).", "p(O,D) :- member(O,D)."),
+        ("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].", "p(A,B) :- T1[A*=>T2], T2[B*=>_]."),
+        ("q(O) :- mandatory(a, O).", "p(O) :- data(O, a, V)."),
+        ("q(O,T) :- member(O,C), type(C,a,T).", "p(O,T) :- type(O,a,T)."),
+    ];
+    for (s1, s2) in cases {
+        let q1 = parse_query(s1).expect("curated parses");
+        let q2 = parse_query(s2).expect("curated parses");
+        let c = classic_contains(&q1, &q2).expect("arity ok");
+        let s = contains(&q1, &q2).expect("arity ok").holds();
+        curated.push(vec![s1.into(), s2.into(), c.to_string(), s.to_string()]);
+    }
+    ExperimentOutput { tables: vec![t, curated], notes: vec![] }
+}
+
+// ---------------------------------------------------------------------------
+// E7 — bound tightness (Lemmas 9/11, Theorem 12).
+// ---------------------------------------------------------------------------
+
+/// E7: the level at which the witness homomorphism actually appears vs the
+/// Theorem 12 bound `2·|q1|·|q2|`, on cyclic workloads.
+pub fn e7() -> ExperimentOutput {
+    let mut t = Table::new(
+        "E7: witness level vs Theorem 12 bound (cyclic pump workloads)",
+        &["k", "d", "|q1|", "|q2|", "bound", "witness level", "slack"],
+    );
+    for &(k, d) in &[(1usize, 1usize), (1, 2), (1, 4), (2, 2), (2, 4), (3, 3), (4, 4), (2, 6)] {
+        let q1 = cyclic_query(k);
+        let q2 = pump_probe(k, d);
+        let bound = theorem_bound(&q1, &q2);
+        let outcome = naive::contains_naive(&q1, &q2, bound, 2_000_000).expect("arity ok");
+        let naive::NaiveOutcome::Holds { level } = outcome else {
+            panic!("pump probe must be contained within the bound, got {outcome:?}");
+        };
+        t.push(vec![
+            k.to_string(),
+            d.to_string(),
+            q1.size().to_string(),
+            q2.size().to_string(),
+            bound.to_string(),
+            level.to_string(),
+            (bound - level).to_string(),
+        ]);
+    }
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![
+            "The witness always appears within the Theorem 12 bound; the slack \
+             shows the bound is conservative (its tightness is the paper's open \
+             lower-bound question)."
+                .into(),
+        ],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E8 — chase⁻ is polynomial.
+// ---------------------------------------------------------------------------
+
+/// E8: `chase⁻` size and time on random acyclic queries of growing size.
+pub fn e8(reps: usize) -> ExperimentOutput {
+    let mut t = Table::new(
+        "E8: chase-minus growth on random acyclic queries (Theorem 13 step 1 is polynomial)",
+        &["|q|", "median conjuncts", "max conjuncts", "median_us"],
+    );
+    for &n in &[2usize, 4, 8, 16, 32, 64] {
+        let cfg = QueryGenConfig {
+            n_atoms: n,
+            n_vars: n,
+            n_consts: 4,
+            ..Default::default()
+        };
+        let mut sizes = Vec::new();
+        let mut times = Vec::new();
+        for seed in 0..reps as u64 {
+            let q = random_query(&cfg, &mut rng(seed * 31 + n as u64));
+            let t0 = Instant::now();
+            let chase = chase_minus(&q);
+            times.push(t0.elapsed());
+            if !chase.is_failed() {
+                assert_eq!(chase.outcome(), ChaseOutcome::Completed);
+                sizes.push(chase.len());
+            }
+        }
+        sizes.sort_unstable();
+        times.sort();
+        t.push(vec![
+            n.to_string(),
+            sizes.get(sizes.len() / 2).copied().unwrap_or(0).to_string(),
+            sizes.last().copied().unwrap_or(0).to_string(),
+            micros(times[times.len() / 2]),
+        ]);
+    }
+    ExperimentOutput { tables: vec![t], notes: vec![] }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-vs-naive comparison used by the criterion benches.
+// ---------------------------------------------------------------------------
+
+/// Decide with an explicit level bound (for the criterion benches).
+pub fn contains_at_bound(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, bound: u32) -> bool {
+    contains_with(
+        q1,
+        q2,
+        &ContainmentOptions { level_bound: Some(bound), max_conjuncts: 2_000_000 },
+    )
+    .expect("arity ok")
+    .holds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pairs_parse_and_hold() {
+        for (name, q1, q2) in paper_pairs() {
+            assert!(contains(&q1, &q2).unwrap().holds(), "{name}");
+        }
+    }
+
+    #[test]
+    fn sub_chain_ground_truth() {
+        assert!(contains(&sub_chain(4), &sub_chain(2)).unwrap().holds());
+        assert!(!contains(&sub_chain(2), &sub_chain(4)).unwrap().holds());
+    }
+
+    #[test]
+    fn cyclic_query_and_probe_agree() {
+        let q1 = cyclic_query(2);
+        let q2 = pump_probe(2, 3);
+        assert!(contains(&q1, &q2).unwrap().holds());
+    }
+
+    #[test]
+    fn e1_e2_run() {
+        let out = e1();
+        assert_eq!(out.tables[0].rows.len(), 2);
+        let out = e2();
+        assert!(out.tables[0].rows.iter().any(|r| r[1] == "(V1, V1)"));
+    }
+
+    #[test]
+    fn e3_census_is_pump_shaped() {
+        let out = e3();
+        assert!(out.tables[1].rows.len() >= 5, "several levels materialized");
+        assert!(out.notes[0].contains("level 1"));
+    }
+
+    #[test]
+    fn e4_small_run_has_no_violations() {
+        let out = e4(5, 1);
+        let rows = &out.tables[0].rows;
+        let violations = rows.iter().find(|r| r[0] == "database counterexamples").unwrap();
+        assert_eq!(violations[1], "0");
+        let agree = rows.iter().find(|r| r[0] == "naive baseline agreement").unwrap();
+        let parts: Vec<&str> = agree[1].split('/').collect();
+        assert_eq!(parts[0], parts[1], "full agreement expected");
+    }
+
+    #[test]
+    fn e7_witness_within_bound() {
+        let out = e7();
+        for row in &out.tables[0].rows {
+            let bound: u32 = row[4].parse().unwrap();
+            let level: u32 = row[5].parse().unwrap();
+            assert!(level <= bound);
+        }
+    }
+}

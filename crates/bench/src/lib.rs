@@ -1,0 +1,24 @@
+//! Experiment implementations for the benchmark harness.
+//!
+//! The paper is pure theory — no tables or figures to re-measure — so each
+//! experiment here regenerates one of its *claims* as a table (see
+//! DESIGN.md's experiment index and EXPERIMENTS.md for the recorded
+//! outputs):
+//!
+//! | id | claim |
+//! |----|-------|
+//! | E1 | the two worked containments of Section 2 (plus strictness and classical failure) |
+//! | E2 | Example 1: ρ12+ρ4 rewrite the query head |
+//! | E3 | Example 2 / Figure 1: chase-graph shape of the infinite chase |
+//! | E4 | soundness of the Theorem 12 procedure vs naive deepening and concrete databases |
+//! | E5 | scaling of the decision procedure in `|q1|`, `|q2|` (Theorem 13) |
+//! | E6 | Σ_FL yields strictly more containments than classical CQ reasoning |
+//! | E7 | the Theorem 12 level bound vs the level actually needed |
+//! | E8 | `chase⁻` stays polynomial (Theorem 13, step 1) |
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,115 @@
+//! Minimal table type: aligned text output and CSV export.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table of strings with a title and column headers.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (experiment id + claim).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Writes the table as CSV (RFC-4180-style quoting for cells containing
+    /// commas or quotes).
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        fs::write(path, out)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("T", &["a", "long_header"]);
+        t.push(vec!["xxxxx".into(), "y".into()]);
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("xxxxx  y"));
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("T", &["a"]);
+        t.push(vec!["with, comma".into()]);
+        let dir = std::env::temp_dir().join("flogic_table_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"with, comma\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Rendering chase graphs (Definition 3) as Graphviz DOT and as text —
+//! the machine-checked counterpart of the paper's Figure 1.
+
+use std::fmt::Write as _;
+
+use crate::engine::Chase;
+
+/// Renders the chase graph in Graphviz DOT format.
+///
+/// Nodes are conjuncts labelled with their atom and level and ranked by
+/// level (level 0 at the top, like the paper's Figure 1); solid arcs are
+/// ordinary arcs, dashed arcs are cross-arcs; every arc is labelled with
+/// the rule (ρi) that produced it.
+pub fn to_dot(chase: &Chase) -> String {
+    let mut out = String::from("digraph chase {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let max_level = chase.max_level();
+    for level in 0..=max_level {
+        let ids = chase.at_level(level);
+        if ids.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  {{ rank=same; /* level {level} */");
+        for id in ids {
+            let atom = chase.atom(id);
+            let _ = writeln!(out, "    {id} [label=\"{atom}\\nlevel {level}\"];");
+        }
+        out.push_str("  }\n");
+    }
+    for arc in chase.arcs() {
+        let style = if arc.cross { ", style=dashed" } else { "" };
+        let _ = writeln!(out, "  {} -> {} [label=\"{}\"{}];", arc.from, arc.to, arc.rule, style);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the chase level by level as indented text (a terminal-friendly
+/// Figure 1).
+pub fn to_text(chase: &Chase) -> String {
+    let mut out = String::new();
+    for level in 0..=chase.max_level() {
+        let ids = chase.at_level(level);
+        if ids.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "level {level}:");
+        for id in ids {
+            let atom = chase.atom(id);
+            match chase.rule_of(id) {
+                Some(rule) => {
+                    let parents: Vec<String> = chase
+                        .parents_of(id)
+                        .iter()
+                        .map(|p| chase.atom(*p).to_string())
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "  {atom}    [{rule} from {}]",
+                        parents.join(", ")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  {atom}");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{chase_bounded, ChaseOptions};
+    use flogic_syntax::parse_query;
+
+    fn example2() -> Chase {
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
+        chase_bounded(&q, &ChaseOptions { level_bound: 5, max_conjuncts: 10_000 })
+    }
+
+    #[test]
+    fn dot_contains_nodes_arcs_and_ranks() {
+        let dot = to_dot(&example2());
+        assert!(dot.starts_with("digraph chase {"));
+        assert!(dot.contains("rank=same"));
+        assert!(dot.contains("mandatory(A, T)"));
+        assert!(dot.contains("->"));
+        assert!(dot.contains("rho5"), "rho5 arcs labelled");
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn text_rendering_groups_by_level() {
+        let text = to_text(&example2());
+        assert!(text.contains("level 0:"));
+        assert!(text.contains("level 1:"));
+        assert!(text.contains("[rho5 from mandatory(A, T)]"));
+    }
+
+    #[test]
+    fn dot_marks_cross_arcs_dashed() {
+        let dot = to_dot(&example2());
+        assert!(dot.contains("style=dashed"), "Example 2 has cross-arcs");
+    }
+}

@@ -1,0 +1,919 @@
+//! The chase engine (Definition 2 of the paper, with the two-phase
+//! discipline of Section 4).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use flogic_model::{
+    sigma_fl, Atom, ConjunctiveQuery, Pred, RuleId, SigmaRule, Tgd, SIGMA_RULE_COUNT,
+};
+use flogic_term::{NullGen, Subst, Term};
+
+use crate::graph::{ChaseArc, ConjunctId};
+
+/// Tuning knobs for a chase run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseOptions {
+    /// Maximum conjunct level; applications that would create a conjunct
+    /// beyond this level are skipped (Theorem 12 needs levels up to
+    /// `2·|q1|·|q2|` only).
+    pub level_bound: u32,
+    /// Safety cap on the number of conjuncts; exceeded ⇒
+    /// [`ChaseOutcome::Truncated`].
+    pub max_conjuncts: usize,
+}
+
+impl Default for ChaseOptions {
+    fn default() -> Self {
+        ChaseOptions { level_bound: u32::MAX, max_conjuncts: 1_000_000 }
+    }
+}
+
+/// How a chase run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// Fixpoint reached: the chase is finite and fully materialized.
+    Completed,
+    /// Fixpoint up to the level bound: some applications beyond the bound
+    /// were skipped (the full chase may be infinite).
+    LevelBounded,
+    /// ρ4 equated two distinct rigid constants — the construction fails
+    /// (Definition 2(1)(a)). The query is unsatisfiable on every database
+    /// that satisfies `Σ_FL`.
+    Failed {
+        /// One of the clashing constants.
+        left: Term,
+        /// The other clashing constant.
+        right: Term,
+    },
+    /// The `max_conjuncts` safety cap was hit; the chase is a prefix.
+    Truncated,
+}
+
+/// Counters describing a chase run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaseStats {
+    /// Successful applications per rule (index = `RuleId::index()`).
+    pub applications: [usize; SIGMA_RULE_COUNT],
+    /// Number of term merges performed by ρ4.
+    pub merges: usize,
+    /// Number of cross-arcs recorded.
+    pub cross_arcs: usize,
+    /// Labelled nulls invented by ρ5.
+    pub nulls_invented: u64,
+}
+
+impl ChaseStats {
+    /// Total successful rule applications.
+    pub fn total_applications(&self) -> usize {
+        self.applications.iter().sum()
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    atom: Atom,
+    level: u32,
+    rule: Option<RuleId>,
+    parents: Vec<ConjunctId>,
+}
+
+/// The chase of a query w.r.t. `Σ_FL`: conjuncts, levels, arcs, and the
+/// (possibly rewritten) query head.
+///
+/// Build one with [`chase_minus`] (terminating, `Σ_FL − ρ5`) or
+/// [`chase_bounded`] (all rules, level-capped). All accessors resolve
+/// merge redirects, so ids handed out before a ρ4 merge stay valid.
+#[derive(Clone, Debug)]
+pub struct Chase {
+    nodes: Vec<Node>,
+    /// Union-find over node ids; `redirect[i] == i` for live roots.
+    redirect: Vec<u32>,
+    /// Canonical atom → live root id.
+    canon: HashMap<Atom, ConjunctId>,
+    /// Live root ids per predicate.
+    by_pred: [Vec<ConjunctId>; 6],
+    /// Live root ids per `(predicate, argument position, term)` — the
+    /// selective index used for rule matching and the ρ4 scan. Without it,
+    /// matching degenerates to per-predicate scans, which is quadratic in
+    /// the chase size and makes branching chases (several pump threads per
+    /// invented value) intractable.
+    by_pos: HashMap<(Pred, u8, Term), Vec<ConjunctId>>,
+    arcs: Vec<ChaseArc>,
+    arc_seen: HashSet<(u32, u32, RuleId, bool)>,
+    head: Vec<Term>,
+    nulls: NullGen,
+    merge_map: Subst,
+    outcome: ChaseOutcome,
+    stats: ChaseStats,
+    /// Set when an application was skipped because of the level bound.
+    hit_bound: bool,
+    /// Record cross-arcs (enabled for the bounded phase only; level-0
+    /// cross-arcs carry no information and would bloat the graph).
+    record_cross: bool,
+}
+
+impl Chase {
+    fn new(q: &ConjunctiveQuery) -> Chase {
+        let mut chase = Chase {
+            nodes: Vec::new(),
+            redirect: Vec::new(),
+            canon: HashMap::new(),
+            by_pred: Default::default(),
+            by_pos: HashMap::new(),
+            arcs: Vec::new(),
+            arc_seen: HashSet::new(),
+            head: q.head().to_vec(),
+            nulls: NullGen::new(),
+            merge_map: Subst::new(),
+            outcome: ChaseOutcome::Completed,
+            stats: ChaseStats::default(),
+            hit_bound: false,
+            record_cross: false,
+        };
+        for atom in q.body() {
+            chase.insert(*atom, 0, None, Vec::new());
+        }
+        chase
+    }
+
+    // ---- id plumbing -----------------------------------------------------
+
+    fn resolve(&self, id: ConjunctId) -> ConjunctId {
+        let mut i = id.0;
+        while self.redirect[i as usize] != i {
+            i = self.redirect[i as usize];
+        }
+        ConjunctId(i)
+    }
+
+    fn is_live(&self, id: ConjunctId) -> bool {
+        self.redirect[id.index()] == id.0
+    }
+
+    /// Inserts `atom` if not present; returns `(root id, was_new)`.
+    fn insert(
+        &mut self,
+        atom: Atom,
+        level: u32,
+        rule: Option<RuleId>,
+        parents: Vec<ConjunctId>,
+    ) -> (ConjunctId, bool) {
+        if let Some(&id) = self.canon.get(&atom) {
+            return (id, false);
+        }
+        let id = ConjunctId(u32::try_from(self.nodes.len()).expect("chase too large"));
+        self.nodes.push(Node { atom, level, rule, parents });
+        self.redirect.push(id.0);
+        self.canon.insert(atom, id);
+        self.by_pred[atom.pred().index()].push(id);
+        for (pos, &term) in atom.args().iter().enumerate() {
+            self.by_pos.entry((atom.pred(), pos as u8, term)).or_default().push(id);
+        }
+        (id, true)
+    }
+
+    /// Candidate conjuncts for matching `pattern` under the partial rule
+    /// binding `s`: the most selective position index available, falling
+    /// back to the per-predicate list when no position is bound. (A bound
+    /// rule variable's image may itself be a query variable — that is a
+    /// concrete chase value and indexes fine.) Every candidate still
+    /// requires full unification.
+    fn candidates(&self, pattern: &Atom, s: &Subst) -> &[ConjunctId] {
+        let mut best: Option<&[ConjunctId]> = None;
+        for (pos, &arg) in pattern.args().iter().enumerate() {
+            let effective = if arg.is_var() {
+                match s.get(arg) {
+                    Some(image) => image,
+                    None => continue,
+                }
+            } else {
+                arg
+            };
+            let list: &[ConjunctId] = self
+                .by_pos
+                .get(&(pattern.pred(), pos as u8, effective))
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
+            if best.is_none_or(|b| list.len() < b.len()) {
+                best = Some(list);
+            }
+        }
+        best.unwrap_or(&self.by_pred[pattern.pred().index()])
+    }
+
+    fn add_arc(&mut self, from: ConjunctId, to: ConjunctId, rule: RuleId, cross: bool) {
+        let key = (from.0, to.0, rule, cross);
+        if self.arc_seen.insert(key) {
+            self.arcs.push(ChaseArc { from, to, rule, cross });
+            if cross {
+                self.stats.cross_arcs += 1;
+            }
+        }
+    }
+
+    // ---- public accessors ------------------------------------------------
+
+    /// Iterates over the live conjuncts as `(id, atom, level)`.
+    pub fn conjuncts(&self) -> impl Iterator<Item = (ConjunctId, &Atom, u32)> {
+        self.nodes.iter().enumerate().filter_map(move |(i, n)| {
+            let id = ConjunctId(i as u32);
+            self.is_live(id).then_some((id, &n.atom, n.level))
+        })
+    }
+
+    /// Number of live conjuncts.
+    pub fn len(&self) -> usize {
+        self.canon.len()
+    }
+
+    /// True if the chase has no conjuncts (cannot happen for valid queries).
+    pub fn is_empty(&self) -> bool {
+        self.canon.is_empty()
+    }
+
+    /// The atom of a conjunct (id may be pre-merge; it is resolved).
+    pub fn atom(&self, id: ConjunctId) -> &Atom {
+        &self.nodes[self.resolve(id).index()].atom
+    }
+
+    /// The level of a conjunct (Definition 3(3)).
+    pub fn level(&self, id: ConjunctId) -> u32 {
+        self.nodes[self.resolve(id).index()].level
+    }
+
+    /// The rule that generated a conjunct (`None` for `body(q)` / level-0
+    /// phase conjuncts).
+    pub fn rule_of(&self, id: ConjunctId) -> Option<RuleId> {
+        self.nodes[self.resolve(id).index()].rule
+    }
+
+    /// The premise conjuncts from which this conjunct was generated.
+    pub fn parents_of(&self, id: ConjunctId) -> Vec<ConjunctId> {
+        self.nodes[self.resolve(id).index()]
+            .parents
+            .iter()
+            .map(|&p| self.resolve(p))
+            .collect()
+    }
+
+    /// Looks up a conjunct by atom.
+    pub fn find(&self, atom: &Atom) -> Option<ConjunctId> {
+        self.canon.get(atom).copied()
+    }
+
+    /// All arcs, with endpoints resolved through merges.
+    pub fn arcs(&self) -> impl Iterator<Item = ChaseArc> + '_ {
+        self.arcs.iter().map(|a| ChaseArc {
+            from: self.resolve(a.from),
+            to: self.resolve(a.to),
+            rule: a.rule,
+            cross: a.cross,
+        })
+    }
+
+    /// The query head as rewritten by the chase (Example 1 of the paper:
+    /// ρ4 merges may change head variables).
+    pub fn head(&self) -> &[Term] {
+        &self.head
+    }
+
+    /// The accumulated ρ4 merge map (normalized).
+    pub fn merge_map(&self) -> &Subst {
+        &self.merge_map
+    }
+
+    /// How the run ended.
+    pub fn outcome(&self) -> ChaseOutcome {
+        self.outcome
+    }
+
+    /// True if the construction failed (ρ4 on two distinct constants).
+    pub fn is_failed(&self) -> bool {
+        matches!(self.outcome, ChaseOutcome::Failed { .. })
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &ChaseStats {
+        &self.stats
+    }
+
+    /// The largest level of any live conjunct.
+    pub fn max_level(&self) -> u32 {
+        self.conjuncts().map(|(_, _, l)| l).max().unwrap_or(0)
+    }
+
+    /// Live conjunct ids at a given level.
+    pub fn at_level(&self, level: u32) -> Vec<ConjunctId> {
+        self.conjuncts().filter(|&(_, _, l)| l == level).map(|(id, _, _)| id).collect()
+    }
+
+    // ---- EGD (ρ4) ---------------------------------------------------------
+
+    /// Applies ρ4 to exhaustion (Definition 2, chase step (a)).
+    ///
+    /// Returns `Err((left, right))` when two distinct rigid constants must
+    /// be equated, `Ok(true)` if any merge happened.
+    fn egd_fixpoint(&mut self) -> Result<bool, (Term, Term)> {
+        let mut changed_any = false;
+        loop {
+            // Collect all equations demanded by ρ4 in the current state.
+            let mut uf: HashMap<Term, Term> = HashMap::new();
+            fn find(uf: &HashMap<Term, Term>, mut t: Term) -> Term {
+                while let Some(&p) = uf.get(&t) {
+                    if p == t {
+                        break;
+                    }
+                    t = p;
+                }
+                t
+            }
+            let mut pending = false;
+            for &fid in &self.by_pred[Pred::Funct.index()] {
+                let f = &self.nodes[fid.index()].atom;
+                let (a, o) = (f.arg(0), f.arg(1));
+                let data_on_o: &[ConjunctId] = self
+                    .by_pos
+                    .get(&(Pred::Data, 0, o))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[]);
+                let mut first: Option<Term> = None;
+                for &did in data_on_o {
+                    let d = &self.nodes[did.index()].atom;
+                    if d.arg(0) == o && d.arg(1) == a {
+                        match first {
+                            None => first = Some(d.arg(2)),
+                            Some(v) => {
+                                let rv = find(&uf, v);
+                                let rw = find(&uf, d.arg(2));
+                                if rv != rw {
+                                    if rv.is_const() && rw.is_const() {
+                                        return Err((rv.min(rw), rv.max(rw)));
+                                    }
+                                    // Lexicographically smaller term is the
+                                    // representative (Definition 2(1)(b)).
+                                    let (keep, drop) =
+                                        if rv < rw { (rv, rw) } else { (rw, rv) };
+                                    uf.insert(drop, keep);
+                                    pending = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !pending {
+                return Ok(changed_any);
+            }
+            // Normalize into a substitution and rewrite the whole chase.
+            let mut merge = Subst::new();
+            let keys: Vec<Term> = uf.keys().copied().collect();
+            for k in keys {
+                let r = find(&uf, k);
+                merge.bind(k, r);
+            }
+            self.apply_merge(&merge);
+            changed_any = true;
+        }
+    }
+
+    /// Rewrites every conjunct and the head through `merge`, fusing
+    /// conjuncts that become equal (the lower-level one wins).
+    fn apply_merge(&mut self, merge: &Subst) {
+        self.stats.merges += merge.len();
+        for t in &mut self.head {
+            *t = merge.apply(*t);
+        }
+        self.merge_map = self.merge_map.compose(merge);
+        // Rewrite atoms of live nodes.
+        let live: Vec<ConjunctId> =
+            (0..self.nodes.len() as u32).map(ConjunctId).filter(|&i| self.is_live(i)).collect();
+        self.canon.clear();
+        for arr in &mut self.by_pred {
+            arr.clear();
+        }
+        self.by_pos.clear();
+        for id in live {
+            let node = &mut self.nodes[id.index()];
+            node.atom.apply_in_place(merge);
+            let atom = node.atom;
+            let level = node.level;
+            match self.canon.entry(atom) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(id);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    let winner = *o.get();
+                    // Keep the conjunct that was generated earlier / at the
+                    // lower level; redirect the other onto it.
+                    let (keep, drop) = if self.nodes[winner.index()].level <= level {
+                        (winner, id)
+                    } else {
+                        (id, winner)
+                    };
+                    if keep != winner {
+                        o.insert(keep);
+                    }
+                    self.redirect[drop.index()] = keep.0;
+                }
+            }
+        }
+        // Rebuild the positional indexes from the canonical survivors.
+        for (atom, &id) in &self.canon {
+            self.by_pred[atom.pred().index()].push(id);
+            for (pos, &term) in atom.args().iter().enumerate() {
+                self.by_pos.entry((atom.pred(), pos as u8, term)).or_default().push(id);
+            }
+        }
+    }
+
+    // ---- TGD matching -----------------------------------------------------
+
+    /// Enumerates homomorphisms from `body` into the live conjuncts with
+    /// `body[pinned]` mapped to conjunct `pinned_id`. Calls `found` with the
+    /// binding and the matched conjunct per body position.
+    fn match_body_pinned(
+        &self,
+        body: &[Atom],
+        pinned: usize,
+        pinned_id: ConjunctId,
+        found: &mut dyn FnMut(&Subst, &[ConjunctId]),
+    ) {
+        // The binding is keyed strictly by *rule* variables and consulted
+        // with `get`, never by rewriting the pattern: the image of a rule
+        // variable is often a query variable (chase conjuncts contain
+        // them as values), and a rewritten pattern could not tell such an
+        // image apart from an unbound rule variable — it would be
+        // spuriously re-bound instead of compared, over-applying rules.
+        fn unify(pattern: &Atom, target: &Atom, s: &Subst) -> Option<Subst> {
+            if pattern.pred() != target.pred() {
+                return None;
+            }
+            let mut out = s.clone();
+            for (&p, &t) in pattern.args().iter().zip(target.args()) {
+                if p.is_var() {
+                    match out.get(p) {
+                        Some(image) => {
+                            if image != t {
+                                return None;
+                            }
+                        }
+                        None => out.bind(p, t),
+                    }
+                } else if p != t {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+
+        fn rec(
+            chase: &Chase,
+            body: &[Atom],
+            pinned: usize,
+            pinned_id: ConjunctId,
+            idx: usize,
+            s: Subst,
+            matched: &mut Vec<ConjunctId>,
+            found: &mut dyn FnMut(&Subst, &[ConjunctId]),
+        ) {
+            if idx == body.len() {
+                found(&s, matched);
+                return;
+            }
+            if idx == pinned {
+                let target = &chase.nodes[pinned_id.index()].atom;
+                if let Some(s2) = unify(&body[idx], target, &s) {
+                    matched.push(pinned_id);
+                    rec(chase, body, pinned, pinned_id, idx + 1, s2, matched, found);
+                    matched.pop();
+                }
+                return;
+            }
+            // Cloned because recursion re-borrows the chase.
+            let candidates: Vec<ConjunctId> = chase.candidates(&body[idx], &s).to_vec();
+            for cid in candidates {
+                let target = &chase.nodes[cid.index()].atom;
+                if let Some(s2) = unify(&body[idx], target, &s) {
+                    matched.push(cid);
+                    rec(chase, body, pinned, pinned_id, idx + 1, s2, matched, found);
+                    matched.pop();
+                }
+            }
+        }
+
+        let mut matched = Vec::with_capacity(body.len());
+        rec(self, body, pinned, pinned_id, 0, Subst::new(), &mut matched, found);
+    }
+
+    // ---- main loop ----------------------------------------------------------
+
+    /// Runs the chase with the given rules until fixpoint (up to the level
+    /// bound). `rules` is a subset of `Σ_FL` TGDs (ρ4 is always handled,
+    /// eagerly).
+    fn run(&mut self, tgds: &[&Tgd], opts: &ChaseOptions) {
+        let mut queue: VecDeque<ConjunctId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| ConjunctId(i as u32))
+            .filter(|&i| self.is_live(i))
+            .collect();
+
+        // Initial EGD drain (the query body itself may violate ρ4).
+        match self.egd_fixpoint() {
+            Err((l, r)) => {
+                self.outcome = ChaseOutcome::Failed { left: l, right: r };
+                return;
+            }
+            Ok(true) => {
+                queue = self.live_ids().into();
+            }
+            Ok(false) => {}
+        }
+
+        while let Some(raw_id) = queue.pop_front() {
+            let id = self.resolve(raw_id);
+            if self.nodes.len() >= opts.max_conjuncts {
+                self.outcome = ChaseOutcome::Truncated;
+                return;
+            }
+            let pred = self.nodes[id.index()].atom.pred();
+
+            // Collect candidate applications with `id` pinned in each
+            // compatible body position, then apply them. (Collect first:
+            // applying mutates the chase and would alias the matcher.)
+            struct Candidate {
+                rule: RuleId,
+                head: Atom,
+                existential: Option<Term>,
+                parents: Vec<ConjunctId>,
+            }
+            let mut candidates: Vec<Candidate> = Vec::new();
+            for tgd in tgds {
+                for (pos, batom) in tgd.body.iter().enumerate() {
+                    if batom.pred() != pred {
+                        continue;
+                    }
+                    self.match_body_pinned(&tgd.body, pos, id, &mut |s, matched| {
+                        candidates.push(Candidate {
+                            rule: tgd.id,
+                            head: tgd.head.apply(s),
+                            existential: tgd.existential.map(|e| s.apply(e)),
+                            parents: matched.to_vec(),
+                        });
+                    });
+                }
+            }
+
+            let mut added_any = false;
+            for cand in candidates {
+                // Re-validate under merges that happened since collection.
+                let head = cand.head.apply(&self.merge_map);
+                let parents: Vec<ConjunctId> =
+                    cand.parents.iter().map(|&p| self.resolve(p)).collect();
+                if parents.iter().any(|&p| !self.is_live(p)) {
+                    continue;
+                }
+                let parent_level =
+                    parents.iter().map(|&p| self.nodes[p.index()].level).max().unwrap_or(0);
+                let new_level = parent_level + 1;
+
+                match cand.existential {
+                    None => {
+                        if let Some(&existing) = self.canon.get(&head) {
+                            // Conclusion already present: cross-arcs
+                            // (Definition 3(4)(i)).
+                            if self.record_cross {
+                                for &p in &parents {
+                                    self.add_arc(p, existing, cand.rule, true);
+                                }
+                            }
+                            continue;
+                        }
+                        if new_level > opts.level_bound {
+                            self.hit_bound = true;
+                            continue;
+                        }
+                        let (nid, new) =
+                            self.insert(head, new_level, Some(cand.rule), parents.clone());
+                        debug_assert!(new);
+                        self.stats.applications[cand.rule.index()] += 1;
+                        for &p in &parents {
+                            self.add_arc(p, nid, cand.rule, false);
+                        }
+                        queue.push_back(nid);
+                        added_any = true;
+                    }
+                    Some(ex) => {
+                        // ρ5: applicable only if no extension of the binding
+                        // maps the head into the chase (Definition 2(2)(ii)).
+                        debug_assert_eq!(head.pred(), Pred::Data);
+                        let (o, a) = (head.arg(0), head.arg(1));
+                        let witnesses: Vec<ConjunctId> = self
+                            .by_pos
+                            .get(&(Pred::Data, 0, o))
+                            .map(|v| v.as_slice())
+                            .unwrap_or(&[])
+                            .iter()
+                            .copied()
+                            .filter(|&d| {
+                                let da = &self.nodes[d.index()].atom;
+                                da.arg(0) == o && da.arg(1) == a
+                            })
+                            .collect();
+                        if !witnesses.is_empty() {
+                            if self.record_cross {
+                                for w in witnesses {
+                                    for &p in &parents {
+                                        self.add_arc(p, w, cand.rule, true);
+                                    }
+                                }
+                            }
+                            continue;
+                        }
+                        if new_level > opts.level_bound {
+                            self.hit_bound = true;
+                            continue;
+                        }
+                        let fresh = Term::Null(self.nulls.fresh());
+                        self.stats.nulls_invented += 1;
+                        let mut s = Subst::new();
+                        s.bind(ex, fresh);
+                        let head = head.apply(&s);
+                        let (nid, new) =
+                            self.insert(head, new_level, Some(cand.rule), parents.clone());
+                        debug_assert!(new);
+                        self.stats.applications[cand.rule.index()] += 1;
+                        for &p in &parents {
+                            self.add_arc(p, nid, cand.rule, false);
+                        }
+                        queue.push_back(nid);
+                        added_any = true;
+                    }
+                }
+            }
+
+            if added_any {
+                // Definition 2: ρ4 is drained after TGD applications.
+                match self.egd_fixpoint() {
+                    Err((l, r)) => {
+                        self.outcome = ChaseOutcome::Failed { left: l, right: r };
+                        return;
+                    }
+                    Ok(true) => {
+                        // Merges may enable matches among old conjuncts:
+                        // reprocess everything still live.
+                        queue = self.live_ids().into();
+                    }
+                    Ok(false) => {}
+                }
+            }
+        }
+
+        self.outcome =
+            if self.hit_bound { ChaseOutcome::LevelBounded } else { ChaseOutcome::Completed };
+    }
+
+    fn live_ids(&self) -> Vec<ConjunctId> {
+        (0..self.nodes.len() as u32).map(ConjunctId).filter(|&i| self.is_live(i)).collect()
+    }
+
+    /// Resets every live conjunct to level 0 (the Section 4 convention for
+    /// `chase⁻`: "we will view all tuples in `chase_{Σ−}` as being at level
+    /// 0").
+    fn reset_levels(&mut self) {
+        for n in &mut self.nodes {
+            n.level = 0;
+        }
+    }
+}
+
+fn sigma_tgds(include_rho5: bool) -> Vec<&'static Tgd> {
+    sigma_fl()
+        .iter()
+        .filter_map(|r| match r {
+            SigmaRule::Tgd(t) if include_rho5 || t.id != RuleId::R5 => Some(t),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Computes `chase⁻(q) = chase_{Σ_FL − ρ5}(q)`: the preliminary chase of
+/// Section 4. It always terminates ("no new constant is generated"); all
+/// of its conjuncts are assigned level 0.
+///
+/// ```
+/// use flogic_syntax::parse_query;
+/// use flogic_model::Atom;
+/// use flogic_term::Term;
+/// let q = parse_query("q(X) :- member(X, c1), sub(c1, c2).").unwrap();
+/// let chase = flogic_chase::chase_minus(&q);
+/// // rho3 derived member(X, c2).
+/// let derived = Atom::member(Term::var("X"), Term::constant("c2"));
+/// assert!(chase.find(&derived).is_some());
+/// ```
+pub fn chase_minus(q: &ConjunctiveQuery) -> Chase {
+    let mut chase = Chase::new(q);
+    chase.run(&sigma_tgds(false), &ChaseOptions::default());
+    chase.reset_levels();
+    chase
+}
+
+/// Computes the level-bounded chase of `q` w.r.t. all of `Σ_FL`: first
+/// `chase⁻` (level 0), then the bounded phase in which ρ5 may invent
+/// fresh values and levels grow up to `level_bound` (Definition 3).
+///
+/// With `level_bound = 2·|q1|·|q2|` this is exactly the prefix that
+/// Theorem 12 proves sufficient for containment checking.
+pub fn chase_bounded(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Chase {
+    let mut chase = Chase::new(q);
+    chase.run(&sigma_tgds(false), &ChaseOptions::default());
+    if chase.is_failed() {
+        return chase;
+    }
+    chase.reset_levels();
+    chase.hit_bound = false;
+    chase.record_cross = true;
+    chase.run(&sigma_tgds(true), opts);
+    chase
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flogic_syntax::parse_query;
+
+    fn c(n: &str) -> Term {
+        Term::constant(n)
+    }
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn chase_minus_saturates_subclass_hierarchy() {
+        let q = parse_query("q(X) :- member(X, c1), sub(c1, c2), sub(c2, c3).").unwrap();
+        let chase = chase_minus(&q);
+        assert_eq!(chase.outcome(), ChaseOutcome::Completed);
+        // ρ2 adds sub(c1,c3); ρ3 adds member(X,c2), member(X,c3).
+        assert!(chase.find(&Atom::sub(c("c1"), c("c3"))).is_some());
+        assert!(chase.find(&Atom::member(v("X"), c("c2"))).is_some());
+        assert!(chase.find(&Atom::member(v("X"), c("c3"))).is_some());
+        assert_eq!(chase.len(), 6);
+        // All conjuncts at level 0 by the Section 4 convention.
+        assert_eq!(chase.max_level(), 0);
+    }
+
+    #[test]
+    fn example_1_head_rewriting() {
+        // Example 1 of the paper: funct is inherited to the member (ρ12)
+        // and then ρ4 merges V2 into V1, changing the head.
+        let q = parse_query(
+            "q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).",
+        )
+        .unwrap();
+        let chase = chase_minus(&q);
+        assert_eq!(chase.outcome(), ChaseOutcome::Completed);
+        assert!(chase.find(&Atom::funct(v("A"), v("O"))).is_some(), "rho12 fired");
+        assert_eq!(chase.head(), &[v("V1"), v("V1")], "head rewritten by rho4");
+        // The two data conjuncts fused into one.
+        let data_count =
+            chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count();
+        assert_eq!(data_count, 1);
+    }
+
+    #[test]
+    fn egd_failure_on_distinct_constants() {
+        let q = parse_query(
+            "q() :- data(o, a, 1), data(o, a, 2), funct(a, o).",
+        )
+        .unwrap();
+        let chase = chase_minus(&q);
+        assert!(chase.is_failed());
+        let ChaseOutcome::Failed { left, right } = chase.outcome() else { panic!() };
+        assert_eq!((left, right), (c("1"), c("2")));
+    }
+
+    #[test]
+    fn egd_merges_var_into_constant() {
+        let q = parse_query("q(V) :- data(o, a, V), data(o, a, 5), funct(a, o).").unwrap();
+        let chase = chase_minus(&q);
+        assert!(!chase.is_failed());
+        assert_eq!(chase.head(), &[c("5")]);
+    }
+
+    #[test]
+    fn example_2_bounded_chase_unrolls_the_cycle() {
+        // Example 2: q() :- mandatory(A,T), type(T,A,T), sub(T,U).
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
+        let chase =
+            chase_bounded(&q, &ChaseOptions { level_bound: 8, max_conjuncts: 100_000 });
+        assert_eq!(chase.outcome(), ChaseOutcome::LevelBounded);
+        // The ρ5-ρ1-ρ6-ρ10 pump: data(T,A,_v1), member(_v1,T), type(_v1,A,T),
+        // mandatory(A,_v1), then data(_v1,A,_v2), ...
+        let data_atoms: Vec<&Atom> = chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .map(|(_, a, _)| a)
+            .collect();
+        assert!(data_atoms.len() >= 2, "cycle unrolled at least twice: {data_atoms:?}");
+        assert!(chase.stats().nulls_invented >= 2);
+        // Branching via ρ3: member(_v1, U).
+        let member_u = chase
+            .conjuncts()
+            .any(|(_, a, _)| a.pred() == Pred::Member && a.arg(1) == v("U") && a.arg(0).is_null());
+        assert!(member_u, "rho3 branch member(_vi, U) exists");
+        assert!(chase.max_level() <= 8);
+    }
+
+    #[test]
+    fn bounded_chase_of_acyclic_query_completes() {
+        let q = parse_query("q(A) :- mandatory(A, t), type(t, A, u).").unwrap();
+        let chase =
+            chase_bounded(&q, &ChaseOptions { level_bound: 50, max_conjuncts: 100_000 });
+        assert_eq!(chase.outcome(), ChaseOutcome::Completed);
+        // ρ5 invents one value; ρ1 types it; ρ6/ρ10 do not cycle since u
+        // has no mandatory attribute.
+        assert_eq!(chase.stats().nulls_invented, 1);
+        let data: Vec<&Atom> = chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .map(|(_, a, _)| a)
+            .collect();
+        assert_eq!(data.len(), 1);
+        assert!(data[0].arg(2).is_null());
+        // member(_v1, u) from ρ1.
+        assert!(chase
+            .conjuncts()
+            .any(|(_, a, _)| a.pred() == Pred::Member && a.arg(1) == c("u")));
+    }
+
+    #[test]
+    fn rho5_not_applicable_when_value_exists() {
+        let q = parse_query("q() :- mandatory(a, t), data(t, a, w).").unwrap();
+        let chase =
+            chase_bounded(&q, &ChaseOptions { level_bound: 50, max_conjuncts: 100_000 });
+        assert_eq!(chase.outcome(), ChaseOutcome::Completed);
+        assert_eq!(chase.stats().nulls_invented, 0);
+    }
+
+    #[test]
+    fn levels_grow_along_the_pump() {
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T).").unwrap();
+        let chase =
+            chase_bounded(&q, &ChaseOptions { level_bound: 9, max_conjuncts: 100_000 });
+        // data at level 1, member at 2, type at 3, mandatory at 3 (type,
+        // member parents), next data at 4 ... strictly increasing chain.
+        let mut levels: Vec<u32> = chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .map(|(_, _, l)| l)
+            .collect();
+        levels.sort_unstable();
+        assert!(levels.windows(2).all(|w| w[0] < w[1]), "{levels:?}");
+        assert_eq!(levels[0], 1);
+    }
+
+    #[test]
+    fn cross_arcs_recorded_in_bounded_phase() {
+        // type(T,A,T) + sub(T,U) gives type(T,A,U) at level 0 already; in
+        // the bounded phase the same derivations re-fire as cross-arcs.
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
+        let chase =
+            chase_bounded(&q, &ChaseOptions { level_bound: 6, max_conjuncts: 100_000 });
+        assert!(chase.arcs().any(|a| a.cross), "at least one cross-arc");
+    }
+
+    #[test]
+    fn ids_survive_merges() {
+        let q = parse_query("q(V) :- data(o, a, V), data(o, a, 5), funct(a, o).").unwrap();
+        let chase = chase_minus(&q);
+        // Whatever id we look up, atoms resolve.
+        for (id, atom, _) in chase.conjuncts() {
+            assert_eq!(chase.atom(id), atom);
+        }
+        assert_eq!(chase.merge_map().apply(v("V")), c("5"));
+    }
+
+    #[test]
+    fn truncation_cap_applies() {
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T).").unwrap();
+        let chase =
+            chase_bounded(&q, &ChaseOptions { level_bound: u32::MAX, max_conjuncts: 40 });
+        assert_eq!(chase.outcome(), ChaseOutcome::Truncated);
+        assert!(chase.len() <= 41);
+    }
+
+    #[test]
+    fn parents_and_rules_recorded() {
+        let q = parse_query("q(X) :- member(X, c1), sub(c1, c2).").unwrap();
+        let chase = chase_minus(&q);
+        let derived = chase.find(&Atom::member(v("X"), c("c2"))).unwrap();
+        assert_eq!(chase.rule_of(derived), Some(RuleId::R3));
+        let parents = chase.parents_of(derived);
+        assert_eq!(parents.len(), 2);
+        let parent_atoms: Vec<&Atom> = parents.iter().map(|&p| chase.atom(p)).collect();
+        assert!(parent_atoms.contains(&&Atom::member(v("X"), c("c1"))));
+        assert!(parent_atoms.contains(&&Atom::sub(c("c1"), c("c2"))));
+    }
+}

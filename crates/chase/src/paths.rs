@@ -1,0 +1,266 @@
+//! Primary paths (Definition 7) and parallel paths (Definition 8) — the
+//! structures behind the excision argument of Lemmas 9–11.
+//!
+//! A *primary path* follows the chase's generation chains from low levels
+//! to high ones: each arc is either primary (level `k` → `k + 1`) or the
+//! special `type`-conjunct hop of Definition 7(ii) (a `type` conjunct's
+//! outgoing generation arc reaches a conjunct two levels up, because ρ1
+//! combines it with the `data` conjunct invented in between). Two paths
+//! are *parallel* when their arcs carry the same rule labels position by
+//! position — the paper uses parallel paths to "excise" repeated segments
+//! and pull homomorphism images below the Theorem 12 level bound.
+
+use flogic_model::RuleId;
+
+use crate::engine::Chase;
+use crate::graph::{equivalent_conjuncts, ChaseArc, ConjunctId};
+
+/// A path in the chase graph: the visited conjuncts and the arcs between
+/// them (`arcs.len() == nodes.len() - 1`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// The conjuncts on the path, in order.
+    pub nodes: Vec<ConjunctId>,
+    /// The arcs traversed.
+    pub arcs: Vec<ChaseArc>,
+}
+
+impl Path {
+    /// Number of arcs.
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// True for the single-node path.
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// The rule labels along the path.
+    pub fn labels(&self) -> Vec<RuleId> {
+        self.arcs.iter().map(|a| a.rule).collect()
+    }
+}
+
+/// Is `arc` admissible in a primary path (Definition 7)?
+///
+/// Either (i) a primary arc (level +1), or (ii) an arc out of a `type`
+/// conjunct that lands two levels up. Cross-arcs are excluded: they record
+/// *suppressed duplicate* derivations, and the uniqueness of primary paths
+/// (used in the Lemma 11 proof) only holds for the generation structure.
+pub fn is_primary_path_arc(chase: &Chase, arc: &ChaseArc) -> bool {
+    if arc.cross {
+        return false;
+    }
+    let from_level = chase.level(arc.from);
+    let to_level = chase.level(arc.to);
+    if to_level == from_level + 1 {
+        return true;
+    }
+    let from_is_type = chase.atom(arc.from).pred() == flogic_model::Pred::Type;
+    from_is_type && to_level == from_level + 2
+}
+
+/// Enumerates the primary-path arcs leaving `node`.
+fn primary_successors(chase: &Chase, node: ConjunctId) -> Vec<ChaseArc> {
+    chase
+        .arcs()
+        .filter(|a| a.from == node && is_primary_path_arc(chase, a))
+        .collect()
+}
+
+/// Finds a primary path from `from` to `to`, if one exists (DFS over
+/// primary-path arcs; the paper argues such paths are essentially unique —
+/// [`max_primary_path_multiplicity`] measures the ρ1-diamond slack).
+pub fn primary_path(chase: &Chase, from: ConjunctId, to: ConjunctId) -> Option<Path> {
+    fn dfs(
+        chase: &Chase,
+        current: ConjunctId,
+        to: ConjunctId,
+        nodes: &mut Vec<ConjunctId>,
+        arcs: &mut Vec<ChaseArc>,
+    ) -> bool {
+        if current == to {
+            return true;
+        }
+        for arc in primary_successors(chase, current) {
+            // Levels strictly increase along primary-path arcs, so the
+            // search cannot cycle.
+            nodes.push(arc.to);
+            arcs.push(arc);
+            if dfs(chase, arc.to, to, nodes, arcs) {
+                return true;
+            }
+            arcs.pop();
+            nodes.pop();
+        }
+        false
+    }
+    let mut nodes = vec![from];
+    let mut arcs = Vec::new();
+    dfs(chase, from, to, &mut nodes, &mut arcs).then_some(Path { nodes, arcs })
+}
+
+/// Counts distinct primary paths between two conjuncts (used to validate
+/// the uniqueness claim in the proof of Lemma 11).
+pub fn count_primary_paths(chase: &Chase, from: ConjunctId, to: ConjunctId) -> usize {
+    fn dfs(chase: &Chase, current: ConjunctId, to: ConjunctId) -> usize {
+        if current == to {
+            return 1;
+        }
+        primary_successors(chase, current)
+            .into_iter()
+            .map(|arc| dfs(chase, arc.to, to))
+            .sum()
+    }
+    dfs(chase, from, to)
+}
+
+/// The largest number of distinct primary paths between any pair of
+/// conjuncts.
+///
+/// The Lemma 11 proof sketch speaks of primary paths being "unique"; in
+/// the literal Definition 7 reading they are unique *per premise choice*
+/// but rule ρ1 has two premises (`type` via the +2 hop and `data` via the
+/// +1 arc), so a bounded diamond multiplicity arises: both routes traverse
+/// the same pump segment and land on the same conjunct. The multiplicity
+/// is bounded by `2^(pump iterations)` in principle but the *labels* of
+/// the two routes differ only in the ρ1-premise choice, so the excision
+/// argument is unaffected. This function lets tests pin the observed
+/// multiplicity.
+pub fn max_primary_path_multiplicity(chase: &Chase) -> usize {
+    let ids: Vec<ConjunctId> = chase.conjuncts().map(|(id, _, _)| id).collect();
+    let mut max = 0;
+    for &from in &ids {
+        for &to in &ids {
+            if chase.level(to) > chase.level(from) {
+                max = max.max(count_primary_paths(chase, from, to));
+            }
+        }
+    }
+    max
+}
+
+/// Are two paths *parallel* (Definition 8)? Same length, and the arcs at
+/// each position are labelled with the same rule (which forces the visited
+/// conjuncts to have the same relation symbols).
+pub fn parallel(p1: &Path, p2: &Path) -> bool {
+    p1.len() == p2.len()
+        && p1.arcs.iter().zip(&p2.arcs).all(|(a, b)| a.rule == b.rule)
+}
+
+/// Finds a pair of *equivalent* conjuncts (Definition 6) on a path, i.e.
+/// the repetition that the Lemma 9 excision removes. Returns positions
+/// `(i, j)` with `i < j`.
+pub fn find_equivalent_pair(chase: &Chase, path: &Path) -> Option<(usize, usize)> {
+    for i in 0..path.nodes.len() {
+        for j in (i + 1)..path.nodes.len() {
+            if equivalent_conjuncts(chase.atom(path.nodes[i]), chase.atom(path.nodes[j])) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{chase_bounded, ChaseOptions};
+    use flogic_model::{Atom, Pred};
+    use flogic_syntax::parse_query;
+    use flogic_term::Term;
+
+    fn example2(bound: u32) -> Chase {
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
+        chase_bounded(&q, &ChaseOptions { level_bound: bound, max_conjuncts: 100_000 })
+    }
+
+    #[test]
+    fn primary_path_follows_the_pump() {
+        let chase = example2(9);
+        let start = chase.find(&Atom::mandatory(Term::var("A"), Term::var("T"))).unwrap();
+        // Find a deep data conjunct.
+        let deep = chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .max_by_key(|&(_, _, l)| l)
+            .map(|(id, _, _)| id)
+            .unwrap();
+        let path = primary_path(&chase, start, deep).expect("pump is connected");
+        assert!(path.len() >= 3);
+        // Levels never decrease along the path.
+        let levels: Vec<u32> = path.nodes.iter().map(|&n| chase.level(n)).collect();
+        assert!(levels.windows(2).all(|w| w[1] > w[0]), "{levels:?}");
+        // The path uses rho5 repeatedly (the pump).
+        assert!(path.labels().iter().filter(|&&r| r == flogic_model::RuleId::R5).count() >= 1);
+    }
+
+    #[test]
+    fn type_conjuncts_use_the_two_level_hop() {
+        // Definition 7(ii): arcs out of type conjuncts may jump +2 levels.
+        let chase = example2(9);
+        let hop = chase.arcs().any(|a| {
+            chase.atom(a.from).pred() == Pred::Type
+                && chase.level(a.to) == chase.level(a.from) + 2
+                && is_primary_path_arc(&chase, &a)
+        });
+        assert!(hop, "the +2 hop of Definition 7(ii) occurs in Example 2");
+    }
+
+    #[test]
+    fn primary_path_multiplicity_is_small_on_example_2() {
+        // Diamonds arise only from the two-premise rule rho1 (the type
+        // +2 hop vs the data +1 arc); at bound 7 one diamond has formed.
+        let chase = example2(7);
+        let m = max_primary_path_multiplicity(&chase);
+        assert!(m >= 1 && m <= 2, "multiplicity {m}");
+    }
+
+    #[test]
+    fn long_paths_contain_equivalent_pairs() {
+        // Lemma 9's pigeonhole: past ~2|q| levels a primary path must
+        // repeat an equivalence class.
+        let chase = example2(9);
+        let start = chase.find(&Atom::mandatory(Term::var("A"), Term::var("T"))).unwrap();
+        let deep = chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .max_by_key(|&(_, _, l)| l)
+            .map(|(id, _, _)| id)
+            .unwrap();
+        let path = primary_path(&chase, start, deep).unwrap();
+        let (i, j) = find_equivalent_pair(&chase, &path).expect("repetition exists");
+        assert!(i < j);
+    }
+
+    #[test]
+    fn parallel_paths_detected() {
+        let chase = example2(9);
+        // Two pump iterations: data(T,A,_v1) -> ... -> data(_v1,A,_v2) and
+        // the next one are parallel by construction.
+        let datas: Vec<ConjunctId> = {
+            let mut v: Vec<(u32, ConjunctId)> = chase
+                .conjuncts()
+                .filter(|(_, a, _)| a.pred() == Pred::Data)
+                .map(|(id, _, l)| (l, id))
+                .collect();
+            v.sort();
+            v.into_iter().map(|(_, id)| id).collect()
+        };
+        assert!(datas.len() >= 3);
+        let p1 = primary_path(&chase, datas[0], datas[1]).unwrap();
+        let p2 = primary_path(&chase, datas[1], datas[2]).unwrap();
+        assert!(parallel(&p1, &p2), "{:?} vs {:?}", p1.labels(), p2.labels());
+        assert!(!parallel(&p1, &Path { nodes: vec![datas[0]], arcs: vec![] }));
+    }
+
+    #[test]
+    fn no_primary_path_between_unrelated_conjuncts() {
+        let chase = example2(5);
+        let sub = chase.find(&Atom::sub(Term::var("T"), Term::var("U"))).unwrap();
+        let mand = chase.find(&Atom::mandatory(Term::var("A"), Term::var("T"))).unwrap();
+        // Both at level 0 and neither generated from the other.
+        assert!(primary_path(&chase, sub, mand).is_none());
+    }
+}

@@ -1,0 +1,165 @@
+//! Stress tests for ρ4 merging: head side-effects, id stability, index
+//! consistency and interactions with the other rules.
+
+use flogic_chase::{chase_bounded, chase_minus, ChaseOptions, ChaseOutcome};
+use flogic_model::Pred;
+use flogic_syntax::parse_query;
+use flogic_term::Term;
+
+fn c(n: &str) -> Term {
+    Term::constant(n)
+}
+fn v(n: &str) -> Term {
+    Term::var(n)
+}
+
+#[test]
+fn chain_of_merges_collapses_transitively() {
+    // X=Y via (o,a), Y=Z via (p,b) where Y links both: all three collapse.
+    let q = parse_query(
+        "q(X, Y, Z) :- data(o, a, X), data(o, a, Y), funct(a, o), \
+                       data(p, b, Y), data(p, b, Z), funct(b, p).",
+    )
+    .unwrap();
+    let chase = chase_minus(&q);
+    assert!(!chase.is_failed());
+    let head = chase.head();
+    assert_eq!(head[0], head[1]);
+    assert_eq!(head[1], head[2]);
+    // Only two data conjuncts remain (one per (object, attribute) pair).
+    assert_eq!(
+        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count(),
+        2
+    );
+}
+
+#[test]
+fn merge_into_constant_propagates_to_all_positions() {
+    // X merges into constant k; X also occurs as a class elsewhere.
+    let q = parse_query(
+        "q(X) :- data(o, a, X), data(o, a, k), funct(a, o), member(m, X).",
+    )
+    .unwrap();
+    let chase = chase_minus(&q);
+    assert_eq!(chase.head(), &[c("k")]);
+    assert!(chase.find(&flogic_model::Atom::member(c("m"), c("k"))).is_some());
+    // No conjunct still mentions X.
+    for (_, atom, _) in chase.conjuncts() {
+        assert!(atom.args().iter().all(|&t| t != v("X")), "stale X in {atom}");
+    }
+}
+
+#[test]
+fn merge_caused_by_derived_funct_through_subclass() {
+    // funct is inherited down a 2-hop subclass chain (rho11 twice), then
+    // to the member (rho12), and only then rho4 merges.
+    let q = parse_query(
+        "q(X, Y) :- funct(a, top), sub(mid, top), sub(bot, mid), member(o, bot), \
+                    data(o, a, X), data(o, a, Y).",
+    )
+    .unwrap();
+    let chase = chase_minus(&q);
+    assert!(!chase.is_failed());
+    assert_eq!(chase.head()[0], chase.head()[1]);
+}
+
+#[test]
+fn merge_failure_through_inheritance_chain() {
+    let q = parse_query(
+        "q() :- funct(a, top), sub(bot, top), member(o, bot), \
+                data(o, a, v1), data(o, a, v2).",
+    )
+    .unwrap();
+    let chase = chase_minus(&q);
+    assert!(chase.is_failed());
+    let ChaseOutcome::Failed { left, right } = chase.outcome() else { panic!() };
+    assert_eq!((left, right), (c("v1"), c("v2")));
+}
+
+#[test]
+fn merges_can_enable_new_rule_applications() {
+    // Before the merge, member(X, c1) and sub(Y, c2) do not join. rho4
+    // merges X and Y... they are different positions: instead, merging
+    // class variables: data values X, Y name *classes*; after X=Y the
+    // member/sub pair joins and rho3 fires.
+    let q = parse_query(
+        "q(O) :- data(s, a, X), data(s, a, Y), funct(a, s), \
+                 member(O, X), sub(Y, super).",
+    )
+    .unwrap();
+    let chase = chase_minus(&q);
+    assert!(!chase.is_failed());
+    // After X=Y (merged to the lexicographically smaller, X), rho3 derives
+    // member(O, super).
+    assert!(
+        chase
+            .find(&flogic_model::Atom::member(v("O"), c("super")))
+            .is_some(),
+        "merge must re-trigger rho3"
+    );
+}
+
+#[test]
+fn merged_nulls_in_bounded_phase() {
+    // Two mandatory attributes on the same object with funct: the two
+    // invented nulls must merge into one.
+    let q = parse_query("q() :- mandatory(a, o), funct(a, o), data(o, a, w).").unwrap();
+    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 10, max_conjuncts: 10_000 });
+    assert_eq!(chase.outcome(), ChaseOutcome::Completed);
+    // rho5 is not applicable (w exists), so exactly one data conjunct.
+    assert_eq!(
+        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count(),
+        1
+    );
+    assert_eq!(chase.stats().nulls_invented, 0);
+}
+
+#[test]
+fn null_merges_into_value_when_funct_arrives_late() {
+    // mandatory fires first (inventing a null), then funct forces the null
+    // to merge with the real value arriving via a member/class edge.
+    let q = parse_query(
+        "q(V) :- mandatory(a, o), member(o, k), funct(a, k), data(o, a, V).",
+    )
+    .unwrap();
+    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 10, max_conjuncts: 10_000 });
+    assert!(!chase.is_failed());
+    // All data conjuncts for (o, a) collapsed onto the variable V.
+    let data: Vec<_> = chase
+        .conjuncts()
+        .filter(|(_, a, _)| a.pred() == Pred::Data && a.arg(0) == c("o"))
+        .collect();
+    assert_eq!(data.len(), 1);
+    assert_eq!(data[0].1.arg(2), v("V"), "null merged into the query variable");
+}
+
+#[test]
+fn arcs_survive_merges_with_resolved_endpoints() {
+    let q = parse_query(
+        "q(X) :- data(o, a, X), data(o, a, k), funct(a, o), member(k, cls), sub(cls, sup).",
+    )
+    .unwrap();
+    let chase = chase_minus(&q);
+    for arc in chase.arcs() {
+        // Every endpoint resolves to a live conjunct with a valid atom.
+        let _ = chase.atom(arc.from);
+        let _ = chase.atom(arc.to);
+    }
+    // The rho3 conclusion exists and cites live parents.
+    let derived = chase.find(&flogic_model::Atom::member(c("k"), c("sup"))).unwrap();
+    for p in chase.parents_of(derived) {
+        let _ = chase.atom(p);
+    }
+}
+
+#[test]
+fn merge_map_is_exposed_and_normalized() {
+    let q = parse_query(
+        "q() :- data(o, a, X), data(o, a, Y), data(o, a, k), funct(a, o).",
+    )
+    .unwrap();
+    let chase = chase_minus(&q);
+    let m = chase.merge_map();
+    assert_eq!(m.apply(v("X")), c("k"));
+    assert_eq!(m.apply(v("Y")), c("k"));
+}

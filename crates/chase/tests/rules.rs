@@ -1,0 +1,196 @@
+//! Rule-by-rule validation of the chase: each of the twelve rules of
+//! `Σ_FL` (Section 2 of the paper) is exercised in isolation — the chase
+//! must derive exactly the conjuncts that rule licenses.
+
+use flogic_chase::{chase_bounded, chase_minus, ChaseOptions, ChaseOutcome};
+use flogic_model::{Atom, Pred, RuleId};
+use flogic_syntax::parse_query;
+use flogic_term::Term;
+
+fn c(n: &str) -> Term {
+    Term::constant(n)
+}
+fn v(n: &str) -> Term {
+    Term::var(n)
+}
+
+fn minus(src: &str) -> flogic_chase::Chase {
+    chase_minus(&parse_query(src).unwrap())
+}
+
+#[test]
+fn rho1_type_correctness() {
+    // member(V, T) :- type(O, A, T), data(O, A, V).
+    let chase = minus("q() :- type(o, a, t), data(o, a, w).");
+    let derived = chase.find(&Atom::member(c("w"), c("t"))).expect("rho1 fired");
+    assert_eq!(chase.rule_of(derived), Some(RuleId::R1));
+    // No spurious member conjuncts.
+    assert_eq!(
+        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Member).count(),
+        1
+    );
+}
+
+#[test]
+fn rho1_requires_matching_object_and_attribute() {
+    let chase = minus("q() :- type(o, a, t), data(o, b, w).");
+    assert!(chase.find(&Atom::member(c("w"), c("t"))).is_none(), "different attribute");
+    let chase = minus("q() :- type(o, a, t), data(p, a, w).");
+    assert!(chase.find(&Atom::member(c("w"), c("t"))).is_none(), "different object");
+}
+
+#[test]
+fn rho2_subclass_transitivity() {
+    let chase = minus("q() :- sub(a, b), sub(b, cc), sub(cc, d).");
+    for (lo, hi) in [("a", "cc"), ("a", "d"), ("b", "d")] {
+        let id = chase.find(&Atom::sub(c(lo), c(hi))).expect("transitive edge");
+        assert_eq!(chase.rule_of(id), Some(RuleId::R2));
+    }
+    assert_eq!(chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Sub).count(), 6);
+}
+
+#[test]
+fn rho3_membership_property() {
+    let chase = minus("q() :- member(o, a), sub(a, b).");
+    let id = chase.find(&Atom::member(c("o"), c("b"))).expect("rho3 fired");
+    assert_eq!(chase.rule_of(id), Some(RuleId::R3));
+}
+
+#[test]
+fn rho4_merges_and_fails_correctly() {
+    // Merge: variable folded into the other value.
+    let chase = minus("q() :- data(o, a, X), data(o, a, Y), funct(a, o).");
+    assert_eq!(
+        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count(),
+        1,
+        "X and Y merged into one conjunct"
+    );
+    // Failure: two distinct constants.
+    let chase = minus("q() :- data(o, a, u), data(o, a, w), funct(a, o).");
+    assert!(chase.is_failed());
+}
+
+#[test]
+fn rho4_merge_prefers_lexicographically_smaller() {
+    let chase = minus("q(X, Y) :- data(o, a, X), data(o, a, Y), funct(a, o).");
+    // X precedes Y: Y is rewritten into X everywhere, including the head.
+    assert_eq!(chase.head(), &[v("X"), v("X")]);
+}
+
+#[test]
+fn rho5_invents_value_with_fresh_null() {
+    let q = parse_query("q() :- mandatory(a, o).").unwrap();
+    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 10, max_conjuncts: 1000 });
+    assert_eq!(chase.outcome(), ChaseOutcome::Completed);
+    let data: Vec<_> = chase
+        .conjuncts()
+        .filter(|(_, a, _)| a.pred() == Pred::Data)
+        .collect();
+    assert_eq!(data.len(), 1);
+    let (id, atom, level) = data[0];
+    assert_eq!(atom.arg(0), c("o"));
+    assert_eq!(atom.arg(1), c("a"));
+    assert!(atom.arg(2).is_null(), "value is a fresh labelled null");
+    assert_eq!(level, 1);
+    assert_eq!(chase.rule_of(id), Some(RuleId::R5));
+}
+
+#[test]
+fn rho5_restricted_applicability() {
+    // A value exists: rho5 must not fire.
+    let q = parse_query("q() :- mandatory(a, o), data(o, a, w).").unwrap();
+    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 10, max_conjuncts: 1000 });
+    assert_eq!(chase.stats().nulls_invented, 0);
+    assert_eq!(
+        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count(),
+        1
+    );
+}
+
+#[test]
+fn rho6_type_inheritance_to_members() {
+    let chase = minus("q() :- member(o, k), type(k, a, t).");
+    let id = chase.find(&Atom::typ(c("o"), c("a"), c("t"))).expect("rho6 fired");
+    assert_eq!(chase.rule_of(id), Some(RuleId::R6));
+}
+
+#[test]
+fn rho7_type_inheritance_to_subclasses() {
+    let chase = minus("q() :- sub(k, m), type(m, a, t).");
+    let id = chase.find(&Atom::typ(c("k"), c("a"), c("t"))).expect("rho7 fired");
+    assert_eq!(chase.rule_of(id), Some(RuleId::R7));
+}
+
+#[test]
+fn rho8_supertyping() {
+    let chase = minus("q() :- type(k, a, t1), sub(t1, t2).");
+    let id = chase.find(&Atom::typ(c("k"), c("a"), c("t2"))).expect("rho8 fired");
+    assert_eq!(chase.rule_of(id), Some(RuleId::R8));
+}
+
+#[test]
+fn rho9_mandatory_inheritance_to_subclasses() {
+    let chase = minus("q() :- sub(k, m), mandatory(a, m).");
+    let id = chase.find(&Atom::mandatory(c("a"), c("k"))).expect("rho9 fired");
+    assert_eq!(chase.rule_of(id), Some(RuleId::R9));
+}
+
+#[test]
+fn rho10_mandatory_inheritance_to_members() {
+    let chase = minus("q() :- member(o, k), mandatory(a, k).");
+    let id = chase.find(&Atom::mandatory(c("a"), c("o"))).expect("rho10 fired");
+    assert_eq!(chase.rule_of(id), Some(RuleId::R10));
+}
+
+#[test]
+fn rho11_funct_inheritance_to_subclasses() {
+    let chase = minus("q() :- sub(k, m), funct(a, m).");
+    let id = chase.find(&Atom::funct(c("a"), c("k"))).expect("rho11 fired");
+    assert_eq!(chase.rule_of(id), Some(RuleId::R11));
+}
+
+#[test]
+fn rho12_funct_inheritance_to_members() {
+    let chase = minus("q() :- member(o, k), funct(a, k).");
+    let id = chase.find(&Atom::funct(c("a"), c("o"))).expect("rho12 fired");
+    assert_eq!(chase.rule_of(id), Some(RuleId::R12));
+}
+
+#[test]
+fn inheritance_rules_do_not_fire_backwards() {
+    // rho3 must not derive member(o, a) from member(o, b), sub(a, b).
+    let chase = minus("q() :- member(o, b), sub(a, b).");
+    assert!(chase.find(&Atom::member(c("o"), c("a"))).is_none());
+    // rho9 must not propagate mandatory *up* the hierarchy.
+    let chase = minus("q() :- sub(k, m), mandatory(a, k).");
+    assert!(chase.find(&Atom::mandatory(c("a"), c("m"))).is_none());
+    // rho8 must not derive subtypes.
+    let chase = minus("q() :- type(k, a, t2), sub(t1, t2).");
+    assert!(chase.find(&Atom::typ(c("k"), c("a"), c("t1"))).is_none());
+}
+
+#[test]
+fn rule_interactions_compose() {
+    // member + sub chain + class-level type: rho3 lifts membership, rho7
+    // pushes the type down the hierarchy, rho6 instantiates it on o, rho1
+    // types the value.
+    let chase = minus(
+        "q() :- member(o, k1), sub(k1, k2), type(k2, a, t), data(o, a, w).",
+    );
+    assert!(chase.find(&Atom::member(c("o"), c("k2"))).is_some(), "rho3");
+    assert!(chase.find(&Atom::typ(c("k1"), c("a"), c("t"))).is_some(), "rho7");
+    assert!(chase.find(&Atom::typ(c("o"), c("a"), c("t"))).is_some(), "rho6");
+    assert!(chase.find(&Atom::member(c("w"), c("t"))).is_some(), "rho1");
+}
+
+#[test]
+fn chase_is_order_insensitive_for_conjunct_sets() {
+    // The same query with permuted body atoms yields the same conjunct set.
+    let a = minus("q() :- member(o, k1), sub(k1, k2), type(k2, a, t).");
+    let b = minus("q() :- type(k2, a, t), member(o, k1), sub(k1, k2).");
+    let mut sa: Vec<String> = a.conjuncts().map(|(_, at, _)| at.to_string()).collect();
+    let mut sb: Vec<String> = b.conjuncts().map(|(_, at, _)| at.to_string()).collect();
+    sa.sort();
+    sb.sort();
+    assert_eq!(sa, sb);
+}

@@ -1,0 +1,78 @@
+//! Classic (constraint-free) conjunctive-query containment — the
+//! Chandra–Merlin baseline.
+
+use flogic_hom::{find_hom, Target};
+use flogic_model::ConjunctiveQuery;
+
+use crate::CoreError;
+
+/// Decides classic containment `q1 ⊆ q2` over *unconstrained* databases:
+/// a homomorphism from `body(q2)` to `body(q1)` mapping `head(q2)` to
+/// `head(q1)` (Chandra & Merlin 1977; recalled in Section 3 of the paper).
+///
+/// Classic containment implies containment under `Σ_FL` (every
+/// `Σ_FL`-satisfying database is a database), but not conversely — the
+/// difference is exactly what the paper's examples and our E6 experiment
+/// measure.
+pub fn classic_contains(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+) -> Result<bool, CoreError> {
+    if q1.arity() != q2.arity() {
+        return Err(CoreError::ArityMismatch { q1: q1.arity(), q2: q2.arity() });
+    }
+    let target = Target::from_query(q1);
+    Ok(find_hom(q2.body(), q2.head(), &target, q1.head()).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contains;
+    use flogic_syntax::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn syntactic_subset_is_contained() {
+        let q1 = q("q(X) :- member(X, c), data(X, a, V).");
+        let q2 = q("qq(X) :- member(X, c).");
+        assert!(classic_contains(&q1, &q2).unwrap());
+        assert!(!classic_contains(&q2, &q1).unwrap());
+    }
+
+    #[test]
+    fn renamed_variant_is_contained_both_ways() {
+        let q1 = q("q(X) :- member(X, C), sub(C, D).");
+        let q2 = q("qq(Y) :- member(Y, E), sub(E, F).");
+        assert!(classic_contains(&q1, &q2).unwrap());
+        assert!(classic_contains(&q2, &q1).unwrap());
+    }
+
+    #[test]
+    fn sigma_containment_strictly_stronger() {
+        // Transitivity containment holds under Σ_FL but NOT classically.
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2 = q("qq(X, Z) :- sub(X, Z).");
+        assert!(!classic_contains(&q1, &q2).unwrap());
+        assert!(contains(&q1, &q2).unwrap().holds());
+    }
+
+    #[test]
+    fn classic_implies_sigma() {
+        let q1 = q("q(X) :- member(X, c), data(X, a, V), sub(c, d).");
+        let q2 = q("qq(X) :- member(X, C), sub(C, D).");
+        if classic_contains(&q1, &q2).unwrap() {
+            assert!(contains(&q1, &q2).unwrap().holds());
+        }
+    }
+
+    #[test]
+    fn arity_checked() {
+        let q1 = q("q(X) :- member(X, Y).");
+        let q2 = q("qq() :- member(X, Y).");
+        assert!(classic_contains(&q1, &q2).is_err());
+    }
+}

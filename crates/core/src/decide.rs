@@ -1,0 +1,300 @@
+//! The Theorem 12 decision procedure.
+
+use flogic_chase::{chase_bounded, ChaseOptions, ChaseOutcome};
+use flogic_hom::{find_hom, Target};
+use flogic_model::ConjunctiveQuery;
+use flogic_term::Subst;
+
+use crate::CoreError;
+
+/// Options for [`contains_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ContainmentOptions {
+    /// Chase level bound; `None` uses the Theorem 12 bound
+    /// `2·|q1|·|q2|` (see [`theorem_bound`]). A smaller bound makes the
+    /// check *sound but incomplete* (a "holds" answer is always right, a
+    /// "does not hold" answer may be wrong); a larger bound is never
+    /// needed.
+    pub level_bound: Option<u32>,
+    /// Safety cap on materialized chase conjuncts.
+    pub max_conjuncts: usize,
+}
+
+impl Default for ContainmentOptions {
+    fn default() -> Self {
+        ContainmentOptions { level_bound: None, max_conjuncts: 1_000_000 }
+    }
+}
+
+/// The Theorem 12 level bound `δ·|q2|` with `δ = 2·|q1|`, where `|q|` is
+/// the number of body conjuncts.
+pub fn theorem_bound(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> u32 {
+    let d = 2usize.saturating_mul(q1.size());
+    u32::try_from(d.saturating_mul(q2.size())).unwrap_or(u32::MAX)
+}
+
+/// Outcome of a containment check.
+#[derive(Clone, Debug)]
+pub struct ContainmentResult {
+    holds: bool,
+    vacuous: bool,
+    witness: Option<Subst>,
+    chase_conjuncts: usize,
+    chase_outcome: ChaseOutcome,
+    level_bound: u32,
+    max_chase_level: u32,
+}
+
+impl ContainmentResult {
+    /// Does `q1 ⊆_ΣFL q2` hold?
+    pub fn holds(&self) -> bool {
+        self.holds
+    }
+
+    /// True when the containment holds because `chase(q1)` failed — i.e.
+    /// `q1` is unsatisfiable w.r.t. `Σ_FL` and returns no answers on any
+    /// admissible database.
+    pub fn is_vacuous(&self) -> bool {
+        self.vacuous
+    }
+
+    /// The witnessing homomorphism `body(q2) → chase(q1)`, when the
+    /// containment holds non-vacuously.
+    pub fn witness(&self) -> Option<&Subst> {
+        self.witness.as_ref()
+    }
+
+    /// Number of conjuncts the bounded chase materialized.
+    pub fn chase_conjuncts(&self) -> usize {
+        self.chase_conjuncts
+    }
+
+    /// How the chase run ended.
+    pub fn chase_outcome(&self) -> ChaseOutcome {
+        self.chase_outcome
+    }
+
+    /// The level bound that was used.
+    pub fn level_bound(&self) -> u32 {
+        self.level_bound
+    }
+
+    /// The deepest level the chase actually reached (≤ the bound).
+    pub fn max_chase_level(&self) -> u32 {
+        self.max_chase_level
+    }
+}
+
+/// Decides `q1 ⊆_ΣFL q2` with the Theorem 12 bound and default resource
+/// limits.
+///
+/// ```
+/// use flogic_syntax::parse_query;
+/// // Subclass transitivity (rho2) makes the two-hop query contained in
+/// // the one-hop query — a containment classical reasoning misses.
+/// let q1 = parse_query("q(X, Z) :- sub(X, Y), sub(Y, Z).").unwrap();
+/// let q2 = parse_query("p(X, Z) :- sub(X, Z).").unwrap();
+/// assert!(flogic_core::contains(&q1, &q2).unwrap().holds());
+/// assert!(!flogic_core::contains(&q2, &q1).unwrap().holds());
+/// ```
+pub fn contains(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+) -> Result<ContainmentResult, CoreError> {
+    contains_with(q1, q2, &ContainmentOptions::default())
+}
+
+/// Decides `q1 ⊆_ΣFL q2` (Theorem 12): builds the level-bounded chase of
+/// `q1` and searches for a homomorphism from `body(q2)` into it that maps
+/// `head(q2)` onto the (possibly ρ4-rewritten) head of the chase.
+pub fn contains_with(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    opts: &ContainmentOptions,
+) -> Result<ContainmentResult, CoreError> {
+    if q1.arity() != q2.arity() {
+        return Err(CoreError::ArityMismatch { q1: q1.arity(), q2: q2.arity() });
+    }
+    let bound = opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2));
+    let chase = chase_bounded(
+        q1,
+        &ChaseOptions { level_bound: bound, max_conjuncts: opts.max_conjuncts },
+    );
+    match chase.outcome() {
+        ChaseOutcome::Failed { .. } => {
+            // q1 is unsatisfiable under Σ_FL: q1(B) = ∅ for every admissible
+            // B, so q1 ⊆ q2 for every q2 of the same arity.
+            return Ok(ContainmentResult {
+                holds: true,
+                vacuous: true,
+                witness: None,
+                chase_conjuncts: chase.len(),
+                chase_outcome: chase.outcome(),
+                level_bound: bound,
+                max_chase_level: chase.max_level(),
+            });
+        }
+        ChaseOutcome::Truncated => {
+            return Err(CoreError::ResourcesExhausted { conjuncts: chase.len() });
+        }
+        ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}
+    }
+    let target = Target::from_chase(&chase);
+    let witness = find_hom(q2.body(), q2.head(), &target, chase.head());
+    Ok(ContainmentResult {
+        holds: witness.is_some(),
+        vacuous: false,
+        witness,
+        chase_conjuncts: chase.len(),
+        chase_outcome: chase.outcome(),
+        level_bound: bound,
+        max_chase_level: chase.max_level(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flogic_syntax::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn paper_joinable_attributes_containment() {
+        // Section 2: q(A,B) ⊆ qq(A,B).
+        let q1 = q("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].");
+        let q2 = q("qq(A,B) :- T1[A*=>T2], T2[B*=>_].");
+        let r = contains(&q1, &q2).unwrap();
+        assert!(r.holds(), "the paper's first example containment");
+        assert!(!r.is_vacuous());
+        assert!(r.witness().is_some());
+        // And the converse fails.
+        assert!(!contains(&q2, &q1).unwrap().holds());
+    }
+
+    #[test]
+    fn paper_mandatory_attribute_containment() {
+        // Section 2, second example.
+        let q1 = q("q(Att,Class,Type) :- Class[Att {1,*} *=> _], Class[Att*=>Type], _:Class.");
+        let q2 = q("qq(Att,Class,Type) :- Obj[Att->_], Obj:Class, Class[Att*=>Type].");
+        let r = contains(&q1, &q2).unwrap();
+        assert!(r.holds(), "the paper's second example containment");
+        assert!(!contains(&q2, &q1).unwrap().holds(), "strict containment");
+    }
+
+    #[test]
+    fn identical_queries_contained_both_ways() {
+        let q1 = q("q(X) :- member(X, C), sub(C, D).");
+        assert!(contains(&q1, &q1).unwrap().holds());
+    }
+
+    #[test]
+    fn classical_containment_still_detected() {
+        let q1 = q("q(X) :- member(X, c), data(X, a, V).");
+        let q2 = q("qq(X) :- member(X, c).");
+        assert!(contains(&q1, &q2).unwrap().holds());
+        assert!(!contains(&q2, &q1).unwrap().holds());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let q1 = q("q(X) :- member(X, C).");
+        let q2 = q("qq(X, Y) :- member(X, Y).");
+        assert_eq!(
+            contains(&q1, &q2).unwrap_err(),
+            CoreError::ArityMismatch { q1: 1, q2: 2 }
+        );
+    }
+
+    #[test]
+    fn vacuous_containment_on_failed_chase() {
+        // q1 forces 1 = 2 via a functional attribute: unsatisfiable.
+        let q1 = q("q() :- data(o, a, 1), data(o, a, 2), funct(a, o).");
+        let q2 = q("qq() :- sub(X, Y).");
+        let r = contains(&q1, &q2).unwrap();
+        assert!(r.holds());
+        assert!(r.is_vacuous());
+    }
+
+    #[test]
+    fn subclass_transitivity_containment() {
+        // q1 walks two sub edges; q2 wants one: holds only thanks to ρ2.
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2 = q("qq(X, Z) :- sub(X, Z).");
+        let r = contains(&q1, &q2).unwrap();
+        assert!(r.holds(), "needs rho2, not just Chandra-Merlin");
+    }
+
+    #[test]
+    fn membership_inheritance_containment() {
+        // member(O, C), sub(C, D) ⊨ member(O, D) (ρ3).
+        let q1 = q("q(O, D) :- member(O, C), sub(C, D).");
+        let q2 = q("qq(O, D) :- member(O, D).");
+        assert!(contains(&q1, &q2).unwrap().holds());
+    }
+
+    #[test]
+    fn mandatory_cycle_containment_uses_deep_chase() {
+        // q1's chase is infinite (Example 2 pattern); q2 asks for a data
+        // value of the cyclic attribute — produced by ρ5 at level 1.
+        let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
+        let q2 = q("qq() :- data(T, A, V), member(V, T).");
+        let r = contains(&q1, &q2).unwrap();
+        assert!(r.holds(), "needs the bounded rho5 chase");
+        assert!(r.max_chase_level() >= 1);
+    }
+
+    #[test]
+    fn head_rewriting_respected() {
+        // Example 1: chase rewrites head (V1, V2) to (V1, V1); a q2 with
+        // equal head variables is then a container.
+        let q1 = q("q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).");
+        let q2 = q("qq(W, W) :- data(O, A, W).");
+        let r = contains(&q1, &q2).unwrap();
+        assert!(r.holds(), "head side-effect of rho4 enables the containment");
+        // Without the funct atom the head stays (V1, V2) and q2 no longer
+        // contains q1.
+        let q1_free = q("q(V1, V2) :- data(O, A, V1), data(O, A, V2), member(O, C).");
+        assert!(!contains(&q1_free, &q2).unwrap().holds());
+    }
+
+    #[test]
+    fn custom_bound_is_respected() {
+        let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
+        let q2 = q("qq() :- data(T, A, V), member(V, T).");
+        // Bound 0: no rho5 level, hom cannot be found.
+        let opts = ContainmentOptions { level_bound: Some(0), max_conjuncts: 10_000 };
+        assert!(!contains_with(&q1, &q2, &opts).unwrap().holds());
+        // The theorem bound finds it.
+        assert!(contains(&q1, &q2).unwrap().holds());
+    }
+
+    #[test]
+    fn resource_cap_is_reported() {
+        let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
+        let q2 = q("qq() :- data(T, A, V).");
+        let opts = ContainmentOptions { level_bound: None, max_conjuncts: 5 };
+        assert!(matches!(
+            contains_with(&q1, &q2, &opts),
+            Err(CoreError::ResourcesExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn theorem_bound_formula() {
+        let q1 = q("q() :- sub(A, B), sub(B, C), sub(C, D).");
+        let q2 = q("qq() :- sub(X, Y), sub(Y, Z).");
+        assert_eq!(theorem_bound(&q1, &q2), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn constants_in_heads() {
+        let q1 = q("q(k) :- member(X, c).");
+        let q2 = q("qq(k) :- member(Y, c).");
+        assert!(contains(&q1, &q2).unwrap().holds());
+        let q3 = q("qq(m) :- member(Y, c).");
+        assert!(!contains(&q1, &q3).unwrap().holds(), "head constants differ");
+    }
+}

@@ -1,0 +1,56 @@
+//! Errors of the containment layer.
+
+use std::fmt;
+
+/// Errors raised by the containment procedures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// Containment is only defined between queries of the same arity
+    /// (Theorem 4).
+    ArityMismatch {
+        /// Arity of `q1`.
+        q1: usize,
+        /// Arity of `q2`.
+        q2: usize,
+    },
+    /// The chase hit its conjunct safety cap before reaching the Theorem 12
+    /// level bound; the verdict cannot be certified. Raise
+    /// `ContainmentOptions::max_conjuncts`.
+    ResourcesExhausted {
+        /// Conjuncts materialized when the cap was hit.
+        conjuncts: usize,
+    },
+    /// A query failed to parse (only from the string-level API).
+    Syntax(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch { q1, q2 } => {
+                write!(f, "containment needs equal arities, got {q1} vs {q2}")
+            }
+            CoreError::ResourcesExhausted { conjuncts } => {
+                write!(
+                    f,
+                    "chase truncated at {conjuncts} conjuncts before reaching the \
+                     Theorem 12 bound; raise max_conjuncts"
+                )
+            }
+            CoreError::Syntax(e) => write!(f, "syntax error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        assert!(CoreError::ArityMismatch { q1: 1, q2: 2 }.to_string().contains("1 vs 2"));
+        assert!(CoreError::ResourcesExhausted { conjuncts: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,134 @@
+//! Equivalence and `Σ_FL`-aware query minimisation.
+
+use flogic_model::ConjunctiveQuery;
+
+use crate::decide::{contains_with, ContainmentOptions};
+use crate::CoreError;
+
+/// Decides `q1 ≡_ΣFL q2` (containment in both directions).
+pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool, CoreError> {
+    equivalent_with(q1, q2, &ContainmentOptions::default())
+}
+
+/// [`equivalent`] with explicit options.
+pub fn equivalent_with(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    opts: &ContainmentOptions,
+) -> Result<bool, CoreError> {
+    Ok(contains_with(q1, q2, opts)?.holds() && contains_with(q2, q1, opts)?.holds())
+}
+
+/// Minimises `q` under `Σ_FL`: repeatedly drops a body conjunct as long as
+/// the smaller query is `Σ_FL`-equivalent to the original.
+///
+/// Dropping a conjunct relaxes a query (`q ⊆ q'` always holds when
+/// `body(q') ⊆ body(q)`), so only the direction `q' ⊆_ΣFL q` needs
+/// checking. Because the check runs under the constraints, this removes
+/// conjuncts that classic minimisation ([`flogic_hom::classic_core`])
+/// cannot: e.g. in `member(X, C), sub(C, D), member(X, D)` the last atom
+/// is implied by ρ3 and is dropped here but kept classically.
+///
+/// The result depends on removal order only up to `Σ_FL`-equivalence; atoms
+/// are tried left to right for determinism.
+///
+/// ```
+/// use flogic_syntax::parse_query;
+/// // member(X, D) is implied by rho3; classic minimisation must keep it.
+/// let q = parse_query("q(X) :- member(X, C), sub(C, D), member(X, D).").unwrap();
+/// let m = flogic_core::minimize(&q).unwrap();
+/// assert_eq!(m.size(), 2);
+/// ```
+pub fn minimize(q: &ConjunctiveQuery) -> Result<ConjunctiveQuery, CoreError> {
+    minimize_with(q, &ContainmentOptions::default())
+}
+
+/// [`minimize`] with explicit options.
+pub fn minimize_with(
+    q: &ConjunctiveQuery,
+    opts: &ContainmentOptions,
+) -> Result<ConjunctiveQuery, CoreError> {
+    let mut current = q.clone();
+    loop {
+        let mut shrunk = None;
+        for i in 0..current.body().len() {
+            let Some(candidate) = current.without_atom(i) else { continue };
+            if contains_with(&candidate, &current, opts)?.holds() {
+                shrunk = Some(candidate);
+                break;
+            }
+        }
+        match shrunk {
+            Some(smaller) => current = smaller,
+            None => return Ok(current),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flogic_hom::classic_core;
+    use flogic_syntax::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn renamed_queries_are_equivalent() {
+        let a = q("q(X) :- member(X, C), sub(C, D).");
+        let b = q("p(U) :- member(U, V), sub(V, W).");
+        assert!(equivalent(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn strict_containment_is_not_equivalence() {
+        let a = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let b = q("p(X, Z) :- sub(X, Z).");
+        assert!(!equivalent(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn sigma_minimization_beats_classic_core() {
+        // member(X, D) is implied by rho3 from member(X, C), sub(C, D).
+        let query = q("q(X) :- member(X, C), sub(C, D), member(X, D).");
+        let classic = classic_core(&query);
+        assert_eq!(classic.size(), 3, "classically nothing is redundant");
+        let minimal = minimize(&query).unwrap();
+        assert_eq!(minimal.size(), 2, "rho3 makes member(X, D) redundant");
+        assert!(equivalent(&minimal, &query).unwrap());
+    }
+
+    #[test]
+    fn transitive_sub_edge_is_redundant() {
+        let query = q("q(X) :- sub(X, Y), sub(Y, Z), sub(X, Z).");
+        let minimal = minimize(&query).unwrap();
+        assert_eq!(minimal.size(), 2);
+    }
+
+    #[test]
+    fn minimal_query_is_fixed_point() {
+        let query = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let minimal = minimize(&query).unwrap();
+        assert_eq!(minimal.size(), 2, "the chain itself is not redundant");
+        let again = minimize(&minimal).unwrap();
+        assert_eq!(minimal.size(), again.size());
+    }
+
+    #[test]
+    fn inherited_type_atom_is_redundant() {
+        // type(O, A, T) follows from member(O, C), type(C, A, T) via rho6.
+        let query = q("q(O, A, T) :- member(O, C), type(C, A, T), type(O, A, T).");
+        let minimal = minimize(&query).unwrap();
+        assert_eq!(minimal.size(), 2);
+    }
+
+    #[test]
+    fn head_protecting_atoms_survive() {
+        let query = q("q(V) :- data(O, A, V), member(O, C).");
+        let minimal = minimize(&query).unwrap();
+        // data binds the head var; member is genuinely independent.
+        assert_eq!(minimal.size(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Errors of the Datalog engine and the `Σ_FL` closure.
+
+use std::fmt;
+
+use flogic_term::Term;
+
+/// Errors raised by the Datalog engine and the closure procedure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A rule head uses a variable that is not bound in the body
+    /// (range-restriction violation).
+    UnboundHeadVariable {
+        /// The offending variable.
+        var: Term,
+        /// The rule, rendered.
+        rule: String,
+    },
+    /// Two tuples of the same relation disagree in arity.
+    ArityMismatch {
+        /// Relation name.
+        rel: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        got: usize,
+    },
+    /// A non-ground tuple was inserted as a fact.
+    NonGroundFact {
+        /// The fact, rendered.
+        fact: String,
+    },
+    /// The EGD ρ4 equated two distinct rigid constants — the database is
+    /// inconsistent with `Σ_FL`.
+    Inconsistent {
+        /// First constant.
+        left: Term,
+        /// Second constant.
+        right: Term,
+    },
+    /// The closure did not reach a fixpoint within the configured budget
+    /// (e.g. a cycle of mandatory attributes makes it infinite).
+    BudgetExceeded {
+        /// Facts present when the budget ran out.
+        facts: usize,
+        /// Nulls invented when the budget ran out.
+        nulls: u64,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::UnboundHeadVariable { var, rule } => {
+                write!(f, "head variable `{var}` unbound in body of rule `{rule}`")
+            }
+            DatalogError::ArityMismatch { rel, expected, got } => {
+                write!(f, "relation `{rel}` used with arity {got}, expected {expected}")
+            }
+            DatalogError::NonGroundFact { fact } => {
+                write!(f, "fact `{fact}` is not ground")
+            }
+            DatalogError::Inconsistent { left, right } => {
+                write!(
+                    f,
+                    "rho4 requires `{left}` = `{right}`, but both are rigid constants: \
+                     database inconsistent with Sigma_FL"
+                )
+            }
+            DatalogError::BudgetExceeded { facts, nulls } => {
+                write!(
+                    f,
+                    "Sigma_FL closure exceeded its budget ({facts} facts, {nulls} nulls): \
+                     likely a cycle of mandatory attributes (infinite closure)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DatalogError::Inconsistent {
+            left: Term::constant("a"),
+            right: Term::constant("b"),
+        };
+        assert!(e.to_string().contains("rho4"));
+        let e = DatalogError::BudgetExceeded { facts: 10, nulls: 5 };
+        assert!(e.to_string().contains("mandatory"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Evaluating conjunctive meta-queries over concrete databases.
+
+use std::collections::BTreeSet;
+
+use flogic_model::{ConjunctiveQuery, Database};
+use flogic_term::{Subst, Term};
+
+use crate::{close_database, ClosureOptions, DatalogError};
+
+/// Evaluates `q` over `db`, returning the set of answer tuples
+/// (`q(B)` in the paper's notation).
+///
+/// The database is used as-is; callers who start from a raw fact base
+/// should close it first (see [`answers_closed`]) because the containment
+/// theory quantifies only over databases that satisfy `Σ_FL`.
+pub fn answers(q: &ConjunctiveQuery, db: &Database) -> BTreeSet<Vec<Term>> {
+    let mut out = BTreeSet::new();
+    let mut s = Subst::new();
+    db.match_body(q.body(), &mut s, &mut |binding| {
+        out.insert(q.head().iter().map(|&t| binding.apply(t)).collect());
+        false
+    });
+    out
+}
+
+/// True if `q` has at least one answer over `db` (Boolean queries).
+pub fn boolean_answer(q: &ConjunctiveQuery, db: &Database) -> bool {
+    let mut s = Subst::new();
+    db.match_body(q.body(), &mut s, &mut |_| true)
+}
+
+/// Closes `db` under `Σ_FL` and evaluates `q` over the closure.
+pub fn answers_closed(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    opts: &ClosureOptions,
+) -> Result<BTreeSet<Vec<Term>>, DatalogError> {
+    let (closed, _) = close_database(db, opts)?;
+    Ok(answers(q, &closed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flogic_model::Atom;
+
+    fn c(n: &str) -> Term {
+        Term::constant(n)
+    }
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn q(head: Vec<Term>, body: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(flogic_term::Symbol::intern("q"), head, body).unwrap()
+    }
+
+    fn sample_db() -> Database {
+        [
+            Atom::member(c("john"), c("student")),
+            Atom::member(c("mary"), c("student")),
+            Atom::sub(c("student"), c("person")),
+            Atom::member(c("john"), c("person")),
+            Atom::member(c("mary"), c("person")),
+            Atom::typ(c("student"), c("name"), c("string")),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn answers_returns_all_tuples() {
+        let db = sample_db();
+        let query = q(vec![v("X")], vec![Atom::member(v("X"), c("student"))]);
+        let res = answers(&query, &db);
+        assert_eq!(res.len(), 2);
+        assert!(res.contains(&vec![c("john")]));
+        assert!(res.contains(&vec![c("mary")]));
+    }
+
+    #[test]
+    fn meta_query_returns_schema_objects() {
+        // "?- X::person." returns classes, not data — meta-querying.
+        let db = sample_db();
+        let query = q(vec![v("X")], vec![Atom::sub(v("X"), c("person"))]);
+        let res = answers(&query, &db);
+        assert_eq!(res, BTreeSet::from([vec![c("student")]]));
+    }
+
+    #[test]
+    fn boolean_answer_detects_emptiness() {
+        let db = sample_db();
+        let yes = q(vec![], vec![Atom::member(v("X"), c("person"))]);
+        let no = q(vec![], vec![Atom::funct(v("A"), v("O"))]);
+        assert!(boolean_answer(&yes, &db));
+        assert!(!boolean_answer(&no, &db));
+    }
+
+    #[test]
+    fn duplicate_bindings_collapse_in_answer_set() {
+        let db = sample_db();
+        // Both john and mary witness X=student.
+        let query = q(vec![v("C")], vec![Atom::member(v("X"), v("C"))]);
+        let res = answers(&query, &db);
+        assert_eq!(res, BTreeSet::from([vec![c("student")], vec![c("person")]]));
+    }
+
+    #[test]
+    fn answers_closed_sees_derived_facts() {
+        // Raw db lacks member(john, person); the closure derives it.
+        let db: Database = [
+            Atom::member(c("john"), c("student")),
+            Atom::sub(c("student"), c("person")),
+        ]
+        .into_iter()
+        .collect();
+        let query = q(vec![v("X")], vec![Atom::member(v("X"), c("person"))]);
+        assert!(answers(&query, &db).is_empty());
+        let res = answers_closed(&query, &db, &ClosureOptions::default()).unwrap();
+        assert_eq!(res, BTreeSet::from([vec![c("john")]]));
+    }
+
+    #[test]
+    fn head_constants_pass_through() {
+        let db = sample_db();
+        let query = q(vec![c("hit"), v("X")], vec![Atom::member(v("X"), c("student"))]);
+        let res = answers(&query, &db);
+        assert!(res.iter().all(|t| t[0] == c("hit")));
+        assert_eq!(res.len(), 2);
+    }
+}

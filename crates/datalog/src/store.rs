@@ -1,0 +1,357 @@
+//! Generic relations, atoms, rules and fact stores.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use flogic_term::{Subst, Symbol, Term};
+
+use crate::DatalogError;
+
+/// A generic relational atom `rel(t1, …, tn)` over an arbitrary relation
+/// name (not restricted to `P_FL`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RAtom {
+    /// The relation name.
+    pub rel: Symbol,
+    /// The arguments.
+    pub args: Vec<Term>,
+}
+
+impl RAtom {
+    /// Creates an atom.
+    pub fn new(rel: &str, args: Vec<Term>) -> RAtom {
+        RAtom { rel: Symbol::intern(rel), args }
+    }
+
+    /// True if all arguments are ground.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_ground())
+    }
+
+    /// Applies a substitution, returning a new atom.
+    pub fn apply(&self, s: &Subst) -> RAtom {
+        RAtom { rel: self.rel, args: self.args.iter().map(|&t| s.apply(t)).collect() }
+    }
+}
+
+impl fmt::Display for RAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A positive Datalog rule `head :- body`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: RAtom,
+    /// The body atoms (conjunction).
+    pub body: Vec<RAtom>,
+}
+
+impl Rule {
+    /// Creates a rule (validate with [`Rule::validate`] or via
+    /// [`crate::Program::new`]).
+    pub fn new(head: RAtom, body: Vec<RAtom>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Checks range restriction: every head variable occurs in the body.
+    pub fn validate(&self) -> Result<(), DatalogError> {
+        let body_vars: HashSet<Term> = self
+            .body
+            .iter()
+            .flat_map(|a| a.args.iter().copied())
+            .filter(|t| t.is_var())
+            .collect();
+        for &t in &self.head.args {
+            if t.is_var() && !body_vars.contains(&t) {
+                return Err(DatalogError::UnboundHeadVariable {
+                    var: t,
+                    rule: self.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+/// A mutable set of ground facts, grouped by relation.
+///
+/// Tuples are deduplicated; per relation, insertion order is preserved for
+/// deterministic iteration. Arity is fixed by the first tuple inserted for
+/// a relation.
+#[derive(Clone, Debug, Default)]
+pub struct FactStore {
+    rels: HashMap<Symbol, RelData>,
+}
+
+#[derive(Clone, Debug)]
+struct RelData {
+    arity: usize,
+    seen: HashSet<Vec<Term>>,
+    tuples: Vec<Vec<Term>>,
+    /// Tuple indices per `(argument position, term)` — the selective index
+    /// used by [`FactStore::match_pattern`]; without it, recursive joins
+    /// degenerate to full scans per body atom and the `Σ_FL` closure of
+    /// databases with invented values becomes quadratic per round.
+    by_pos: HashMap<(u8, Term), Vec<usize>>,
+}
+
+impl FactStore {
+    /// The empty store.
+    pub fn new() -> FactStore {
+        FactStore::default()
+    }
+
+    /// Inserts a ground fact. Returns `Ok(true)` if new.
+    pub fn insert(&mut self, fact: RAtom) -> Result<bool, DatalogError> {
+        if !fact.is_ground() {
+            return Err(DatalogError::NonGroundFact { fact: fact.to_string() });
+        }
+        let entry = self.rels.entry(fact.rel);
+        let data = match entry {
+            std::collections::hash_map::Entry::Occupied(o) => {
+                let data = o.into_mut();
+                if data.arity != fact.args.len() {
+                    return Err(DatalogError::ArityMismatch {
+                        rel: fact.rel.as_str().to_owned(),
+                        expected: data.arity,
+                        got: fact.args.len(),
+                    });
+                }
+                data
+            }
+            std::collections::hash_map::Entry::Vacant(v) => v.insert(RelData {
+                arity: fact.args.len(),
+                seen: HashSet::new(),
+                tuples: Vec::new(),
+                by_pos: HashMap::new(),
+            }),
+        };
+        if data.seen.insert(fact.args.clone()) {
+            let idx = data.tuples.len();
+            for (pos, &term) in fact.args.iter().enumerate() {
+                data.by_pos.entry((pos as u8, term)).or_default().push(idx);
+            }
+            data.tuples.push(fact.args);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Tuples of `rel` whose argument at `pos` equals `term` (indexed).
+    pub fn tuples_with(&self, rel: Symbol, pos: usize, term: Term) -> impl Iterator<Item = &[Term]> {
+        let data = self.rels.get(&rel);
+        let indices: &[usize] = data
+            .and_then(|d| d.by_pos.get(&(pos as u8, term)))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[]);
+        indices.iter().map(move |&i| {
+            data.expect("index entries imply relation exists").tuples[i].as_slice()
+        })
+    }
+
+    /// Membership test.
+    pub fn contains(&self, fact: &RAtom) -> bool {
+        self.rels.get(&fact.rel).is_some_and(|d| d.seen.contains(&fact.args))
+    }
+
+    /// Tuples of one relation, in insertion order.
+    pub fn tuples(&self, rel: Symbol) -> &[Vec<Term>] {
+        self.rels.get(&rel).map(|d| d.tuples.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of facts across relations.
+    pub fn len(&self) -> usize {
+        self.rels.values().map(|d| d.tuples.len()).sum()
+    }
+
+    /// True if no facts are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over all facts.
+    pub fn iter(&self) -> impl Iterator<Item = RAtom> + '_ {
+        self.rels.iter().flat_map(|(&rel, d)| {
+            d.tuples.iter().map(move |args| RAtom { rel, args: args.clone() })
+        })
+    }
+
+    /// Enumerates extensions of `s` matching `pattern` against this store.
+    /// `found` returning `true` stops the enumeration early.
+    pub fn match_pattern(
+        &self,
+        pattern: &[RAtom],
+        s: &Subst,
+        found: &mut dyn FnMut(&Subst) -> bool,
+    ) -> bool {
+        match pattern.split_first() {
+            None => found(s),
+            Some((first, rest)) => {
+                let Some(data) = self.rels.get(&first.rel) else { return false };
+                // Candidate retrieval: the most selective (position, term)
+                // index available (bound pattern variables have ground
+                // images because facts are ground, so applying `s` is safe
+                // here), falling back to the full relation. Candidates
+                // still require full unification.
+                let mut best: Option<&[usize]> = None;
+                for (pos, &arg) in first.args.iter().enumerate() {
+                    let effective = s.apply(arg);
+                    if effective.is_var() {
+                        continue;
+                    }
+                    let list: &[usize] = data
+                        .by_pos
+                        .get(&(pos as u8, effective))
+                        .map(|v| v.as_slice())
+                        .unwrap_or(&[]);
+                    if best.is_none_or(|b| list.len() < b.len()) {
+                        best = Some(list);
+                    }
+                }
+                let mut try_tuple = |tuple: &Vec<Term>| -> bool {
+                    if tuple.len() != first.args.len() {
+                        return false;
+                    }
+                    if let Some(ext) = unify_tuple(&first.args, tuple, s) {
+                        if self.match_pattern(rest, &ext, found) {
+                            return true;
+                        }
+                    }
+                    false
+                };
+                match best {
+                    Some(list) => {
+                        for &i in list {
+                            if try_tuple(&data.tuples[i]) {
+                                return true;
+                            }
+                        }
+                    }
+                    None => {
+                        for tuple in &data.tuples {
+                            if try_tuple(tuple) {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Extends `s` so that `pattern.apply(s) == tuple`, or `None` on clash.
+pub(crate) fn unify_tuple(pattern: &[Term], tuple: &[Term], s: &Subst) -> Option<Subst> {
+    let mut out = s.clone();
+    for (&p, &t) in pattern.iter().zip(tuple) {
+        let p = out.apply(p);
+        if p.is_var() {
+            out.bind(p, t);
+        } else if p != t {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: &str) -> Term {
+        Term::constant(n)
+    }
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = FactStore::new();
+        assert!(s.insert(RAtom::new("edge", vec![c("a"), c("b")])).unwrap());
+        assert!(!s.insert(RAtom::new("edge", vec![c("a"), c("b")])).unwrap());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn arity_enforced_per_relation() {
+        let mut s = FactStore::new();
+        s.insert(RAtom::new("edge", vec![c("a"), c("b")])).unwrap();
+        let err = s.insert(RAtom::new("edge", vec![c("a")])).unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { expected: 2, got: 1, .. }));
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        let mut s = FactStore::new();
+        assert!(s.insert(RAtom::new("edge", vec![v("X"), c("b")])).is_err());
+    }
+
+    #[test]
+    fn rule_validation_catches_unbound_head_vars() {
+        let bad = Rule::new(
+            RAtom::new("out", vec![v("X"), v("Z")]),
+            vec![RAtom::new("in", vec![v("X"), v("Y")])],
+        );
+        assert!(matches!(
+            bad.validate(),
+            Err(DatalogError::UnboundHeadVariable { var, .. }) if var == v("Z")
+        ));
+        let good = Rule::new(
+            RAtom::new("out", vec![v("X")]),
+            vec![RAtom::new("in", vec![v("X"), v("Y")])],
+        );
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn match_pattern_joins() {
+        let mut s = FactStore::new();
+        s.insert(RAtom::new("edge", vec![c("a"), c("b")])).unwrap();
+        s.insert(RAtom::new("edge", vec![c("b"), c("cc")])).unwrap();
+        let pattern = [
+            RAtom::new("edge", vec![v("X"), v("Y")]),
+            RAtom::new("edge", vec![v("Y"), v("Z")]),
+        ];
+        let mut hits = Vec::new();
+        s.match_pattern(&pattern, &Subst::new(), &mut |b| {
+            hits.push((b.apply(v("X")), b.apply(v("Z"))));
+            false
+        });
+        assert_eq!(hits, vec![(c("a"), c("cc"))]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = Rule::new(
+            RAtom::new("path", vec![v("X"), v("Y")]),
+            vec![RAtom::new("edge", vec![v("X"), v("Y")])],
+        );
+        assert_eq!(r.to_string(), "path(X, Y) :- edge(X, Y).");
+    }
+}

@@ -1,0 +1,492 @@
+//! Seeded random workload generators for queries, query pairs and
+//! databases.
+//!
+//! The paper proves its results rather than measuring them, so the
+//! experiment harness needs synthetic workloads that exercise the
+//! interesting regimes:
+//!
+//! * [`random_query`] — random conjunctive meta-queries over `P_FL` with a
+//!   configurable predicate mix, variable/constant pools and an optional
+//!   injected mandatory/type **cycle** (the Section 4 pattern that makes
+//!   the chase infinite);
+//! * [`generalize`] — given `q1`, produces a `q2` with a homomorphism
+//!   `q2 → body(q1)` *by construction* (atom subset + anti-unification), so
+//!   `q1 ⊆ q2` holds classically — positive containment instances;
+//! * [`generalize_from_chase`] — like `generalize` but sampling atoms from
+//!   `chase⁻(q1)`: the resulting pairs are contained **under `Σ_FL`** but
+//!   frequently *not* classically — the paper's headline phenomenon;
+//! * [`random_database`] — random ground databases shaped like class
+//!   hierarchies with attributes, members and cardinality constraints,
+//!   suitable for closing under `Σ_FL` and evaluating queries.
+//!
+//! All generators take an explicit `&mut StdRng`-style RNG, so every
+//! workload is reproducible from a seed.
+
+#![forbid(unsafe_code)]
+
+use rand::prelude::IndexedRandom;
+use rand::{Rng, RngExt};
+
+use flogic_chase::chase_minus;
+use flogic_model::{Atom, ConjunctiveQuery, Database, Pred};
+use flogic_term::{Subst, Symbol, Term};
+
+/// Configuration for [`random_query`].
+#[derive(Clone, Debug)]
+pub struct QueryGenConfig {
+    /// Number of body atoms (before cycle injection).
+    pub n_atoms: usize,
+    /// Size of the variable pool.
+    pub n_vars: usize,
+    /// Size of the constant pool (0 ⇒ pure meta-queries, variables only).
+    pub n_consts: usize,
+    /// Probability that an argument position is a constant (when the
+    /// constant pool is non-empty).
+    pub const_prob: f64,
+    /// Head arity (head terms are drawn from the body's variables).
+    pub head_arity: usize,
+    /// Relative weight per predicate, indexed by [`Pred::index`]. Zero
+    /// disables a predicate.
+    pub pred_weights: [u32; 6],
+    /// If `Some(k)`, additionally inject a mandatory/type cycle of length
+    /// `k` over fresh constants (making the chase infinite, per Section 4).
+    pub cycle: Option<usize>,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig {
+            n_atoms: 5,
+            n_vars: 6,
+            n_consts: 3,
+            const_prob: 0.3,
+            head_arity: 1,
+            pred_weights: [3, 3, 2, 3, 2, 1],
+            cycle: None,
+        }
+    }
+}
+
+fn pool_var(i: usize) -> Term {
+    Term::var(&format!("V{i}"))
+}
+
+fn pool_const(i: usize) -> Term {
+    Term::constant(&format!("k{i}"))
+}
+
+fn pick_pred<R: Rng>(weights: &[u32; 6], rng: &mut R) -> Pred {
+    let total: u32 = weights.iter().sum();
+    assert!(total > 0, "at least one predicate weight must be positive");
+    let mut roll = rng.random_range(0..total);
+    for p in Pred::ALL {
+        let w = weights[p.index()];
+        if roll < w {
+            return p;
+        }
+        roll -= w;
+    }
+    unreachable!("weights sum covered")
+}
+
+fn pick_term<R: Rng>(cfg: &QueryGenConfig, rng: &mut R) -> Term {
+    if cfg.n_consts > 0 && rng.random_bool(cfg.const_prob) {
+        pool_const(rng.random_range(0..cfg.n_consts))
+    } else {
+        pool_var(rng.random_range(0..cfg.n_vars))
+    }
+}
+
+/// Generates a random conjunctive meta-query.
+///
+/// The head is drawn from the variables that actually occur in the body,
+/// so the result is always safe; the body is never empty.
+pub fn random_query<R: Rng>(cfg: &QueryGenConfig, rng: &mut R) -> ConjunctiveQuery {
+    assert!(cfg.n_atoms > 0, "queries need at least one atom");
+    assert!(cfg.n_vars > 0, "the variable pool must be non-empty");
+    let mut body = Vec::with_capacity(cfg.n_atoms);
+    for _ in 0..cfg.n_atoms {
+        let pred = pick_pred(&cfg.pred_weights, rng);
+        let args: Vec<Term> = (0..pred.arity()).map(|_| pick_term(cfg, rng)).collect();
+        body.push(Atom::new(pred, &args).expect("arity matches by construction"));
+    }
+    if let Some(k) = cfg.cycle {
+        inject_cycle(&mut body, k);
+    }
+    // Make sure at least one variable occurs (head needs candidates).
+    if body.iter().all(|a| a.vars().next().is_none()) {
+        let var = pool_var(0);
+        body.push(Atom::member(var, pick_term(cfg, rng)));
+    }
+    let body_vars: Vec<Term> = {
+        let mut vs: Vec<Term> = body.iter().flat_map(|a| a.vars()).collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    };
+    let head: Vec<Term> =
+        (0..cfg.head_arity).map(|_| *body_vars.choose(rng).expect("non-empty")).collect();
+    ConjunctiveQuery::new(Symbol::intern("q"), head, body)
+        .expect("generated queries are valid by construction")
+}
+
+/// Appends the Section 4 cycle pattern of length `k`:
+/// `mandatory(ai, ti), type(ti, ai, t(i+1 mod k))`.
+fn inject_cycle(body: &mut Vec<Atom>, k: usize) {
+    assert!(k > 0, "cycle length must be positive");
+    let class = |i: usize| Term::constant(&format!("cyc_t{}", i % k));
+    let attr = |i: usize| Term::constant(&format!("cyc_a{i}"));
+    for i in 0..k {
+        body.push(Atom::mandatory(attr(i), class(i)));
+        body.push(Atom::typ(class(i), attr(i), class(i + 1)));
+    }
+}
+
+/// Configuration for [`generalize`] / [`generalize_from_chase`].
+#[derive(Clone, Debug)]
+pub struct GeneralizeConfig {
+    /// Probability of keeping each source atom (at least one is always
+    /// kept).
+    pub keep_atom_prob: f64,
+    /// Probability of replacing an argument occurrence by a fresh variable
+    /// (anti-unification).
+    pub blur_prob: f64,
+}
+
+impl Default for GeneralizeConfig {
+    fn default() -> Self {
+        GeneralizeConfig { keep_atom_prob: 0.7, blur_prob: 0.3 }
+    }
+}
+
+fn generalize_atoms<R: Rng>(
+    atoms: &[Atom],
+    head: &[Term],
+    cfg: &GeneralizeConfig,
+    rng: &mut R,
+) -> ConjunctiveQuery {
+    assert!(!atoms.is_empty(), "cannot generalize an empty atom set");
+
+    // Distinct head terms keep a *consistent* image: variables stay
+    // themselves; nulls (possible when generalizing from a chase whose
+    // head was merged into an invented value) get one dedicated variable.
+    // This keeps the witnessing homomorphism h(image) = original-term
+    // well defined on the head.
+    let mut head_map: Vec<(Term, Term)> = Vec::new();
+    for (i, &t) in head.iter().enumerate() {
+        if head_map.iter().any(|&(k, _)| k == t) {
+            continue;
+        }
+        let image = if t.is_null() { Term::var(&format!("H{i}")) } else { t };
+        head_map.push((t, image));
+    }
+    let head_image = |t: Term| head_map.iter().find(|&&(k, _)| k == t).map(|&(_, v)| v);
+
+    // Choose atoms to keep; every non-constant head term must be witnessed
+    // by at least one kept atom (otherwise the result would be unsafe or
+    // the head mapping broken), and at least one atom is always kept.
+    let mut keep: Vec<bool> =
+        atoms.iter().map(|_| rng.random_bool(cfg.keep_atom_prob)).collect();
+    if !keep.iter().any(|&k| k) {
+        let i = rng.random_range(0..atoms.len());
+        keep[i] = true;
+    }
+    for &(t, _) in &head_map {
+        if t.is_const() {
+            continue;
+        }
+        let witnessed = atoms
+            .iter()
+            .zip(&keep)
+            .any(|(a, &k)| k && a.args().contains(&t));
+        if !witnessed {
+            if let Some(i) = atoms.iter().position(|a| a.args().contains(&t)) {
+                keep[i] = true;
+            }
+        }
+    }
+
+    // Blur non-head occurrences into fresh variables (anti-unification);
+    // nulls must always be blurred — queries cannot contain them. Each
+    // fresh variable maps back to the term it replaced, so the witnessing
+    // homomorphism exists by construction. Fresh names must avoid the
+    // variables already present in the source (a previous generalization
+    // round may have introduced `G*` names of its own).
+    let used: std::collections::HashSet<Term> =
+        atoms.iter().flat_map(|a| a.vars()).collect();
+    let mut fresh = 0usize;
+    let mut next_fresh = move || loop {
+        fresh += 1;
+        let v = Term::var(&format!("G{fresh}"));
+        if !used.contains(&v) {
+            return v;
+        }
+    };
+    let mut body = Vec::new();
+    for (atom, &k) in atoms.iter().zip(&keep) {
+        if !k {
+            continue;
+        }
+        let args: Vec<Term> = atom
+            .args()
+            .iter()
+            .map(|&t| {
+                if let Some(image) = head_image(t) {
+                    image
+                } else if t.is_null() || rng.random_bool(cfg.blur_prob) {
+                    next_fresh()
+                } else {
+                    t
+                }
+            })
+            .collect();
+        body.push(Atom::new(atom.pred(), &args).expect("same predicate, same arity"));
+    }
+
+    let head: Vec<Term> = head
+        .iter()
+        .map(|&t| head_image(t).expect("every head term entered the map"))
+        .collect();
+    ConjunctiveQuery::new(Symbol::intern("qq"), head, body)
+        .expect("generalized queries are valid by construction")
+}
+
+/// Produces `q2` with a homomorphism `body(q2) → body(q1)` (and
+/// `head(q2) → head(q1)`) by construction, so **`q1 ⊆ q2` holds
+/// classically** (and a fortiori under `Σ_FL`).
+pub fn generalize<R: Rng>(
+    q1: &ConjunctiveQuery,
+    cfg: &GeneralizeConfig,
+    rng: &mut R,
+) -> ConjunctiveQuery {
+    generalize_atoms(q1.body(), q1.head(), cfg, rng)
+}
+
+/// Produces `q2` by generalizing atoms sampled from `chase⁻(q1)` instead of
+/// `body(q1)`: by Theorem 4, `q1 ⊆_ΣFL q2` holds by construction, but the
+/// sampled atoms may be *derived* conjuncts absent from `body(q1)`, so the
+/// classical containment frequently fails — these are the pairs where the
+/// meta-level constraints genuinely matter.
+///
+/// Returns `None` when `chase⁻(q1)` fails (then `q1` is unsatisfiable and
+/// every containment holds trivially — not an interesting test pair).
+pub fn generalize_from_chase<R: Rng>(
+    q1: &ConjunctiveQuery,
+    cfg: &GeneralizeConfig,
+    rng: &mut R,
+) -> Option<ConjunctiveQuery> {
+    let chase = chase_minus(q1);
+    if chase.is_failed() {
+        return None;
+    }
+    let atoms: Vec<Atom> = chase.conjuncts().map(|(_, a, _)| *a).collect();
+    Some(generalize_atoms(&atoms, chase.head(), cfg, rng))
+}
+
+/// Configuration for [`random_database`].
+#[derive(Clone, Debug)]
+pub struct DbGenConfig {
+    /// Number of classes in the hierarchy.
+    pub n_classes: usize,
+    /// Number of objects.
+    pub n_objects: usize,
+    /// Number of attributes.
+    pub n_attrs: usize,
+    /// Number of `sub` edges (drawn upward, acyclic).
+    pub n_sub_edges: usize,
+    /// Number of `member` facts.
+    pub n_members: usize,
+    /// Number of `type` facts.
+    pub n_types: usize,
+    /// Number of `data` facts.
+    pub n_data: usize,
+    /// Number of `mandatory` facts.
+    pub n_mandatory: usize,
+    /// Number of `funct` facts.
+    pub n_funct: usize,
+}
+
+impl Default for DbGenConfig {
+    fn default() -> Self {
+        DbGenConfig {
+            n_classes: 6,
+            n_objects: 8,
+            n_attrs: 4,
+            n_sub_edges: 5,
+            n_members: 8,
+            n_types: 5,
+            n_data: 8,
+            n_mandatory: 2,
+            n_funct: 2,
+        }
+    }
+}
+
+/// Generates a random ground database shaped like an object-oriented
+/// schema: an *acyclic* `sub` hierarchy (edges point from lower-numbered to
+/// higher-numbered classes), members, attribute types, data values and a
+/// few cardinality constraints.
+///
+/// The result is generally *not* closed under `Σ_FL`; close it with
+/// `flogic_datalog::close_database`. Acyclicity of `sub` plus class-level
+/// `type` targets keeps most instances finitely closable (mandatory cycles
+/// can still arise and are reported by the closure as budget exhaustion).
+pub fn random_database<R: Rng>(cfg: &DbGenConfig, rng: &mut R) -> Database {
+    let class = |i: usize| Term::constant(&format!("c{i}"));
+    let obj = |i: usize| Term::constant(&format!("o{i}"));
+    let attr = |i: usize| Term::constant(&format!("a{i}"));
+    let mut db = Database::new();
+    let add = |db: &mut Database, a: Atom| {
+        db.insert(a).expect("generated facts are ground");
+    };
+    assert!(cfg.n_classes >= 2 && cfg.n_objects >= 1 && cfg.n_attrs >= 1);
+    for _ in 0..cfg.n_sub_edges {
+        let lo = rng.random_range(0..cfg.n_classes - 1);
+        let hi = rng.random_range(lo + 1..cfg.n_classes);
+        add(&mut db, Atom::sub(class(lo), class(hi)));
+    }
+    for _ in 0..cfg.n_members {
+        add(
+            &mut db,
+            Atom::member(obj(rng.random_range(0..cfg.n_objects)), class(rng.random_range(0..cfg.n_classes))),
+        );
+    }
+    for _ in 0..cfg.n_types {
+        add(
+            &mut db,
+            Atom::typ(
+                class(rng.random_range(0..cfg.n_classes)),
+                attr(rng.random_range(0..cfg.n_attrs)),
+                class(rng.random_range(0..cfg.n_classes)),
+            ),
+        );
+    }
+    for _ in 0..cfg.n_data {
+        add(
+            &mut db,
+            Atom::data(
+                obj(rng.random_range(0..cfg.n_objects)),
+                attr(rng.random_range(0..cfg.n_attrs)),
+                obj(rng.random_range(0..cfg.n_objects)),
+            ),
+        );
+    }
+    for _ in 0..cfg.n_mandatory {
+        add(
+            &mut db,
+            Atom::mandatory(
+                attr(rng.random_range(0..cfg.n_attrs)),
+                class(rng.random_range(0..cfg.n_classes)),
+            ),
+        );
+    }
+    for _ in 0..cfg.n_funct {
+        add(
+            &mut db,
+            Atom::funct(
+                attr(rng.random_range(0..cfg.n_attrs)),
+                class(rng.random_range(0..cfg.n_classes)),
+            ),
+        );
+    }
+    db
+}
+
+/// Checks that `hom` witnesses `q2 → q1`: useful for asserting generator
+/// guarantees in tests.
+pub fn is_witnessing_hom(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, hom: &Subst) -> bool {
+    q2.body().iter().all(|a| q1.body().contains(&a.apply(hom)))
+        && q2.head().iter().zip(q1.head()).all(|(&h2, &h1)| hom.apply(h2) == h1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_queries_are_valid_and_sized() {
+        let cfg = QueryGenConfig { n_atoms: 7, head_arity: 2, ..Default::default() };
+        for seed in 0..50 {
+            let q = random_query(&cfg, &mut rng(seed));
+            assert!(q.size() >= 7);
+            assert_eq!(q.arity(), 2);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = QueryGenConfig::default();
+        let a = random_query(&cfg, &mut rng(42));
+        let b = random_query(&cfg, &mut rng(42));
+        assert_eq!(a, b);
+        let c = random_query(&cfg, &mut rng(43));
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+    }
+
+    #[test]
+    fn cycle_injection_creates_infinite_chase_potential() {
+        use flogic_chase::has_infinite_chase_potential;
+        let cfg = QueryGenConfig { cycle: Some(3), ..Default::default() };
+        let q = random_query(&cfg, &mut rng(7));
+        assert!(has_infinite_chase_potential(q.body()));
+    }
+
+    #[test]
+    fn generalize_yields_classically_contained_pair() {
+        use flogic_hom::{find_hom, Target};
+        let cfg = QueryGenConfig { n_atoms: 6, head_arity: 1, ..Default::default() };
+        let gcfg = GeneralizeConfig::default();
+        for seed in 0..30 {
+            let q1 = random_query(&cfg, &mut rng(seed));
+            let q2 = generalize(&q1, &gcfg, &mut rng(seed + 1000));
+            // Chandra–Merlin witness must exist.
+            let target = Target::from_query(&q1);
+            let hom = find_hom(q2.body(), q2.head(), &target, q1.head());
+            assert!(hom.is_some(), "seed {seed}: no hom from {q2} into {q1}");
+        }
+    }
+
+    #[test]
+    fn generalize_from_chase_produces_valid_queries() {
+        let cfg = QueryGenConfig { n_atoms: 5, head_arity: 1, ..Default::default() };
+        let gcfg = GeneralizeConfig::default();
+        let mut produced = 0;
+        for seed in 0..30 {
+            let q1 = random_query(&cfg, &mut rng(seed));
+            if let Some(q2) = generalize_from_chase(&q1, &gcfg, &mut rng(seed + 2000)) {
+                produced += 1;
+                assert!(q2.size() >= 1);
+            }
+        }
+        assert!(produced > 20, "most seeds should produce a pair");
+    }
+
+    #[test]
+    fn random_databases_are_ground_and_sized() {
+        let cfg = DbGenConfig::default();
+        for seed in 0..20 {
+            let db = random_database(&cfg, &mut rng(seed));
+            assert!(db.len() > 0);
+            assert!(db.iter().all(|a| a.is_ground()));
+        }
+    }
+
+    #[test]
+    fn random_database_sub_hierarchy_is_acyclic() {
+        use flogic_model::Pred;
+        let cfg = DbGenConfig { n_sub_edges: 12, ..Default::default() };
+        let db = random_database(&cfg, &mut rng(9));
+        // Edges go from c_i to c_j with i < j: topological by construction.
+        for a in db.pred_facts(Pred::Sub) {
+            let lo: usize = a.arg(0).to_string()[1..].parse().unwrap();
+            let hi: usize = a.arg(1).to_string()[1..].parse().unwrap();
+            assert!(lo < hi);
+        }
+    }
+}

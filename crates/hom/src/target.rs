@@ -1,0 +1,160 @@
+//! Indexed homomorphism targets.
+
+use std::collections::HashMap;
+
+use flogic_chase::Chase;
+use flogic_model::{Atom, ConjunctiveQuery, Database, Pred};
+use flogic_term::Term;
+
+/// An indexed set of target atoms for homomorphism search.
+///
+/// Indexes: all atoms per predicate, and atom lists per
+/// `(predicate, argument position, term)` for selective retrieval when a
+/// pattern has a constant or an already-bound variable at some position.
+#[derive(Clone, Debug, Default)]
+pub struct Target {
+    atoms: Vec<Atom>,
+    by_pred: [Vec<usize>; 6],
+    by_pos: HashMap<(Pred, u8, Term), Vec<usize>>,
+}
+
+impl Target {
+    /// Builds a target from a list of atoms (duplicates are collapsed by
+    /// the caller if desired; duplicates only cost a little speed).
+    pub fn new(atoms: Vec<Atom>) -> Target {
+        let mut t =
+            Target { atoms: Vec::with_capacity(atoms.len()), ..Target::default() };
+        for a in atoms {
+            t.push(a);
+        }
+        t
+    }
+
+    /// The conjuncts of a finished chase as a target (Theorem 12's
+    /// right-hand side).
+    pub fn from_chase(chase: &Chase) -> Target {
+        Target::new(chase.conjuncts().map(|(_, a, _)| *a).collect())
+    }
+
+    /// The body of a query as a target (Chandra–Merlin's canonical
+    /// database: variables of `q` act as values).
+    pub fn from_query(q: &ConjunctiveQuery) -> Target {
+        Target::new(q.body().to_vec())
+    }
+
+    /// The facts of a database as a target.
+    pub fn from_database(db: &Database) -> Target {
+        Target::new(db.iter().copied().collect())
+    }
+
+    fn push(&mut self, a: Atom) {
+        let idx = self.atoms.len();
+        self.by_pred[a.pred().index()].push(idx);
+        for (pos, &term) in a.args().iter().enumerate() {
+            self.by_pos.entry((a.pred(), pos as u8, term)).or_default().push(idx);
+        }
+        self.atoms.push(a);
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// True if the target is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// All atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Returns the indices of candidate atoms for `pattern` (whose bound
+    /// positions are ground terms): the most selective index available.
+    /// Every returned candidate still needs a full unification check.
+    pub(crate) fn candidates(&self, pattern: &Atom) -> &[usize] {
+        let mut best: Option<&[usize]> = None;
+        for (pos, &term) in pattern.args().iter().enumerate() {
+            if term.is_var() {
+                continue;
+            }
+            let list: &[usize] = self
+                .by_pos
+                .get(&(pattern.pred(), pos as u8, term))
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
+            if best.is_none_or(|b| list.len() < b.len()) {
+                best = Some(list);
+            }
+        }
+        best.unwrap_or(&self.by_pred[pattern.pred().index()])
+    }
+
+    /// Number of candidates (used by the MRV heuristic).
+    pub(crate) fn candidate_count(&self, pattern: &Atom) -> usize {
+        self.candidates(pattern).len()
+    }
+
+    /// The atom at internal index `i`.
+    pub(crate) fn atom_at(&self, i: usize) -> &Atom {
+        &self.atoms[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: &str) -> Term {
+        Term::constant(n)
+    }
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    #[test]
+    fn index_narrows_candidates() {
+        let t = Target::new(vec![
+            Atom::member(c("a"), c("k")),
+            Atom::member(c("b"), c("k")),
+            Atom::member(c("a"), c("m")),
+            Atom::sub(c("a"), c("b")),
+        ]);
+        // member(a, X): position-0 index hits 2 atoms.
+        let pat = Atom::member(c("a"), v("X"));
+        assert_eq!(t.candidates(&pat).len(), 2);
+        // member(X, Y): falls back to the full member list.
+        let pat = Atom::member(v("X"), v("Y"));
+        assert_eq!(t.candidates(&pat).len(), 3);
+        // member(zzz, X): empty index list.
+        let pat = Atom::member(c("zzz"), v("X"));
+        assert!(t.candidates(&pat).is_empty());
+    }
+
+    #[test]
+    fn most_selective_position_chosen() {
+        let t = Target::new(vec![
+            Atom::data(c("o"), c("a"), c("1")),
+            Atom::data(c("o"), c("a"), c("2")),
+            Atom::data(c("o"), c("b"), c("1")),
+        ]);
+        // data(o, b, X): position 1 (b) has 1 candidate, position 0 (o) 3.
+        let pat = Atom::data(c("o"), c("b"), v("X"));
+        assert_eq!(t.candidates(&pat).len(), 1);
+    }
+
+    #[test]
+    fn from_query_uses_body() {
+        use flogic_term::Symbol;
+        let q = ConjunctiveQuery::new(
+            Symbol::intern("q"),
+            vec![v("X")],
+            vec![Atom::member(v("X"), v("Y")), Atom::sub(v("Y"), v("Z"))],
+        )
+        .unwrap();
+        let t = Target::from_query(&q);
+        assert_eq!(t.len(), 2);
+    }
+}

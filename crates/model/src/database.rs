@@ -1,0 +1,407 @@
+//! Ground databases over the `P_FL` schema.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use flogic_term::{Subst, Term};
+
+use crate::{sigma_fl, Atom, ModelError, Pred, RuleId, SigmaRule};
+
+/// A violation of a `Σ_FL` rule found in a database.
+#[derive(Clone, Debug)]
+pub struct SigmaViolation {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// The binding of the rule's body variables that witnesses the
+    /// violation.
+    pub binding: Subst,
+}
+
+impl fmt::Display for SigmaViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated under {}", self.rule, self.binding)
+    }
+}
+
+/// A finite database over `P_FL`: a set of *ground* atoms (arguments are
+/// constants or labelled nulls, never variables).
+///
+/// The paper considers *only* databases that satisfy `Σ_FL`
+/// (Section 2: "We shall consider only the databases that satisfy the above
+/// set of rules"); [`Database::find_violation`] checks that property
+/// directly. Databases that are not yet closed can be saturated with the
+/// `flogic-datalog` crate.
+#[derive(Clone, Default)]
+pub struct Database {
+    facts: HashSet<Atom>,
+    by_pred: [Vec<Atom>; 6],
+    /// Facts per `(predicate, argument position, term)` — the selective
+    /// index used by [`Database::match_body`]; keeps conjunctive-query
+    /// evaluation from degenerating into full scans per body atom.
+    by_pos: std::collections::HashMap<(Pred, u8, Term), Vec<Atom>>,
+}
+
+impl Database {
+    /// The empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Builds a database from an iterator of ground atoms.
+    pub fn from_atoms<I: IntoIterator<Item = Atom>>(atoms: I) -> Result<Self, ModelError> {
+        let mut db = Database::new();
+        for a in atoms {
+            db.insert(a)?;
+        }
+        Ok(db)
+    }
+
+    /// Inserts a ground atom. Returns `Ok(true)` if the atom was new,
+    /// `Ok(false)` if already present, and an error if the atom is not
+    /// ground.
+    pub fn insert(&mut self, atom: Atom) -> Result<bool, ModelError> {
+        if !atom.is_ground() {
+            return Err(ModelError::NonGroundFact { atom: atom.to_string() });
+        }
+        if self.facts.insert(atom) {
+            self.by_pred[atom.pred().index()].push(atom);
+            for (pos, &term) in atom.args().iter().enumerate() {
+                self.by_pos.entry((atom.pred(), pos as u8, term)).or_default().push(atom);
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Facts of `pred` whose argument at `pos` equals `term` (indexed).
+    pub fn facts_with(&self, pred: Pred, pos: usize, term: Term) -> &[Atom] {
+        self.by_pos
+            .get(&(pred, pos as u8, term))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Membership test.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.facts.contains(atom)
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True if the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Iterates over all facts in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Atom> {
+        self.facts.iter()
+    }
+
+    /// The facts of a single predicate, in insertion order.
+    pub fn pred_facts(&self, pred: Pred) -> &[Atom] {
+        &self.by_pred[pred.index()]
+    }
+
+    /// Enumerates homomorphisms from `pattern` (atoms that may contain
+    /// variables) into the facts of this database, extending the initial
+    /// binding `s`. Calls `found` for each complete binding; if `found`
+    /// returns `true`, enumeration stops early and `match_body` returns
+    /// `true`.
+    pub fn match_body(
+        &self,
+        pattern: &[Atom],
+        s: &mut Subst,
+        found: &mut dyn FnMut(&Subst) -> bool,
+    ) -> bool {
+        match pattern.split_first() {
+            None => found(s),
+            Some((first, rest)) => {
+                // Candidate retrieval: the most selective (position, term)
+                // index available. Bound pattern variables have ground
+                // images (facts are ground), so applying the binding is
+                // safe; unbound positions are skipped. Falls back to the
+                // per-predicate list when nothing is bound.
+                let mut best: Option<&[Atom]> = None;
+                for (pos, &arg) in first.args().iter().enumerate() {
+                    let effective = s.apply(arg);
+                    if effective.is_var() {
+                        continue;
+                    }
+                    let list = self.facts_with(first.pred(), pos, effective);
+                    if best.is_none_or(|b| list.len() < b.len()) {
+                        best = Some(list);
+                    }
+                }
+                let candidates = best.unwrap_or_else(|| self.pred_facts(first.pred()));
+                for fact in candidates {
+                    if let Some(ext) = unify_into(first, fact, s) {
+                        let mut s2 = ext;
+                        if self.match_body(rest, &mut s2, found) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Returns a violation of some rule of `Σ_FL`, or `None` if the
+    /// database satisfies all twelve rules.
+    pub fn find_violation(&self) -> Option<SigmaViolation> {
+        for rule in sigma_fl() {
+            let mut witness: Option<Subst> = None;
+            let mut s = Subst::new();
+            self.match_body(rule.body(), &mut s, &mut |binding| {
+                let violated = match rule {
+                    SigmaRule::Egd(e) => binding.apply(e.left) != binding.apply(e.right),
+                    SigmaRule::Tgd(t) => {
+                        let head = t.head.apply(binding);
+                        match t.existential {
+                            // Plain TGD: the instantiated head must be a fact.
+                            None => !self.contains(&head),
+                            // ρ5: some extension of the binding must map the
+                            // head to a fact (the head still contains the
+                            // existential variable).
+                            Some(_) => {
+                                let mut probe = binding.clone();
+                                !self.match_body(
+                                    std::slice::from_ref(&t.head),
+                                    &mut probe,
+                                    &mut |_| true,
+                                )
+                            }
+                        }
+                    }
+                };
+                if violated {
+                    witness = Some(binding.clone());
+                }
+                violated
+            });
+            if let Some(binding) = witness {
+                return Some(SigmaViolation { rule: rule.id(), binding });
+            }
+        }
+        None
+    }
+
+    /// True if the database satisfies every rule of `Σ_FL`.
+    pub fn satisfies_sigma(&self) -> bool {
+        self.find_violation().is_none()
+    }
+}
+
+/// Tries to extend `s` so that `pattern.apply(s) == fact`. Returns the
+/// extended substitution on success, `None` on clash. Constants must match
+/// exactly (Definition 1: a homomorphism fixes constants).
+fn unify_into(pattern: &Atom, fact: &Atom, s: &Subst) -> Option<Subst> {
+    debug_assert_eq!(pattern.pred(), fact.pred());
+    let mut out = s.clone();
+    for (p, f) in pattern.args().iter().zip(fact.args()) {
+        let p = out.apply(*p);
+        if p.is_var() {
+            out.bind(p, *f);
+        } else if p != *f {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut atoms: Vec<&Atom> = self.facts.iter().collect();
+        atoms.sort();
+        f.debug_set().entries(atoms).finish()
+    }
+}
+
+impl FromIterator<Atom> for Database {
+    /// Builds a database, panicking on non-ground atoms. Use
+    /// [`Database::from_atoms`] for a fallible version.
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        Database::from_atoms(iter).expect("non-ground atom in database literal")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: &str) -> Term {
+        Term::constant(n)
+    }
+
+    #[test]
+    fn insert_dedups_and_indexes() {
+        let mut db = Database::new();
+        let a = Atom::member(c("john"), c("student"));
+        assert!(db.insert(a).unwrap());
+        assert!(!db.insert(a).unwrap());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.pred_facts(Pred::Member), &[a]);
+        assert!(db.pred_facts(Pred::Sub).is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_non_ground() {
+        let mut db = Database::new();
+        let err = db.insert(Atom::member(Term::var("X"), c("c"))).unwrap_err();
+        assert!(matches!(err, ModelError::NonGroundFact { .. }));
+    }
+
+    #[test]
+    fn empty_database_satisfies_sigma() {
+        assert!(Database::new().satisfies_sigma());
+    }
+
+    #[test]
+    fn subclass_transitivity_violation_detected() {
+        // sub(a,b), sub(b,c) but no sub(a,c): ρ2 violated.
+        let db: Database =
+            [Atom::sub(c("a"), c("b")), Atom::sub(c("b"), c("cc"))].into_iter().collect();
+        let v = db.find_violation().unwrap();
+        assert_eq!(v.rule, RuleId::R2);
+        // Completing the closure fixes it.
+        let db: Database = [
+            Atom::sub(c("a"), c("b")),
+            Atom::sub(c("b"), c("cc")),
+            Atom::sub(c("a"), c("cc")),
+        ]
+        .into_iter()
+        .collect();
+        assert!(db.satisfies_sigma());
+    }
+
+    #[test]
+    fn egd_violation_detected() {
+        // funct(age, john) with two distinct ages: ρ4 violated.
+        let db: Database = [
+            Atom::funct(c("age"), c("john")),
+            Atom::data(c("john"), c("age"), c("33")),
+            Atom::data(c("john"), c("age"), c("34")),
+        ]
+        .into_iter()
+        .collect();
+        let v = db.find_violation().unwrap();
+        assert_eq!(v.rule, RuleId::R4);
+    }
+
+    #[test]
+    fn egd_satisfied_with_single_value() {
+        let db: Database = [
+            Atom::funct(c("age"), c("john")),
+            Atom::data(c("john"), c("age"), c("33")),
+        ]
+        .into_iter()
+        .collect();
+        assert!(db.satisfies_sigma());
+    }
+
+    #[test]
+    fn mandatory_violation_detected_and_fixed() {
+        let db: Database = [Atom::mandatory(c("name"), c("john"))].into_iter().collect();
+        let v = db.find_violation().unwrap();
+        assert_eq!(v.rule, RuleId::R5);
+        let db: Database = [
+            Atom::mandatory(c("name"), c("john")),
+            Atom::data(c("john"), c("name"), c("J")),
+        ]
+        .into_iter()
+        .collect();
+        assert!(db.satisfies_sigma());
+    }
+
+    #[test]
+    fn type_correctness_violation_detected() {
+        // type(john, age, number) + data(john, age, 33) requires
+        // member(33, number)  (ρ1).
+        let db: Database = [
+            Atom::typ(c("john"), c("age"), c("number")),
+            Atom::data(c("john"), c("age"), c("33")),
+        ]
+        .into_iter()
+        .collect();
+        let v = db.find_violation().unwrap();
+        assert_eq!(v.rule, RuleId::R1);
+        let db: Database = [
+            Atom::typ(c("john"), c("age"), c("number")),
+            Atom::data(c("john"), c("age"), c("33")),
+            Atom::member(c("33"), c("number")),
+        ]
+        .into_iter()
+        .collect();
+        assert!(db.satisfies_sigma());
+    }
+
+    #[test]
+    fn match_body_enumerates_all_bindings() {
+        let db: Database = [
+            Atom::member(c("john"), c("student")),
+            Atom::member(c("mary"), c("student")),
+        ]
+        .into_iter()
+        .collect();
+        let pattern = [Atom::member(Term::var("X"), c("student"))];
+        let mut hits = 0;
+        let mut s = Subst::new();
+        db.match_body(&pattern, &mut s, &mut |_| {
+            hits += 1;
+            false
+        });
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn match_body_early_exit() {
+        let db: Database = [
+            Atom::member(c("john"), c("student")),
+            Atom::member(c("mary"), c("student")),
+        ]
+        .into_iter()
+        .collect();
+        let pattern = [Atom::member(Term::var("X"), Term::var("Y"))];
+        let mut hits = 0;
+        let mut s = Subst::new();
+        let stopped = db.match_body(&pattern, &mut s, &mut |_| {
+            hits += 1;
+            true
+        });
+        assert!(stopped);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn match_body_join_on_shared_variable() {
+        let db: Database = [
+            Atom::member(c("john"), c("student")),
+            Atom::sub(c("student"), c("person")),
+            Atom::member(c("john"), c("person")),
+            Atom::sub(c("person"), c("agent")),
+            Atom::member(c("john"), c("agent")),
+            Atom::sub(c("student"), c("agent")),
+        ]
+        .into_iter()
+        .collect();
+        // member(O, C), sub(C, D): joins on C.
+        let pattern = [
+            Atom::member(Term::var("O"), Term::var("C")),
+            Atom::sub(Term::var("C"), Term::var("D")),
+        ];
+        let mut results: Vec<(Term, Term)> = vec![];
+        let mut s = Subst::new();
+        db.match_body(&pattern, &mut s, &mut |b| {
+            results.push((b.apply(Term::var("C")), b.apply(Term::var("D"))));
+            false
+        });
+        results.sort();
+        results.dedup();
+        assert_eq!(results.len(), 3, "{results:?}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Errors of the data-model layer.
+
+use std::fmt;
+
+use flogic_term::Term;
+
+use crate::Pred;
+
+/// Errors raised when constructing atoms, queries or databases.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// An atom was built with the wrong number of arguments.
+    ArityMismatch {
+        /// The predicate involved.
+        pred: Pred,
+        /// Its declared arity.
+        expected: usize,
+        /// The number of arguments supplied.
+        got: usize,
+    },
+    /// A query head uses a variable that does not occur in the body
+    /// (violates safety / range restriction).
+    UnsafeHeadVariable {
+        /// The offending variable.
+        var: Term,
+    },
+    /// A query has an empty body; conjunctive queries in the paper always
+    /// have at least one conjunct.
+    EmptyBody,
+    /// A non-ground atom was inserted into a database.
+    NonGroundFact {
+        /// The offending atom, displayed.
+        atom: String,
+    },
+    /// A query head contains a null; nulls only exist inside chases and
+    /// databases, never in user queries.
+    NullInQuery,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ArityMismatch { pred, expected, got } => {
+                write!(f, "predicate `{pred}` has arity {expected}, got {got} arguments")
+            }
+            ModelError::UnsafeHeadVariable { var } => {
+                write!(f, "head variable `{var}` does not occur in the query body")
+            }
+            ModelError::EmptyBody => write!(f, "conjunctive query has an empty body"),
+            ModelError::NonGroundFact { atom } => {
+                write!(f, "fact `{atom}` is not ground (contains variables)")
+            }
+            ModelError::NullInQuery => {
+                write!(f, "labelled nulls may not appear in user queries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = ModelError::ArityMismatch { pred: Pred::Member, expected: 2, got: 3 };
+        assert_eq!(e.to_string(), "predicate `member` has arity 2, got 3 arguments");
+        let e = ModelError::UnsafeHeadVariable { var: Term::var("X") };
+        assert!(e.to_string().contains('X'));
+        assert!(!ModelError::EmptyBody.to_string().is_empty());
+    }
+}

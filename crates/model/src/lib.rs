@@ -1,0 +1,35 @@
+//! Data model for F-logic Lite: the `P_FL` predicates, atoms, conjunctive
+//! meta-queries, ground databases and the rule set `Σ_FL`.
+//!
+//! Section 2 of the paper encodes F-logic Lite into six relational
+//! predicates (the set `P_FL`):
+//!
+//! | predicate | F-logic statement | meaning |
+//! |---|---|---|
+//! | `member(O, C)` | `O : C` | `O` is a member of class `C` |
+//! | `sub(C1, C2)` | `C1 :: C2` | `C1` is a subclass of `C2` |
+//! | `data(O, A, V)` | `O[A -> V]` | attribute `A` has value `V` on `O` |
+//! | `type(O, A, T)` | `O[A *=> T]` | attribute `A` has type `T` for `O` |
+//! | `mandatory(A, O)` | `O[A {1:*} *=> _]` | `A` must have a value on `O` |
+//! | `funct(A, O)` | `O[A {0:1} *=> _]` | `A` has at most one value on `O` |
+//!
+//! The semantics of the encoding is given by twelve rules (`Σ_FL`), exposed
+//! here as structured data by [`sigma_fl`]: ten plain Datalog rules, the
+//! equality-generating dependency ρ4 (functional attributes) and the
+//! existential tuple-generating dependency ρ5 (mandatory attributes).
+
+#![forbid(unsafe_code)]
+
+mod atom;
+mod database;
+mod error;
+mod predicate;
+mod query;
+mod sigma;
+
+pub use atom::Atom;
+pub use database::Database;
+pub use error::ModelError;
+pub use predicate::Pred;
+pub use query::ConjunctiveQuery;
+pub use sigma::{sigma_fl, Egd, RuleId, SigmaRule, Tgd, SIGMA_RULE_COUNT};

@@ -1,0 +1,111 @@
+//! The six predicates of the `P_FL` encoding.
+
+use std::fmt;
+
+/// A predicate of the `P_FL` schema (Section 2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Pred {
+    /// `member(O, C)` — object `O` is a member of class `C` (`O : C`).
+    Member,
+    /// `sub(C1, C2)` — class `C1` is a subclass of `C2` (`C1 :: C2`).
+    Sub,
+    /// `data(O, A, V)` — attribute `A` has value `V` on object `O`
+    /// (`O[A -> V]`).
+    Data,
+    /// `type(O, A, T)` — attribute `A` has type `T` for object `O`
+    /// (`O[A *=> T]`).
+    Type,
+    /// `mandatory(A, O)` — attribute `A` is mandatory on `O`
+    /// (`O[A {1:*} *=> _]`).
+    Mandatory,
+    /// `funct(A, O)` — attribute `A` is functional (at most one value) on
+    /// `O` (`O[A {0:1} *=> _]`).
+    Funct,
+}
+
+impl Pred {
+    /// All predicates, in a fixed canonical order.
+    pub const ALL: [Pred; 6] =
+        [Pred::Member, Pred::Sub, Pred::Data, Pred::Type, Pred::Mandatory, Pred::Funct];
+
+    /// The arity of the predicate (2 or 3).
+    pub const fn arity(self) -> usize {
+        match self {
+            Pred::Member | Pred::Sub | Pred::Mandatory | Pred::Funct => 2,
+            Pred::Data | Pred::Type => 3,
+        }
+    }
+
+    /// The lowercase name used in the paper and in the concrete syntax.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Pred::Member => "member",
+            Pred::Sub => "sub",
+            Pred::Data => "data",
+            Pred::Type => "type",
+            Pred::Mandatory => "mandatory",
+            Pred::Funct => "funct",
+        }
+    }
+
+    /// Parses a predicate name (as used in the low-level syntax).
+    pub fn from_name(name: &str) -> Option<Pred> {
+        Some(match name {
+            "member" => Pred::Member,
+            "sub" => Pred::Sub,
+            "data" => Pred::Data,
+            "type" => Pred::Type,
+            "mandatory" => Pred::Mandatory,
+            "funct" => Pred::Funct,
+            _ => return None,
+        })
+    }
+
+    /// A dense index in `0..6`, usable for per-predicate side tables.
+    pub const fn index(self) -> usize {
+        match self {
+            Pred::Member => 0,
+            Pred::Sub => 1,
+            Pred::Data => 2,
+            Pred::Type => 3,
+            Pred::Mandatory => 4,
+            Pred::Funct => 5,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities_match_the_paper() {
+        assert_eq!(Pred::Member.arity(), 2);
+        assert_eq!(Pred::Sub.arity(), 2);
+        assert_eq!(Pred::Data.arity(), 3);
+        assert_eq!(Pred::Type.arity(), 3);
+        assert_eq!(Pred::Mandatory.arity(), 2);
+        assert_eq!(Pred::Funct.arity(), 2);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        for p in Pred::ALL {
+            assert_eq!(Pred::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Pred::from_name("nope"), None);
+    }
+
+    #[test]
+    fn index_is_dense_and_consistent_with_all() {
+        for (i, p) in Pred::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+}

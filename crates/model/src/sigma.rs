@@ -1,0 +1,365 @@
+//! The rule set `Σ_FL` — the low-level encoding of F-logic Lite semantics
+//! (rules ρ1–ρ12 of Section 2 of the paper), as structured data.
+
+use std::fmt;
+use std::sync::LazyLock;
+
+use flogic_term::Term;
+
+use crate::Atom;
+
+/// Number of rules in `Σ_FL`.
+pub const SIGMA_RULE_COUNT: usize = 12;
+
+/// Identifier of a rule in `Σ_FL` (the paper's ρ1 … ρ12).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+#[allow(missing_docs)] // the variants are the paper's ρ1..ρ12, documented as a group
+pub enum RuleId {
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+}
+
+impl RuleId {
+    /// All rule ids in order ρ1 … ρ12.
+    pub const ALL: [RuleId; SIGMA_RULE_COUNT] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+        RuleId::R7,
+        RuleId::R8,
+        RuleId::R9,
+        RuleId::R10,
+        RuleId::R11,
+        RuleId::R12,
+    ];
+
+    /// Dense index in `0..12` (ρ1 ↦ 0).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// One-line description, matching the paper's annotations.
+    pub const fn description(self) -> &'static str {
+        match self {
+            RuleId::R1 => "type correctness",
+            RuleId::R2 => "subclass transitivity",
+            RuleId::R3 => "membership property",
+            RuleId::R4 => "functional attribute property (EGD)",
+            RuleId::R5 => "mandatory attributes have a value (existential TGD)",
+            RuleId::R6 => "inheritance of types from classes to members",
+            RuleId::R7 => "inheritance of types from classes to subclasses",
+            RuleId::R8 => "supertyping",
+            RuleId::R9 => "inheritance of mandatory attributes to subclasses",
+            RuleId::R10 => "inheritance of mandatory attributes to members",
+            RuleId::R11 => "inheritance of functional property to subclasses",
+            RuleId::R12 => "inheritance of functional property to members",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rho{}", self.index() + 1)
+    }
+}
+
+/// A tuple-generating dependency of `Σ_FL`.
+///
+/// `body → head`, where `existential` (if set) is a head variable that does
+/// not occur in the body — only ρ5 has one. Rule variables use reserved
+/// names starting with `#` so they can never clash with user variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tgd {
+    /// Which ρ this is.
+    pub id: RuleId,
+    /// Body atoms (1–2 atoms for the `Σ_FL` TGDs).
+    pub body: Vec<Atom>,
+    /// Head atom.
+    pub head: Atom,
+    /// The existentially quantified head variable, if any (ρ5 only).
+    pub existential: Option<Term>,
+}
+
+/// An equality-generating dependency of `Σ_FL` (only ρ4).
+///
+/// `body → left = right`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Egd {
+    /// Which ρ this is.
+    pub id: RuleId,
+    /// Body atoms.
+    pub body: Vec<Atom>,
+    /// Left-hand side of the equated pair (a body variable).
+    pub left: Term,
+    /// Right-hand side of the equated pair (a body variable).
+    pub right: Term,
+}
+
+/// A rule of `Σ_FL`: either a TGD or the EGD ρ4.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SigmaRule {
+    /// A tuple-generating dependency.
+    Tgd(Tgd),
+    /// The equality-generating dependency ρ4.
+    Egd(Egd),
+}
+
+impl SigmaRule {
+    /// The rule id.
+    pub fn id(&self) -> RuleId {
+        match self {
+            SigmaRule::Tgd(t) => t.id,
+            SigmaRule::Egd(e) => e.id,
+        }
+    }
+
+    /// The body atoms.
+    pub fn body(&self) -> &[Atom] {
+        match self {
+            SigmaRule::Tgd(t) => &t.body,
+            SigmaRule::Egd(e) => &e.body,
+        }
+    }
+
+    /// True for the plain-Datalog TGDs (everything except ρ4 and ρ5).
+    pub fn is_datalog(&self) -> bool {
+        match self {
+            SigmaRule::Tgd(t) => t.existential.is_none(),
+            SigmaRule::Egd(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for SigmaRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigmaRule::Tgd(t) => {
+                write!(f, "{} :- ", t.head)?;
+                for (i, a) in t.body.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ".  [{}]", t.id)
+            }
+            SigmaRule::Egd(e) => {
+                write!(f, "{} = {} :- ", e.left, e.right)?;
+                for (i, a) in e.body.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ".  [{}]", e.id)
+            }
+        }
+    }
+}
+
+fn rv(name: &str) -> Term {
+    // Reserved rule-variable namespace: user identifiers can never start
+    // with '#', so rule variables cannot capture query variables.
+    Term::var(&format!("#{name}"))
+}
+
+static SIGMA: LazyLock<[SigmaRule; SIGMA_RULE_COUNT]> = LazyLock::new(|| {
+    let (o, a, v, w, t, t1, c, c1, c3) = (
+        rv("O"),
+        rv("A"),
+        rv("V"),
+        rv("W"),
+        rv("T"),
+        rv("T1"),
+        rv("C"),
+        rv("C1"),
+        rv("C3"),
+    );
+    [
+        // ρ1: member(V,T) :- type(O,A,T), data(O,A,V).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R1,
+            body: vec![Atom::typ(o, a, t), Atom::data(o, a, v)],
+            head: Atom::member(v, t),
+            existential: None,
+        }),
+        // ρ2: sub(C1,C2) :- sub(C1,C3), sub(C3,C2).   (C2 named #C here)
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R2,
+            body: vec![Atom::sub(c1, c3), Atom::sub(c3, c)],
+            head: Atom::sub(c1, c),
+            existential: None,
+        }),
+        // ρ3: member(O,C1) :- member(O,C), sub(C,C1).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R3,
+            body: vec![Atom::member(o, c), Atom::sub(c, c1)],
+            head: Atom::member(o, c1),
+            existential: None,
+        }),
+        // ρ4: V = W :- data(O,A,V), data(O,A,W), funct(A,O).
+        SigmaRule::Egd(Egd {
+            id: RuleId::R4,
+            body: vec![Atom::data(o, a, v), Atom::data(o, a, w), Atom::funct(a, o)],
+            left: v,
+            right: w,
+        }),
+        // ρ5: ∃V data(O,A,V) :- mandatory(A,O).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R5,
+            body: vec![Atom::mandatory(a, o)],
+            head: Atom::data(o, a, v),
+            existential: Some(v),
+        }),
+        // ρ6: type(O,A,T) :- member(O,C), type(C,A,T).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R6,
+            body: vec![Atom::member(o, c), Atom::typ(c, a, t)],
+            head: Atom::typ(o, a, t),
+            existential: None,
+        }),
+        // ρ7: type(C,A,T) :- sub(C,C1), type(C1,A,T).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R7,
+            body: vec![Atom::sub(c, c1), Atom::typ(c1, a, t)],
+            head: Atom::typ(c, a, t),
+            existential: None,
+        }),
+        // ρ8: type(C,A,T) :- type(C,A,T1), sub(T1,T).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R8,
+            body: vec![Atom::typ(c, a, t1), Atom::sub(t1, t)],
+            head: Atom::typ(c, a, t),
+            existential: None,
+        }),
+        // ρ9: mandatory(A,C) :- sub(C,C1), mandatory(A,C1).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R9,
+            body: vec![Atom::sub(c, c1), Atom::mandatory(a, c1)],
+            head: Atom::mandatory(a, c),
+            existential: None,
+        }),
+        // ρ10: mandatory(A,O) :- member(O,C), mandatory(A,C).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R10,
+            body: vec![Atom::member(o, c), Atom::mandatory(a, c)],
+            head: Atom::mandatory(a, o),
+            existential: None,
+        }),
+        // ρ11: funct(A,C) :- sub(C,C1), funct(A,C1).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R11,
+            body: vec![Atom::sub(c, c1), Atom::funct(a, c1)],
+            head: Atom::funct(a, c),
+            existential: None,
+        }),
+        // ρ12: funct(A,O) :- member(O,C), funct(A,C).
+        SigmaRule::Tgd(Tgd {
+            id: RuleId::R12,
+            body: vec![Atom::member(o, c), Atom::funct(a, c)],
+            head: Atom::funct(a, o),
+            existential: None,
+        }),
+    ]
+});
+
+/// The twelve rules of `Σ_FL`, in paper order ρ1 … ρ12.
+pub fn sigma_fl() -> &'static [SigmaRule; SIGMA_RULE_COUNT] {
+    &SIGMA
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pred;
+
+    #[test]
+    fn twelve_rules_in_order() {
+        let rules = sigma_fl();
+        assert_eq!(rules.len(), 12);
+        for (i, r) in rules.iter().enumerate() {
+            assert_eq!(r.id().index(), i);
+        }
+    }
+
+    #[test]
+    fn rule_classification_matches_the_paper() {
+        let rules = sigma_fl();
+        // Ten Datalog rules, one EGD (ρ4), one existential TGD (ρ5).
+        let datalog = rules.iter().filter(|r| r.is_datalog()).count();
+        assert_eq!(datalog, 10);
+        assert!(matches!(&rules[3], SigmaRule::Egd(e) if e.id == RuleId::R4));
+        assert!(
+            matches!(&rules[4], SigmaRule::Tgd(t) if t.id == RuleId::R5 && t.existential.is_some())
+        );
+    }
+
+    #[test]
+    fn rho5_existential_not_in_body() {
+        let SigmaRule::Tgd(t) = &sigma_fl()[4] else { panic!("rho5 is a TGD") };
+        let ex = t.existential.unwrap();
+        assert!(t.body.iter().all(|a| a.vars().all(|v| v != ex)));
+        assert!(t.head.vars().any(|v| v == ex));
+    }
+
+    #[test]
+    fn rule_variables_are_reserved() {
+        for rule in sigma_fl() {
+            for atom in rule.body() {
+                for v in atom.vars() {
+                    let Term::Var(s) = v else { unreachable!() };
+                    assert!(s.as_str().starts_with('#'), "rule var {v} not reserved");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn egd_sides_occur_in_body() {
+        let SigmaRule::Egd(e) = &sigma_fl()[3] else { panic!("rho4 is the EGD") };
+        let body_vars: Vec<Term> = e.body.iter().flat_map(|a| a.vars()).collect();
+        assert!(body_vars.contains(&e.left));
+        assert!(body_vars.contains(&e.right));
+    }
+
+    #[test]
+    fn rho1_shape() {
+        let SigmaRule::Tgd(t) = &sigma_fl()[0] else { panic!() };
+        assert_eq!(t.head.pred(), Pred::Member);
+        assert_eq!(t.body[0].pred(), Pred::Type);
+        assert_eq!(t.body[1].pred(), Pred::Data);
+        // Head: member(V, T) where V is data's value and T is type's type.
+        assert_eq!(t.head.arg(0), t.body[1].arg(2));
+        assert_eq!(t.head.arg(1), t.body[0].arg(2));
+    }
+
+    #[test]
+    fn display_renders_rules() {
+        let s = sigma_fl()[0].to_string();
+        assert!(s.contains("member"), "{s}");
+        assert!(s.contains("[rho1]"), "{s}");
+        let s4 = sigma_fl()[3].to_string();
+        assert!(s4.contains('='), "{s4}");
+    }
+
+    #[test]
+    fn descriptions_exist() {
+        for id in RuleId::ALL {
+            assert!(!id.description().is_empty());
+        }
+        assert_eq!(RuleId::R4.to_string(), "rho4");
+    }
+}

@@ -1,0 +1,148 @@
+//! Abstract syntax tree for the surface language.
+
+use std::fmt;
+
+/// A surface-level term.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstTerm {
+    /// A constant (`john`, `33`).
+    Const(String),
+    /// A named variable (`X`, `Att`).
+    Var(String),
+    /// The anonymous variable `_`: each occurrence denotes a completely new
+    /// variable (paper, Section 2).
+    Anon,
+}
+
+impl fmt::Display for AstTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstTerm::Const(s) | AstTerm::Var(s) => f.write_str(s),
+            AstTerm::Anon => f.write_str("_"),
+        }
+    }
+}
+
+/// A cardinality constraint on a signature. F-logic Lite admits exactly two
+/// (Section 2): functional `{0:1}` and mandatory `{1:*}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Card {
+    /// `{0:1}` — at most one value (functional attribute).
+    ZeroOne,
+    /// `{1:*}` — at least one value (mandatory attribute).
+    OneStar,
+}
+
+impl fmt::Display for Card {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Card::ZeroOne => f.write_str("{0:1}"),
+            Card::OneStar => f.write_str("{1:*}"),
+        }
+    }
+}
+
+/// One specification inside a molecule's brackets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Spec {
+    /// `attr -> value` — a data atom.
+    DataVal {
+        /// The attribute.
+        attr: AstTerm,
+        /// The value.
+        value: AstTerm,
+    },
+    /// `attr [card] *=> typ` — a signature atom with optional cardinality.
+    Signature {
+        /// The attribute.
+        attr: AstTerm,
+        /// Optional cardinality constraint.
+        card: Option<Card>,
+        /// The type (may be `_`).
+        typ: AstTerm,
+    },
+}
+
+/// A surface-level atom: an F-logic molecule or a low-level predicate atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Molecule {
+    /// `obj : class`
+    Isa {
+        /// The object.
+        obj: AstTerm,
+        /// The class.
+        class: AstTerm,
+    },
+    /// `sub :: sup`
+    Sub {
+        /// The subclass.
+        sub: AstTerm,
+        /// The superclass.
+        sup: AstTerm,
+    },
+    /// `obj[spec, spec, …]` — one or more data/signature specs on an
+    /// object. F-logic allows several specs in one molecule
+    /// (`john[age->33, name->"J"]`); each expands to its own atom.
+    Specs {
+        /// The host object.
+        obj: AstTerm,
+        /// The specs inside the brackets.
+        specs: Vec<Spec>,
+    },
+    /// `member(x, y)` etc. — low-level predicate notation.
+    Pred {
+        /// Predicate name as written.
+        name: String,
+        /// Arguments.
+        args: Vec<AstTerm>,
+    },
+}
+
+/// A query/rule: `name(head) :- body.`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstQuery {
+    /// The head predicate name.
+    pub name: String,
+    /// The head terms.
+    pub head: Vec<AstTerm>,
+    /// The body molecules (each may expand to several `P_FL` atoms).
+    pub body: Vec<Molecule>,
+}
+
+/// A statement: a ground fact, a query, or an ad-hoc goal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Statement {
+    /// A fact (a molecule asserted to hold).
+    Fact(Molecule),
+    /// A query/rule.
+    Query(AstQuery),
+    /// An ad-hoc goal `?- body.` (the paper's interactive query form).
+    /// The answer tuple consists of the goal's named variables, in order
+    /// of first occurrence; variables starting with `_` are projected out.
+    Goal(Vec<Molecule>),
+}
+
+/// A parsed program: a sequence of statements.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The statements, in input order.
+    pub statements: Vec<Statement>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_display() {
+        assert_eq!(AstTerm::Const("john".into()).to_string(), "john");
+        assert_eq!(AstTerm::Var("X".into()).to_string(), "X");
+        assert_eq!(AstTerm::Anon.to_string(), "_");
+    }
+
+    #[test]
+    fn card_display() {
+        assert_eq!(Card::ZeroOne.to_string(), "{0:1}");
+        assert_eq!(Card::OneStar.to_string(), "{1:*}");
+    }
+}

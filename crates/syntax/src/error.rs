@@ -1,0 +1,154 @@
+//! Syntax and translation errors with source positions.
+
+use std::fmt;
+
+use flogic_model::ModelError;
+
+/// Position of an error in the input (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// What went wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyntaxErrorKind {
+    /// An unexpected character in the input.
+    UnexpectedChar(char),
+    /// The lexer or parser hit the end of input prematurely.
+    UnexpectedEof,
+    /// An unexpected token; `expected` describes what would have been legal.
+    UnexpectedToken {
+        /// Human description of what was expected.
+        expected: &'static str,
+        /// The offending token, rendered.
+        got: String,
+    },
+    /// An unknown predicate name in predicate notation.
+    UnknownPredicate(String),
+    /// A predicate atom with the wrong number of arguments.
+    PredicateArity {
+        /// The predicate name.
+        name: String,
+        /// Its declared arity.
+        expected: usize,
+        /// The number of arguments found.
+        got: usize,
+    },
+    /// A malformed cardinality constraint. F-logic Lite permits only
+    /// `{0:1}` and `{1:*}` (Section 2).
+    UnsupportedCardinality(String),
+    /// A variable (or anonymous `_`) occurred in a fact.
+    VariableInFact(String),
+    /// A signature fact `o[a*=>_]` without cardinality has no `P_FL`
+    /// encoding (nothing to assert).
+    EmptySignatureFact,
+    /// `parse_query` was given zero or more than one statement.
+    ExpectedSingleQuery {
+        /// Number of statements actually found.
+        got: usize,
+    },
+    /// `parse_queries` found a fact.
+    FactWhereQueryExpected,
+    /// The parsed query failed semantic validation (safety, arity, …).
+    Semantic(ModelError),
+}
+
+/// A syntax error with an optional source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SyntaxError {
+    /// Position, if attributable to a specific token.
+    pub pos: Option<Pos>,
+    /// The error kind.
+    pub kind: SyntaxErrorKind,
+}
+
+impl SyntaxError {
+    /// An error at a specific position.
+    pub fn at(line: u32, col: u32, kind: SyntaxErrorKind) -> SyntaxError {
+        SyntaxError { pos: Some(Pos { line, col }), kind }
+    }
+
+    /// An error about the whole input.
+    pub fn whole_input(kind: SyntaxErrorKind) -> SyntaxError {
+        SyntaxError { pos: None, kind }
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(pos) = self.pos {
+            write!(f, "at {pos}: ")?;
+        }
+        match &self.kind {
+            SyntaxErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            SyntaxErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            SyntaxErrorKind::UnexpectedToken { expected, got } => {
+                write!(f, "expected {expected}, got `{got}`")
+            }
+            SyntaxErrorKind::UnknownPredicate(name) => {
+                write!(f, "unknown predicate `{name}` (P_FL has member, sub, data, type, mandatory, funct)")
+            }
+            SyntaxErrorKind::PredicateArity { name, expected, got } => {
+                write!(f, "predicate `{name}` takes {expected} arguments, got {got}")
+            }
+            SyntaxErrorKind::UnsupportedCardinality(c) => {
+                write!(f, "unsupported cardinality `{{{c}}}`: F-logic Lite allows only {{0:1}} and {{1:*}}")
+            }
+            SyntaxErrorKind::VariableInFact(v) => {
+                write!(f, "variable `{v}` not allowed in a fact")
+            }
+            SyntaxErrorKind::EmptySignatureFact => {
+                write!(f, "signature fact with anonymous type and no cardinality asserts nothing")
+            }
+            SyntaxErrorKind::ExpectedSingleQuery { got } => {
+                write!(f, "expected exactly one query, found {got} statements")
+            }
+            SyntaxErrorKind::FactWhereQueryExpected => {
+                write!(f, "found a fact where a query was expected")
+            }
+            SyntaxErrorKind::Semantic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SyntaxError {}
+
+impl From<ModelError> for SyntaxError {
+    fn from(e: ModelError) -> SyntaxError {
+        SyntaxError::whole_input(SyntaxErrorKind::Semantic(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = SyntaxError::at(3, 7, SyntaxErrorKind::UnexpectedChar('$'));
+        assert_eq!(e.to_string(), "at 3:7: unexpected character `$`");
+    }
+
+    #[test]
+    fn display_without_position() {
+        let e = SyntaxError::whole_input(SyntaxErrorKind::UnexpectedEof);
+        assert_eq!(e.to_string(), "unexpected end of input");
+    }
+
+    #[test]
+    fn cardinality_message_names_the_fragment() {
+        let e = SyntaxError::whole_input(SyntaxErrorKind::UnsupportedCardinality("2:3".into()));
+        assert!(e.to_string().contains("{0:1}"));
+        assert!(e.to_string().contains("{1:*}"));
+    }
+}

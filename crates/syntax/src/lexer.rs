@@ -1,0 +1,359 @@
+//! Hand-written lexer for the F-logic Lite surface syntax.
+
+use std::fmt;
+
+use crate::error::{Pos, SyntaxError, SyntaxErrorKind};
+
+/// Kinds of tokens produced by the lexer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Lowercase identifier or number — a constant (`john`, `33`).
+    LIdent(String),
+    /// Uppercase/underscore identifier — a variable (`X`, `Att`, `_G1`).
+    UIdent(String),
+    /// A bare `_` — anonymous variable.
+    Anon,
+    /// `:-`
+    Implies,
+    /// `::`
+    SubSym,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `->`
+    Arrow,
+    /// `*=>`
+    SigArrow,
+    /// `*` (inside cardinality braces)
+    Star,
+    /// `?-` — goal prefix for ad-hoc queries.
+    Goal,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LIdent(s) | TokenKind::UIdent(s) => f.write_str(s),
+            TokenKind::Anon => f.write_str("_"),
+            TokenKind::Implies => f.write_str(":-"),
+            TokenKind::SubSym => f.write_str("::"),
+            TokenKind::Colon => f.write_str(":"),
+            TokenKind::Comma => f.write_str(","),
+            TokenKind::Dot => f.write_str("."),
+            TokenKind::LParen => f.write_str("("),
+            TokenKind::RParen => f.write_str(")"),
+            TokenKind::LBracket => f.write_str("["),
+            TokenKind::RBracket => f.write_str("]"),
+            TokenKind::LBrace => f.write_str("{"),
+            TokenKind::RBrace => f.write_str("}"),
+            TokenKind::Arrow => f.write_str("->"),
+            TokenKind::SigArrow => f.write_str("*=>"),
+            TokenKind::Star => f.write_str("*"),
+            TokenKind::Goal => f.write_str("?-"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and text, for identifiers).
+    pub kind: TokenKind,
+    /// Position of the first character.
+    pub pos: Pos,
+}
+
+/// The lexer: an iterator-style tokenizer over `&str`.
+pub struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer { chars: input.chars().peekable(), line: 1, col: 1 }
+    }
+
+    /// Tokenizes the whole input, appending a final [`TokenKind::Eof`].
+    pub fn tokenize(input: &'a str) -> Result<Vec<Token>, SyntaxError> {
+        let mut lexer = Lexer::new(input);
+        let mut out = Vec::new();
+        loop {
+            let tok = lexer.next_token()?;
+            let eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        while let Some(&c) = self.chars.peek() {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '%' {
+                // Line comment.
+                while let Some(&c) = self.chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err(&self, kind: SyntaxErrorKind) -> SyntaxError {
+        SyntaxError::at(self.line, self.col, kind)
+    }
+
+    /// Produces the next token.
+    pub fn next_token(&mut self) -> Result<Token, SyntaxError> {
+        self.skip_trivia();
+        let pos = Pos { line: self.line, col: self.col };
+        let Some(&c) = self.chars.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, pos });
+        };
+        let kind = match c {
+            ',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            '.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            '(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            ')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            '[' => {
+                self.bump();
+                TokenKind::LBracket
+            }
+            ']' => {
+                self.bump();
+                TokenKind::RBracket
+            }
+            '{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            '}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            ':' => {
+                self.bump();
+                match self.chars.peek() {
+                    Some(':') => {
+                        self.bump();
+                        TokenKind::SubSym
+                    }
+                    Some('-') => {
+                        self.bump();
+                        TokenKind::Implies
+                    }
+                    _ => TokenKind::Colon,
+                }
+            }
+            '-' => {
+                self.bump();
+                if self.chars.peek() == Some(&'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    return Err(self.err(SyntaxErrorKind::UnexpectedChar('-')));
+                }
+            }
+            '?' => {
+                self.bump();
+                if self.chars.peek() == Some(&'-') {
+                    self.bump();
+                    TokenKind::Goal
+                } else {
+                    return Err(self.err(SyntaxErrorKind::UnexpectedChar('?')));
+                }
+            }
+            '*' => {
+                self.bump();
+                if self.chars.peek() == Some(&'=') {
+                    self.bump();
+                    if self.chars.peek() == Some(&'>') {
+                        self.bump();
+                        TokenKind::SigArrow
+                    } else {
+                        return Err(self.err(SyntaxErrorKind::UnexpectedChar('=')));
+                    }
+                } else {
+                    TokenKind::Star
+                }
+            }
+            c if c.is_ascii_digit() || c.is_lowercase() => {
+                let name = self.lex_ident();
+                TokenKind::LIdent(name)
+            }
+            c if c.is_uppercase() || c == '_' => {
+                let name = self.lex_ident();
+                if name == "_" {
+                    TokenKind::Anon
+                } else {
+                    TokenKind::UIdent(name)
+                }
+            }
+            other => return Err(self.err(SyntaxErrorKind::UnexpectedChar(other))),
+        };
+        Ok(Token { kind, pos })
+    }
+
+    fn lex_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '\'' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_molecule_symbols() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("john:student."),
+            vec![LIdent("john".into()), Colon, LIdent("student".into()), Dot, Eof]
+        );
+        assert_eq!(
+            kinds("a::b"),
+            vec![LIdent("a".into()), SubSym, LIdent("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_arrows() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x[a->1]"),
+            vec![
+                LIdent("x".into()),
+                LBracket,
+                LIdent("a".into()),
+                Arrow,
+                LIdent("1".into()),
+                RBracket,
+                Eof
+            ]
+        );
+        assert!(kinds("p[a*=>t]").contains(&SigArrow));
+    }
+
+    #[test]
+    fn lexes_cardinality() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("{0:1}"),
+            vec![LBrace, LIdent("0".into()), Colon, LIdent("1".into()), RBrace, Eof]
+        );
+        assert_eq!(
+            kinds("{1,*}"),
+            vec![LBrace, LIdent("1".into()), Comma, Star, RBrace, Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_implies_vs_colon() {
+        use TokenKind::*;
+        assert_eq!(kinds(":- :: :"), vec![Implies, SubSym, Colon, Eof]);
+    }
+
+    #[test]
+    fn variables_vs_constants() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("X att _ _G1 33"),
+            vec![
+                UIdent("X".into()),
+                LIdent("att".into()),
+                Anon,
+                UIdent("_G1".into()),
+                LIdent("33".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn primed_variables_lex() {
+        use TokenKind::*;
+        assert_eq!(kinds("A''"), vec![UIdent("A''".into()), Eof]);
+    }
+
+    #[test]
+    fn comments_skipped_and_positions_tracked() {
+        let toks = Lexer::tokenize("% a comment\n  q").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::LIdent("q".into()));
+        assert_eq!(toks[0].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_errors_with_position() {
+        let err = Lexer::tokenize("a $ b").unwrap_err();
+        assert_eq!(err.pos.unwrap().col, 3);
+        assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedChar('$')));
+    }
+
+    #[test]
+    fn lone_dash_is_an_error() {
+        assert!(Lexer::tokenize("a - b").is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! Recursive-descent parser for the F-logic Lite surface syntax.
+
+use crate::ast::{AstQuery, AstTerm, Card, Molecule, Program, Spec, Statement};
+use crate::error::{SyntaxError, SyntaxErrorKind};
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Parses a whole program.
+pub fn parse(input: &str) -> Result<Program, SyntaxError> {
+    let tokens = Lexer::tokenize(input)?;
+    let mut p = Parser { tokens, idx: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx]
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        let i = (self.idx + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.idx].clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn unexpected(&self, expected: &'static str) -> SyntaxError {
+        let t = self.peek();
+        if t.kind == TokenKind::Eof {
+            SyntaxError::at(t.pos.line, t.pos.col, SyntaxErrorKind::UnexpectedEof)
+        } else {
+            SyntaxError::at(
+                t.pos.line,
+                t.pos.col,
+                SyntaxErrorKind::UnexpectedToken { expected, got: t.kind.to_string() },
+            )
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind, expected: &'static str) -> Result<Token, SyntaxError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(expected))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, SyntaxError> {
+        let mut statements = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            statements.push(self.statement()?);
+            // '.' terminates a statement; it may be omitted before EOF.
+            if self.peek().kind == TokenKind::Dot {
+                self.bump();
+            } else if self.peek().kind != TokenKind::Eof {
+                return Err(self.unexpected("`.` or end of input"));
+            }
+        }
+        Ok(Program { statements })
+    }
+
+    fn statement(&mut self) -> Result<Statement, SyntaxError> {
+        // An ad-hoc goal starts with `?-`.
+        if self.peek().kind == TokenKind::Goal {
+            self.bump();
+            return Ok(Statement::Goal(self.body()?));
+        }
+        // A query starts with `name(args) :-`; anything else is a fact.
+        if let TokenKind::LIdent(_) = &self.peek().kind {
+            if *self.peek2() == TokenKind::LParen {
+                let save = self.idx;
+                let (name, args) = self.pred_shape()?;
+                if self.peek().kind == TokenKind::Implies {
+                    self.bump();
+                    let body = self.body()?;
+                    return Ok(Statement::Query(AstQuery { name, head: args, body }));
+                }
+                // Not a rule: re-interpret as a predicate-notation fact.
+                self.idx = save;
+                let molecule = self.molecule()?;
+                return Ok(Statement::Fact(molecule));
+            }
+        }
+        Ok(Statement::Fact(self.molecule()?))
+    }
+
+    /// `name(t1, …, tn)` — used for both query heads and predicate atoms.
+    fn pred_shape(&mut self) -> Result<(String, Vec<AstTerm>), SyntaxError> {
+        let name = match self.bump().kind {
+            TokenKind::LIdent(s) => s,
+            _ => unreachable!("caller checked LIdent"),
+        };
+        self.eat(&TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                args.push(self.term()?);
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&TokenKind::RParen, "`)`")?;
+        Ok((name, args))
+    }
+
+    fn body(&mut self) -> Result<Vec<Molecule>, SyntaxError> {
+        let mut molecules = vec![self.molecule()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            molecules.push(self.molecule()?);
+        }
+        Ok(molecules)
+    }
+
+    fn term(&mut self) -> Result<AstTerm, SyntaxError> {
+        match &self.peek().kind {
+            TokenKind::LIdent(_) => {
+                let TokenKind::LIdent(s) = self.bump().kind else { unreachable!() };
+                Ok(AstTerm::Const(s))
+            }
+            TokenKind::UIdent(_) => {
+                let TokenKind::UIdent(s) = self.bump().kind else { unreachable!() };
+                Ok(AstTerm::Var(s))
+            }
+            TokenKind::Anon => {
+                self.bump();
+                Ok(AstTerm::Anon)
+            }
+            _ => Err(self.unexpected("a term (constant, variable or `_`)")),
+        }
+    }
+
+    fn molecule(&mut self) -> Result<Molecule, SyntaxError> {
+        // Predicate notation: lowercase name immediately followed by '('.
+        if let TokenKind::LIdent(_) = &self.peek().kind {
+            if *self.peek2() == TokenKind::LParen {
+                let (name, args) = self.pred_shape()?;
+                return Ok(Molecule::Pred { name, args });
+            }
+        }
+        let subject = self.term()?;
+        match &self.peek().kind {
+            TokenKind::Colon => {
+                self.bump();
+                let class = self.term()?;
+                Ok(Molecule::Isa { obj: subject, class })
+            }
+            TokenKind::SubSym => {
+                self.bump();
+                let sup = self.term()?;
+                Ok(Molecule::Sub { sub: subject, sup })
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut specs = vec![self.spec()?];
+                while self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                    specs.push(self.spec()?);
+                }
+                self.eat(&TokenKind::RBracket, "`]`")?;
+                Ok(Molecule::Specs { obj: subject, specs })
+            }
+            _ => Err(self.unexpected("`:`, `::` or `[`")),
+        }
+    }
+
+    fn spec(&mut self) -> Result<Spec, SyntaxError> {
+        let attr = self.term()?;
+        match &self.peek().kind {
+            TokenKind::Arrow => {
+                self.bump();
+                let value = self.term()?;
+                Ok(Spec::DataVal { attr, value })
+            }
+            TokenKind::LBrace => {
+                let card = self.cardinality()?;
+                self.eat(&TokenKind::SigArrow, "`*=>`")?;
+                let typ = self.term()?;
+                Ok(Spec::Signature { attr, card: Some(card), typ })
+            }
+            TokenKind::SigArrow => {
+                self.bump();
+                let typ = self.term()?;
+                Ok(Spec::Signature { attr, card: None, typ })
+            }
+            _ => Err(self.unexpected("`->`, `{` or `*=>`")),
+        }
+    }
+
+    /// `{0:1}` or `{1:*}`; the paper also writes `{1,*}`, so both `:` and
+    /// `,` separators are accepted. Anything else is rejected — F-logic
+    /// Lite allows only these two cardinalities.
+    fn cardinality(&mut self) -> Result<Card, SyntaxError> {
+        let open = self.eat(&TokenKind::LBrace, "`{`")?;
+        let lo = match &self.peek().kind {
+            TokenKind::LIdent(s) if s == "0" || s == "1" => {
+                let s = s.clone();
+                self.bump();
+                s
+            }
+            _ => return Err(self.unexpected("`0` or `1`")),
+        };
+        match &self.peek().kind {
+            TokenKind::Colon | TokenKind::Comma => {
+                self.bump();
+            }
+            _ => return Err(self.unexpected("`:` or `,`")),
+        }
+        let hi = match &self.peek().kind {
+            TokenKind::LIdent(s) if s == "1" => {
+                self.bump();
+                "1".to_owned()
+            }
+            TokenKind::Star => {
+                self.bump();
+                "*".to_owned()
+            }
+            _ => return Err(self.unexpected("`1` or `*`")),
+        };
+        self.eat(&TokenKind::RBrace, "`}`")?;
+        match (lo.as_str(), hi.as_str()) {
+            ("0", "1") => Ok(Card::ZeroOne),
+            ("1", "*") => Ok(Card::OneStar),
+            _ => Err(SyntaxError::at(
+                open.pos.line,
+                open.pos.col,
+                SyntaxErrorKind::UnsupportedCardinality(format!("{lo}:{hi}")),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_isa_and_sub_facts() {
+        let p = parse("john:student. freshman::student.").unwrap();
+        assert_eq!(p.statements.len(), 2);
+        assert!(matches!(&p.statements[0], Statement::Fact(Molecule::Isa { .. })));
+        assert!(matches!(&p.statements[1], Statement::Fact(Molecule::Sub { .. })));
+    }
+
+    #[test]
+    fn parses_multi_spec_molecule() {
+        let p = parse("john[age->33, name->j].").unwrap();
+        let Statement::Fact(Molecule::Specs { specs, .. }) = &p.statements[0] else {
+            panic!("expected specs molecule");
+        };
+        assert_eq!(specs.len(), 2);
+    }
+
+    #[test]
+    fn parses_signature_with_cardinalities() {
+        let p = parse("person[age {0:1} *=> number]. person[name {1,*} *=> string].").unwrap();
+        let Statement::Fact(Molecule::Specs { specs, .. }) = &p.statements[0] else {
+            panic!()
+        };
+        assert_eq!(
+            specs[0],
+            Spec::Signature {
+                attr: AstTerm::Const("age".into()),
+                card: Some(Card::ZeroOne),
+                typ: AstTerm::Const("number".into())
+            }
+        );
+        let Statement::Fact(Molecule::Specs { specs, .. }) = &p.statements[1] else {
+            panic!()
+        };
+        assert!(matches!(specs[0], Spec::Signature { card: Some(Card::OneStar), .. }));
+    }
+
+    #[test]
+    fn rejects_unsupported_cardinality() {
+        let err = parse("person[kids {1:1} *=> person].").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedToken { .. })
+            || matches!(err.kind, SyntaxErrorKind::UnsupportedCardinality(_)));
+        let err = parse("person[kids {0,*} *=> person].").unwrap_err();
+        assert!(
+            matches!(&err.kind, SyntaxErrorKind::UnsupportedCardinality(s) if s == "0:*"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn parses_query_with_molecule_body() {
+        let p = parse("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].").unwrap();
+        let Statement::Query(q) = &p.statements[0] else { panic!() };
+        assert_eq!(q.name, "q");
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.body.len(), 3);
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let p = parse("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
+        let Statement::Query(q) = &p.statements[0] else { panic!() };
+        assert!(q.head.is_empty());
+        assert_eq!(q.body.len(), 3);
+    }
+
+    #[test]
+    fn predicate_fact_vs_rule_disambiguation() {
+        let p = parse("member(john, student).").unwrap();
+        assert!(matches!(
+            &p.statements[0],
+            Statement::Fact(Molecule::Pred { name, .. }) if name == "member"
+        ));
+    }
+
+    #[test]
+    fn final_dot_optional() {
+        assert!(parse("q(X) :- member(X, c)").is_ok());
+    }
+
+    #[test]
+    fn missing_separator_is_an_error() {
+        let err = parse("john:student mary:student.").unwrap_err();
+        assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedToken { .. }));
+    }
+
+    #[test]
+    fn eof_inside_molecule_is_an_error() {
+        let err = parse("john[age->").unwrap_err();
+        assert_eq!(err.kind, SyntaxErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn variables_allowed_anywhere_in_queries() {
+        // "Variables can occur anywhere an object, an attribute, or a class
+        // is allowed" (Section 2).
+        let p = parse("q(Att, Val) :- student[Att*=>string], john[Att->Val].").unwrap();
+        let Statement::Query(q) = &p.statements[0] else { panic!() };
+        assert_eq!(q.body.len(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Pretty-printers: render queries back in predicate or F-logic notation.
+
+use std::fmt::Write as _;
+
+use flogic_model::{Atom, ConjunctiveQuery, Pred};
+
+/// Renders a query in low-level predicate notation, e.g.
+/// `q(A, B) :- type(T1, A, T2), sub(T2, T3).` — identical to the query's
+/// `Display` implementation.
+pub fn query_to_predicates(q: &ConjunctiveQuery) -> String {
+    q.to_string()
+}
+
+/// Renders a query using F-logic surface notation where possible, e.g.
+/// `q(A, B) :- T1[A *=> T2], T2 :: T3.`
+///
+/// A `mandatory(A, C)` (resp. `funct(A, C)`) atom is merged with a matching
+/// `type(C, A, T)` atom into the single molecule `C[A {1:*} *=> T]`
+/// (resp. `{0:1}`), mirroring how the encoding of Section 2 splits
+/// signature statements. A cardinality atom without a matching type atom is
+/// rendered with an anonymous type (`C[A {1:*} *=> _]`).
+///
+/// This rendering is for human consumption: parsing it back yields a query
+/// that is *semantically equivalent* but may differ syntactically (the `_`
+/// re-parses as a fresh variable).
+pub fn query_to_flogic(q: &ConjunctiveQuery) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}(", q.name());
+    for (i, t) in q.head().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{t}");
+    }
+    out.push_str(") :- ");
+
+    let body = q.body();
+    let mut consumed = vec![false; body.len()];
+    let mut first = true;
+    let mut emit = |s: String, out: &mut String| {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&s);
+    };
+
+    for i in 0..body.len() {
+        if consumed[i] {
+            continue;
+        }
+        let a = &body[i];
+        let rendered = match a.pred() {
+            Pred::Member => format!("{} : {}", a.arg(0), a.arg(1)),
+            Pred::Sub => format!("{} :: {}", a.arg(0), a.arg(1)),
+            Pred::Data => format!("{}[{} -> {}]", a.arg(0), a.arg(1), a.arg(2)),
+            Pred::Type => format!("{}[{} *=> {}]", a.arg(0), a.arg(1), a.arg(2)),
+            Pred::Mandatory | Pred::Funct => {
+                let card = if a.pred() == Pred::Mandatory { "{1:*}" } else { "{0:1}" };
+                let (attr, obj) = (a.arg(0), a.arg(1));
+                // Merge with a matching type(obj, attr, T) if one exists.
+                let partner = body.iter().enumerate().position(|(j, b)| {
+                    !consumed[j]
+                        && b.pred() == Pred::Type
+                        && b.arg(0) == obj
+                        && b.arg(1) == attr
+                });
+                match partner {
+                    Some(j) => {
+                        consumed[j] = true;
+                        format!("{obj}[{attr} {card} *=> {}]", body[j].arg(2))
+                    }
+                    None => format!("{obj}[{attr} {card} *=> _]"),
+                }
+            }
+        };
+        emit(rendered, &mut out);
+        consumed[i] = true;
+    }
+    out.push('.');
+    out
+}
+
+/// Renders a single `P_FL` atom in F-logic notation (no merging).
+pub fn atom_to_flogic(a: &Atom) -> String {
+    match a.pred() {
+        Pred::Member => format!("{} : {}", a.arg(0), a.arg(1)),
+        Pred::Sub => format!("{} :: {}", a.arg(0), a.arg(1)),
+        Pred::Data => format!("{}[{} -> {}]", a.arg(0), a.arg(1), a.arg(2)),
+        Pred::Type => format!("{}[{} *=> {}]", a.arg(0), a.arg(1), a.arg(2)),
+        Pred::Mandatory => format!("{}[{} {{1:*}} *=> _]", a.arg(1), a.arg(0)),
+        Pred::Funct => format!("{}[{} {{0:1}} *=> _]", a.arg(1), a.arg(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn flogic_rendering_of_basic_molecules() {
+        let q = parse_query("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>X].").unwrap();
+        assert_eq!(
+            query_to_flogic(&q),
+            "q(A, B) :- T1[A *=> T2], T2 :: T3, T3[B *=> X]."
+        );
+    }
+
+    #[test]
+    fn cardinality_atoms_merge_with_type() {
+        let q = parse_query(
+            "q(Att,Class,Type) :- mandatory(Att, Class), type(Class, Att, Type), member(X, Class).",
+        )
+        .unwrap();
+        assert_eq!(
+            query_to_flogic(&q),
+            "q(Att, Class, Type) :- Class[Att {1:*} *=> Type], X : Class."
+        );
+    }
+
+    #[test]
+    fn lone_cardinality_uses_anonymous_type() {
+        let q = parse_query("q(A) :- funct(A, C), member(O, C), data(O, A, V).").unwrap();
+        let s = query_to_flogic(&q);
+        assert!(s.contains("C[A {0:1} *=> _]"), "{s}");
+    }
+
+    #[test]
+    fn flogic_rendering_re_parses_equivalently() {
+        let q = parse_query("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>X].").unwrap();
+        let q2 = parse_query(&query_to_flogic(&q)).unwrap();
+        assert_eq!(q.body(), q2.body());
+        assert_eq!(q.head(), q2.head());
+    }
+
+    #[test]
+    fn atom_rendering() {
+        use flogic_term::Term;
+        let a = Atom::mandatory(Term::constant("name"), Term::constant("person"));
+        assert_eq!(atom_to_flogic(&a), "person[name {1:*} *=> _]");
+    }
+}

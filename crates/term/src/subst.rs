@@ -1,0 +1,248 @@
+//! Substitutions — finite maps from terms to terms.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::Term;
+
+/// A substitution: a finite map from terms to terms, identity elsewhere.
+///
+/// Substitutions play two roles in this library:
+///
+/// * **Homomorphisms** (Definition 1 of the paper): map every variable to a
+///   value and every constant to itself. The homomorphism search in
+///   `flogic-hom` produces these; [`Subst::is_homomorphism_binding`] checks
+///   the constant-fixing side condition when a binding is added.
+/// * **Merge maps** produced by ρ4 (the EGD): when the chase equates two
+///   terms it rewrites the larger into the smaller everywhere; the rewrite
+///   is a substitution whose keys may be variables *or* nulls.
+///
+/// Bindings are *not* applied transitively by default: `apply` performs a
+/// single lookup. Use [`Subst::normalize`] to collapse chains such as
+/// `X ↦ Y, Y ↦ c` into `X ↦ c, Y ↦ c` (needed when several EGD merges
+/// accumulate).
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: HashMap<Term, Term>,
+}
+
+impl Subst {
+    /// The empty (identity) substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// Creates a substitution with a single binding.
+    pub fn singleton(from: Term, to: Term) -> Self {
+        let mut s = Subst::new();
+        s.bind(from, to);
+        s
+    }
+
+    /// Number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if this is the identity substitution.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Adds the binding `from ↦ to`, replacing any previous binding of
+    /// `from`. Binding a term to itself is a no-op (kept out of the map so
+    /// that `is_empty` means identity).
+    pub fn bind(&mut self, from: Term, to: Term) {
+        if from == to {
+            self.map.remove(&from);
+        } else {
+            self.map.insert(from, to);
+        }
+    }
+
+    /// Adds the binding `from ↦ to` even when `from == to`.
+    ///
+    /// The homomorphism search needs to remember that a source variable has
+    /// been *decided* — including the case where its image happens to be the
+    /// identically-named variable of the target (queries fold into
+    /// themselves during minimisation). [`Subst::bind`] would elide such an
+    /// entry and a later conjunct could silently re-bind the variable.
+    pub fn bind_strict(&mut self, from: Term, to: Term) {
+        self.map.insert(from, to);
+    }
+
+    /// Looks up the image of `t`, if explicitly bound.
+    pub fn get(&self, t: Term) -> Option<Term> {
+        self.map.get(&t).copied()
+    }
+
+    /// Applies the substitution to a term (single lookup, identity if
+    /// unbound).
+    pub fn apply(&self, t: Term) -> Term {
+        self.map.get(&t).copied().unwrap_or(t)
+    }
+
+    /// Applies the substitution to every term in a slice, in place.
+    pub fn apply_slice(&self, terms: &mut [Term]) {
+        for t in terms {
+            *t = self.apply(*t);
+        }
+    }
+
+    /// Collapses chains of bindings (`X ↦ Y, Y ↦ c` becomes `X ↦ c`).
+    ///
+    /// Panics are avoided on cyclic chains (`X ↦ Y, Y ↦ X`) by stopping
+    /// after `len` hops; such cycles cannot arise from ρ4 merges because the
+    /// EGD always rewrites the lexicographically larger term into the
+    /// smaller one, but `normalize` is safe on arbitrary input anyway.
+    pub fn normalize(&mut self) {
+        let keys: Vec<Term> = self.map.keys().copied().collect();
+        let budget = self.map.len();
+        for k in keys {
+            let mut v = self.apply(k);
+            let mut hops = 0;
+            while hops < budget {
+                let next = self.apply(v);
+                if next == v {
+                    break;
+                }
+                v = next;
+                hops += 1;
+            }
+            self.bind(k, v);
+        }
+    }
+
+    /// True if every binding fixes constants (i.e. no rigid constant is
+    /// bound to a different term) — the side condition for the map to be a
+    /// homomorphism in the sense of Definition 1.
+    pub fn is_homomorphism_binding(&self) -> bool {
+        self.map.iter().all(|(k, _)| !k.is_const())
+    }
+
+    /// Iterates over the explicit bindings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Term, Term)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Composition: `self.compose(other)` maps `t` to `other.apply(self.apply(t))`.
+    ///
+    /// All keys of both substitutions appear in the result.
+    pub fn compose(&self, other: &Subst) -> Subst {
+        let mut out = Subst::new();
+        for (k, v) in self.iter() {
+            out.bind(k, other.apply(v));
+        }
+        for (k, v) in other.iter() {
+            if !out.map.contains_key(&k) && self.get(k).is_none() {
+                out.bind(k, v);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut pairs: Vec<(Term, Term)> = self.iter().collect();
+        pairs.sort();
+        write!(f, "{{")?;
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} -> {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn c(n: &str) -> Term {
+        Term::constant(n)
+    }
+
+    #[test]
+    fn identity_on_unbound() {
+        let s = Subst::new();
+        assert_eq!(s.apply(v("X")), v("X"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bind_and_apply() {
+        let mut s = Subst::new();
+        s.bind(v("X"), c("john"));
+        assert_eq!(s.apply(v("X")), c("john"));
+        assert_eq!(s.apply(v("Y")), v("Y"));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn self_binding_is_identity() {
+        let mut s = Subst::new();
+        s.bind(v("X"), v("X"));
+        assert!(s.is_empty());
+        s.bind(v("X"), c("a"));
+        s.bind(v("X"), v("X"));
+        assert!(s.is_empty(), "rebinding to self clears the entry");
+    }
+
+    #[test]
+    fn apply_slice_rewrites_in_place() {
+        let mut s = Subst::new();
+        s.bind(v("X"), c("a"));
+        let mut terms = [v("X"), v("Y"), c("b")];
+        s.apply_slice(&mut terms);
+        assert_eq!(terms, [c("a"), v("Y"), c("b")]);
+    }
+
+    #[test]
+    fn normalize_collapses_chains() {
+        let mut s = Subst::new();
+        s.bind(v("X"), v("Y"));
+        s.bind(v("Y"), c("a"));
+        s.normalize();
+        assert_eq!(s.apply(v("X")), c("a"));
+        assert_eq!(s.apply(v("Y")), c("a"));
+    }
+
+    #[test]
+    fn normalize_survives_cycles() {
+        let mut s = Subst::new();
+        s.bind(v("X"), v("Y"));
+        s.bind(v("Y"), v("X"));
+        s.normalize(); // must terminate
+        let img = s.apply(v("X"));
+        assert!(img == v("X") || img == v("Y"));
+    }
+
+    #[test]
+    fn compose_applies_left_then_right() {
+        let left = Subst::singleton(v("X"), v("Y"));
+        let right = Subst::singleton(v("Y"), c("a"));
+        let comp = left.compose(&right);
+        assert_eq!(comp.apply(v("X")), c("a"));
+        assert_eq!(comp.apply(v("Y")), c("a"));
+    }
+
+    #[test]
+    fn homomorphism_binding_check() {
+        let ok = Subst::singleton(v("X"), c("a"));
+        assert!(ok.is_homomorphism_binding());
+        let bad = Subst::singleton(c("a"), c("b"));
+        assert!(!bad.is_homomorphism_binding());
+    }
+}

@@ -1,0 +1,139 @@
+//! Interned string symbols.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::LazyLock;
+
+use parking_lot::RwLock;
+
+/// An interned string.
+///
+/// Symbols are cheap to copy, compare and hash (a single `u32`), and can be
+/// resolved back to their string form with [`Symbol::as_str`]. Interning is
+/// global and lock-protected; interned strings live for the duration of the
+/// process (they are leaked once, on first interning — the symbol universe
+/// of a containment workload is small and bounded, so this is the usual
+/// compiler-style trade-off).
+///
+/// Equality and hashing are by id. The [`Ord`] implementation compares the
+/// *string forms* lexicographically, because the chase's EGD rule ρ4 must
+/// pick "the lexicographically smaller" of two constants (Definition 2 of
+/// the paper) and that choice must be stable across runs regardless of
+/// interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+static INTERNER: LazyLock<RwLock<Interner>> = LazyLock::new(|| {
+    RwLock::new(Interner { by_name: HashMap::new(), names: Vec::new() })
+});
+
+impl Symbol {
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(name: &str) -> Symbol {
+        {
+            let interner = INTERNER.read();
+            if let Some(&id) = interner.by_name.get(name) {
+                return Symbol(id);
+            }
+        }
+        let mut interner = INTERNER.write();
+        if let Some(&id) = interner.by_name.get(name) {
+            return Symbol(id);
+        }
+        let owned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(interner.names.len()).expect("symbol table overflow");
+        interner.names.push(owned);
+        interner.by_name.insert(owned, id);
+        Symbol(id)
+    }
+
+    /// Returns the string this symbol was interned from.
+    pub fn as_str(self) -> &'static str {
+        INTERNER.read().names[self.0 as usize]
+    }
+
+    /// The raw id, useful for dense side tables.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("john");
+        let b = Symbol::intern("john");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "john");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        assert_ne!(Symbol::intern("alpha"), Symbol::intern("beta"));
+    }
+
+    #[test]
+    fn order_is_lexicographic_not_interning_order() {
+        // Intern in reverse lexicographic order on purpose.
+        let z = Symbol::intern("zzz_order_test");
+        let a = Symbol::intern("aaa_order_test");
+        assert!(a < z);
+        assert!(z > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let s = Symbol::intern("person");
+        assert_eq!(s.to_string(), "person");
+        assert_eq!(format!("{s:?}"), "Symbol(\"person\")");
+    }
+
+    #[test]
+    fn from_str_interns() {
+        let s: Symbol = "student".into();
+        assert_eq!(s, Symbol::intern("student"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Terms: constants, labelled nulls and variables.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{NullId, Symbol};
+
+/// A term of the F-logic Lite encoding.
+///
+/// Terms populate the arguments of `P_FL` atoms. Three kinds exist:
+///
+/// * [`Term::Const`] — a *rigid* constant from the query or database
+///   (`john`, `person`, `33`). The chase fails if ρ4 tries to equate two
+///   distinct rigid constants.
+/// * [`Term::Null`] — a labelled null: a "fresh constant" invented by rule
+///   ρ5. Nulls are *soft*: ρ4 may merge a null into any other term (this is
+///   the universal-solution semantics of Fagin et al., which the paper's
+///   Theorem 4 relies on).
+/// * [`Term::Var`] — a query variable. Variables occur in queries and in
+///   the chase of a query (the chase treats `body(q)` as a database whose
+///   variables are values that may later be merged by ρ4).
+///
+/// The derived-by-hand [`Ord`] realises the paper's lexicographic
+/// convention: constants ≺ nulls ≺ variables; constants and variables
+/// compare by name, nulls by invention order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A rigid constant.
+    Const(Symbol),
+    /// A labelled null ("fresh constant" of ρ5).
+    Null(NullId),
+    /// A query variable.
+    Var(Symbol),
+}
+
+impl Term {
+    /// Convenience constructor for a constant.
+    pub fn constant(name: &str) -> Term {
+        Term::Const(Symbol::intern(name))
+    }
+
+    /// Convenience constructor for a variable.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Symbol::intern(name))
+    }
+
+    /// Is this a rigid constant?
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Is this a labelled null?
+    pub fn is_null(self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// Is this a variable?
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Is this term ground (constant or null), i.e. allowed in a database?
+    pub fn is_ground(self) -> bool {
+        !self.is_var()
+    }
+
+    /// Rank used by the lexicographic order: constants ≺ nulls ≺ variables.
+    fn rank(self) -> u8 {
+        match self {
+            Term::Const(_) => 0,
+            Term::Null(_) => 1,
+            Term::Var(_) => 2,
+        }
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Term {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Term::Const(a), Term::Const(b)) => a.cmp(b),
+            (Term::Null(a), Term::Null(b)) => a.cmp(b),
+            (Term::Var(a), Term::Var(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(s) => write!(f, "Const({})", s.as_str()),
+            Term::Null(n) => write!(f, "Null({})", n.0),
+            Term::Var(s) => write!(f, "Var({})", s.as_str()),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(s) => f.write_str(s.as_str()),
+            Term::Null(n) => write!(f, "{n}"),
+            Term::Var(s) => f.write_str(s.as_str()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullGen;
+
+    #[test]
+    fn constants_precede_nulls_precede_vars() {
+        let mut g = NullGen::new();
+        let c = Term::constant("zzz");
+        let n = Term::Null(g.fresh());
+        let v = Term::var("AAA");
+        assert!(c < n, "constants precede nulls");
+        assert!(n < v, "nulls precede variables");
+        assert!(c < v);
+    }
+
+    #[test]
+    fn within_class_order_is_lexicographic() {
+        assert!(Term::constant("alpha") < Term::constant("beta"));
+        assert!(Term::var("A") < Term::var("B"));
+        let mut g = NullGen::new();
+        let n1 = Term::Null(g.fresh());
+        let n2 = Term::Null(g.fresh());
+        assert!(n1 < n2, "earlier nulls precede later ones");
+    }
+
+    #[test]
+    fn groundness() {
+        let mut g = NullGen::new();
+        assert!(Term::constant("a").is_ground());
+        assert!(Term::Null(g.fresh()).is_ground());
+        assert!(!Term::var("X").is_ground());
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut g = NullGen::new();
+        assert_eq!(Term::constant("john").to_string(), "john");
+        assert_eq!(Term::var("X").to_string(), "X");
+        assert_eq!(Term::Null(g.fresh()).to_string(), "_v1");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Term::constant("a").is_const());
+        assert!(Term::var("X").is_var());
+        let mut g = NullGen::new();
+        assert!(Term::Null(g.fresh()).is_null());
+    }
+}

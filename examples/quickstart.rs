@@ -1,0 +1,45 @@
+//! Quickstart: parse two F-logic Lite meta-queries and decide containment.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use flogic_lite::core::{classic_contains, contains_str};
+use flogic_lite::prelude::*;
+
+fn main() {
+    // The "joinable attributes" example from Section 2 of the paper.
+    //
+    // q(A, B): pairs of attributes joinable through a subclass hop —
+    // the range T2 of A is a subclass of the domain T3 of B.
+    // qq(A, B): pairs of attributes directly joinable.
+    let q_src = "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].";
+    let qq_src = "qq(A,B) :- T1[A*=>T2], T2[B*=>_].";
+
+    let q = parse_query(q_src).expect("q parses");
+    let qq = parse_query(qq_src).expect("qq parses");
+    println!("q  = {q}");
+    println!("qq = {qq}");
+    println!();
+
+    // Decide q ⊆_ΣFL qq with the Theorem 12 bounded-chase procedure.
+    let result = contains(&q, &qq).expect("same arity");
+    println!("q  ⊆_ΣFL qq ?  {}", result.holds());
+    println!("  chase conjuncts: {}", result.chase_conjuncts());
+    println!("  level bound:     {}", result.level_bound());
+    if let Some(witness) = result.witness() {
+        println!("  witness hom:     {witness}");
+    }
+    println!();
+
+    // The containment needs the F-logic semantics: classically (without
+    // Σ_FL) it does NOT hold — supertyping (ρ8) and type inheritance (ρ7)
+    // are what connect the subclass hop.
+    let classical = classic_contains(&q, &qq).expect("same arity");
+    println!("q  ⊆ qq classically (no constraints)?  {classical}");
+
+    // And the containment is strict.
+    let converse = contains(&qq, &q).expect("same arity");
+    println!("qq ⊆_ΣFL q ?  {}", converse.holds());
+
+    assert!(result.holds() && !classical && !converse.holds());
+    println!("\nAll as the paper says.");
+}

@@ -1,0 +1,214 @@
+//! `flq` — command-line front end for the F-logic Lite toolkit.
+//!
+//! ```text
+//! flq contains  "<q1>" "<q2>"        decide q1 ⊆_ΣFL q2 (and the converse)
+//! flq explain   "<q1>" "<q2>"        prove the containment step by step
+//! flq chase     "<q>" [--bound N] [--dot]
+//!                                    materialize the (bounded) chase
+//! flq minimize  "<q>"                Σ_FL-aware query minimisation
+//! flq eval      <file>               run a program: facts are closed under
+//!                                    Σ_FL, goals/queries are answered
+//! ```
+//!
+//! Queries use the paper's syntax, e.g. `q(A,B) :- T1[A*=>T2], T2[B*=>_].`
+//! Program files mix facts (`john:student.`), rules and goals (`?- X::person.`).
+
+use std::process::ExitCode;
+
+use flogic_lite::chase::{chase_bounded, to_dot, to_text, ChaseOptions};
+use flogic_lite::core::{
+    classic_contains, contains, explain, minimize, ContainmentOptions,
+};
+use flogic_lite::datalog::{answers, close_database, ClosureOptions};
+use flogic_lite::prelude::*;
+use flogic_lite::syntax::query_to_flogic;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  flq contains <q1> <q2>\n  flq chase <q> [--bound N] [--dot]\n  \
+         flq explain <q1> <q2>\n  flq minimize <q>\n  flq eval <file>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("contains") => cmd_contains(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("chase") => cmd_chase(&args[1..]),
+        Some("minimize") => cmd_minimize(&args[1..]),
+        Some("eval") => cmd_eval(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn parse_or_exit(src: &str) -> Result<flogic_lite::model::ConjunctiveQuery, ExitCode> {
+    parse_query(src).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_contains(args: &[String]) -> ExitCode {
+    let [q1_src, q2_src] = args else { return usage() };
+    let (q1, q2) = match (parse_or_exit(q1_src), parse_or_exit(q2_src)) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => return ExitCode::FAILURE,
+    };
+    let forward = match contains(&q1, &q2) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("q1: {q1}");
+    println!("q2: {q2}");
+    println!();
+    println!("q1 ⊆_ΣFL q2:  {}{}", forward.holds(), if forward.is_vacuous() { "  (vacuous: q1 unsatisfiable)" } else { "" });
+    if let Some(w) = forward.witness() {
+        println!("  witness: {w}");
+    }
+    println!(
+        "  chase: {} conjuncts, bound {} (Theorem 12: 2*{}*{})",
+        forward.chase_conjuncts(),
+        forward.level_bound(),
+        q1.size(),
+        q2.size()
+    );
+    if let Ok(back) = contains(&q2, &q1) {
+        println!("q2 ⊆_ΣFL q1:  {}", back.holds());
+    }
+    if let Ok(classic) = classic_contains(&q1, &q2) {
+        println!("q1 ⊆ q2 classically (no Σ_FL):  {classic}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_explain(args: &[String]) -> ExitCode {
+    let [q1_src, q2_src] = args else { return usage() };
+    let (q1, q2) = match (parse_or_exit(q1_src), parse_or_exit(q2_src)) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => return ExitCode::FAILURE,
+    };
+    match explain(&q1, &q2, &ContainmentOptions::default()) {
+        Ok(e) => {
+            println!("q1: {q1}");
+            println!("q2: {q2}\n");
+            println!("{e}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_chase(args: &[String]) -> ExitCode {
+    let Some(q_src) = args.first() else { return usage() };
+    let q = match parse_or_exit(q_src) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    let mut bound = 2 * q.size() as u32; // δ, a sensible default depth
+    let mut dot = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bound" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => bound = n,
+                None => return usage(),
+            },
+            "--dot" => dot = true,
+            _ => return usage(),
+        }
+    }
+    let chase = chase_bounded(&q, &ChaseOptions { level_bound: bound, max_conjuncts: 1_000_000 });
+    if chase.is_failed() {
+        println!("chase FAILED (rho4 equated two distinct constants): the query is\nunsatisfiable w.r.t. Sigma_FL; it is contained in every query of its arity.");
+        return ExitCode::SUCCESS;
+    }
+    if dot {
+        print!("{}", to_dot(&chase));
+    } else {
+        println!(
+            "outcome: {:?}   conjuncts: {}   max level: {}   head: ({})",
+            chase.outcome(),
+            chase.len(),
+            chase.max_level(),
+            chase.head().iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        print!("{}", to_text(&chase));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_minimize(args: &[String]) -> ExitCode {
+    let [q_src] = args else { return usage() };
+    let q = match parse_or_exit(q_src) {
+        Ok(q) => q,
+        Err(code) => return code,
+    };
+    match minimize(&q) {
+        Ok(m) => {
+            println!("input    ({} conjuncts): {q}", q.size());
+            println!("minimal  ({} conjuncts): {m}", m.size());
+            println!("f-logic  : {}", query_to_flogic(&m));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_eval(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (queries, db) = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (closed, stats) = match close_database(&db, &ClosureOptions::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error closing the fact base under Sigma_FL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "% fact base: {} asserted, {} after Sigma_FL closure ({} invented values)",
+        db.len(),
+        closed.len(),
+        stats.nulls_invented
+    );
+    for q in &queries {
+        println!("\n?- {q}");
+        let result = answers(q, &closed);
+        if result.is_empty() {
+            println!("   no.");
+            continue;
+        }
+        for tuple in result {
+            if tuple.is_empty() {
+                println!("   yes.");
+            } else {
+                let cells: Vec<String> = tuple.iter().map(|t| t.to_string()).collect();
+                println!("   ({})", cells.join(", "));
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

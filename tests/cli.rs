@@ -1,0 +1,113 @@
+//! End-to-end tests of the `flq` command-line tool.
+
+use std::process::Command;
+
+fn flq(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flq"))
+        .args(args)
+        .output()
+        .expect("flq binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn contains_reports_paper_example() {
+    let (stdout, _, ok) = flq(&[
+        "contains",
+        "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].",
+        "qq(A,B) :- T1[A*=>T2], T2[B*=>_].",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("q1 ⊆_ΣFL q2:  true"), "{stdout}");
+    assert!(stdout.contains("q2 ⊆_ΣFL q1:  false"), "{stdout}");
+    assert!(stdout.contains("classically (no Σ_FL):  false"), "{stdout}");
+}
+
+#[test]
+fn contains_reports_vacuous() {
+    let (stdout, _, ok) = flq(&[
+        "contains",
+        "q() :- data(o, a, 1), data(o, a, 2), funct(a, o).",
+        "qq() :- sub(X, Y).",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("vacuous"), "{stdout}");
+}
+
+#[test]
+fn chase_prints_levels_and_dot() {
+    let (stdout, _, ok) =
+        flq(&["chase", "q() :- mandatory(A, T), type(T, A, T).", "--bound", "5"]);
+    assert!(ok);
+    assert!(stdout.contains("level 0:"), "{stdout}");
+    assert!(stdout.contains("level 1:"), "{stdout}");
+    let (dot, _, ok) = flq(&[
+        "chase",
+        "q() :- mandatory(A, T), type(T, A, T).",
+        "--bound",
+        "5",
+        "--dot",
+    ]);
+    assert!(ok);
+    assert!(dot.starts_with("digraph chase {"), "{dot}");
+}
+
+#[test]
+fn minimize_shrinks_redundant_query() {
+    let (stdout, _, ok) =
+        flq(&["minimize", "q(X) :- X:C, C::D, X:D."]);
+    assert!(ok);
+    assert!(stdout.contains("input    (3 conjuncts)"), "{stdout}");
+    assert!(stdout.contains("minimal  (2 conjuncts)"), "{stdout}");
+}
+
+#[test]
+fn eval_runs_the_university_program() {
+    let (stdout, stderr, ok) = flq(&["eval", "examples/university.fl"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("Sigma_FL closure"), "{stdout}");
+    // ?- X::person. finds at least student and employee.
+    assert!(stdout.contains("(student)"), "{stdout}");
+    assert!(stdout.contains("(employee)"), "{stdout}");
+    // rho5 invented a name for mary: she appears in the person/name query.
+    assert!(stdout.contains("(mary, "), "{stdout}");
+    // inherited mandatory attribute for professor (rho9)
+    assert!(stdout.contains("(name)"), "{stdout}");
+}
+
+#[test]
+fn explain_prints_derivation() {
+    let (stdout, _, ok) = flq(&[
+        "explain",
+        "q(X,Z) :- sub(X,Y), sub(Y,Z).",
+        "p(X,Z) :- sub(X,Z).",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("containment holds"), "{stdout}");
+    assert!(stdout.contains("rho2"), "{stdout}");
+    assert!(stdout.contains("==>"), "{stdout}");
+}
+
+#[test]
+fn explain_reports_non_containment() {
+    let (stdout, _, ok) = flq(&[
+        "explain",
+        "q(X) :- member(X, c).",
+        "p(X) :- sub(X, c).",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("does not hold"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (_, _, ok) = flq(&["frobnicate"]);
+    assert!(!ok);
+    let (_, stderr, ok) = flq(&["contains", "not a query", "q() :- sub(X,Y)."]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}

@@ -1,0 +1,173 @@
+//! Larger end-to-end scenarios: realistic ontologies exercised through the
+//! full stack (parse → close → query → containment/minimise/union).
+
+use flogic_lite::core::{
+    contained_in_union, contains, equivalent, minimize, ContainmentOptions,
+};
+use flogic_lite::datalog::{answers, close_database, ClosureOptions, DatalogError};
+use flogic_lite::prelude::*;
+
+fn close(db: &Database) -> Database {
+    close_database(db, &ClosureOptions::default()).expect("closes finitely").0
+}
+
+// ---------------------------------------------------------------------------
+// An e-commerce catalogue ontology.
+// ---------------------------------------------------------------------------
+
+fn catalogue() -> Database {
+    parse_database(
+        "% taxonomy
+         book::product. ebook::book. hardcover::book. gadget::product.
+         % schema
+         product[price {1:*} *=> money].
+         product[sku {0:1} *=> string].
+         ebook[format *=> string].
+         % items
+         dune:hardcover. neuromancer_e:ebook. widget:gadget.
+         dune[price -> p20, sku -> sku1].
+         neuromancer_e[price -> p10, format -> epub].
+         widget[price -> p5].
+         p20:money. p10:money. p5:money. sku1:string. epub:string.",
+    )
+    .expect("catalogue parses")
+}
+
+#[test]
+fn closure_inherits_schema_down_the_taxonomy() {
+    let kb = close(&catalogue());
+    // price is mandatory for every product, including the items (ρ9, ρ10).
+    let q = parse_goal("?- mandatory(price, ebook).").unwrap();
+    assert!(!answers(&q, &kb).is_empty());
+    let q = parse_goal("?- mandatory(price, dune).").unwrap();
+    assert!(!answers(&q, &kb).is_empty());
+    // sku is functional on items (ρ11, ρ12).
+    let q = parse_goal("?- funct(sku, widget).").unwrap();
+    assert!(!answers(&q, &kb).is_empty());
+}
+
+#[test]
+fn closure_types_invented_values() {
+    let kb = close(&catalogue());
+    // widget has no asserted sku; sku is optional so none is invented,
+    // but price is mandatory and widget has one. All prices are money (ρ1).
+    let q = parse_goal("?- data(widget, price, V), member(V, money).").unwrap();
+    assert!(!answers(&q, &kb).is_empty());
+    // Every product object ends up with *some* price value.
+    let q = parse_query("q(P) :- member(P, product), data(P, price, V).").unwrap();
+    let priced = answers(&q, &kb);
+    for item in ["dune", "neuromancer_e", "widget"] {
+        assert!(priced.contains(&vec![Term::constant(item)]), "{item} unpriced");
+    }
+}
+
+#[test]
+fn inconsistent_catalogue_detected() {
+    let mut db = catalogue();
+    // Second sku for dune violates the inherited funct(sku, dune).
+    db.insert(Atom::data(
+        Term::constant("dune"),
+        Term::constant("sku"),
+        Term::constant("sku2"),
+    ))
+    .unwrap();
+    let err = close_database(&db, &ClosureOptions::default()).unwrap_err();
+    assert!(matches!(err, DatalogError::Inconsistent { .. }));
+}
+
+// ---------------------------------------------------------------------------
+// Containment-driven view maintenance.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn view_subsumption_under_the_catalogue_semantics() {
+    // View 1: priced books (via the taxonomy hop).
+    let v1 = parse_query("v1(X) :- X:B, B::book, X[price->P].").unwrap();
+    // View 2: priced products — should subsume v1 *given* book::product?
+    // No: sub(B, book) does not entail member(X, product) without the
+    // book::product edge, which is data, not Σ_FL. So the correct general
+    // view quantifies the class.
+    let v2 = parse_query("v2(X) :- X:C, X[price->P].").unwrap();
+    assert!(contains(&v1, &v2).unwrap().holds(), "v1 is subsumed by v2");
+    assert!(!contains(&v2, &v1).unwrap().holds());
+}
+
+#[test]
+fn equivalent_view_formulations() {
+    // Explicit inheritance vs implied inheritance.
+    let a = parse_query("a(X, T) :- X:C, C[att*=>T], X[att*=>T].").unwrap();
+    let b = parse_query("b(X, T) :- X:C, C[att*=>T].").unwrap();
+    assert!(equivalent(&a, &b).unwrap(), "the inherited type atom is redundant");
+    let min = minimize(&a).unwrap();
+    assert_eq!(min.size(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Union containment for service routing.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn request_routed_to_some_backend() {
+    // A request for objects with a mandatory, typed attribute.
+    let request = parse_query("r(O) :- O:C, C[att {1:*} *=> t].").unwrap();
+    // Backends advertise by shape; the second one matches because the
+    // chase invents the mandatory value (ρ10 + ρ5).
+    let backends = [
+        parse_query("b0(O) :- O[other->V].").unwrap(),
+        parse_query("b1(O) :- O[att->V].").unwrap(),
+        parse_query("b2(O) :- sub(O, O).").unwrap(),
+    ];
+    let idx = contained_in_union(&request, &backends, &ContainmentOptions::default())
+        .unwrap();
+    assert_eq!(idx, Some(1));
+}
+
+#[test]
+fn unroutable_request_reports_none() {
+    let request = parse_query("r(O) :- O:C.").unwrap();
+    let backends =
+        [parse_query("b0(O) :- O[a->V].").unwrap(), parse_query("b1(O) :- sub(O, X).").unwrap()];
+    assert_eq!(
+        contained_in_union(&request, &backends, &ContainmentOptions::default()).unwrap(),
+        None
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Meta-circularity: classes as objects.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn classes_as_objects_roundtrip() {
+    // The paper: "student:class is correct. (It does not follow that
+    // john:class …)".
+    let db = parse_database(
+        "john:student. student:class. person:class. student::person.",
+    )
+    .expect("parses");
+    let kb = close(&db);
+    let classes = answers(&parse_goal("?- X:class.").unwrap(), &kb);
+    assert!(classes.contains(&vec![Term::constant("student")]));
+    assert!(classes.contains(&vec![Term::constant("person")]));
+    // john is NOT a member of class `class` — membership does not leak
+    // through the instance-of edge.
+    assert!(!classes.contains(&vec![Term::constant("john")]));
+    // And `student` is not a *subclass* of class.
+    let subs = answers(&parse_goal("?- X::class.").unwrap(), &kb);
+    assert!(!subs.contains(&vec![Term::constant("student")]));
+}
+
+#[test]
+fn attributes_of_attributes() {
+    // Attributes are objects too: annotate an attribute with provenance.
+    let db = parse_database(
+        "age:attribute. attribute[source *=> system].
+         age[source -> hr_feed]. hr_feed:system.",
+    )
+    .expect("parses");
+    let kb = close(&db);
+    // type is inherited from `attribute` to its member `age` (ρ6); the
+    // value hr_feed is then correctly typed (ρ1 was satisfied by data).
+    let q = parse_goal("?- type(age, source, system).").unwrap();
+    assert!(!answers(&q, &kb).is_empty());
+}

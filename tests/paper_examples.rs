@@ -1,0 +1,228 @@
+//! End-to-end reproduction of every worked example in the paper
+//! (Section 2 containments, Example 1, Example 2 / Figure 1).
+
+use flogic_lite::chase::{
+    chase_bounded, chase_minus, find_mandatory_cycles, has_infinite_chase_potential,
+    locality_violations, ChaseOptions, ChaseOutcome,
+};
+use flogic_lite::core::{classic_contains, contains, contains_str};
+use flogic_lite::model::Pred;
+use flogic_lite::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Section 2, first example: joinable attributes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn joinable_attributes_containment_holds() {
+    // q(A,B): attributes joinable through a subclass hop; qq(A,B): directly
+    // joinable. "We will see that the query containment q ⊆ qq holds."
+    let r = contains_str(
+        "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].",
+        "qq(A,B) :- T1[A*=>T2], T2[B*=>_].",
+    )
+    .unwrap();
+    assert!(r.holds());
+}
+
+#[test]
+fn joinable_attributes_containment_is_strict() {
+    let r = contains_str(
+        "qq(A,B) :- T1[A*=>T2], T2[B*=>_].",
+        "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].",
+    )
+    .unwrap();
+    assert!(!r.holds(), "the converse containment must fail");
+}
+
+#[test]
+fn joinable_attributes_needs_sigma() {
+    // The containment is NOT classical: it relies on rho7/rho8 (type
+    // inheritance through the subclass edge).
+    let q1 = parse_query("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].").unwrap();
+    let q2 = parse_query("qq(A,B) :- T1[A*=>T2], T2[B*=>_].").unwrap();
+    assert!(!classic_contains(&q1, &q2).unwrap());
+    assert!(contains(&q1, &q2).unwrap().holds());
+}
+
+// ---------------------------------------------------------------------------
+// Section 2, second example: mandatory attributes of non-empty classes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mandatory_attribute_containment_holds() {
+    // q: Att mandatory in Class of type Type, Class non-empty.
+    // qq: some object has a value for Att, is in Class, and Class[Att*=>Type].
+    let r = contains_str(
+        "q(Att,Class,Type) :- Class[Att {1,*} *=> _], Class[Att*=>Type], _:Class.",
+        "qq(Att,Class,Type) :- Obj[Att->_], Obj:Class, Class[Att*=>Type].",
+    )
+    .unwrap();
+    assert!(r.holds(), "the paper's second containment example");
+}
+
+#[test]
+fn mandatory_attribute_containment_mechanism() {
+    // The witness requires the chase to: inherit mandatory to the member
+    // (rho10), then invent a value (rho5). Verify those rules fire.
+    let q1 = parse_query(
+        "q(Att,Class,Type) :- Class[Att {1,*} *=> _], Class[Att*=>Type], _:Class.",
+    )
+    .unwrap();
+    let chase = chase_bounded(&q1, &ChaseOptions { level_bound: 12, max_conjuncts: 100_000 });
+    use flogic_lite::model::RuleId;
+    assert!(chase.stats().applications[RuleId::R10.index()] >= 1, "rho10 fired");
+    assert!(chase.stats().applications[RuleId::R5.index()] >= 1, "rho5 fired");
+}
+
+#[test]
+fn mandatory_attribute_containment_is_strict() {
+    let r = contains_str(
+        "qq(Att,Class,Type) :- Obj[Att->_], Obj:Class, Class[Att*=>Type].",
+        "q(Att,Class,Type) :- Class[Att {1,*} *=> _], Class[Att*=>Type], _:Class.",
+    )
+    .unwrap();
+    assert!(!r.holds());
+}
+
+// ---------------------------------------------------------------------------
+// Example 1: chase side effects on the query head.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn example_1_chase_rewrites_the_head() {
+    let q = parse_query(
+        "q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).",
+    )
+    .unwrap();
+    let chase = chase_minus(&q);
+    // "rule rho12 will add the conjunct funct(A, O) and then, by rule rho4,
+    // we will replace V2 with V1".
+    assert!(chase.find(&Atom::funct(Term::var("A"), Term::var("O"))).is_some());
+    assert_eq!(chase.head(), &[Term::var("V1"), Term::var("V1")]);
+}
+
+#[test]
+fn example_1_resulting_containments() {
+    // After the head rewrite the query behaves like q(V,V).
+    let q1 = "q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).";
+    assert!(contains_str(q1, "qq(W, W) :- data(O, A, W), funct(A, O).").unwrap().holds());
+    assert!(contains_str(q1, "qq(W, W) :- data(O, A, W).").unwrap().holds());
+}
+
+// ---------------------------------------------------------------------------
+// Example 2 / Figure 1: the infinite chase and its graph.
+// ---------------------------------------------------------------------------
+
+fn example_2_query() -> flogic_lite::model::ConjunctiveQuery {
+    parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap()
+}
+
+#[test]
+fn example_2_has_a_mandatory_cycle() {
+    let q = example_2_query();
+    assert!(has_infinite_chase_potential(q.body()));
+    let cycles = find_mandatory_cycles(q.body());
+    assert_eq!(cycles.len(), 1);
+    assert_eq!(cycles[0].len(), 1, "self-loop T --A--> T");
+}
+
+#[test]
+fn example_2_chain_structure() {
+    // The chain of Figure 1: mandatory(A,T), type(T,A,T) |- data(T,A,_v1)
+    // |- member(_v1,T) |- type(_v1,A,T), mandatory(A,_v1) |- data(_v1,A,_v2) ...
+    let chase =
+        chase_bounded(&example_2_query(), &ChaseOptions { level_bound: 9, max_conjuncts: 100_000 });
+    assert_eq!(chase.outcome(), ChaseOutcome::LevelBounded, "chase is infinite");
+
+    // Extract the invented data chain in level order.
+    let mut data: Vec<(u32, Atom)> = chase
+        .conjuncts()
+        .filter(|(_, a, _)| a.pred() == Pred::Data)
+        .map(|(_, a, l)| (l, *a))
+        .collect();
+    data.sort_by_key(|(l, _)| *l);
+    assert!(data.len() >= 2);
+    // Chain property: data[i].value == data[i+1].object (v1 -> v2 -> ...).
+    for w in data.windows(2) {
+        assert_eq!(w[0].1.arg(2), w[1].1.arg(0), "the chain is connected");
+    }
+    // Every invented value is a member of T.
+    for (_, d) in &data {
+        let v = d.arg(2);
+        assert!(
+            chase.find(&Atom::member(v, Term::var("T"))).is_some(),
+            "member({v}, T) missing"
+        );
+    }
+}
+
+#[test]
+fn example_2_branching_via_rho3() {
+    // "we obtain the conjunct member(v1, U) from rho3."
+    let chase =
+        chase_bounded(&example_2_query(), &ChaseOptions { level_bound: 6, max_conjuncts: 100_000 });
+    let branch = chase.conjuncts().any(|(_, a, _)| {
+        a.pred() == Pred::Member && a.arg(1) == Term::var("U") && a.arg(0).is_null()
+    });
+    assert!(branch, "the rho3 branch of Figure 1 exists");
+}
+
+#[test]
+fn example_2_satisfies_locality_lemma() {
+    // Lemma 5 on the actual chase graph.
+    let chase =
+        chase_bounded(&example_2_query(), &ChaseOptions { level_bound: 9, max_conjuncts: 100_000 });
+    let violations = locality_violations(&chase);
+    assert!(violations.is_empty(), "locality violations: {violations:?}");
+}
+
+#[test]
+fn example_2_dot_rendering_is_figure_1_shaped() {
+    let chase =
+        chase_bounded(&example_2_query(), &ChaseOptions { level_bound: 5, max_conjuncts: 100_000 });
+    let dot = flogic_lite::chase::to_dot(&chase);
+    assert!(dot.contains("mandatory(A, T)"));
+    assert!(dot.contains("sub(T, U)"));
+    assert!(dot.contains("rho5"));
+    assert!(dot.contains("rho1"));
+    assert!(dot.contains("rho10"));
+}
+
+// ---------------------------------------------------------------------------
+// The motivating data/meta mixing from the introduction.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mixed_meta_and_data_query_evaluates() {
+    // "?- student[Att*=>string], john[Att->Val]." — evaluated over the
+    // running example's database.
+    let db = parse_database(
+        "student[name *=> string]. student[major *=> string].
+         student[age *=> number].
+         john[name -> jsmith]. john[age -> 33].
+         jsmith:string. 33:number.",
+    )
+    .unwrap();
+    let q = parse_query("q(Att, Val) :- student[Att*=>string], john[Att->Val].").unwrap();
+    let answers = flogic_lite::datalog::answers(&q, &db);
+    assert_eq!(answers.len(), 1);
+    let t = answers.iter().next().unwrap();
+    assert_eq!(t[0], Term::constant("name"));
+    assert_eq!(t[1], Term::constant("jsmith"));
+}
+
+#[test]
+fn schema_browsing_meta_query() {
+    // "?- X::person." returns classes; "?- student[Att*=>string]." returns
+    // attributes — meta-querying per the paper's introduction.
+    let db = parse_database(
+        "employee::person. student::person.
+         student[name *=> string]. student[major *=> string].",
+    )
+    .unwrap();
+    let sub_q = parse_query("q(X) :- X::person.").unwrap();
+    assert_eq!(flogic_lite::datalog::answers(&sub_q, &db).len(), 2);
+    let attr_q = parse_query("q(Att) :- student[Att*=>string].").unwrap();
+    assert_eq!(flogic_lite::datalog::answers(&attr_q, &db).len(), 2);
+}

@@ -1,0 +1,158 @@
+//! Property-based tests: the paper's lemmas and the library's invariants,
+//! asserted over randomized workloads.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use flogic_lite::chase::{
+    chase_bounded, chase_minus, locality_violations, ChaseOptions, ChaseOutcome,
+};
+use flogic_lite::core::{classic_contains, contains, equivalent, minimize};
+use flogic_lite::gen::{generalize, random_query, GeneralizeConfig, QueryGenConfig};
+use flogic_lite::hom::classic_core;
+use flogic_lite::model::ConjunctiveQuery;
+use flogic_lite::syntax::{parse_query, query_to_flogic};
+
+fn arb_query_config() -> impl Strategy<Value = QueryGenConfig> {
+    (1usize..6, 1usize..5, 0usize..3, 0usize..3, prop::bool::ANY).prop_map(
+        |(n_atoms, n_vars, n_consts, head_arity, with_cycle)| QueryGenConfig {
+            n_atoms,
+            n_vars,
+            n_consts,
+            const_prob: 0.3,
+            head_arity,
+            pred_weights: [3, 3, 2, 3, 2, 1],
+            cycle: if with_cycle { Some(1 + n_atoms % 3) } else { None },
+        },
+    )
+}
+
+fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    (arb_query_config(), any::<u64>()).prop_map(|(cfg, seed)| {
+        random_query(&cfg, &mut StdRng::seed_from_u64(seed))
+    })
+}
+
+/// Smaller queries for the expensive properties.
+fn arb_small_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    (1usize..4, any::<u64>()).prop_map(|(n_atoms, seed)| {
+        let cfg = QueryGenConfig { n_atoms, n_vars: 3, n_consts: 2, ..Default::default() };
+        random_query(&cfg, &mut StdRng::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Containment is reflexive (Theorem 4: the identity homomorphism).
+    #[test]
+    fn containment_is_reflexive(q in arb_small_query()) {
+        prop_assert!(contains(&q, &q).unwrap().holds());
+    }
+
+    /// Classic containment implies containment under Σ_FL.
+    #[test]
+    fn classic_implies_sigma(q1 in arb_small_query(), q2 in arb_small_query()) {
+        if q1.arity() == q2.arity() && classic_contains(&q1, &q2).unwrap() {
+            prop_assert!(contains(&q1, &q2).unwrap().holds());
+        }
+    }
+
+    /// Generalization produces a container, and generalizing further
+    /// preserves containment (transitivity along the chain).
+    #[test]
+    fn generalization_chain_is_monotone(q in arb_small_query(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let gcfg = GeneralizeConfig::default();
+        let g1 = generalize(&q, &gcfg, &mut StdRng::seed_from_u64(s1));
+        let g2 = generalize(&g1, &gcfg, &mut StdRng::seed_from_u64(s2));
+        prop_assert!(contains(&q, &g1).unwrap().holds());
+        prop_assert!(contains(&g1, &g2).unwrap().holds());
+        prop_assert!(contains(&q, &g2).unwrap().holds(), "transitivity failed: {q} vs {g2}");
+    }
+
+    /// Lemma 5 (locality) holds on the chase graph of arbitrary queries,
+    /// including ones with injected mandatory cycles.
+    #[test]
+    fn locality_lemma_holds(q in arb_query()) {
+        let chase = chase_bounded(&q, &ChaseOptions { level_bound: 8, max_conjuncts: 60_000 });
+        if !chase.is_failed() && chase.outcome() != ChaseOutcome::Truncated {
+            let violations = locality_violations(&chase);
+            prop_assert!(violations.is_empty(), "locality violated on {q}: {violations:?}");
+        }
+    }
+
+    /// chase⁻ always terminates with every conjunct at level 0 and never
+    /// invents values (ρ5 is excluded).
+    #[test]
+    fn chase_minus_is_level_zero_and_null_free(q in arb_query()) {
+        let chase = chase_minus(&q);
+        if !chase.is_failed() {
+            prop_assert_eq!(chase.outcome(), ChaseOutcome::Completed);
+            for (_, atom, level) in chase.conjuncts() {
+                prop_assert_eq!(level, 0);
+                prop_assert!(atom.args().iter().all(|t| !t.is_null()));
+            }
+            prop_assert_eq!(chase.stats().nulls_invented, 0);
+        }
+    }
+
+    /// The chase contains the (merge-rewritten) body of the chased query.
+    #[test]
+    fn chase_contains_query_body(q in arb_query()) {
+        let chase = chase_minus(&q);
+        if !chase.is_failed() {
+            let merge = chase.merge_map();
+            for atom in q.body() {
+                let image = atom.apply(merge);
+                prop_assert!(chase.find(&image).is_some(),
+                    "body atom {atom} (image {image}) missing from chase of {q}");
+            }
+        }
+    }
+
+    /// The bounded chase respects its level bound.
+    #[test]
+    fn bounded_chase_respects_bound(q in arb_query(), bound in 0u32..6) {
+        let chase = chase_bounded(&q, &ChaseOptions { level_bound: bound, max_conjuncts: 60_000 });
+        if chase.outcome() != ChaseOutcome::Truncated {
+            prop_assert!(chase.max_level() <= bound);
+        }
+    }
+
+    /// Σ_FL-minimisation preserves Σ_FL-equivalence and never grows.
+    #[test]
+    fn minimize_preserves_equivalence(q in arb_small_query()) {
+        let m = minimize(&q).unwrap();
+        prop_assert!(m.size() <= q.size());
+        prop_assert!(equivalent(&m, &q).unwrap(), "minimize broke equivalence: {q} vs {m}");
+    }
+
+    /// The classic core preserves classic equivalence in both directions.
+    #[test]
+    fn classic_core_preserves_classic_equivalence(q in arb_small_query()) {
+        let c = classic_core(&q);
+        prop_assert!(c.size() <= q.size());
+        prop_assert!(classic_contains(&q, &c).unwrap());
+        prop_assert!(classic_contains(&c, &q).unwrap());
+    }
+
+    /// Display → parse round trip: predicate notation is lossless.
+    #[test]
+    fn predicate_notation_round_trips(q in arb_query()) {
+        let text = q.to_string();
+        let reparsed = parse_query(&text).unwrap();
+        prop_assert_eq!(q.head(), reparsed.head());
+        prop_assert_eq!(q.body(), reparsed.body());
+    }
+
+    /// F-logic rendering re-parses to a Σ_FL-equivalent query.
+    #[test]
+    fn flogic_rendering_is_equivalent(q in arb_small_query()) {
+        let text = query_to_flogic(&q);
+        let reparsed = parse_query(&text).unwrap();
+        prop_assert_eq!(q.arity(), reparsed.arity());
+        prop_assert!(equivalent(&q, &reparsed).unwrap(),
+            "F-logic round trip broke equivalence:\n  {q}\n  {text}\n  {reparsed}");
+    }
+}

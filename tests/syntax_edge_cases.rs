@@ -1,0 +1,152 @@
+//! Parser and printer edge cases across the whole surface grammar.
+
+use flogic_lite::prelude::*;
+use flogic_lite::syntax::{atom_to_flogic, parse_queries, query_to_flogic, SyntaxErrorKind};
+
+#[test]
+fn whitespace_and_comments_everywhere() {
+    let q = parse_query(
+        "% leading comment\n  q ( A , B )  :-  % mid comment\n   T1 [ A *=> T2 ] , \n\t T2 :: T3 , T3 [ B *=> _ ] . % trailing",
+    )
+    .unwrap();
+    assert_eq!(q.size(), 3);
+}
+
+#[test]
+fn numbers_are_constants() {
+    let db = parse_database("john[age->33]. 33:number.").unwrap();
+    assert!(db.contains(&Atom::member(Term::constant("33"), Term::constant("number"))));
+}
+
+#[test]
+fn primed_and_underscored_variable_names() {
+    let q = parse_query("q(A') :- member(A', _B), sub(_B, C).").unwrap();
+    assert_eq!(q.head()[0], Term::var("A'"));
+    assert!(q.vars().contains(&Term::var("_B")));
+}
+
+#[test]
+fn deeply_nested_multi_spec_molecules() {
+    let q = parse_query(
+        "q(O) :- O[a->V1, b->V2, c {0:1} *=> t, d {1:*} *=> u, e *=> w].",
+    )
+    .unwrap();
+    // a,b data; c: funct+type; d: mandatory+type; e: type.
+    assert_eq!(q.size(), 7);
+}
+
+#[test]
+fn empty_parens_boolean_head() {
+    let q = parse_query("q() :- member(X, Y).").unwrap();
+    assert_eq!(q.arity(), 0);
+}
+
+#[test]
+fn multiple_queries_in_one_program() {
+    let qs = parse_queries(
+        "a(X) :- member(X, c).\n b(Y) :- sub(Y, d).\n c() :- funct(k, m).",
+    )
+    .unwrap();
+    assert_eq!(qs.len(), 3);
+    assert_eq!(qs[0].name().as_str(), "a");
+    assert_eq!(qs[2].arity(), 0);
+}
+
+#[test]
+fn error_positions_are_accurate() {
+    let err = parse_query("q(A) :-\n  member(A, $).").unwrap_err();
+    let pos = err.pos.expect("positioned error");
+    assert_eq!(pos.line, 2);
+    assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedChar('$')));
+}
+
+#[test]
+fn reserved_hash_names_rejected() {
+    // '#' is the rule-variable namespace and not a legal surface character.
+    assert!(parse_query("q(X) :- member(X, #C).").is_err());
+}
+
+#[test]
+fn keywords_are_not_reserved() {
+    // 'member' as a constant (not followed by '(') is a plain identifier.
+    let db = parse_database("member:concept.").unwrap();
+    assert!(db
+        .contains(&Atom::member(Term::constant("member"), Term::constant("concept"))));
+    // 'type' as an attribute name.
+    let q = parse_query("q(V) :- john[type->V].").unwrap();
+    assert_eq!(q.body()[0].arg(1), Term::constant("type"));
+}
+
+#[test]
+fn double_dot_is_an_error() {
+    assert!(parse_database("john:student..").is_err());
+}
+
+#[test]
+fn unbalanced_brackets_error() {
+    assert!(parse_query("q(A) :- T[A*=>B.").is_err());
+    assert!(parse_query("q(A) :- member(A, B.").is_err());
+}
+
+#[test]
+fn cardinality_variants_accepted_and_rejected() {
+    assert!(parse_query("q(A) :- C[A {0:1} *=> t].").is_ok());
+    assert!(parse_query("q(A) :- C[A {0,1} *=> t].").is_ok(), "comma separator");
+    assert!(parse_query("q(A) :- C[A {1:1} *=> t].").is_err());
+    assert!(parse_query("q(A) :- C[A {0:*} *=> t].").is_err());
+}
+
+#[test]
+fn flogic_and_predicate_notation_mix_freely() {
+    let q = parse_query("q(O, C) :- member(O, C), O[a->V], sub(C, D), D[a*=>t].").unwrap();
+    assert_eq!(q.size(), 4);
+}
+
+#[test]
+fn pretty_printer_round_trips_every_predicate() {
+    let q = parse_query(
+        "q(O) :- member(O, c), sub(c, d), data(O, a, V), type(c, a, t), \
+         mandatory(a, c), funct(b, c).",
+    )
+    .unwrap();
+    let rendered = query_to_flogic(&q);
+    let reparsed = parse_query(&rendered).unwrap();
+    // mandatory/funct merge with matching type atoms where possible; the
+    // reparse is Σ_FL-equivalent (checked in properties.rs); here just
+    // check arity/shape survive.
+    assert_eq!(reparsed.arity(), 1);
+    assert!(reparsed.size() >= 5);
+}
+
+#[test]
+fn atom_to_flogic_covers_all_predicates() {
+    let c = Term::constant;
+    let cases = [
+        (Atom::member(c("o"), c("k")), "o : k"),
+        (Atom::sub(c("a"), c("b")), "a :: b"),
+        (Atom::data(c("o"), c("a"), c("v")), "o[a -> v]"),
+        (Atom::typ(c("o"), c("a"), c("t")), "o[a *=> t]"),
+        (Atom::mandatory(c("a"), c("o")), "o[a {1:*} *=> _]"),
+        (Atom::funct(c("a"), c("o")), "o[a {0:1} *=> _]"),
+    ];
+    for (atom, expected) in cases {
+        assert_eq!(atom_to_flogic(&atom), expected);
+    }
+}
+
+#[test]
+fn goal_with_constants_only_has_empty_head() {
+    let g = parse_goal("?- member(john, student).").unwrap();
+    assert_eq!(g.arity(), 0);
+    assert_eq!(g.size(), 1);
+}
+
+#[test]
+fn long_program_parses() {
+    let mut src = String::new();
+    for i in 0..200 {
+        src.push_str(&format!("c{i}::c{}. o{i}:c{i}. o{i}[a{} -> v{i}].\n", i + 1, i % 7));
+    }
+    let db = parse_database(&src).unwrap();
+    assert_eq!(db.len(), 600);
+}
