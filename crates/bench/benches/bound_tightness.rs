@@ -1,15 +1,15 @@
-//! Criterion bench: cost of chasing to the full Theorem 12 bound vs
+//! Micro-bench: cost of chasing to the full Theorem 12 bound vs
 //! stopping at the level where the witness actually lives (E7).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use flogic_bench::experiments::{contains_at_bound, cyclic_query, pump_probe};
+use flogic_bench::microbench::Runner;
 use flogic_core::{naive, theorem_bound};
 
-fn bench_bound_tightness(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bound_tightness");
-    group.sample_size(20);
+fn main() {
+    let mut r = Runner::new("bound_tightness");
+    r.samples(20);
     for &(k, d) in &[(1usize, 2usize), (2, 3), (3, 3)] {
         let q1 = cyclic_query(k);
         let q2 = pump_probe(k, d);
@@ -19,23 +19,12 @@ fn bench_bound_tightness(c: &mut Criterion) {
         else {
             panic!("probe must be contained")
         };
-        group.bench_with_input(
-            BenchmarkId::new("theorem_bound", format!("k{k}_d{d}_L{bound}")),
-            &bound,
-            |b, &bound| {
-                b.iter(|| contains_at_bound(black_box(&q1), black_box(&q2), bound))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("witness_level", format!("k{k}_d{d}_L{level}")),
-            &level,
-            |b, &level| {
-                b.iter(|| contains_at_bound(black_box(&q1), black_box(&q2), level))
-            },
-        );
+        r.bench(&format!("theorem_bound/k{k}_d{d}_L{bound}"), || {
+            contains_at_bound(black_box(&q1), black_box(&q2), bound)
+        });
+        r.bench(&format!("witness_level/k{k}_d{d}_L{level}"), || {
+            contains_at_bound(black_box(&q1), black_box(&q2), level)
+        });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_bound_tightness);
-criterion_main!(benches);

@@ -1,44 +1,41 @@
-//! Criterion bench: `chase⁻` (the terminating preliminary chase) across
+//! Micro-bench: `chase⁻` (the terminating preliminary chase) across
 //! query sizes (E8) — the polynomial step of Theorem 13.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 use flogic_bench::experiments::sub_chain;
+use flogic_bench::microbench::Runner;
 use flogic_chase::chase_minus;
+use flogic_gen::rng::SplitMix64;
 use flogic_gen::{random_query, QueryGenConfig};
 
-fn bench_chase_minus_random(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chase_minus/random");
+fn main() {
+    let mut r = Runner::new("chase_minus");
     for &n in &[4usize, 8, 16, 32] {
-        let cfg =
-            QueryGenConfig { n_atoms: n, n_vars: n, n_consts: 4, ..Default::default() };
+        let cfg = QueryGenConfig {
+            n_atoms: n,
+            n_vars: n,
+            n_consts: 4,
+            ..Default::default()
+        };
         let queries: Vec<_> = (0..5u64)
-            .map(|s| random_query(&cfg, &mut StdRng::seed_from_u64(s * 31 + n as u64)))
+            .map(|s| random_query(&cfg, &mut SplitMix64::seed_from_u64(s * 31 + n as u64)))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                queries.iter().map(|q| chase_minus(black_box(q)).len()).sum::<usize>()
-            })
+        r.bench(&format!("random/{n}"), || {
+            queries
+                .iter()
+                .map(|q| chase_minus(black_box(q)).len())
+                .sum::<usize>()
         });
     }
-    group.finish();
-}
 
-fn bench_chase_minus_chain(c: &mut Criterion) {
     // The sub-chain is the worst case for rho2: quadratically many
     // transitive edges.
-    let mut group = c.benchmark_group("chase_minus/sub_chain");
     for &n in &[4usize, 8, 16, 32] {
         let q = sub_chain(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| chase_minus(black_box(&q)).len())
+        r.bench(&format!("sub_chain/{n}"), || {
+            chase_minus(black_box(&q)).len()
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_chase_minus_random, bench_chase_minus_chain);
-criterion_main!(benches);

@@ -1,48 +1,45 @@
-//! Criterion bench: Chandra–Merlin vs the Σ_FL bounded-chase procedure on
+//! Micro-bench: Chandra–Merlin vs the Σ_FL bounded-chase procedure on
 //! the same pairs (E6) — the price of constraint-aware containment.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
+use flogic_bench::microbench::Runner;
 use flogic_core::{classic_contains, contains};
+use flogic_gen::rng::SplitMix64;
 use flogic_gen::{generalize, random_query, GeneralizeConfig, QueryGenConfig};
 use flogic_model::ConjunctiveQuery;
 
 fn workload() -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
-    let qcfg = QueryGenConfig { n_atoms: 5, n_vars: 5, n_consts: 2, ..Default::default() };
+    let qcfg = QueryGenConfig {
+        n_atoms: 5,
+        n_vars: 5,
+        n_consts: 2,
+        ..Default::default()
+    };
     let gcfg = GeneralizeConfig::default();
     (0..10u64)
         .map(|s| {
-            let q1 = random_query(&qcfg, &mut StdRng::seed_from_u64(s));
-            let q2 = generalize(&q1, &gcfg, &mut StdRng::seed_from_u64(s + 100));
+            let q1 = random_query(&qcfg, &mut SplitMix64::seed_from_u64(s));
+            let q2 = generalize(&q1, &gcfg, &mut SplitMix64::seed_from_u64(s + 100));
             (q1, q2)
         })
         .collect()
 }
 
-fn bench_classic_vs_sigma(c: &mut Criterion) {
+fn main() {
     let pairs = workload();
-    let mut group = c.benchmark_group("classic_vs_sigma");
-    group.bench_function("classic/10_pairs", |b| {
-        b.iter(|| {
-            pairs
-                .iter()
-                .filter(|(q1, q2)| classic_contains(black_box(q1), black_box(q2)).unwrap())
-                .count()
-        })
+    let mut r = Runner::new("classic_vs_sigma");
+    r.bench("classic/10_pairs", || {
+        pairs
+            .iter()
+            .filter(|(q1, q2)| classic_contains(black_box(q1), black_box(q2)).unwrap())
+            .count()
     });
-    group.bench_function("sigma/10_pairs", |b| {
-        b.iter(|| {
-            pairs
-                .iter()
-                .filter(|(q1, q2)| contains(black_box(q1), black_box(q2)).unwrap().holds())
-                .count()
-        })
+    r.bench("sigma/10_pairs", || {
+        pairs
+            .iter()
+            .filter(|(q1, q2)| contains(black_box(q1), black_box(q2)).unwrap().holds())
+            .count()
     });
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_classic_vs_sigma);
-criterion_main!(benches);

@@ -1,16 +1,15 @@
-//! Criterion bench: the database-side validation pipeline (E4) — closure
+//! Micro-bench: the database-side validation pipeline (E4) — closure
 //! under Σ_FL and query evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
+use flogic_bench::microbench::Runner;
 use flogic_datalog::{answers, close_database, ClosureOptions};
+use flogic_gen::rng::SplitMix64;
 use flogic_gen::{random_database, random_query, DbGenConfig, QueryGenConfig};
 
-fn bench_closure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("closure/sigma_fl");
+fn main() {
+    let mut r = Runner::new("cross_validation");
     for &scale in &[1usize, 2, 4] {
         let cfg = DbGenConfig {
             n_classes: 6 * scale,
@@ -23,32 +22,30 @@ fn bench_closure(c: &mut Criterion) {
             n_mandatory: 2 * scale,
             n_funct: 2 * scale,
         };
-        let db = random_database(&cfg, &mut StdRng::seed_from_u64(1));
-        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, _| {
-            b.iter(|| close_database(black_box(&db), &ClosureOptions::default()).ok())
+        let db = random_database(&cfg, &mut SplitMix64::seed_from_u64(1));
+        r.bench(&format!("closure/scale{scale}"), || {
+            close_database(black_box(&db), &ClosureOptions::default()).ok()
         });
     }
-    group.finish();
-}
 
-fn bench_evaluation(c: &mut Criterion) {
-    let db = random_database(&DbGenConfig::default(), &mut StdRng::seed_from_u64(2));
-    let (closed, _) = close_database(&db, &ClosureOptions::default())
-        .expect("seed 2 closes finitely");
-    let qcfg = QueryGenConfig { n_atoms: 3, n_vars: 4, n_consts: 2, ..Default::default() };
+    let db = random_database(&DbGenConfig::default(), &mut SplitMix64::seed_from_u64(2));
+    let (closed, _) =
+        close_database(&db, &ClosureOptions::default()).expect("seed 2 closes finitely");
+    let qcfg = QueryGenConfig {
+        n_atoms: 3,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
     let queries: Vec<_> = (0..5u64)
-        .map(|s| random_query(&qcfg, &mut StdRng::seed_from_u64(s)))
+        .map(|s| random_query(&qcfg, &mut SplitMix64::seed_from_u64(s)))
         .collect();
-    c.bench_function("evaluate/random_queries_on_closed_db", |b| {
-        b.iter(|| {
-            let mut total = 0usize;
-            for q in &queries {
-                total += answers(black_box(q), black_box(&closed)).len();
-            }
-            total
-        })
+    r.bench("evaluate/random_queries_on_closed_db", || {
+        let mut total = 0usize;
+        for q in &queries {
+            total += answers(black_box(q), black_box(&closed)).len();
+        }
+        total
     });
+    r.finish();
 }
-
-criterion_group!(benches, bench_closure, bench_evaluation);
-criterion_main!(benches);

@@ -1,36 +1,32 @@
-//! Criterion bench: the Section 2 worked containments and Example 1 (E1/E2).
+//! Micro-bench: the Section 2 worked containments and Example 1 (E1/E2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use flogic_bench::experiments::paper_pairs;
+use flogic_bench::microbench::Runner;
 use flogic_chase::chase_minus;
 use flogic_core::{classic_contains, contains};
 use flogic_syntax::parse_query;
 
-fn bench_paper_examples(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper_examples");
+fn main() {
+    let mut r = Runner::new("paper_examples");
     for (name, q1, q2) in paper_pairs() {
-        group.bench_function(format!("sigma/{name}"), |b| {
-            b.iter(|| contains(black_box(&q1), black_box(&q2)).unwrap().holds())
+        r.bench(&format!("sigma/{name}"), || {
+            contains(black_box(&q1), black_box(&q2)).unwrap().holds()
         });
-        group.bench_function(format!("classic/{name}"), |b| {
-            b.iter(|| classic_contains(black_box(&q1), black_box(&q2)).unwrap())
+        r.bench(&format!("classic/{name}"), || {
+            classic_contains(black_box(&q1), black_box(&q2)).unwrap()
         });
-        group.bench_function(format!("converse/{name}"), |b| {
-            b.iter(|| contains(black_box(&q2), black_box(&q1)).unwrap().holds())
+        r.bench(&format!("converse/{name}"), || {
+            contains(black_box(&q2), black_box(&q1)).unwrap().holds()
         });
     }
-    group.finish();
 
-    let example1 = parse_query(
-        "q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).",
-    )
-    .unwrap();
-    c.bench_function("example1_chase_minus", |b| {
-        b.iter(|| chase_minus(black_box(&example1)).head().to_vec())
+    let example1 =
+        parse_query("q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).")
+            .unwrap();
+    r.bench("example1_chase_minus", || {
+        chase_minus(black_box(&example1)).head().to_vec()
     });
+    r.finish();
 }
-
-criterion_group!(benches, bench_paper_examples);
-criterion_main!(benches);

@@ -1,49 +1,40 @@
-//! Criterion bench: decision-procedure scaling in |q1| and |q2| (E5).
+//! Micro-bench: decision-procedure scaling in |q1| and |q2| (E5).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use flogic_bench::experiments::{cyclic_query, pump_probe, sub_chain};
+use flogic_bench::microbench::Runner;
 use flogic_core::contains;
 
-fn bench_chain_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling/sub_chain");
+fn main() {
+    let mut r = Runner::new("scaling");
     for &n in &[2usize, 4, 8, 16, 32] {
         let q1 = sub_chain(n);
         let q2 = sub_chain(n); // positive instance of equal size
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| contains(black_box(&q1), black_box(&q2)).unwrap().holds())
+        r.bench(&format!("sub_chain/{n}"), || {
+            contains(black_box(&q1), black_box(&q2)).unwrap().holds()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("scaling/sub_chain_negative");
     // Negative instances are exponentially hard refutations (see E5a);
     // n = 16 alone would run for ~20 minutes, so the bench stops at 8 and
     // uses a small sample count.
-    group.sample_size(10);
+    r.samples(10);
     for &n in &[2usize, 4, 8] {
         let q1 = sub_chain(n);
         let q2 = sub_chain(n + 2); // negative: m > n
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| contains(black_box(&q1), black_box(&q2)).unwrap().holds())
+        r.bench(&format!("sub_chain_negative/{n}"), || {
+            contains(black_box(&q1), black_box(&q2)).unwrap().holds()
         });
     }
-    group.finish();
-}
 
-fn bench_cyclic_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling/cyclic_pump");
-    group.sample_size(20);
+    r.samples(20);
     for &(k, d) in &[(1usize, 2usize), (2, 2), (2, 4), (3, 3)] {
         let q1 = cyclic_query(k);
         let q2 = pump_probe(k, d);
-        group.bench_with_input(BenchmarkId::new("k_d", format!("{k}_{d}")), &k, |b, _| {
-            b.iter(|| contains(black_box(&q1), black_box(&q2)).unwrap().holds())
+        r.bench(&format!("cyclic_pump/k{k}_d{d}"), || {
+            contains(black_box(&q1), black_box(&q2)).unwrap().holds()
         });
     }
-    group.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_chain_scaling, bench_cyclic_scaling);
-criterion_main!(benches);

@@ -1,22 +1,28 @@
 //! Experiment harness: regenerates every table of EXPERIMENTS.md.
 //!
 //! Usage:
-//!   cargo run -p flogic-bench --bin harness --release            # all experiments
-//!   cargo run -p flogic-bench --bin harness --release -- e3 e5   # a subset
-//!   cargo run -p flogic-bench --bin harness --release -- --quick # smaller workloads
+//!   cargo run -p flogic-bench --bin harness --release              # all experiments
+//!   cargo run -p flogic-bench --bin harness --release -- e3 e5     # a subset
+//!   cargo run -p flogic-bench --bin harness --release -- --quick   # smaller workloads
+//!   cargo run -p flogic-bench --bin harness --release -- --threads 8 e9
 //!
-//! Tables are printed to stdout and exported as CSV under `bench_results/`.
+//! `--threads N` sets the worker count for the experiments that exercise
+//! the parallel chase engine (`0` = all available cores). Tables are
+//! printed to stdout and exported as CSV under `bench_results/`; each
+//! experiment is followed by the engine metrics it accumulated (chase and
+//! hom wall-clock, cache hits/misses).
 
 use std::path::PathBuf;
 
 use flogic_bench::experiments::{self, ExperimentOutput};
+use flogic_term::Metrics;
 
 fn out_dir() -> PathBuf {
     // Relative to the invocation directory (usually the workspace root).
     PathBuf::from("bench_results")
 }
 
-fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
+fn run(id: &str, quick: bool, threads: usize) -> Option<ExperimentOutput> {
     let out = match id {
         "e1" => experiments::e1(),
         "e2" => experiments::e2(),
@@ -32,6 +38,13 @@ fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
         "e6" => experiments::e6(if quick { 20 } else { 100 }),
         "e7" => experiments::e7(),
         "e8" => experiments::e8(if quick { 5 } else { 15 }),
+        "e9" => {
+            if quick {
+                experiments::e9(3, 4, threads)
+            } else {
+                experiments::e9(5, 8, threads)
+            }
+        }
         _ => return None,
     };
     Some(out)
@@ -40,19 +53,29 @@ fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let mut ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+    let mut threads = 0usize; // 0 = all available cores
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("--threads requires a number (0 = all cores)");
+                std::process::exit(2);
+            };
+            threads = n;
+        } else if !a.starts_with("--") {
+            ids.push(a.to_lowercase());
+        }
+    }
     if ids.is_empty() {
-        ids = (1..=8).map(|i| format!("e{i}")).collect();
+        ids = (1..=9).map(|i| format!("e{i}")).collect();
     }
 
     let dir = out_dir();
     for id in &ids {
-        let Some(output) = run(id, quick) else {
-            eprintln!("unknown experiment `{id}` (expected e1..e8)");
+        let before = Metrics::global().snapshot();
+        let Some(output) = run(id, quick, threads) else {
+            eprintln!("unknown experiment `{id}` (expected e1..e9)");
             std::process::exit(2);
         };
         for (i, table) in output.tables.iter().enumerate() {
@@ -69,6 +92,8 @@ fn main() {
         for note in &output.notes {
             println!("{note}");
         }
+        let delta = Metrics::global().snapshot().since(&before);
+        println!("[{id} metrics] {delta}\n");
     }
     println!("CSV exports written to {}/", dir.display());
 }

@@ -2,15 +2,14 @@
 
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flogic_gen::rng::SplitMix64;
 
 use flogic_chase::{
-    chase_bounded, chase_minus, find_mandatory_cycles, to_dot, to_text, ChaseOptions,
-    ChaseOutcome,
+    chase_bounded, chase_minus, find_mandatory_cycles, to_dot, to_text, ChaseOptions, ChaseOutcome,
 };
 use flogic_core::{
-    classic_contains, contains, contains_with, naive, theorem_bound, ContainmentOptions,
+    classic_contains, contains, contains_batch, contains_with, naive, theorem_bound,
+    ContainmentOptions, DecisionCache,
 };
 use flogic_datalog::{answers, close_database, ClosureOptions};
 use flogic_gen::{
@@ -32,8 +31,8 @@ pub struct ExperimentOutput {
     pub notes: Vec<String>,
 }
 
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed)
 }
 
 /// Median wall-clock time of `reps` runs of `f`.
@@ -81,7 +80,13 @@ pub fn paper_pairs() -> Vec<(&'static str, ConjunctiveQuery, ConjunctiveQuery)> 
 pub fn e1() -> ExperimentOutput {
     let mut t = Table::new(
         "E1: Section 2 worked containments (expected: sigma=true, converse=false, classic=false)",
-        &["pair", "q subset qq (Sigma)", "qq subset q (Sigma)", "q subset qq (classic)", "time_us"],
+        &[
+            "pair",
+            "q subset qq (Sigma)",
+            "qq subset q (Sigma)",
+            "q subset qq (classic)",
+            "time_us",
+        ],
     );
     for (name, q1, q2) in paper_pairs() {
         let sigma = contains(&q1, &q2).expect("arity ok").holds();
@@ -96,7 +101,10 @@ pub fn e1() -> ExperimentOutput {
             micros(dt),
         ]);
     }
-    ExperimentOutput { tables: vec![t], notes: vec![] }
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![],
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -105,10 +113,8 @@ pub fn e1() -> ExperimentOutput {
 
 /// E2: the chase of Example 1 rewrites the head `(V1, V2)` to `(V1, V1)`.
 pub fn e2() -> ExperimentOutput {
-    let q = parse_query(
-        "q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).",
-    )
-    .expect("Example 1 parses");
+    let q = parse_query("q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).")
+        .expect("Example 1 parses");
     let chase = chase_minus(&q);
     let mut t = Table::new(
         "E2: Example 1 head rewriting by rho12 + rho4",
@@ -116,17 +122,32 @@ pub fn e2() -> ExperimentOutput {
     );
     t.push(vec!["head before chase".into(), "(V1, V2)".into()]);
     let head: Vec<String> = chase.head().iter().map(|x| x.to_string()).collect();
-    t.push(vec!["head after chase".into(), format!("({})", head.join(", "))]);
+    t.push(vec![
+        "head after chase".into(),
+        format!("({})", head.join(", ")),
+    ]);
     t.push(vec![
         "funct(A, O) derived".into(),
-        chase.find(&Atom::funct(Term::var("A"), Term::var("O"))).is_some().to_string(),
+        chase
+            .find(&Atom::funct(Term::var("A"), Term::var("O")))
+            .is_some()
+            .to_string(),
     ]);
-    t.push(vec!["merges performed".into(), chase.stats().merges.to_string()]);
+    t.push(vec![
+        "merges performed".into(),
+        chase.stats().merges.to_string(),
+    ]);
     let follows = contains(&q, &parse_query("qq(W, W) :- data(O, A, W).").unwrap())
         .unwrap()
         .holds();
-    t.push(vec!["q subset qq(W,W) :- data(O,A,W)".into(), follows.to_string()]);
-    ExperimentOutput { tables: vec![t], notes: vec![] }
+    t.push(vec![
+        "q subset qq(W,W) :- data(O,A,W)".into(),
+        follows.to_string(),
+    ]);
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![],
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -136,10 +157,17 @@ pub fn e2() -> ExperimentOutput {
 /// E3: the chase graph of Example 2 — per-level census, cycle detection,
 /// and the Figure 1 rendering (text + DOT artifact).
 pub fn e3() -> ExperimentOutput {
-    let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).")
-        .expect("Example 2 parses");
+    let q =
+        parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").expect("Example 2 parses");
     let cycles = find_mandatory_cycles(q.body());
-    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 9, max_conjuncts: 100_000 });
+    let chase = chase_bounded(
+        &q,
+        &ChaseOptions {
+            level_bound: 9,
+            max_conjuncts: 100_000,
+            ..Default::default()
+        },
+    );
 
     let mut census = Table::new(
         "E3: Example 2 chase census per level (the rho5-rho1-rho6-rho10 pump)",
@@ -148,7 +176,10 @@ pub fn e3() -> ExperimentOutput {
     for level in 0..=chase.max_level() {
         let ids = chase.at_level(level);
         let count_pred = |p: Pred| {
-            ids.iter().filter(|&&id| chase.atom(id).pred() == p).count().to_string()
+            ids.iter()
+                .filter(|&&id| chase.atom(id).pred() == p)
+                .count()
+                .to_string()
         };
         census.push(vec![
             level.to_string(),
@@ -161,19 +192,31 @@ pub fn e3() -> ExperimentOutput {
     }
 
     let mut facts = Table::new("E3: Example 2 facts", &["quantity", "value"]);
-    facts.push(vec!["mandatory/type cycles in q".into(), cycles.len().to_string()]);
+    facts.push(vec![
+        "mandatory/type cycles in q".into(),
+        cycles.len().to_string(),
+    ]);
     facts.push(vec![
         "chase outcome at bound 9".into(),
         format!("{:?}", chase.outcome()),
     ]);
-    facts.push(vec!["nulls invented".into(), chase.stats().nulls_invented.to_string()]);
-    facts.push(vec!["cross-arcs".into(), chase.stats().cross_arcs.to_string()]);
+    facts.push(vec![
+        "nulls invented".into(),
+        chase.stats().nulls_invented.to_string(),
+    ]);
+    facts.push(vec![
+        "cross-arcs".into(),
+        chase.stats().cross_arcs.to_string(),
+    ]);
 
     let text = to_text(&chase);
     let dot = to_dot(&chase);
     ExperimentOutput {
         tables: vec![facts, census],
-        notes: vec![format!("Figure 1 (text rendering):\n{text}"), format!("DOT:\n{dot}")],
+        notes: vec![
+            format!("Figure 1 (text rendering):\n{text}"),
+            format!("DOT:\n{dot}"),
+        ],
     }
 }
 
@@ -190,9 +233,18 @@ pub fn e3() -> ExperimentOutput {
 /// exponentially *within* the Theorem 12 bound (the problem is NP-hard;
 /// the cap keeps the harness total-time bounded).
 pub fn e4(pairs: usize, dbs_per_pair: u64) -> ExperimentOutput {
-    let qcfg = QueryGenConfig { n_atoms: 4, n_vars: 4, n_consts: 2, ..Default::default() };
+    let qcfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
     let gcfg = GeneralizeConfig::default();
-    let copts = ContainmentOptions { level_bound: None, max_conjuncts: 50_000 };
+    let copts = ContainmentOptions {
+        level_bound: None,
+        max_conjuncts: 50_000,
+        ..Default::default()
+    };
 
     let mut n_holds = 0usize;
     let mut n_rejects = 0usize;
@@ -256,8 +308,7 @@ pub fn e4(pairs: usize, dbs_per_pair: u64) -> ExperimentOutput {
         if verdict.holds() {
             for s in 0..dbs_per_pair {
                 let db = random_database(&DbGenConfig::default(), &mut rng(i * 100 + s));
-                let Ok((closed, _)) = close_database(&db, &ClosureOptions::default())
-                else {
+                let Ok((closed, _)) = close_database(&db, &ClosureOptions::default()) else {
                     continue;
                 };
                 db_checks += 1;
@@ -272,18 +323,33 @@ pub fn e4(pairs: usize, dbs_per_pair: u64) -> ExperimentOutput {
         "E4: soundness cross-validation (expected: agreement 100%, violations 0)",
         &["quantity", "value"],
     );
-    t.push(vec!["pairs checked".into(), (n_holds + n_rejects + n_vacuous).to_string()]);
-    t.push(vec!["pairs over the resource cap".into(), n_capped.to_string()]);
+    t.push(vec![
+        "pairs checked".into(),
+        (n_holds + n_rejects + n_vacuous).to_string(),
+    ]);
+    t.push(vec![
+        "pairs over the resource cap".into(),
+        n_capped.to_string(),
+    ]);
     t.push(vec!["verdict contained".into(), n_holds.to_string()]);
     t.push(vec!["verdict not contained".into(), n_rejects.to_string()]);
-    t.push(vec!["verdict vacuous (failed chase)".into(), n_vacuous.to_string()]);
+    t.push(vec![
+        "verdict vacuous (failed chase)".into(),
+        n_vacuous.to_string(),
+    ]);
     t.push(vec![
         "naive baseline agreement".into(),
         format!("{naive_agree}/{naive_decided}"),
     ]);
     t.push(vec!["database subset checks".into(), db_checks.to_string()]);
-    t.push(vec!["database counterexamples".into(), db_violations.to_string()]);
-    ExperimentOutput { tables: vec![t], notes: vec![] }
+    t.push(vec![
+        "database counterexamples".into(),
+        db_violations.to_string(),
+    ]);
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![],
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -303,15 +369,31 @@ pub fn sub_chain(n: usize) -> ConjunctiveQuery {
 pub fn e5(reps: usize) -> ExperimentOutput {
     let mut chains = Table::new(
         "E5a: sub-chain workload — chain(n) subset chain(m) iff m <= n",
-        &["n (=|q1|)", "m (=|q2|)", "holds", "chase conjuncts", "time_us"],
+        &[
+            "n (=|q1|)",
+            "m (=|q2|)",
+            "holds",
+            "chase conjuncts",
+            "time_us",
+        ],
     );
     // Negative instances (m > n) force the hom search to exhaust an
     // exponentially large path space — the NP-hardness of CQ containment
     // made visible — so they are kept small; positive instances scale
     // further.
-    for &(n, m) in
-        &[(2usize, 2usize), (4, 2), (4, 4), (4, 6), (8, 4), (8, 8), (8, 10), (16, 8), (16, 16), (24, 24), (32, 32)]
-    {
+    for &(n, m) in &[
+        (2usize, 2usize),
+        (4, 2),
+        (4, 4),
+        (4, 6),
+        (8, 4),
+        (8, 8),
+        (8, 10),
+        (16, 8),
+        (16, 16),
+        (24, 24),
+        (32, 32),
+    ] {
         let q1 = sub_chain(n);
         let q2 = sub_chain(m);
         let r = contains(&q1, &q2).expect("arity ok");
@@ -328,9 +410,24 @@ pub fn e5(reps: usize) -> ExperimentOutput {
 
     let mut cyclic = Table::new(
         "E5b: cyclic workload — q1 has a mandatory cycle of length k, q2 probes d pump steps",
-        &["k", "d (=|q2|)", "holds", "bound", "chase conjuncts", "time_us"],
+        &[
+            "k",
+            "d (=|q2|)",
+            "holds",
+            "bound",
+            "chase conjuncts",
+            "time_us",
+        ],
     );
-    for &(k, d) in &[(1usize, 1usize), (1, 3), (2, 2), (2, 4), (3, 3), (3, 6), (4, 4)] {
+    for &(k, d) in &[
+        (1usize, 1usize),
+        (1, 3),
+        (2, 2),
+        (2, 4),
+        (3, 3),
+        (3, 6),
+        (4, 4),
+    ] {
         let q1 = cyclic_query(k);
         let q2 = pump_probe(k, d);
         let r = contains(&q1, &q2).expect("arity ok");
@@ -368,7 +465,11 @@ pub fn e5(reps: usize) -> ExperimentOutput {
                 &mut rng(seed * 13 + n as u64),
             );
             let t0 = Instant::now();
-            let copts = ContainmentOptions { level_bound: None, max_conjuncts: 50_000 };
+            let copts = ContainmentOptions {
+                level_bound: None,
+                max_conjuncts: 50_000,
+                ..Default::default()
+            };
             let Ok(r) = contains_with(&q1, &q2, &copts) else {
                 continue; // resource-capped pair: excluded from the medians
             };
@@ -386,7 +487,10 @@ pub fn e5(reps: usize) -> ExperimentOutput {
         ]);
     }
 
-    ExperimentOutput { tables: vec![chains, cyclic, random], notes: vec![] }
+    ExperimentOutput {
+        tables: vec![chains, cyclic, random],
+        notes: vec![],
+    }
 }
 
 /// A Boolean query holding a mandatory/type cycle of length `k`
@@ -426,12 +530,23 @@ pub fn pump_probe(k: usize, d: usize) -> ConjunctiveQuery {
 /// workloads (body generalizations vs chase generalizations), plus the
 /// curated pairs where only `Σ_FL` succeeds.
 pub fn e6(pairs: u64) -> ExperimentOutput {
-    let qcfg = QueryGenConfig { n_atoms: 4, n_vars: 4, n_consts: 2, ..Default::default() };
+    let qcfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
     let gcfg = GeneralizeConfig::default();
 
     let mut t = Table::new(
         "E6: classical vs Sigma_FL containment rates",
-        &["workload", "pairs", "classic holds", "sigma holds", "sigma-only"],
+        &[
+            "workload",
+            "pairs",
+            "classic holds",
+            "sigma holds",
+            "sigma-only",
+        ],
     );
     for (name, from_chase) in [("generalize(body)", false), ("generalize(chase)", true)] {
         let mut total = 0u64;
@@ -448,7 +563,11 @@ pub fn e6(pairs: u64) -> ExperimentOutput {
             } else {
                 generalize(&q1, &gcfg, &mut rng(seed + 50_000))
             };
-            let copts = ContainmentOptions { level_bound: None, max_conjuncts: 50_000 };
+            let copts = ContainmentOptions {
+                level_bound: None,
+                max_conjuncts: 50_000,
+                ..Default::default()
+            };
             let Ok(r) = contains_with(&q1, &q2, &copts) else {
                 continue; // resource-capped pair
             };
@@ -482,9 +601,15 @@ pub fn e6(pairs: u64) -> ExperimentOutput {
     let cases = [
         ("q(X,Z) :- sub(X,Y), sub(Y,Z).", "p(X,Z) :- sub(X,Z)."),
         ("q(O,D) :- member(O,C), sub(C,D).", "p(O,D) :- member(O,D)."),
-        ("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].", "p(A,B) :- T1[A*=>T2], T2[B*=>_]."),
+        (
+            "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].",
+            "p(A,B) :- T1[A*=>T2], T2[B*=>_].",
+        ),
         ("q(O) :- mandatory(a, O).", "p(O) :- data(O, a, V)."),
-        ("q(O,T) :- member(O,C), type(C,a,T).", "p(O,T) :- type(O,a,T)."),
+        (
+            "q(O,T) :- member(O,C), type(C,a,T).",
+            "p(O,T) :- type(O,a,T).",
+        ),
     ];
     for (s1, s2) in cases {
         let q1 = parse_query(s1).expect("curated parses");
@@ -493,7 +618,10 @@ pub fn e6(pairs: u64) -> ExperimentOutput {
         let s = contains(&q1, &q2).expect("arity ok").holds();
         curated.push(vec![s1.into(), s2.into(), c.to_string(), s.to_string()]);
     }
-    ExperimentOutput { tables: vec![t, curated], notes: vec![] }
+    ExperimentOutput {
+        tables: vec![t, curated],
+        notes: vec![],
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -507,7 +635,16 @@ pub fn e7() -> ExperimentOutput {
         "E7: witness level vs Theorem 12 bound (cyclic pump workloads)",
         &["k", "d", "|q1|", "|q2|", "bound", "witness level", "slack"],
     );
-    for &(k, d) in &[(1usize, 1usize), (1, 2), (1, 4), (2, 2), (2, 4), (3, 3), (4, 4), (2, 6)] {
+    for &(k, d) in &[
+        (1usize, 1usize),
+        (1, 2),
+        (1, 4),
+        (2, 2),
+        (2, 4),
+        (3, 3),
+        (4, 4),
+        (2, 6),
+    ] {
         let q1 = cyclic_query(k);
         let q2 = pump_probe(k, d);
         let bound = theorem_bound(&q1, &q2);
@@ -574,19 +711,222 @@ pub fn e8(reps: usize) -> ExperimentOutput {
             micros(times[times.len() / 2]),
         ]);
     }
-    ExperimentOutput { tables: vec![t], notes: vec![] }
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![],
+    }
 }
 
 // ---------------------------------------------------------------------------
-// Bounded-vs-naive comparison used by the criterion benches.
+// E9 — repeated-query batches: decision cache, shared chase, parallel chase.
 // ---------------------------------------------------------------------------
 
-/// Decide with an explicit level bound (for the criterion benches).
+/// E9: the same containment workload decided four ways — one `contains_with`
+/// call per pair, `contains_batch` (one shared chase of `q1`), and a
+/// [`DecisionCache`] in both single-pair and batch mode — plus the parallel
+/// chase engine at several thread counts.
+///
+/// The workload repeats each distinct `q2` several times under fresh
+/// variable names, the shape a query optimiser produces when it re-asks the
+/// same containment question for syntactically distinct rewrites. The cache
+/// canonicalizes the renames away, so only the first occurrence pays for a
+/// chase + hom search.
+pub fn e9(distinct: usize, repeats: usize, threads: usize) -> ExperimentOutput {
+    let q1 = cyclic_query(2);
+    let copts = ContainmentOptions {
+        level_bound: None,
+        max_conjuncts: 200_000,
+        ..Default::default()
+    };
+
+    // `distinct` probe shapes, each repeated `repeats` times under fresh
+    // variable names (every rename adds another `'` to each variable).
+    let mut q2s: Vec<ConjunctiveQuery> = Vec::new();
+    for d in 1..=distinct {
+        let base = pump_probe(2, d);
+        let mut copy = base.clone();
+        for _ in 0..repeats {
+            q2s.push(copy.clone());
+            copy = copy.rename_apart(&copy);
+        }
+    }
+
+    let metrics = flogic_term::Metrics::global();
+    let time_total = |f: &mut dyn FnMut() -> Vec<bool>| -> (Vec<bool>, Duration) {
+        let t0 = Instant::now();
+        let verdicts = f();
+        (verdicts, t0.elapsed())
+    };
+
+    let (singles, t_singles) = time_total(&mut || {
+        q2s.iter()
+            .map(|q2| contains_with(&q1, q2, &copts).expect("within cap").holds())
+            .collect()
+    });
+
+    let (batched, t_batch) = time_total(&mut || {
+        contains_batch(&q1, &q2s, &copts)
+            .into_iter()
+            .map(|r| r.expect("within cap").holds())
+            .collect()
+    });
+
+    let cache = DecisionCache::new();
+    let before = metrics.snapshot();
+    let (cached, t_cache) = time_total(&mut || {
+        q2s.iter()
+            .map(|q2| {
+                cache
+                    .contains_with(&q1, q2, &copts)
+                    .expect("within cap")
+                    .holds()
+            })
+            .collect()
+    });
+    let cache_delta = metrics.snapshot().since(&before);
+
+    let cache2 = DecisionCache::new();
+    let before = metrics.snapshot();
+    let (cached_batch, t_cache_batch) = time_total(&mut || {
+        cache2
+            .contains_batch(&q1, &q2s, &copts)
+            .into_iter()
+            .map(|r| r.expect("within cap").holds())
+            .collect()
+    });
+    let cache_batch_delta = metrics.snapshot().since(&before);
+
+    assert_eq!(singles, batched, "batch must agree with singles");
+    assert_eq!(singles, cached, "cache must agree with singles");
+    assert_eq!(
+        singles, cached_batch,
+        "cached batch must agree with singles"
+    );
+
+    let n = q2s.len();
+    let speedup = |t: Duration| format!("{:.2}x", t_singles.as_secs_f64() / t.as_secs_f64());
+    let mut t = Table::new(
+        "E9a: repeated-query batch — same verdicts, shared work (expected: speedup > 1 for cache)",
+        &[
+            "strategy",
+            "decisions",
+            "total_ms",
+            "per_decision_us",
+            "speedup",
+            "cache hits",
+            "cache misses",
+        ],
+    );
+    let ms = |d: Duration| format!("{:.2}", d.as_secs_f64() * 1e3);
+    let per = |d: Duration| format!("{:.1}", d.as_secs_f64() * 1e6 / n as f64);
+    t.push(vec![
+        "contains_with per pair".into(),
+        n.to_string(),
+        ms(t_singles),
+        per(t_singles),
+        "1.00x".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.push(vec![
+        "contains_batch (shared chase)".into(),
+        n.to_string(),
+        ms(t_batch),
+        per(t_batch),
+        speedup(t_batch),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.push(vec![
+        "DecisionCache per pair".into(),
+        n.to_string(),
+        ms(t_cache),
+        per(t_cache),
+        speedup(t_cache),
+        cache_delta.cache_hits.to_string(),
+        cache_delta.cache_misses.to_string(),
+    ]);
+    t.push(vec![
+        "DecisionCache + contains_batch".into(),
+        n.to_string(),
+        ms(t_cache_batch),
+        per(t_cache_batch),
+        speedup(t_cache_batch),
+        cache_batch_delta.cache_hits.to_string(),
+        cache_batch_delta.cache_misses.to_string(),
+    ]);
+
+    // Parallel chase: Example 2's infinite chase, cut at a fixed level, is
+    // re-run at several thread counts; the results must be identical.
+    let example2 =
+        parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").expect("Example 2 parses");
+    let chase_at = |workers: usize| {
+        chase_bounded(
+            &example2,
+            &ChaseOptions {
+                level_bound: 11,
+                max_conjuncts: 500_000,
+                threads: workers,
+            },
+        )
+    };
+    let baseline = chase_at(1);
+    let mut pt = Table::new(
+        "E9b: parallel chase of Example 2 (level bound 11; expected: identical = true)",
+        &[
+            "threads",
+            "conjuncts",
+            "max level",
+            "time_ms",
+            "identical to threads=1",
+        ],
+    );
+    let mut thread_counts = vec![1usize, 2, 4];
+    if threads > 0 && !thread_counts.contains(&threads) {
+        thread_counts.push(threads);
+    }
+    for workers in thread_counts {
+        let chase = chase_at(workers);
+        let dt = time_median(3, || chase_at(workers).len());
+        let identical = chase.len() == baseline.len()
+            && chase.max_level() == baseline.max_level()
+            && chase.outcome() == baseline.outcome()
+            && chase.stats() == baseline.stats();
+        pt.push(vec![
+            workers.to_string(),
+            chase.len().to_string(),
+            chase.max_level().to_string(),
+            format!("{:.2}", dt.as_secs_f64() * 1e3),
+            identical.to_string(),
+        ]);
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    ExperimentOutput {
+        tables: vec![t, pt],
+        notes: vec![format!(
+            "E9 workload: {distinct} distinct probes x {repeats} renamed repeats = {n} decisions \
+             against one q1 (mandatory cycle of length 2). Host reports {cores} core(s): \
+             with a single core the parallel engine can only demonstrate determinism, \
+             not speedup."
+        )],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-vs-naive comparison used by the micro-benches.
+// ---------------------------------------------------------------------------
+
+/// Decide with an explicit level bound (for the micro-benches).
 pub fn contains_at_bound(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, bound: u32) -> bool {
     contains_with(
         q1,
         q2,
-        &ContainmentOptions { level_bound: Some(bound), max_conjuncts: 2_000_000 },
+        &ContainmentOptions {
+            level_bound: Some(bound),
+            max_conjuncts: 2_000_000,
+            ..Default::default()
+        },
     )
     .expect("arity ok")
     .holds()
@@ -635,9 +975,15 @@ mod tests {
     fn e4_small_run_has_no_violations() {
         let out = e4(5, 1);
         let rows = &out.tables[0].rows;
-        let violations = rows.iter().find(|r| r[0] == "database counterexamples").unwrap();
+        let violations = rows
+            .iter()
+            .find(|r| r[0] == "database counterexamples")
+            .unwrap();
         assert_eq!(violations[1], "0");
-        let agree = rows.iter().find(|r| r[0] == "naive baseline agreement").unwrap();
+        let agree = rows
+            .iter()
+            .find(|r| r[0] == "naive baseline agreement")
+            .unwrap();
         let parts: Vec<&str> = agree[1].split('/').collect();
         assert_eq!(parts[0], parts[1], "full agreement expected");
     }

@@ -15,10 +15,12 @@
 //! | E6 | Σ_FL yields strictly more containments than classical CQ reasoning |
 //! | E7 | the Theorem 12 level bound vs the level actually needed |
 //! | E8 | `chase⁻` stays polynomial (Theorem 13, step 1) |
+//! | E9 | repeated-query batches: decision cache, shared chase, parallel chase |
 
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,185 @@
+//! Vendored micro-benchmark timer — the dependency-free replacement for
+//! criterion that keeps the bench targets hermetic.
+//!
+//! Protocol per benchmark: a warm-up pass sizes a batch so one sample lasts
+//! at least [`Runner::min_sample_ms`], then `samples` batches are timed and
+//! the per-iteration minimum / median / mean are reported. The minimum is
+//! the headline number: for a deterministic workload it is the best
+//! available estimate of the true cost (everything above it is scheduler
+//! and cache noise).
+//!
+//! ```
+//! let mut r = flogic_bench::microbench::Runner::new("doc");
+//! r.samples(5).bench("nop", || std::hint::black_box(1 + 1));
+//! r.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's summary statistics (per-iteration times).
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark name (`group/name`).
+    pub name: String,
+    /// Fastest observed per-iteration time.
+    pub min: Duration,
+    /// Median per-iteration time across samples.
+    pub median: Duration,
+    /// Mean per-iteration time across samples.
+    pub mean: Duration,
+    /// Iterations per timed batch (sized by the warm-up pass).
+    pub batch: u64,
+    /// Number of timed batches.
+    pub samples: usize,
+}
+
+/// Runs benchmarks for one group and prints a summary table on
+/// [`Runner::finish`].
+pub struct Runner {
+    group: String,
+    samples: usize,
+    min_sample_ms: u64,
+    results: Vec<Sample>,
+}
+
+impl Runner {
+    /// Creates a runner whose benchmarks are reported as `group/name`.
+    pub fn new(group: &str) -> Runner {
+        Runner {
+            group: group.to_owned(),
+            samples: 30,
+            min_sample_ms: 2,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed batches per benchmark (default 30).
+    pub fn samples(&mut self, n: usize) -> &mut Runner {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the minimum duration of one timed batch in milliseconds
+    /// (default 2). Larger values amortise timer overhead for very fast
+    /// bodies.
+    pub fn min_sample_ms(&mut self, ms: u64) -> &mut Runner {
+        self.min_sample_ms = ms.max(1);
+        self
+    }
+
+    /// Times `f` and records the result under `name`.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &mut Runner {
+        // Warm-up: double the batch until one batch exceeds the floor.
+        let floor = Duration::from_millis(self.min_sample_ms);
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if t0.elapsed() >= floor || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t0.elapsed() / batch as u32
+            })
+            .collect();
+        per_iter.sort();
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        self.results.push(Sample {
+            name: format!("{}/{name}", self.group),
+            min,
+            median,
+            mean,
+            batch,
+            samples: self.samples,
+        });
+        self
+    }
+
+    /// Prints the summary table for everything benched so far and clears
+    /// the result list.
+    pub fn finish(&mut self) {
+        let width = self
+            .results
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max("name".len());
+        println!(
+            "{:<width$}  {:>12}  {:>12}  {:>12}  {:>8}",
+            "name", "min", "median", "mean", "batch"
+        );
+        for r in &self.results {
+            println!(
+                "{:<width$}  {:>12}  {:>12}  {:>12}  {:>8}",
+                r.name,
+                fmt_duration(r.min),
+                fmt_duration(r.median),
+                fmt_duration(r.mean),
+                r.batch
+            );
+        }
+        self.results.clear();
+    }
+
+    /// Returns the recorded samples (for programmatic consumers).
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+}
+
+/// Formats a duration with an adaptive unit (`ns`, `us`, `ms`, `s`).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_a_sample() {
+        let mut r = Runner::new("t");
+        r.samples(3)
+            .min_sample_ms(1)
+            .bench("add", || black_box(2u64) + 2);
+        assert_eq!(r.results().len(), 1);
+        let s = &r.results()[0];
+        assert_eq!(s.name, "t/add");
+        assert!(s.min <= s.median);
+        assert!(s.min <= s.mean);
+        assert!(s.batch >= 1);
+        r.finish();
+        assert!(r.results().is_empty());
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.0 us");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

@@ -64,6 +64,7 @@ pub fn find_mandatory_cycles(conjuncts: &[Atom]) -> Vec<MandatoryCycle> {
     nodes.sort();
 
     // DFS from each node, only visiting nodes >= start (canonical cycles).
+    #[allow(clippy::too_many_arguments)] // recursive helper: state threads through
     fn dfs(
         start: Term,
         current: Term,
@@ -74,7 +75,9 @@ pub fn find_mandatory_cycles(conjuncts: &[Atom]) -> Vec<MandatoryCycle> {
         seen: &mut HashSet<Vec<Term>>,
         cycles: &mut Vec<MandatoryCycle>,
     ) {
-        let Some(outs) = edges.get(&current) else { return };
+        let Some(outs) = edges.get(&current) else {
+            return;
+        };
         for &(attr, next) in outs {
             if next == start {
                 let mut key = path_classes.clone();
@@ -83,13 +86,25 @@ pub fn find_mandatory_cycles(conjuncts: &[Atom]) -> Vec<MandatoryCycle> {
                 if seen.insert(key) {
                     let mut attrs = path_attrs.clone();
                     attrs.push(attr);
-                    cycles.push(MandatoryCycle { classes: path_classes.clone(), attrs });
+                    cycles.push(MandatoryCycle {
+                        classes: path_classes.clone(),
+                        attrs,
+                    });
                 }
             } else if next >= start && !on_path.contains(&next) {
                 path_classes.push(next);
                 path_attrs.push(attr);
                 on_path.insert(next);
-                dfs(start, next, edges, path_classes, path_attrs, on_path, seen, cycles);
+                dfs(
+                    start,
+                    next,
+                    edges,
+                    path_classes,
+                    path_attrs,
+                    on_path,
+                    seen,
+                    cycles,
+                );
                 on_path.remove(&next);
                 path_attrs.pop();
                 path_classes.pop();
@@ -140,7 +155,10 @@ mod tests {
     #[test]
     fn self_loop_detected() {
         // Example 2's core: mandatory(A, T), type(T, A, T).
-        let conjuncts = [Atom::mandatory(v("A"), v("T")), Atom::typ(v("T"), v("A"), v("T"))];
+        let conjuncts = [
+            Atom::mandatory(v("A"), v("T")),
+            Atom::typ(v("T"), v("A"), v("T")),
+        ];
         let cycles = find_mandatory_cycles(&conjuncts);
         assert_eq!(cycles.len(), 1);
         assert_eq!(cycles[0].len(), 1);

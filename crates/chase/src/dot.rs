@@ -12,7 +12,9 @@ use crate::engine::Chase;
 /// ordinary arcs, dashed arcs are cross-arcs; every arc is labelled with
 /// the rule (ρi) that produced it.
 pub fn to_dot(chase: &Chase) -> String {
-    let mut out = String::from("digraph chase {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph chase {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     let max_level = chase.max_level();
     for level in 0..=max_level {
         let ids = chase.at_level(level);
@@ -28,7 +30,11 @@ pub fn to_dot(chase: &Chase) -> String {
     }
     for arc in chase.arcs() {
         let style = if arc.cross { ", style=dashed" } else { "" };
-        let _ = writeln!(out, "  {} -> {} [label=\"{}\"{}];", arc.from, arc.to, arc.rule, style);
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"{}];",
+            arc.from, arc.to, arc.rule, style
+        );
     }
     out.push_str("}\n");
     out
@@ -53,11 +59,7 @@ pub fn to_text(chase: &Chase) -> String {
                         .iter()
                         .map(|p| chase.atom(*p).to_string())
                         .collect();
-                    let _ = writeln!(
-                        out,
-                        "  {atom}    [{rule} from {}]",
-                        parents.join(", ")
-                    );
+                    let _ = writeln!(out, "  {atom}    [{rule} from {}]", parents.join(", "));
                 }
                 None => {
                     let _ = writeln!(out, "  {atom}");
@@ -76,7 +78,14 @@ mod tests {
 
     fn example2() -> Chase {
         let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
-        chase_bounded(&q, &ChaseOptions { level_bound: 5, max_conjuncts: 10_000 })
+        chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: 5,
+                max_conjuncts: 10_000,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]

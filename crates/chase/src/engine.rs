@@ -1,7 +1,7 @@
 //! The chase engine (Definition 2 of the paper, with the two-phase
 //! discipline of Section 4).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 use flogic_model::{
     sigma_fl, Atom, ConjunctiveQuery, Pred, RuleId, SigmaRule, Tgd, SIGMA_RULE_COUNT,
@@ -20,11 +20,22 @@ pub struct ChaseOptions {
     /// Safety cap on the number of conjuncts; exceeded ⇒
     /// [`ChaseOutcome::Truncated`].
     pub max_conjuncts: usize,
+    /// Worker threads for discovering applicable rule instances in each
+    /// frontier batch. `1` (the default) runs fully sequentially; `0`
+    /// means "use the machine's available parallelism". The chase result
+    /// is bit-identical for every setting: discovery is a pure read of a
+    /// frozen snapshot, and applications are merged back in frontier
+    /// order regardless of which worker found them.
+    pub threads: usize,
 }
 
 impl Default for ChaseOptions {
     fn default() -> Self {
-        ChaseOptions { level_bound: u32::MAX, max_conjuncts: 1_000_000 }
+        ChaseOptions {
+            level_bound: u32::MAX,
+            max_conjuncts: 1_000_000,
+            threads: 1,
+        }
     }
 }
 
@@ -50,7 +61,7 @@ pub enum ChaseOutcome {
 }
 
 /// Counters describing a chase run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ChaseStats {
     /// Successful applications per rule (index = `RuleId::index()`).
     pub applications: [usize; SIGMA_RULE_COUNT],
@@ -67,6 +78,16 @@ impl ChaseStats {
     pub fn total_applications(&self) -> usize {
         self.applications.iter().sum()
     }
+}
+
+/// An applicable rule instance discovered by a frontier batch, waiting for
+/// the sequential application step. `head` has the rule binding already
+/// applied; `existential` is ρ5's fresh-value variable (still unbound).
+struct Candidate {
+    rule: RuleId,
+    head: Atom,
+    existential: Option<Term>,
+    parents: Vec<ConjunctId>,
 }
 
 #[derive(Clone, Debug)]
@@ -162,12 +183,20 @@ impl Chase {
             return (id, false);
         }
         let id = ConjunctId(u32::try_from(self.nodes.len()).expect("chase too large"));
-        self.nodes.push(Node { atom, level, rule, parents });
+        self.nodes.push(Node {
+            atom,
+            level,
+            rule,
+            parents,
+        });
         self.redirect.push(id.0);
         self.canon.insert(atom, id);
         self.by_pred[atom.pred().index()].push(id);
         for (pos, &term) in atom.args().iter().enumerate() {
-            self.by_pos.entry((atom.pred(), pos as u8, term)).or_default().push(id);
+            self.by_pos
+                .entry((atom.pred(), pos as u8, term))
+                .or_default()
+                .push(id);
         }
         (id, true)
     }
@@ -204,7 +233,12 @@ impl Chase {
     fn add_arc(&mut self, from: ConjunctId, to: ConjunctId, rule: RuleId, cross: bool) {
         let key = (from.0, to.0, rule, cross);
         if self.arc_seen.insert(key) {
-            self.arcs.push(ChaseArc { from, to, rule, cross });
+            self.arcs.push(ChaseArc {
+                from,
+                to,
+                rule,
+                cross,
+            });
             if cross {
                 self.stats.cross_arcs += 1;
             }
@@ -304,7 +338,10 @@ impl Chase {
 
     /// Live conjunct ids at a given level.
     pub fn at_level(&self, level: u32) -> Vec<ConjunctId> {
-        self.conjuncts().filter(|&(_, _, l)| l == level).map(|(id, _, _)| id).collect()
+        self.conjuncts()
+            .filter(|&(_, _, l)| l == level)
+            .map(|(id, _, _)| id)
+            .collect()
     }
 
     // ---- EGD (ρ4) ---------------------------------------------------------
@@ -351,8 +388,7 @@ impl Chase {
                                     }
                                     // Lexicographically smaller term is the
                                     // representative (Definition 2(1)(b)).
-                                    let (keep, drop) =
-                                        if rv < rw { (rv, rw) } else { (rw, rv) };
+                                    let (keep, drop) = if rv < rw { (rv, rw) } else { (rw, rv) };
                                     uf.insert(drop, keep);
                                     pending = true;
                                 }
@@ -385,8 +421,10 @@ impl Chase {
         }
         self.merge_map = self.merge_map.compose(merge);
         // Rewrite atoms of live nodes.
-        let live: Vec<ConjunctId> =
-            (0..self.nodes.len() as u32).map(ConjunctId).filter(|&i| self.is_live(i)).collect();
+        let live: Vec<ConjunctId> = (0..self.nodes.len() as u32)
+            .map(ConjunctId)
+            .filter(|&i| self.is_live(i))
+            .collect();
         self.canon.clear();
         for arr in &mut self.by_pred {
             arr.clear();
@@ -417,11 +455,24 @@ impl Chase {
                 }
             }
         }
-        // Rebuild the positional indexes from the canonical survivors.
-        for (atom, &id) in &self.canon {
+        // Rebuild the positional indexes from the canonical survivors, in
+        // numeric id order — NOT by iterating the `canon` map, whose order
+        // is randomized per `HashMap` instance. Index list order drives
+        // match enumeration order, so it must be a pure function of the
+        // chase history for runs to be reproducible (and for the parallel
+        // and sequential engines to agree bit for bit).
+        for i in 0..self.nodes.len() as u32 {
+            let id = ConjunctId(i);
+            if !self.is_live(id) {
+                continue;
+            }
+            let atom = self.nodes[id.index()].atom;
             self.by_pred[atom.pred().index()].push(id);
             for (pos, &term) in atom.args().iter().enumerate() {
-                self.by_pos.entry((atom.pred(), pos as u8, term)).or_default().push(id);
+                self.by_pos
+                    .entry((atom.pred(), pos as u8, term))
+                    .or_default()
+                    .push(id);
             }
         }
     }
@@ -466,6 +517,7 @@ impl Chase {
             Some(out)
         }
 
+        #[allow(clippy::too_many_arguments)] // recursive helper: state threads through
         fn rec(
             chase: &Chase,
             body: &[Atom],
@@ -502,22 +554,103 @@ impl Chase {
         }
 
         let mut matched = Vec::with_capacity(body.len());
-        rec(self, body, pinned, pinned_id, 0, Subst::new(), &mut matched, found);
+        rec(
+            self,
+            body,
+            pinned,
+            pinned_id,
+            0,
+            Subst::new(),
+            &mut matched,
+            found,
+        );
     }
 
     // ---- main loop ----------------------------------------------------------
 
+    /// Collects every applicable rule instance with `id` pinned in each
+    /// compatible body position. Pure read of the current chase state.
+    fn collect_candidates(&self, tgds: &[&Tgd], id: ConjunctId, out: &mut Vec<Candidate>) {
+        let pred = self.nodes[id.index()].atom.pred();
+        for tgd in tgds {
+            for (pos, batom) in tgd.body.iter().enumerate() {
+                if batom.pred() != pred {
+                    continue;
+                }
+                self.match_body_pinned(&tgd.body, pos, id, &mut |s, matched| {
+                    out.push(Candidate {
+                        rule: tgd.id,
+                        head: tgd.head.apply(s),
+                        existential: tgd.existential.map(|e| s.apply(e)),
+                        parents: matched.to_vec(),
+                    });
+                });
+            }
+        }
+    }
+
+    /// Discovers the applicable rule instances for a whole frontier batch,
+    /// fanning the per-conjunct searches out over `threads` scoped workers.
+    ///
+    /// Discovery is a *pure read* of the chase (the state is frozen for
+    /// the duration of the batch), so the workers need no synchronisation.
+    /// Each worker takes a contiguous chunk of the frontier and the chunk
+    /// results are concatenated in frontier order, so the returned
+    /// candidate sequence is a pure function of the chase state — the
+    /// thread count affects wall-clock time only, never the result.
+    fn discover(&self, tgds: &[&Tgd], frontier: &[ConjunctId], threads: usize) -> Vec<Candidate> {
+        let threads = threads.min(frontier.len());
+        if threads <= 1 {
+            let mut out = Vec::new();
+            for &id in frontier {
+                self.collect_candidates(tgds, id, &mut out);
+            }
+            return out;
+        }
+        let chunk_size = frontier.len().div_ceil(threads);
+        let mut per_chunk: Vec<Vec<Candidate>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = frontier
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for &id in chunk {
+                            self.collect_candidates(tgds, id, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            // Joining in spawn order is the deterministic merge step.
+            for h in handles {
+                per_chunk.push(h.join().expect("chase discovery worker panicked"));
+            }
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
     /// Runs the chase with the given rules until fixpoint (up to the level
-    /// bound). `rules` is a subset of `Σ_FL` TGDs (ρ4 is always handled,
+    /// bound). `tgds` is a subset of `Σ_FL` TGDs (ρ4 is always handled,
     /// eagerly).
+    ///
+    /// The loop is *frontier-batched* (semi-naive): each round discovers
+    /// the rule instances pinned on the conjuncts of the current frontier
+    /// against a frozen snapshot — in parallel when
+    /// [`ChaseOptions::threads`] asks for it — and then applies them
+    /// sequentially in frontier order. Conjuncts created by a round form
+    /// the next frontier. Every new match involves at least one conjunct
+    /// that did not exist when the previous snapshot was taken, and that
+    /// conjunct is pinned in a later round, so no application is ever
+    /// missed; a ρ4 merge resets the frontier to every live conjunct, as
+    /// merges can enable matches among old conjuncts.
     fn run(&mut self, tgds: &[&Tgd], opts: &ChaseOptions) {
-        let mut queue: VecDeque<ConjunctId> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(i, _)| ConjunctId(i as u32))
-            .filter(|&i| self.is_live(i))
-            .collect();
+        let threads = if opts.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            opts.threads
+        };
+        let mut frontier: Vec<ConjunctId> = self.live_ids();
 
         // Initial EGD drain (the query body itself may violate ρ4).
         match self.egd_fixpoint() {
@@ -526,56 +659,31 @@ impl Chase {
                 return;
             }
             Ok(true) => {
-                queue = self.live_ids().into();
+                frontier = self.live_ids();
             }
             Ok(false) => {}
         }
 
-        while let Some(raw_id) = queue.pop_front() {
-            let id = self.resolve(raw_id);
-            if self.nodes.len() >= opts.max_conjuncts {
-                self.outcome = ChaseOutcome::Truncated;
-                return;
-            }
-            let pred = self.nodes[id.index()].atom.pred();
+        while !frontier.is_empty() {
+            let candidates = self.discover(tgds, &frontier, threads);
 
-            // Collect candidate applications with `id` pinned in each
-            // compatible body position, then apply them. (Collect first:
-            // applying mutates the chase and would alias the matcher.)
-            struct Candidate {
-                rule: RuleId,
-                head: Atom,
-                existential: Option<Term>,
-                parents: Vec<ConjunctId>,
-            }
-            let mut candidates: Vec<Candidate> = Vec::new();
-            for tgd in tgds {
-                for (pos, batom) in tgd.body.iter().enumerate() {
-                    if batom.pred() != pred {
-                        continue;
-                    }
-                    self.match_body_pinned(&tgd.body, pos, id, &mut |s, matched| {
-                        candidates.push(Candidate {
-                            rule: tgd.id,
-                            head: tgd.head.apply(s),
-                            existential: tgd.existential.map(|e| s.apply(e)),
-                            parents: matched.to_vec(),
-                        });
-                    });
-                }
-            }
-
+            let mut next: Vec<ConjunctId> = Vec::new();
             let mut added_any = false;
             for cand in candidates {
-                // Re-validate under merges that happened since collection.
+                // Re-validate against conjuncts added earlier in this
+                // round (the snapshot the candidate was discovered on is
+                // one round old by now).
                 let head = cand.head.apply(&self.merge_map);
                 let parents: Vec<ConjunctId> =
                     cand.parents.iter().map(|&p| self.resolve(p)).collect();
                 if parents.iter().any(|&p| !self.is_live(p)) {
                     continue;
                 }
-                let parent_level =
-                    parents.iter().map(|&p| self.nodes[p.index()].level).max().unwrap_or(0);
+                let parent_level = parents
+                    .iter()
+                    .map(|&p| self.nodes[p.index()].level)
+                    .max()
+                    .unwrap_or(0);
                 let new_level = parent_level + 1;
 
                 match cand.existential {
@@ -594,6 +702,10 @@ impl Chase {
                             self.hit_bound = true;
                             continue;
                         }
+                        if self.nodes.len() >= opts.max_conjuncts {
+                            self.outcome = ChaseOutcome::Truncated;
+                            return;
+                        }
                         let (nid, new) =
                             self.insert(head, new_level, Some(cand.rule), parents.clone());
                         debug_assert!(new);
@@ -601,7 +713,7 @@ impl Chase {
                         for &p in &parents {
                             self.add_arc(p, nid, cand.rule, false);
                         }
-                        queue.push_back(nid);
+                        next.push(nid);
                         added_any = true;
                     }
                     Some(ex) => {
@@ -635,6 +747,10 @@ impl Chase {
                             self.hit_bound = true;
                             continue;
                         }
+                        if self.nodes.len() >= opts.max_conjuncts {
+                            self.outcome = ChaseOutcome::Truncated;
+                            return;
+                        }
                         let fresh = Term::Null(self.nulls.fresh());
                         self.stats.nulls_invented += 1;
                         let mut s = Subst::new();
@@ -647,7 +763,7 @@ impl Chase {
                         for &p in &parents {
                             self.add_arc(p, nid, cand.rule, false);
                         }
-                        queue.push_back(nid);
+                        next.push(nid);
                         added_any = true;
                     }
                 }
@@ -663,19 +779,26 @@ impl Chase {
                     Ok(true) => {
                         // Merges may enable matches among old conjuncts:
                         // reprocess everything still live.
-                        queue = self.live_ids().into();
+                        next = self.live_ids();
                     }
                     Ok(false) => {}
                 }
             }
+            frontier = next;
         }
 
-        self.outcome =
-            if self.hit_bound { ChaseOutcome::LevelBounded } else { ChaseOutcome::Completed };
+        self.outcome = if self.hit_bound {
+            ChaseOutcome::LevelBounded
+        } else {
+            ChaseOutcome::Completed
+        };
     }
 
     fn live_ids(&self) -> Vec<ConjunctId> {
-        (0..self.nodes.len() as u32).map(ConjunctId).filter(|&i| self.is_live(i)).collect()
+        (0..self.nodes.len() as u32)
+            .map(ConjunctId)
+            .filter(|&i| self.is_live(i))
+            .collect()
     }
 
     /// Resets every live conjunct to level 0 (the Section 4 convention for
@@ -713,10 +836,25 @@ fn sigma_tgds(include_rho5: bool) -> Vec<&'static Tgd> {
 /// assert!(chase.find(&derived).is_some());
 /// ```
 pub fn chase_minus(q: &ConjunctiveQuery) -> Chase {
-    let mut chase = Chase::new(q);
-    chase.run(&sigma_tgds(false), &ChaseOptions::default());
-    chase.reset_levels();
-    chase
+    chase_minus_with(q, &ChaseOptions::default())
+}
+
+/// [`chase_minus`] with explicit options. Only
+/// [`ChaseOptions::max_conjuncts`] and [`ChaseOptions::threads`] are
+/// honoured — `chase⁻` terminates on its own and ignores the level bound
+/// (all of its conjuncts are at level 0 by convention).
+pub fn chase_minus_with(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Chase {
+    flogic_term::Metrics::global().time_chase(|| {
+        let mut chase = Chase::new(q);
+        let opts = ChaseOptions {
+            level_bound: u32::MAX,
+            max_conjuncts: opts.max_conjuncts,
+            threads: opts.threads,
+        };
+        chase.run(&sigma_tgds(false), &opts);
+        chase.reset_levels();
+        chase
+    })
 }
 
 /// Computes the level-bounded chase of `q` w.r.t. all of `Σ_FL`: first
@@ -726,16 +864,22 @@ pub fn chase_minus(q: &ConjunctiveQuery) -> Chase {
 /// With `level_bound = 2·|q1|·|q2|` this is exactly the prefix that
 /// Theorem 12 proves sufficient for containment checking.
 pub fn chase_bounded(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Chase {
-    let mut chase = Chase::new(q);
-    chase.run(&sigma_tgds(false), &ChaseOptions::default());
-    if chase.is_failed() {
-        return chase;
-    }
-    chase.reset_levels();
-    chase.hit_bound = false;
-    chase.record_cross = true;
-    chase.run(&sigma_tgds(true), opts);
-    chase
+    flogic_term::Metrics::global().time_chase(|| {
+        let mut chase = Chase::new(q);
+        let prelim = ChaseOptions {
+            threads: opts.threads,
+            ..ChaseOptions::default()
+        };
+        chase.run(&sigma_tgds(false), &prelim);
+        if chase.is_failed() {
+            return chase;
+        }
+        chase.reset_levels();
+        chase.hit_bound = false;
+        chase.record_cross = true;
+        chase.run(&sigma_tgds(true), opts);
+        chase
+    })
 }
 
 #[cfg(test)]
@@ -768,29 +912,32 @@ mod tests {
     fn example_1_head_rewriting() {
         // Example 1 of the paper: funct is inherited to the member (ρ12)
         // and then ρ4 merges V2 into V1, changing the head.
-        let q = parse_query(
-            "q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).",
-        )
-        .unwrap();
+        let q =
+            parse_query("q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).")
+                .unwrap();
         let chase = chase_minus(&q);
         assert_eq!(chase.outcome(), ChaseOutcome::Completed);
-        assert!(chase.find(&Atom::funct(v("A"), v("O"))).is_some(), "rho12 fired");
+        assert!(
+            chase.find(&Atom::funct(v("A"), v("O"))).is_some(),
+            "rho12 fired"
+        );
         assert_eq!(chase.head(), &[v("V1"), v("V1")], "head rewritten by rho4");
         // The two data conjuncts fused into one.
-        let data_count =
-            chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count();
+        let data_count = chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .count();
         assert_eq!(data_count, 1);
     }
 
     #[test]
     fn egd_failure_on_distinct_constants() {
-        let q = parse_query(
-            "q() :- data(o, a, 1), data(o, a, 2), funct(a, o).",
-        )
-        .unwrap();
+        let q = parse_query("q() :- data(o, a, 1), data(o, a, 2), funct(a, o).").unwrap();
         let chase = chase_minus(&q);
         assert!(chase.is_failed());
-        let ChaseOutcome::Failed { left, right } = chase.outcome() else { panic!() };
+        let ChaseOutcome::Failed { left, right } = chase.outcome() else {
+            panic!()
+        };
         assert_eq!((left, right), (c("1"), c("2")));
     }
 
@@ -806,8 +953,14 @@ mod tests {
     fn example_2_bounded_chase_unrolls_the_cycle() {
         // Example 2: q() :- mandatory(A,T), type(T,A,T), sub(T,U).
         let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
-        let chase =
-            chase_bounded(&q, &ChaseOptions { level_bound: 8, max_conjuncts: 100_000 });
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: 8,
+                max_conjuncts: 100_000,
+                ..Default::default()
+            },
+        );
         assert_eq!(chase.outcome(), ChaseOutcome::LevelBounded);
         // The ρ5-ρ1-ρ6-ρ10 pump: data(T,A,_v1), member(_v1,T), type(_v1,A,T),
         // mandatory(A,_v1), then data(_v1,A,_v2), ...
@@ -816,7 +969,10 @@ mod tests {
             .filter(|(_, a, _)| a.pred() == Pred::Data)
             .map(|(_, a, _)| a)
             .collect();
-        assert!(data_atoms.len() >= 2, "cycle unrolled at least twice: {data_atoms:?}");
+        assert!(
+            data_atoms.len() >= 2,
+            "cycle unrolled at least twice: {data_atoms:?}"
+        );
         assert!(chase.stats().nulls_invented >= 2);
         // Branching via ρ3: member(_v1, U).
         let member_u = chase
@@ -829,8 +985,14 @@ mod tests {
     #[test]
     fn bounded_chase_of_acyclic_query_completes() {
         let q = parse_query("q(A) :- mandatory(A, t), type(t, A, u).").unwrap();
-        let chase =
-            chase_bounded(&q, &ChaseOptions { level_bound: 50, max_conjuncts: 100_000 });
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: 50,
+                max_conjuncts: 100_000,
+                ..Default::default()
+            },
+        );
         assert_eq!(chase.outcome(), ChaseOutcome::Completed);
         // ρ5 invents one value; ρ1 types it; ρ6/ρ10 do not cycle since u
         // has no mandatory attribute.
@@ -851,8 +1013,14 @@ mod tests {
     #[test]
     fn rho5_not_applicable_when_value_exists() {
         let q = parse_query("q() :- mandatory(a, t), data(t, a, w).").unwrap();
-        let chase =
-            chase_bounded(&q, &ChaseOptions { level_bound: 50, max_conjuncts: 100_000 });
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: 50,
+                max_conjuncts: 100_000,
+                ..Default::default()
+            },
+        );
         assert_eq!(chase.outcome(), ChaseOutcome::Completed);
         assert_eq!(chase.stats().nulls_invented, 0);
     }
@@ -860,8 +1028,14 @@ mod tests {
     #[test]
     fn levels_grow_along_the_pump() {
         let q = parse_query("q() :- mandatory(A, T), type(T, A, T).").unwrap();
-        let chase =
-            chase_bounded(&q, &ChaseOptions { level_bound: 9, max_conjuncts: 100_000 });
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: 9,
+                max_conjuncts: 100_000,
+                ..Default::default()
+            },
+        );
         // data at level 1, member at 2, type at 3, mandatory at 3 (type,
         // member parents), next data at 4 ... strictly increasing chain.
         let mut levels: Vec<u32> = chase
@@ -879,8 +1053,14 @@ mod tests {
         // type(T,A,T) + sub(T,U) gives type(T,A,U) at level 0 already; in
         // the bounded phase the same derivations re-fire as cross-arcs.
         let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
-        let chase =
-            chase_bounded(&q, &ChaseOptions { level_bound: 6, max_conjuncts: 100_000 });
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: 6,
+                max_conjuncts: 100_000,
+                ..Default::default()
+            },
+        );
         assert!(chase.arcs().any(|a| a.cross), "at least one cross-arc");
     }
 
@@ -898,8 +1078,14 @@ mod tests {
     #[test]
     fn truncation_cap_applies() {
         let q = parse_query("q() :- mandatory(A, T), type(T, A, T).").unwrap();
-        let chase =
-            chase_bounded(&q, &ChaseOptions { level_bound: u32::MAX, max_conjuncts: 40 });
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: u32::MAX,
+                max_conjuncts: 40,
+                ..Default::default()
+            },
+        );
         assert_eq!(chase.outcome(), ChaseOutcome::Truncated);
         assert!(chase.len() <= 41);
     }

@@ -118,7 +118,11 @@ pub fn locality_violations(chase: &Chase) -> Vec<LocalityViolation> {
         }
         let ok = from_level == 0 || from_level + 2 == to_level;
         if !ok {
-            out.push(LocalityViolation { arc, from_level, to_level });
+            out.push(LocalityViolation {
+                arc,
+                from_level,
+                to_level,
+            });
         }
     }
     out

@@ -32,11 +32,13 @@ mod paths;
 
 pub use cycles::{find_mandatory_cycles, has_infinite_chase_potential, MandatoryCycle};
 pub use dot::{to_dot, to_text};
-pub use engine::{chase_bounded, chase_minus, Chase, ChaseOptions, ChaseOutcome, ChaseStats};
+pub use engine::{
+    chase_bounded, chase_minus, chase_minus_with, Chase, ChaseOptions, ChaseOutcome, ChaseStats,
+};
 pub use graph::{
     equivalent_conjuncts, locality_violations, ChaseArc, ConjunctId, LocalityViolation,
 };
 pub use paths::{
-    count_primary_paths, find_equivalent_pair, is_primary_path_arc, parallel, primary_path,
-    max_primary_path_multiplicity, Path,
+    count_primary_paths, find_equivalent_pair, is_primary_path_arc, max_primary_path_multiplicity,
+    parallel, primary_path, Path,
 };

@@ -145,8 +145,7 @@ pub fn max_primary_path_multiplicity(chase: &Chase) -> usize {
 /// each position are labelled with the same rule (which forces the visited
 /// conjuncts to have the same relation symbols).
 pub fn parallel(p1: &Path, p2: &Path) -> bool {
-    p1.len() == p2.len()
-        && p1.arcs.iter().zip(&p2.arcs).all(|(a, b)| a.rule == b.rule)
+    p1.len() == p2.len() && p1.arcs.iter().zip(&p2.arcs).all(|(a, b)| a.rule == b.rule)
 }
 
 /// Finds a pair of *equivalent* conjuncts (Definition 6) on a path, i.e.
@@ -173,13 +172,22 @@ mod tests {
 
     fn example2(bound: u32) -> Chase {
         let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
-        chase_bounded(&q, &ChaseOptions { level_bound: bound, max_conjuncts: 100_000 })
+        chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: bound,
+                max_conjuncts: 100_000,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
     fn primary_path_follows_the_pump() {
         let chase = example2(9);
-        let start = chase.find(&Atom::mandatory(Term::var("A"), Term::var("T"))).unwrap();
+        let start = chase
+            .find(&Atom::mandatory(Term::var("A"), Term::var("T")))
+            .unwrap();
         // Find a deep data conjunct.
         let deep = chase
             .conjuncts()
@@ -193,7 +201,13 @@ mod tests {
         let levels: Vec<u32> = path.nodes.iter().map(|&n| chase.level(n)).collect();
         assert!(levels.windows(2).all(|w| w[1] > w[0]), "{levels:?}");
         // The path uses rho5 repeatedly (the pump).
-        assert!(path.labels().iter().filter(|&&r| r == flogic_model::RuleId::R5).count() >= 1);
+        assert!(
+            path.labels()
+                .iter()
+                .filter(|&&r| r == flogic_model::RuleId::R5)
+                .count()
+                >= 1
+        );
     }
 
     #[test]
@@ -214,7 +228,7 @@ mod tests {
         // +2 hop vs the data +1 arc); at bound 7 one diamond has formed.
         let chase = example2(7);
         let m = max_primary_path_multiplicity(&chase);
-        assert!(m >= 1 && m <= 2, "multiplicity {m}");
+        assert!((1..=2).contains(&m), "multiplicity {m}");
     }
 
     #[test]
@@ -222,7 +236,9 @@ mod tests {
         // Lemma 9's pigeonhole: past ~2|q| levels a primary path must
         // repeat an equivalence class.
         let chase = example2(9);
-        let start = chase.find(&Atom::mandatory(Term::var("A"), Term::var("T"))).unwrap();
+        let start = chase
+            .find(&Atom::mandatory(Term::var("A"), Term::var("T")))
+            .unwrap();
         let deep = chase
             .conjuncts()
             .filter(|(_, a, _)| a.pred() == Pred::Data)
@@ -252,14 +268,24 @@ mod tests {
         let p1 = primary_path(&chase, datas[0], datas[1]).unwrap();
         let p2 = primary_path(&chase, datas[1], datas[2]).unwrap();
         assert!(parallel(&p1, &p2), "{:?} vs {:?}", p1.labels(), p2.labels());
-        assert!(!parallel(&p1, &Path { nodes: vec![datas[0]], arcs: vec![] }));
+        assert!(!parallel(
+            &p1,
+            &Path {
+                nodes: vec![datas[0]],
+                arcs: vec![]
+            }
+        ));
     }
 
     #[test]
     fn no_primary_path_between_unrelated_conjuncts() {
         let chase = example2(5);
-        let sub = chase.find(&Atom::sub(Term::var("T"), Term::var("U"))).unwrap();
-        let mand = chase.find(&Atom::mandatory(Term::var("A"), Term::var("T"))).unwrap();
+        let sub = chase
+            .find(&Atom::sub(Term::var("T"), Term::var("U")))
+            .unwrap();
+        let mand = chase
+            .find(&Atom::mandatory(Term::var("A"), Term::var("T")))
+            .unwrap();
         // Both at level 0 and neither generated from the other.
         assert!(primary_path(&chase, sub, mand).is_none());
     }

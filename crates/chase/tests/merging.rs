@@ -28,7 +28,10 @@ fn chain_of_merges_collapses_transitively() {
     assert_eq!(head[1], head[2]);
     // Only two data conjuncts remain (one per (object, attribute) pair).
     assert_eq!(
-        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count(),
+        chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .count(),
         2
     );
 }
@@ -36,16 +39,19 @@ fn chain_of_merges_collapses_transitively() {
 #[test]
 fn merge_into_constant_propagates_to_all_positions() {
     // X merges into constant k; X also occurs as a class elsewhere.
-    let q = parse_query(
-        "q(X) :- data(o, a, X), data(o, a, k), funct(a, o), member(m, X).",
-    )
-    .unwrap();
+    let q =
+        parse_query("q(X) :- data(o, a, X), data(o, a, k), funct(a, o), member(m, X).").unwrap();
     let chase = chase_minus(&q);
     assert_eq!(chase.head(), &[c("k")]);
-    assert!(chase.find(&flogic_model::Atom::member(c("m"), c("k"))).is_some());
+    assert!(chase
+        .find(&flogic_model::Atom::member(c("m"), c("k")))
+        .is_some());
     // No conjunct still mentions X.
     for (_, atom, _) in chase.conjuncts() {
-        assert!(atom.args().iter().all(|&t| t != v("X")), "stale X in {atom}");
+        assert!(
+            atom.args().iter().all(|&t| t != v("X")),
+            "stale X in {atom}"
+        );
     }
 }
 
@@ -72,7 +78,9 @@ fn merge_failure_through_inheritance_chain() {
     .unwrap();
     let chase = chase_minus(&q);
     assert!(chase.is_failed());
-    let ChaseOutcome::Failed { left, right } = chase.outcome() else { panic!() };
+    let ChaseOutcome::Failed { left, right } = chase.outcome() else {
+        panic!()
+    };
     assert_eq!((left, right), (c("v1"), c("v2")));
 }
 
@@ -104,11 +112,21 @@ fn merged_nulls_in_bounded_phase() {
     // Two mandatory attributes on the same object with funct: the two
     // invented nulls must merge into one.
     let q = parse_query("q() :- mandatory(a, o), funct(a, o), data(o, a, w).").unwrap();
-    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 10, max_conjuncts: 10_000 });
+    let chase = chase_bounded(
+        &q,
+        &ChaseOptions {
+            level_bound: 10,
+            max_conjuncts: 10_000,
+            ..Default::default()
+        },
+    );
     assert_eq!(chase.outcome(), ChaseOutcome::Completed);
     // rho5 is not applicable (w exists), so exactly one data conjunct.
     assert_eq!(
-        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count(),
+        chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .count(),
         1
     );
     assert_eq!(chase.stats().nulls_invented, 0);
@@ -118,11 +136,16 @@ fn merged_nulls_in_bounded_phase() {
 fn null_merges_into_value_when_funct_arrives_late() {
     // mandatory fires first (inventing a null), then funct forces the null
     // to merge with the real value arriving via a member/class edge.
-    let q = parse_query(
-        "q(V) :- mandatory(a, o), member(o, k), funct(a, k), data(o, a, V).",
-    )
-    .unwrap();
-    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 10, max_conjuncts: 10_000 });
+    let q =
+        parse_query("q(V) :- mandatory(a, o), member(o, k), funct(a, k), data(o, a, V).").unwrap();
+    let chase = chase_bounded(
+        &q,
+        &ChaseOptions {
+            level_bound: 10,
+            max_conjuncts: 10_000,
+            ..Default::default()
+        },
+    );
     assert!(!chase.is_failed());
     // All data conjuncts for (o, a) collapsed onto the variable V.
     let data: Vec<_> = chase
@@ -130,7 +153,11 @@ fn null_merges_into_value_when_funct_arrives_late() {
         .filter(|(_, a, _)| a.pred() == Pred::Data && a.arg(0) == c("o"))
         .collect();
     assert_eq!(data.len(), 1);
-    assert_eq!(data[0].1.arg(2), v("V"), "null merged into the query variable");
+    assert_eq!(
+        data[0].1.arg(2),
+        v("V"),
+        "null merged into the query variable"
+    );
 }
 
 #[test]
@@ -146,7 +173,9 @@ fn arcs_survive_merges_with_resolved_endpoints() {
         let _ = chase.atom(arc.to);
     }
     // The rho3 conclusion exists and cites live parents.
-    let derived = chase.find(&flogic_model::Atom::member(c("k"), c("sup"))).unwrap();
+    let derived = chase
+        .find(&flogic_model::Atom::member(c("k"), c("sup")))
+        .unwrap();
     for p in chase.parents_of(derived) {
         let _ = chase.atom(p);
     }
@@ -154,10 +183,8 @@ fn arcs_survive_merges_with_resolved_endpoints() {
 
 #[test]
 fn merge_map_is_exposed_and_normalized() {
-    let q = parse_query(
-        "q() :- data(o, a, X), data(o, a, Y), data(o, a, k), funct(a, o).",
-    )
-    .unwrap();
+    let q =
+        parse_query("q() :- data(o, a, X), data(o, a, Y), data(o, a, k), funct(a, o).").unwrap();
     let chase = chase_minus(&q);
     let m = chase.merge_map();
     assert_eq!(m.apply(v("X")), c("k"));

@@ -22,11 +22,16 @@ fn minus(src: &str) -> flogic_chase::Chase {
 fn rho1_type_correctness() {
     // member(V, T) :- type(O, A, T), data(O, A, V).
     let chase = minus("q() :- type(o, a, t), data(o, a, w).");
-    let derived = chase.find(&Atom::member(c("w"), c("t"))).expect("rho1 fired");
+    let derived = chase
+        .find(&Atom::member(c("w"), c("t")))
+        .expect("rho1 fired");
     assert_eq!(chase.rule_of(derived), Some(RuleId::R1));
     // No spurious member conjuncts.
     assert_eq!(
-        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Member).count(),
+        chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Member)
+            .count(),
         1
     );
 }
@@ -34,25 +39,41 @@ fn rho1_type_correctness() {
 #[test]
 fn rho1_requires_matching_object_and_attribute() {
     let chase = minus("q() :- type(o, a, t), data(o, b, w).");
-    assert!(chase.find(&Atom::member(c("w"), c("t"))).is_none(), "different attribute");
+    assert!(
+        chase.find(&Atom::member(c("w"), c("t"))).is_none(),
+        "different attribute"
+    );
     let chase = minus("q() :- type(o, a, t), data(p, a, w).");
-    assert!(chase.find(&Atom::member(c("w"), c("t"))).is_none(), "different object");
+    assert!(
+        chase.find(&Atom::member(c("w"), c("t"))).is_none(),
+        "different object"
+    );
 }
 
 #[test]
 fn rho2_subclass_transitivity() {
     let chase = minus("q() :- sub(a, b), sub(b, cc), sub(cc, d).");
     for (lo, hi) in [("a", "cc"), ("a", "d"), ("b", "d")] {
-        let id = chase.find(&Atom::sub(c(lo), c(hi))).expect("transitive edge");
+        let id = chase
+            .find(&Atom::sub(c(lo), c(hi)))
+            .expect("transitive edge");
         assert_eq!(chase.rule_of(id), Some(RuleId::R2));
     }
-    assert_eq!(chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Sub).count(), 6);
+    assert_eq!(
+        chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Sub)
+            .count(),
+        6
+    );
 }
 
 #[test]
 fn rho3_membership_property() {
     let chase = minus("q() :- member(o, a), sub(a, b).");
-    let id = chase.find(&Atom::member(c("o"), c("b"))).expect("rho3 fired");
+    let id = chase
+        .find(&Atom::member(c("o"), c("b")))
+        .expect("rho3 fired");
     assert_eq!(chase.rule_of(id), Some(RuleId::R3));
 }
 
@@ -61,7 +82,10 @@ fn rho4_merges_and_fails_correctly() {
     // Merge: variable folded into the other value.
     let chase = minus("q() :- data(o, a, X), data(o, a, Y), funct(a, o).");
     assert_eq!(
-        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count(),
+        chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .count(),
         1,
         "X and Y merged into one conjunct"
     );
@@ -80,7 +104,14 @@ fn rho4_merge_prefers_lexicographically_smaller() {
 #[test]
 fn rho5_invents_value_with_fresh_null() {
     let q = parse_query("q() :- mandatory(a, o).").unwrap();
-    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 10, max_conjuncts: 1000 });
+    let chase = chase_bounded(
+        &q,
+        &ChaseOptions {
+            level_bound: 10,
+            max_conjuncts: 1000,
+            ..Default::default()
+        },
+    );
     assert_eq!(chase.outcome(), ChaseOutcome::Completed);
     let data: Vec<_> = chase
         .conjuncts()
@@ -99,10 +130,20 @@ fn rho5_invents_value_with_fresh_null() {
 fn rho5_restricted_applicability() {
     // A value exists: rho5 must not fire.
     let q = parse_query("q() :- mandatory(a, o), data(o, a, w).").unwrap();
-    let chase = chase_bounded(&q, &ChaseOptions { level_bound: 10, max_conjuncts: 1000 });
+    let chase = chase_bounded(
+        &q,
+        &ChaseOptions {
+            level_bound: 10,
+            max_conjuncts: 1000,
+            ..Default::default()
+        },
+    );
     assert_eq!(chase.stats().nulls_invented, 0);
     assert_eq!(
-        chase.conjuncts().filter(|(_, a, _)| a.pred() == Pred::Data).count(),
+        chase
+            .conjuncts()
+            .filter(|(_, a, _)| a.pred() == Pred::Data)
+            .count(),
         1
     );
 }
@@ -110,49 +151,63 @@ fn rho5_restricted_applicability() {
 #[test]
 fn rho6_type_inheritance_to_members() {
     let chase = minus("q() :- member(o, k), type(k, a, t).");
-    let id = chase.find(&Atom::typ(c("o"), c("a"), c("t"))).expect("rho6 fired");
+    let id = chase
+        .find(&Atom::typ(c("o"), c("a"), c("t")))
+        .expect("rho6 fired");
     assert_eq!(chase.rule_of(id), Some(RuleId::R6));
 }
 
 #[test]
 fn rho7_type_inheritance_to_subclasses() {
     let chase = minus("q() :- sub(k, m), type(m, a, t).");
-    let id = chase.find(&Atom::typ(c("k"), c("a"), c("t"))).expect("rho7 fired");
+    let id = chase
+        .find(&Atom::typ(c("k"), c("a"), c("t")))
+        .expect("rho7 fired");
     assert_eq!(chase.rule_of(id), Some(RuleId::R7));
 }
 
 #[test]
 fn rho8_supertyping() {
     let chase = minus("q() :- type(k, a, t1), sub(t1, t2).");
-    let id = chase.find(&Atom::typ(c("k"), c("a"), c("t2"))).expect("rho8 fired");
+    let id = chase
+        .find(&Atom::typ(c("k"), c("a"), c("t2")))
+        .expect("rho8 fired");
     assert_eq!(chase.rule_of(id), Some(RuleId::R8));
 }
 
 #[test]
 fn rho9_mandatory_inheritance_to_subclasses() {
     let chase = minus("q() :- sub(k, m), mandatory(a, m).");
-    let id = chase.find(&Atom::mandatory(c("a"), c("k"))).expect("rho9 fired");
+    let id = chase
+        .find(&Atom::mandatory(c("a"), c("k")))
+        .expect("rho9 fired");
     assert_eq!(chase.rule_of(id), Some(RuleId::R9));
 }
 
 #[test]
 fn rho10_mandatory_inheritance_to_members() {
     let chase = minus("q() :- member(o, k), mandatory(a, k).");
-    let id = chase.find(&Atom::mandatory(c("a"), c("o"))).expect("rho10 fired");
+    let id = chase
+        .find(&Atom::mandatory(c("a"), c("o")))
+        .expect("rho10 fired");
     assert_eq!(chase.rule_of(id), Some(RuleId::R10));
 }
 
 #[test]
 fn rho11_funct_inheritance_to_subclasses() {
     let chase = minus("q() :- sub(k, m), funct(a, m).");
-    let id = chase.find(&Atom::funct(c("a"), c("k"))).expect("rho11 fired");
+    let id = chase
+        .find(&Atom::funct(c("a"), c("k")))
+        .expect("rho11 fired");
     assert_eq!(chase.rule_of(id), Some(RuleId::R11));
 }
 
 #[test]
 fn rho12_funct_inheritance_to_members() {
     let chase = minus("q() :- member(o, k), funct(a, k).");
-    let id = chase.find(&Atom::funct(c("a"), c("o"))).expect("rho12 fired");
+    let id = chase
+        .find(&Atom::funct(c("a"), c("o")))
+        .expect("rho12 fired");
     assert_eq!(chase.rule_of(id), Some(RuleId::R12));
 }
 
@@ -174,12 +229,16 @@ fn rule_interactions_compose() {
     // member + sub chain + class-level type: rho3 lifts membership, rho7
     // pushes the type down the hierarchy, rho6 instantiates it on o, rho1
     // types the value.
-    let chase = minus(
-        "q() :- member(o, k1), sub(k1, k2), type(k2, a, t), data(o, a, w).",
-    );
+    let chase = minus("q() :- member(o, k1), sub(k1, k2), type(k2, a, t), data(o, a, w).");
     assert!(chase.find(&Atom::member(c("o"), c("k2"))).is_some(), "rho3");
-    assert!(chase.find(&Atom::typ(c("k1"), c("a"), c("t"))).is_some(), "rho7");
-    assert!(chase.find(&Atom::typ(c("o"), c("a"), c("t"))).is_some(), "rho6");
+    assert!(
+        chase.find(&Atom::typ(c("k1"), c("a"), c("t"))).is_some(),
+        "rho7"
+    );
+    assert!(
+        chase.find(&Atom::typ(c("o"), c("a"), c("t"))).is_some(),
+        "rho6"
+    );
     assert!(chase.find(&Atom::member(c("w"), c("t"))).is_some(), "rho1");
 }
 

@@ -1,0 +1,464 @@
+//! Containment-decision caching keyed by canonical query pairs.
+//!
+//! Deciding `q1 ⊆_ΣFL q2` is expensive (a bounded chase plus a
+//! backtracking homomorphism search), while real workloads — query
+//! minimisation, union checks, benchmark sweeps — keep asking about the
+//! *same pairs up to variable renaming*. [`DecisionCache`] memoizes
+//! verdicts under a canonical form that is invariant under renaming
+//! variables and permuting body conjuncts, so a query rewritten apart
+//! (fresh variable names, shuffled body) still hits.
+//!
+//! The canonical form is **sound, not complete**: equal keys imply
+//! isomorphic queries (the key *is* the renamed query), but two isomorphic
+//! queries whose bodies sort differently under the variable-blind shape
+//! order may get distinct keys. A missed hit costs one recomputation,
+//! never a wrong answer.
+//!
+//! Cache hits and misses are reported to the process-global
+//! [`flogic_term::Metrics`], which the benchmark harness prints.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use flogic_chase::ChaseOutcome;
+use flogic_model::{ConjunctiveQuery, Pred};
+use flogic_term::{Metrics, Symbol, Term};
+
+use crate::decide::{contains_batch, contains_with, ContainmentOptions, ContainmentResult};
+use crate::CoreError;
+
+/// A term in canonical form: variables are replaced by their
+/// first-occurrence index (head first, then the sorted body), everything
+/// else is kept verbatim.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum CanonTerm {
+    /// A rigid constant, by name.
+    Const(Symbol),
+    /// A labelled null (cannot appear in well-formed queries, but the
+    /// canonicalization is total anyway), by id.
+    Null(u64),
+    /// A variable, by first-occurrence index.
+    Var(u32),
+}
+
+/// A query in canonical form. Two queries with equal `CanonQuery`s are
+/// identical up to variable renaming and body-conjunct order, hence
+/// `Σ_FL`-equivalent — they answer every containment question alike.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CanonQuery {
+    head: Vec<CanonTerm>,
+    body: Vec<(Pred, Vec<CanonTerm>)>,
+}
+
+/// Ordering key for an atom *under a partial variable numbering*:
+/// constants sort by name, numbered variables by their number, and
+/// not-yet-numbered variables by their first-occurrence pattern within
+/// the atom (so `sub(U, U)` and `sub(U, V)` stay distinguishable).
+/// Derived `Ord` puts `Const < Null < Var < Fresh`.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+enum KeyTerm {
+    Const(&'static str),
+    Null(u64),
+    Var(u32),
+    Fresh(u32),
+}
+
+fn atom_key(atom: &flogic_model::Atom, numbering: &HashMap<Symbol, u32>) -> (usize, Vec<KeyTerm>) {
+    let mut local: HashMap<Symbol, u32> = HashMap::new();
+    let args = atom
+        .args()
+        .iter()
+        .map(|t| match t {
+            Term::Const(s) => KeyTerm::Const(s.as_str()),
+            Term::Null(n) => KeyTerm::Null(n.0),
+            Term::Var(v) => match numbering.get(v) {
+                Some(&n) => KeyTerm::Var(n),
+                None => {
+                    let next = local.len() as u32;
+                    KeyTerm::Fresh(*local.entry(*v).or_insert(next))
+                }
+            },
+        })
+        .collect();
+    (atom.pred().index(), args)
+}
+
+/// Computes the canonical form: number the head variables in head order
+/// (the head is the one part of a query whose order is semantically
+/// fixed), then greedily emit body atoms smallest-key-first, extending the
+/// numbering with each emitted atom's fresh variables. Anchoring on the
+/// head makes the result independent of the input body order whenever the
+/// greedy choice is unambiguous; symmetric ties fall back to input order,
+/// which can only cause cache misses, never wrong hits.
+fn canonicalize(q: &ConjunctiveQuery) -> CanonQuery {
+    let mut numbering: HashMap<Symbol, u32> = HashMap::new();
+    let assign = |t: &Term, numbering: &mut HashMap<Symbol, u32>| match t {
+        Term::Const(s) => CanonTerm::Const(*s),
+        Term::Null(n) => CanonTerm::Null(n.0),
+        Term::Var(v) => {
+            let next = numbering.len() as u32;
+            CanonTerm::Var(*numbering.entry(*v).or_insert(next))
+        }
+    };
+    let head = q.head().iter().map(|t| assign(t, &mut numbering)).collect();
+
+    let mut remaining: Vec<&flogic_model::Atom> = q.body().iter().collect();
+    let mut body = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| atom_key(a, &numbering).cmp(&atom_key(b, &numbering)))
+            .map(|(i, _)| i)
+            .expect("remaining is non-empty");
+        let atom = remaining.remove(best);
+        body.push((
+            atom.pred(),
+            atom.args()
+                .iter()
+                .map(|t| assign(t, &mut numbering))
+                .collect(),
+        ));
+    }
+    CanonQuery { head, body }
+}
+
+/// Cache key: the canonical pair plus the requested level bound.
+///
+/// The bound is part of the key because an explicit
+/// [`ContainmentOptions::level_bound`] makes the procedure sound but
+/// incomplete — verdicts at different explicit bounds are different
+/// questions. `None` (the Theorem 12 bound) is a single exact question
+/// regardless of which sufficient bound a run actually used, so all
+/// `None` lookups share entries. `max_conjuncts` and `threads` are
+/// deliberately *not* in the key: the former only decides whether an
+/// error is reported (errors are never cached) and the latter never
+/// changes the result.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CacheKey {
+    q1: CanonQuery,
+    q2: CanonQuery,
+    level_bound: Option<u32>,
+}
+
+/// A cached verdict: everything in a [`ContainmentResult`] except the
+/// witnessing homomorphism, which is expressed in the original queries'
+/// variables and does not survive canonical renaming.
+#[derive(Clone, Debug)]
+struct CachedDecision {
+    holds: bool,
+    vacuous: bool,
+    chase_conjuncts: usize,
+    chase_outcome: ChaseOutcome,
+    level_bound: u32,
+    max_chase_level: u32,
+}
+
+impl CachedDecision {
+    fn strip(r: &ContainmentResult) -> CachedDecision {
+        CachedDecision {
+            holds: r.holds,
+            vacuous: r.vacuous,
+            chase_conjuncts: r.chase_conjuncts,
+            chase_outcome: r.chase_outcome,
+            level_bound: r.level_bound,
+            max_chase_level: r.max_chase_level,
+        }
+    }
+
+    fn restore(&self) -> ContainmentResult {
+        ContainmentResult {
+            holds: self.holds,
+            vacuous: self.vacuous,
+            witness: None,
+            chase_conjuncts: self.chase_conjuncts,
+            chase_outcome: self.chase_outcome,
+            level_bound: self.level_bound,
+            max_chase_level: self.max_chase_level,
+        }
+    }
+}
+
+/// A memo table for containment decisions (see the module docs).
+///
+/// Thread-safe (a mutex around a hash map — lookups are far cheaper than
+/// the decisions they save, so contention is not a concern). Cached
+/// results carry no [`ContainmentResult::witness`]; ask the uncached
+/// [`crate::contains_with`] when the homomorphism itself is needed.
+///
+/// ```
+/// use flogic_core::DecisionCache;
+/// use flogic_syntax::parse_query;
+/// let cache = DecisionCache::new();
+/// let q1 = parse_query("q(X, Z) :- sub(X, Y), sub(Y, Z).").unwrap();
+/// let q2 = parse_query("p(X, Z) :- sub(X, Z).").unwrap();
+/// assert!(cache.contains(&q1, &q2).unwrap().holds());
+/// // A renamed-apart copy of the same pair is answered from the cache.
+/// let q1r = parse_query("q(A, C) :- sub(B, C), sub(A, B).").unwrap();
+/// assert!(cache.contains(&q1r, &q2).unwrap().holds());
+/// assert_eq!(cache.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct DecisionCache {
+    inner: Mutex<HashMap<CacheKey, CachedDecision>>,
+}
+
+impl DecisionCache {
+    /// Creates an empty cache.
+    pub fn new() -> DecisionCache {
+        DecisionCache::default()
+    }
+
+    /// Number of cached decisions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("decision cache poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached decision.
+    pub fn clear(&self) {
+        self.inner.lock().expect("decision cache poisoned").clear();
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<CachedDecision> {
+        let hit = self
+            .inner
+            .lock()
+            .expect("decision cache poisoned")
+            .get(key)
+            .cloned();
+        match hit {
+            Some(d) => {
+                Metrics::global().record_cache_hit();
+                Some(d)
+            }
+            None => {
+                Metrics::global().record_cache_miss();
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: CacheKey, result: &ContainmentResult) {
+        self.inner
+            .lock()
+            .expect("decision cache poisoned")
+            .insert(key, CachedDecision::strip(result));
+    }
+
+    /// [`crate::contains`] through the cache.
+    pub fn contains(
+        &self,
+        q1: &ConjunctiveQuery,
+        q2: &ConjunctiveQuery,
+    ) -> Result<ContainmentResult, CoreError> {
+        self.contains_with(q1, q2, &ContainmentOptions::default())
+    }
+
+    /// [`crate::contains_with`] through the cache. Errors (arity mismatch,
+    /// resource exhaustion) are never cached.
+    pub fn contains_with(
+        &self,
+        q1: &ConjunctiveQuery,
+        q2: &ConjunctiveQuery,
+        opts: &ContainmentOptions,
+    ) -> Result<ContainmentResult, CoreError> {
+        let key = CacheKey {
+            q1: canonicalize(q1),
+            q2: canonicalize(q2),
+            level_bound: opts.level_bound,
+        };
+        if let Some(hit) = self.lookup(&key) {
+            return Ok(hit.restore());
+        }
+        let result = contains_with(q1, q2, opts)?;
+        self.store(key, &result);
+        Ok(result)
+    }
+
+    /// [`crate::contains_batch`] through the cache: pairs already decided
+    /// (up to renaming) are answered from the memo table, within-batch
+    /// repeats of the same canonical pair are decided once and fanned out,
+    /// and the single shared chase of `q1` is built only when at least one
+    /// pair misses.
+    pub fn contains_batch(
+        &self,
+        q1: &ConjunctiveQuery,
+        q2s: &[ConjunctiveQuery],
+        opts: &ContainmentOptions,
+    ) -> Vec<Result<ContainmentResult, CoreError>> {
+        let canon_q1 = canonicalize(q1);
+        let keys: Vec<CacheKey> = q2s
+            .iter()
+            .map(|q2| CacheKey {
+                q1: canon_q1.clone(),
+                q2: canonicalize(q2),
+                level_bound: opts.level_bound,
+            })
+            .collect();
+
+        // One representative slot per canonical pair that misses the memo
+        // table; later occurrences of the same key are served from the
+        // representative's computation and count as hits.
+        let mut rep: HashMap<&CacheKey, usize> = HashMap::new();
+        let mut dup_of: Vec<Option<usize>> = vec![None; q2s.len()];
+        let mut out: Vec<Option<Result<ContainmentResult, CoreError>>> =
+            Vec::with_capacity(q2s.len());
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(&r) = rep.get(key) {
+                Metrics::global().record_cache_hit();
+                dup_of[i] = Some(r);
+                out.push(None);
+            } else if let Some(d) = self.lookup(key) {
+                out.push(Some(Ok(d.restore())));
+            } else {
+                rep.insert(key, i);
+                out.push(None);
+            }
+        }
+
+        let missed: Vec<usize> = (0..q2s.len())
+            .filter(|&i| out[i].is_none() && dup_of[i].is_none())
+            .collect();
+        if !missed.is_empty() {
+            let missed_qs: Vec<ConjunctiveQuery> = missed.iter().map(|&i| q2s[i].clone()).collect();
+            let computed = contains_batch(q1, &missed_qs, opts);
+            for (&i, result) in missed.iter().zip(computed) {
+                if let Ok(r) = &result {
+                    self.store(keys[i].clone(), r);
+                }
+                out[i] = Some(result);
+            }
+        }
+        for i in 0..q2s.len() {
+            if let Some(r) = dup_of[i] {
+                // The representative's witness is keyed by *its* q2's
+                // variables, not this occurrence's; strip it like any
+                // other cache hit.
+                out[i] = Some(match out[r].as_ref().expect("representative filled") {
+                    Ok(res) => Ok(CachedDecision::strip(res).restore()),
+                    Err(e) => Err(e.clone()),
+                });
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flogic_syntax::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn canonical_form_ignores_variable_names_and_atom_order() {
+        let a = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let b = q("p(A, C) :- sub(B, C), sub(A, B).");
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_different_shapes() {
+        let a = q("q(X) :- member(X, c1).");
+        let b = q("q(X) :- member(X, c2).");
+        assert_ne!(canonicalize(&a), canonicalize(&b));
+        let c = q("q(X) :- member(X, Y).");
+        assert_ne!(canonicalize(&a), canonicalize(&c));
+    }
+
+    #[test]
+    fn canonical_form_respects_variable_sharing() {
+        // sub(X, X) is not sub(X, Y): the numbering tells them apart.
+        let a = q("q() :- sub(X, X).");
+        let b = q("q() :- sub(X, Y).");
+        assert_ne!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn renamed_pair_hits_the_cache() {
+        let cache = DecisionCache::new();
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2 = q("p(X, Z) :- sub(X, Z).");
+        let before = Metrics::global().snapshot();
+        let first = cache.contains(&q1, &q2).unwrap();
+        assert!(first.holds());
+        assert_eq!(cache.len(), 1);
+
+        // Rename everything apart and shuffle the body: still one entry.
+        let q1r = q("qq(U, W) :- sub(V, W), sub(U, V).");
+        let q2r = q("pp(A, B) :- sub(A, B).");
+        let second = cache.contains(&q1r, &q2r).unwrap();
+        assert!(second.holds());
+        assert!(second.witness().is_none(), "cache hits carry no witness");
+        assert_eq!(cache.len(), 1);
+        let delta = Metrics::global().snapshot().since(&before);
+        assert!(delta.cache_hits >= 1);
+        assert!(delta.cache_misses >= 1);
+    }
+
+    #[test]
+    fn different_bounds_are_different_questions() {
+        let cache = DecisionCache::new();
+        let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
+        let q2 = q("qq() :- data(T, A, V), member(V, T).");
+        let tight = ContainmentOptions {
+            level_bound: Some(0),
+            ..Default::default()
+        };
+        assert!(!cache.contains_with(&q1, &q2, &tight).unwrap().holds());
+        // The exact (Theorem 12) bound is a separate entry, not a stale hit.
+        assert!(cache.contains(&q1, &q2).unwrap().holds());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn batch_mixes_hits_misses_and_errors() {
+        let cache = DecisionCache::new();
+        let q1 = q("q(O, D) :- member(O, C), sub(C, D).");
+        let contained = q("qq(O, D) :- member(O, D).");
+        // Pre-seed one pair.
+        assert!(cache.contains(&q1, &contained).unwrap().holds());
+
+        let batch = vec![
+            q("a(O, D) :- member(O, D)."), // renamed copy: hit
+            q("b(O, D) :- sub(O, D)."),    // distinct pair: miss
+            q("c(X) :- member(X, Y)."),    // arity mismatch: error
+        ];
+        let results = cache.contains_batch(&q1, &batch, &ContainmentOptions::default());
+        assert!(results[0].as_ref().unwrap().holds());
+        assert!(
+            !results[1].as_ref().unwrap().holds(),
+            "sub(O,D) is not implied"
+        );
+        assert!(matches!(results[2], Err(CoreError::ArityMismatch { .. })));
+        // Hit + two computed entries (errors are not cached).
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn batch_dedupes_within_batch_repeats() {
+        let cache = DecisionCache::new();
+        let q1 = q("q(O, D) :- member(O, C), sub(C, D).");
+        let a = q("a(O, D) :- member(O, D).");
+        let renamed = a.rename_apart(&a);
+        let results = cache.contains_batch(&q1, &[a, renamed], &ContainmentOptions::default());
+        assert!(results[0].as_ref().unwrap().holds());
+        assert!(results[1].as_ref().unwrap().holds());
+        // The repeat is served from the representative's computation; like
+        // any hit it carries no witness (the representative's substitution
+        // is keyed by different variable names).
+        assert!(results[0].as_ref().unwrap().witness().is_some());
+        assert!(results[1].as_ref().unwrap().witness().is_none());
+        assert_eq!(cache.len(), 1, "one canonical pair, one entry");
+    }
+}

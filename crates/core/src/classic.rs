@@ -14,12 +14,12 @@ use crate::CoreError;
 /// `Σ_FL`-satisfying database is a database), but not conversely — the
 /// difference is exactly what the paper's examples and our E6 experiment
 /// measure.
-pub fn classic_contains(
-    q1: &ConjunctiveQuery,
-    q2: &ConjunctiveQuery,
-) -> Result<bool, CoreError> {
+pub fn classic_contains(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> Result<bool, CoreError> {
     if q1.arity() != q2.arity() {
-        return Err(CoreError::ArityMismatch { q1: q1.arity(), q2: q2.arity() });
+        return Err(CoreError::ArityMismatch {
+            q1: q1.arity(),
+            q2: q2.arity(),
+        });
     }
     let target = Target::from_query(q1);
     Ok(find_hom(q2.body(), q2.head(), &target, q1.head()).is_some())

@@ -18,11 +18,20 @@ pub struct ContainmentOptions {
     pub level_bound: Option<u32>,
     /// Safety cap on materialized chase conjuncts.
     pub max_conjuncts: usize,
+    /// Worker threads for chase rule discovery (see
+    /// [`ChaseOptions::threads`]): `1` is fully sequential, `0` uses the
+    /// machine's available parallelism. The decision is identical for
+    /// every setting.
+    pub threads: usize,
 }
 
 impl Default for ContainmentOptions {
     fn default() -> Self {
-        ContainmentOptions { level_bound: None, max_conjuncts: 1_000_000 }
+        ContainmentOptions {
+            level_bound: None,
+            max_conjuncts: 1_000_000,
+            threads: 1,
+        }
     }
 }
 
@@ -36,13 +45,13 @@ pub fn theorem_bound(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> u32 {
 /// Outcome of a containment check.
 #[derive(Clone, Debug)]
 pub struct ContainmentResult {
-    holds: bool,
-    vacuous: bool,
-    witness: Option<Subst>,
-    chase_conjuncts: usize,
-    chase_outcome: ChaseOutcome,
-    level_bound: u32,
-    max_chase_level: u32,
+    pub(crate) holds: bool,
+    pub(crate) vacuous: bool,
+    pub(crate) witness: Option<Subst>,
+    pub(crate) chase_conjuncts: usize,
+    pub(crate) chase_outcome: ChaseOutcome,
+    pub(crate) level_bound: u32,
+    pub(crate) max_chase_level: u32,
 }
 
 impl ContainmentResult {
@@ -113,12 +122,19 @@ pub fn contains_with(
     opts: &ContainmentOptions,
 ) -> Result<ContainmentResult, CoreError> {
     if q1.arity() != q2.arity() {
-        return Err(CoreError::ArityMismatch { q1: q1.arity(), q2: q2.arity() });
+        return Err(CoreError::ArityMismatch {
+            q1: q1.arity(),
+            q2: q2.arity(),
+        });
     }
     let bound = opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2));
     let chase = chase_bounded(
         q1,
-        &ChaseOptions { level_bound: bound, max_conjuncts: opts.max_conjuncts },
+        &ChaseOptions {
+            level_bound: bound,
+            max_conjuncts: opts.max_conjuncts,
+            threads: opts.threads,
+        },
     );
     match chase.outcome() {
         ChaseOutcome::Failed { .. } => {
@@ -135,7 +151,9 @@ pub fn contains_with(
             });
         }
         ChaseOutcome::Truncated => {
-            return Err(CoreError::ResourcesExhausted { conjuncts: chase.len() });
+            return Err(CoreError::ResourcesExhausted {
+                conjuncts: chase.len(),
+            });
         }
         ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}
     }
@@ -150,6 +168,85 @@ pub fn contains_with(
         level_bound: bound,
         max_chase_level: chase.max_level(),
     })
+}
+
+/// Decides `q1 ⊆_ΣFL q2` for every `q2` in `q2s`, **sharing one chase of
+/// `q1`** across all candidates instead of rebuilding it per pair.
+///
+/// The shared chase is built to the *largest* per-pair bound (the maximum
+/// of `opts.level_bound` or the per-pair Theorem 12 bounds). This stays
+/// sound *and* complete for every pair: a homomorphism into any prefix of
+/// `chase(q1)` witnesses containment (the chase is a model of `q1` and
+/// `Σ_FL`), and Theorem 12 guarantees that when containment holds a
+/// witness exists already within the pair's own — hence also within the
+/// larger shared — bound. Each result reports the shared bound.
+///
+/// Candidates whose arity differs from `q1` get
+/// [`CoreError::ArityMismatch`] in their slot; one pair failing does not
+/// poison the batch. If `chase(q1)` itself fails, every same-arity pair
+/// holds vacuously.
+pub fn contains_batch(
+    q1: &ConjunctiveQuery,
+    q2s: &[ConjunctiveQuery],
+    opts: &ContainmentOptions,
+) -> Vec<Result<ContainmentResult, CoreError>> {
+    let bound = q2s
+        .iter()
+        .filter(|q2| q2.arity() == q1.arity())
+        .map(|q2| opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2)))
+        .max()
+        .unwrap_or(0);
+    let chase = chase_bounded(
+        q1,
+        &ChaseOptions {
+            level_bound: bound,
+            max_conjuncts: opts.max_conjuncts,
+            threads: opts.threads,
+        },
+    );
+    let failed = chase.is_failed();
+    let truncated = chase.outcome() == ChaseOutcome::Truncated;
+    let target = if failed || truncated {
+        Target::default()
+    } else {
+        Target::from_chase(&chase)
+    };
+    q2s.iter()
+        .map(|q2| {
+            if q2.arity() != q1.arity() {
+                return Err(CoreError::ArityMismatch {
+                    q1: q1.arity(),
+                    q2: q2.arity(),
+                });
+            }
+            if truncated {
+                return Err(CoreError::ResourcesExhausted {
+                    conjuncts: chase.len(),
+                });
+            }
+            if failed {
+                return Ok(ContainmentResult {
+                    holds: true,
+                    vacuous: true,
+                    witness: None,
+                    chase_conjuncts: chase.len(),
+                    chase_outcome: chase.outcome(),
+                    level_bound: bound,
+                    max_chase_level: chase.max_level(),
+                });
+            }
+            let witness = find_hom(q2.body(), q2.head(), &target, chase.head());
+            Ok(ContainmentResult {
+                holds: witness.is_some(),
+                vacuous: false,
+                witness,
+                chase_conjuncts: chase.len(),
+                chase_outcome: chase.outcome(),
+                level_bound: bound,
+                max_chase_level: chase.max_level(),
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -253,7 +350,10 @@ mod tests {
         let q1 = q("q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).");
         let q2 = q("qq(W, W) :- data(O, A, W).");
         let r = contains(&q1, &q2).unwrap();
-        assert!(r.holds(), "head side-effect of rho4 enables the containment");
+        assert!(
+            r.holds(),
+            "head side-effect of rho4 enables the containment"
+        );
         // Without the funct atom the head stays (V1, V2) and q2 no longer
         // contains q1.
         let q1_free = q("q(V1, V2) :- data(O, A, V1), data(O, A, V2), member(O, C).");
@@ -265,7 +365,11 @@ mod tests {
         let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
         let q2 = q("qq() :- data(T, A, V), member(V, T).");
         // Bound 0: no rho5 level, hom cannot be found.
-        let opts = ContainmentOptions { level_bound: Some(0), max_conjuncts: 10_000 };
+        let opts = ContainmentOptions {
+            level_bound: Some(0),
+            max_conjuncts: 10_000,
+            ..Default::default()
+        };
         assert!(!contains_with(&q1, &q2, &opts).unwrap().holds());
         // The theorem bound finds it.
         assert!(contains(&q1, &q2).unwrap().holds());
@@ -275,7 +379,11 @@ mod tests {
     fn resource_cap_is_reported() {
         let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
         let q2 = q("qq() :- data(T, A, V).");
-        let opts = ContainmentOptions { level_bound: None, max_conjuncts: 5 };
+        let opts = ContainmentOptions {
+            level_bound: None,
+            max_conjuncts: 5,
+            ..Default::default()
+        };
         assert!(matches!(
             contains_with(&q1, &q2, &opts),
             Err(CoreError::ResourcesExhausted { .. })
@@ -290,11 +398,55 @@ mod tests {
     }
 
     #[test]
+    fn batch_agrees_with_single_pair_checks() {
+        let q1 = q("q(O, D) :- member(O, C), sub(C, D).");
+        let q2s = vec![
+            q("a(O, D) :- member(O, D)."),
+            q("b(O, D) :- sub(O, D)."),
+            q("c(O, D) :- member(O, C), sub(C, D)."),
+        ];
+        let batch = contains_batch(&q1, &q2s, &ContainmentOptions::default());
+        for (q2, br) in q2s.iter().zip(&batch) {
+            let single = contains(&q1, q2).unwrap();
+            assert_eq!(br.as_ref().unwrap().holds(), single.holds(), "{q2}");
+        }
+        assert!(batch[0].as_ref().unwrap().holds());
+        assert!(!batch[1].as_ref().unwrap().holds());
+        assert!(batch[2].as_ref().unwrap().holds());
+    }
+
+    #[test]
+    fn batch_reports_arity_mismatch_per_slot() {
+        let q1 = q("q(X) :- member(X, C).");
+        let q2s = vec![q("a(X) :- member(X, C)."), q("b(X, Y) :- member(X, Y).")];
+        let batch = contains_batch(&q1, &q2s, &ContainmentOptions::default());
+        assert!(batch[0].as_ref().unwrap().holds());
+        assert_eq!(
+            *batch[1].as_ref().unwrap_err(),
+            CoreError::ArityMismatch { q1: 1, q2: 2 }
+        );
+    }
+
+    #[test]
+    fn batch_vacuous_on_failed_chase() {
+        let q1 = q("q() :- data(o, a, 1), data(o, a, 2), funct(a, o).");
+        let q2s = vec![q("a() :- sub(X, Y)."), q("b() :- member(X, Y).")];
+        let batch = contains_batch(&q1, &q2s, &ContainmentOptions::default());
+        for r in &batch {
+            let r = r.as_ref().unwrap();
+            assert!(r.holds() && r.is_vacuous());
+        }
+    }
+
+    #[test]
     fn constants_in_heads() {
         let q1 = q("q(k) :- member(X, c).");
         let q2 = q("qq(k) :- member(Y, c).");
         assert!(contains(&q1, &q2).unwrap().holds());
         let q3 = q("qq(m) :- member(Y, c).");
-        assert!(!contains(&q1, &q3).unwrap().holds(), "head constants differ");
+        assert!(
+            !contains(&q1, &q3).unwrap().holds(),
+            "head constants differ"
+        );
     }
 }

@@ -50,7 +50,11 @@ mod tests {
 
     #[test]
     fn messages_render() {
-        assert!(CoreError::ArityMismatch { q1: 1, q2: 2 }.to_string().contains("1 vs 2"));
-        assert!(CoreError::ResourcesExhausted { conjuncts: 9 }.to_string().contains('9'));
+        assert!(CoreError::ArityMismatch { q1: 1, q2: 2 }
+            .to_string()
+            .contains("1 vs 2"));
+        assert!(CoreError::ResourcesExhausted { conjuncts: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

@@ -31,7 +31,14 @@ pub struct DerivationStep {
 impl fmt::Display for DerivationStep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let premises: Vec<String> = self.premises.iter().map(|a| a.to_string()).collect();
-        write!(f, "{} [{}: {}] ==> {}", premises.join(", "), self.rule, self.rule.description(), self.conclusion)
+        write!(
+            f,
+            "{} [{}: {}] ==> {}",
+            premises.join(", "),
+            self.rule,
+            self.rule.description(),
+            self.conclusion
+        )
     }
 }
 
@@ -62,13 +69,19 @@ impl fmt::Display for Explanation {
                 "containment holds vacuously: chase(q1) failed (rho4 equated two \
                  distinct constants), so q1 has no answers on any Sigma_FL database"
             ),
-            Explanation::Witness { atom_images, derivations } => {
+            Explanation::Witness {
+                atom_images,
+                derivations,
+            } => {
                 writeln!(f, "containment holds; witness mapping of body(q2):")?;
                 for (src, img) in atom_images {
                     writeln!(f, "  {src}  ->  {img}")?;
                 }
                 if derivations.is_empty() {
-                    write!(f, "every image is a conjunct of body(q1) (classical containment)")?;
+                    write!(
+                        f,
+                        "every image is a conjunct of body(q1) (classical containment)"
+                    )?;
                 } else {
                     writeln!(f, "derived conjuncts:")?;
                     for step in derivations {
@@ -83,12 +96,19 @@ impl fmt::Display for Explanation {
 
 /// Collects the derivation of `id` (and everything it depends on) into
 /// `steps`, premises first.
-fn trace(chase: &Chase, id: ConjunctId, steps: &mut Vec<DerivationStep>, seen: &mut Vec<ConjunctId>) {
+fn trace(
+    chase: &Chase,
+    id: ConjunctId,
+    steps: &mut Vec<DerivationStep>,
+    seen: &mut Vec<ConjunctId>,
+) {
     if seen.contains(&id) {
         return;
     }
     seen.push(id);
-    let Some(rule) = chase.rule_of(id) else { return };
+    let Some(rule) = chase.rule_of(id) else {
+        return;
+    };
     let parents = chase.parents_of(id);
     for &p in &parents {
         trace(chase, p, steps, seen);
@@ -111,17 +131,26 @@ pub fn explain(
     opts: &ContainmentOptions,
 ) -> Result<Explanation, CoreError> {
     if q1.arity() != q2.arity() {
-        return Err(CoreError::ArityMismatch { q1: q1.arity(), q2: q2.arity() });
+        return Err(CoreError::ArityMismatch {
+            q1: q1.arity(),
+            q2: q2.arity(),
+        });
     }
     let bound = opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2));
     let chase = chase_bounded(
         q1,
-        &ChaseOptions { level_bound: bound, max_conjuncts: opts.max_conjuncts },
+        &ChaseOptions {
+            level_bound: bound,
+            max_conjuncts: opts.max_conjuncts,
+            threads: opts.threads,
+        },
     );
     match chase.outcome() {
         ChaseOutcome::Failed { .. } => return Ok(Explanation::Vacuous),
         ChaseOutcome::Truncated => {
-            return Err(CoreError::ResourcesExhausted { conjuncts: chase.len() })
+            return Err(CoreError::ResourcesExhausted {
+                conjuncts: chase.len(),
+            })
         }
         ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}
     }
@@ -139,7 +168,10 @@ pub fn explain(
         }
         atom_images.push((*atom, image));
     }
-    Ok(Explanation::Witness { atom_images, derivations })
+    Ok(Explanation::Witness {
+        atom_images,
+        derivations,
+    })
 }
 
 #[cfg(test)]
@@ -159,7 +191,11 @@ mod tests {
         let q1 = q("q(X) :- member(X, c), data(X, a, V).");
         let q2 = q("qq(X) :- member(X, c).");
         let e = explain(&q1, &q2, &opts()).unwrap();
-        let Explanation::Witness { atom_images, derivations } = e else {
+        let Explanation::Witness {
+            atom_images,
+            derivations,
+        } = e
+        else {
             panic!("expected witness")
         };
         assert_eq!(atom_images.len(), 1);
@@ -171,7 +207,9 @@ mod tests {
         let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
         let q2 = q("qq(X, Z) :- sub(X, Z).");
         let e = explain(&q1, &q2, &opts()).unwrap();
-        let Explanation::Witness { derivations, .. } = e else { panic!() };
+        let Explanation::Witness { derivations, .. } = e else {
+            panic!()
+        };
         assert_eq!(derivations.len(), 1);
         assert_eq!(derivations[0].rule, RuleId::R2);
         assert_eq!(derivations[0].premises.len(), 2);
@@ -184,7 +222,9 @@ mod tests {
         let q1 = q("q(O) :- member(O, c), mandatory(a, c), type(c, a, t).");
         let q2 = q("qq(O) :- data(O, a, V), member(V, T).");
         let e = explain(&q1, &q2, &opts()).unwrap();
-        let Explanation::Witness { derivations, .. } = e else { panic!() };
+        let Explanation::Witness { derivations, .. } = e else {
+            panic!()
+        };
         assert!(!derivations.is_empty());
         // Every premise of every step is either a body atom of q1 or the
         // conclusion of an earlier step.
@@ -203,10 +243,16 @@ mod tests {
     fn not_contained_and_vacuous_variants() {
         let q1 = q("q(X) :- member(X, c).");
         let q2 = q("qq(X) :- sub(X, c).");
-        assert!(matches!(explain(&q1, &q2, &opts()).unwrap(), Explanation::NotContained));
+        assert!(matches!(
+            explain(&q1, &q2, &opts()).unwrap(),
+            Explanation::NotContained
+        ));
         let q1 = q("q() :- data(o, a, 1), data(o, a, 2), funct(a, o).");
         let q2 = q("qq() :- sub(X, Y).");
-        assert!(matches!(explain(&q1, &q2, &opts()).unwrap(), Explanation::Vacuous));
+        assert!(matches!(
+            explain(&q1, &q2, &opts()).unwrap(),
+            Explanation::Vacuous
+        ));
     }
 
     #[test]

@@ -23,10 +23,15 @@
 //! * [`equivalent`] / [`minimize`] — equivalence and `Σ_FL`-aware query
 //!   minimisation built on the containment test;
 //! * [`contains_str`] — a parse-and-decide convenience for the surface
-//!   syntax.
+//!   syntax;
+//! * [`contains_batch`] — decides one `q1` against many candidate
+//!   containers, sharing a single chase of `q1`;
+//! * [`DecisionCache`] — a memo table keyed by a variable-renaming- and
+//!   body-order-invariant canonical form of the query pair.
 
 #![forbid(unsafe_code)]
 
+mod cache;
 mod classic;
 mod decide;
 mod error;
@@ -35,9 +40,10 @@ pub mod naive;
 mod rewrite;
 mod union;
 
+pub use cache::DecisionCache;
 pub use classic::classic_contains;
 pub use decide::{
-    contains, contains_with, theorem_bound, ContainmentOptions, ContainmentResult,
+    contains, contains_batch, contains_with, theorem_bound, ContainmentOptions, ContainmentResult,
 };
 pub use error::CoreError;
 pub use explain::{explain, DerivationStep, Explanation};

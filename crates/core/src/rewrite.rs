@@ -52,7 +52,9 @@ pub fn minimize_with(
     loop {
         let mut shrunk = None;
         for i in 0..current.body().len() {
-            let Some(candidate) = current.without_atom(i) else { continue };
+            let Some(candidate) = current.without_atom(i) else {
+                continue;
+            };
             if contains_with(&candidate, &current, opts)?.holds() {
                 shrunk = Some(candidate);
                 break;

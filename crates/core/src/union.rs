@@ -34,16 +34,23 @@ pub fn contained_in_union(
 ) -> Result<Option<usize>, CoreError> {
     for q2 in q2s {
         if q.arity() != q2.arity() {
-            return Err(CoreError::ArityMismatch { q1: q.arity(), q2: q2.arity() });
+            return Err(CoreError::ArityMismatch {
+                q1: q.arity(),
+                q2: q2.arity(),
+            });
         }
     }
     // One chase serves all disjuncts; use the largest bound needed.
-    let bound = opts.level_bound.unwrap_or_else(|| {
-        q2s.iter().map(|q2| theorem_bound(q, q2)).max().unwrap_or(0)
-    });
+    let bound = opts
+        .level_bound
+        .unwrap_or_else(|| q2s.iter().map(|q2| theorem_bound(q, q2)).max().unwrap_or(0));
     let chase = chase_bounded(
         q,
-        &ChaseOptions { level_bound: bound, max_conjuncts: opts.max_conjuncts },
+        &ChaseOptions {
+            level_bound: bound,
+            max_conjuncts: opts.max_conjuncts,
+            threads: opts.threads,
+        },
     );
     match chase.outcome() {
         ChaseOutcome::Failed { .. } => {
@@ -52,7 +59,9 @@ pub fn contained_in_union(
             return Ok(if q2s.is_empty() { None } else { Some(0) });
         }
         ChaseOutcome::Truncated => {
-            return Err(CoreError::ResourcesExhausted { conjuncts: chase.len() });
+            return Err(CoreError::ResourcesExhausted {
+                conjuncts: chase.len(),
+            });
         }
         ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}
     }
@@ -116,7 +125,10 @@ mod tests {
     #[test]
     fn union_contained_needs_all_disjuncts() {
         let q2 = q("p(X) :- member(X, C).");
-        let ok = [q("a(X) :- member(X, c)."), q("b(X) :- member(X, d), sub(d, e).")];
+        let ok = [
+            q("a(X) :- member(X, c)."),
+            q("b(X) :- member(X, d), sub(d, e)."),
+        ];
         assert!(union_contained_in(&ok, &q2, &opts()).unwrap());
         let bad = [q("a(X) :- member(X, c)."), q("b(X) :- sub(X, Y).")];
         assert!(!union_contained_in(&bad, &q2, &opts()).unwrap());

@@ -20,7 +20,10 @@ pub struct ClosureOptions {
 
 impl Default for ClosureOptions {
     fn default() -> Self {
-        ClosureOptions { max_facts: 20_000, max_nulls: 2_000 }
+        ClosureOptions {
+            max_facts: 20_000,
+            max_nulls: 2_000,
+        }
     }
 }
 
@@ -44,7 +47,9 @@ pub fn sigma_datalog_program() -> Program {
         .iter()
         .filter(|r| r.is_datalog())
         .map(|r| {
-            let SigmaRule::Tgd(t) = r else { unreachable!("is_datalog implies TGD") };
+            let SigmaRule::Tgd(t) = r else {
+                unreachable!("is_datalog implies TGD")
+            };
             Rule::new(to_ratom(&t.head), t.body.iter().map(to_ratom).collect())
         })
         .collect();
@@ -58,7 +63,9 @@ fn to_ratom(a: &Atom) -> RAtom {
 fn to_store(db: &Database) -> FactStore {
     let mut store = FactStore::new();
     for a in db.iter() {
-        store.insert(to_ratom(a)).expect("database atoms are ground");
+        store
+            .insert(to_ratom(a))
+            .expect("database atoms are ground");
     }
     store
 }
@@ -66,10 +73,11 @@ fn to_store(db: &Database) -> FactStore {
 fn from_store(store: &FactStore) -> Result<Database, DatalogError> {
     let mut db = Database::new();
     for f in store.iter() {
-        let pred = Pred::from_name(f.rel.as_str())
-            .expect("closure only produces P_FL relations");
+        let pred = Pred::from_name(f.rel.as_str()).expect("closure only produces P_FL relations");
         let atom = Atom::new(pred, &f.args).expect("arity preserved");
-        db.insert(atom).map_err(|e| DatalogError::NonGroundFact { fact: e.to_string() })?;
+        db.insert(atom).map_err(|e| DatalogError::NonGroundFact {
+            fact: e.to_string(),
+        })?;
     }
     Ok(db)
 }
@@ -202,7 +210,9 @@ mod tests {
 
     #[test]
     fn closure_of_closed_db_is_identity() {
-        let db: Database = [Atom::member(c("john"), c("student"))].into_iter().collect();
+        let db: Database = [Atom::member(c("john"), c("student"))]
+            .into_iter()
+            .collect();
         let (closed, stats) = close_database(&db, &ClosureOptions::default()).unwrap();
         assert_eq!(closed.len(), 1);
         assert_eq!(stats.nulls_invented, 0);
@@ -321,8 +331,14 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let err =
-            close_database(&db, &ClosureOptions { max_facts: 500, max_nulls: 50 }).unwrap_err();
+        let err = close_database(
+            &db,
+            &ClosureOptions {
+                max_facts: 500,
+                max_nulls: 50,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, DatalogError::BudgetExceeded { .. }));
     }
 

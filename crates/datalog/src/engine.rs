@@ -69,8 +69,7 @@ pub fn seminaive(program: &Program, store: &mut FactStore) -> Result<EvalStats, 
                     if fact.rel != pivot.rel || fact.args.len() != pivot.args.len() {
                         continue;
                     }
-                    let Some(binding) = unify_tuple(&pivot.args, &fact.args, &Subst::new())
-                    else {
+                    let Some(binding) = unify_tuple(&pivot.args, &fact.args, &Subst::new()) else {
                         continue;
                     };
                     let mut rest: Vec<RAtom> = Vec::with_capacity(rule.body.len() - 1);

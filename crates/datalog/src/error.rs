@@ -54,7 +54,10 @@ impl fmt::Display for DatalogError {
                 write!(f, "head variable `{var}` unbound in body of rule `{rule}`")
             }
             DatalogError::ArityMismatch { rel, expected, got } => {
-                write!(f, "relation `{rel}` used with arity {got}, expected {expected}")
+                write!(
+                    f,
+                    "relation `{rel}` used with arity {got}, expected {expected}"
+                )
             }
             DatalogError::NonGroundFact { fact } => {
                 write!(f, "fact `{fact}` is not ground")
@@ -90,7 +93,10 @@ mod tests {
             right: Term::constant("b"),
         };
         assert!(e.to_string().contains("rho4"));
-        let e = DatalogError::BudgetExceeded { facts: 10, nulls: 5 };
+        let e = DatalogError::BudgetExceeded {
+            facts: 10,
+            nulls: 5,
+        };
         assert!(e.to_string().contains("mandatory"));
     }
 }

@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn head_constants_pass_through() {
         let db = sample_db();
-        let query = q(vec![c("hit"), v("X")], vec![Atom::member(v("X"), c("student"))]);
+        let query = q(
+            vec![c("hit"), v("X")],
+            vec![Atom::member(v("X"), c("student"))],
+        );
         let res = answers(&query, &db);
         assert!(res.iter().all(|t| t[0] == c("hit")));
         assert_eq!(res.len(), 2);

@@ -20,7 +20,10 @@ pub struct RAtom {
 impl RAtom {
     /// Creates an atom.
     pub fn new(rel: &str, args: Vec<Term>) -> RAtom {
-        RAtom { rel: Symbol::intern(rel), args }
+        RAtom {
+            rel: Symbol::intern(rel),
+            args,
+        }
     }
 
     /// True if all arguments are ground.
@@ -30,7 +33,10 @@ impl RAtom {
 
     /// Applies a substitution, returning a new atom.
     pub fn apply(&self, s: &Subst) -> RAtom {
-        RAtom { rel: self.rel, args: self.args.iter().map(|&t| s.apply(t)).collect() }
+        RAtom {
+            rel: self.rel,
+            args: self.args.iter().map(|&t| s.apply(t)).collect(),
+        }
     }
 }
 
@@ -127,7 +133,9 @@ impl FactStore {
     /// Inserts a ground fact. Returns `Ok(true)` if new.
     pub fn insert(&mut self, fact: RAtom) -> Result<bool, DatalogError> {
         if !fact.is_ground() {
-            return Err(DatalogError::NonGroundFact { fact: fact.to_string() });
+            return Err(DatalogError::NonGroundFact {
+                fact: fact.to_string(),
+            });
         }
         let entry = self.rels.entry(fact.rel);
         let data = match entry {
@@ -162,25 +170,35 @@ impl FactStore {
     }
 
     /// Tuples of `rel` whose argument at `pos` equals `term` (indexed).
-    pub fn tuples_with(&self, rel: Symbol, pos: usize, term: Term) -> impl Iterator<Item = &[Term]> {
+    pub fn tuples_with(
+        &self,
+        rel: Symbol,
+        pos: usize,
+        term: Term,
+    ) -> impl Iterator<Item = &[Term]> {
         let data = self.rels.get(&rel);
         let indices: &[usize] = data
             .and_then(|d| d.by_pos.get(&(pos as u8, term)))
             .map(|v| v.as_slice())
             .unwrap_or(&[]);
-        indices.iter().map(move |&i| {
-            data.expect("index entries imply relation exists").tuples[i].as_slice()
-        })
+        indices
+            .iter()
+            .map(move |&i| data.expect("index entries imply relation exists").tuples[i].as_slice())
     }
 
     /// Membership test.
     pub fn contains(&self, fact: &RAtom) -> bool {
-        self.rels.get(&fact.rel).is_some_and(|d| d.seen.contains(&fact.args))
+        self.rels
+            .get(&fact.rel)
+            .is_some_and(|d| d.seen.contains(&fact.args))
     }
 
     /// Tuples of one relation, in insertion order.
     pub fn tuples(&self, rel: Symbol) -> &[Vec<Term>] {
-        self.rels.get(&rel).map(|d| d.tuples.as_slice()).unwrap_or(&[])
+        self.rels
+            .get(&rel)
+            .map(|d| d.tuples.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Total number of facts across relations.
@@ -196,7 +214,10 @@ impl FactStore {
     /// Iterates over all facts.
     pub fn iter(&self) -> impl Iterator<Item = RAtom> + '_ {
         self.rels.iter().flat_map(|(&rel, d)| {
-            d.tuples.iter().map(move |args| RAtom { rel, args: args.clone() })
+            d.tuples.iter().map(move |args| RAtom {
+                rel,
+                args: args.clone(),
+            })
         })
     }
 
@@ -211,7 +232,9 @@ impl FactStore {
         match pattern.split_first() {
             None => found(s),
             Some((first, rest)) => {
-                let Some(data) = self.rels.get(&first.rel) else { return false };
+                let Some(data) = self.rels.get(&first.rel) else {
+                    return false;
+                };
                 // Candidate retrieval: the most selective (position, term)
                 // index available (bound pattern variables have ground
                 // images because facts are ground, so applying `s` is safe
@@ -303,7 +326,14 @@ mod tests {
         let mut s = FactStore::new();
         s.insert(RAtom::new("edge", vec![c("a"), c("b")])).unwrap();
         let err = s.insert(RAtom::new("edge", vec![c("a")])).unwrap_err();
-        assert!(matches!(err, DatalogError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            DatalogError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -19,13 +19,15 @@
 //!   hierarchies with attributes, members and cardinality constraints,
 //!   suitable for closing under `Σ_FL` and evaluating queries.
 //!
-//! All generators take an explicit `&mut StdRng`-style RNG, so every
-//! workload is reproducible from a seed.
+//! All generators take an explicit seeded RNG (the vendored
+//! [`rng::SplitMix64`], re-exported here), so every workload is
+//! reproducible from a seed without any registry dependency.
 
 #![forbid(unsafe_code)]
 
-use rand::prelude::IndexedRandom;
-use rand::{Rng, RngExt};
+pub use flogic_term::rng;
+
+use flogic_term::rng::{Rng, SliceRandom};
 
 use flogic_chase::chase_minus;
 use flogic_model::{Atom, ConjunctiveQuery, Database, Pred};
@@ -78,7 +80,7 @@ fn pool_const(i: usize) -> Term {
 fn pick_pred<R: Rng>(weights: &[u32; 6], rng: &mut R) -> Pred {
     let total: u32 = weights.iter().sum();
     assert!(total > 0, "at least one predicate weight must be positive");
-    let mut roll = rng.random_range(0..total);
+    let mut roll = rng.random_range(0..total as usize) as u32;
     for p in Pred::ALL {
         let w = weights[p.index()];
         if roll < w {
@@ -124,8 +126,9 @@ pub fn random_query<R: Rng>(cfg: &QueryGenConfig, rng: &mut R) -> ConjunctiveQue
         vs.dedup();
         vs
     };
-    let head: Vec<Term> =
-        (0..cfg.head_arity).map(|_| *body_vars.choose(rng).expect("non-empty")).collect();
+    let head: Vec<Term> = (0..cfg.head_arity)
+        .map(|_| *body_vars.choose(rng).expect("non-empty"))
+        .collect();
     ConjunctiveQuery::new(Symbol::intern("q"), head, body)
         .expect("generated queries are valid by construction")
 }
@@ -155,7 +158,10 @@ pub struct GeneralizeConfig {
 
 impl Default for GeneralizeConfig {
     fn default() -> Self {
-        GeneralizeConfig { keep_atom_prob: 0.7, blur_prob: 0.3 }
+        GeneralizeConfig {
+            keep_atom_prob: 0.7,
+            blur_prob: 0.3,
+        }
     }
 }
 
@@ -177,7 +183,11 @@ fn generalize_atoms<R: Rng>(
         if head_map.iter().any(|&(k, _)| k == t) {
             continue;
         }
-        let image = if t.is_null() { Term::var(&format!("H{i}")) } else { t };
+        let image = if t.is_null() {
+            Term::var(&format!("H{i}"))
+        } else {
+            t
+        };
         head_map.push((t, image));
     }
     let head_image = |t: Term| head_map.iter().find(|&&(k, _)| k == t).map(|&(_, v)| v);
@@ -185,8 +195,10 @@ fn generalize_atoms<R: Rng>(
     // Choose atoms to keep; every non-constant head term must be witnessed
     // by at least one kept atom (otherwise the result would be unsafe or
     // the head mapping broken), and at least one atom is always kept.
-    let mut keep: Vec<bool> =
-        atoms.iter().map(|_| rng.random_bool(cfg.keep_atom_prob)).collect();
+    let mut keep: Vec<bool> = atoms
+        .iter()
+        .map(|_| rng.random_bool(cfg.keep_atom_prob))
+        .collect();
     if !keep.iter().any(|&k| k) {
         let i = rng.random_range(0..atoms.len());
         keep[i] = true;
@@ -212,8 +224,7 @@ fn generalize_atoms<R: Rng>(
     // homomorphism exists by construction. Fresh names must avoid the
     // variables already present in the source (a previous generalization
     // round may have introduced `G*` names of its own).
-    let used: std::collections::HashSet<Term> =
-        atoms.iter().flat_map(|a| a.vars()).collect();
+    let used: std::collections::HashSet<Term> = atoms.iter().flat_map(|a| a.vars()).collect();
     let mut fresh = 0usize;
     let mut next_fresh = move || loop {
         fresh += 1;
@@ -348,7 +359,10 @@ pub fn random_database<R: Rng>(cfg: &DbGenConfig, rng: &mut R) -> Database {
     for _ in 0..cfg.n_members {
         add(
             &mut db,
-            Atom::member(obj(rng.random_range(0..cfg.n_objects)), class(rng.random_range(0..cfg.n_classes))),
+            Atom::member(
+                obj(rng.random_range(0..cfg.n_objects)),
+                class(rng.random_range(0..cfg.n_classes)),
+            ),
         );
     }
     for _ in 0..cfg.n_types {
@@ -396,22 +410,29 @@ pub fn random_database<R: Rng>(cfg: &DbGenConfig, rng: &mut R) -> Database {
 /// guarantees in tests.
 pub fn is_witnessing_hom(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, hom: &Subst) -> bool {
     q2.body().iter().all(|a| q1.body().contains(&a.apply(hom)))
-        && q2.head().iter().zip(q1.head()).all(|(&h2, &h1)| hom.apply(h2) == h1)
+        && q2
+            .head()
+            .iter()
+            .zip(q1.head())
+            .all(|(&h2, &h1)| hom.apply(h2) == h1)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use flogic_term::rng::SplitMix64;
 
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> SplitMix64 {
+        SplitMix64::seed_from_u64(seed)
     }
 
     #[test]
     fn random_queries_are_valid_and_sized() {
-        let cfg = QueryGenConfig { n_atoms: 7, head_arity: 2, ..Default::default() };
+        let cfg = QueryGenConfig {
+            n_atoms: 7,
+            head_arity: 2,
+            ..Default::default()
+        };
         for seed in 0..50 {
             let q = random_query(&cfg, &mut rng(seed));
             assert!(q.size() >= 7);
@@ -432,7 +453,10 @@ mod tests {
     #[test]
     fn cycle_injection_creates_infinite_chase_potential() {
         use flogic_chase::has_infinite_chase_potential;
-        let cfg = QueryGenConfig { cycle: Some(3), ..Default::default() };
+        let cfg = QueryGenConfig {
+            cycle: Some(3),
+            ..Default::default()
+        };
         let q = random_query(&cfg, &mut rng(7));
         assert!(has_infinite_chase_potential(q.body()));
     }
@@ -440,7 +464,11 @@ mod tests {
     #[test]
     fn generalize_yields_classically_contained_pair() {
         use flogic_hom::{find_hom, Target};
-        let cfg = QueryGenConfig { n_atoms: 6, head_arity: 1, ..Default::default() };
+        let cfg = QueryGenConfig {
+            n_atoms: 6,
+            head_arity: 1,
+            ..Default::default()
+        };
         let gcfg = GeneralizeConfig::default();
         for seed in 0..30 {
             let q1 = random_query(&cfg, &mut rng(seed));
@@ -454,7 +482,11 @@ mod tests {
 
     #[test]
     fn generalize_from_chase_produces_valid_queries() {
-        let cfg = QueryGenConfig { n_atoms: 5, head_arity: 1, ..Default::default() };
+        let cfg = QueryGenConfig {
+            n_atoms: 5,
+            head_arity: 1,
+            ..Default::default()
+        };
         let gcfg = GeneralizeConfig::default();
         let mut produced = 0;
         for seed in 0..30 {
@@ -472,7 +504,7 @@ mod tests {
         let cfg = DbGenConfig::default();
         for seed in 0..20 {
             let db = random_database(&cfg, &mut rng(seed));
-            assert!(db.len() > 0);
+            assert!(!db.is_empty());
             assert!(db.iter().all(|a| a.is_ground()));
         }
     }
@@ -480,7 +512,10 @@ mod tests {
     #[test]
     fn random_database_sub_hierarchy_is_acyclic() {
         use flogic_model::Pred;
-        let cfg = DbGenConfig { n_sub_edges: 12, ..Default::default() };
+        let cfg = DbGenConfig {
+            n_sub_edges: 12,
+            ..Default::default()
+        };
         let db = random_database(&cfg, &mut rng(9));
         // Edges go from c_i to c_j with i < j: topological by construction.
         for a in db.pred_facts(Pred::Sub) {

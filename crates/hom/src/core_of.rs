@@ -22,10 +22,11 @@ pub fn classic_core(q: &ConjunctiveQuery) -> ConjunctiveQuery {
     loop {
         let mut shrunk = None;
         for i in 0..current.body().len() {
-            let Some(candidate) = current.without_atom(i) else { continue };
+            let Some(candidate) = current.without_atom(i) else {
+                continue;
+            };
             let target = Target::from_query(&candidate);
-            if find_hom(current.body(), current.head(), &target, candidate.head()).is_some()
-            {
+            if find_hom(current.body(), current.head(), &target, candidate.head()).is_some() {
                 shrunk = Some(candidate);
                 break;
             }
@@ -79,7 +80,10 @@ mod tests {
     fn constants_block_folding() {
         let query = q(
             vec![v("X")],
-            vec![Atom::member(v("X"), c("student")), Atom::member(v("X"), c("person"))],
+            vec![
+                Atom::member(v("X"), c("student")),
+                Atom::member(v("X"), c("person")),
+            ],
         );
         let core = classic_core(&query);
         assert_eq!(core.size(), 2, "different constants are not redundant");
@@ -92,8 +96,10 @@ mod tests {
         // X,Y,Z -> X,Y,Y? sub(Y,Z) -> sub(Y,Y) which is not sub(X,Y)
         // unless X=Y. It maps Y->X? sub(X,Y)->sub(X,X)? Not present.
         // So the chain is its own core.
-        let query =
-            q(vec![], vec![Atom::sub(v("X"), v("Y")), Atom::sub(v("Y"), v("Z"))]);
+        let query = q(
+            vec![],
+            vec![Atom::sub(v("X"), v("Y")), Atom::sub(v("Y"), v("Z"))],
+        );
         assert_eq!(classic_core(&query).size(), 2);
         // But with a reflexive edge, everything folds onto it.
         let query = q(

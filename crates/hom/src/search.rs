@@ -121,17 +121,19 @@ pub fn find_hom(
     target: &Target,
     target_head: &[Term],
 ) -> Option<Subst> {
-    if source_head.len() != target_head.len() {
-        return None;
-    }
-    let s = head_binding(source_head, target_head)?;
-    let mut remaining: Vec<usize> = (0..source.len()).collect();
-    let mut result = None;
-    search(source, target, s, &mut remaining, &mut |hom| {
-        result = Some(hom.clone());
-        true
-    });
-    result
+    flogic_term::Metrics::global().time_hom(|| {
+        if source_head.len() != target_head.len() {
+            return None;
+        }
+        let s = head_binding(source_head, target_head)?;
+        let mut remaining: Vec<usize> = (0..source.len()).collect();
+        let mut result = None;
+        search(source, target, s, &mut remaining, &mut |hom| {
+            result = Some(hom.clone());
+            true
+        });
+        result
+    })
 }
 
 /// Finds a homomorphism from `source` into `target` with no head
@@ -148,14 +150,18 @@ pub fn all_homs(
     target_head: &[Term],
     limit: usize,
 ) -> Vec<Subst> {
-    let Some(seed) = head_binding(source_head, target_head) else { return Vec::new() };
-    let mut remaining: Vec<usize> = (0..source.len()).collect();
-    let mut out = Vec::new();
-    search(source, target, seed, &mut remaining, &mut |hom| {
-        out.push(hom.clone());
-        out.len() >= limit
-    });
-    out
+    flogic_term::Metrics::global().time_hom(|| {
+        let Some(seed) = head_binding(source_head, target_head) else {
+            return Vec::new();
+        };
+        let mut remaining: Vec<usize> = (0..source.len()).collect();
+        let mut out = Vec::new();
+        search(source, target, seed, &mut remaining, &mut |hom| {
+            out.push(hom.clone());
+            out.len() >= limit
+        });
+        out
+    })
 }
 
 /// Counts homomorphisms (careful: can be exponential).
@@ -165,14 +171,18 @@ pub fn count_homs(
     target: &Target,
     target_head: &[Term],
 ) -> usize {
-    let Some(seed) = head_binding(source_head, target_head) else { return 0 };
-    let mut remaining: Vec<usize> = (0..source.len()).collect();
-    let mut n = 0usize;
-    search(source, target, seed, &mut remaining, &mut |_| {
-        n += 1;
-        false
-    });
-    n
+    flogic_term::Metrics::global().time_hom(|| {
+        let Some(seed) = head_binding(source_head, target_head) else {
+            return 0;
+        };
+        let mut remaining: Vec<usize> = (0..source.len()).collect();
+        let mut n = 0usize;
+        search(source, target, seed, &mut remaining, &mut |_| {
+            n += 1;
+            false
+        });
+        n
+    })
 }
 
 #[cfg(test)]

@@ -19,13 +19,19 @@ pub struct Target {
 }
 
 impl Target {
-    /// Builds a target from a list of atoms (duplicates are collapsed by
-    /// the caller if desired; duplicates only cost a little speed).
+    /// Builds a target from a list of atoms. Duplicates are collapsed —
+    /// a target is a *set* of facts, and keeping a duplicate would make
+    /// [`crate::all_homs`] report the same binding once per copy.
     pub fn new(atoms: Vec<Atom>) -> Target {
-        let mut t =
-            Target { atoms: Vec::with_capacity(atoms.len()), ..Target::default() };
+        let mut t = Target {
+            atoms: Vec::with_capacity(atoms.len()),
+            ..Target::default()
+        };
+        let mut seen = std::collections::HashSet::with_capacity(atoms.len());
         for a in atoms {
-            t.push(a);
+            if seen.insert(a) {
+                t.push(a);
+            }
         }
         t
     }
@@ -51,7 +57,10 @@ impl Target {
         let idx = self.atoms.len();
         self.by_pred[a.pred().index()].push(idx);
         for (pos, &term) in a.args().iter().enumerate() {
-            self.by_pos.entry((a.pred(), pos as u8, term)).or_default().push(idx);
+            self.by_pos
+                .entry((a.pred(), pos as u8, term))
+                .or_default()
+                .push(idx);
         }
         self.atoms.push(a);
     }

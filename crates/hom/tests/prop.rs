@@ -1,28 +1,47 @@
 //! Property tests for the homomorphism search: soundness of every witness
 //! and completeness against a brute-force reference implementation.
+//!
+//! Gated behind the off-by-default `fuzz` feature (`cargo test -p
+//! flogic-hom --features fuzz`). Inputs are drawn from the vendored
+//! [`SplitMix64`] generator so every case is reproducible from its seed.
 
-use proptest::prelude::*;
+#![cfg(feature = "fuzz")]
 
 use flogic_hom::{all_homs, count_homs, find_hom, Target};
 use flogic_model::{Atom, Pred};
+use flogic_term::rng::{Rng, SplitMix64};
 use flogic_term::{Subst, Term};
 
-/// A compact strategy for atoms over a tiny universe (2 predicates,
-/// 3 constants, 3 variables) — small enough for the brute-force reference
-/// to enumerate all assignments.
-fn arb_atom() -> impl Strategy<Value = Atom> {
-    let term = prop_oneof![
-        (0u8..3).prop_map(|i| Term::constant(&format!("c{i}"))),
-        (0u8..3).prop_map(|i| Term::var(&format!("V{i}"))),
-    ];
-    (0u8..2, term.clone(), term).prop_map(|(p, a, b)| match p {
-        0 => Atom::member(a, b),
-        _ => Atom::sub(a, b),
-    })
+const CASES: u64 = 128;
+
+/// A random atom over a tiny universe (2 predicates, 3 constants,
+/// 3 variables) — small enough for the brute-force reference to
+/// enumerate all assignments.
+fn arb_atom(r: &mut SplitMix64) -> Atom {
+    let term = |r: &mut SplitMix64| {
+        let i = r.random_range(0..3);
+        if r.random_bool(0.5) {
+            Term::constant(&format!("c{i}"))
+        } else {
+            Term::var(&format!("V{i}"))
+        }
+    };
+    let a = term(r);
+    let b = term(r);
+    if r.random_bool(0.5) {
+        Atom::member(a, b)
+    } else {
+        Atom::sub(a, b)
+    }
 }
 
-fn arb_atoms(max: usize) -> impl Strategy<Value = Vec<Atom>> {
-    prop::collection::vec(arb_atom(), 1..=max)
+fn arb_atoms(r: &mut SplitMix64, max: usize) -> Vec<Atom> {
+    let n = r.random_range(1..max + 1);
+    (0..n).map(|_| arb_atom(r)).collect()
+}
+
+fn case_rng(seed: u64, salt: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ salt)
 }
 
 /// Brute force: try every assignment of source variables to target terms.
@@ -30,8 +49,10 @@ fn brute_force_homs(source: &[Atom], target: &[Atom]) -> usize {
     let mut vars: Vec<Term> = source.iter().flat_map(|a| a.vars()).collect();
     vars.sort();
     vars.dedup();
-    let mut universe: Vec<Term> =
-        target.iter().flat_map(|a| a.args().iter().copied()).collect();
+    let mut universe: Vec<Term> = target
+        .iter()
+        .flat_map(|a| a.args().iter().copied())
+        .collect();
     universe.sort();
     universe.dedup();
     if vars.is_empty() {
@@ -53,26 +74,35 @@ fn brute_force_homs(source: &[Atom], target: &[Atom]) -> usize {
     count
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    /// Every homomorphism the search returns actually maps each source
-    /// atom into the target set (soundness).
-    #[test]
-    fn witnesses_are_sound(source in arb_atoms(4), target in arb_atoms(5)) {
+/// Every homomorphism the search returns actually maps each source
+/// atom into the target set (soundness).
+#[test]
+fn witnesses_are_sound() {
+    for seed in 0..CASES {
+        let mut r = case_rng(seed, 0x01);
+        let source = arb_atoms(&mut r, 4);
+        let target = arb_atoms(&mut r, 5);
         let t = Target::new(target.clone());
         if let Some(hom) = find_hom(&source, &[], &t, &[]) {
             for a in &source {
                 let image = a.apply(&hom);
-                prop_assert!(target.contains(&image), "image {image} not in target");
+                assert!(
+                    target.contains(&image),
+                    "seed {seed}: image {image} not in target"
+                );
             }
         }
     }
+}
 
-    /// The search finds a homomorphism iff the brute-force enumeration
-    /// does (completeness), and counts match exactly.
-    #[test]
-    fn search_matches_brute_force(source in arb_atoms(3), target in arb_atoms(4)) {
+/// The search finds a homomorphism iff the brute-force enumeration
+/// does (completeness), and counts match exactly.
+#[test]
+fn search_matches_brute_force() {
+    for seed in 0..CASES {
+        let mut r = case_rng(seed, 0x02);
+        let source = arb_atoms(&mut r, 3);
+        let target = arb_atoms(&mut r, 4);
         let t = Target::new(target.clone());
         let expected = brute_force_homs(&source, &target);
         // Note: brute force counts *assignments of all source vars*, the
@@ -83,65 +113,85 @@ proptest! {
             source.iter().flat_map(|a| a.vars()).collect();
         if vars_in_source.is_empty() {
             let found = find_hom(&source, &[], &t, &[]).is_some();
-            prop_assert_eq!(found, expected > 0);
+            assert_eq!(found, expected > 0, "seed {seed}");
         } else {
-            prop_assert_eq!(count_homs(&source, &[], &t, &[]), expected);
+            assert_eq!(count_homs(&source, &[], &t, &[]), expected, "seed {seed}");
         }
     }
+}
 
-    /// `all_homs` respects its limit and returns distinct bindings.
-    #[test]
-    fn all_homs_limit_and_distinctness(source in arb_atoms(3), target in arb_atoms(4)) {
-        let t = Target::new(target.clone());
+/// `all_homs` respects its limit and returns distinct bindings.
+#[test]
+fn all_homs_limit_and_distinctness() {
+    for seed in 0..CASES {
+        let mut r = case_rng(seed, 0x03);
+        let source = arb_atoms(&mut r, 3);
+        let target = arb_atoms(&mut r, 4);
+        let t = Target::new(target);
         let all = all_homs(&source, &[], &t, &[], usize::MAX);
         let limited = all_homs(&source, &[], &t, &[], 2);
-        prop_assert!(limited.len() <= 2);
-        prop_assert!(limited.len() <= all.len());
+        assert!(limited.len() <= 2, "seed {seed}");
+        assert!(limited.len() <= all.len(), "seed {seed}");
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
-                prop_assert!(a != b, "duplicate homomorphism returned");
+                assert!(a != b, "seed {seed}: duplicate homomorphism returned");
             }
         }
     }
+}
 
-    /// The head constraint only ever removes witnesses, and every
-    /// returned witness satisfies it.
-    #[test]
-    fn head_constraint_is_a_filter(source in arb_atoms(3), target in arb_atoms(4)) {
+/// The head constraint only ever removes witnesses, and every
+/// returned witness satisfies it.
+#[test]
+fn head_constraint_is_a_filter() {
+    for seed in 0..CASES {
+        let mut r = case_rng(seed, 0x04);
+        let source = arb_atoms(&mut r, 3);
+        let target = arb_atoms(&mut r, 4);
         let t = Target::new(target.clone());
         // Pick the first source variable (if any) as a 1-ary head.
         let Some(head_var) = source.iter().flat_map(|a| a.vars()).next() else {
-            return Ok(());
+            continue;
         };
         let unconstrained = count_homs(&source, &[], &t, &[]);
         let mut constrained_total = 0usize;
-        let mut universe: Vec<Term> =
-            target.iter().flat_map(|a| a.args().iter().copied()).collect();
+        let mut universe: Vec<Term> = target
+            .iter()
+            .flat_map(|a| a.args().iter().copied())
+            .collect();
         universe.sort();
         universe.dedup();
         for &u in &universe {
             let n = count_homs(&source, &[head_var], &t, &[u]);
             constrained_total += n;
             for hom in all_homs(&source, &[head_var], &t, &[u], usize::MAX) {
-                prop_assert_eq!(hom.apply(head_var), u);
+                assert_eq!(hom.apply(head_var), u, "seed {seed}");
             }
         }
         // Partition: each unconstrained witness maps head_var to exactly
         // one universe value.
-        prop_assert_eq!(constrained_total, unconstrained);
+        assert_eq!(constrained_total, unconstrained, "seed {seed}");
     }
+}
 
-    /// Predicates never cross: a member-atom source cannot map into a
-    /// sub-only target.
-    #[test]
-    fn predicates_respected(a in arb_atom(), target in arb_atoms(4)) {
+/// Predicates never cross: a member-atom source cannot map into a
+/// sub-only target.
+#[test]
+fn predicates_respected() {
+    for seed in 0..CASES {
+        let mut r = case_rng(seed, 0x05);
+        let a = arb_atom(&mut r);
+        let target = arb_atoms(&mut r, 4);
         let other: Vec<Atom> = target
             .into_iter()
             .filter(|t| t.pred() != a.pred())
             .collect();
         let t = Target::new(other);
         if a.pred() == Pred::Member || a.pred() == Pred::Sub {
-            prop_assert!(find_hom(std::slice::from_ref(&a), &[], &t, &[]).is_none());
+            assert!(
+                find_hom(std::slice::from_ref(&a), &[], &t, &[]).is_none(),
+                "seed {seed}"
+            );
         }
     }
 }

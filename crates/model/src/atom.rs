@@ -54,39 +54,63 @@ impl Atom {
             });
         }
         Ok(match pred.arity() {
-            2 => Atom { pred, args: Args::Two([args[0], args[1]]) },
-            _ => Atom { pred, args: Args::Three([args[0], args[1], args[2]]) },
+            2 => Atom {
+                pred,
+                args: Args::Two([args[0], args[1]]),
+            },
+            _ => Atom {
+                pred,
+                args: Args::Three([args[0], args[1], args[2]]),
+            },
         })
     }
 
     /// `member(o, c)` — object `o` is a member of class `c`.
     pub fn member(o: Term, c: Term) -> Atom {
-        Atom { pred: Pred::Member, args: Args::Two([o, c]) }
+        Atom {
+            pred: Pred::Member,
+            args: Args::Two([o, c]),
+        }
     }
 
     /// `sub(c1, c2)` — class `c1` is a subclass of `c2`.
     pub fn sub(c1: Term, c2: Term) -> Atom {
-        Atom { pred: Pred::Sub, args: Args::Two([c1, c2]) }
+        Atom {
+            pred: Pred::Sub,
+            args: Args::Two([c1, c2]),
+        }
     }
 
     /// `data(o, a, v)` — attribute `a` has value `v` on object `o`.
     pub fn data(o: Term, a: Term, v: Term) -> Atom {
-        Atom { pred: Pred::Data, args: Args::Three([o, a, v]) }
+        Atom {
+            pred: Pred::Data,
+            args: Args::Three([o, a, v]),
+        }
     }
 
     /// `type(o, a, t)` — attribute `a` has type `t` for object `o`.
     pub fn typ(o: Term, a: Term, t: Term) -> Atom {
-        Atom { pred: Pred::Type, args: Args::Three([o, a, t]) }
+        Atom {
+            pred: Pred::Type,
+            args: Args::Three([o, a, t]),
+        }
     }
 
     /// `mandatory(a, o)` — attribute `a` is mandatory on `o`.
     pub fn mandatory(a: Term, o: Term) -> Atom {
-        Atom { pred: Pred::Mandatory, args: Args::Two([a, o]) }
+        Atom {
+            pred: Pred::Mandatory,
+            args: Args::Two([a, o]),
+        }
     }
 
     /// `funct(a, o)` — attribute `a` is functional on `o`.
     pub fn funct(a: Term, o: Term) -> Atom {
-        Atom { pred: Pred::Funct, args: Args::Two([a, o]) }
+        Atom {
+            pred: Pred::Funct,
+            args: Args::Two([a, o]),
+        }
     }
 
     /// The predicate of this atom.
@@ -177,7 +201,14 @@ mod tests {
     fn new_checks_arity() {
         assert!(Atom::new(Pred::Member, &[c("a"), c("b")]).is_ok());
         let err = Atom::new(Pred::Member, &[c("a")]).unwrap_err();
-        assert!(matches!(err, ModelError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            ModelError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
         assert!(Atom::new(Pred::Data, &[c("a"), c("b")]).is_err());
     }
 

@@ -61,12 +61,17 @@ impl Database {
     /// ground.
     pub fn insert(&mut self, atom: Atom) -> Result<bool, ModelError> {
         if !atom.is_ground() {
-            return Err(ModelError::NonGroundFact { atom: atom.to_string() });
+            return Err(ModelError::NonGroundFact {
+                atom: atom.to_string(),
+            });
         }
         if self.facts.insert(atom) {
             self.by_pred[atom.pred().index()].push(atom);
             for (pos, &term) in atom.args().iter().enumerate() {
-                self.by_pos.entry((atom.pred(), pos as u8, term)).or_default().push(atom);
+                self.by_pos
+                    .entry((atom.pred(), pos as u8, term))
+                    .or_default()
+                    .push(atom);
             }
             Ok(true)
         } else {
@@ -185,7 +190,10 @@ impl Database {
                 violated
             });
             if let Some(binding) = witness {
-                return Some(SigmaViolation { rule: rule.id(), binding });
+                return Some(SigmaViolation {
+                    rule: rule.id(),
+                    binding,
+                });
             }
         }
         None
@@ -264,8 +272,9 @@ mod tests {
     #[test]
     fn subclass_transitivity_violation_detected() {
         // sub(a,b), sub(b,c) but no sub(a,c): ρ2 violated.
-        let db: Database =
-            [Atom::sub(c("a"), c("b")), Atom::sub(c("b"), c("cc"))].into_iter().collect();
+        let db: Database = [Atom::sub(c("a"), c("b")), Atom::sub(c("b"), c("cc"))]
+            .into_iter()
+            .collect();
         let v = db.find_violation().unwrap();
         assert_eq!(v.rule, RuleId::R2);
         // Completing the closure fixes it.
@@ -306,7 +315,9 @@ mod tests {
 
     #[test]
     fn mandatory_violation_detected_and_fixed() {
-        let db: Database = [Atom::mandatory(c("name"), c("john"))].into_iter().collect();
+        let db: Database = [Atom::mandatory(c("name"), c("john"))]
+            .into_iter()
+            .collect();
         let v = db.find_violation().unwrap();
         assert_eq!(v.rule, RuleId::R5);
         let db: Database = [

@@ -40,8 +40,15 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::ArityMismatch { pred, expected, got } => {
-                write!(f, "predicate `{pred}` has arity {expected}, got {got} arguments")
+            ModelError::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "predicate `{pred}` has arity {expected}, got {got} arguments"
+                )
             }
             ModelError::UnsafeHeadVariable { var } => {
                 write!(f, "head variable `{var}` does not occur in the query body")
@@ -65,9 +72,18 @@ mod tests {
 
     #[test]
     fn errors_render_human_readable_messages() {
-        let e = ModelError::ArityMismatch { pred: Pred::Member, expected: 2, got: 3 };
-        assert_eq!(e.to_string(), "predicate `member` has arity 2, got 3 arguments");
-        let e = ModelError::UnsafeHeadVariable { var: Term::var("X") };
+        let e = ModelError::ArityMismatch {
+            pred: Pred::Member,
+            expected: 2,
+            got: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "predicate `member` has arity 2, got 3 arguments"
+        );
+        let e = ModelError::UnsafeHeadVariable {
+            var: Term::var("X"),
+        };
         assert!(e.to_string().contains('X'));
         assert!(!ModelError::EmptyBody.to_string().is_empty());
     }

@@ -25,8 +25,14 @@ pub enum Pred {
 
 impl Pred {
     /// All predicates, in a fixed canonical order.
-    pub const ALL: [Pred; 6] =
-        [Pred::Member, Pred::Sub, Pred::Data, Pred::Type, Pred::Mandatory, Pred::Funct];
+    pub const ALL: [Pred; 6] = [
+        Pred::Member,
+        Pred::Sub,
+        Pred::Data,
+        Pred::Type,
+        Pred::Mandatory,
+        Pred::Funct,
+    ];
 
     /// The arity of the predicate (2 or 3).
     pub const fn arity(self) -> usize {

@@ -184,8 +184,11 @@ mod tests {
 
     #[test]
     fn valid_query_constructs() {
-        let query =
-            q(vec![v("A"), v("B")], vec![Atom::typ(v("T"), v("A"), v("B"))]).unwrap();
+        let query = q(
+            vec![v("A"), v("B")],
+            vec![Atom::typ(v("T"), v("A"), v("B"))],
+        )
+        .unwrap();
         assert_eq!(query.arity(), 2);
         assert_eq!(query.size(), 1);
     }
@@ -218,8 +221,7 @@ mod tests {
 
     #[test]
     fn vars_collects_head_and_body() {
-        let query =
-            q(vec![v("A")], vec![Atom::data(v("O"), v("A"), v("V"))]).unwrap();
+        let query = q(vec![v("A")], vec![Atom::data(v("O"), v("A"), v("V"))]).unwrap();
         let vars = query.vars();
         assert!(vars.contains(&v("A")) && vars.contains(&v("O")) && vars.contains(&v("V")));
         assert_eq!(vars.len(), 3);
@@ -229,7 +231,10 @@ mod tests {
     fn display_is_rule_notation() {
         let query = q(
             vec![v("A")],
-            vec![Atom::member(v("O"), v("C")), Atom::mandatory(v("A"), v("C"))],
+            vec![
+                Atom::member(v("O"), v("C")),
+                Atom::mandatory(v("A"), v("C")),
+            ],
         )
         .unwrap();
         assert_eq!(query.to_string(), "q(A) :- member(O, C), mandatory(A, C).");
@@ -271,8 +276,7 @@ mod tests {
 
     #[test]
     fn apply_rewrites_head_and_body() {
-        let query =
-            q(vec![v("A")], vec![Atom::data(v("O"), v("A"), v("V"))]).unwrap();
+        let query = q(vec![v("A")], vec![Atom::data(v("O"), v("A"), v("V"))]).unwrap();
         let s = Subst::singleton(v("A"), c("age"));
         let r = query.apply(&s);
         assert_eq!(r.head(), &[c("age")]);

@@ -309,7 +309,9 @@ mod tests {
 
     #[test]
     fn rho5_existential_not_in_body() {
-        let SigmaRule::Tgd(t) = &sigma_fl()[4] else { panic!("rho5 is a TGD") };
+        let SigmaRule::Tgd(t) = &sigma_fl()[4] else {
+            panic!("rho5 is a TGD")
+        };
         let ex = t.existential.unwrap();
         assert!(t.body.iter().all(|a| a.vars().all(|v| v != ex)));
         assert!(t.head.vars().any(|v| v == ex));
@@ -329,7 +331,9 @@ mod tests {
 
     #[test]
     fn egd_sides_occur_in_body() {
-        let SigmaRule::Egd(e) = &sigma_fl()[3] else { panic!("rho4 is the EGD") };
+        let SigmaRule::Egd(e) = &sigma_fl()[3] else {
+            panic!("rho4 is the EGD")
+        };
         let body_vars: Vec<Term> = e.body.iter().flat_map(|a| a.vars()).collect();
         assert!(body_vars.contains(&e.left));
         assert!(body_vars.contains(&e.right));
@@ -337,7 +341,9 @@ mod tests {
 
     #[test]
     fn rho1_shape() {
-        let SigmaRule::Tgd(t) = &sigma_fl()[0] else { panic!() };
+        let SigmaRule::Tgd(t) = &sigma_fl()[0] else {
+            panic!()
+        };
         assert_eq!(t.head.pred(), Pred::Member);
         assert_eq!(t.body[0].pred(), Pred::Type);
         assert_eq!(t.body[1].pred(), Pred::Data);

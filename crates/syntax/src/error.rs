@@ -75,7 +75,10 @@ pub struct SyntaxError {
 impl SyntaxError {
     /// An error at a specific position.
     pub fn at(line: u32, col: u32, kind: SyntaxErrorKind) -> SyntaxError {
-        SyntaxError { pos: Some(Pos { line, col }), kind }
+        SyntaxError {
+            pos: Some(Pos { line, col }),
+            kind,
+        }
     }
 
     /// An error about the whole input.
@@ -98,8 +101,15 @@ impl fmt::Display for SyntaxError {
             SyntaxErrorKind::UnknownPredicate(name) => {
                 write!(f, "unknown predicate `{name}` (P_FL has member, sub, data, type, mandatory, funct)")
             }
-            SyntaxErrorKind::PredicateArity { name, expected, got } => {
-                write!(f, "predicate `{name}` takes {expected} arguments, got {got}")
+            SyntaxErrorKind::PredicateArity {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "predicate `{name}` takes {expected} arguments, got {got}"
+                )
             }
             SyntaxErrorKind::UnsupportedCardinality(c) => {
                 write!(f, "unsupported cardinality `{{{c}}}`: F-logic Lite allows only {{0:1}} and {{1:*}}")
@@ -108,7 +118,10 @@ impl fmt::Display for SyntaxError {
                 write!(f, "variable `{v}` not allowed in a fact")
             }
             SyntaxErrorKind::EmptySignatureFact => {
-                write!(f, "signature fact with anonymous type and no cardinality asserts nothing")
+                write!(
+                    f,
+                    "signature fact with anonymous type and no cardinality asserts nothing"
+                )
             }
             SyntaxErrorKind::ExpectedSingleQuery { got } => {
                 write!(f, "expected exactly one query, found {got} statements")

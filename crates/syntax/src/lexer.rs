@@ -91,7 +91,11 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over `input`.
     pub fn new(input: &'a str) -> Self {
-        Lexer { chars: input.chars().peekable(), line: 1, col: 1 }
+        Lexer {
+            chars: input.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
     }
 
     /// Tokenizes the whole input, appending a final [`TokenKind::Eof`].
@@ -144,9 +148,15 @@ impl<'a> Lexer<'a> {
     /// Produces the next token.
     pub fn next_token(&mut self) -> Result<Token, SyntaxError> {
         self.skip_trivia();
-        let pos = Pos { line: self.line, col: self.col };
+        let pos = Pos {
+            line: self.line,
+            col: self.col,
+        };
         let Some(&c) = self.chars.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, pos });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
         };
         let kind = match c {
             ',' => {
@@ -263,7 +273,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -271,7 +285,13 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("john:student."),
-            vec![LIdent("john".into()), Colon, LIdent("student".into()), Dot, Eof]
+            vec![
+                LIdent("john".into()),
+                Colon,
+                LIdent("student".into()),
+                Dot,
+                Eof
+            ]
         );
         assert_eq!(
             kinds("a::b"),
@@ -302,7 +322,14 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("{0:1}"),
-            vec![LBrace, LIdent("0".into()), Colon, LIdent("1".into()), RBrace, Eof]
+            vec![
+                LBrace,
+                LIdent("0".into()),
+                Colon,
+                LIdent("1".into()),
+                RBrace,
+                Eof
+            ]
         );
         assert_eq!(
             kinds("{1,*}"),

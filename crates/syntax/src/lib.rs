@@ -47,9 +47,11 @@ pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, SyntaxError> {
     let mut queries = translate::program_to_queries(&program)?;
     match (queries.len(), program.statements.len()) {
         (1, 1) => Ok(queries.pop().expect("just checked")),
-        _ => Err(SyntaxError::whole_input(SyntaxErrorKind::ExpectedSingleQuery {
-            got: program.statements.len(),
-        })),
+        _ => Err(SyntaxError::whole_input(
+            SyntaxErrorKind::ExpectedSingleQuery {
+                got: program.statements.len(),
+            },
+        )),
     }
 }
 
@@ -57,8 +59,14 @@ pub fn parse_query(input: &str) -> Result<ConjunctiveQuery, SyntaxError> {
 /// it (fact statements are rejected).
 pub fn parse_queries(input: &str) -> Result<Vec<ConjunctiveQuery>, SyntaxError> {
     let program = parser::parse(input)?;
-    if program.statements.iter().any(|s| matches!(s, Statement::Fact(_))) {
-        return Err(SyntaxError::whole_input(SyntaxErrorKind::FactWhereQueryExpected));
+    if program
+        .statements
+        .iter()
+        .any(|s| matches!(s, Statement::Fact(_)))
+    {
+        return Err(SyntaxError::whole_input(
+            SyntaxErrorKind::FactWhereQueryExpected,
+        ));
     }
     translate::program_to_queries(&program)
 }
@@ -73,9 +81,11 @@ pub fn parse_goal(input: &str) -> Result<ConjunctiveQuery, SyntaxError> {
     let program = parser::parse(input)?;
     match program.statements.as_slice() {
         [Statement::Goal(body)] => translate::goal(body),
-        _ => Err(SyntaxError::whole_input(SyntaxErrorKind::ExpectedSingleQuery {
-            got: program.statements.len(),
-        })),
+        _ => Err(SyntaxError::whole_input(
+            SyntaxErrorKind::ExpectedSingleQuery {
+                got: program.statements.len(),
+            },
+        )),
     }
 }
 
@@ -109,10 +119,9 @@ mod tests {
 
     #[test]
     fn paper_mandatory_attribute_query() {
-        let q = parse_query(
-            "q(Att,Class,Type) :- Class[Att {1,*} *=> _], Class[Att*=>Type], _:Class.",
-        )
-        .unwrap();
+        let q =
+            parse_query("q(Att,Class,Type) :- Class[Att {1,*} *=> _], Class[Att*=>Type], _:Class.")
+                .unwrap();
         assert_eq!(q.arity(), 3);
         // mandatory(Att, Class), type(Class, Att, Type), member(_, Class)
         assert_eq!(q.size(), 3);
@@ -123,10 +132,8 @@ mod tests {
 
     #[test]
     fn predicate_notation_round_trip() {
-        let q = parse_query(
-            "q(V1,V2) :- data(O,A,V1), data(O,A,V2), funct(A,C), member(O,C).",
-        )
-        .unwrap();
+        let q = parse_query("q(V1,V2) :- data(O,A,V1), data(O,A,V2), funct(A,C), member(O,C).")
+            .unwrap();
         assert_eq!(q.size(), 4);
         assert_eq!(
             q.to_string(),
@@ -155,8 +162,7 @@ mod tests {
 
     #[test]
     fn mixed_program_splits() {
-        let (queries, db) =
-            parse_program("john:student. q(X) :- member(X, student).").unwrap();
+        let (queries, db) = parse_program("john:student. q(X) :- member(X, student).").unwrap();
         assert_eq!(queries.len(), 1);
         assert_eq!(db.len(), 1);
     }
@@ -178,7 +184,10 @@ mod tests {
     #[test]
     fn goal_projects_out_underscore_vars() {
         let g = parse_goal("?- member(_Ignored, C), data(_, a, V).").unwrap();
-        assert_eq!(g.head(), &[flogic_term::Term::var("C"), flogic_term::Term::var("V")]);
+        assert_eq!(
+            g.head(),
+            &[flogic_term::Term::var("C"), flogic_term::Term::var("V")]
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl Parser {
             SyntaxError::at(
                 t.pos.line,
                 t.pos.col,
-                SyntaxErrorKind::UnexpectedToken { expected, got: t.kind.to_string() },
+                SyntaxErrorKind::UnexpectedToken {
+                    expected,
+                    got: t.kind.to_string(),
+                },
             )
         }
     }
@@ -83,7 +86,11 @@ impl Parser {
                 if self.peek().kind == TokenKind::Implies {
                     self.bump();
                     let body = self.body()?;
-                    return Ok(Statement::Query(AstQuery { name, head: args, body }));
+                    return Ok(Statement::Query(AstQuery {
+                        name,
+                        head: args,
+                        body,
+                    }));
                 }
                 // Not a rule: re-interpret as a predicate-notation fact.
                 self.idx = save;
@@ -128,11 +135,15 @@ impl Parser {
     fn term(&mut self) -> Result<AstTerm, SyntaxError> {
         match &self.peek().kind {
             TokenKind::LIdent(_) => {
-                let TokenKind::LIdent(s) = self.bump().kind else { unreachable!() };
+                let TokenKind::LIdent(s) = self.bump().kind else {
+                    unreachable!()
+                };
                 Ok(AstTerm::Const(s))
             }
             TokenKind::UIdent(_) => {
-                let TokenKind::UIdent(s) = self.bump().kind else { unreachable!() };
+                let TokenKind::UIdent(s) = self.bump().kind else {
+                    unreachable!()
+                };
                 Ok(AstTerm::Var(s))
             }
             TokenKind::Anon => {
@@ -156,7 +167,10 @@ impl Parser {
             TokenKind::Colon => {
                 self.bump();
                 let class = self.term()?;
-                Ok(Molecule::Isa { obj: subject, class })
+                Ok(Molecule::Isa {
+                    obj: subject,
+                    class,
+                })
             }
             TokenKind::SubSym => {
                 self.bump();
@@ -171,7 +185,10 @@ impl Parser {
                     specs.push(self.spec()?);
                 }
                 self.eat(&TokenKind::RBracket, "`]`")?;
-                Ok(Molecule::Specs { obj: subject, specs })
+                Ok(Molecule::Specs {
+                    obj: subject,
+                    specs,
+                })
             }
             _ => Err(self.unexpected("`:`, `::` or `[`")),
         }
@@ -189,12 +206,20 @@ impl Parser {
                 let card = self.cardinality()?;
                 self.eat(&TokenKind::SigArrow, "`*=>`")?;
                 let typ = self.term()?;
-                Ok(Spec::Signature { attr, card: Some(card), typ })
+                Ok(Spec::Signature {
+                    attr,
+                    card: Some(card),
+                    typ,
+                })
             }
             TokenKind::SigArrow => {
                 self.bump();
                 let typ = self.term()?;
-                Ok(Spec::Signature { attr, card: None, typ })
+                Ok(Spec::Signature {
+                    attr,
+                    card: None,
+                    typ,
+                })
             }
             _ => Err(self.unexpected("`->`, `{` or `*=>`")),
         }
@@ -251,8 +276,14 @@ mod tests {
     fn parses_isa_and_sub_facts() {
         let p = parse("john:student. freshman::student.").unwrap();
         assert_eq!(p.statements.len(), 2);
-        assert!(matches!(&p.statements[0], Statement::Fact(Molecule::Isa { .. })));
-        assert!(matches!(&p.statements[1], Statement::Fact(Molecule::Sub { .. })));
+        assert!(matches!(
+            &p.statements[0],
+            Statement::Fact(Molecule::Isa { .. })
+        ));
+        assert!(matches!(
+            &p.statements[1],
+            Statement::Fact(Molecule::Sub { .. })
+        ));
     }
 
     #[test]
@@ -281,14 +312,22 @@ mod tests {
         let Statement::Fact(Molecule::Specs { specs, .. }) = &p.statements[1] else {
             panic!()
         };
-        assert!(matches!(specs[0], Spec::Signature { card: Some(Card::OneStar), .. }));
+        assert!(matches!(
+            specs[0],
+            Spec::Signature {
+                card: Some(Card::OneStar),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn rejects_unsupported_cardinality() {
         let err = parse("person[kids {1:1} *=> person].").unwrap_err();
-        assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedToken { .. })
-            || matches!(err.kind, SyntaxErrorKind::UnsupportedCardinality(_)));
+        assert!(
+            matches!(err.kind, SyntaxErrorKind::UnexpectedToken { .. })
+                || matches!(err.kind, SyntaxErrorKind::UnsupportedCardinality(_))
+        );
         let err = parse("person[kids {0,*} *=> person].").unwrap_err();
         assert!(
             matches!(&err.kind, SyntaxErrorKind::UnsupportedCardinality(s) if s == "0:*"),
@@ -299,7 +338,9 @@ mod tests {
     #[test]
     fn parses_query_with_molecule_body() {
         let p = parse("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].").unwrap();
-        let Statement::Query(q) = &p.statements[0] else { panic!() };
+        let Statement::Query(q) = &p.statements[0] else {
+            panic!()
+        };
         assert_eq!(q.name, "q");
         assert_eq!(q.head.len(), 2);
         assert_eq!(q.body.len(), 3);
@@ -308,7 +349,9 @@ mod tests {
     #[test]
     fn parses_boolean_query() {
         let p = parse("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
-        let Statement::Query(q) = &p.statements[0] else { panic!() };
+        let Statement::Query(q) = &p.statements[0] else {
+            panic!()
+        };
         assert!(q.head.is_empty());
         assert_eq!(q.body.len(), 3);
     }
@@ -344,7 +387,9 @@ mod tests {
         // "Variables can occur anywhere an object, an attribute, or a class
         // is allowed" (Section 2).
         let p = parse("q(Att, Val) :- student[Att*=>string], john[Att->Val].").unwrap();
-        let Statement::Query(q) = &p.statements[0] else { panic!() };
+        let Statement::Query(q) = &p.statements[0] else {
+            panic!()
+        };
         assert_eq!(q.body.len(), 2);
     }
 }

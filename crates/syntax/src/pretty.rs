@@ -56,14 +56,15 @@ pub fn query_to_flogic(q: &ConjunctiveQuery) -> String {
             Pred::Data => format!("{}[{} -> {}]", a.arg(0), a.arg(1), a.arg(2)),
             Pred::Type => format!("{}[{} *=> {}]", a.arg(0), a.arg(1), a.arg(2)),
             Pred::Mandatory | Pred::Funct => {
-                let card = if a.pred() == Pred::Mandatory { "{1:*}" } else { "{0:1}" };
+                let card = if a.pred() == Pred::Mandatory {
+                    "{1:*}"
+                } else {
+                    "{0:1}"
+                };
                 let (attr, obj) = (a.arg(0), a.arg(1));
                 // Merge with a matching type(obj, attr, T) if one exists.
                 let partner = body.iter().enumerate().position(|(j, b)| {
-                    !consumed[j]
-                        && b.pred() == Pred::Type
-                        && b.arg(0) == obj
-                        && b.arg(1) == attr
+                    !consumed[j] && b.pred() == Pred::Type && b.arg(0) == obj && b.arg(1) == attr
                 });
                 match partner {
                     Some(j) => {

@@ -80,12 +80,12 @@ fn term(t: &AstTerm, mode: &mut Mode<'_>) -> Result<Term, SyntaxError> {
         (AstTerm::Const(name), _) => Ok(Term::constant(name)),
         (AstTerm::Var(name), Mode::Query(_)) => Ok(Term::var(name)),
         (AstTerm::Anon, Mode::Query(fresh)) => Ok(fresh.fresh()),
-        (AstTerm::Var(name), Mode::Fact) => {
-            Err(SyntaxError::whole_input(SyntaxErrorKind::VariableInFact(name.clone())))
-        }
-        (AstTerm::Anon, Mode::Fact) => {
-            Err(SyntaxError::whole_input(SyntaxErrorKind::VariableInFact("_".into())))
-        }
+        (AstTerm::Var(name), Mode::Fact) => Err(SyntaxError::whole_input(
+            SyntaxErrorKind::VariableInFact(name.clone()),
+        )),
+        (AstTerm::Anon, Mode::Fact) => Err(SyntaxError::whole_input(
+            SyntaxErrorKind::VariableInFact("_".into()),
+        )),
     }
 }
 
@@ -150,8 +150,10 @@ fn molecule(m: &Molecule, mode: &mut Mode<'_>, out: &mut Vec<Atom>) -> Result<()
                     got: args.len(),
                 }));
             }
-            let terms: Vec<Term> =
-                args.iter().map(|a| term(a, mode)).collect::<Result<_, _>>()?;
+            let terms: Vec<Term> = args
+                .iter()
+                .map(|a| term(a, mode))
+                .collect::<Result<_, _>>()?;
             out.push(Atom::new(pred, &terms).expect("arity checked above"));
         }
     }
@@ -176,7 +178,9 @@ pub(crate) fn goal(body_molecules: &[Molecule]) -> Result<ConjunctiveQuery, Synt
     let mut head = Vec::new();
     for atom in &atoms {
         for v in atom.vars() {
-            let Term::Var(sym) = v else { unreachable!("vars() yields variables") };
+            let Term::Var(sym) = v else {
+                unreachable!("vars() yields variables")
+            };
             if !sym.as_str().starts_with('_') && !head.contains(&v) {
                 head.push(v);
             }
@@ -188,8 +192,11 @@ pub(crate) fn goal(body_molecules: &[Molecule]) -> Result<ConjunctiveQuery, Synt
 fn query(q: &AstQuery) -> Result<ConjunctiveQuery, SyntaxError> {
     let mut fresh = FreshVars::for_query(q);
     let mut mode = Mode::Query(&mut fresh);
-    let head: Vec<Term> =
-        q.head.iter().map(|t| term(t, &mut mode)).collect::<Result<_, _>>()?;
+    let head: Vec<Term> = q
+        .head
+        .iter()
+        .map(|t| term(t, &mut mode))
+        .collect::<Result<_, _>>()?;
     let mut body = Vec::new();
     for m in &q.body {
         molecule(m, &mut mode, &mut body)?;
@@ -198,9 +205,7 @@ fn query(q: &AstQuery) -> Result<ConjunctiveQuery, SyntaxError> {
 }
 
 /// Translates every query statement in the program.
-pub(crate) fn program_to_queries(
-    program: &Program,
-) -> Result<Vec<ConjunctiveQuery>, SyntaxError> {
+pub(crate) fn program_to_queries(program: &Program) -> Result<Vec<ConjunctiveQuery>, SyntaxError> {
     program
         .statements
         .iter()
@@ -270,7 +275,9 @@ mod tests {
     use crate::parser::parse;
 
     fn one_query(input: &str) -> ConjunctiveQuery {
-        program_to_queries(&parse(input).unwrap()).unwrap().remove(0)
+        program_to_queries(&parse(input).unwrap())
+            .unwrap()
+            .remove(0)
     }
 
     #[test]
@@ -279,7 +286,10 @@ mod tests {
         let a0 = q.body()[0].arg(2);
         let a1 = q.body()[1].arg(2);
         assert!(a0.is_var() && a1.is_var());
-        assert_ne!(a0, a1, "different `_` occurrences must be different variables");
+        assert_ne!(
+            a0, a1,
+            "different `_` occurrences must be different variables"
+        );
     }
 
     #[test]
@@ -316,7 +326,11 @@ mod tests {
         let err = program_to_queries(&parse("q(X) :- member(X).").unwrap()).unwrap_err();
         assert!(matches!(
             err.kind,
-            SyntaxErrorKind::PredicateArity { expected: 2, got: 1, .. }
+            SyntaxErrorKind::PredicateArity {
+                expected: 2,
+                got: 1,
+                ..
+            }
         ));
     }
 

@@ -21,11 +21,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod metrics;
 mod null;
+pub mod rng;
 mod subst;
 mod symbol;
 mod term;
 
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use null::{NullGen, NullId};
 pub use subst::Subst;
 pub use symbol::Symbol;

@@ -1,0 +1,232 @@
+//! Lightweight cross-crate instrumentation.
+//!
+//! The containment hot path has three phases — chase materialization,
+//! homomorphism search, and (with a [`DecisionCache`]-style layer) cache
+//! lookups — and the benchmark harness wants to report how a workload
+//! splits across them. This module provides a process-global set of
+//! **atomic counters and wall-clock accumulators** that the `flogic-chase`,
+//! `flogic-hom` and `flogic-core` crates update as they work.
+//!
+//! Everything is relaxed atomics on a `static`: recording costs a couple of
+//! uncontended atomic adds, there is no locking, and crates that never look
+//! at the numbers pay (almost) nothing. Snapshots are cheap and the harness
+//! takes one per experiment via [`Metrics::snapshot`] /
+//! [`Metrics::reset`].
+//!
+//! `DecisionCache` lives in `flogic-core`; the cache counters here are the
+//! generic notion it reports into.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Process-global instrumentation counters (see the module docs).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    chase_runs: AtomicU64,
+    chase_nanos: AtomicU64,
+    hom_searches: AtomicU64,
+    hom_nanos: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+static GLOBAL: Metrics = Metrics {
+    chase_runs: AtomicU64::new(0),
+    chase_nanos: AtomicU64::new(0),
+    hom_searches: AtomicU64::new(0),
+    hom_nanos: AtomicU64::new(0),
+    cache_hits: AtomicU64::new(0),
+    cache_misses: AtomicU64::new(0),
+};
+
+impl Metrics {
+    /// The process-global metrics instance.
+    pub fn global() -> &'static Metrics {
+        &GLOBAL
+    }
+
+    /// Records one chase run that took `elapsed` of wall-clock time.
+    pub fn record_chase(&self, elapsed: Duration) {
+        self.chase_runs.fetch_add(1, Ordering::Relaxed);
+        self.chase_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one homomorphism search that took `elapsed`.
+    pub fn record_hom(&self, elapsed: Duration) {
+        self.hom_searches.fetch_add(1, Ordering::Relaxed);
+        self.hom_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Records a containment-decision cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a containment-decision cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Times `f`, records the duration as a chase run, returns its result.
+    pub fn time_chase<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record_chase(t0.elapsed());
+        out
+    }
+
+    /// Times `f`, records the duration as a hom search, returns its result.
+    pub fn time_hom<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record_hom(t0.elapsed());
+        out
+    }
+
+    /// Takes a consistent-enough snapshot of all counters (each counter is
+    /// read atomically; the set is not globally synchronized, which is fine
+    /// for reporting).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            chase_runs: self.chase_runs.load(Ordering::Relaxed),
+            chase_nanos: self.chase_nanos.load(Ordering::Relaxed),
+            hom_searches: self.hom_searches.load(Ordering::Relaxed),
+            hom_nanos: self.hom_nanos.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.chase_runs.store(0, Ordering::Relaxed);
+        self.chase_nanos.store(0, Ordering::Relaxed);
+        self.hom_searches.store(0, Ordering::Relaxed);
+        self.hom_nanos.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the [`Metrics`] counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Number of chase runs recorded.
+    pub chase_runs: u64,
+    /// Total wall-clock nanoseconds spent in chase runs.
+    pub chase_nanos: u64,
+    /// Number of homomorphism searches recorded.
+    pub hom_searches: u64,
+    /// Total wall-clock nanoseconds spent in hom searches.
+    pub hom_nanos: u64,
+    /// Containment-decision cache hits.
+    pub cache_hits: u64,
+    /// Containment-decision cache misses.
+    pub cache_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference since an earlier snapshot (saturating).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            chase_runs: self.chase_runs.saturating_sub(earlier.chase_runs),
+            chase_nanos: self.chase_nanos.saturating_sub(earlier.chase_nanos),
+            hom_searches: self.hom_searches.saturating_sub(earlier.hom_searches),
+            hom_nanos: self.hom_nanos.saturating_sub(earlier.hom_nanos),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
+    }
+
+    /// Cache hit rate in `[0, 1]`, or `None` when no lookups happened.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Fraction of instrumented wall-clock time spent in the chase (the
+    /// rest is hom search), or `None` when nothing was timed.
+    pub fn chase_fraction(&self) -> Option<f64> {
+        let total = self.chase_nanos + self.hom_nanos;
+        (total > 0).then(|| self.chase_nanos as f64 / total as f64)
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chase: {} runs / {:.2} ms; hom: {} searches / {:.2} ms; cache: {} hits / {} misses",
+            self.chase_runs,
+            self.chase_nanos as f64 / 1e6,
+            self.hom_searches,
+            self.hom_nanos as f64 / 1e6,
+            self.cache_hits,
+            self.cache_misses,
+        )?;
+        if let Some(rate) = self.cache_hit_rate() {
+            write!(f, " ({:.1}% hit rate)", rate * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global metrics are process-wide, so tests only assert *relative*
+    // movement (other tests in the same process may record concurrently).
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let m = Metrics::default();
+        m.record_chase(Duration::from_micros(5));
+        m.record_chase(Duration::from_micros(7));
+        m.record_hom(Duration::from_micros(3));
+        m.record_cache_hit();
+        m.record_cache_hit();
+        m.record_cache_miss();
+        let s = m.snapshot();
+        assert_eq!(s.chase_runs, 2);
+        assert_eq!(s.chase_nanos, 12_000);
+        assert_eq!(s.hom_searches, 1);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hit_rate(), Some(2.0 / 3.0));
+        let s2 = m.snapshot().since(&s);
+        assert_eq!(s2, MetricsSnapshot::default());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn timing_helpers_return_value_and_record() {
+        let m = Metrics::default();
+        let x = m.time_chase(|| 41 + 1);
+        assert_eq!(x, 42);
+        let y = m.time_hom(|| "ok");
+        assert_eq!(y, "ok");
+        let s = m.snapshot();
+        assert_eq!((s.chase_runs, s.hom_searches), (1, 1));
+    }
+
+    #[test]
+    fn global_is_reachable() {
+        let before = Metrics::global().snapshot();
+        Metrics::global().record_cache_miss();
+        let after = Metrics::global().snapshot();
+        assert!(after.cache_misses > before.cache_misses);
+    }
+
+    #[test]
+    fn chase_fraction_splits_time() {
+        let m = Metrics::default();
+        assert_eq!(m.snapshot().chase_fraction(), None);
+        m.record_chase(Duration::from_nanos(300));
+        m.record_hom(Duration::from_nanos(100));
+        assert_eq!(m.snapshot().chase_fraction(), Some(0.75));
+    }
+}

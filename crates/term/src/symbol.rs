@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::LazyLock;
-
-use parking_lot::RwLock;
+use std::sync::{LazyLock, RwLock};
 
 /// An interned string.
 ///
@@ -29,19 +27,22 @@ struct Interner {
 }
 
 static INTERNER: LazyLock<RwLock<Interner>> = LazyLock::new(|| {
-    RwLock::new(Interner { by_name: HashMap::new(), names: Vec::new() })
+    RwLock::new(Interner {
+        by_name: HashMap::new(),
+        names: Vec::new(),
+    })
 });
 
 impl Symbol {
     /// Interns `name`, returning its symbol. Idempotent.
     pub fn intern(name: &str) -> Symbol {
         {
-            let interner = INTERNER.read();
+            let interner = INTERNER.read().expect("interner lock poisoned");
             if let Some(&id) = interner.by_name.get(name) {
                 return Symbol(id);
             }
         }
-        let mut interner = INTERNER.write();
+        let mut interner = INTERNER.write().expect("interner lock poisoned");
         if let Some(&id) = interner.by_name.get(name) {
             return Symbol(id);
         }
@@ -54,7 +55,7 @@ impl Symbol {
 
     /// Returns the string this symbol was interned from.
     pub fn as_str(self) -> &'static str {
-        INTERNER.read().names[self.0 as usize]
+        INTERNER.read().expect("interner lock poisoned").names[self.0 as usize]
     }
 
     /// The raw id, useful for dense side tables.

@@ -2,7 +2,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use flogic_lite::core::{classic_contains, contains_str};
+use flogic_lite::core::classic_contains;
 use flogic_lite::prelude::*;
 
 fn main() {

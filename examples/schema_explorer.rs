@@ -43,8 +43,14 @@ fn main() {
     let demos = [
         // Pure meta-queries (schema browsing).
         ("subclasses of person", "q(X) :- X::person."),
-        ("attributes of student of type string", "q(Att) :- student[Att*=>string]."),
-        ("mandatory attributes per class", "q(Att, C) :- C[Att {1:*} *=> _], C:class."),
+        (
+            "attributes of student of type string",
+            "q(Att) :- student[Att*=>string].",
+        ),
+        (
+            "mandatory attributes per class",
+            "q(Att, C) :- C[Att {1:*} *=> _], C:class.",
+        ),
         // Mixed meta/data query from Section 2.
         (
             "string-typed attribute values of john",
@@ -71,7 +77,10 @@ fn main() {
 
     // Assertions that pin the interesting inferences.
     let johns_classes = answers(&parse_query("q(C) :- john:C.").unwrap(), &kb);
-    assert!(johns_classes.contains(&vec![Term::constant("person")]), "rho3 inference");
+    assert!(
+        johns_classes.contains(&vec![Term::constant("person")]),
+        "rho3 inference"
+    );
     let named = answers(&parse_query("q(O) :- O[name->V], O:person.").unwrap(), &kb);
     assert!(
         named.contains(&vec![Term::constant("bob")]),

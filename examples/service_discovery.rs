@@ -18,10 +18,9 @@ use flogic_lite::prelude::*;
 fn main() {
     // The client wants: providers P that sell some product of a type that
     // is (a subtype of) bookable, with a known price value.
-    let request = parse_query(
-        "request(P, Prod) :- P[sells->Prod], Prod:T, T::bookable, Prod[price->V].",
-    )
-    .expect("request parses");
+    let request =
+        parse_query("request(P, Prod) :- P[sells->Prod], Prod:T, T::bookable, Prod[price->V].")
+            .expect("request parses");
 
     // Service capabilities, each a meta-query over the shared ontology.
     let services = [
@@ -51,7 +50,10 @@ fn main() {
     ];
 
     println!("request: {request}\n");
-    println!("{:<18} {:>12} {:>18}", "service", "matches", "classical-only?");
+    println!(
+        "{:<18} {:>12} {:>18}",
+        "service", "matches", "classical-only?"
+    );
     println!("{}", "-".repeat(52));
     let mut matched = Vec::new();
     for (name, cap_src) in services {
@@ -64,10 +66,10 @@ fn main() {
         }
     }
 
-    assert_eq!(matched.iter().map(|(n, _)| *n).collect::<Vec<_>>(), vec![
-        "EuroTrainTickets",
-        "HotelWorld"
-    ]);
+    assert_eq!(
+        matched.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+        vec!["EuroTrainTickets", "HotelWorld"]
+    );
     // HotelWorld matches only thanks to Σ_FL (mandatory ⇒ value exists);
     // a classical matcher would wrongly reject it.
     let hotel = matched.iter().find(|(n, _)| *n == "HotelWorld").unwrap();

@@ -16,9 +16,7 @@
 use std::process::ExitCode;
 
 use flogic_lite::chase::{chase_bounded, to_dot, to_text, ChaseOptions};
-use flogic_lite::core::{
-    classic_contains, contains, explain, minimize, ContainmentOptions,
-};
+use flogic_lite::core::{classic_contains, contains, explain, minimize, ContainmentOptions};
 use flogic_lite::datalog::{answers, close_database, ClosureOptions};
 use flogic_lite::prelude::*;
 use flogic_lite::syntax::query_to_flogic;
@@ -51,7 +49,9 @@ fn parse_or_exit(src: &str) -> Result<flogic_lite::model::ConjunctiveQuery, Exit
 }
 
 fn cmd_contains(args: &[String]) -> ExitCode {
-    let [q1_src, q2_src] = args else { return usage() };
+    let [q1_src, q2_src] = args else {
+        return usage();
+    };
     let (q1, q2) = match (parse_or_exit(q1_src), parse_or_exit(q2_src)) {
         (Ok(a), Ok(b)) => (a, b),
         _ => return ExitCode::FAILURE,
@@ -66,7 +66,15 @@ fn cmd_contains(args: &[String]) -> ExitCode {
     println!("q1: {q1}");
     println!("q2: {q2}");
     println!();
-    println!("q1 ⊆_ΣFL q2:  {}{}", forward.holds(), if forward.is_vacuous() { "  (vacuous: q1 unsatisfiable)" } else { "" });
+    println!(
+        "q1 ⊆_ΣFL q2:  {}{}",
+        forward.holds(),
+        if forward.is_vacuous() {
+            "  (vacuous: q1 unsatisfiable)"
+        } else {
+            ""
+        }
+    );
     if let Some(w) = forward.witness() {
         println!("  witness: {w}");
     }
@@ -87,7 +95,9 @@ fn cmd_contains(args: &[String]) -> ExitCode {
 }
 
 fn cmd_explain(args: &[String]) -> ExitCode {
-    let [q1_src, q2_src] = args else { return usage() };
+    let [q1_src, q2_src] = args else {
+        return usage();
+    };
     let (q1, q2) = match (parse_or_exit(q1_src), parse_or_exit(q2_src)) {
         (Ok(a), Ok(b)) => (a, b),
         _ => return ExitCode::FAILURE,
@@ -107,7 +117,9 @@ fn cmd_explain(args: &[String]) -> ExitCode {
 }
 
 fn cmd_chase(args: &[String]) -> ExitCode {
-    let Some(q_src) = args.first() else { return usage() };
+    let Some(q_src) = args.first() else {
+        return usage();
+    };
     let q = match parse_or_exit(q_src) {
         Ok(q) => q,
         Err(code) => return code,
@@ -125,7 +137,14 @@ fn cmd_chase(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
-    let chase = chase_bounded(&q, &ChaseOptions { level_bound: bound, max_conjuncts: 1_000_000 });
+    let chase = chase_bounded(
+        &q,
+        &ChaseOptions {
+            level_bound: bound,
+            max_conjuncts: 1_000_000,
+            ..Default::default()
+        },
+    );
     if chase.is_failed() {
         println!("chase FAILED (rho4 equated two distinct constants): the query is\nunsatisfiable w.r.t. Sigma_FL; it is contained in every query of its arity.");
         return ExitCode::SUCCESS;
@@ -138,7 +157,12 @@ fn cmd_chase(args: &[String]) -> ExitCode {
             chase.outcome(),
             chase.len(),
             chase.max_level(),
-            chase.head().iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+            chase
+                .head()
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         print!("{}", to_text(&chase));
     }

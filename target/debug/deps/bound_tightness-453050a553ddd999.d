@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bound_tightness-453050a553ddd999.d: crates/bench/benches/bound_tightness.rs
+
+/root/repo/target/debug/deps/bound_tightness-453050a553ddd999: crates/bench/benches/bound_tightness.rs
+
+crates/bench/benches/bound_tightness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bound_tightness-97e36f5f657f3541.d: crates/bench/benches/bound_tightness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbound_tightness-97e36f5f657f3541.rmeta: crates/bench/benches/bound_tightness.rs Cargo.toml
+
+crates/bench/benches/bound_tightness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chase_minus-838bea44edd87718.d: crates/bench/benches/chase_minus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchase_minus-838bea44edd87718.rmeta: crates/bench/benches/chase_minus.rs Cargo.toml
+
+crates/bench/benches/chase_minus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

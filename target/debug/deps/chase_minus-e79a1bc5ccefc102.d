@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chase_minus-e79a1bc5ccefc102.d: crates/bench/benches/chase_minus.rs
+
+/root/repo/target/debug/deps/chase_minus-e79a1bc5ccefc102: crates/bench/benches/chase_minus.rs
+
+crates/bench/benches/chase_minus.rs:

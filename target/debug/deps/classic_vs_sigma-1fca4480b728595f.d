@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classic_vs_sigma-1fca4480b728595f.d: crates/bench/benches/classic_vs_sigma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassic_vs_sigma-1fca4480b728595f.rmeta: crates/bench/benches/classic_vs_sigma.rs Cargo.toml
+
+crates/bench/benches/classic_vs_sigma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

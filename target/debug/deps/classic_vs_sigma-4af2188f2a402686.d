@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classic_vs_sigma-4af2188f2a402686.d: crates/bench/benches/classic_vs_sigma.rs
+
+/root/repo/target/debug/deps/classic_vs_sigma-4af2188f2a402686: crates/bench/benches/classic_vs_sigma.rs
+
+crates/bench/benches/classic_vs_sigma.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-0b48e8503b5a58d3.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-0b48e8503b5a58d3: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_flq=/root/repo/target/debug/flq

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-7c98070270aec2f8.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-7c98070270aec2f8: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_flq=/root/repo/target/debug/flq

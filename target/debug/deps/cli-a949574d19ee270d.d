@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-a949574d19ee270d.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-a949574d19ee270d.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_flq=placeholder:flq
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

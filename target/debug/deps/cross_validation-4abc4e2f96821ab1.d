@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-4abc4e2f96821ab1.d: crates/bench/benches/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-4abc4e2f96821ab1: crates/bench/benches/cross_validation.rs
+
+crates/bench/benches/cross_validation.rs:

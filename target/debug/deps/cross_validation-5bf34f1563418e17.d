@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-5bf34f1563418e17.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-5bf34f1563418e17: tests/cross_validation.rs
+
+tests/cross_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_validation-abb2082b86d6b809.d: crates/bench/benches/cross_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_validation-abb2082b86d6b809.rmeta: crates/bench/benches/cross_validation.rs Cargo.toml
+
+crates/bench/benches/cross_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_validation-c91a6b3dd0c97f03.d: tests/cross_validation.rs
+
+/root/repo/target/debug/deps/cross_validation-c91a6b3dd0c97f03: tests/cross_validation.rs
+
+tests/cross_validation.rs:

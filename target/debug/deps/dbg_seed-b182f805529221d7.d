@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_seed-b182f805529221d7.d: crates/hom/tests/dbg_seed.rs
+
+/root/repo/target/debug/deps/dbg_seed-b182f805529221d7: crates/hom/tests/dbg_seed.rs
+
+crates/hom/tests/dbg_seed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_seed-fb012520ab8e0847.d: crates/hom/tests/dbg_seed.rs
+
+/root/repo/target/debug/deps/dbg_seed-fb012520ab8e0847: crates/hom/tests/dbg_seed.rs
+
+crates/hom/tests/dbg_seed.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flogic_bench-1ac2d896e11b9d5a.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/flogic_bench-1ac2d896e11b9d5a: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flogic_bench-22e423f1b0d691aa.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_bench-22e423f1b0d691aa.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

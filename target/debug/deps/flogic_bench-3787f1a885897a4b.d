@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flogic_bench-3787f1a885897a4b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/flogic_bench-3787f1a885897a4b: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flogic_bench-3fce4441f5529b16.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/flogic_bench-3fce4441f5529b16: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/table.rs:

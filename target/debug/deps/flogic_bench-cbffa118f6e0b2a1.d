@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flogic_bench-cbffa118f6e0b2a1.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libflogic_bench-cbffa118f6e0b2a1.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libflogic_bench-cbffa118f6e0b2a1.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flogic_chase-89d50d3cf3af49a7.d: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_chase-89d50d3cf3af49a7.rmeta: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs Cargo.toml
+
+crates/chase/src/lib.rs:
+crates/chase/src/cycles.rs:
+crates/chase/src/dot.rs:
+crates/chase/src/engine.rs:
+crates/chase/src/graph.rs:
+crates/chase/src/paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flogic_chase-98f19f3a45b2e11f.d: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_chase-98f19f3a45b2e11f.rmeta: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs Cargo.toml
+
+crates/chase/src/lib.rs:
+crates/chase/src/cycles.rs:
+crates/chase/src/dot.rs:
+crates/chase/src/engine.rs:
+crates/chase/src/graph.rs:
+crates/chase/src/paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flogic_chase-ca0c9eb0e9c88139.d: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs
+
+/root/repo/target/debug/deps/flogic_chase-ca0c9eb0e9c88139: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs
+
+crates/chase/src/lib.rs:
+crates/chase/src/cycles.rs:
+crates/chase/src/dot.rs:
+crates/chase/src/engine.rs:
+crates/chase/src/graph.rs:
+crates/chase/src/paths.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flogic_chase-e62b0ddf1e31acc2.d: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs
+
+/root/repo/target/debug/deps/libflogic_chase-e62b0ddf1e31acc2.rlib: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs
+
+/root/repo/target/debug/deps/libflogic_chase-e62b0ddf1e31acc2.rmeta: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs
+
+crates/chase/src/lib.rs:
+crates/chase/src/cycles.rs:
+crates/chase/src/dot.rs:
+crates/chase/src/engine.rs:
+crates/chase/src/graph.rs:
+crates/chase/src/paths.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/flogic_core-61562d132ec14797.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_core-61562d132ec14797.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/classic.rs:
+crates/core/src/decide.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/naive.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/union.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

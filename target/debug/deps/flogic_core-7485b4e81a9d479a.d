@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flogic_core-7485b4e81a9d479a.d: crates/core/src/lib.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+/root/repo/target/debug/deps/libflogic_core-7485b4e81a9d479a.rlib: crates/core/src/lib.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+/root/repo/target/debug/deps/libflogic_core-7485b4e81a9d479a.rmeta: crates/core/src/lib.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classic.rs:
+crates/core/src/decide.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/naive.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/union.rs:

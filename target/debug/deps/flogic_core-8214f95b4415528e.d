@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flogic_core-8214f95b4415528e.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+/root/repo/target/debug/deps/libflogic_core-8214f95b4415528e.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+/root/repo/target/debug/deps/libflogic_core-8214f95b4415528e.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/classic.rs:
+crates/core/src/decide.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/naive.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/union.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flogic_core-e52582f64416c2f7.d: crates/core/src/lib.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+/root/repo/target/debug/deps/flogic_core-e52582f64416c2f7: crates/core/src/lib.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classic.rs:
+crates/core/src/decide.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/naive.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/union.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flogic_datalog-87838af5c1985c69.d: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs
+
+/root/repo/target/debug/deps/flogic_datalog-87838af5c1985c69: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs
+
+crates/datalog/src/lib.rs:
+crates/datalog/src/closure.rs:
+crates/datalog/src/engine.rs:
+crates/datalog/src/error.rs:
+crates/datalog/src/eval.rs:
+crates/datalog/src/store.rs:
+crates/datalog/src/uf.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flogic_datalog-a818d7a0ebf7f3a7.d: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs
+
+/root/repo/target/debug/deps/libflogic_datalog-a818d7a0ebf7f3a7.rlib: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs
+
+/root/repo/target/debug/deps/libflogic_datalog-a818d7a0ebf7f3a7.rmeta: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs
+
+crates/datalog/src/lib.rs:
+crates/datalog/src/closure.rs:
+crates/datalog/src/engine.rs:
+crates/datalog/src/error.rs:
+crates/datalog/src/eval.rs:
+crates/datalog/src/store.rs:
+crates/datalog/src/uf.rs:

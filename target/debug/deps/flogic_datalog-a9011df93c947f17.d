@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flogic_datalog-a9011df93c947f17.d: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_datalog-a9011df93c947f17.rmeta: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs Cargo.toml
+
+crates/datalog/src/lib.rs:
+crates/datalog/src/closure.rs:
+crates/datalog/src/engine.rs:
+crates/datalog/src/error.rs:
+crates/datalog/src/eval.rs:
+crates/datalog/src/store.rs:
+crates/datalog/src/uf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

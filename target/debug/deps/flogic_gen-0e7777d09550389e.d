@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flogic_gen-0e7777d09550389e.d: crates/gen/src/lib.rs
+
+/root/repo/target/debug/deps/flogic_gen-0e7777d09550389e: crates/gen/src/lib.rs
+
+crates/gen/src/lib.rs:

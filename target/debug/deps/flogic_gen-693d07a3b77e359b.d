@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flogic_gen-693d07a3b77e359b.d: crates/gen/src/lib.rs
+
+/root/repo/target/debug/deps/libflogic_gen-693d07a3b77e359b.rlib: crates/gen/src/lib.rs
+
+/root/repo/target/debug/deps/libflogic_gen-693d07a3b77e359b.rmeta: crates/gen/src/lib.rs
+
+crates/gen/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flogic_gen-765815e5013263f0.d: crates/gen/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_gen-765815e5013263f0.rmeta: crates/gen/src/lib.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flogic_gen-d882ff93dd0f6828.d: crates/gen/src/lib.rs
+
+/root/repo/target/debug/deps/flogic_gen-d882ff93dd0f6828: crates/gen/src/lib.rs
+
+crates/gen/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flogic_hom-b40bb291f1a3d138.d: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+/root/repo/target/debug/deps/flogic_hom-b40bb291f1a3d138: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+crates/hom/src/lib.rs:
+crates/hom/src/core_of.rs:
+crates/hom/src/search.rs:
+crates/hom/src/target.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flogic_hom-ce0432c24ba51372.d: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+/root/repo/target/debug/deps/libflogic_hom-ce0432c24ba51372.rlib: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+/root/repo/target/debug/deps/libflogic_hom-ce0432c24ba51372.rmeta: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+crates/hom/src/lib.rs:
+crates/hom/src/core_of.rs:
+crates/hom/src/search.rs:
+crates/hom/src/target.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flogic_hom-dfc79a4c2b8b48fa.d: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_hom-dfc79a4c2b8b48fa.rmeta: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs Cargo.toml
+
+crates/hom/src/lib.rs:
+crates/hom/src/core_of.rs:
+crates/hom/src/search.rs:
+crates/hom/src/target.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flogic_hom-e097c70a4cdb97ab.d: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+/root/repo/target/debug/deps/libflogic_hom-e097c70a4cdb97ab.rlib: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+/root/repo/target/debug/deps/libflogic_hom-e097c70a4cdb97ab.rmeta: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+crates/hom/src/lib.rs:
+crates/hom/src/core_of.rs:
+crates/hom/src/search.rs:
+crates/hom/src/target.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flogic_lite-29e6b82bbb56387d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflogic_lite-29e6b82bbb56387d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflogic_lite-29e6b82bbb56387d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flogic_lite-3a32f738efa977cd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflogic_lite-3a32f738efa977cd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflogic_lite-3a32f738efa977cd.rmeta: src/lib.rs
+
+src/lib.rs:

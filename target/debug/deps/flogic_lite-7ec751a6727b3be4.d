@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flogic_lite-7ec751a6727b3be4.d: src/lib.rs
+
+/root/repo/target/debug/deps/flogic_lite-7ec751a6727b3be4: src/lib.rs
+
+src/lib.rs:

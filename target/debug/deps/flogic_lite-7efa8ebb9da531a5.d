@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flogic_lite-7efa8ebb9da531a5.d: src/lib.rs
+
+/root/repo/target/debug/deps/flogic_lite-7efa8ebb9da531a5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flogic_lite-f14fa2cfcf746eec.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflogic_lite-f14fa2cfcf746eec.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflogic_lite-f14fa2cfcf746eec.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flogic_lite-fd30689f22cef3e3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_lite-fd30689f22cef3e3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

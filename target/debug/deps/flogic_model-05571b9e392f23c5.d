@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flogic_model-05571b9e392f23c5.d: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs
+
+/root/repo/target/debug/deps/flogic_model-05571b9e392f23c5: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs
+
+crates/model/src/lib.rs:
+crates/model/src/atom.rs:
+crates/model/src/database.rs:
+crates/model/src/error.rs:
+crates/model/src/predicate.rs:
+crates/model/src/query.rs:
+crates/model/src/sigma.rs:

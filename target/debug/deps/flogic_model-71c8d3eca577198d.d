@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flogic_model-71c8d3eca577198d.d: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs
+
+/root/repo/target/debug/deps/libflogic_model-71c8d3eca577198d.rlib: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs
+
+/root/repo/target/debug/deps/libflogic_model-71c8d3eca577198d.rmeta: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs
+
+crates/model/src/lib.rs:
+crates/model/src/atom.rs:
+crates/model/src/database.rs:
+crates/model/src/error.rs:
+crates/model/src/predicate.rs:
+crates/model/src/query.rs:
+crates/model/src/sigma.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flogic_model-74b5ac180280bc85.d: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_model-74b5ac180280bc85.rmeta: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/atom.rs:
+crates/model/src/database.rs:
+crates/model/src/error.rs:
+crates/model/src/predicate.rs:
+crates/model/src/query.rs:
+crates/model/src/sigma.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flogic_syntax-5d32690179c50e89.d: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_syntax-5d32690179c50e89.rmeta: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs Cargo.toml
+
+crates/syntax/src/lib.rs:
+crates/syntax/src/ast.rs:
+crates/syntax/src/error.rs:
+crates/syntax/src/lexer.rs:
+crates/syntax/src/parser.rs:
+crates/syntax/src/pretty.rs:
+crates/syntax/src/translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

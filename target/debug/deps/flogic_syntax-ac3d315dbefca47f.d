@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flogic_syntax-ac3d315dbefca47f.d: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs
+
+/root/repo/target/debug/deps/flogic_syntax-ac3d315dbefca47f: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs
+
+crates/syntax/src/lib.rs:
+crates/syntax/src/ast.rs:
+crates/syntax/src/error.rs:
+crates/syntax/src/lexer.rs:
+crates/syntax/src/parser.rs:
+crates/syntax/src/pretty.rs:
+crates/syntax/src/translate.rs:

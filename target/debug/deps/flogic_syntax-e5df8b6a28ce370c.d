@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flogic_syntax-e5df8b6a28ce370c.d: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs
+
+/root/repo/target/debug/deps/libflogic_syntax-e5df8b6a28ce370c.rlib: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs
+
+/root/repo/target/debug/deps/libflogic_syntax-e5df8b6a28ce370c.rmeta: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs
+
+crates/syntax/src/lib.rs:
+crates/syntax/src/ast.rs:
+crates/syntax/src/error.rs:
+crates/syntax/src/lexer.rs:
+crates/syntax/src/parser.rs:
+crates/syntax/src/pretty.rs:
+crates/syntax/src/translate.rs:

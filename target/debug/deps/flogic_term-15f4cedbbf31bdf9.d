@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flogic_term-15f4cedbbf31bdf9.d: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflogic_term-15f4cedbbf31bdf9.rmeta: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs Cargo.toml
+
+crates/term/src/lib.rs:
+crates/term/src/metrics.rs:
+crates/term/src/null.rs:
+crates/term/src/rng.rs:
+crates/term/src/subst.rs:
+crates/term/src/symbol.rs:
+crates/term/src/term.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flogic_term-cb0c4ba228163579.d: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs
+
+/root/repo/target/debug/deps/flogic_term-cb0c4ba228163579: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs
+
+crates/term/src/lib.rs:
+crates/term/src/metrics.rs:
+crates/term/src/null.rs:
+crates/term/src/rng.rs:
+crates/term/src/subst.rs:
+crates/term/src/symbol.rs:
+crates/term/src/term.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flogic_term-f2165715e13cb57c.d: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs
+
+/root/repo/target/debug/deps/libflogic_term-f2165715e13cb57c.rlib: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs
+
+/root/repo/target/debug/deps/libflogic_term-f2165715e13cb57c.rmeta: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs
+
+crates/term/src/lib.rs:
+crates/term/src/metrics.rs:
+crates/term/src/null.rs:
+crates/term/src/rng.rs:
+crates/term/src/subst.rs:
+crates/term/src/symbol.rs:
+crates/term/src/term.rs:

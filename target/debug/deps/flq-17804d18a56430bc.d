@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flq-17804d18a56430bc.d: src/bin/flq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflq-17804d18a56430bc.rmeta: src/bin/flq.rs Cargo.toml
+
+src/bin/flq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flq-186f730247e1a98d.d: src/bin/flq.rs
+
+/root/repo/target/debug/deps/flq-186f730247e1a98d: src/bin/flq.rs
+
+src/bin/flq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flq-ab35c8dba9445016.d: src/bin/flq.rs
+
+/root/repo/target/debug/deps/flq-ab35c8dba9445016: src/bin/flq.rs
+
+src/bin/flq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flq-b7fb6e0a8af2430a.d: src/bin/flq.rs
+
+/root/repo/target/debug/deps/flq-b7fb6e0a8af2430a: src/bin/flq.rs
+
+src/bin/flq.rs:

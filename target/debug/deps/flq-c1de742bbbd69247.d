@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flq-c1de742bbbd69247.d: src/bin/flq.rs
+
+/root/repo/target/debug/deps/flq-c1de742bbbd69247: src/bin/flq.rs
+
+src/bin/flq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flq-e422f84a3ab93ee5.d: src/bin/flq.rs
+
+/root/repo/target/debug/deps/flq-e422f84a3ab93ee5: src/bin/flq.rs
+
+src/bin/flq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flq-ec6435e2136e592c.d: src/bin/flq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflq-ec6435e2136e592c.rmeta: src/bin/flq.rs Cargo.toml
+
+src/bin/flq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

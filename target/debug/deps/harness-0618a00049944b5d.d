@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-0618a00049944b5d.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-0618a00049944b5d: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-1bb4faac49896aff.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-1bb4faac49896aff: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

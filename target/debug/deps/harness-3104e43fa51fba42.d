@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-3104e43fa51fba42.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-3104e43fa51fba42: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-a89c77c3b84a1c0a.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-a89c77c3b84a1c0a: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-b501fda42e9857bc.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-b501fda42e9857bc: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/merging-1c35896fb1d548bc.d: crates/chase/tests/merging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmerging-1c35896fb1d548bc.rmeta: crates/chase/tests/merging.rs Cargo.toml
+
+crates/chase/tests/merging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

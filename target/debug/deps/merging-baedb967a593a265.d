@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/merging-baedb967a593a265.d: crates/chase/tests/merging.rs
+
+/root/repo/target/debug/deps/merging-baedb967a593a265: crates/chase/tests/merging.rs
+
+crates/chase/tests/merging.rs:

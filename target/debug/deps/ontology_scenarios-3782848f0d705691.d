@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ontology_scenarios-3782848f0d705691.d: tests/ontology_scenarios.rs
+
+/root/repo/target/debug/deps/ontology_scenarios-3782848f0d705691: tests/ontology_scenarios.rs
+
+tests/ontology_scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ontology_scenarios-852c19be9cc026a0.d: tests/ontology_scenarios.rs
+
+/root/repo/target/debug/deps/ontology_scenarios-852c19be9cc026a0: tests/ontology_scenarios.rs
+
+tests/ontology_scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ontology_scenarios-cca7f3b0e1ce86cf.d: tests/ontology_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libontology_scenarios-cca7f3b0e1ce86cf.rmeta: tests/ontology_scenarios.rs Cargo.toml
+
+tests/ontology_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-60778e1c60f23a21.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-60778e1c60f23a21: tests/paper_examples.rs
+
+tests/paper_examples.rs:

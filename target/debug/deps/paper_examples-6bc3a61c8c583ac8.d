@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-6bc3a61c8c583ac8.d: crates/bench/benches/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-6bc3a61c8c583ac8: crates/bench/benches/paper_examples.rs
+
+crates/bench/benches/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-9d1a2745acc47021.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-9d1a2745acc47021: tests/paper_examples.rs
+
+tests/paper_examples.rs:

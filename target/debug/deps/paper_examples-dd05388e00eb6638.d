@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_examples-dd05388e00eb6638.d: crates/bench/benches/paper_examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_examples-dd05388e00eb6638.rmeta: crates/bench/benches/paper_examples.rs Cargo.toml
+
+crates/bench/benches/paper_examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

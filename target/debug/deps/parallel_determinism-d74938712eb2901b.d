@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-d74938712eb2901b.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-d74938712eb2901b: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-5768f745dbc1450d.d: crates/hom/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-5768f745dbc1450d: crates/hom/tests/prop.rs
+
+crates/hom/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-a3bed95f8b658ef4.d: crates/hom/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-a3bed95f8b658ef4.rmeta: crates/hom/tests/prop.rs Cargo.toml
+
+crates/hom/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-de2cd539a5666723.d: crates/hom/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-de2cd539a5666723: crates/hom/tests/prop.rs
+
+crates/hom/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3790a0198dece400.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3790a0198dece400: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-479f283b7cf61d9c.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-479f283b7cf61d9c: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d3823ab6eb57d47e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d3823ab6eb57d47e: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rules-4310dfe8f19ad9f9.d: crates/chase/tests/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/librules-4310dfe8f19ad9f9.rmeta: crates/chase/tests/rules.rs Cargo.toml
+
+crates/chase/tests/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rules-cfc89f99f1270152.d: crates/chase/tests/rules.rs
+
+/root/repo/target/debug/deps/rules-cfc89f99f1270152: crates/chase/tests/rules.rs
+
+crates/chase/tests/rules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-50cf4ecf5fcc5550.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/debug/deps/scaling-50cf4ecf5fcc5550: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

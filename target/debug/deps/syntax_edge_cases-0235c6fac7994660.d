@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/syntax_edge_cases-0235c6fac7994660.d: tests/syntax_edge_cases.rs
+
+/root/repo/target/debug/deps/syntax_edge_cases-0235c6fac7994660: tests/syntax_edge_cases.rs
+
+tests/syntax_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/syntax_edge_cases-1fda2a100106807b.d: tests/syntax_edge_cases.rs
+
+/root/repo/target/debug/deps/syntax_edge_cases-1fda2a100106807b: tests/syntax_edge_cases.rs
+
+tests/syntax_edge_cases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/syntax_edge_cases-ae9de61d1940771a.d: tests/syntax_edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsyntax_edge_cases-ae9de61d1940771a.rmeta: tests/syntax_edge_cases.rs Cargo.toml
+
+tests/syntax_edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/query_optimizer-12d1802a175c658c.d: examples/query_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquery_optimizer-12d1802a175c658c.rmeta: examples/query_optimizer.rs Cargo.toml
+
+examples/query_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

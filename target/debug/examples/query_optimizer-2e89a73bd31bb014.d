@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_optimizer-2e89a73bd31bb014.d: examples/query_optimizer.rs
+
+/root/repo/target/debug/examples/query_optimizer-2e89a73bd31bb014: examples/query_optimizer.rs
+
+examples/query_optimizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/query_optimizer-6175a5af939731f9.d: examples/query_optimizer.rs
+
+/root/repo/target/debug/examples/query_optimizer-6175a5af939731f9: examples/query_optimizer.rs
+
+examples/query_optimizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2bada71af61a9b78.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2bada71af61a9b78: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7904284ebeb3df15.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7904284ebeb3df15: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schema_explorer-792e051f661179ae.d: examples/schema_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschema_explorer-792e051f661179ae.rmeta: examples/schema_explorer.rs Cargo.toml
+
+examples/schema_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

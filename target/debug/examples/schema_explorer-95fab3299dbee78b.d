@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schema_explorer-95fab3299dbee78b.d: examples/schema_explorer.rs
+
+/root/repo/target/debug/examples/schema_explorer-95fab3299dbee78b: examples/schema_explorer.rs
+
+examples/schema_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schema_explorer-cd50c5aba2d2e6d4.d: examples/schema_explorer.rs
+
+/root/repo/target/debug/examples/schema_explorer-cd50c5aba2d2e6d4: examples/schema_explorer.rs
+
+examples/schema_explorer.rs:

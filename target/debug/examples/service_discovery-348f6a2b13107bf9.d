@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/service_discovery-348f6a2b13107bf9.d: examples/service_discovery.rs
+
+/root/repo/target/debug/examples/service_discovery-348f6a2b13107bf9: examples/service_discovery.rs
+
+examples/service_discovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/service_discovery-a001d3c9a9eb20ed.d: examples/service_discovery.rs
+
+/root/repo/target/debug/examples/service_discovery-a001d3c9a9eb20ed: examples/service_discovery.rs
+
+examples/service_discovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bound_tightness-c8627fc04132a465.d: crates/bench/benches/bound_tightness.rs
+
+/root/repo/target/release/deps/bound_tightness-c8627fc04132a465: crates/bench/benches/bound_tightness.rs
+
+crates/bench/benches/bound_tightness.rs:

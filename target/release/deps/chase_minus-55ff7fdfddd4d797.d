@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chase_minus-55ff7fdfddd4d797.d: crates/bench/benches/chase_minus.rs
+
+/root/repo/target/release/deps/chase_minus-55ff7fdfddd4d797: crates/bench/benches/chase_minus.rs
+
+crates/bench/benches/chase_minus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/classic_vs_sigma-1e52d6114edbaf7b.d: crates/bench/benches/classic_vs_sigma.rs
+
+/root/repo/target/release/deps/classic_vs_sigma-1e52d6114edbaf7b: crates/bench/benches/classic_vs_sigma.rs
+
+crates/bench/benches/classic_vs_sigma.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_validation-803cf2cb5af7c05d.d: crates/bench/benches/cross_validation.rs
+
+/root/repo/target/release/deps/cross_validation-803cf2cb5af7c05d: crates/bench/benches/cross_validation.rs
+
+crates/bench/benches/cross_validation.rs:

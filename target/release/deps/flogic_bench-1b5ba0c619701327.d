@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flogic_bench-1b5ba0c619701327.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libflogic_bench-1b5ba0c619701327.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libflogic_bench-1b5ba0c619701327.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flogic_bench-8e510bb2681021a4.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/flogic_bench-8e510bb2681021a4: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/microbench.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flogic_chase-d270cbc675174746.d: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs
+
+/root/repo/target/release/deps/libflogic_chase-d270cbc675174746.rlib: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs
+
+/root/repo/target/release/deps/libflogic_chase-d270cbc675174746.rmeta: crates/chase/src/lib.rs crates/chase/src/cycles.rs crates/chase/src/dot.rs crates/chase/src/engine.rs crates/chase/src/graph.rs crates/chase/src/paths.rs
+
+crates/chase/src/lib.rs:
+crates/chase/src/cycles.rs:
+crates/chase/src/dot.rs:
+crates/chase/src/engine.rs:
+crates/chase/src/graph.rs:
+crates/chase/src/paths.rs:

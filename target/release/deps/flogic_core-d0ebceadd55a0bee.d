@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/flogic_core-d0ebceadd55a0bee.d: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+/root/repo/target/release/deps/libflogic_core-d0ebceadd55a0bee.rlib: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+/root/repo/target/release/deps/libflogic_core-d0ebceadd55a0bee.rmeta: crates/core/src/lib.rs crates/core/src/cache.rs crates/core/src/classic.rs crates/core/src/decide.rs crates/core/src/error.rs crates/core/src/explain.rs crates/core/src/naive.rs crates/core/src/rewrite.rs crates/core/src/union.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cache.rs:
+crates/core/src/classic.rs:
+crates/core/src/decide.rs:
+crates/core/src/error.rs:
+crates/core/src/explain.rs:
+crates/core/src/naive.rs:
+crates/core/src/rewrite.rs:
+crates/core/src/union.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flogic_datalog-5a42575121609e4b.d: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs
+
+/root/repo/target/release/deps/libflogic_datalog-5a42575121609e4b.rlib: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs
+
+/root/repo/target/release/deps/libflogic_datalog-5a42575121609e4b.rmeta: crates/datalog/src/lib.rs crates/datalog/src/closure.rs crates/datalog/src/engine.rs crates/datalog/src/error.rs crates/datalog/src/eval.rs crates/datalog/src/store.rs crates/datalog/src/uf.rs
+
+crates/datalog/src/lib.rs:
+crates/datalog/src/closure.rs:
+crates/datalog/src/engine.rs:
+crates/datalog/src/error.rs:
+crates/datalog/src/eval.rs:
+crates/datalog/src/store.rs:
+crates/datalog/src/uf.rs:

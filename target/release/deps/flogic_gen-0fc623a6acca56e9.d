@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flogic_gen-0fc623a6acca56e9.d: crates/gen/src/lib.rs
+
+/root/repo/target/release/deps/libflogic_gen-0fc623a6acca56e9.rlib: crates/gen/src/lib.rs
+
+/root/repo/target/release/deps/libflogic_gen-0fc623a6acca56e9.rmeta: crates/gen/src/lib.rs
+
+crates/gen/src/lib.rs:

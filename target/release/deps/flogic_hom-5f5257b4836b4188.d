@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flogic_hom-5f5257b4836b4188.d: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+/root/repo/target/release/deps/libflogic_hom-5f5257b4836b4188.rlib: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+/root/repo/target/release/deps/libflogic_hom-5f5257b4836b4188.rmeta: crates/hom/src/lib.rs crates/hom/src/core_of.rs crates/hom/src/search.rs crates/hom/src/target.rs
+
+crates/hom/src/lib.rs:
+crates/hom/src/core_of.rs:
+crates/hom/src/search.rs:
+crates/hom/src/target.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flogic_lite-998aaea055c0cab1.d: src/lib.rs
+
+/root/repo/target/release/deps/libflogic_lite-998aaea055c0cab1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflogic_lite-998aaea055c0cab1.rmeta: src/lib.rs
+
+src/lib.rs:

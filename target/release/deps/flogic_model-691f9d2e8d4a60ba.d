@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flogic_model-691f9d2e8d4a60ba.d: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs
+
+/root/repo/target/release/deps/libflogic_model-691f9d2e8d4a60ba.rlib: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs
+
+/root/repo/target/release/deps/libflogic_model-691f9d2e8d4a60ba.rmeta: crates/model/src/lib.rs crates/model/src/atom.rs crates/model/src/database.rs crates/model/src/error.rs crates/model/src/predicate.rs crates/model/src/query.rs crates/model/src/sigma.rs
+
+crates/model/src/lib.rs:
+crates/model/src/atom.rs:
+crates/model/src/database.rs:
+crates/model/src/error.rs:
+crates/model/src/predicate.rs:
+crates/model/src/query.rs:
+crates/model/src/sigma.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flogic_syntax-c28b3abe00fbebc1.d: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs
+
+/root/repo/target/release/deps/libflogic_syntax-c28b3abe00fbebc1.rlib: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs
+
+/root/repo/target/release/deps/libflogic_syntax-c28b3abe00fbebc1.rmeta: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/error.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/pretty.rs crates/syntax/src/translate.rs
+
+crates/syntax/src/lib.rs:
+crates/syntax/src/ast.rs:
+crates/syntax/src/error.rs:
+crates/syntax/src/lexer.rs:
+crates/syntax/src/parser.rs:
+crates/syntax/src/pretty.rs:
+crates/syntax/src/translate.rs:

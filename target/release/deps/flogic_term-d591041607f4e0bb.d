@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flogic_term-d591041607f4e0bb.d: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs
+
+/root/repo/target/release/deps/libflogic_term-d591041607f4e0bb.rlib: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs
+
+/root/repo/target/release/deps/libflogic_term-d591041607f4e0bb.rmeta: crates/term/src/lib.rs crates/term/src/metrics.rs crates/term/src/null.rs crates/term/src/rng.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs
+
+crates/term/src/lib.rs:
+crates/term/src/metrics.rs:
+crates/term/src/null.rs:
+crates/term/src/rng.rs:
+crates/term/src/subst.rs:
+crates/term/src/symbol.rs:
+crates/term/src/term.rs:

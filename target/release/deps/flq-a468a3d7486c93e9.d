@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flq-a468a3d7486c93e9.d: src/bin/flq.rs
+
+/root/repo/target/release/deps/flq-a468a3d7486c93e9: src/bin/flq.rs
+
+src/bin/flq.rs:

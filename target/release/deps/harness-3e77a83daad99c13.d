@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-3e77a83daad99c13.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-3e77a83daad99c13: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-8da40901fc6f8b77.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-8da40901fc6f8b77: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

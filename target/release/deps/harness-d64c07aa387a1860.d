@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-d64c07aa387a1860.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-d64c07aa387a1860: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_examples-9e7f967a0b877223.d: crates/bench/benches/paper_examples.rs
+
+/root/repo/target/release/deps/paper_examples-9e7f967a0b877223: crates/bench/benches/paper_examples.rs
+
+crates/bench/benches/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-ab6af288896f9655.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/release/deps/scaling-ab6af288896f9655: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

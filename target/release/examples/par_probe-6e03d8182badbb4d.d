@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/par_probe-6e03d8182badbb4d.d: crates/bench/examples/par_probe.rs
+
+/root/repo/target/release/examples/par_probe-6e03d8182badbb4d: crates/bench/examples/par_probe.rs
+
+crates/bench/examples/par_probe.rs:

@@ -40,8 +40,12 @@ fn contains_reports_vacuous() {
 
 #[test]
 fn chase_prints_levels_and_dot() {
-    let (stdout, _, ok) =
-        flq(&["chase", "q() :- mandatory(A, T), type(T, A, T).", "--bound", "5"]);
+    let (stdout, _, ok) = flq(&[
+        "chase",
+        "q() :- mandatory(A, T), type(T, A, T).",
+        "--bound",
+        "5",
+    ]);
     assert!(ok);
     assert!(stdout.contains("level 0:"), "{stdout}");
     assert!(stdout.contains("level 1:"), "{stdout}");
@@ -58,8 +62,7 @@ fn chase_prints_levels_and_dot() {
 
 #[test]
 fn minimize_shrinks_redundant_query() {
-    let (stdout, _, ok) =
-        flq(&["minimize", "q(X) :- X:C, C::D, X:D."]);
+    let (stdout, _, ok) = flq(&["minimize", "q(X) :- X:C, C::D, X:D."]);
     assert!(ok);
     assert!(stdout.contains("input    (3 conjuncts)"), "{stdout}");
     assert!(stdout.contains("minimal  (2 conjuncts)"), "{stdout}");
@@ -94,11 +97,7 @@ fn explain_prints_derivation() {
 
 #[test]
 fn explain_reports_non_containment() {
-    let (stdout, _, ok) = flq(&[
-        "explain",
-        "q(X) :- member(X, c).",
-        "p(X) :- sub(X, c).",
-    ]);
+    let (stdout, _, ok) = flq(&["explain", "q(X) :- member(X, c).", "p(X) :- sub(X, c)."]);
     assert!(ok);
     assert!(stdout.contains("does not hold"), "{stdout}");
 }

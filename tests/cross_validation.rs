@@ -11,8 +11,7 @@
 //!   would appear beyond it) and against the naive iterative-deepening
 //!   procedure.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flogic_lite::gen::rng::SplitMix64;
 
 use flogic_lite::chase::{chase_bounded, ChaseOptions, ChaseOutcome};
 use flogic_lite::core::{contains, naive, theorem_bound};
@@ -23,8 +22,8 @@ use flogic_lite::gen::{
 };
 use flogic_lite::hom::{find_hom, Target};
 
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed)
 }
 
 /// Checks `q1(B) ⊆ q2(B)` on a batch of random closed databases;
@@ -52,27 +51,46 @@ fn holds_on_random_databases(
 
 #[test]
 fn contained_generalizations_hold_on_concrete_databases() {
-    let qcfg = QueryGenConfig { n_atoms: 4, n_vars: 4, n_consts: 2, ..Default::default() };
+    let qcfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
     let gcfg = GeneralizeConfig::default();
     let mut checked_pairs = 0;
     for seed in 0..15u64 {
         let q1 = random_query(&qcfg, &mut rng(seed));
         let q2 = generalize(&q1, &gcfg, &mut rng(seed + 500));
         let verdict = contains(&q1, &q2).unwrap();
-        assert!(verdict.holds(), "generalize guarantees containment (seed {seed})");
+        assert!(
+            verdict.holds(),
+            "generalize guarantees containment (seed {seed})"
+        );
         let (used, ok) = holds_on_random_databases(&q1, &q2, 0..10);
         assert!(ok, "counterexample database found for seed {seed}");
         if used > 0 {
             checked_pairs += 1;
         }
     }
-    assert!(checked_pairs >= 10, "most pairs must actually get database checks");
+    assert!(
+        checked_pairs >= 10,
+        "most pairs must actually get database checks"
+    );
 }
 
 #[test]
 fn chase_generalizations_hold_on_concrete_databases() {
-    let qcfg = QueryGenConfig { n_atoms: 4, n_vars: 4, n_consts: 2, ..Default::default() };
-    let gcfg = GeneralizeConfig { keep_atom_prob: 0.5, blur_prob: 0.4 };
+    let qcfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
+    let gcfg = GeneralizeConfig {
+        keep_atom_prob: 0.5,
+        blur_prob: 0.4,
+    };
     for seed in 100..115u64 {
         let q1 = random_query(&qcfg, &mut rng(seed));
         let Some(q2) = generalize_from_chase(&q1, &gcfg, &mut rng(seed + 500)) else {
@@ -92,7 +110,12 @@ fn chase_generalizations_hold_on_concrete_databases() {
 fn not_contained_verdicts_survive_double_depth() {
     // For random (likely unrelated) pairs that the procedure rejects, going
     // to twice the theorem bound must not change the answer.
-    let qcfg = QueryGenConfig { n_atoms: 3, n_vars: 3, n_consts: 2, ..Default::default() };
+    let qcfg = QueryGenConfig {
+        n_atoms: 3,
+        n_vars: 3,
+        n_consts: 2,
+        ..Default::default()
+    };
     let mut rejected = 0;
     for seed in 200..230u64 {
         let q1 = random_query(&qcfg, &mut rng(seed));
@@ -108,7 +131,11 @@ fn not_contained_verdicts_survive_double_depth() {
         let deep_bound = 2 * theorem_bound(&q1, &q2) + 4;
         let chase = chase_bounded(
             &q1,
-            &ChaseOptions { level_bound: deep_bound, max_conjuncts: 2_000_000 },
+            &ChaseOptions {
+                level_bound: deep_bound,
+                max_conjuncts: 2_000_000,
+                ..Default::default()
+            },
         );
         assert!(
             !matches!(chase.outcome(), ChaseOutcome::Failed { .. }),
@@ -121,12 +148,20 @@ fn not_contained_verdicts_survive_double_depth() {
             "hom beyond the Theorem 12 bound for seed {seed}: {q1} vs {q2}"
         );
     }
-    assert!(rejected >= 10, "workload must exercise the not-contained path");
+    assert!(
+        rejected >= 10,
+        "workload must exercise the not-contained path"
+    );
 }
 
 #[test]
 fn naive_and_bounded_procedures_agree() {
-    let qcfg = QueryGenConfig { n_atoms: 3, n_vars: 4, n_consts: 2, ..Default::default() };
+    let qcfg = QueryGenConfig {
+        n_atoms: 3,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
     let gcfg = GeneralizeConfig::default();
     let mut decided_by_naive = 0;
     for seed in 300..340u64 {
@@ -154,7 +189,10 @@ fn naive_and_bounded_procedures_agree() {
             naive::NaiveOutcome::Unknown => {}
         }
     }
-    assert!(decided_by_naive >= 20, "the workload must exercise both procedures");
+    assert!(
+        decided_by_naive >= 20,
+        "the workload must exercise both procedures"
+    );
 }
 
 #[test]

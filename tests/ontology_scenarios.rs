@@ -1,14 +1,14 @@
 //! Larger end-to-end scenarios: realistic ontologies exercised through the
 //! full stack (parse → close → query → containment/minimise/union).
 
-use flogic_lite::core::{
-    contained_in_union, contains, equivalent, minimize, ContainmentOptions,
-};
+use flogic_lite::core::{contained_in_union, contains, equivalent, minimize, ContainmentOptions};
 use flogic_lite::datalog::{answers, close_database, ClosureOptions, DatalogError};
 use flogic_lite::prelude::*;
 
 fn close(db: &Database) -> Database {
-    close_database(db, &ClosureOptions::default()).expect("closes finitely").0
+    close_database(db, &ClosureOptions::default())
+        .expect("closes finitely")
+        .0
 }
 
 // ---------------------------------------------------------------------------
@@ -57,7 +57,10 @@ fn closure_types_invented_values() {
     let q = parse_query("q(P) :- member(P, product), data(P, price, V).").unwrap();
     let priced = answers(&q, &kb);
     for item in ["dune", "neuromancer_e", "widget"] {
-        assert!(priced.contains(&vec![Term::constant(item)]), "{item} unpriced");
+        assert!(
+            priced.contains(&vec![Term::constant(item)]),
+            "{item} unpriced"
+        );
     }
 }
 
@@ -97,7 +100,10 @@ fn equivalent_view_formulations() {
     // Explicit inheritance vs implied inheritance.
     let a = parse_query("a(X, T) :- X:C, C[att*=>T], X[att*=>T].").unwrap();
     let b = parse_query("b(X, T) :- X:C, C[att*=>T].").unwrap();
-    assert!(equivalent(&a, &b).unwrap(), "the inherited type atom is redundant");
+    assert!(
+        equivalent(&a, &b).unwrap(),
+        "the inherited type atom is redundant"
+    );
     let min = minimize(&a).unwrap();
     assert_eq!(min.size(), 2);
 }
@@ -117,16 +123,17 @@ fn request_routed_to_some_backend() {
         parse_query("b1(O) :- O[att->V].").unwrap(),
         parse_query("b2(O) :- sub(O, O).").unwrap(),
     ];
-    let idx = contained_in_union(&request, &backends, &ContainmentOptions::default())
-        .unwrap();
+    let idx = contained_in_union(&request, &backends, &ContainmentOptions::default()).unwrap();
     assert_eq!(idx, Some(1));
 }
 
 #[test]
 fn unroutable_request_reports_none() {
     let request = parse_query("r(O) :- O:C.").unwrap();
-    let backends =
-        [parse_query("b0(O) :- O[a->V].").unwrap(), parse_query("b1(O) :- sub(O, X).").unwrap()];
+    let backends = [
+        parse_query("b0(O) :- O[a->V].").unwrap(),
+        parse_query("b1(O) :- sub(O, X).").unwrap(),
+    ];
     assert_eq!(
         contained_in_union(&request, &backends, &ContainmentOptions::default()).unwrap(),
         None
@@ -141,10 +148,8 @@ fn unroutable_request_reports_none() {
 fn classes_as_objects_roundtrip() {
     // The paper: "student:class is correct. (It does not follow that
     // john:class …)".
-    let db = parse_database(
-        "john:student. student:class. person:class. student::person.",
-    )
-    .expect("parses");
+    let db = parse_database("john:student. student:class. person:class. student::person.")
+        .expect("parses");
     let kb = close(&db);
     let classes = answers(&parse_goal("?- X:class.").unwrap(), &kb);
     assert!(classes.contains(&vec![Term::constant("student")]));

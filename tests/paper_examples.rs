@@ -65,14 +65,26 @@ fn mandatory_attribute_containment_holds() {
 fn mandatory_attribute_containment_mechanism() {
     // The witness requires the chase to: inherit mandatory to the member
     // (rho10), then invent a value (rho5). Verify those rules fire.
-    let q1 = parse_query(
-        "q(Att,Class,Type) :- Class[Att {1,*} *=> _], Class[Att*=>Type], _:Class.",
-    )
-    .unwrap();
-    let chase = chase_bounded(&q1, &ChaseOptions { level_bound: 12, max_conjuncts: 100_000 });
+    let q1 =
+        parse_query("q(Att,Class,Type) :- Class[Att {1,*} *=> _], Class[Att*=>Type], _:Class.")
+            .unwrap();
+    let chase = chase_bounded(
+        &q1,
+        &ChaseOptions {
+            level_bound: 12,
+            max_conjuncts: 100_000,
+            ..Default::default()
+        },
+    );
     use flogic_lite::model::RuleId;
-    assert!(chase.stats().applications[RuleId::R10.index()] >= 1, "rho10 fired");
-    assert!(chase.stats().applications[RuleId::R5.index()] >= 1, "rho5 fired");
+    assert!(
+        chase.stats().applications[RuleId::R10.index()] >= 1,
+        "rho10 fired"
+    );
+    assert!(
+        chase.stats().applications[RuleId::R5.index()] >= 1,
+        "rho5 fired"
+    );
 }
 
 #[test]
@@ -91,14 +103,14 @@ fn mandatory_attribute_containment_is_strict() {
 
 #[test]
 fn example_1_chase_rewrites_the_head() {
-    let q = parse_query(
-        "q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).",
-    )
-    .unwrap();
+    let q = parse_query("q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).")
+        .unwrap();
     let chase = chase_minus(&q);
     // "rule rho12 will add the conjunct funct(A, O) and then, by rule rho4,
     // we will replace V2 with V1".
-    assert!(chase.find(&Atom::funct(Term::var("A"), Term::var("O"))).is_some());
+    assert!(chase
+        .find(&Atom::funct(Term::var("A"), Term::var("O")))
+        .is_some());
     assert_eq!(chase.head(), &[Term::var("V1"), Term::var("V1")]);
 }
 
@@ -106,8 +118,12 @@ fn example_1_chase_rewrites_the_head() {
 fn example_1_resulting_containments() {
     // After the head rewrite the query behaves like q(V,V).
     let q1 = "q(V1, V2) :- data(O, A, V1), data(O, A, V2), funct(A, C), member(O, C).";
-    assert!(contains_str(q1, "qq(W, W) :- data(O, A, W), funct(A, O).").unwrap().holds());
-    assert!(contains_str(q1, "qq(W, W) :- data(O, A, W).").unwrap().holds());
+    assert!(contains_str(q1, "qq(W, W) :- data(O, A, W), funct(A, O).")
+        .unwrap()
+        .holds());
+    assert!(contains_str(q1, "qq(W, W) :- data(O, A, W).")
+        .unwrap()
+        .holds());
 }
 
 // ---------------------------------------------------------------------------
@@ -131,9 +147,19 @@ fn example_2_has_a_mandatory_cycle() {
 fn example_2_chain_structure() {
     // The chain of Figure 1: mandatory(A,T), type(T,A,T) |- data(T,A,_v1)
     // |- member(_v1,T) |- type(_v1,A,T), mandatory(A,_v1) |- data(_v1,A,_v2) ...
-    let chase =
-        chase_bounded(&example_2_query(), &ChaseOptions { level_bound: 9, max_conjuncts: 100_000 });
-    assert_eq!(chase.outcome(), ChaseOutcome::LevelBounded, "chase is infinite");
+    let chase = chase_bounded(
+        &example_2_query(),
+        &ChaseOptions {
+            level_bound: 9,
+            max_conjuncts: 100_000,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        chase.outcome(),
+        ChaseOutcome::LevelBounded,
+        "chase is infinite"
+    );
 
     // Extract the invented data chain in level order.
     let mut data: Vec<(u32, Atom)> = chase
@@ -160,8 +186,14 @@ fn example_2_chain_structure() {
 #[test]
 fn example_2_branching_via_rho3() {
     // "we obtain the conjunct member(v1, U) from rho3."
-    let chase =
-        chase_bounded(&example_2_query(), &ChaseOptions { level_bound: 6, max_conjuncts: 100_000 });
+    let chase = chase_bounded(
+        &example_2_query(),
+        &ChaseOptions {
+            level_bound: 6,
+            max_conjuncts: 100_000,
+            ..Default::default()
+        },
+    );
     let branch = chase.conjuncts().any(|(_, a, _)| {
         a.pred() == Pred::Member && a.arg(1) == Term::var("U") && a.arg(0).is_null()
     });
@@ -171,16 +203,28 @@ fn example_2_branching_via_rho3() {
 #[test]
 fn example_2_satisfies_locality_lemma() {
     // Lemma 5 on the actual chase graph.
-    let chase =
-        chase_bounded(&example_2_query(), &ChaseOptions { level_bound: 9, max_conjuncts: 100_000 });
+    let chase = chase_bounded(
+        &example_2_query(),
+        &ChaseOptions {
+            level_bound: 9,
+            max_conjuncts: 100_000,
+            ..Default::default()
+        },
+    );
     let violations = locality_violations(&chase);
     assert!(violations.is_empty(), "locality violations: {violations:?}");
 }
 
 #[test]
 fn example_2_dot_rendering_is_figure_1_shaped() {
-    let chase =
-        chase_bounded(&example_2_query(), &ChaseOptions { level_bound: 5, max_conjuncts: 100_000 });
+    let chase = chase_bounded(
+        &example_2_query(),
+        &ChaseOptions {
+            level_bound: 5,
+            max_conjuncts: 100_000,
+            ..Default::default()
+        },
+    );
     let dot = flogic_lite::chase::to_dot(&chase);
     assert!(dot.contains("mandatory(A, T)"));
     assert!(dot.contains("sub(T, U)"));

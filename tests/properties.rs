@@ -1,158 +1,235 @@
-//! Property-based tests: the paper's lemmas and the library's invariants,
-//! asserted over randomized workloads.
+//! Randomized property tests: the paper's lemmas and the library's
+//! invariants, asserted over seeded workloads.
+//!
+//! Gated behind the off-by-default `fuzz` feature so the default test run
+//! stays fast; run with `cargo test --features fuzz`. The randomness comes
+//! from the vendored [`SplitMix64`] generator, so every case is
+//! reproducible from the printed seed and no registry dependency (such as
+//! `proptest`) is needed.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+#![cfg(feature = "fuzz")]
 
 use flogic_lite::chase::{
     chase_bounded, chase_minus, locality_violations, ChaseOptions, ChaseOutcome,
 };
 use flogic_lite::core::{classic_contains, contains, equivalent, minimize};
+use flogic_lite::gen::rng::{Rng, SplitMix64};
 use flogic_lite::gen::{generalize, random_query, GeneralizeConfig, QueryGenConfig};
 use flogic_lite::hom::classic_core;
 use flogic_lite::model::ConjunctiveQuery;
 use flogic_lite::syntax::{parse_query, query_to_flogic};
 
-fn arb_query_config() -> impl Strategy<Value = QueryGenConfig> {
-    (1usize..6, 1usize..5, 0usize..3, 0usize..3, prop::bool::ANY).prop_map(
-        |(n_atoms, n_vars, n_consts, head_arity, with_cycle)| QueryGenConfig {
-            n_atoms,
-            n_vars,
-            n_consts,
-            const_prob: 0.3,
-            head_arity,
-            pred_weights: [3, 3, 2, 3, 2, 1],
-            cycle: if with_cycle { Some(1 + n_atoms % 3) } else { None },
+const CASES: u64 = 64;
+
+/// Samples a query-generator configuration (the strategy the old proptest
+/// suite used, driven by the seeded PRNG instead).
+fn arb_query_config(r: &mut SplitMix64) -> QueryGenConfig {
+    let n_atoms = r.random_range(1..6);
+    QueryGenConfig {
+        n_atoms,
+        n_vars: r.random_range(1..5),
+        n_consts: r.random_range(0..3),
+        const_prob: 0.3,
+        head_arity: r.random_range(0..3),
+        pred_weights: [3, 3, 2, 3, 2, 1],
+        cycle: if r.random_bool(0.5) {
+            Some(1 + n_atoms % 3)
+        } else {
+            None
         },
-    )
+    }
 }
 
-fn arb_query() -> impl Strategy<Value = ConjunctiveQuery> {
-    (arb_query_config(), any::<u64>()).prop_map(|(cfg, seed)| {
-        random_query(&cfg, &mut StdRng::seed_from_u64(seed))
-    })
+fn arb_query(seed: u64) -> ConjunctiveQuery {
+    let mut r = SplitMix64::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) ^ 0xA5A5);
+    let cfg = arb_query_config(&mut r);
+    random_query(&cfg, &mut r)
 }
 
 /// Smaller queries for the expensive properties.
-fn arb_small_query() -> impl Strategy<Value = ConjunctiveQuery> {
-    (1usize..4, any::<u64>()).prop_map(|(n_atoms, seed)| {
-        let cfg = QueryGenConfig { n_atoms, n_vars: 3, n_consts: 2, ..Default::default() };
-        random_query(&cfg, &mut StdRng::seed_from_u64(seed))
-    })
+fn arb_small_query(seed: u64) -> ConjunctiveQuery {
+    let mut r = SplitMix64::seed_from_u64(seed.wrapping_mul(0x517C_C1B7) ^ 0x5A5A);
+    let cfg = QueryGenConfig {
+        n_atoms: r.random_range(1..4),
+        n_vars: 3,
+        n_consts: 2,
+        ..Default::default()
+    };
+    random_query(&cfg, &mut r)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Containment is reflexive (Theorem 4: the identity homomorphism).
-    #[test]
-    fn containment_is_reflexive(q in arb_small_query()) {
-        prop_assert!(contains(&q, &q).unwrap().holds());
+/// Containment is reflexive (Theorem 4: the identity homomorphism).
+#[test]
+fn containment_is_reflexive() {
+    for seed in 0..CASES {
+        let q = arb_small_query(seed);
+        assert!(contains(&q, &q).unwrap().holds(), "seed {seed}: {q}");
     }
+}
 
-    /// Classic containment implies containment under Σ_FL.
-    #[test]
-    fn classic_implies_sigma(q1 in arb_small_query(), q2 in arb_small_query()) {
+/// Classic containment implies containment under Σ_FL.
+#[test]
+fn classic_implies_sigma() {
+    for seed in 0..CASES {
+        let q1 = arb_small_query(seed);
+        let q2 = arb_small_query(seed + 7_000);
         if q1.arity() == q2.arity() && classic_contains(&q1, &q2).unwrap() {
-            prop_assert!(contains(&q1, &q2).unwrap().holds());
+            assert!(
+                contains(&q1, &q2).unwrap().holds(),
+                "seed {seed}: {q1} vs {q2}"
+            );
         }
     }
+}
 
-    /// Generalization produces a container, and generalizing further
-    /// preserves containment (transitivity along the chain).
-    #[test]
-    fn generalization_chain_is_monotone(q in arb_small_query(), s1 in any::<u64>(), s2 in any::<u64>()) {
-        let gcfg = GeneralizeConfig::default();
-        let g1 = generalize(&q, &gcfg, &mut StdRng::seed_from_u64(s1));
-        let g2 = generalize(&g1, &gcfg, &mut StdRng::seed_from_u64(s2));
-        prop_assert!(contains(&q, &g1).unwrap().holds());
-        prop_assert!(contains(&g1, &g2).unwrap().holds());
-        prop_assert!(contains(&q, &g2).unwrap().holds(), "transitivity failed: {q} vs {g2}");
+/// Generalization produces a container, and generalizing further
+/// preserves containment (transitivity along the chain).
+#[test]
+fn generalization_chain_is_monotone() {
+    let gcfg = GeneralizeConfig::default();
+    for seed in 0..CASES {
+        let q = arb_small_query(seed);
+        let g1 = generalize(&q, &gcfg, &mut SplitMix64::seed_from_u64(seed + 100_000));
+        let g2 = generalize(&g1, &gcfg, &mut SplitMix64::seed_from_u64(seed + 200_000));
+        assert!(contains(&q, &g1).unwrap().holds(), "seed {seed}");
+        assert!(contains(&g1, &g2).unwrap().holds(), "seed {seed}");
+        assert!(
+            contains(&q, &g2).unwrap().holds(),
+            "transitivity failed: {q} vs {g2}"
+        );
     }
+}
 
-    /// Lemma 5 (locality) holds on the chase graph of arbitrary queries,
-    /// including ones with injected mandatory cycles.
-    #[test]
-    fn locality_lemma_holds(q in arb_query()) {
-        let chase = chase_bounded(&q, &ChaseOptions { level_bound: 8, max_conjuncts: 60_000 });
+/// Lemma 5 (locality) holds on the chase graph of arbitrary queries,
+/// including ones with injected mandatory cycles.
+#[test]
+fn locality_lemma_holds() {
+    for seed in 0..CASES {
+        let q = arb_query(seed);
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: 8,
+                max_conjuncts: 60_000,
+                ..Default::default()
+            },
+        );
         if !chase.is_failed() && chase.outcome() != ChaseOutcome::Truncated {
             let violations = locality_violations(&chase);
-            prop_assert!(violations.is_empty(), "locality violated on {q}: {violations:?}");
+            assert!(
+                violations.is_empty(),
+                "locality violated on {q}: {violations:?}"
+            );
         }
     }
+}
 
-    /// chase⁻ always terminates with every conjunct at level 0 and never
-    /// invents values (ρ5 is excluded).
-    #[test]
-    fn chase_minus_is_level_zero_and_null_free(q in arb_query()) {
+/// chase⁻ always terminates with every conjunct at level 0 and never
+/// invents values (ρ5 is excluded).
+#[test]
+fn chase_minus_is_level_zero_and_null_free() {
+    for seed in 0..CASES {
+        let q = arb_query(seed);
         let chase = chase_minus(&q);
         if !chase.is_failed() {
-            prop_assert_eq!(chase.outcome(), ChaseOutcome::Completed);
+            assert_eq!(chase.outcome(), ChaseOutcome::Completed, "seed {seed}");
             for (_, atom, level) in chase.conjuncts() {
-                prop_assert_eq!(level, 0);
-                prop_assert!(atom.args().iter().all(|t| !t.is_null()));
+                assert_eq!(level, 0, "seed {seed}");
+                assert!(atom.args().iter().all(|t| !t.is_null()), "seed {seed}");
             }
-            prop_assert_eq!(chase.stats().nulls_invented, 0);
+            assert_eq!(chase.stats().nulls_invented, 0, "seed {seed}");
         }
     }
+}
 
-    /// The chase contains the (merge-rewritten) body of the chased query.
-    #[test]
-    fn chase_contains_query_body(q in arb_query()) {
+/// The chase contains the (merge-rewritten) body of the chased query.
+#[test]
+fn chase_contains_query_body() {
+    for seed in 0..CASES {
+        let q = arb_query(seed);
         let chase = chase_minus(&q);
         if !chase.is_failed() {
             let merge = chase.merge_map();
             for atom in q.body() {
                 let image = atom.apply(merge);
-                prop_assert!(chase.find(&image).is_some(),
-                    "body atom {atom} (image {image}) missing from chase of {q}");
+                assert!(
+                    chase.find(&image).is_some(),
+                    "body atom {atom} (image {image}) missing from chase of {q}"
+                );
             }
         }
     }
+}
 
-    /// The bounded chase respects its level bound.
-    #[test]
-    fn bounded_chase_respects_bound(q in arb_query(), bound in 0u32..6) {
-        let chase = chase_bounded(&q, &ChaseOptions { level_bound: bound, max_conjuncts: 60_000 });
+/// The bounded chase respects its level bound.
+#[test]
+fn bounded_chase_respects_bound() {
+    for seed in 0..CASES {
+        let q = arb_query(seed);
+        let bound = (seed % 6) as u32;
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: bound,
+                max_conjuncts: 60_000,
+                ..Default::default()
+            },
+        );
         if chase.outcome() != ChaseOutcome::Truncated {
-            prop_assert!(chase.max_level() <= bound);
+            assert!(chase.max_level() <= bound, "seed {seed}: {q}");
         }
     }
+}
 
-    /// Σ_FL-minimisation preserves Σ_FL-equivalence and never grows.
-    #[test]
-    fn minimize_preserves_equivalence(q in arb_small_query()) {
+/// Σ_FL-minimisation preserves Σ_FL-equivalence and never grows.
+#[test]
+fn minimize_preserves_equivalence() {
+    for seed in 0..CASES {
+        let q = arb_small_query(seed);
         let m = minimize(&q).unwrap();
-        prop_assert!(m.size() <= q.size());
-        prop_assert!(equivalent(&m, &q).unwrap(), "minimize broke equivalence: {q} vs {m}");
+        assert!(m.size() <= q.size(), "seed {seed}");
+        assert!(
+            equivalent(&m, &q).unwrap(),
+            "minimize broke equivalence: {q} vs {m}"
+        );
     }
+}
 
-    /// The classic core preserves classic equivalence in both directions.
-    #[test]
-    fn classic_core_preserves_classic_equivalence(q in arb_small_query()) {
+/// The classic core preserves classic equivalence in both directions.
+#[test]
+fn classic_core_preserves_classic_equivalence() {
+    for seed in 0..CASES {
+        let q = arb_small_query(seed);
         let c = classic_core(&q);
-        prop_assert!(c.size() <= q.size());
-        prop_assert!(classic_contains(&q, &c).unwrap());
-        prop_assert!(classic_contains(&c, &q).unwrap());
+        assert!(c.size() <= q.size(), "seed {seed}");
+        assert!(classic_contains(&q, &c).unwrap(), "seed {seed}: {q} vs {c}");
+        assert!(classic_contains(&c, &q).unwrap(), "seed {seed}: {c} vs {q}");
     }
+}
 
-    /// Display → parse round trip: predicate notation is lossless.
-    #[test]
-    fn predicate_notation_round_trips(q in arb_query()) {
+/// Display → parse round trip: predicate notation is lossless.
+#[test]
+fn predicate_notation_round_trips() {
+    for seed in 0..CASES {
+        let q = arb_query(seed);
         let text = q.to_string();
         let reparsed = parse_query(&text).unwrap();
-        prop_assert_eq!(q.head(), reparsed.head());
-        prop_assert_eq!(q.body(), reparsed.body());
+        assert_eq!(q.head(), reparsed.head(), "seed {seed}: {text}");
+        assert_eq!(q.body(), reparsed.body(), "seed {seed}: {text}");
     }
+}
 
-    /// F-logic rendering re-parses to a Σ_FL-equivalent query.
-    #[test]
-    fn flogic_rendering_is_equivalent(q in arb_small_query()) {
+/// F-logic rendering re-parses to a Σ_FL-equivalent query.
+#[test]
+fn flogic_rendering_is_equivalent() {
+    for seed in 0..CASES {
+        let q = arb_small_query(seed);
         let text = query_to_flogic(&q);
         let reparsed = parse_query(&text).unwrap();
-        prop_assert_eq!(q.arity(), reparsed.arity());
-        prop_assert!(equivalent(&q, &reparsed).unwrap(),
-            "F-logic round trip broke equivalence:\n  {q}\n  {text}\n  {reparsed}");
+        assert_eq!(q.arity(), reparsed.arity(), "seed {seed}");
+        assert!(
+            equivalent(&q, &reparsed).unwrap(),
+            "F-logic round trip broke equivalence:\n  {q}\n  {text}\n  {reparsed}"
+        );
     }
 }

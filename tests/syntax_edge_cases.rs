@@ -15,7 +15,10 @@ fn whitespace_and_comments_everywhere() {
 #[test]
 fn numbers_are_constants() {
     let db = parse_database("john[age->33]. 33:number.").unwrap();
-    assert!(db.contains(&Atom::member(Term::constant("33"), Term::constant("number"))));
+    assert!(db.contains(&Atom::member(
+        Term::constant("33"),
+        Term::constant("number")
+    )));
 }
 
 #[test]
@@ -27,10 +30,7 @@ fn primed_and_underscored_variable_names() {
 
 #[test]
 fn deeply_nested_multi_spec_molecules() {
-    let q = parse_query(
-        "q(O) :- O[a->V1, b->V2, c {0:1} *=> t, d {1:*} *=> u, e *=> w].",
-    )
-    .unwrap();
+    let q = parse_query("q(O) :- O[a->V1, b->V2, c {0:1} *=> t, d {1:*} *=> u, e *=> w].").unwrap();
     // a,b data; c: funct+type; d: mandatory+type; e: type.
     assert_eq!(q.size(), 7);
 }
@@ -43,10 +43,8 @@ fn empty_parens_boolean_head() {
 
 #[test]
 fn multiple_queries_in_one_program() {
-    let qs = parse_queries(
-        "a(X) :- member(X, c).\n b(Y) :- sub(Y, d).\n c() :- funct(k, m).",
-    )
-    .unwrap();
+    let qs =
+        parse_queries("a(X) :- member(X, c).\n b(Y) :- sub(Y, d).\n c() :- funct(k, m).").unwrap();
     assert_eq!(qs.len(), 3);
     assert_eq!(qs[0].name().as_str(), "a");
     assert_eq!(qs[2].arity(), 0);
@@ -70,8 +68,10 @@ fn reserved_hash_names_rejected() {
 fn keywords_are_not_reserved() {
     // 'member' as a constant (not followed by '(') is a plain identifier.
     let db = parse_database("member:concept.").unwrap();
-    assert!(db
-        .contains(&Atom::member(Term::constant("member"), Term::constant("concept"))));
+    assert!(db.contains(&Atom::member(
+        Term::constant("member"),
+        Term::constant("concept")
+    )));
     // 'type' as an attribute name.
     let q = parse_query("q(V) :- john[type->V].").unwrap();
     assert_eq!(q.body()[0].arg(1), Term::constant("type"));
@@ -91,7 +91,10 @@ fn unbalanced_brackets_error() {
 #[test]
 fn cardinality_variants_accepted_and_rejected() {
     assert!(parse_query("q(A) :- C[A {0:1} *=> t].").is_ok());
-    assert!(parse_query("q(A) :- C[A {0,1} *=> t].").is_ok(), "comma separator");
+    assert!(
+        parse_query("q(A) :- C[A {0,1} *=> t].").is_ok(),
+        "comma separator"
+    );
     assert!(parse_query("q(A) :- C[A {1:1} *=> t].").is_err());
     assert!(parse_query("q(A) :- C[A {0:*} *=> t].").is_err());
 }
@@ -145,7 +148,11 @@ fn goal_with_constants_only_has_empty_head() {
 fn long_program_parses() {
     let mut src = String::new();
     for i in 0..200 {
-        src.push_str(&format!("c{i}::c{}. o{i}:c{i}. o{i}[a{} -> v{i}].\n", i + 1, i % 7));
+        src.push_str(&format!(
+            "c{i}::c{}. o{i}:c{i}. o{i}[a{} -> v{i}].\n",
+            i + 1,
+            i % 7
+        ));
     }
     let db = parse_database(&src).unwrap();
     assert_eq!(db.len(), 600);
