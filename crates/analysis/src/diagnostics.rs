@@ -1,0 +1,176 @@
+//! Structured diagnostics with stable codes and source spans.
+
+use std::fmt;
+
+use flogic_syntax::Pos;
+
+/// Stable diagnostic codes emitted by the analyzer.
+///
+/// Codes are append-only: a code, once published, never changes meaning.
+/// See `DESIGN.md` for the full table with examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DiagCode {
+    /// A named variable occurs exactly once in a query (likely a typo).
+    Fl001SingletonVariable,
+    /// The anonymous variable `_` appears in a query head.
+    Fl002AnonymousInHead,
+    /// The same `(class, attribute)` signature is declared both `{0:1}`
+    /// and `{1:*}` — the combination means "exactly one", which is almost
+    /// always a redeclaration mistake.
+    Fl003ConflictingCardinality,
+    /// A fact is declared twice (the second occurrence is redundant).
+    Fl004DuplicateDeclaration,
+    /// A query references a class/attribute constant that the fact base
+    /// never declares.
+    Fl005UndeclaredReference,
+    /// The same `(class, attribute)` signature is redeclared with a
+    /// different type, shadowing the earlier declaration.
+    Fl006ShadowedSignature,
+    /// A query atom whose predicate is not derivable from the fact base:
+    /// the atom can never be satisfied and the query is statically empty.
+    Fl007DeadQueryAtom,
+}
+
+impl DiagCode {
+    /// All codes, in numeric order.
+    pub const ALL: [DiagCode; 7] = [
+        DiagCode::Fl001SingletonVariable,
+        DiagCode::Fl002AnonymousInHead,
+        DiagCode::Fl003ConflictingCardinality,
+        DiagCode::Fl004DuplicateDeclaration,
+        DiagCode::Fl005UndeclaredReference,
+        DiagCode::Fl006ShadowedSignature,
+        DiagCode::Fl007DeadQueryAtom,
+    ];
+
+    /// The stable code string, e.g. `"FL001"`.
+    pub const fn code(self) -> &'static str {
+        match self {
+            DiagCode::Fl001SingletonVariable => "FL001",
+            DiagCode::Fl002AnonymousInHead => "FL002",
+            DiagCode::Fl003ConflictingCardinality => "FL003",
+            DiagCode::Fl004DuplicateDeclaration => "FL004",
+            DiagCode::Fl005UndeclaredReference => "FL005",
+            DiagCode::Fl006ShadowedSignature => "FL006",
+            DiagCode::Fl007DeadQueryAtom => "FL007",
+        }
+    }
+
+    /// One-line description of what the code flags.
+    pub const fn title(self) -> &'static str {
+        match self {
+            DiagCode::Fl001SingletonVariable => "singleton variable",
+            DiagCode::Fl002AnonymousInHead => "anonymous `_` in query head",
+            DiagCode::Fl003ConflictingCardinality => "conflicting cardinality declarations",
+            DiagCode::Fl004DuplicateDeclaration => "duplicate declaration",
+            DiagCode::Fl005UndeclaredReference => "reference to undeclared constant",
+            DiagCode::Fl006ShadowedSignature => "shadowed signature redeclaration",
+            DiagCode::Fl007DeadQueryAtom => "dead query atom",
+        }
+    }
+
+    /// The default severity of the code.
+    pub const fn severity(self) -> Severity {
+        match self {
+            DiagCode::Fl002AnonymousInHead => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but legal; the program still translates.
+    Warning,
+    /// The program is rejected (or meaningless) as written.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One analyzer finding: a coded message anchored at a source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: DiagCode,
+    /// Severity (normally `code.severity()`).
+    pub severity: Severity,
+    /// Source position (1-based line:col) of the offending construct.
+    pub pos: Pos,
+    /// Human-readable message, specific to this occurrence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's default severity.
+    pub fn new(code: DiagCode, pos: Pos, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}",
+            self.pos.line, self.pos.col, self.severity, self.code, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for c in DiagCode::ALL {
+            assert!(seen.insert(c.code()), "duplicate code {c}");
+            assert!(c.code().starts_with("FL"));
+            assert_eq!(c.code().len(), 5);
+            assert!(!c.title().is_empty());
+        }
+        assert_eq!(seen.len(), 7);
+    }
+
+    #[test]
+    fn only_anonymous_head_is_an_error() {
+        for c in DiagCode::ALL {
+            let expect = c == DiagCode::Fl002AnonymousInHead;
+            assert_eq!(c.severity() == Severity::Error, expect, "{c}");
+        }
+    }
+
+    #[test]
+    fn display_renders_line_col_and_code() {
+        let d = Diagnostic::new(
+            DiagCode::Fl001SingletonVariable,
+            Pos { line: 3, col: 9 },
+            "variable `X` occurs only once",
+        );
+        assert_eq!(
+            d.to_string(),
+            "3:9: warning[FL001]: variable `X` occurs only once"
+        );
+    }
+}

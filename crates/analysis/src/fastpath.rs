@@ -1,0 +1,212 @@
+//! Layer 3: containment fast-paths.
+//!
+//! Two sound shortcuts let the `flogic-core` decider answer without
+//! materializing a chase:
+//!
+//! 1. **Early `false`** ([`QueryAnalysis::refutes_hom`]): the chase of
+//!    `q1` only ever contains atoms whose predicate lies in the
+//!    predicate-level derivability closure of `q1`'s body (the closure
+//!    over-approximates the chase, see
+//!    [`DepGraph::derivable_preds`]). If `q2` has a body atom outside the
+//!    closure, no homomorphism `body(q2) → chase(q1)` can exist — the
+//!    containment fails, *provided the chase cannot fail* (a failed chase
+//!    would make the containment vacuously true instead). The
+//!    cannot-fail guard is itself decided statically, see
+//!    [`QueryAnalysis::chase_may_fail`].
+//! 2. **Early `true`** ([`direct_unsat`]): when `q1`'s body already
+//!    contains a ρ4 violation in plain sight — two data atoms
+//!    `data(o,a,v)`/`data(o,a,w)` with syntactically equal `o`,`a`,
+//!    distinct constant values, and functionality of `a` on `o` asserted
+//!    (directly, or one ρ12 step away via `member(o,c), funct(a,c)`) —
+//!    the chase fails in its very first Datalog/EGD phase, at every level
+//!    bound. `q1` is unsatisfiable w.r.t. `Σ_FL`, hence vacuously
+//!    contained in every query of its arity.
+//!
+use flogic_model::{ConjunctiveQuery, DepGraph, Pred, PredSet};
+use flogic_term::Term;
+
+/// Static facts about one (left-hand) query, computed once and reusable
+/// across many containment candidates.
+#[derive(Clone, Debug)]
+pub struct QueryAnalysis {
+    closure: PredSet,
+    distinct_constants: usize,
+}
+
+impl QueryAnalysis {
+    /// Analyzes `q1` (the contained side of `q1 ⊆ q2`).
+    pub fn new(q1: &ConjunctiveQuery) -> QueryAnalysis {
+        let seed: PredSet = q1.body().iter().map(|a| a.pred()).collect();
+        let closure = DepGraph::sigma_fl().derivable_preds(seed);
+        let mut constants: Vec<Term> = q1
+            .body()
+            .iter()
+            .flat_map(|a| a.args().iter().copied())
+            .filter(|t| t.is_const())
+            .collect();
+        constants.sort();
+        constants.dedup();
+        QueryAnalysis {
+            closure,
+            distinct_constants: constants.len(),
+        }
+    }
+
+    /// The predicate-level derivability closure of the query body: every
+    /// predicate `chase(q1)` can ever contain lies in this set.
+    pub fn derivable(&self) -> PredSet {
+        self.closure
+    }
+
+    /// Could `chase(q1)` possibly fail (ρ4 equating two distinct
+    /// constants)? `false` is a *proof* that it cannot; `true` only means
+    /// the static analysis cannot rule it out.
+    ///
+    /// ρ4 needs a full body `data, data, funct` in the chase and two
+    /// **distinct constants** in the equated value positions (merging a
+    /// variable or null always succeeds). So the chase provably cannot
+    /// fail when `data` or `funct` is underivable, or when the body
+    /// mentions at most one distinct constant.
+    pub fn chase_may_fail(&self) -> bool {
+        self.closure.contains(Pred::Data)
+            && self.closure.contains(Pred::Funct)
+            && self.distinct_constants >= 2
+    }
+
+    /// Sound early-`false` check: `true` means `q1 ⊄ q2` is certain —
+    /// `q2` has a body atom whose predicate can never appear in
+    /// `chase(q1)`, and the chase provably cannot fail (so the
+    /// containment is not vacuous either).
+    pub fn refutes_hom(&self, q2: &ConjunctiveQuery) -> bool {
+        !self.chase_may_fail() && self.dead_atoms(q2).next().is_some()
+    }
+
+    /// Indices of `q2` body atoms whose predicate is outside the closure:
+    /// atoms no homomorphism into `chase(q1)` can cover.
+    pub fn dead_atoms<'a>(&'a self, q2: &'a ConjunctiveQuery) -> impl Iterator<Item = usize> + 'a {
+        q2.body()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !self.closure.contains(a.pred()))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Detects a directly visible ρ4 violation in `q`'s body (see module
+/// docs): returns the two distinct constants the chase would be forced to
+/// equate, or `None` when no violation is syntactically present.
+///
+/// A `Some` answer is sound at **every** level bound: the violation fires
+/// in the Datalog/EGD phase (`chase⁻`), which every bounded chase runs to
+/// fixpoint before (and between) ρ5 levels.
+pub fn direct_unsat(q: &ConjunctiveQuery) -> Option<(Term, Term)> {
+    let body = q.body();
+    let functional = |a: Term, o: Term| {
+        body.iter()
+            .any(|f| f.pred() == Pred::Funct && f.arg(0) == a && f.arg(1) == o)
+            || body.iter().any(|m| {
+                m.pred() == Pred::Member
+                    && m.arg(0) == o
+                    && body
+                        .iter()
+                        .any(|f| f.pred() == Pred::Funct && f.arg(0) == a && f.arg(1) == m.arg(1))
+            })
+    };
+    for (i, d1) in body.iter().enumerate() {
+        if d1.pred() != Pred::Data {
+            continue;
+        }
+        for d2 in &body[i + 1..] {
+            if d2.pred() != Pred::Data || d2.arg(0) != d1.arg(0) || d2.arg(1) != d1.arg(1) {
+                continue;
+            }
+            let (v, w) = (d1.arg(2), d2.arg(2));
+            if v.is_const() && w.is_const() && v != w && functional(d1.arg(1), d1.arg(0)) {
+                return Some((v, w));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flogic_syntax::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn closure_of_sub_only_query_is_sub() {
+        let a = QueryAnalysis::new(&q("q(X, Z) :- sub(X, Y), sub(Y, Z)."));
+        assert!(a.derivable().contains(Pred::Sub));
+        assert_eq!(a.derivable().len(), 1);
+        assert!(!a.chase_may_fail());
+    }
+
+    #[test]
+    fn refutes_hom_on_unreachable_predicate() {
+        let a = QueryAnalysis::new(&q("q(X, Z) :- sub(X, Y), sub(Y, Z)."));
+        // member is not derivable from sub alone.
+        assert!(a.refutes_hom(&q("p(X, Z) :- member(X, Z).")));
+        // but sub itself of course is.
+        assert!(!a.refutes_hom(&q("p(X, Z) :- sub(X, Z).")));
+    }
+
+    #[test]
+    fn no_refutation_when_chase_may_fail() {
+        // Two distinct constants + data + funct: the chase might fail, so
+        // even a q2 with an unreachable predicate is NOT refuted (it could
+        // be vacuously contained).
+        let a = QueryAnalysis::new(&q("q() :- data(o, a, 1), data(o, b, 2), funct(a, o)."));
+        assert!(a.chase_may_fail());
+        assert!(!a.refutes_hom(&q("p() :- sub(X, Y).")));
+    }
+
+    #[test]
+    fn mandatory_feeds_data_via_rho5() {
+        let a = QueryAnalysis::new(&q("q(A) :- mandatory(A, c)."));
+        assert!(a.derivable().contains(Pred::Data));
+        assert!(!a.refutes_hom(&q("p(A) :- data(X, A, V).")));
+        // type is not derivable from mandatory alone.
+        assert!(a.refutes_hom(&q("p(A) :- type(X, A, V).")));
+    }
+
+    #[test]
+    fn dead_atoms_are_reported_by_index() {
+        let a = QueryAnalysis::new(&q("q(X) :- member(X, c)."));
+        let q2 = q("p(X) :- member(X, c), sub(c, D), member(X, D).");
+        let dead: Vec<usize> = a.dead_atoms(&q2).collect();
+        assert_eq!(dead, vec![1], "only the sub atom is underivable");
+    }
+
+    #[test]
+    fn direct_unsat_finds_plain_rho4_clash() {
+        let (l, r) = direct_unsat(&q("q() :- data(o, a, 1), data(o, a, 2), funct(a, o).")).unwrap();
+        assert_ne!(l, r);
+        assert!(l.is_const() && r.is_const());
+    }
+
+    #[test]
+    fn direct_unsat_sees_one_step_rho12() {
+        // funct on the class + membership: ρ12 gives funct on the object.
+        assert!(direct_unsat(&q(
+            "q() :- data(o, a, 1), data(o, a, 2), member(o, c), funct(a, c)."
+        ))
+        .is_some());
+    }
+
+    #[test]
+    fn direct_unsat_negative_cases() {
+        // Different attributes: no clash.
+        assert!(direct_unsat(&q("q() :- data(o, a, 1), data(o, b, 2), funct(a, o).")).is_none());
+        // Same value: no clash.
+        assert!(direct_unsat(&q("q() :- data(o, a, 1), data(o, a, 1), funct(a, o).")).is_none());
+        // No functionality: no clash.
+        assert!(direct_unsat(&q("q() :- data(o, a, 1), data(o, a, 2).")).is_none());
+        // Variable value: merging succeeds, no failure.
+        assert!(direct_unsat(&q("q(V) :- data(o, a, V), data(o, a, 2), funct(a, o).")).is_none());
+    }
+}

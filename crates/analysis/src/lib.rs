@@ -1,0 +1,176 @@
+//! Static analysis for F-logic Lite programs and queries.
+//!
+//! The paper's decidability result rests on syntactic restrictions (the
+//! F-logic Lite fragment) and on structural properties of the `Σ_FL`
+//! chase. This crate makes those invariants *visible before anything
+//! runs*, in three layers:
+//!
+//! 1. **Well-formedness lints** ([`analyze_program`], [`lint_source`]):
+//!    coded diagnostics `FL001`–`FL007` with `line:col` spans — singleton
+//!    variables, anonymous `_` in query heads, conflicting or duplicate
+//!    cardinality/signature declarations, references to undeclared
+//!    vocabulary, shadowed signatures.
+//! 2. **Dependency-graph analysis** (via [`flogic_model::DepGraph`]):
+//!    which predicates are derivable from a program's facts, and which
+//!    query atoms are *dead* — statically unsatisfiable (`FL007`).
+//! 3. **Containment fast-paths** ([`QueryAnalysis`], [`direct_unsat`]):
+//!    sound early answers for `q1 ⊆_ΣFL q2` — early `false` when `q2`
+//!    needs a predicate the chase of `q1` can never produce, early `true`
+//!    when `q1` carries a visible ρ4 violation and is unsatisfiable.
+//!    `flogic-core::contains_with` consults these before chasing (toggle
+//!    with `ContainmentOptions::analysis`).
+//!
+//! The diagnostic surface is the `flq lint` subcommand:
+//!
+//! ```text
+//! $ flq lint program.fl
+//! program.fl:3:7: warning[FL001]: variable `X` occurs only once in `q`; …
+//! ```
+
+mod diagnostics;
+mod fastpath;
+mod lints;
+
+pub use diagnostics::{DiagCode, Diagnostic, Severity};
+pub use fastpath::{direct_unsat, QueryAnalysis};
+pub use lints::{analyze_program, lint_source};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flogic_syntax::Pos;
+
+    fn codes(src: &str) -> Vec<DiagCode> {
+        lint_source(src).unwrap().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let src = "john:student. student::person. john[age->33].\n\
+                   person[age {0:1} *=> number].\n\
+                   q(X) :- member(X, student), data(X, age, V), member(V, number).";
+        assert_eq!(codes(src), vec![]);
+    }
+
+    #[test]
+    fn fl001_singleton_variable_positive_and_negative() {
+        // `Y` occurs once in the body — flagged at its molecule.
+        let diags = lint_source("q(X) :- member(X, C), sub(C, D), member(Y, D).").unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Fl001SingletonVariable);
+        assert_eq!(diags[0].pos, Pos { line: 1, col: 34 });
+        assert!(diags[0].message.contains("`Y`"));
+        // Underscore prefix silences it; repeated use silences it.
+        assert_eq!(
+            codes("q(X) :- member(X, C), sub(C, D), member(_Y, D)."),
+            vec![]
+        );
+        assert_eq!(codes("q(X) :- member(X, C), sub(C, C)."), vec![]);
+    }
+
+    #[test]
+    fn fl002_anonymous_head_positive_and_negative() {
+        let diags = lint_source("q(X, _) :- member(X, C), sub(C, D).").unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::Fl002AnonymousInHead
+                && d.severity == Severity::Error
+                && d.pos == Pos { line: 1, col: 6 }));
+        assert_eq!(codes("q(X, D) :- member(X, C), sub(C, D)."), vec![]);
+    }
+
+    #[test]
+    fn fl003_conflicting_cardinality_positive_and_negative() {
+        let src = "person[age {0:1} *=> number].\nperson[age {1:*} *=> number].";
+        let diags = lint_source(src).unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::Fl003ConflictingCardinality
+                && d.pos == Pos { line: 2, col: 8 }));
+        // Different attributes: fine.
+        assert_eq!(
+            codes("person[age {0:1} *=> number]. person[name {1:*} *=> string]."),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn fl004_duplicate_declaration_positive_and_negative() {
+        let diags = lint_source("john:student.\njohn:student.").unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::Fl004DuplicateDeclaration);
+        assert_eq!(diags[0].pos, Pos { line: 2, col: 1 });
+        assert_eq!(codes("john:student. mary:student."), vec![]);
+    }
+
+    #[test]
+    fn fl005_undeclared_reference_positive_and_negative() {
+        let src = "john:student.\nq(X) :- member(X, teacher).";
+        let diags = lint_source(src).unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::Fl005UndeclaredReference
+                && d.message.contains("teacher")
+                && d.pos == Pos { line: 2, col: 9 }));
+        assert!(codes("john:student. q(X) :- member(X, student).")
+            .iter()
+            .all(|c| *c != DiagCode::Fl005UndeclaredReference));
+        // No facts at all: nothing to check against.
+        assert_eq!(codes("q(X) :- member(X, teacher)."), vec![]);
+    }
+
+    #[test]
+    fn fl006_shadowed_signature_positive_and_negative() {
+        let src = "person[age *=> number].\nperson[age *=> string].";
+        let diags = lint_source(src).unwrap();
+        assert!(diags.iter().any(
+            |d| d.code == DiagCode::Fl006ShadowedSignature && d.pos == Pos { line: 2, col: 8 }
+        ));
+        assert_eq!(
+            codes("person[age *=> number]. person[name *=> string]."),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn fl007_dead_query_atom_positive_and_negative() {
+        // Facts only declare sub; member is underivable from sub alone.
+        let src = "a::b.\nq(X) :- member(X, a), sub(X, b).";
+        let diags = lint_source(src).unwrap();
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::Fl007DeadQueryAtom)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].pos, Pos { line: 2, col: 9 });
+        assert!(dead[0].message.contains("member"));
+        // With a member fact the atom is live again.
+        assert!(codes("a::b. x:a. q(X) :- member(X, a), sub(X, b).")
+            .iter()
+            .all(|c| *c != DiagCode::Fl007DeadQueryAtom));
+    }
+
+    #[test]
+    fn goals_are_linted_for_dead_atoms_but_not_singletons() {
+        // Goal variables export to the implicit head; V alone is fine.
+        let src = "a::b. ?- sub(a, V).";
+        assert_eq!(codes(src), vec![]);
+        let src = "a::b. ?- member(X, a).";
+        assert_eq!(codes(src), vec![DiagCode::Fl007DeadQueryAtom]);
+    }
+
+    #[test]
+    fn diagnostics_sorted_by_position() {
+        let src = "person[age *=> number].\nperson[age *=> string].\nq(X) :- member(X, ghost).";
+        let diags = lint_source(src).unwrap();
+        assert!(diags.len() >= 2);
+        for w in diags.windows(2) {
+            assert!((w[0].pos, w[0].code) <= (w[1].pos, w[1].code));
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_propagated_not_swallowed() {
+        assert!(lint_source("q(X) :- member(X, $).").is_err());
+    }
+}

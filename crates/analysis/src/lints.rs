@@ -1,0 +1,366 @@
+//! Layer 1 + 2: well-formedness lints and dead-atom analysis over the
+//! surface AST.
+//!
+//! The entry point is [`analyze_program`]; [`lint_source`] parses first.
+//! Diagnostics come back sorted by position then code, so output is
+//! deterministic and line-oriented tools can diff it.
+
+use std::collections::{HashMap, HashSet};
+
+use flogic_model::{DepGraph, Pred, PredSet};
+use flogic_syntax::{
+    parse_ast, AstQuery, AstTerm, Card, Molecule, Pos, Program, Spec, Statement, SyntaxError,
+};
+
+use crate::diagnostics::{DiagCode, Diagnostic};
+
+/// Parses `src` and analyzes the resulting program.
+///
+/// A parse error is returned as `Err`; it is not converted into a
+/// diagnostic because its position/kind already say everything.
+pub fn lint_source(src: &str) -> Result<Vec<Diagnostic>, SyntaxError> {
+    Ok(analyze_program(&parse_ast(src)?))
+}
+
+/// Runs every lint over a parsed program and returns the findings sorted
+/// by source position, then code.
+pub fn analyze_program(program: &Program) -> Vec<Diagnostic> {
+    let facts = FactInfo::collect(program);
+    let mut out = Vec::new();
+    out.extend(facts.diagnostics.iter().cloned());
+    for stmt in &program.statements {
+        match stmt {
+            Statement::Query(q) => {
+                lint_query_vars(q, &mut out);
+                lint_body(&q.body, &facts, &mut out);
+            }
+            Statement::Goal(body) => {
+                // A goal's head is implicit (every named variable), so the
+                // singleton/anonymous-head lints do not apply.
+                lint_body(body, &facts, &mut out);
+            }
+            Statement::Fact(_) => {}
+        }
+    }
+    out.sort_by_key(|d| (d.pos, d.code));
+    out
+}
+
+/// What the fact statements of a program declare, plus the diagnostics
+/// found while collecting them (FL003/FL004/FL006).
+struct FactInfo {
+    /// Any fact statements at all? FL005/FL007 are skipped otherwise —
+    /// a file of pure queries declares no vocabulary to check against.
+    any: bool,
+    /// Every constant appearing anywhere in a fact.
+    declared: HashSet<String>,
+    /// Predicates asserted by the facts (seed for derivability).
+    preds: PredSet,
+    /// FL003/FL004/FL006 findings.
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl FactInfo {
+    fn collect(program: &Program) -> FactInfo {
+        let mut info = FactInfo {
+            any: false,
+            declared: HashSet::new(),
+            preds: PredSet::EMPTY,
+            diagnostics: Vec::new(),
+        };
+        // (class, attr) → earlier signature declarations (card, typ, pos).
+        type SigDecls = Vec<(Option<Card>, Option<String>, Pos)>;
+        let mut signatures: HashMap<(String, String), SigDecls> = HashMap::new();
+        // Canonical rendering of each declared unit, for FL004.
+        let mut seen_decls: HashSet<String> = HashSet::new();
+        for stmt in &program.statements {
+            let Statement::Fact(m) = stmt else { continue };
+            info.any = true;
+            for (p, _) in molecule_preds(m) {
+                info.preds.insert(p);
+            }
+            note_constants(m, &mut info.declared);
+            for (key, pos) in decl_units(m) {
+                if !seen_decls.insert(key.clone()) {
+                    info.diagnostics.push(Diagnostic::new(
+                        DiagCode::Fl004DuplicateDeclaration,
+                        pos,
+                        format!("`{key}` is already declared; this repetition is redundant"),
+                    ));
+                }
+            }
+            let Molecule::Specs { obj, specs, .. } = m else {
+                continue;
+            };
+            let AstTerm::Const(class) = obj else { continue };
+            for spec in specs {
+                let Spec::Signature {
+                    attr: AstTerm::Const(attr),
+                    card,
+                    typ,
+                    pos,
+                } = spec
+                else {
+                    continue;
+                };
+                let typ_name = match typ {
+                    AstTerm::Const(t) => Some(t.clone()),
+                    _ => None,
+                };
+                let prev = signatures.entry((class.clone(), attr.clone())).or_default();
+                for (pcard, ptyp, _) in prev.iter() {
+                    if let (Some(a), Some(b)) = (pcard, card) {
+                        if a != b {
+                            info.diagnostics.push(Diagnostic::new(
+                                DiagCode::Fl003ConflictingCardinality,
+                                *pos,
+                                format!(
+                                    "attribute `{attr}` on `{class}` is declared both {a} and \
+                                     {b}; together they mean \"exactly one value\", which is \
+                                     usually a redeclaration mistake"
+                                ),
+                            ));
+                        }
+                    }
+                    if let (Some(a), Some(b)) = (ptyp, &typ_name) {
+                        if a != b {
+                            info.diagnostics.push(Diagnostic::new(
+                                DiagCode::Fl006ShadowedSignature,
+                                *pos,
+                                format!(
+                                    "signature `{class}[{attr} *=> {b}]` shadows the earlier \
+                                     declaration with type `{a}`"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                prev.push((*card, typ_name, *pos));
+            }
+        }
+        info
+    }
+}
+
+/// FL001 + FL002: variable hygiene of one query.
+fn lint_query_vars(q: &AstQuery, out: &mut Vec<Diagnostic>) {
+    for (t, pos) in q.head.iter().zip(&q.head_pos) {
+        if matches!(t, AstTerm::Anon) {
+            out.push(Diagnostic::new(
+                DiagCode::Fl002AnonymousInHead,
+                *pos,
+                format!(
+                    "anonymous `_` in the head of `{}`: each `_` is a fresh variable, so the \
+                     head cannot be bound by the body",
+                    q.name
+                ),
+            ));
+        }
+    }
+    // First position and occurrence count of every named variable.
+    let mut occurrences: Vec<(String, Pos)> = Vec::new();
+    for (t, pos) in q.head.iter().zip(&q.head_pos) {
+        note_var(t, *pos, &mut occurrences);
+    }
+    for m in &q.body {
+        for (t, pos) in molecule_terms(m) {
+            note_var(t, pos, &mut occurrences);
+        }
+    }
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for (name, _) in &occurrences {
+        *counts.entry(name.as_str()).or_default() += 1;
+    }
+    let mut flagged: HashSet<&str> = HashSet::new();
+    for (name, pos) in &occurrences {
+        if counts[name.as_str()] == 1 && !name.starts_with('_') && flagged.insert(name) {
+            out.push(Diagnostic::new(
+                DiagCode::Fl001SingletonVariable,
+                *pos,
+                format!(
+                    "variable `{name}` occurs only once in `{}`; prefix it with `_` (or use \
+                     `_`) if that is intentional",
+                    q.name
+                ),
+            ));
+        }
+    }
+}
+
+/// FL005 + FL007 over a query/goal body, relative to the fact base.
+fn lint_body(body: &[Molecule], facts: &FactInfo, out: &mut Vec<Diagnostic>) {
+    if !facts.any {
+        return;
+    }
+    let closure = DepGraph::sigma_fl().derivable_preds(facts.preds);
+    for m in body {
+        for (name, pos) in schema_constants(m) {
+            if !facts.declared.contains(name) {
+                out.push(Diagnostic::new(
+                    DiagCode::Fl005UndeclaredReference,
+                    pos,
+                    format!("`{name}` is not declared by any fact in this program"),
+                ));
+            }
+        }
+        for (p, pos) in molecule_preds(m) {
+            if !closure.contains(p) {
+                out.push(Diagnostic::new(
+                    DiagCode::Fl007DeadQueryAtom,
+                    pos,
+                    format!(
+                        "no `{}` atom is derivable from the facts (Σ_FL dependency graph): \
+                         this atom can never be satisfied, so the query is statically empty",
+                        p.name()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn note_var(t: &AstTerm, pos: Pos, occurrences: &mut Vec<(String, Pos)>) {
+    if let AstTerm::Var(name) = t {
+        occurrences.push((name.clone(), pos));
+    }
+}
+
+/// Every term of a molecule, with the best position span we track for it
+/// (spec terms get the spec's span, everything else the molecule's).
+fn molecule_terms(m: &Molecule) -> Vec<(&AstTerm, Pos)> {
+    let pos = m.pos();
+    match m {
+        Molecule::Isa { obj, class, .. } => vec![(obj, pos), (class, pos)],
+        Molecule::Sub { sub, sup, .. } => vec![(sub, pos), (sup, pos)],
+        Molecule::Specs { obj, specs, .. } => {
+            let mut v = vec![(obj, pos)];
+            for s in specs {
+                match s {
+                    Spec::DataVal { attr, value, pos } => {
+                        v.push((attr, *pos));
+                        v.push((value, *pos));
+                    }
+                    Spec::Signature { attr, typ, pos, .. } => {
+                        v.push((attr, *pos));
+                        v.push((typ, *pos));
+                    }
+                }
+            }
+            v
+        }
+        Molecule::Pred { args, .. } => args.iter().map(|a| (a, pos)).collect(),
+    }
+}
+
+/// The `P_FL` predicates a molecule expands to (mirrors `translate.rs`),
+/// with the span to blame per expanded atom. Unknown predicate names and
+/// arities are skipped — translation rejects them with a proper error.
+fn molecule_preds(m: &Molecule) -> Vec<(Pred, Pos)> {
+    match m {
+        Molecule::Isa { pos, .. } => vec![(Pred::Member, *pos)],
+        Molecule::Sub { pos, .. } => vec![(Pred::Sub, *pos)],
+        Molecule::Specs { specs, .. } => {
+            let mut v = Vec::new();
+            for s in specs {
+                match s {
+                    Spec::DataVal { pos, .. } => v.push((Pred::Data, *pos)),
+                    Spec::Signature { card, typ, pos, .. } => {
+                        match card {
+                            Some(Card::ZeroOne) => v.push((Pred::Funct, *pos)),
+                            Some(Card::OneStar) => v.push((Pred::Mandatory, *pos)),
+                            None => {}
+                        }
+                        // `*=> _` with a cardinality asserts no type atom.
+                        if !(matches!(typ, AstTerm::Anon) && card.is_some()) {
+                            v.push((Pred::Type, *pos));
+                        }
+                    }
+                }
+            }
+            v
+        }
+        Molecule::Pred { name, pos, .. } => match Pred::from_name(name) {
+            Some(p) => vec![(p, *pos)],
+            None => Vec::new(),
+        },
+    }
+}
+
+/// Constants sitting in class/attribute positions of a query molecule —
+/// the vocabulary FL005 checks against the fact base.
+fn schema_constants(m: &Molecule) -> Vec<(&str, Pos)> {
+    fn c(t: &AstTerm) -> Option<&str> {
+        match t {
+            AstTerm::Const(s) => Some(s),
+            _ => None,
+        }
+    }
+    let pos = m.pos();
+    match m {
+        Molecule::Isa { class, .. } => c(class).map(|s| (s, pos)).into_iter().collect(),
+        Molecule::Sub { sub, sup, .. } => [c(sub), c(sup)]
+            .into_iter()
+            .flatten()
+            .map(|s| (s, pos))
+            .collect(),
+        Molecule::Specs { specs, .. } => specs
+            .iter()
+            .filter_map(|s| c(s.attr()).map(|a| (a, s.pos())))
+            .collect(),
+        Molecule::Pred {
+            name, args, pos, ..
+        } => {
+            // Class/attribute argument positions of each P_FL predicate.
+            let check: &[usize] = match Pred::from_name(name) {
+                Some(Pred::Member) => &[1],
+                Some(Pred::Sub) => &[0, 1],
+                Some(Pred::Data) => &[1],
+                Some(Pred::Type) => &[1, 2],
+                Some(Pred::Mandatory) | Some(Pred::Funct) => &[0, 1],
+                None => &[],
+            };
+            check
+                .iter()
+                .filter_map(|&i| args.get(i).and_then(c).map(|s| (s, *pos)))
+                .collect()
+        }
+    }
+}
+
+/// Every constant a fact mentions, recorded as declared vocabulary.
+fn note_constants(m: &Molecule, declared: &mut HashSet<String>) {
+    for (t, _) in molecule_terms(m) {
+        if let AstTerm::Const(s) = t {
+            declared.insert(s.clone());
+        }
+    }
+}
+
+/// Canonical renderings of the declaration units of a fact, for FL004.
+/// A multi-spec molecule yields one unit per spec, so
+/// `john[a->1, a->1]` flags the second spec.
+fn decl_units(m: &Molecule) -> Vec<(String, Pos)> {
+    match m {
+        Molecule::Isa { obj, class, pos } => vec![(format!("{obj} : {class}"), *pos)],
+        Molecule::Sub { sub, sup, pos } => vec![(format!("{sub} :: {sup}"), *pos)],
+        Molecule::Specs { obj, specs, .. } => specs
+            .iter()
+            .map(|s| match s {
+                Spec::DataVal { attr, value, pos } => (format!("{obj}[{attr} -> {value}]"), *pos),
+                Spec::Signature {
+                    attr,
+                    card,
+                    typ,
+                    pos,
+                } => {
+                    let card = card.map(|c| format!("{c} ")).unwrap_or_default();
+                    (format!("{obj}[{attr} {card}*=> {typ}]"), *pos)
+                }
+            })
+            .collect(),
+        Molecule::Pred { name, args, pos } => {
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            vec![(format!("{name}({})", args.join(", ")), *pos)]
+        }
+    }
+}

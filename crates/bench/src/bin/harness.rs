@@ -7,14 +7,17 @@
 //!   cargo run -p flogic-bench --bin harness --release -- --threads 8 e9
 //!
 //! `--threads N` sets the worker count for the experiments that exercise
-//! the parallel chase engine (`0` = all available cores). Tables are
-//! printed to stdout and exported as CSV under `bench_results/`; each
-//! experiment is followed by the engine metrics it accumulated (chase and
-//! hom wall-clock, cache hits/misses).
+//! the parallel chase engine (`0` = all available cores); `--quick` shrinks
+//! the workloads. Any other flag is an error. Tables are printed to stdout
+//! and exported as CSV under `bench_results/`; each experiment is followed
+//! by the engine metrics it accumulated (chase and hom wall-clock, cache
+//! hits/misses, and the static-analysis fast-path counters, which are also
+//! exported as `bench_results/analysis_counters.csv`).
 
 use std::path::PathBuf;
 
 use flogic_bench::experiments::{self, ExperimentOutput};
+use flogic_bench::table::Table;
 use flogic_term::Metrics;
 
 fn out_dir() -> PathBuf {
@@ -52,19 +55,25 @@ fn run(id: &str, quick: bool, threads: usize) -> Option<ExperimentOutput> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let mut quick = false;
     let mut threads = 0usize; // 0 = all available cores
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--threads" {
-            let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
-                eprintln!("--threads requires a number (0 = all cores)");
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--threads requires a number (0 = all cores)");
+                    std::process::exit(2);
+                };
+                threads = n;
+            }
+            s if s.starts_with("--") => {
+                eprintln!("unknown flag `{s}` (expected --quick or --threads N)");
                 std::process::exit(2);
-            };
-            threads = n;
-        } else if !a.starts_with("--") {
-            ids.push(a.to_lowercase());
+            }
+            _ => ids.push(a.to_lowercase()),
         }
     }
     if ids.is_empty() {
@@ -72,6 +81,10 @@ fn main() {
     }
 
     let dir = out_dir();
+    let mut counters = Table::new(
+        "Static-analysis fast-path counters per experiment",
+        &["experiment", "early_false", "early_true", "chased"],
+    );
     for id in &ids {
         let before = Metrics::global().snapshot();
         let Some(output) = run(id, quick, threads) else {
@@ -94,6 +107,15 @@ fn main() {
         }
         let delta = Metrics::global().snapshot().since(&before);
         println!("[{id} metrics] {delta}\n");
+        counters.push(vec![
+            id.clone(),
+            delta.analysis_early_false.to_string(),
+            delta.analysis_early_true.to_string(),
+            delta.analysis_chased.to_string(),
+        ]);
+    }
+    if let Err(e) = counters.write_csv(&dir.join("analysis_counters.csv")) {
+        eprintln!("warning: could not write analysis_counters.csv: {e}");
     }
     println!("CSV exports written to {}/", dir.display());
 }

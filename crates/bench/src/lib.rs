@@ -17,8 +17,6 @@
 //! | E8 | `chase⁻` stays polynomial (Theorem 13, step 1) |
 //! | E9 | repeated-query batches: decision cache, shared chase, parallel chase |
 
-#![forbid(unsafe_code)]
-
 pub mod experiments;
 pub mod microbench;
 pub mod table;

@@ -22,8 +22,6 @@
 //!   predicate, and detection of the **mandatory-attribute cycles** that
 //!   make the chase infinite (Section 4).
 
-#![forbid(unsafe_code)]
-
 mod cycles;
 mod dot;
 mod engine;

@@ -152,6 +152,7 @@ struct CachedDecision {
     chase_outcome: ChaseOutcome,
     level_bound: u32,
     max_chase_level: u32,
+    decided_by_analysis: bool,
 }
 
 impl CachedDecision {
@@ -163,6 +164,7 @@ impl CachedDecision {
             chase_outcome: r.chase_outcome,
             level_bound: r.level_bound,
             max_chase_level: r.max_chase_level,
+            decided_by_analysis: r.decided_by_analysis,
         }
     }
 
@@ -175,6 +177,7 @@ impl CachedDecision {
             chase_outcome: self.chase_outcome,
             level_bound: self.level_bound,
             max_chase_level: self.max_chase_level,
+            decided_by_analysis: self.decided_by_analysis,
         }
     }
 }

@@ -1,9 +1,10 @@
 //! The Theorem 12 decision procedure.
 
+use flogic_analysis::{direct_unsat, QueryAnalysis};
 use flogic_chase::{chase_bounded, ChaseOptions, ChaseOutcome};
 use flogic_hom::{find_hom, Target};
 use flogic_model::ConjunctiveQuery;
-use flogic_term::Subst;
+use flogic_term::{Metrics, Subst};
 
 use crate::CoreError;
 
@@ -23,6 +24,13 @@ pub struct ContainmentOptions {
     /// machine's available parallelism. The decision is identical for
     /// every setting.
     pub threads: usize,
+    /// Consult the static analyzer (`flogic-analysis`) before chasing:
+    /// sound early `false` when `q2` needs a predicate unreachable from
+    /// `q1`'s chase frontier, sound early `true` when `q1` carries a
+    /// visible ρ4 violation. The verdict is identical with the toggle on
+    /// or off; only the work (and the [`Metrics`] analysis counters)
+    /// changes. Default: `true`.
+    pub analysis: bool,
 }
 
 impl Default for ContainmentOptions {
@@ -31,6 +39,7 @@ impl Default for ContainmentOptions {
             level_bound: None,
             max_conjuncts: 1_000_000,
             threads: 1,
+            analysis: true,
         }
     }
 }
@@ -52,6 +61,7 @@ pub struct ContainmentResult {
     pub(crate) chase_outcome: ChaseOutcome,
     pub(crate) level_bound: u32,
     pub(crate) max_chase_level: u32,
+    pub(crate) decided_by_analysis: bool,
 }
 
 impl ContainmentResult {
@@ -92,6 +102,13 @@ impl ContainmentResult {
     pub fn max_chase_level(&self) -> u32 {
         self.max_chase_level
     }
+
+    /// True when the verdict came from the static analyzer's fast path
+    /// and no chase was materialized (see
+    /// [`ContainmentOptions::analysis`]).
+    pub fn decided_by_analysis(&self) -> bool {
+        self.decided_by_analysis
+    }
 }
 
 /// Decides `q1 ⊆_ΣFL q2` with the Theorem 12 bound and default resource
@@ -128,6 +145,12 @@ pub fn contains_with(
         });
     }
     let bound = opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2));
+    if opts.analysis {
+        if let Some(early) = analyze_pair(q1, q2, bound) {
+            return Ok(early);
+        }
+        Metrics::global().record_analysis_chased();
+    }
     let chase = chase_bounded(
         q1,
         &ChaseOptions {
@@ -148,6 +171,7 @@ pub fn contains_with(
                 chase_outcome: chase.outcome(),
                 level_bound: bound,
                 max_chase_level: chase.max_level(),
+                decided_by_analysis: false,
             });
         }
         ChaseOutcome::Truncated => {
@@ -167,7 +191,50 @@ pub fn contains_with(
         chase_outcome: chase.outcome(),
         level_bound: bound,
         max_chase_level: chase.max_level(),
+        decided_by_analysis: false,
     })
+}
+
+/// Runs the two static fast paths for one pair. `Some` means the verdict
+/// is already certain (and agrees with what the chase would say — see the
+/// soundness arguments in `flogic-analysis::fastpath` and `DESIGN.md`).
+fn analyze_pair(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    bound: u32,
+) -> Option<ContainmentResult> {
+    if let Some((left, right)) = direct_unsat(q1) {
+        // The chase of q1 fails in its first Datalog/EGD phase at every
+        // level bound: vacuous containment, no chase needed.
+        Metrics::global().record_analysis_early_true();
+        return Some(ContainmentResult {
+            holds: true,
+            vacuous: true,
+            witness: None,
+            chase_conjuncts: 0,
+            chase_outcome: ChaseOutcome::Failed { left, right },
+            level_bound: bound,
+            max_chase_level: 0,
+            decided_by_analysis: true,
+        });
+    }
+    let analysis = QueryAnalysis::new(q1);
+    if analysis.refutes_hom(q2) {
+        // q2 needs a predicate chase(q1) can never contain, and the chase
+        // provably cannot fail: the containment is definitely false.
+        Metrics::global().record_analysis_early_false();
+        return Some(ContainmentResult {
+            holds: false,
+            vacuous: false,
+            witness: None,
+            chase_conjuncts: 0,
+            chase_outcome: ChaseOutcome::Completed,
+            level_bound: bound,
+            max_chase_level: 0,
+            decided_by_analysis: true,
+        });
+    }
+    None
 }
 
 /// Decides `q1 ⊆_ΣFL q2` for every `q2` in `q2s`, **sharing one chase of
@@ -196,6 +263,35 @@ pub fn contains_batch(
         .map(|q2| opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2)))
         .max()
         .unwrap_or(0);
+    if opts.analysis {
+        if let Some((left, right)) = direct_unsat(q1) {
+            // One visible ρ4 violation settles every same-arity slot
+            // without building the shared chase at all.
+            return q2s
+                .iter()
+                .map(|q2| {
+                    if q2.arity() != q1.arity() {
+                        return Err(CoreError::ArityMismatch {
+                            q1: q1.arity(),
+                            q2: q2.arity(),
+                        });
+                    }
+                    Metrics::global().record_analysis_early_true();
+                    Ok(ContainmentResult {
+                        holds: true,
+                        vacuous: true,
+                        witness: None,
+                        chase_conjuncts: 0,
+                        chase_outcome: ChaseOutcome::Failed { left, right },
+                        level_bound: bound,
+                        max_chase_level: 0,
+                        decided_by_analysis: true,
+                    })
+                })
+                .collect();
+        }
+    }
+    let analysis = opts.analysis.then(|| QueryAnalysis::new(q1));
     let chase = chase_bounded(
         q1,
         &ChaseOptions {
@@ -233,7 +329,26 @@ pub fn contains_batch(
                     chase_outcome: chase.outcome(),
                     level_bound: bound,
                     max_chase_level: chase.max_level(),
+                    decided_by_analysis: false,
                 });
+            }
+            if let Some(a) = &analysis {
+                if a.refutes_hom(q2) {
+                    // Skip the hom search: q2 needs a predicate the shared
+                    // chase cannot contain.
+                    Metrics::global().record_analysis_early_false();
+                    return Ok(ContainmentResult {
+                        holds: false,
+                        vacuous: false,
+                        witness: None,
+                        chase_conjuncts: chase.len(),
+                        chase_outcome: chase.outcome(),
+                        level_bound: bound,
+                        max_chase_level: chase.max_level(),
+                        decided_by_analysis: true,
+                    });
+                }
+                Metrics::global().record_analysis_chased();
             }
             let witness = find_hom(q2.body(), q2.head(), &target, chase.head());
             Ok(ContainmentResult {
@@ -244,6 +359,7 @@ pub fn contains_batch(
                 chase_outcome: chase.outcome(),
                 level_bound: bound,
                 max_chase_level: chase.max_level(),
+                decided_by_analysis: false,
             })
         })
         .collect()
@@ -436,6 +552,91 @@ mod tests {
             let r = r.as_ref().unwrap();
             assert!(r.holds() && r.is_vacuous());
         }
+    }
+
+    #[test]
+    fn analysis_early_false_agrees_with_chase() {
+        // member is underivable from sub alone: the analyzer answers
+        // `false` without chasing; the chase path must agree.
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2 = q("p(X, Z) :- member(X, Z).");
+        let on = contains_with(&q1, &q2, &ContainmentOptions::default()).unwrap();
+        let off = contains_with(
+            &q1,
+            &q2,
+            &ContainmentOptions {
+                analysis: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(on.decided_by_analysis());
+        assert_eq!(on.chase_conjuncts(), 0);
+        assert!(!off.decided_by_analysis());
+        assert_eq!(on.holds(), off.holds());
+        assert_eq!(on.is_vacuous(), off.is_vacuous());
+        assert!(!on.holds());
+    }
+
+    #[test]
+    fn analysis_early_true_agrees_with_chase() {
+        let q1 = q("q() :- data(o, a, 1), data(o, a, 2), funct(a, o).");
+        let q2 = q("qq() :- sub(X, Y).");
+        let on = contains_with(&q1, &q2, &ContainmentOptions::default()).unwrap();
+        let off = contains_with(
+            &q1,
+            &q2,
+            &ContainmentOptions {
+                analysis: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(on.decided_by_analysis());
+        assert!(matches!(on.chase_outcome(), ChaseOutcome::Failed { .. }));
+        assert_eq!(
+            (on.holds(), on.is_vacuous()),
+            (off.holds(), off.is_vacuous())
+        );
+        assert!(on.holds() && on.is_vacuous());
+    }
+
+    #[test]
+    fn analysis_does_not_misfire_when_chase_may_fail() {
+        // q1 can fail (two distinct constants + data + funct through
+        // membership); analysis must NOT answer early-false even though
+        // q2's sub atom is underivable — the chase does fail and the
+        // containment is vacuously true.
+        let q1 = q("q() :- data(o, a, 1), data(o, a, 2), member(o, c), funct(a, c).");
+        let q2 = q("qq() :- sub(X, Y).");
+        let r = contains(&q1, &q2).unwrap();
+        assert!(r.holds() && r.is_vacuous());
+    }
+
+    #[test]
+    fn batch_analysis_matches_analysis_off() {
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2s = vec![
+            q("a(X, Z) :- sub(X, Z)."),
+            q("b(X, Z) :- member(X, Z)."),
+            q("c(X, Z) :- sub(X, Y), sub(Y, Z), sub(X, Z)."),
+        ];
+        let on = contains_batch(&q1, &q2s, &ContainmentOptions::default());
+        let off = contains_batch(
+            &q1,
+            &q2s,
+            &ContainmentOptions {
+                analysis: false,
+                ..Default::default()
+            },
+        );
+        for (a, b) in on.iter().zip(&off) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.holds(), b.holds());
+            assert_eq!(a.is_vacuous(), b.is_vacuous());
+        }
+        assert!(on[1].as_ref().unwrap().decided_by_analysis());
+        assert!(!on[0].as_ref().unwrap().decided_by_analysis());
     }
 
     #[test]

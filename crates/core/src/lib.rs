@@ -29,8 +29,6 @@
 //! * [`DecisionCache`] — a memo table keyed by a variable-renaming- and
 //!   body-order-invariant canonical form of the query pair.
 
-#![forbid(unsafe_code)]
-
 mod cache;
 mod classic;
 mod decide;

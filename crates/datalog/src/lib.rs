@@ -22,8 +22,6 @@
 //!   containment verdicts against concrete databases (`q1 ⊆_ΣFL q2` iff
 //!   `q1(B) ⊆ q2(B)` for every `B` satisfying `Σ_FL`).
 
-#![forbid(unsafe_code)]
-
 mod closure;
 mod engine;
 mod error;

@@ -23,8 +23,6 @@
 //! [`rng::SplitMix64`], re-exported here), so every workload is
 //! reproducible from a seed without any registry dependency.
 
-#![forbid(unsafe_code)]
-
 pub use flogic_term::rng;
 
 use flogic_term::rng::{Rng, SliceRandom};

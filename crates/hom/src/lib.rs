@@ -17,8 +17,6 @@
 //!   consistently across atoms (and may map to *any* target term — in a
 //!   chase, the "values" include the variables of the chased query).
 
-#![forbid(unsafe_code)]
-
 mod core_of;
 mod search;
 mod target;

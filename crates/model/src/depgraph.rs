@@ -1,0 +1,425 @@
+//! Predicate-position dependency graph of `Σ_FL`.
+//!
+//! This is the standard tool of the chase-termination literature (Calì,
+//! Gottlob & Kifer, "Taming the Infinite Chase"): a node for every
+//! *position* `pred[i]` of every `P_FL` predicate, and an edge
+//! `p[i] → q[j]` whenever some TGD can propagate a value sitting in
+//! position `i` of a body atom `p` into position `j` of its head atom `q`.
+//! Edges that feed ρ5's existentially quantified value are marked
+//! **existential**: they are where the chase *invents* labelled nulls.
+//!
+//! Two derived analyses power `flogic-analysis` and the `flq explain`
+//! output:
+//!
+//! * **predicate-level derivability** ([`DepGraph::derivable_preds`]):
+//!   the set of predicates the chase of a query can ever contain, computed
+//!   as a fixpoint over rule shapes (a head predicate becomes derivable
+//!   once *all* its body predicates are). This over-approximates the chase
+//!   (rule applicability also needs join conditions to fire), which is the
+//!   sound direction for "this atom can never be satisfied" conclusions.
+//! * **value-invention cycles** ([`DepGraph::invention_cycles`]): cycles
+//!   through an existential edge. `Σ_FL` has exactly one up to rotation —
+//!   `mandatory[1] →ρ5 data[2] →ρ1 member[0] →ρ10 mandatory[1]` — and it
+//!   is *why* the chase of `Σ_FL` need not terminate and a level bound
+//!   (Theorem 12) is required.
+
+use std::fmt;
+use std::sync::LazyLock;
+
+use crate::sigma::{sigma_fl, RuleId, SigmaRule};
+use crate::Pred;
+
+/// A position of a predicate: `pred[pos]` with `pos < pred.arity()`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredPos {
+    /// The predicate.
+    pub pred: Pred,
+    /// Zero-based argument position.
+    pub pos: usize,
+}
+
+impl fmt::Display for PredPos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.pred.name(), self.pos)
+    }
+}
+
+impl PredPos {
+    /// Dense index in `0..NODE_COUNT` (predicates in `Pred::ALL` order,
+    /// positions within a predicate in order).
+    fn index(self) -> usize {
+        let mut base = 0;
+        for p in Pred::ALL {
+            if p == self.pred {
+                return base + self.pos;
+            }
+            base += p.arity();
+        }
+        unreachable!("Pred::ALL covers every predicate")
+    }
+}
+
+/// Total number of predicate positions across `P_FL` (2+2+3+3+2+2).
+const NODE_COUNT: usize = 14;
+
+fn all_nodes() -> impl Iterator<Item = PredPos> {
+    Pred::ALL
+        .into_iter()
+        .flat_map(|pred| (0..pred.arity()).map(move |pos| PredPos { pred, pos }))
+}
+
+/// One edge of the dependency graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source position (in a rule body).
+    pub from: PredPos,
+    /// Target position (in the rule head).
+    pub to: PredPos,
+    /// The rule that induces the edge.
+    pub rule: RuleId,
+    /// True when the target is the rule's existentially quantified value
+    /// (only ρ5's `data[2]`): following this edge invents a labelled null.
+    pub existential: bool,
+}
+
+/// A compact set of `P_FL` predicates (bitmask over [`Pred::ALL`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PredSet(u8);
+
+impl PredSet {
+    /// The empty set.
+    pub const EMPTY: PredSet = PredSet(0);
+
+    /// Inserts a predicate; returns true if it was new.
+    pub fn insert(&mut self, p: Pred) -> bool {
+        let bit = 1 << p.index();
+        let fresh = self.0 & bit == 0;
+        self.0 |= bit;
+        fresh
+    }
+
+    /// Membership test.
+    pub fn contains(self, p: Pred) -> bool {
+        self.0 & (1 << p.index()) != 0
+    }
+
+    /// Number of predicates in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when no predicate is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the members in `Pred::ALL` order.
+    pub fn iter(self) -> impl Iterator<Item = Pred> {
+        Pred::ALL.into_iter().filter(move |p| self.contains(*p))
+    }
+}
+
+impl FromIterator<Pred> for PredSet {
+    fn from_iter<I: IntoIterator<Item = Pred>>(iter: I) -> PredSet {
+        let mut s = PredSet::EMPTY;
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl fmt::Display for PredSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", p.name())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The predicate-position dependency graph of a rule set (see module docs).
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    edges: Vec<DepEdge>,
+    /// Per-TGD predicate shape: (body predicates, head predicate), used by
+    /// the predicate-level derivability fixpoint.
+    rule_shapes: Vec<(PredSet, Pred)>,
+}
+
+static SIGMA_GRAPH: LazyLock<DepGraph> = LazyLock::new(DepGraph::build_sigma_fl);
+
+impl DepGraph {
+    /// The dependency graph of `Σ_FL` (built once, cached).
+    pub fn sigma_fl() -> &'static DepGraph {
+        &SIGMA_GRAPH
+    }
+
+    fn build_sigma_fl() -> DepGraph {
+        let mut edges = Vec::new();
+        let mut rule_shapes = Vec::new();
+        for rule in sigma_fl() {
+            let SigmaRule::Tgd(tgd) = rule else {
+                // The EGD ρ4 equates existing values; it neither generates
+                // atoms nor propagates values into new positions.
+                continue;
+            };
+            rule_shapes.push((tgd.body.iter().map(|a| a.pred()).collect(), tgd.head.pred()));
+            let head_args = tgd.head.args();
+            for body_atom in &tgd.body {
+                for (i, bt) in body_atom.args().iter().enumerate() {
+                    if !bt.is_var() {
+                        continue;
+                    }
+                    let from = PredPos {
+                        pred: body_atom.pred(),
+                        pos: i,
+                    };
+                    for (j, ht) in head_args.iter().enumerate() {
+                        if ht == bt {
+                            edges.push(DepEdge {
+                                from,
+                                to: PredPos {
+                                    pred: tgd.head.pred(),
+                                    pos: j,
+                                },
+                                rule: tgd.id,
+                                existential: false,
+                            });
+                        }
+                    }
+                    // Every universal body position feeds the invention of
+                    // the existential value: mark those edges specially.
+                    if let Some(ex) = &tgd.existential {
+                        for (j, ht) in head_args.iter().enumerate() {
+                            if ht == ex {
+                                edges.push(DepEdge {
+                                    from,
+                                    to: PredPos {
+                                        pred: tgd.head.pred(),
+                                        pos: j,
+                                    },
+                                    rule: tgd.id,
+                                    existential: true,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        edges.sort_by_key(|e| (e.from.index(), e.to.index(), e.rule.index()));
+        edges.dedup();
+        DepGraph { edges, rule_shapes }
+    }
+
+    /// All edges, sorted by (from, to, rule).
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// All predicate positions (nodes) of the graph.
+    pub fn nodes(&self) -> Vec<PredPos> {
+        all_nodes().collect()
+    }
+
+    /// Predicate-level derivability closure: starting from atoms over
+    /// `seed`, the set of predicates the chase can ever produce. A rule's
+    /// head predicate joins the set once **all** of its body predicates are
+    /// in it; the EGD ρ4 contributes nothing (it only merges values).
+    ///
+    /// This is an *over*-approximation of the real chase (firing a rule
+    /// also needs its join conditions met), so `!closure.contains(p)`
+    /// soundly proves that no `p`-atom can appear in the chase.
+    pub fn derivable_preds(&self, seed: PredSet) -> PredSet {
+        let mut closure = seed;
+        loop {
+            let mut changed = false;
+            for (body, head) in &self.rule_shapes {
+                if !closure.contains(*head) && body.iter().all(|p| closure.contains(p)) {
+                    closure.insert(*head);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return closure;
+            }
+        }
+    }
+
+    /// Finds the value-invention cycles: for every existential edge whose
+    /// endpoints are mutually reachable, one shortest cycle through it,
+    /// returned as a node path `[e.to, …, e.from]` (following `e` from the
+    /// last node back to the first closes the cycle).
+    ///
+    /// For `Σ_FL` this returns the single pump
+    /// `data[2] → member[0] → mandatory[1] (→ρ5 data[2])` that makes the
+    /// unrestricted chase infinite and forces the Theorem 12 level bound.
+    pub fn invention_cycles(&self) -> Vec<Vec<PredPos>> {
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); NODE_COUNT];
+        for e in &self.edges {
+            let (f, t) = (e.from.index(), e.to.index());
+            if !succ[f].contains(&t) {
+                succ[f].push(t);
+            }
+        }
+        let index_to_node: Vec<PredPos> = all_nodes().collect();
+        let mut cycles = Vec::new();
+        for e in self.edges.iter().filter(|e| e.existential) {
+            // BFS from e.to back to e.from; appending edge e closes a cycle.
+            let (start, goal) = (e.to.index(), e.from.index());
+            let mut prev = [usize::MAX; NODE_COUNT];
+            let mut queue = std::collections::VecDeque::from([start]);
+            prev[start] = start;
+            while let Some(n) = queue.pop_front() {
+                if n == goal {
+                    break;
+                }
+                for &m in &succ[n] {
+                    if prev[m] == usize::MAX {
+                        prev[m] = n;
+                        queue.push_back(m);
+                    }
+                }
+            }
+            if prev[goal] == usize::MAX {
+                continue; // existential edge not on any cycle
+            }
+            let mut path = vec![goal];
+            let mut n = goal;
+            while n != start {
+                n = prev[n];
+                path.push(n);
+            }
+            path.reverse();
+            let path: Vec<PredPos> = path.into_iter().map(|i| index_to_node[i]).collect();
+            if !cycles.contains(&path) {
+                cycles.push(path);
+            }
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(pred: Pred, pos: usize) -> PredPos {
+        PredPos { pred, pos }
+    }
+
+    #[test]
+    fn node_count_matches_arities() {
+        let g = DepGraph::sigma_fl();
+        assert_eq!(g.nodes().len(), NODE_COUNT);
+        assert_eq!(
+            NODE_COUNT,
+            Pred::ALL.iter().map(|p| p.arity()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn rho1_edges_present() {
+        // ρ1: member(V,T) :- type(O,A,T), data(O,A,V): data[2] → member[0],
+        // type[2] → member[1].
+        let g = DepGraph::sigma_fl();
+        assert!(g.edges().iter().any(|e| e.rule == RuleId::R1
+            && e.from == pp(Pred::Data, 2)
+            && e.to == pp(Pred::Member, 0)
+            && !e.existential));
+        assert!(g.edges().iter().any(|e| e.rule == RuleId::R1
+            && e.from == pp(Pred::Type, 2)
+            && e.to == pp(Pred::Member, 1)));
+    }
+
+    #[test]
+    fn only_rho5_edges_are_existential() {
+        let g = DepGraph::sigma_fl();
+        for e in g.edges() {
+            assert_eq!(
+                e.existential,
+                e.rule == RuleId::R5 && e.to == pp(Pred::Data, 2),
+                "{e:?}"
+            );
+        }
+        assert!(g.edges().iter().any(|e| e.existential));
+    }
+
+    #[test]
+    fn egd_induces_no_edges() {
+        assert!(DepGraph::sigma_fl()
+            .edges()
+            .iter()
+            .all(|e| e.rule != RuleId::R4));
+    }
+
+    #[test]
+    fn derivability_from_mandatory_reaches_member() {
+        // mandatory →ρ5 data; with nothing else, ρ1 needs type too, so
+        // member is NOT derivable from mandatory alone.
+        let g = DepGraph::sigma_fl();
+        let c = g.derivable_preds(PredSet::from_iter([Pred::Mandatory]));
+        assert!(c.contains(Pred::Data));
+        assert!(!c.contains(Pred::Member));
+        // Adding type closes the ρ5→ρ1 pump: member becomes derivable,
+        // and via ρ10 the pump feeds itself.
+        let c = g.derivable_preds(PredSet::from_iter([Pred::Mandatory, Pred::Type]));
+        assert!(c.contains(Pred::Member));
+    }
+
+    #[test]
+    fn derivability_is_monotone_and_idempotent() {
+        let g = DepGraph::sigma_fl();
+        let small = g.derivable_preds(PredSet::from_iter([Pred::Sub]));
+        let big = g.derivable_preds(PredSet::from_iter([Pred::Sub, Pred::Member]));
+        for p in small.iter() {
+            assert!(big.contains(p));
+        }
+        assert_eq!(g.derivable_preds(small), small);
+    }
+
+    #[test]
+    fn sub_alone_derives_nothing_new() {
+        let g = DepGraph::sigma_fl();
+        let c = g.derivable_preds(PredSet::from_iter([Pred::Sub]));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invention_cycle_is_the_mandatory_pump() {
+        let cycles = DepGraph::sigma_fl().invention_cycles();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        let cycle = &cycles[0];
+        // data[2] → member[0] → mandatory[1], closed by ρ5's existential
+        // edge mandatory[1] → data[2].
+        assert_eq!(
+            cycle.as_slice(),
+            &[
+                pp(Pred::Data, 2),
+                pp(Pred::Member, 0),
+                pp(Pred::Mandatory, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn predset_basics() {
+        let mut s = PredSet::EMPTY;
+        assert!(s.is_empty());
+        assert!(s.insert(Pred::Data));
+        assert!(!s.insert(Pred::Data));
+        assert!(s.contains(Pred::Data));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.to_string(), "{data}");
+    }
+
+    #[test]
+    fn predpos_display() {
+        assert_eq!(pp(Pred::Data, 2).to_string(), "data[2]");
+    }
+}

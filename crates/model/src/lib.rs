@@ -18,10 +18,9 @@
 //! equality-generating dependency ρ4 (functional attributes) and the
 //! existential tuple-generating dependency ρ5 (mandatory attributes).
 
-#![forbid(unsafe_code)]
-
 mod atom;
 mod database;
+mod depgraph;
 mod error;
 mod predicate;
 mod query;
@@ -29,6 +28,7 @@ mod sigma;
 
 pub use atom::Atom;
 pub use database::Database;
+pub use depgraph::{DepEdge, DepGraph, PredPos, PredSet};
 pub use error::ModelError;
 pub use predicate::Pred;
 pub use query::ConjunctiveQuery;

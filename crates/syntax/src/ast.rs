@@ -1,6 +1,12 @@
 //! Abstract syntax tree for the surface language.
+//!
+//! Every molecule, spec and query carries the [`Pos`] of the token that
+//! opened it, so downstream tooling (notably `flogic-analysis`) can report
+//! diagnostics with `line:col` spans instead of pointing at whole inputs.
 
 use std::fmt;
+
+use crate::error::Pos;
 
 /// A surface-level term.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,6 +57,8 @@ pub enum Spec {
         attr: AstTerm,
         /// The value.
         value: AstTerm,
+        /// Source position of the attribute.
+        pos: Pos,
     },
     /// `attr [card] *=> typ` — a signature atom with optional cardinality.
     Signature {
@@ -60,7 +68,25 @@ pub enum Spec {
         card: Option<Card>,
         /// The type (may be `_`).
         typ: AstTerm,
+        /// Source position of the attribute.
+        pos: Pos,
     },
+}
+
+impl Spec {
+    /// Source position of the spec (its attribute token).
+    pub fn pos(&self) -> Pos {
+        match self {
+            Spec::DataVal { pos, .. } | Spec::Signature { pos, .. } => *pos,
+        }
+    }
+
+    /// The attribute term of the spec.
+    pub fn attr(&self) -> &AstTerm {
+        match self {
+            Spec::DataVal { attr, .. } | Spec::Signature { attr, .. } => attr,
+        }
+    }
 }
 
 /// A surface-level atom: an F-logic molecule or a low-level predicate atom.
@@ -72,6 +98,8 @@ pub enum Molecule {
         obj: AstTerm,
         /// The class.
         class: AstTerm,
+        /// Source position of the molecule's first token.
+        pos: Pos,
     },
     /// `sub :: sup`
     Sub {
@@ -79,6 +107,8 @@ pub enum Molecule {
         sub: AstTerm,
         /// The superclass.
         sup: AstTerm,
+        /// Source position of the molecule's first token.
+        pos: Pos,
     },
     /// `obj[spec, spec, …]` — one or more data/signature specs on an
     /// object. F-logic allows several specs in one molecule
@@ -88,6 +118,8 @@ pub enum Molecule {
         obj: AstTerm,
         /// The specs inside the brackets.
         specs: Vec<Spec>,
+        /// Source position of the molecule's first token.
+        pos: Pos,
     },
     /// `member(x, y)` etc. — low-level predicate notation.
     Pred {
@@ -95,7 +127,21 @@ pub enum Molecule {
         name: String,
         /// Arguments.
         args: Vec<AstTerm>,
+        /// Source position of the predicate name.
+        pos: Pos,
     },
+}
+
+impl Molecule {
+    /// Source position of the molecule's first token.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Molecule::Isa { pos, .. }
+            | Molecule::Sub { pos, .. }
+            | Molecule::Specs { pos, .. }
+            | Molecule::Pred { pos, .. } => *pos,
+        }
+    }
 }
 
 /// A query/rule: `name(head) :- body.`
@@ -107,6 +153,10 @@ pub struct AstQuery {
     pub head: Vec<AstTerm>,
     /// The body molecules (each may expand to several `P_FL` atoms).
     pub body: Vec<Molecule>,
+    /// Source position of the head predicate name.
+    pub pos: Pos,
+    /// Source position of each head term (parallel to `head`).
+    pub head_pos: Vec<Pos>,
 }
 
 /// A statement: a ground fact, a query, or an ad-hoc goal.

@@ -4,8 +4,12 @@ use std::fmt;
 
 use flogic_model::ModelError;
 
-/// Position of an error in the input (1-based line and column).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Position in the input (1-based line and column).
+///
+/// Used both for error reporting and for the spans the parser records on
+/// AST nodes (see [`crate::Molecule::pos`]). The `Default` value `0:0`
+/// marks a synthetic node with no source location.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Pos {
     /// 1-based line number.
     pub line: u32,

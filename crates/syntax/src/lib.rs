@@ -22,8 +22,6 @@
 //! (plus `type` likewise). Both `{1:*}` and `{1,*}` separators are accepted,
 //! mirroring the paper's own usage.
 
-#![forbid(unsafe_code)]
-
 mod ast;
 mod error;
 mod lexer;
@@ -32,11 +30,20 @@ mod pretty;
 mod translate;
 
 pub use ast::{AstQuery, AstTerm, Card, Molecule, Program, Spec, Statement};
-pub use error::{SyntaxError, SyntaxErrorKind};
+pub use error::{Pos, SyntaxError, SyntaxErrorKind};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use pretty::{atom_to_flogic, query_to_flogic, query_to_predicates};
 
 use flogic_model::{ConjunctiveQuery, Database};
+
+/// Parses a program into its surface AST without translating to `P_FL`.
+///
+/// This is the entry point for tooling that inspects programs *as written*
+/// (e.g. the `flogic-analysis` lints, which need molecule spans and the raw
+/// `_` occurrences that translation replaces with fresh variables).
+pub fn parse_ast(input: &str) -> Result<Program, SyntaxError> {
+    parser::parse(input)
+}
 
 /// Parses a single query/rule, e.g.
 /// `q(A,B) :- T1[A*=>T2], T2[B*=>_].`

@@ -1,7 +1,7 @@
 //! Recursive-descent parser for the F-logic Lite surface syntax.
 
 use crate::ast::{AstQuery, AstTerm, Card, Molecule, Program, Spec, Statement};
-use crate::error::{SyntaxError, SyntaxErrorKind};
+use crate::error::{Pos, SyntaxError, SyntaxErrorKind};
 use crate::lexer::{Lexer, Token, TokenKind};
 
 /// Parses a whole program.
@@ -82,7 +82,7 @@ impl Parser {
         if let TokenKind::LIdent(_) = &self.peek().kind {
             if *self.peek2() == TokenKind::LParen {
                 let save = self.idx;
-                let (name, args) = self.pred_shape()?;
+                let (name, pos, args, head_pos) = self.pred_shape()?;
                 if self.peek().kind == TokenKind::Implies {
                     self.bump();
                     let body = self.body()?;
@@ -90,6 +90,8 @@ impl Parser {
                         name,
                         head: args,
                         body,
+                        pos,
+                        head_pos,
                     }));
                 }
                 // Not a rule: re-interpret as a predicate-notation fact.
@@ -102,15 +104,22 @@ impl Parser {
     }
 
     /// `name(t1, …, tn)` — used for both query heads and predicate atoms.
-    fn pred_shape(&mut self) -> Result<(String, Vec<AstTerm>), SyntaxError> {
-        let name = match self.bump().kind {
+    /// Returns the name and its position, plus the arguments and their
+    /// positions (the two vectors are parallel).
+    #[allow(clippy::type_complexity)]
+    fn pred_shape(&mut self) -> Result<(String, Pos, Vec<AstTerm>, Vec<Pos>), SyntaxError> {
+        let tok = self.bump();
+        let pos = tok.pos;
+        let name = match tok.kind {
             TokenKind::LIdent(s) => s,
             _ => unreachable!("caller checked LIdent"),
         };
         self.eat(&TokenKind::LParen, "`(`")?;
         let mut args = Vec::new();
+        let mut arg_pos = Vec::new();
         if self.peek().kind != TokenKind::RParen {
             loop {
+                arg_pos.push(self.peek().pos);
                 args.push(self.term()?);
                 if self.peek().kind == TokenKind::Comma {
                     self.bump();
@@ -120,7 +129,7 @@ impl Parser {
             }
         }
         self.eat(&TokenKind::RParen, "`)`")?;
-        Ok((name, args))
+        Ok((name, pos, args, arg_pos))
     }
 
     fn body(&mut self) -> Result<Vec<Molecule>, SyntaxError> {
@@ -155,11 +164,12 @@ impl Parser {
     }
 
     fn molecule(&mut self) -> Result<Molecule, SyntaxError> {
+        let pos = self.peek().pos;
         // Predicate notation: lowercase name immediately followed by '('.
         if let TokenKind::LIdent(_) = &self.peek().kind {
             if *self.peek2() == TokenKind::LParen {
-                let (name, args) = self.pred_shape()?;
-                return Ok(Molecule::Pred { name, args });
+                let (name, pos, args, _) = self.pred_shape()?;
+                return Ok(Molecule::Pred { name, args, pos });
             }
         }
         let subject = self.term()?;
@@ -170,12 +180,17 @@ impl Parser {
                 Ok(Molecule::Isa {
                     obj: subject,
                     class,
+                    pos,
                 })
             }
             TokenKind::SubSym => {
                 self.bump();
                 let sup = self.term()?;
-                Ok(Molecule::Sub { sub: subject, sup })
+                Ok(Molecule::Sub {
+                    sub: subject,
+                    sup,
+                    pos,
+                })
             }
             TokenKind::LBracket => {
                 self.bump();
@@ -188,6 +203,7 @@ impl Parser {
                 Ok(Molecule::Specs {
                     obj: subject,
                     specs,
+                    pos,
                 })
             }
             _ => Err(self.unexpected("`:`, `::` or `[`")),
@@ -195,12 +211,13 @@ impl Parser {
     }
 
     fn spec(&mut self) -> Result<Spec, SyntaxError> {
+        let pos = self.peek().pos;
         let attr = self.term()?;
         match &self.peek().kind {
             TokenKind::Arrow => {
                 self.bump();
                 let value = self.term()?;
-                Ok(Spec::DataVal { attr, value })
+                Ok(Spec::DataVal { attr, value, pos })
             }
             TokenKind::LBrace => {
                 let card = self.cardinality()?;
@@ -210,6 +227,7 @@ impl Parser {
                     attr,
                     card: Some(card),
                     typ,
+                    pos,
                 })
             }
             TokenKind::SigArrow => {
@@ -219,6 +237,7 @@ impl Parser {
                     attr,
                     card: None,
                     typ,
+                    pos,
                 })
             }
             _ => Err(self.unexpected("`->`, `{` or `*=>`")),
@@ -306,7 +325,8 @@ mod tests {
             Spec::Signature {
                 attr: AstTerm::Const("age".into()),
                 card: Some(Card::ZeroOne),
-                typ: AstTerm::Const("number".into())
+                typ: AstTerm::Const("number".into()),
+                pos: Pos { line: 1, col: 8 },
             }
         );
         let Statement::Fact(Molecule::Specs { specs, .. }) = &p.statements[1] else {

@@ -28,19 +28,19 @@ impl FreshVars {
         }
         for m in &q.body {
             match m {
-                Molecule::Isa { obj, class } => {
+                Molecule::Isa { obj, class, .. } => {
                     note(obj);
                     note(class);
                 }
-                Molecule::Sub { sub, sup } => {
+                Molecule::Sub { sub, sup, .. } => {
                     note(sub);
                     note(sup);
                 }
-                Molecule::Specs { obj, specs } => {
+                Molecule::Specs { obj, specs, .. } => {
                     note(obj);
                     for s in specs {
                         match s {
-                            Spec::DataVal { attr, value } => {
+                            Spec::DataVal { attr, value, .. } => {
                                 note(attr);
                                 note(value);
                             }
@@ -92,23 +92,25 @@ fn term(t: &AstTerm, mode: &mut Mode<'_>) -> Result<Term, SyntaxError> {
 /// Expands one surface molecule into its `P_FL` atoms.
 fn molecule(m: &Molecule, mode: &mut Mode<'_>, out: &mut Vec<Atom>) -> Result<(), SyntaxError> {
     match m {
-        Molecule::Isa { obj, class } => {
+        Molecule::Isa { obj, class, .. } => {
             let (o, c) = (term(obj, mode)?, term(class, mode)?);
             out.push(Atom::member(o, c));
         }
-        Molecule::Sub { sub, sup } => {
+        Molecule::Sub { sub, sup, .. } => {
             let (s, p) = (term(sub, mode)?, term(sup, mode)?);
             out.push(Atom::sub(s, p));
         }
-        Molecule::Specs { obj, specs } => {
+        Molecule::Specs { obj, specs, .. } => {
             let o = term(obj, mode)?;
             for spec in specs {
                 match spec {
-                    Spec::DataVal { attr, value } => {
+                    Spec::DataVal { attr, value, .. } => {
                         let (a, v) = (term(attr, mode)?, term(value, mode)?);
                         out.push(Atom::data(o, a, v));
                     }
-                    Spec::Signature { attr, card, typ } => {
+                    Spec::Signature {
+                        attr, card, typ, ..
+                    } => {
                         let a = term(attr, mode)?;
                         match card {
                             Some(Card::ZeroOne) => out.push(Atom::funct(a, o)),
@@ -137,7 +139,7 @@ fn molecule(m: &Molecule, mode: &mut Mode<'_>, out: &mut Vec<Atom>) -> Result<()
                 }
             }
         }
-        Molecule::Pred { name, args } => {
+        Molecule::Pred { name, args, .. } => {
             let Some(pred) = Pred::from_name(name) else {
                 return Err(SyntaxError::whole_input(SyntaxErrorKind::UnknownPredicate(
                     name.clone(),
@@ -168,6 +170,8 @@ pub(crate) fn goal(body_molecules: &[Molecule]) -> Result<ConjunctiveQuery, Synt
         name: "ans".to_owned(),
         head: Vec::new(),
         body: body_molecules.to_vec(),
+        pos: crate::error::Pos::default(),
+        head_pos: Vec::new(),
     };
     let mut fresh = FreshVars::for_query(&as_query);
     let mut mode = Mode::Query(&mut fresh);

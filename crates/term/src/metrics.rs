@@ -1,7 +1,7 @@
 //! Lightweight cross-crate instrumentation.
 //!
 //! The containment hot path has three phases — chase materialization,
-//! homomorphism search, and (with a [`DecisionCache`]-style layer) cache
+//! homomorphism search, and (with a `DecisionCache`-style layer) cache
 //! lookups — and the benchmark harness wants to report how a workload
 //! splits across them. This module provides a process-global set of
 //! **atomic counters and wall-clock accumulators** that the `flogic-chase`,
@@ -28,6 +28,9 @@ pub struct Metrics {
     hom_nanos: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    analysis_early_false: AtomicU64,
+    analysis_early_true: AtomicU64,
+    analysis_chased: AtomicU64,
 }
 
 static GLOBAL: Metrics = Metrics {
@@ -37,6 +40,9 @@ static GLOBAL: Metrics = Metrics {
     hom_nanos: AtomicU64::new(0),
     cache_hits: AtomicU64::new(0),
     cache_misses: AtomicU64::new(0),
+    analysis_early_false: AtomicU64::new(0),
+    analysis_early_true: AtomicU64::new(0),
+    analysis_chased: AtomicU64::new(0),
 };
 
 impl Metrics {
@@ -69,6 +75,22 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a containment decided `false` by static analysis (no chase).
+    pub fn record_analysis_early_false(&self) {
+        self.analysis_early_false.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a containment decided `true` by static analysis (no chase).
+    pub fn record_analysis_early_true(&self) {
+        self.analysis_early_true.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a containment where analysis found no shortcut and the
+    /// full chase + hom search ran.
+    pub fn record_analysis_chased(&self) {
+        self.analysis_chased.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Times `f`, records the duration as a chase run, returns its result.
     pub fn time_chase<T>(&self, f: impl FnOnce() -> T) -> T {
         let t0 = Instant::now();
@@ -96,6 +118,9 @@ impl Metrics {
             hom_nanos: self.hom_nanos.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            analysis_early_false: self.analysis_early_false.load(Ordering::Relaxed),
+            analysis_early_true: self.analysis_early_true.load(Ordering::Relaxed),
+            analysis_chased: self.analysis_chased.load(Ordering::Relaxed),
         }
     }
 
@@ -107,6 +132,9 @@ impl Metrics {
         self.hom_nanos.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.analysis_early_false.store(0, Ordering::Relaxed);
+        self.analysis_early_true.store(0, Ordering::Relaxed);
+        self.analysis_chased.store(0, Ordering::Relaxed);
     }
 }
 
@@ -125,6 +153,13 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Containment-decision cache misses.
     pub cache_misses: u64,
+    /// Containments decided `false` by static analysis without a chase.
+    pub analysis_early_false: u64,
+    /// Containments decided `true` (vacuous) by static analysis without a
+    /// chase.
+    pub analysis_early_true: u64,
+    /// Containments where analysis found no shortcut and the chase ran.
+    pub analysis_chased: u64,
 }
 
 impl MetricsSnapshot {
@@ -137,7 +172,22 @@ impl MetricsSnapshot {
             hom_nanos: self.hom_nanos.saturating_sub(earlier.hom_nanos),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            analysis_early_false: self
+                .analysis_early_false
+                .saturating_sub(earlier.analysis_early_false),
+            analysis_early_true: self
+                .analysis_early_true
+                .saturating_sub(earlier.analysis_early_true),
+            analysis_chased: self.analysis_chased.saturating_sub(earlier.analysis_chased),
         }
+    }
+
+    /// Fraction of analysis-screened containment decisions answered
+    /// without a chase, or `None` when the analyzer saw no decisions.
+    pub fn analysis_early_rate(&self) -> Option<f64> {
+        let early = self.analysis_early_false + self.analysis_early_true;
+        let total = early + self.analysis_chased;
+        (total > 0).then(|| early as f64 / total as f64)
     }
 
     /// Cache hit rate in `[0, 1]`, or `None` when no lookups happened.
@@ -169,6 +219,11 @@ impl std::fmt::Display for MetricsSnapshot {
         if let Some(rate) = self.cache_hit_rate() {
             write!(f, " ({:.1}% hit rate)", rate * 100.0)?;
         }
+        write!(
+            f,
+            "; analysis: {} early-false / {} early-true / {} chased",
+            self.analysis_early_false, self.analysis_early_true, self.analysis_chased,
+        )?;
         Ok(())
     }
 }
@@ -219,6 +274,26 @@ mod tests {
         Metrics::global().record_cache_miss();
         let after = Metrics::global().snapshot();
         assert!(after.cache_misses > before.cache_misses);
+    }
+
+    #[test]
+    fn analysis_counters_accumulate_and_render() {
+        let m = Metrics::default();
+        assert_eq!(m.snapshot().analysis_early_rate(), None);
+        m.record_analysis_early_false();
+        m.record_analysis_early_false();
+        m.record_analysis_early_true();
+        m.record_analysis_chased();
+        let s = m.snapshot();
+        assert_eq!(s.analysis_early_false, 2);
+        assert_eq!(s.analysis_early_true, 1);
+        assert_eq!(s.analysis_chased, 1);
+        assert_eq!(s.analysis_early_rate(), Some(0.75));
+        assert!(s
+            .to_string()
+            .contains("analysis: 2 early-false / 1 early-true / 1 chased"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -1,30 +1,51 @@
 //! `flq` — command-line front end for the F-logic Lite toolkit.
 //!
 //! ```text
-//! flq contains  "<q1>" "<q2>"        decide q1 ⊆_ΣFL q2 (and the converse)
-//! flq explain   "<q1>" "<q2>"        prove the containment step by step
-//! flq chase     "<q>" [--bound N] [--dot]
+//! flq contains  "<q1>" "<q2>" [--threads N] [--no-analysis]
+//!                                    decide q1 ⊆_ΣFL q2 (and the converse)
+//! flq explain   "<q1>" "<q2>" [--threads N] [--no-analysis]
+//!                                    prove the containment step by step
+//! flq chase     "<q>" [--bound N] [--dot] [--threads N]
 //!                                    materialize the (bounded) chase
 //! flq minimize  "<q>"                Σ_FL-aware query minimisation
+//! flq lint      <file>               static analysis: coded diagnostics
+//!                                    (FL001…FL007) with line:col spans
 //! flq eval      <file>               run a program: facts are closed under
 //!                                    Σ_FL, goals/queries are answered
 //! ```
+//!
+//! Flags (an unknown flag is an error):
+//!
+//! * `--threads N` — worker threads for chase rule discovery; `1` (the
+//!   default) is fully sequential, `0` uses all available cores. The
+//!   decision never depends on it.
+//! * `--no-analysis` — skip the static fast paths of `flogic-analysis`
+//!   and always materialize the chase. Verdicts are identical either way.
+//! * `--bound N` — chase level bound for `flq chase` (default `2·|q|`).
+//! * `--dot` — emit the chase graph in Graphviz DOT format.
+//!
+//! `flq lint` exits 0 when the program is clean, 1 when any diagnostic
+//! (or a parse error) is reported, 2 on usage errors.
 //!
 //! Queries use the paper's syntax, e.g. `q(A,B) :- T1[A*=>T2], T2[B*=>_].`
 //! Program files mix facts (`john:student.`), rules and goals (`?- X::person.`).
 
 use std::process::ExitCode;
 
+use flogic_lite::analysis::lint_source;
 use flogic_lite::chase::{chase_bounded, to_dot, to_text, ChaseOptions};
-use flogic_lite::core::{classic_contains, contains, explain, minimize, ContainmentOptions};
+use flogic_lite::core::{classic_contains, contains_with, explain, minimize, ContainmentOptions};
 use flogic_lite::datalog::{answers, close_database, ClosureOptions};
+use flogic_lite::model::DepGraph;
 use flogic_lite::prelude::*;
 use flogic_lite::syntax::query_to_flogic;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flq contains <q1> <q2>\n  flq chase <q> [--bound N] [--dot]\n  \
-         flq explain <q1> <q2>\n  flq minimize <q>\n  flq eval <file>"
+        "usage:\n  flq contains <q1> <q2> [--threads N] [--no-analysis]\n  \
+         flq explain <q1> <q2> [--threads N] [--no-analysis]\n  \
+         flq chase <q> [--bound N] [--dot] [--threads N]\n  \
+         flq minimize <q>\n  flq lint <file>\n  flq eval <file>"
     );
     ExitCode::from(2)
 }
@@ -36,6 +57,7 @@ fn main() -> ExitCode {
         Some("explain") => cmd_explain(&args[1..]),
         Some("chase") => cmd_chase(&args[1..]),
         Some("minimize") => cmd_minimize(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         _ => usage(),
     }
@@ -48,15 +70,45 @@ fn parse_or_exit(src: &str) -> Result<flogic_lite::model::ConjunctiveQuery, Exit
     })
 }
 
+/// Splits `args` into positionals and containment options; any flag not
+/// listed in the module docs is a usage error.
+fn split_contains_args(args: &[String]) -> Result<(Vec<&String>, ContainmentOptions), ExitCode> {
+    let mut opts = ContainmentOptions::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.threads = n,
+                None => {
+                    eprintln!("error: --threads needs a number");
+                    return Err(usage());
+                }
+            },
+            "--no-analysis" => opts.analysis = false,
+            s if s.starts_with("--") => {
+                eprintln!("error: unknown flag `{s}`");
+                return Err(usage());
+            }
+            _ => positional.push(a),
+        }
+    }
+    Ok((positional, opts))
+}
+
 fn cmd_contains(args: &[String]) -> ExitCode {
-    let [q1_src, q2_src] = args else {
+    let (positional, opts) = match split_contains_args(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let [q1_src, q2_src] = positional.as_slice() else {
         return usage();
     };
     let (q1, q2) = match (parse_or_exit(q1_src), parse_or_exit(q2_src)) {
         (Ok(a), Ok(b)) => (a, b),
         _ => return ExitCode::FAILURE,
     };
-    let forward = match contains(&q1, &q2) {
+    let forward = match contains_with(&q1, &q2, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -67,10 +119,15 @@ fn cmd_contains(args: &[String]) -> ExitCode {
     println!("q2: {q2}");
     println!();
     println!(
-        "q1 ⊆_ΣFL q2:  {}{}",
+        "q1 ⊆_ΣFL q2:  {}{}{}",
         forward.holds(),
         if forward.is_vacuous() {
             "  (vacuous: q1 unsatisfiable)"
+        } else {
+            ""
+        },
+        if forward.decided_by_analysis() {
+            "  [decided statically, no chase]"
         } else {
             ""
         }
@@ -85,7 +142,7 @@ fn cmd_contains(args: &[String]) -> ExitCode {
         q1.size(),
         q2.size()
     );
-    if let Ok(back) = contains(&q2, &q1) {
+    if let Ok(back) = contains_with(&q2, &q1, &opts) {
         println!("q2 ⊆_ΣFL q1:  {}", back.holds());
     }
     if let Ok(classic) = classic_contains(&q1, &q2) {
@@ -95,18 +152,23 @@ fn cmd_contains(args: &[String]) -> ExitCode {
 }
 
 fn cmd_explain(args: &[String]) -> ExitCode {
-    let [q1_src, q2_src] = args else {
+    let (positional, opts) = match split_contains_args(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let [q1_src, q2_src] = positional.as_slice() else {
         return usage();
     };
     let (q1, q2) = match (parse_or_exit(q1_src), parse_or_exit(q2_src)) {
         (Ok(a), Ok(b)) => (a, b),
         _ => return ExitCode::FAILURE,
     };
-    match explain(&q1, &q2, &ContainmentOptions::default()) {
+    match explain(&q1, &q2, &opts) {
         Ok(e) => {
             println!("q1: {q1}");
             println!("q2: {q2}\n");
             println!("{e}");
+            print_invention_cycles(&q1, &q2);
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -114,6 +176,29 @@ fn cmd_explain(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Why the chase must be cut off at the Theorem 12 level bound: the
+/// `Σ_FL` dependency graph contains a cycle through ρ5's existential
+/// (value-inventing) edge, so the unrestricted chase need not terminate.
+fn print_invention_cycles(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) {
+    let cycles = DepGraph::sigma_fl().invention_cycles();
+    if cycles.is_empty() {
+        return;
+    }
+    println!();
+    for cycle in &cycles {
+        let path: Vec<String> = cycle.iter().map(|p| p.to_string()).collect();
+        println!(
+            "note: Σ_FL has a value-invention cycle {} -> (rho5, fresh value) -> {},",
+            path.join(" -> "),
+            path[0]
+        );
+    }
+    println!(
+        "      so the chase may be infinite and is cut at level 2*|q1|*|q2| = {} (Theorem 12).",
+        flogic_lite::core::theorem_bound(q1, q2)
+    );
 }
 
 fn cmd_chase(args: &[String]) -> ExitCode {
@@ -126,6 +211,7 @@ fn cmd_chase(args: &[String]) -> ExitCode {
     };
     let mut bound = 2 * q.size() as u32; // δ, a sensible default depth
     let mut dot = false;
+    let mut threads = 1;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -133,8 +219,15 @@ fn cmd_chase(args: &[String]) -> ExitCode {
                 Some(n) => bound = n,
                 None => return usage(),
             },
+            "--threads" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => threads = n,
+                None => return usage(),
+            },
             "--dot" => dot = true,
-            _ => return usage(),
+            s => {
+                eprintln!("error: unknown argument `{s}`");
+                return usage();
+            }
         }
     }
     let chase = chase_bounded(
@@ -142,7 +235,7 @@ fn cmd_chase(args: &[String]) -> ExitCode {
         &ChaseOptions {
             level_bound: bound,
             max_conjuncts: 1_000_000,
-            ..Default::default()
+            threads,
         },
     );
     if chase.is_failed() {
@@ -189,8 +282,49 @@ fn cmd_minimize(args: &[String]) -> ExitCode {
     }
 }
 
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    if path.starts_with("--") {
+        eprintln!("error: unknown flag `{path}`");
+        return usage();
+    }
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let diagnostics = match lint_source(&src) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if diagnostics.is_empty() {
+        println!("{path}: clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diagnostics {
+        println!("{path}:{d}");
+    }
+    let (errors, warnings) = diagnostics
+        .iter()
+        .fold((0, 0), |(e, w), d| match d.severity {
+            flogic_lite::analysis::Severity::Error => (e + 1, w),
+            flogic_lite::analysis::Severity::Warning => (e, w + 1),
+        });
+    eprintln!("{path}: {errors} error(s), {warnings} warning(s)");
+    ExitCode::FAILURE
+}
+
 fn cmd_eval(args: &[String]) -> ExitCode {
     let [path] = args else { return usage() };
+    if path.starts_with("--") {
+        eprintln!("error: unknown flag `{path}`");
+        return usage();
+    }
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {

@@ -17,7 +17,10 @@
 //!   chase graph of Definition 3;
 //! * [`hom`] — homomorphism search and query cores;
 //! * [`core`] — the containment decision procedure (Theorems 12 and 13);
-//! * [`gen`] — seeded random workload generators.
+//! * [`gen`] — seeded random workload generators;
+//! * [`analysis`] — static diagnostics (`FL001`…), the `Σ_FL` dependency
+//!   graph and the containment fast paths behind
+//!   [`ContainmentOptions::analysis`](flogic_core::ContainmentOptions).
 //!
 //! ## Quickstart
 //!
@@ -32,8 +35,7 @@
 //! assert!(!contains(&qq, &q).unwrap().holds());
 //! ```
 
-#![forbid(unsafe_code)]
-
+pub use flogic_analysis as analysis;
 pub use flogic_chase as chase;
 pub use flogic_core as core;
 pub use flogic_datalog as datalog;
@@ -45,6 +47,7 @@ pub use flogic_term as term;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use flogic_analysis::{analyze_program, lint_source, DiagCode, Diagnostic, Severity};
     pub use flogic_core::{contains, equivalent, ContainmentResult};
     pub use flogic_model::{Atom, ConjunctiveQuery, Database, Pred};
     pub use flogic_syntax::{parse_database, parse_goal, parse_program, parse_query};

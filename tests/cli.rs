@@ -14,6 +14,19 @@ fn flq(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+/// Like [`flq`] but returns the raw exit code (0 ok, 1 failure, 2 usage).
+fn flq_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flq"))
+        .args(args)
+        .output()
+        .expect("flq binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("flq exits normally"),
+    )
+}
+
 #[test]
 fn contains_reports_paper_example() {
     let (stdout, _, ok) = flq(&[
@@ -109,4 +122,103 @@ fn bad_usage_exits_nonzero() {
     let (_, stderr, ok) = flq(&["contains", "not a query", "q() :- sub(X,Y)."]);
     assert!(!ok);
     assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn unknown_flags_are_usage_errors() {
+    for args in [
+        &[
+            "contains",
+            "q() :- sub(X,Y).",
+            "p() :- sub(A,B).",
+            "--bogus",
+        ][..],
+        &["explain", "q() :- sub(X,Y).", "p() :- sub(A,B).", "--frob"][..],
+        &["chase", "q() :- sub(X,Y).", "--parallel"][..],
+        &["lint", "--bogus"][..],
+    ] {
+        let (_, stderr, code) = flq_code(args);
+        assert_eq!(code, 2, "args {args:?}: {stderr}");
+        assert!(stderr.contains("unknown"), "args {args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn threads_and_no_analysis_flags_accepted() {
+    let q1 = "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].";
+    let q2 = "qq(A,B) :- T1[A*=>T2], T2[B*=>_].";
+    let (with, _, ok) = flq(&["contains", q1, q2, "--threads", "2"]);
+    assert!(ok);
+    let (without, _, ok) = flq(&["contains", q1, q2, "--no-analysis"]);
+    assert!(ok);
+    // Same verdicts either way (the analysis toggle never changes them).
+    for line in ["q1 ⊆_ΣFL q2:  true", "q2 ⊆_ΣFL q1:  false"] {
+        assert!(with.contains(line), "{with}");
+        assert!(without.contains(line), "{without}");
+    }
+    let (_, _, ok) = flq(&["chase", "q() :- sub(X,Y).", "--threads", "2"]);
+    assert!(ok);
+}
+
+#[test]
+fn contains_reports_static_decision() {
+    // q1 only reaches sub; q2 needs data: decided without a chase.
+    let (stdout, _, ok) = flq(&["contains", "q(X) :- sub(X, Y).", "p(X) :- data(X, a, V)."]);
+    assert!(ok);
+    assert!(stdout.contains("decided statically"), "{stdout}");
+    let (stdout, _, ok) = flq(&[
+        "contains",
+        "q(X) :- sub(X, Y).",
+        "p(X) :- data(X, a, V).",
+        "--no-analysis",
+    ]);
+    assert!(ok);
+    assert!(!stdout.contains("decided statically"), "{stdout}");
+}
+
+#[test]
+fn explain_mentions_invention_cycle_and_bound() {
+    let (stdout, _, ok) = flq(&["explain", "q(X) :- member(X, c).", "p(X) :- sub(X, c)."]);
+    assert!(ok);
+    assert!(stdout.contains("value-invention cycle"), "{stdout}");
+    assert!(
+        stdout.contains("data[2] -> member[0] -> mandatory[1]"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Theorem 12"), "{stdout}");
+}
+
+#[test]
+fn lint_clean_file_exits_zero() {
+    let (stdout, stderr, code) = flq_code(&["lint", "examples/university.fl"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn lint_dirty_file_lists_coded_diagnostics() {
+    let dir = std::env::temp_dir().join("flq_lint_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("dirty.fl");
+    std::fs::write(
+        &path,
+        "john:student.\nq(A) :- member(A, student), sub(S, ghost).\n",
+    )
+    .unwrap();
+    let path = path.to_str().unwrap().to_owned();
+    let (stdout, stderr, code) = flq_code(&["lint", &path]);
+    assert_eq!(code, 1, "{stdout}{stderr}");
+    // Singleton S and the undeclared constant `ghost`, with line:col spans.
+    assert!(stdout.contains("FL001"), "{stdout}");
+    assert!(stdout.contains("FL005"), "{stdout}");
+    assert!(stdout.contains(":2:"), "{stdout}");
+    assert!(stderr.contains("warning(s)"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_missing_file_fails() {
+    let (_, stderr, code) = flq_code(&["lint", "/nonexistent/nope.fl"]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("error reading"), "{stderr}");
 }

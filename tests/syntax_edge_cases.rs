@@ -1,7 +1,9 @@
 //! Parser and printer edge cases across the whole surface grammar.
 
 use flogic_lite::prelude::*;
-use flogic_lite::syntax::{atom_to_flogic, parse_queries, query_to_flogic, SyntaxErrorKind};
+use flogic_lite::syntax::{
+    atom_to_flogic, parse_ast, parse_queries, query_to_flogic, Pos, SyntaxErrorKind,
+};
 
 #[test]
 fn whitespace_and_comments_everywhere() {
@@ -56,6 +58,59 @@ fn error_positions_are_accurate() {
     let pos = err.pos.expect("positioned error");
     assert_eq!(pos.line, 2);
     assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedChar('$')));
+}
+
+#[test]
+fn lexer_error_position_is_exact() {
+    // `$` is the 13th column of the second line.
+    let err = parse_query("q(A) :-\n  member(A, $).").unwrap_err();
+    assert_eq!(err.pos, Some(Pos { line: 2, col: 13 }));
+    assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedChar('$')));
+}
+
+#[test]
+fn parser_error_position_is_exact() {
+    // The unexpected `B` (a `,` or `)` was due) sits at line 2, column 12.
+    let err = parse_query("q(A) :-\n  member(A B).").unwrap_err();
+    assert_eq!(err.pos, Some(Pos { line: 2, col: 12 }));
+    assert!(matches!(err.kind, SyntaxErrorKind::UnexpectedToken { .. }));
+
+    // A rejected cardinality is reported at the opening `{` of the spec.
+    let err = parse_query("q(A) :-\n  T1[A *=> T2],\n  T2[A {1:1} *=> T3].").unwrap_err();
+    assert_eq!(err.pos, Some(Pos { line: 3, col: 8 }));
+    assert!(matches!(
+        err.kind,
+        SyntaxErrorKind::UnsupportedCardinality(_)
+    ));
+}
+
+#[test]
+fn analyzer_diagnostic_positions_are_exact() {
+    // The dirty molecule `sub(S, ghost)` starts at line 2, column 29:
+    // singleton `S` (FL001), undeclared `ghost` (FL005) and a dead `sub`
+    // atom (FL007, nothing derives `sub` from a member-only fact base)
+    // are all anchored there.
+    let src = "john:student.\nq(A) :- member(A, student), sub(S, ghost).\n";
+    let diags = lint_source(src).unwrap();
+    let anchor = Pos { line: 2, col: 29 };
+    let codes: Vec<(&str, Pos)> = diags.iter().map(|d| (d.code.code(), d.pos)).collect();
+    assert_eq!(
+        codes,
+        vec![("FL001", anchor), ("FL005", anchor), ("FL007", anchor)],
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn ast_spans_track_molecules_across_lines() {
+    let program = parse_ast("john:student.\n\nq(A) :-\n  member(A, student),\n  A[name -> N].")
+        .expect("parses");
+    let flogic_lite::syntax::Statement::Query(q) = &program.statements[1] else {
+        panic!("second statement is the query");
+    };
+    assert_eq!(q.pos, Pos { line: 3, col: 1 });
+    assert_eq!(q.body[0].pos(), Pos { line: 4, col: 3 });
+    assert_eq!(q.body[1].pos(), Pos { line: 5, col: 3 });
 }
 
 #[test]
