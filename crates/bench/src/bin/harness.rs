@@ -12,7 +12,9 @@
 //! and exported as CSV under `bench_results/`; each experiment is followed
 //! by the engine metrics it accumulated (chase and hom wall-clock, cache
 //! hits/misses, and the static-analysis fast-path counters, which are also
-//! exported as `bench_results/analysis_counters.csv`).
+//! exported as `bench_results/analysis_counters.csv`). Resource-governor
+//! stops (deadline hits, budget hits, cancellations) are tracked per
+//! experiment and exported as `bench_results/governor_counters.csv`.
 
 use std::path::PathBuf;
 
@@ -85,6 +87,15 @@ fn main() {
         "Static-analysis fast-path counters per experiment",
         &["experiment", "early_false", "early_true", "chased"],
     );
+    let mut governor = Table::new(
+        "Resource-governor stops per experiment",
+        &[
+            "experiment",
+            "deadline_hits",
+            "budget_hits",
+            "cancellations",
+        ],
+    );
     for id in &ids {
         let before = Metrics::global().snapshot();
         let Some(output) = run(id, quick, threads) else {
@@ -113,9 +124,18 @@ fn main() {
             delta.analysis_early_true.to_string(),
             delta.analysis_chased.to_string(),
         ]);
+        governor.push(vec![
+            id.clone(),
+            delta.governor_deadline_hits.to_string(),
+            delta.governor_budget_hits.to_string(),
+            delta.governor_cancellations.to_string(),
+        ]);
     }
     if let Err(e) = counters.write_csv(&dir.join("analysis_counters.csv")) {
         eprintln!("warning: could not write analysis_counters.csv: {e}");
+    }
+    if let Err(e) = governor.write_csv(&dir.join("governor_counters.csv")) {
+        eprintln!("warning: could not write governor_counters.csv: {e}");
     }
     println!("CSV exports written to {}/", dir.display());
 }

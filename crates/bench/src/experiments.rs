@@ -167,7 +167,8 @@ pub fn e3() -> ExperimentOutput {
             max_conjuncts: 100_000,
             ..Default::default()
         },
-    );
+    )
+    .expect("sequential chase cannot fail");
 
     let mut census = Table::new(
         "E3: Example 2 chase census per level (the rho5-rho1-rho6-rho10 pump)",
@@ -272,11 +273,11 @@ pub fn e4(pairs: usize, dbs_per_pair: u64) -> ExperimentOutput {
             }
         };
         let verdict = match contains_with(&q1, &q2, &copts) {
-            Ok(v) => v,
-            Err(flogic_core::CoreError::ResourcesExhausted { .. }) => {
+            Ok(v) if v.is_exhausted() => {
                 n_capped += 1;
                 continue;
             }
+            Ok(v) => v,
             Err(e) => panic!("unexpected error: {e}"),
         };
         if verdict.is_vacuous() {
@@ -300,8 +301,7 @@ pub fn e4(pairs: usize, dbs_per_pair: u64) -> ExperimentOutput {
                     naive_agree += 1;
                 }
             }
-            Ok(naive::NaiveOutcome::Unknown)
-            | Err(flogic_core::CoreError::ResourcesExhausted { .. }) => {}
+            Ok(naive::NaiveOutcome::Unknown) | Err(flogic_core::CoreError::Exhausted { .. }) => {}
             Err(e) => panic!("unexpected error: {e}"),
         }
 
@@ -445,7 +445,12 @@ pub fn e5(reps: usize) -> ExperimentOutput {
 
     let mut random = Table::new(
         "E5c: random workload — median time over 20 random pairs per size",
-        &["|q1| = |q2|", "median_us", "contained_fraction"],
+        &[
+            "|q1| = |q2|",
+            "median_us",
+            "contained_fraction",
+            "exhausted",
+        ],
     );
     for &n in &[2usize, 4, 8, 12] {
         let cfg = QueryGenConfig {
@@ -457,6 +462,7 @@ pub fn e5(reps: usize) -> ExperimentOutput {
         let mut times = Vec::new();
         let mut held = 0usize;
         let mut total = 0usize;
+        let mut exhausted = 0usize;
         for seed in 0..20u64 {
             let q1 = random_query(&cfg, &mut rng(seed * 7 + n as u64));
             let q2 = generalize(
@@ -470,9 +476,12 @@ pub fn e5(reps: usize) -> ExperimentOutput {
                 max_conjuncts: 50_000,
                 ..Default::default()
             };
-            let Ok(r) = contains_with(&q1, &q2, &copts) else {
-                continue; // resource-capped pair: excluded from the medians
-            };
+            let r = contains_with(&q1, &q2, &copts).expect("arity ok");
+            if r.is_exhausted() {
+                // Resource-capped pair: excluded from the medians.
+                exhausted += 1;
+                continue;
+            }
             times.push(t0.elapsed());
             total += 1;
             if r.holds() {
@@ -484,6 +493,7 @@ pub fn e5(reps: usize) -> ExperimentOutput {
             n.to_string(),
             micros(times[times.len() / 2]),
             format!("{held}/{total}"),
+            exhausted.to_string(),
         ]);
     }
 
@@ -568,9 +578,10 @@ pub fn e6(pairs: u64) -> ExperimentOutput {
                 max_conjuncts: 50_000,
                 ..Default::default()
             };
-            let Ok(r) = contains_with(&q1, &q2, &copts) else {
+            let r = contains_with(&q1, &q2, &copts).expect("arity ok");
+            if r.is_exhausted() {
                 continue; // resource-capped pair
-            };
+            }
             total += 1;
             let c = classic_contains(&q1, &q2).expect("arity ok");
             let s = r.holds();
@@ -867,8 +878,10 @@ pub fn e9(distinct: usize, repeats: usize, threads: usize) -> ExperimentOutput {
                 level_bound: 11,
                 max_conjuncts: 500_000,
                 threads: workers,
+                ..Default::default()
             },
         )
+        .expect("no worker failure expected")
     };
     let baseline = chase_at(1);
     let mut pt = Table::new(

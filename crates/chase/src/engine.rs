@@ -2,23 +2,30 @@
 //! discipline of Section 4).
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use flogic_model::{
     sigma_fl, Atom, ConjunctiveQuery, Pred, RuleId, SigmaRule, Tgd, SIGMA_RULE_COUNT,
 };
-use flogic_term::{NullGen, Subst, Term};
+use flogic_term::{Metrics, NullGen, Subst, Term};
 
+use crate::governor::{Budget, ChaseError, ExhaustReason};
 use crate::graph::{ChaseArc, ConjunctId};
 
+/// How many candidates the apply loop processes between governor
+/// checkpoints. Checkpoints only read state, so the constant trades check
+/// latency against overhead — it never affects which applications happen.
+const CHECK_EVERY: u64 = 1024;
+
 /// Tuning knobs for a chase run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ChaseOptions {
     /// Maximum conjunct level; applications that would create a conjunct
     /// beyond this level are skipped (Theorem 12 needs levels up to
     /// `2·|q1|·|q2|` only).
     pub level_bound: u32,
     /// Safety cap on the number of conjuncts; exceeded ⇒
-    /// [`ChaseOutcome::Truncated`].
+    /// [`ChaseOutcome::Exhausted`] with [`ExhaustReason::Conjuncts`].
     pub max_conjuncts: usize,
     /// Worker threads for discovering applicable rule instances in each
     /// frontier batch. `1` (the default) runs fully sequentially; `0`
@@ -27,6 +34,9 @@ pub struct ChaseOptions {
     /// frozen snapshot, and applications are merged back in frontier
     /// order regardless of which worker found them.
     pub threads: usize,
+    /// Resource budget (deadline, step/byte caps, cancellation). The
+    /// default is unlimited.
+    pub budget: Budget,
 }
 
 impl Default for ChaseOptions {
@@ -35,6 +45,7 @@ impl Default for ChaseOptions {
             level_bound: u32::MAX,
             max_conjuncts: 1_000_000,
             threads: 1,
+            budget: Budget::default(),
         }
     }
 }
@@ -56,8 +67,20 @@ pub enum ChaseOutcome {
         /// The other clashing constant.
         right: Term,
     },
-    /// The `max_conjuncts` safety cap was hit; the chase is a prefix.
-    Truncated,
+    /// A resource limit stopped the run; the chase is a well-formed
+    /// prefix. Partial progress is still observable through
+    /// [`Chase::len`], [`Chase::max_level`] and [`Chase::stats`].
+    Exhausted {
+        /// Which limit fired.
+        reason: ExhaustReason,
+    },
+}
+
+impl ChaseOutcome {
+    /// True when a resource limit stopped the run.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, ChaseOutcome::Exhausted { .. })
+    }
 }
 
 /// Counters describing a chase run.
@@ -71,6 +94,10 @@ pub struct ChaseStats {
     pub cross_arcs: usize,
     /// Labelled nulls invented by ρ5.
     pub nulls_invented: u64,
+    /// Resolution steps: candidate rule instances examined by the apply
+    /// loop (whether or not they produced a conjunct). This is the unit
+    /// the [`Budget::max_steps`] cap counts in.
+    pub steps: u64,
 }
 
 impl ChaseStats {
@@ -152,7 +179,10 @@ impl Chase {
             record_cross: false,
         };
         for atom in q.body() {
-            chase.insert(*atom, 0, None, Vec::new());
+            if chase.insert(*atom, 0, None, Vec::new()).is_none() {
+                chase.exhaust(ExhaustReason::Conjuncts);
+                break;
+            }
         }
         chase
     }
@@ -171,18 +201,21 @@ impl Chase {
         self.redirect[id.index()] == id.0
     }
 
-    /// Inserts `atom` if not present; returns `(root id, was_new)`.
+    /// Inserts `atom` if not present; returns `(root id, was_new)`, or
+    /// `None` when the `u32` conjunct-id space is exhausted (the caller
+    /// stops the run with [`ExhaustReason::Conjuncts`] instead of
+    /// panicking — no input, however oversized, aborts the process).
     fn insert(
         &mut self,
         atom: Atom,
         level: u32,
         rule: Option<RuleId>,
         parents: Vec<ConjunctId>,
-    ) -> (ConjunctId, bool) {
+    ) -> Option<(ConjunctId, bool)> {
         if let Some(&id) = self.canon.get(&atom) {
-            return (id, false);
+            return Some((id, false));
         }
-        let id = ConjunctId(u32::try_from(self.nodes.len()).expect("chase too large"));
+        let id = ConjunctId(u32::try_from(self.nodes.len()).ok()?);
         self.nodes.push(Node {
             atom,
             level,
@@ -198,7 +231,7 @@ impl Chase {
                 .or_default()
                 .push(id);
         }
-        (id, true)
+        Some((id, true))
     }
 
     /// Candidate conjuncts for matching `pattern` under the partial rule
@@ -324,6 +357,56 @@ impl Chase {
     /// True if the construction failed (ρ4 on two distinct constants).
     pub fn is_failed(&self) -> bool {
         matches!(self.outcome, ChaseOutcome::Failed { .. })
+    }
+
+    /// True if a resource limit stopped the run (the chase is a prefix).
+    pub fn is_exhausted(&self) -> bool {
+        self.outcome.is_exhausted()
+    }
+
+    /// Approximate bytes materialized by the chase graph: node storage,
+    /// arcs, and an estimate of the per-entry index overhead. This is the
+    /// quantity [`Budget::max_bytes`] caps — a bookkeeping estimate, not
+    /// an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // Each node also appears in `canon`, `by_pred` and (per argument)
+        // `by_pos`; 64 bytes is a deliberately rough per-node estimate of
+        // that index overhead.
+        self.nodes.len() * (size_of::<Node>() + 64)
+            + self.arcs.len() * (size_of::<ChaseArc>() + size_of::<(u32, u32, RuleId, bool)>())
+            + self.by_pos.len() * size_of::<(Pred, u8, Term)>()
+    }
+
+    /// Stops the run with an [`ChaseOutcome::Exhausted`] outcome and
+    /// bumps the matching governor counter.
+    fn exhaust(&mut self, reason: ExhaustReason) {
+        self.outcome = ChaseOutcome::Exhausted { reason };
+        let m = Metrics::global();
+        match reason {
+            ExhaustReason::Deadline => m.record_governor_deadline(),
+            ExhaustReason::Cancelled => m.record_governor_cancellation(),
+            ExhaustReason::Conjuncts | ExhaustReason::Steps | ExhaustReason::Bytes => {
+                m.record_governor_budget()
+            }
+        }
+    }
+
+    /// Returns the first exceeded limit, if any. A pure read: calling it
+    /// (at whatever frequency) never changes which rule applications
+    /// happen, so governed runs that stay within budget are bit-identical
+    /// to ungoverned ones.
+    fn governor_checkpoint(&self, budget: &Budget) -> Option<ExhaustReason> {
+        if budget.cancel.is_cancelled() {
+            return Some(ExhaustReason::Cancelled);
+        }
+        if budget.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(ExhaustReason::Deadline);
+        }
+        if budget.max_bytes.is_some_and(|mb| self.approx_bytes() >= mb) {
+            return Some(ExhaustReason::Bytes);
+        }
+        None
     }
 
     /// Run statistics.
@@ -598,22 +681,37 @@ impl Chase {
     /// results are concatenated in frontier order, so the returned
     /// candidate sequence is a pure function of the chase state — the
     /// thread count affects wall-clock time only, never the result.
-    fn discover(&self, tgds: &[&Tgd], frontier: &[ConjunctId], threads: usize) -> Vec<Candidate> {
+    /// A worker panic is caught at the join and surfaced as
+    /// [`ChaseError::WorkerFailed`] instead of unwinding through the
+    /// scope: one poisoned query pair must not abort the process (or a
+    /// whole `contains_batch`). Every handle is joined before returning,
+    /// so no worker outlives the call even on failure.
+    fn discover(
+        &self,
+        tgds: &[&Tgd],
+        frontier: &[ConjunctId],
+        threads: usize,
+    ) -> Result<Vec<Candidate>, ChaseError> {
         let threads = threads.min(frontier.len());
         if threads <= 1 {
             let mut out = Vec::new();
             for &id in frontier {
                 self.collect_candidates(tgds, id, &mut out);
             }
-            return out;
+            return Ok(out);
         }
         let chunk_size = frontier.len().div_ceil(threads);
         let mut per_chunk: Vec<Vec<Candidate>> = Vec::with_capacity(threads);
+        let mut failure: Option<ChaseError> = None;
         std::thread::scope(|scope| {
             let handles: Vec<_> = frontier
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || {
+                        #[cfg(test)]
+                        if INJECT_WORKER_PANIC.load(std::sync::atomic::Ordering::Relaxed) {
+                            panic!("injected discovery worker panic");
+                        }
                         let mut out = Vec::new();
                         for &id in chunk {
                             self.collect_candidates(tgds, id, &mut out);
@@ -622,12 +720,24 @@ impl Chase {
                     })
                 })
                 .collect();
-            // Joining in spawn order is the deterministic merge step.
+            // Joining in spawn order is the deterministic merge step. Keep
+            // joining after a failure so the scope exits with every worker
+            // accounted for (an unjoined panicked handle would re-panic).
             for h in handles {
-                per_chunk.push(h.join().expect("chase discovery worker panicked"));
+                match h.join() {
+                    Ok(chunk) => per_chunk.push(chunk),
+                    Err(payload) => {
+                        failure.get_or_insert(ChaseError::WorkerFailed {
+                            detail: panic_detail(payload.as_ref()),
+                        });
+                    }
+                }
             }
         });
-        per_chunk.into_iter().flatten().collect()
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(per_chunk.into_iter().flatten().collect()),
+        }
     }
 
     /// Runs the chase with the given rules until fixpoint (up to the level
@@ -644,19 +754,29 @@ impl Chase {
     /// conjunct is pinned in a later round, so no application is ever
     /// missed; a ρ4 merge resets the frontier to every live conjunct, as
     /// merges can enable matches among old conjuncts.
-    fn run(&mut self, tgds: &[&Tgd], opts: &ChaseOptions) {
+    /// Returns `Err` only for a true engine failure (a panicked discovery
+    /// worker); budget exhaustion is *not* an error — it ends the run
+    /// early with [`ChaseOutcome::Exhausted`] and the partial chase
+    /// intact. The governor is observed at frontier-round boundaries plus
+    /// every [`CHECK_EVERY`] candidates inside a round; the step cap is
+    /// checked per candidate because it is the deterministic limit.
+    fn run(&mut self, tgds: &[&Tgd], opts: &ChaseOptions) -> Result<(), ChaseError> {
         let threads = if opts.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             opts.threads
         };
+        // Keep the conjunct cap below the `u32` id space so `insert` can
+        // never run out of ids before the cap fires.
+        let max_conjuncts = opts.max_conjuncts.min(u32::MAX as usize - 1);
+        let governed = !opts.budget.is_unlimited();
         let mut frontier: Vec<ConjunctId> = self.live_ids();
 
         // Initial EGD drain (the query body itself may violate ρ4).
         match self.egd_fixpoint() {
             Err((l, r)) => {
                 self.outcome = ChaseOutcome::Failed { left: l, right: r };
-                return;
+                return Ok(());
             }
             Ok(true) => {
                 frontier = self.live_ids();
@@ -665,11 +785,30 @@ impl Chase {
         }
 
         while !frontier.is_empty() {
-            let candidates = self.discover(tgds, &frontier, threads);
+            if governed {
+                if let Some(reason) = self.governor_checkpoint(&opts.budget) {
+                    self.exhaust(reason);
+                    return Ok(());
+                }
+            }
+            let candidates = self.discover(tgds, &frontier, threads)?;
 
             let mut next: Vec<ConjunctId> = Vec::new();
             let mut added_any = false;
             for cand in candidates {
+                self.stats.steps += 1;
+                if let Some(max_steps) = opts.budget.max_steps {
+                    if self.stats.steps > max_steps {
+                        self.exhaust(ExhaustReason::Steps);
+                        return Ok(());
+                    }
+                }
+                if governed && self.stats.steps.is_multiple_of(CHECK_EVERY) {
+                    if let Some(reason) = self.governor_checkpoint(&opts.budget) {
+                        self.exhaust(reason);
+                        return Ok(());
+                    }
+                }
                 // Re-validate against conjuncts added earlier in this
                 // round (the snapshot the candidate was discovered on is
                 // one round old by now).
@@ -702,12 +841,16 @@ impl Chase {
                             self.hit_bound = true;
                             continue;
                         }
-                        if self.nodes.len() >= opts.max_conjuncts {
-                            self.outcome = ChaseOutcome::Truncated;
-                            return;
+                        if self.nodes.len() >= max_conjuncts {
+                            self.exhaust(ExhaustReason::Conjuncts);
+                            return Ok(());
                         }
-                        let (nid, new) =
-                            self.insert(head, new_level, Some(cand.rule), parents.clone());
+                        let Some((nid, new)) =
+                            self.insert(head, new_level, Some(cand.rule), parents.clone())
+                        else {
+                            self.exhaust(ExhaustReason::Conjuncts);
+                            return Ok(());
+                        };
                         debug_assert!(new);
                         self.stats.applications[cand.rule.index()] += 1;
                         for &p in &parents {
@@ -747,17 +890,21 @@ impl Chase {
                             self.hit_bound = true;
                             continue;
                         }
-                        if self.nodes.len() >= opts.max_conjuncts {
-                            self.outcome = ChaseOutcome::Truncated;
-                            return;
+                        if self.nodes.len() >= max_conjuncts {
+                            self.exhaust(ExhaustReason::Conjuncts);
+                            return Ok(());
                         }
                         let fresh = Term::Null(self.nulls.fresh());
                         self.stats.nulls_invented += 1;
                         let mut s = Subst::new();
                         s.bind(ex, fresh);
                         let head = head.apply(&s);
-                        let (nid, new) =
-                            self.insert(head, new_level, Some(cand.rule), parents.clone());
+                        let Some((nid, new)) =
+                            self.insert(head, new_level, Some(cand.rule), parents.clone())
+                        else {
+                            self.exhaust(ExhaustReason::Conjuncts);
+                            return Ok(());
+                        };
                         debug_assert!(new);
                         self.stats.applications[cand.rule.index()] += 1;
                         for &p in &parents {
@@ -774,7 +921,7 @@ impl Chase {
                 match self.egd_fixpoint() {
                     Err((l, r)) => {
                         self.outcome = ChaseOutcome::Failed { left: l, right: r };
-                        return;
+                        return Ok(());
                     }
                     Ok(true) => {
                         // Merges may enable matches among old conjuncts:
@@ -792,6 +939,7 @@ impl Chase {
         } else {
             ChaseOutcome::Completed
         };
+        Ok(())
     }
 
     fn live_ids(&self) -> Vec<ConjunctId> {
@@ -808,6 +956,23 @@ impl Chase {
         for n in &mut self.nodes {
             n.level = 0;
         }
+    }
+}
+
+/// Test-only switch that makes every spawned discovery worker panic, so
+/// the join-error path is exercisable without a genuinely buggy rule.
+#[cfg(test)]
+static INJECT_WORKER_PANIC: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Renders a worker's panic payload for [`ChaseError::WorkerFailed`].
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -836,24 +1001,35 @@ fn sigma_tgds(include_rho5: bool) -> Vec<&'static Tgd> {
 /// assert!(chase.find(&derived).is_some());
 /// ```
 pub fn chase_minus(q: &ConjunctiveQuery) -> Chase {
-    chase_minus_with(q, &ChaseOptions::default())
+    match chase_minus_with(q, &ChaseOptions::default()) {
+        Ok(chase) => chase,
+        // Default options run sequentially (threads = 1): no discovery
+        // worker is ever spawned, so WorkerFailed cannot occur.
+        Err(e) => unreachable!("sequential chase⁻ cannot fail: {e}"),
+    }
 }
 
-/// [`chase_minus`] with explicit options. Only
-/// [`ChaseOptions::max_conjuncts`] and [`ChaseOptions::threads`] are
-/// honoured — `chase⁻` terminates on its own and ignores the level bound
-/// (all of its conjuncts are at level 0 by convention).
-pub fn chase_minus_with(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Chase {
-    flogic_term::Metrics::global().time_chase(|| {
+/// [`chase_minus`] with explicit options. The level bound is ignored —
+/// `chase⁻` terminates on its own and all of its conjuncts are at level 0
+/// by convention — but the conjunct cap, thread count, and budget are
+/// honoured.
+///
+/// `Err` means a discovery worker panicked ([`ChaseError::WorkerFailed`]);
+/// budget exhaustion is reported through [`ChaseOutcome::Exhausted`] on
+/// the returned (partial) chase instead.
+pub fn chase_minus_with(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Chase, ChaseError> {
+    Metrics::global().time_chase(|| {
         let mut chase = Chase::new(q);
+        if chase.is_exhausted() {
+            return Ok(chase);
+        }
         let opts = ChaseOptions {
             level_bound: u32::MAX,
-            max_conjuncts: opts.max_conjuncts,
-            threads: opts.threads,
+            ..opts.clone()
         };
-        chase.run(&sigma_tgds(false), &opts);
+        chase.run(&sigma_tgds(false), &opts)?;
         chase.reset_levels();
-        chase
+        Ok(chase)
     })
 }
 
@@ -863,22 +1039,30 @@ pub fn chase_minus_with(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Chase {
 ///
 /// With `level_bound = 2·|q1|·|q2|` this is exactly the prefix that
 /// Theorem 12 proves sufficient for containment checking.
-pub fn chase_bounded(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Chase {
-    flogic_term::Metrics::global().time_chase(|| {
+///
+/// Both phases observe the same [`ChaseOptions::budget`] (step counts and
+/// the conjunct cap accumulate across them). `Err` means a discovery
+/// worker panicked; exhaustion ends the run early with
+/// [`ChaseOutcome::Exhausted`] and the partial chase intact.
+pub fn chase_bounded(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Chase, ChaseError> {
+    Metrics::global().time_chase(|| {
         let mut chase = Chase::new(q);
+        if chase.is_exhausted() {
+            return Ok(chase);
+        }
         let prelim = ChaseOptions {
-            threads: opts.threads,
-            ..ChaseOptions::default()
+            level_bound: u32::MAX,
+            ..opts.clone()
         };
-        chase.run(&sigma_tgds(false), &prelim);
-        if chase.is_failed() {
-            return chase;
+        chase.run(&sigma_tgds(false), &prelim)?;
+        if chase.is_failed() || chase.is_exhausted() {
+            return Ok(chase);
         }
         chase.reset_levels();
         chase.hit_bound = false;
         chase.record_cross = true;
-        chase.run(&sigma_tgds(true), opts);
-        chase
+        chase.run(&sigma_tgds(true), opts)?;
+        Ok(chase)
     })
 }
 
@@ -960,7 +1144,8 @@ mod tests {
                 max_conjuncts: 100_000,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(chase.outcome(), ChaseOutcome::LevelBounded);
         // The ρ5-ρ1-ρ6-ρ10 pump: data(T,A,_v1), member(_v1,T), type(_v1,A,T),
         // mandatory(A,_v1), then data(_v1,A,_v2), ...
@@ -992,7 +1177,8 @@ mod tests {
                 max_conjuncts: 100_000,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(chase.outcome(), ChaseOutcome::Completed);
         // ρ5 invents one value; ρ1 types it; ρ6/ρ10 do not cycle since u
         // has no mandatory attribute.
@@ -1020,7 +1206,8 @@ mod tests {
                 max_conjuncts: 100_000,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(chase.outcome(), ChaseOutcome::Completed);
         assert_eq!(chase.stats().nulls_invented, 0);
     }
@@ -1035,7 +1222,8 @@ mod tests {
                 max_conjuncts: 100_000,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         // data at level 1, member at 2, type at 3, mandatory at 3 (type,
         // member parents), next data at 4 ... strictly increasing chain.
         let mut levels: Vec<u32> = chase
@@ -1060,7 +1248,8 @@ mod tests {
                 max_conjuncts: 100_000,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(chase.arcs().any(|a| a.cross), "at least one cross-arc");
     }
 
@@ -1085,9 +1274,137 @@ mod tests {
                 max_conjuncts: 40,
                 ..Default::default()
             },
+        )
+        .unwrap();
+        assert_eq!(
+            chase.outcome(),
+            ChaseOutcome::Exhausted {
+                reason: ExhaustReason::Conjuncts
+            }
         );
-        assert_eq!(chase.outcome(), ChaseOutcome::Truncated);
         assert!(chase.len() <= 41);
+    }
+
+    #[test]
+    fn worker_panic_is_caught_as_worker_failed() {
+        // The injection flag makes every spawned discovery worker panic;
+        // the sequential path spawns none, so only threaded runs fail.
+        let q = parse_query("q(X) :- member(X, c1), sub(c1, c2), sub(c2, c3).").unwrap();
+        INJECT_WORKER_PANIC.store(true, std::sync::atomic::Ordering::Relaxed);
+        let threaded = chase_minus_with(
+            &q,
+            &ChaseOptions {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        let sequential = chase_minus_with(&q, &ChaseOptions::default());
+        INJECT_WORKER_PANIC.store(false, std::sync::atomic::Ordering::Relaxed);
+        match threaded {
+            Err(ChaseError::WorkerFailed { detail }) => {
+                assert!(detail.contains("injected"), "{detail}");
+            }
+            other => panic!("expected WorkerFailed, got {other:?}"),
+        }
+        // The process survived, and the sequential engine is unaffected.
+        assert_eq!(sequential.unwrap().outcome(), ChaseOutcome::Completed);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_round_one() {
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T).").unwrap();
+        let budget = Budget::default();
+        budget.cancel.cancel();
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                budget,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            chase.outcome(),
+            ChaseOutcome::Exhausted {
+                reason: ExhaustReason::Cancelled
+            }
+        );
+        // Only the query body was materialized: the token was observed at
+        // the first checkpoint, before any frontier round ran.
+        assert_eq!(chase.len(), q.size());
+    }
+
+    #[test]
+    fn elapsed_deadline_exhausts_immediately() {
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T).").unwrap();
+        let budget = Budget::with_timeout(std::time::Duration::ZERO);
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                budget,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            chase.outcome(),
+            ChaseOutcome::Exhausted {
+                reason: ExhaustReason::Deadline
+            }
+        );
+        assert!(chase.len() >= q.size(), "partial chase retained");
+    }
+
+    #[test]
+    fn step_budget_is_deterministic_across_thread_counts() {
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
+        let run = |threads: usize| {
+            chase_bounded(
+                &q,
+                &ChaseOptions {
+                    threads,
+                    budget: Budget::unlimited().steps(200),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let a = run(1);
+        assert_eq!(
+            a.outcome(),
+            ChaseOutcome::Exhausted {
+                reason: ExhaustReason::Steps
+            }
+        );
+        for threads in [2, 4] {
+            let b = run(threads);
+            assert_eq!(a.outcome(), b.outcome());
+            assert_eq!(a.len(), b.len(), "threads={threads}");
+            assert_eq!(a.stats(), b.stats(), "threads={threads}");
+            assert_eq!(a.max_level(), b.max_level(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn byte_budget_exhausts_pump() {
+        let q = parse_query("q() :- mandatory(A, T), type(T, A, T).").unwrap();
+        let chase = chase_bounded(
+            &q,
+            &ChaseOptions {
+                budget: Budget::unlimited().bytes(16 * 1024),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            chase.outcome(),
+            ChaseOutcome::Exhausted {
+                reason: ExhaustReason::Bytes
+            }
+        );
+        // The estimate is checked at round boundaries, so the overshoot is
+        // at most one round of the pump.
+        assert!(chase.approx_bytes() < 10 * 16 * 1024);
     }
 
     #[test]

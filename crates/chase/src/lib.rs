@@ -25,6 +25,7 @@
 mod cycles;
 mod dot;
 mod engine;
+mod governor;
 mod graph;
 mod paths;
 
@@ -33,6 +34,7 @@ pub use dot::{to_dot, to_text};
 pub use engine::{
     chase_bounded, chase_minus, chase_minus_with, Chase, ChaseOptions, ChaseOutcome, ChaseStats,
 };
+pub use governor::{Budget, CancelToken, ChaseError, ExhaustReason};
 pub use graph::{
     equivalent_conjuncts, locality_violations, ChaseArc, ConjunctId, LocalityViolation,
 };

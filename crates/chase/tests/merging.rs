@@ -119,7 +119,8 @@ fn merged_nulls_in_bounded_phase() {
             max_conjuncts: 10_000,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(chase.outcome(), ChaseOutcome::Completed);
     // rho5 is not applicable (w exists), so exactly one data conjunct.
     assert_eq!(
@@ -145,7 +146,8 @@ fn null_merges_into_value_when_funct_arrives_late() {
             max_conjuncts: 10_000,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert!(!chase.is_failed());
     // All data conjuncts for (o, a) collapsed onto the variable V.
     let data: Vec<_> = chase

@@ -111,7 +111,8 @@ fn rho5_invents_value_with_fresh_null() {
             max_conjuncts: 1000,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(chase.outcome(), ChaseOutcome::Completed);
     let data: Vec<_> = chase
         .conjuncts()
@@ -137,7 +138,8 @@ fn rho5_restricted_applicability() {
             max_conjuncts: 1000,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(chase.stats().nulls_invented, 0);
     assert_eq!(
         chase

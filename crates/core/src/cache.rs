@@ -24,7 +24,9 @@ use flogic_chase::ChaseOutcome;
 use flogic_model::{ConjunctiveQuery, Pred};
 use flogic_term::{Metrics, Symbol, Term};
 
-use crate::decide::{contains_batch, contains_with, ContainmentOptions, ContainmentResult};
+use crate::decide::{
+    contains_batch, contains_with, theorem_bound, ContainmentOptions, ContainmentResult, Verdict,
+};
 use crate::CoreError;
 
 /// A term in canonical form: variables are replaced by their
@@ -123,22 +125,38 @@ fn canonicalize(q: &ConjunctiveQuery) -> CanonQuery {
     CanonQuery { head, body }
 }
 
-/// Cache key: the canonical pair plus the requested level bound.
+/// Cache key: the canonical pair plus the *effective* level bound and the
+/// analysis toggle.
 ///
-/// The bound is part of the key because an explicit
-/// [`ContainmentOptions::level_bound`] makes the procedure sound but
-/// incomplete — verdicts at different explicit bounds are different
-/// questions. `None` (the Theorem 12 bound) is a single exact question
-/// regardless of which sufficient bound a run actually used, so all
-/// `None` lookups share entries. `max_conjuncts` and `threads` are
-/// deliberately *not* in the key: the former only decides whether an
-/// error is reported (errors are never cached) and the latter never
-/// changes the result.
+/// The effective bound is `min(requested, theorem)`: an explicit
+/// [`ContainmentOptions::level_bound`] below the Theorem 12 bound makes
+/// the procedure sound but incomplete, so its verdicts are answers to a
+/// *different question* and must never be replayed for a default-bound
+/// call (that would be a stale, possibly wrong hit). Clamping at the
+/// theorem bound also makes all *sufficient* bounds share one entry:
+/// `None`, `Some(theorem)` and any larger bound ask the same exact
+/// question.
+///
+/// The analysis toggle is in the key because the fast path, while
+/// verdict-identical, reports different run metadata
+/// (`decided_by_analysis`, zero chase conjuncts) — replaying one mode's
+/// entry for the other would misreport how the decision was made.
+///
+/// `max_conjuncts`, `threads` and the budget are deliberately *not* in
+/// the key: they never change a decided verdict (exhausted results are
+/// never cached, so a tight budget cannot poison later generous calls).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct CacheKey {
     q1: CanonQuery,
     q2: CanonQuery,
-    level_bound: Option<u32>,
+    bound: u32,
+    analysis: bool,
+}
+
+/// The effective bound for [`CacheKey::bound`] (see there).
+fn effective_bound(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, opts: &ContainmentOptions) -> u32 {
+    let theorem = theorem_bound(q1, q2);
+    opts.level_bound.map_or(theorem, |b| b.min(theorem))
 }
 
 /// A cached verdict: everything in a [`ContainmentResult`] except the
@@ -146,7 +164,7 @@ struct CacheKey {
 /// variables and does not survive canonical renaming.
 #[derive(Clone, Debug)]
 struct CachedDecision {
-    holds: bool,
+    verdict: Verdict,
     vacuous: bool,
     chase_conjuncts: usize,
     chase_outcome: ChaseOutcome,
@@ -158,7 +176,7 @@ struct CachedDecision {
 impl CachedDecision {
     fn strip(r: &ContainmentResult) -> CachedDecision {
         CachedDecision {
-            holds: r.holds,
+            verdict: r.verdict,
             vacuous: r.vacuous,
             chase_conjuncts: r.chase_conjuncts,
             chase_outcome: r.chase_outcome,
@@ -170,7 +188,7 @@ impl CachedDecision {
 
     fn restore(&self) -> ContainmentResult {
         ContainmentResult {
-            holds: self.holds,
+            verdict: self.verdict,
             vacuous: self.vacuous,
             witness: None,
             chase_conjuncts: self.chase_conjuncts,
@@ -247,6 +265,12 @@ impl DecisionCache {
     }
 
     fn store(&self, key: CacheKey, result: &ContainmentResult) {
+        // An exhausted verdict is a statement about the budget that
+        // happened to govern this run, not about the pair; caching it
+        // would replay "undecided" for callers with generous budgets.
+        if result.is_exhausted() {
+            return;
+        }
         self.inner
             .lock()
             .expect("decision cache poisoned")
@@ -273,7 +297,8 @@ impl DecisionCache {
         let key = CacheKey {
             q1: canonicalize(q1),
             q2: canonicalize(q2),
-            level_bound: opts.level_bound,
+            bound: effective_bound(q1, q2, opts),
+            analysis: opts.analysis,
         };
         if let Some(hit) = self.lookup(&key) {
             return Ok(hit.restore());
@@ -300,7 +325,12 @@ impl DecisionCache {
             .map(|q2| CacheKey {
                 q1: canon_q1.clone(),
                 q2: canonicalize(q2),
-                level_bound: opts.level_bound,
+                // Per-pair effective bound, even though the shared chase is
+                // built to the batch maximum: a verdict computed at a bound
+                // ≥ the pair's own effective bound answers exactly the
+                // per-pair question (Theorem 12 completeness).
+                bound: effective_bound(q1, q2, opts),
+                analysis: opts.analysis,
             })
             .collect();
 
@@ -422,6 +452,72 @@ mod tests {
         // The exact (Theorem 12) bound is a separate entry, not a stale hit.
         assert!(cache.contains(&q1, &q2).unwrap().holds());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn bounds_at_or_above_theorem_share_one_entry() {
+        let cache = DecisionCache::new();
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2 = q("p(X, Z) :- sub(X, Z).");
+        assert!(cache.contains(&q1, &q2).unwrap().holds());
+        // Any explicit bound ≥ the theorem bound asks the same exact
+        // question as the default and must hit the same entry.
+        let generous = ContainmentOptions {
+            level_bound: Some(theorem_bound(&q1, &q2) + 100),
+            ..Default::default()
+        };
+        let before = Metrics::global().snapshot();
+        assert!(cache.contains_with(&q1, &q2, &generous).unwrap().holds());
+        let delta = Metrics::global().snapshot().since(&before);
+        assert!(delta.cache_hits >= 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn analysis_toggle_is_part_of_the_key() {
+        let cache = DecisionCache::new();
+        // Decided by the analyzer when analysis is on, by the chase when
+        // off: a cross-toggle hit would misreport how the run was decided.
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2 = q("p(X, Z) :- member(X, Z).");
+        let on = cache.contains(&q1, &q2).unwrap();
+        assert!(on.decided_by_analysis());
+        let off = cache
+            .contains_with(
+                &q1,
+                &q2,
+                &ContainmentOptions {
+                    analysis: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert!(!off.decided_by_analysis(), "stale cross-toggle hit");
+        assert_eq!(on.holds(), off.holds());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn exhausted_verdicts_are_never_cached() {
+        let cache = DecisionCache::new();
+        let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
+        let q2 = q("qq() :- data(T, A, V), member(V, T).");
+        let tight = ContainmentOptions {
+            max_conjuncts: 5,
+            analysis: false,
+            ..Default::default()
+        };
+        let r = cache.contains_with(&q1, &q2, &tight).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(cache.len(), 0, "undecided runs must not occupy the table");
+        // The budget is not part of the key, so a generous rerun lands on
+        // the *same* key — and must recompute, decide, and cache.
+        let generous = ContainmentOptions {
+            analysis: false,
+            ..Default::default()
+        };
+        assert!(cache.contains_with(&q1, &q2, &generous).unwrap().holds());
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

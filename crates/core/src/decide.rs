@@ -1,7 +1,7 @@
 //! The Theorem 12 decision procedure.
 
 use flogic_analysis::{direct_unsat, QueryAnalysis};
-use flogic_chase::{chase_bounded, ChaseOptions, ChaseOutcome};
+use flogic_chase::{chase_bounded, Budget, Chase, ChaseOptions, ChaseOutcome, ExhaustReason};
 use flogic_hom::{find_hom, Target};
 use flogic_model::ConjunctiveQuery;
 use flogic_term::{Metrics, Subst};
@@ -9,7 +9,7 @@ use flogic_term::{Metrics, Subst};
 use crate::CoreError;
 
 /// Options for [`contains_with`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ContainmentOptions {
     /// Chase level bound; `None` uses the Theorem 12 bound
     /// `2·|q1|·|q2|` (see [`theorem_bound`]). A smaller bound makes the
@@ -31,6 +31,11 @@ pub struct ContainmentOptions {
     /// or off; only the work (and the [`Metrics`] analysis counters)
     /// changes. Default: `true`.
     pub analysis: bool,
+    /// Resource budget for the chase (deadline, step/byte caps,
+    /// cancellation). When a limit fires, the decision comes back as
+    /// [`Verdict::Exhausted`] with the partial chase statistics instead of
+    /// an error. Default: unlimited.
+    pub budget: Budget,
 }
 
 impl Default for ContainmentOptions {
@@ -40,6 +45,7 @@ impl Default for ContainmentOptions {
             max_conjuncts: 1_000_000,
             threads: 1,
             analysis: true,
+            budget: Budget::default(),
         }
     }
 }
@@ -47,14 +53,42 @@ impl Default for ContainmentOptions {
 /// The Theorem 12 level bound `δ·|q2|` with `δ = 2·|q1|`, where `|q|` is
 /// the number of body conjuncts.
 pub fn theorem_bound(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> u32 {
-    let d = 2usize.saturating_mul(q1.size());
-    u32::try_from(d.saturating_mul(q2.size())).unwrap_or(u32::MAX)
+    bound_from_sizes(q1.size(), q2.size())
+}
+
+/// The Theorem 12 bound `2·n1·n2` from raw body sizes, computed in `u64`
+/// and clamped to `u32::MAX`.
+///
+/// The clamp is sound: Theorem 12 needs *at most* `2·n1·n2` levels, so
+/// when the true product exceeds `u32::MAX` the clamped bound only allows
+/// the chase to go deeper than required — it can never produce a
+/// too-small (unsound) bound the way wrapping `u32` arithmetic would.
+/// Astronomical bounds are then governed by
+/// [`ContainmentOptions::budget`] rather than by the level cap.
+pub fn bound_from_sizes(n1: usize, n2: usize) -> u32 {
+    let product = 2u64.saturating_mul(n1 as u64).saturating_mul(n2 as u64);
+    u32::try_from(product).unwrap_or(u32::MAX)
+}
+
+/// The three-valued answer of a containment check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// `q1 ⊆_ΣFL q2` holds (certified by a witness or a failed chase).
+    Holds,
+    /// `q1 ⊆_ΣFL q2` does not hold (the full Theorem 12 prefix was
+    /// searched and no witness exists).
+    NotHolds,
+    /// A resource limit stopped the chase before the Theorem 12 prefix
+    /// was complete: the question is undecided. Partial progress is in
+    /// [`ContainmentResult::chase_conjuncts`] /
+    /// [`ContainmentResult::max_chase_level`].
+    Exhausted(ExhaustReason),
 }
 
 /// Outcome of a containment check.
 #[derive(Clone, Debug)]
 pub struct ContainmentResult {
-    pub(crate) holds: bool,
+    pub(crate) verdict: Verdict,
     pub(crate) vacuous: bool,
     pub(crate) witness: Option<Subst>,
     pub(crate) chase_conjuncts: usize,
@@ -65,9 +99,37 @@ pub struct ContainmentResult {
 }
 
 impl ContainmentResult {
-    /// Does `q1 ⊆_ΣFL q2` hold?
+    /// Does `q1 ⊆_ΣFL q2` hold? `false` for both [`Verdict::NotHolds`]
+    /// and [`Verdict::Exhausted`] — use [`verdict`](Self::verdict) or
+    /// [`is_exhausted`](Self::is_exhausted) to tell them apart.
     pub fn holds(&self) -> bool {
-        self.holds
+        self.verdict == Verdict::Holds
+    }
+
+    /// The three-valued verdict.
+    pub fn verdict(&self) -> Verdict {
+        self.verdict
+    }
+
+    /// True when a resource limit stopped the chase and the question is
+    /// undecided.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self.verdict, Verdict::Exhausted(_))
+    }
+
+    /// Converts an [`Verdict::Exhausted`] result into
+    /// [`CoreError::Exhausted`], for callers whose answer is meaningless
+    /// unless the question was actually decided (`equivalent`,
+    /// `minimize`, the union checks). Decided results pass through.
+    pub fn require_decided(self) -> Result<ContainmentResult, CoreError> {
+        match self.verdict {
+            Verdict::Exhausted(reason) => Err(CoreError::Exhausted {
+                reason,
+                conjuncts: self.chase_conjuncts,
+                levels: self.max_chase_level,
+            }),
+            Verdict::Holds | Verdict::NotHolds => Ok(self),
+        }
     }
 
     /// True when the containment holds because `chase(q1)` failed — i.e.
@@ -157,14 +219,15 @@ pub fn contains_with(
             level_bound: bound,
             max_conjuncts: opts.max_conjuncts,
             threads: opts.threads,
+            budget: opts.budget.clone(),
         },
-    );
+    )?;
     match chase.outcome() {
         ChaseOutcome::Failed { .. } => {
             // q1 is unsatisfiable under Σ_FL: q1(B) = ∅ for every admissible
             // B, so q1 ⊆ q2 for every q2 of the same arity.
             return Ok(ContainmentResult {
-                holds: true,
+                verdict: Verdict::Holds,
                 vacuous: true,
                 witness: None,
                 chase_conjuncts: chase.len(),
@@ -174,17 +237,19 @@ pub fn contains_with(
                 decided_by_analysis: false,
             });
         }
-        ChaseOutcome::Truncated => {
-            return Err(CoreError::ResourcesExhausted {
-                conjuncts: chase.len(),
-            });
+        ChaseOutcome::Exhausted { reason } => {
+            return Ok(exhausted_result(&chase, bound, reason));
         }
         ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}
     }
     let target = Target::from_chase(&chase);
     let witness = find_hom(q2.body(), q2.head(), &target, chase.head());
     Ok(ContainmentResult {
-        holds: witness.is_some(),
+        verdict: if witness.is_some() {
+            Verdict::Holds
+        } else {
+            Verdict::NotHolds
+        },
         vacuous: false,
         witness,
         chase_conjuncts: chase.len(),
@@ -193,6 +258,22 @@ pub fn contains_with(
         max_chase_level: chase.max_level(),
         decided_by_analysis: false,
     })
+}
+
+/// The undecided result for a chase stopped by the governor: the partial
+/// statistics (conjuncts materialized, deepest level completed) ride along
+/// so callers can report how far the run got.
+fn exhausted_result(chase: &Chase, bound: u32, reason: ExhaustReason) -> ContainmentResult {
+    ContainmentResult {
+        verdict: Verdict::Exhausted(reason),
+        vacuous: false,
+        witness: None,
+        chase_conjuncts: chase.len(),
+        chase_outcome: chase.outcome(),
+        level_bound: bound,
+        max_chase_level: chase.max_level(),
+        decided_by_analysis: false,
+    }
 }
 
 /// Runs the two static fast paths for one pair. `Some` means the verdict
@@ -208,7 +289,7 @@ fn analyze_pair(
         // level bound: vacuous containment, no chase needed.
         Metrics::global().record_analysis_early_true();
         return Some(ContainmentResult {
-            holds: true,
+            verdict: Verdict::Holds,
             vacuous: true,
             witness: None,
             chase_conjuncts: 0,
@@ -224,7 +305,7 @@ fn analyze_pair(
         // provably cannot fail: the containment is definitely false.
         Metrics::global().record_analysis_early_false();
         return Some(ContainmentResult {
-            holds: false,
+            verdict: Verdict::NotHolds,
             vacuous: false,
             witness: None,
             chase_conjuncts: 0,
@@ -278,7 +359,7 @@ pub fn contains_batch(
                     }
                     Metrics::global().record_analysis_early_true();
                     Ok(ContainmentResult {
-                        holds: true,
+                        verdict: Verdict::Holds,
                         vacuous: true,
                         witness: None,
                         chase_conjuncts: 0,
@@ -292,17 +373,29 @@ pub fn contains_batch(
         }
     }
     let analysis = opts.analysis.then(|| QueryAnalysis::new(q1));
-    let chase = chase_bounded(
+    let chase = match chase_bounded(
         q1,
         &ChaseOptions {
             level_bound: bound,
             max_conjuncts: opts.max_conjuncts,
             threads: opts.threads,
+            budget: opts.budget.clone(),
         },
-    );
+    ) {
+        Ok(chase) => chase,
+        // A worker panic poisons only this batch call, not the process;
+        // every slot reports the same error.
+        Err(e) => {
+            let err = CoreError::from(e);
+            return q2s.iter().map(|_| Err(err.clone())).collect();
+        }
+    };
     let failed = chase.is_failed();
-    let truncated = chase.outcome() == ChaseOutcome::Truncated;
-    let target = if failed || truncated {
+    let exhausted = match chase.outcome() {
+        ChaseOutcome::Exhausted { reason } => Some(reason),
+        _ => None,
+    };
+    let target = if failed || exhausted.is_some() {
         Target::default()
     } else {
         Target::from_chase(&chase)
@@ -315,14 +408,13 @@ pub fn contains_batch(
                     q2: q2.arity(),
                 });
             }
-            if truncated {
-                return Err(CoreError::ResourcesExhausted {
-                    conjuncts: chase.len(),
-                });
+            if let Some(reason) = exhausted {
+                // Undecided for every slot, with the shared partial stats.
+                return Ok(exhausted_result(&chase, bound, reason));
             }
             if failed {
                 return Ok(ContainmentResult {
-                    holds: true,
+                    verdict: Verdict::Holds,
                     vacuous: true,
                     witness: None,
                     chase_conjuncts: chase.len(),
@@ -338,7 +430,7 @@ pub fn contains_batch(
                     // chase cannot contain.
                     Metrics::global().record_analysis_early_false();
                     return Ok(ContainmentResult {
-                        holds: false,
+                        verdict: Verdict::NotHolds,
                         vacuous: false,
                         witness: None,
                         chase_conjuncts: chase.len(),
@@ -352,7 +444,11 @@ pub fn contains_batch(
             }
             let witness = find_hom(q2.body(), q2.head(), &target, chase.head());
             Ok(ContainmentResult {
-                holds: witness.is_some(),
+                verdict: if witness.is_some() {
+                    Verdict::Holds
+                } else {
+                    Verdict::NotHolds
+                },
                 vacuous: false,
                 witness,
                 chase_conjuncts: chase.len(),
@@ -500,9 +596,42 @@ mod tests {
             max_conjuncts: 5,
             ..Default::default()
         };
+        // Exhaustion is a verdict with partial stats, not an error.
+        let r = contains_with(&q1, &q2, &opts).unwrap();
+        assert_eq!(r.verdict(), Verdict::Exhausted(ExhaustReason::Conjuncts));
+        assert!(r.is_exhausted());
+        assert!(!r.holds());
+        assert!(r.chase_conjuncts() >= 2, "partial progress reported");
+    }
+
+    #[test]
+    fn deadline_exhaustion_is_a_verdict() {
+        let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
+        let q2 = q("qq() :- data(T, A, V).");
+        let opts = ContainmentOptions {
+            budget: Budget::with_timeout(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let r = contains_with(&q1, &q2, &opts).unwrap();
+        assert_eq!(r.verdict(), Verdict::Exhausted(ExhaustReason::Deadline));
+    }
+
+    #[test]
+    fn batch_exhaustion_fills_every_slot() {
+        let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
+        let q2s = vec![q("a() :- data(T, A, V)."), q("b(X) :- sub(X, Y).")];
+        let opts = ContainmentOptions {
+            max_conjuncts: 5,
+            analysis: false,
+            ..Default::default()
+        };
+        let batch = contains_batch(&q1, &q2s, &opts);
+        let r = batch[0].as_ref().unwrap();
+        assert_eq!(r.verdict(), Verdict::Exhausted(ExhaustReason::Conjuncts));
+        // Arity mismatches still win over exhaustion in their slot.
         assert!(matches!(
-            contains_with(&q1, &q2, &opts),
-            Err(CoreError::ResourcesExhausted { .. })
+            batch[1],
+            Err(CoreError::ArityMismatch { q1: 0, q2: 1 })
         ));
     }
 
@@ -511,6 +640,27 @@ mod tests {
         let q1 = q("q() :- sub(A, B), sub(B, C), sub(C, D).");
         let q2 = q("qq() :- sub(X, Y), sub(Y, Z).");
         assert_eq!(theorem_bound(&q1, &q2), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn theorem_bound_clamps_instead_of_wrapping() {
+        // 2·2^20·2^20 = 2^41; wrapping u32 arithmetic would yield 0 — an
+        // unsound too-small bound. The u64 computation clamps to u32::MAX.
+        assert_eq!(bound_from_sizes(1 << 20, 1 << 20), u32::MAX);
+        // 2·2^16·2^15 = 2^32 is the first value past u32::MAX: in u32 it
+        // would wrap to exactly 0.
+        assert_eq!(bound_from_sizes(1 << 16, 1 << 15), u32::MAX);
+        // One conjunct fewer on either side stays exact:
+        // 2·(2^16−1)·2^15 = 2^32 − 2^16.
+        assert_eq!(
+            bound_from_sizes((1 << 16) - 1, 1 << 15),
+            u32::MAX - (1 << 16) + 1
+        );
+        // Degenerate and small sizes are exact.
+        assert_eq!(bound_from_sizes(0, 100), 0);
+        assert_eq!(bound_from_sizes(3, 5), 30);
+        // usize::MAX on both sides saturates rather than overflowing u64.
+        assert_eq!(bound_from_sizes(usize::MAX, usize::MAX), u32::MAX);
     }
 
     #[test]

@@ -2,9 +2,19 @@
 
 use std::fmt;
 
+use flogic_chase::ExhaustReason;
+
 /// Errors raised by the containment procedures.
+///
+/// Budget exhaustion is **not** an error for the core three-valued APIs
+/// ([`contains_with`](crate::contains_with) /
+/// [`contains_batch`](crate::contains_batch) report it through
+/// [`Verdict::Exhausted`](crate::Verdict::Exhausted) with partial stats);
+/// the [`DecideError::Exhausted`] variant is raised only by the APIs whose
+/// answer is meaningless on a partial chase (`explain`, the union checks,
+/// the naive baseline, `equivalent`/`minimize`).
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum CoreError {
+pub enum DecideError {
     /// Containment is only defined between queries of the same arity
     /// (Theorem 4).
     ArityMismatch {
@@ -13,36 +23,67 @@ pub enum CoreError {
         /// Arity of `q2`.
         q2: usize,
     },
-    /// The chase hit its conjunct safety cap before reaching the Theorem 12
-    /// level bound; the verdict cannot be certified. Raise
-    /// `ContainmentOptions::max_conjuncts`.
-    ResourcesExhausted {
-        /// Conjuncts materialized when the cap was hit.
+    /// A resource limit stopped the chase before the Theorem 12 bound was
+    /// reached, and the caller's question cannot be answered from a
+    /// partial chase. Records how far the chase got.
+    Exhausted {
+        /// Which limit fired.
+        reason: ExhaustReason,
+        /// Conjuncts materialized when the run stopped.
         conjuncts: usize,
+        /// Deepest chase level completed when the run stopped.
+        levels: u32,
+    },
+    /// A parallel chase discovery worker panicked; the panic was caught at
+    /// the join so the process (and the rest of a batch) survives.
+    WorkerFailed {
+        /// The worker's panic payload, when it was a string.
+        detail: String,
     },
     /// A query failed to parse (only from the string-level API).
     Syntax(String),
 }
 
-impl fmt::Display for CoreError {
+/// The pre-governor name of [`DecideError`], kept as an alias for
+/// downstream code.
+pub type CoreError = DecideError;
+
+impl fmt::Display for DecideError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::ArityMismatch { q1, q2 } => {
+            DecideError::ArityMismatch { q1, q2 } => {
                 write!(f, "containment needs equal arities, got {q1} vs {q2}")
             }
-            CoreError::ResourcesExhausted { conjuncts } => {
+            DecideError::Exhausted {
+                reason,
+                conjuncts,
+                levels,
+            } => {
                 write!(
                     f,
-                    "chase truncated at {conjuncts} conjuncts before reaching the \
-                     Theorem 12 bound; raise max_conjuncts"
+                    "chase stopped by {reason} at {conjuncts} conjuncts / level {levels}, \
+                     before reaching the Theorem 12 bound; raise the budget"
                 )
             }
-            CoreError::Syntax(e) => write!(f, "syntax error: {e}"),
+            DecideError::WorkerFailed { detail } => {
+                write!(f, "chase discovery worker failed: {detail}")
+            }
+            DecideError::Syntax(e) => write!(f, "syntax error: {e}"),
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for DecideError {}
+
+impl From<flogic_chase::ChaseError> for DecideError {
+    fn from(e: flogic_chase::ChaseError) -> DecideError {
+        match e {
+            flogic_chase::ChaseError::WorkerFailed { detail } => {
+                DecideError::WorkerFailed { detail }
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -50,11 +91,26 @@ mod tests {
 
     #[test]
     fn messages_render() {
-        assert!(CoreError::ArityMismatch { q1: 1, q2: 2 }
+        assert!(DecideError::ArityMismatch { q1: 1, q2: 2 }
             .to_string()
             .contains("1 vs 2"));
-        assert!(CoreError::ResourcesExhausted { conjuncts: 9 }
-            .to_string()
-            .contains('9'));
+        let e = DecideError::Exhausted {
+            reason: ExhaustReason::Deadline,
+            conjuncts: 9,
+            levels: 3,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains("deadline"));
+        assert!(DecideError::WorkerFailed {
+            detail: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+    }
+
+    #[test]
+    fn chase_error_converts() {
+        let e: DecideError = flogic_chase::ChaseError::WorkerFailed { detail: "x".into() }.into();
+        assert_eq!(e, DecideError::WorkerFailed { detail: "x".into() });
     }
 }

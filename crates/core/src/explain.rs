@@ -143,14 +143,18 @@ pub fn explain(
             level_bound: bound,
             max_conjuncts: opts.max_conjuncts,
             threads: opts.threads,
+            budget: opts.budget.clone(),
         },
-    );
+    )?;
     match chase.outcome() {
         ChaseOutcome::Failed { .. } => return Ok(Explanation::Vacuous),
-        ChaseOutcome::Truncated => {
-            return Err(CoreError::ResourcesExhausted {
+        ChaseOutcome::Exhausted { reason } => {
+            // An explanation over a partial chase would be misleading.
+            return Err(CoreError::Exhausted {
+                reason,
                 conjuncts: chase.len(),
-            })
+                levels: chase.max_level(),
+            });
         }
         ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}
     }

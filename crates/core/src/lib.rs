@@ -41,10 +41,14 @@ mod union;
 pub use cache::DecisionCache;
 pub use classic::classic_contains;
 pub use decide::{
-    contains, contains_batch, contains_with, theorem_bound, ContainmentOptions, ContainmentResult,
+    bound_from_sizes, contains, contains_batch, contains_with, theorem_bound, ContainmentOptions,
+    ContainmentResult, Verdict,
 };
-pub use error::CoreError;
+pub use error::{CoreError, DecideError};
+// Governor types, re-exported so callers can set budgets without a direct
+// dependency on the chase crate.
 pub use explain::{explain, DerivationStep, Explanation};
+pub use flogic_chase::{Budget, CancelToken, ExhaustReason};
 pub use rewrite::{equivalent, equivalent_with, minimize, minimize_with};
 pub use union::{contained_in_union, union_contained_in};
 

@@ -55,12 +55,14 @@ pub fn contains_naive(
                 max_conjuncts,
                 ..Default::default()
             },
-        );
+        )?;
         match chase.outcome() {
             ChaseOutcome::Failed { .. } => return Ok(NaiveOutcome::Holds { level }),
-            ChaseOutcome::Truncated => {
-                return Err(CoreError::ResourcesExhausted {
+            ChaseOutcome::Exhausted { reason } => {
+                return Err(CoreError::Exhausted {
+                    reason,
                     conjuncts: chase.len(),
+                    levels: chase.max_level(),
                 })
             }
             ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}

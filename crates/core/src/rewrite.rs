@@ -16,7 +16,10 @@ pub fn equivalent_with(
     q2: &ConjunctiveQuery,
     opts: &ContainmentOptions,
 ) -> Result<bool, CoreError> {
-    Ok(contains_with(q1, q2, opts)?.holds() && contains_with(q2, q1, opts)?.holds())
+    // `require_decided` keeps an exhausted check from silently reading as
+    // "not equivalent".
+    Ok(contains_with(q1, q2, opts)?.require_decided()?.holds()
+        && contains_with(q2, q1, opts)?.require_decided()?.holds())
 }
 
 /// Minimises `q` under `Σ_FL`: repeatedly drops a body conjunct as long as
@@ -55,7 +58,12 @@ pub fn minimize_with(
             let Some(candidate) = current.without_atom(i) else {
                 continue;
             };
-            if contains_with(&candidate, &current, opts)?.holds() {
+            // An exhausted check must not silently keep the conjunct (it
+            // would make minimisation budget-dependent): error out.
+            if contains_with(&candidate, &current, opts)?
+                .require_decided()?
+                .holds()
+            {
                 shrunk = Some(candidate);
                 break;
             }

@@ -50,17 +50,21 @@ pub fn contained_in_union(
             level_bound: bound,
             max_conjuncts: opts.max_conjuncts,
             threads: opts.threads,
+            budget: opts.budget.clone(),
         },
-    );
+    )?;
     match chase.outcome() {
         ChaseOutcome::Failed { .. } => {
             // Vacuous: q is unsatisfiable, hence contained in any non-empty
             // union; report the first disjunct by convention.
             return Ok(if q2s.is_empty() { None } else { Some(0) });
         }
-        ChaseOutcome::Truncated => {
-            return Err(CoreError::ResourcesExhausted {
+        ChaseOutcome::Exhausted { reason } => {
+            // "No disjunct contains q" cannot be certified from a prefix.
+            return Err(CoreError::Exhausted {
+                reason,
                 conjuncts: chase.len(),
+                levels: chase.max_level(),
             });
         }
         ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}
@@ -82,7 +86,9 @@ pub fn union_contained_in(
     opts: &ContainmentOptions,
 ) -> Result<bool, CoreError> {
     for q1 in q1s {
-        if !contains_with(q1, q2, opts)?.holds() {
+        // An exhausted per-disjunct check must not silently read as "not
+        // contained": propagate it as an error instead.
+        if !contains_with(q1, q2, opts)?.require_decided()?.holds() {
             return Ok(false);
         }
     }

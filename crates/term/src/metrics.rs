@@ -31,6 +31,9 @@ pub struct Metrics {
     analysis_early_false: AtomicU64,
     analysis_early_true: AtomicU64,
     analysis_chased: AtomicU64,
+    governor_deadline_hits: AtomicU64,
+    governor_budget_hits: AtomicU64,
+    governor_cancellations: AtomicU64,
 }
 
 static GLOBAL: Metrics = Metrics {
@@ -43,6 +46,9 @@ static GLOBAL: Metrics = Metrics {
     analysis_early_false: AtomicU64::new(0),
     analysis_early_true: AtomicU64::new(0),
     analysis_chased: AtomicU64::new(0),
+    governor_deadline_hits: AtomicU64::new(0),
+    governor_budget_hits: AtomicU64::new(0),
+    governor_cancellations: AtomicU64::new(0),
 };
 
 impl Metrics {
@@ -91,6 +97,22 @@ impl Metrics {
         self.analysis_chased.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a chase run stopped by its wall-clock deadline.
+    pub fn record_governor_deadline(&self) {
+        self.governor_deadline_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a chase run stopped by a count budget (conjuncts, steps, or
+    /// bytes).
+    pub fn record_governor_budget(&self) {
+        self.governor_budget_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a chase run stopped by cooperative cancellation.
+    pub fn record_governor_cancellation(&self) {
+        self.governor_cancellations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Times `f`, records the duration as a chase run, returns its result.
     pub fn time_chase<T>(&self, f: impl FnOnce() -> T) -> T {
         let t0 = Instant::now();
@@ -121,6 +143,9 @@ impl Metrics {
             analysis_early_false: self.analysis_early_false.load(Ordering::Relaxed),
             analysis_early_true: self.analysis_early_true.load(Ordering::Relaxed),
             analysis_chased: self.analysis_chased.load(Ordering::Relaxed),
+            governor_deadline_hits: self.governor_deadline_hits.load(Ordering::Relaxed),
+            governor_budget_hits: self.governor_budget_hits.load(Ordering::Relaxed),
+            governor_cancellations: self.governor_cancellations.load(Ordering::Relaxed),
         }
     }
 
@@ -135,6 +160,9 @@ impl Metrics {
         self.analysis_early_false.store(0, Ordering::Relaxed);
         self.analysis_early_true.store(0, Ordering::Relaxed);
         self.analysis_chased.store(0, Ordering::Relaxed);
+        self.governor_deadline_hits.store(0, Ordering::Relaxed);
+        self.governor_budget_hits.store(0, Ordering::Relaxed);
+        self.governor_cancellations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -160,6 +188,12 @@ pub struct MetricsSnapshot {
     pub analysis_early_true: u64,
     /// Containments where analysis found no shortcut and the chase ran.
     pub analysis_chased: u64,
+    /// Chase runs stopped by their wall-clock deadline.
+    pub governor_deadline_hits: u64,
+    /// Chase runs stopped by a count budget (conjuncts, steps, or bytes).
+    pub governor_budget_hits: u64,
+    /// Chase runs stopped by cooperative cancellation.
+    pub governor_cancellations: u64,
 }
 
 impl MetricsSnapshot {
@@ -179,7 +213,21 @@ impl MetricsSnapshot {
                 .analysis_early_true
                 .saturating_sub(earlier.analysis_early_true),
             analysis_chased: self.analysis_chased.saturating_sub(earlier.analysis_chased),
+            governor_deadline_hits: self
+                .governor_deadline_hits
+                .saturating_sub(earlier.governor_deadline_hits),
+            governor_budget_hits: self
+                .governor_budget_hits
+                .saturating_sub(earlier.governor_budget_hits),
+            governor_cancellations: self
+                .governor_cancellations
+                .saturating_sub(earlier.governor_cancellations),
         }
+    }
+
+    /// Total chase runs the governor stopped, for any reason.
+    pub fn governor_stops(&self) -> u64 {
+        self.governor_deadline_hits + self.governor_budget_hits + self.governor_cancellations
     }
 
     /// Fraction of analysis-screened containment decisions answered
@@ -224,6 +272,13 @@ impl std::fmt::Display for MetricsSnapshot {
             "; analysis: {} early-false / {} early-true / {} chased",
             self.analysis_early_false, self.analysis_early_true, self.analysis_chased,
         )?;
+        if self.governor_stops() > 0 {
+            write!(
+                f,
+                "; governor: {} deadline / {} budget / {} cancelled",
+                self.governor_deadline_hits, self.governor_budget_hits, self.governor_cancellations,
+            )?;
+        }
         Ok(())
     }
 }
@@ -292,6 +347,28 @@ mod tests {
         assert!(s
             .to_string()
             .contains("analysis: 2 early-false / 1 early-true / 1 chased"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn governor_counters_accumulate_and_render() {
+        let m = Metrics::default();
+        assert_eq!(m.snapshot().governor_stops(), 0);
+        assert!(!m.snapshot().to_string().contains("governor:"));
+        m.record_governor_deadline();
+        m.record_governor_budget();
+        m.record_governor_budget();
+        m.record_governor_cancellation();
+        let s = m.snapshot();
+        assert_eq!(s.governor_deadline_hits, 1);
+        assert_eq!(s.governor_budget_hits, 2);
+        assert_eq!(s.governor_cancellations, 1);
+        assert_eq!(s.governor_stops(), 4);
+        assert!(s
+            .to_string()
+            .contains("governor: 1 deadline / 2 budget / 1 cancelled"));
+        assert_eq!(s.since(&s), MetricsSnapshot::default());
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

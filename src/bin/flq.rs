@@ -2,10 +2,13 @@
 //!
 //! ```text
 //! flq contains  "<q1>" "<q2>" [--threads N] [--no-analysis]
+//!                             [--timeout MS] [--max-conjuncts N]
 //!                                    decide q1 ⊆_ΣFL q2 (and the converse)
 //! flq explain   "<q1>" "<q2>" [--threads N] [--no-analysis]
+//!                             [--timeout MS] [--max-conjuncts N]
 //!                                    prove the containment step by step
 //! flq chase     "<q>" [--bound N] [--dot] [--threads N]
+//!                     [--timeout MS] [--max-conjuncts N]
 //!                                    materialize the (bounded) chase
 //! flq minimize  "<q>"                Σ_FL-aware query minimisation
 //! flq lint      <file>               static analysis: coded diagnostics
@@ -21,8 +24,16 @@
 //!   decision never depends on it.
 //! * `--no-analysis` — skip the static fast paths of `flogic-analysis`
 //!   and always materialize the chase. Verdicts are identical either way.
+//! * `--timeout MS` — wall-clock budget in milliseconds. A run that hits
+//!   it stops cooperatively and reports *exhausted* instead of a verdict.
+//! * `--max-conjuncts N` — cap on materialized chase conjuncts (an
+//!   approximate memory budget; default one million).
 //! * `--bound N` — chase level bound for `flq chase` (default `2·|q|`).
 //! * `--dot` — emit the chase graph in Graphviz DOT format.
+//!
+//! Exit codes: `0` success, `1` failure (parse error, diagnostics, …),
+//! `2` usage error, `3` resource exhaustion — the budget ran out before
+//! the procedure could decide; nothing is known about the verdict.
 //!
 //! `flq lint` exits 0 when the program is clean, 1 when any diagnostic
 //! (or a parse error) is reported, 2 on usage errors.
@@ -31,21 +42,29 @@
 //! Program files mix facts (`john:student.`), rules and goals (`?- X::person.`).
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use flogic_lite::analysis::lint_source;
-use flogic_lite::chase::{chase_bounded, to_dot, to_text, ChaseOptions};
-use flogic_lite::core::{classic_contains, contains_with, explain, minimize, ContainmentOptions};
+use flogic_lite::chase::{chase_bounded, to_dot, to_text, Budget, ChaseOptions};
+use flogic_lite::core::{
+    classic_contains, contains_with, explain, minimize_with, ContainmentOptions, CoreError,
+};
 use flogic_lite::datalog::{answers, close_database, ClosureOptions};
 use flogic_lite::model::DepGraph;
 use flogic_lite::prelude::*;
 use flogic_lite::syntax::query_to_flogic;
 
+/// Exit code for resource exhaustion: the budget ran out before the
+/// procedure could decide (distinct from failure, which means the answer
+/// is known to be an error).
+const EXIT_EXHAUSTED: u8 = 3;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flq contains <q1> <q2> [--threads N] [--no-analysis]\n  \
-         flq explain <q1> <q2> [--threads N] [--no-analysis]\n  \
-         flq chase <q> [--bound N] [--dot] [--threads N]\n  \
-         flq minimize <q>\n  flq lint <file>\n  flq eval <file>"
+        "usage:\n  flq contains <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N]\n  \
+         flq explain <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N]\n  \
+         flq chase <q> [--bound N] [--dot] [--threads N] [--timeout MS] [--max-conjuncts N]\n  \
+         flq minimize <q> [--timeout MS] [--max-conjuncts N]\n  flq lint <file>\n  flq eval <file>"
     );
     ExitCode::from(2)
 }
@@ -86,6 +105,20 @@ fn split_contains_args(args: &[String]) -> Result<(Vec<&String>, ContainmentOpti
                 }
             },
             "--no-analysis" => opts.analysis = false,
+            "--timeout" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => opts.budget = Budget::with_timeout(Duration::from_millis(ms)),
+                None => {
+                    eprintln!("error: --timeout needs a duration in milliseconds");
+                    return Err(usage());
+                }
+            },
+            "--max-conjuncts" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => opts.max_conjuncts = n,
+                None => {
+                    eprintln!("error: --max-conjuncts needs a number");
+                    return Err(usage());
+                }
+            },
             s if s.starts_with("--") => {
                 eprintln!("error: unknown flag `{s}`");
                 return Err(usage());
@@ -118,6 +151,15 @@ fn cmd_contains(args: &[String]) -> ExitCode {
     println!("q1: {q1}");
     println!("q2: {q2}");
     println!();
+    if let flogic_lite::core::Verdict::Exhausted(reason) = forward.verdict() {
+        println!(
+            "q1 ⊆_ΣFL q2:  EXHAUSTED ({reason}) — undecided after {} chase conjuncts, level {} of bound {}",
+            forward.chase_conjuncts(),
+            forward.max_chase_level(),
+            forward.level_bound()
+        );
+        return ExitCode::from(EXIT_EXHAUSTED);
+    }
     println!(
         "q1 ⊆_ΣFL q2:  {}{}{}",
         forward.holds(),
@@ -142,11 +184,20 @@ fn cmd_contains(args: &[String]) -> ExitCode {
         q1.size(),
         q2.size()
     );
+    let mut exhausted_back = false;
     if let Ok(back) = contains_with(&q2, &q1, &opts) {
-        println!("q2 ⊆_ΣFL q1:  {}", back.holds());
+        if let flogic_lite::core::Verdict::Exhausted(reason) = back.verdict() {
+            println!("q2 ⊆_ΣFL q1:  EXHAUSTED ({reason})");
+            exhausted_back = true;
+        } else {
+            println!("q2 ⊆_ΣFL q1:  {}", back.holds());
+        }
     }
     if let Ok(classic) = classic_contains(&q1, &q2) {
         println!("q1 ⊆ q2 classically (no Σ_FL):  {classic}");
+    }
+    if exhausted_back {
+        return ExitCode::from(EXIT_EXHAUSTED);
     }
     ExitCode::SUCCESS
 }
@@ -170,6 +221,10 @@ fn cmd_explain(args: &[String]) -> ExitCode {
             println!("{e}");
             print_invention_cycles(&q1, &q2);
             ExitCode::SUCCESS
+        }
+        Err(e @ CoreError::Exhausted { .. }) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_EXHAUSTED)
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -212,6 +267,8 @@ fn cmd_chase(args: &[String]) -> ExitCode {
     let mut bound = 2 * q.size() as u32; // δ, a sensible default depth
     let mut dot = false;
     let mut threads = 1;
+    let mut max_conjuncts = 1_000_000;
+    let mut budget = Budget::unlimited();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -223,6 +280,14 @@ fn cmd_chase(args: &[String]) -> ExitCode {
                 Some(n) => threads = n,
                 None => return usage(),
             },
+            "--timeout" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(ms) => budget = Budget::with_timeout(Duration::from_millis(ms)),
+                None => return usage(),
+            },
+            "--max-conjuncts" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => max_conjuncts = n,
+                None => return usage(),
+            },
             "--dot" => dot = true,
             s => {
                 eprintln!("error: unknown argument `{s}`");
@@ -230,14 +295,35 @@ fn cmd_chase(args: &[String]) -> ExitCode {
             }
         }
     }
-    let chase = chase_bounded(
+    let chase = match chase_bounded(
         &q,
         &ChaseOptions {
             level_bound: bound,
-            max_conjuncts: 1_000_000,
+            max_conjuncts,
             threads,
+            budget,
         },
-    );
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let flogic_lite::chase::ChaseOutcome::Exhausted { reason } = chase.outcome() {
+        eprintln!(
+            "chase EXHAUSTED ({reason}): stopped after {} conjuncts at level {}; \
+             the materialization below is a prefix, not the full chase",
+            chase.len(),
+            chase.max_level()
+        );
+        if dot {
+            print!("{}", to_dot(&chase));
+        } else {
+            print!("{}", to_text(&chase));
+        }
+        return ExitCode::from(EXIT_EXHAUSTED);
+    }
     if chase.is_failed() {
         println!("chase FAILED (rho4 equated two distinct constants): the query is\nunsatisfiable w.r.t. Sigma_FL; it is contained in every query of its arity.");
         return ExitCode::SUCCESS;
@@ -263,17 +349,27 @@ fn cmd_chase(args: &[String]) -> ExitCode {
 }
 
 fn cmd_minimize(args: &[String]) -> ExitCode {
-    let [q_src] = args else { return usage() };
+    let (positional, opts) = match split_contains_args(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let [q_src] = positional.as_slice() else {
+        return usage();
+    };
     let q = match parse_or_exit(q_src) {
         Ok(q) => q,
         Err(code) => return code,
     };
-    match minimize(&q) {
+    match minimize_with(&q, &opts) {
         Ok(m) => {
             println!("input    ({} conjuncts): {q}", q.size());
             println!("minimal  ({} conjuncts): {m}", m.size());
             println!("f-logic  : {}", query_to_flogic(&m));
             ExitCode::SUCCESS
+        }
+        Err(e @ CoreError::Exhausted { .. }) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_EXHAUSTED)
         }
         Err(e) => {
             eprintln!("error: {e}");

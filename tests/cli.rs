@@ -161,6 +161,44 @@ fn threads_and_no_analysis_flags_accepted() {
 }
 
 #[test]
+fn exhaustion_exits_with_code_three() {
+    // A pair whose chase pumps past 5 conjuncts: the cap makes the run
+    // exhausted, which is a distinct exit code (3), not failure (1).
+    let q1 = "q() :- mandatory(A, T), type(T, A, T).";
+    let q2 = "qq() :- data(T, A, V), member(V, T).";
+    let (stdout, _, code) =
+        flq_code(&["contains", q1, q2, "--max-conjuncts", "5", "--no-analysis"]);
+    assert_eq!(code, 3, "{stdout}");
+    assert!(stdout.contains("EXHAUSTED"), "{stdout}");
+    assert!(stdout.contains("conjunct cap"), "{stdout}");
+
+    // An already-elapsed deadline exhausts before the first chase round.
+    let (stdout, _, code) = flq_code(&["contains", q1, q2, "--timeout", "0", "--no-analysis"]);
+    assert_eq!(code, 3, "{stdout}");
+    assert!(stdout.contains("deadline"), "{stdout}");
+
+    // Same on the chase subcommand: a prefix is printed, exit is 3.
+    let (stdout, stderr, code) = flq_code(&["chase", q1, "--timeout", "0"]);
+    assert_eq!(code, 3, "{stdout}{stderr}");
+    assert!(stderr.contains("EXHAUSTED"), "{stderr}");
+
+    // A generous budget decides normally: flags alone don't change exits.
+    let (_, _, code) = flq_code(&["contains", q1, q2, "--timeout", "60000"]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn budget_flags_reject_garbage() {
+    let q = "q() :- sub(X,Y).";
+    let (_, stderr, code) = flq_code(&["contains", q, q, "--timeout", "soon"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--timeout"), "{stderr}");
+    let (_, stderr, code) = flq_code(&["contains", q, q, "--max-conjuncts"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--max-conjuncts"), "{stderr}");
+}
+
+#[test]
 fn contains_reports_static_decision() {
     // q1 only reaches sub; q2 needs data: decided without a chase.
     let (stdout, _, ok) = flq(&["contains", "q(X) :- sub(X, Y).", "p(X) :- data(X, a, V)."]);

@@ -136,7 +136,8 @@ fn not_contained_verdicts_survive_double_depth() {
                 max_conjuncts: 2_000_000,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             !matches!(chase.outcome(), ChaseOutcome::Failed { .. }),
             "verdict would have been vacuous"

@@ -1,0 +1,198 @@
+//! End-to-end semantics of the resource governor: deadlines, step and
+//! byte budgets, and cooperative cancellation must turn into `Exhausted`
+//! outcomes with usable partial state — never panics, never hangs — and
+//! a budget that is not hit must be invisible.
+
+use std::time::{Duration, Instant};
+
+use flogic_lite::chase::{chase_bounded, Budget, CancelToken, ChaseOptions, ExhaustReason};
+use flogic_lite::core::{contains_with, ContainmentOptions, Verdict};
+use flogic_lite::prelude::*;
+
+/// Example 2's infinite-chase query: the ρ5–ρ1–ρ6–ρ10 pump.
+fn pump_query() -> ConjunctiveQuery {
+    parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap()
+}
+
+#[test]
+fn elapsed_deadline_reports_exhausted_with_partial_state() {
+    let q = pump_query();
+    let chase = chase_bounded(
+        &q,
+        &ChaseOptions {
+            level_bound: 40,
+            max_conjuncts: 1_000_000,
+            budget: Budget::with_timeout(Duration::ZERO),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(chase.is_exhausted());
+    assert!(
+        matches!(
+            chase.outcome(),
+            flogic_lite::chase::ChaseOutcome::Exhausted {
+                reason: ExhaustReason::Deadline
+            }
+        ),
+        "{:?}",
+        chase.outcome()
+    );
+    // The partial chase is still a usable object: the body conjuncts made
+    // it in before the first checkpoint.
+    assert!(chase.len() >= q.size());
+}
+
+#[test]
+fn step_budgets_grow_monotone_partial_chases() {
+    // More budget can only mean more progress: the materialized prefix
+    // (conjuncts, levels, steps examined) is monotone in the step cap,
+    // and each smaller prefix is literally a prefix of the larger run.
+    let q = pump_query();
+    let run = |max_steps: u64| {
+        chase_bounded(
+            &q,
+            &ChaseOptions {
+                // Deep enough that every step cap below fires first.
+                level_bound: 1_000_000,
+                max_conjuncts: 1_000_000,
+                budget: Budget::unlimited().steps(max_steps),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let mut prev_len = 0usize;
+    let mut prev_steps = 0u64;
+    let mut prev_level = 0u32;
+    for cap in [50u64, 200, 800, 3200] {
+        let chase = run(cap);
+        assert!(chase.is_exhausted(), "the pump outruns {cap} steps");
+        assert!(chase.len() >= prev_len, "conjuncts monotone in budget");
+        assert!(chase.stats().steps >= prev_steps, "steps monotone");
+        assert!(chase.max_level() >= prev_level, "levels monotone");
+        prev_len = chase.len();
+        prev_steps = chase.stats().steps;
+        prev_level = chase.max_level();
+    }
+    assert!(prev_len > pump_query().size(), "largest run made progress");
+}
+
+#[test]
+fn cancellation_stops_a_long_chase_promptly() {
+    let q = pump_query();
+    let token = CancelToken::new();
+    let handle = {
+        let q = q.clone();
+        let token = token.clone();
+        std::thread::spawn(move || {
+            chase_bounded(
+                &q,
+                &ChaseOptions {
+                    // The pump never terminates on its own at this depth;
+                    // the deadline is a backstop so a broken cancel path
+                    // fails the test instead of hanging CI.
+                    level_bound: u32::MAX,
+                    max_conjuncts: usize::MAX,
+                    budget: Budget::with_timeout(Duration::from_secs(120)).cancelled_by(token),
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = Instant::now();
+    token.cancel();
+    let chase = handle.join().expect("no panic in the governed chase");
+    // The cancel is observed at the next checkpoint (round boundary or
+    // 1024-candidate tick), i.e. promptly — not after thousands of levels.
+    assert!(
+        matches!(
+            chase.outcome(),
+            flogic_lite::chase::ChaseOutcome::Exhausted {
+                reason: ExhaustReason::Cancelled
+            }
+        ),
+        "{:?}",
+        chase.outcome()
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "cancellation must take effect promptly"
+    );
+}
+
+#[test]
+fn tiny_budget_on_heavy_pair_returns_exhausted_in_bounded_time() {
+    // The acceptance scenario: a pair whose decision would blow the budget
+    // must come back quickly as an *outcome*, with partial statistics.
+    let q1 = pump_query();
+    let q2 = parse_query("qq() :- data(T, A, V), member(V, T).").unwrap();
+    let t0 = Instant::now();
+    let r = contains_with(
+        &q1,
+        &q2,
+        &ContainmentOptions {
+            max_conjuncts: 20,
+            analysis: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(t0.elapsed() < Duration::from_secs(10));
+    assert_eq!(r.verdict(), Verdict::Exhausted(ExhaustReason::Conjuncts));
+    assert!(!r.holds(), "exhausted must never read as holds");
+    assert!(r.chase_conjuncts() > 0, "partial stats are reported");
+    assert!(r.witness().is_none());
+}
+
+#[test]
+fn unhit_budget_is_invisible() {
+    // A generous budget must not change anything observable about the
+    // decision relative to no budget at all.
+    let q1 = parse_query("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].").unwrap();
+    let q2 = parse_query("qq(A,B) :- T1[A*=>T2], T2[B*=>_].").unwrap();
+    let free = contains_with(&q1, &q2, &ContainmentOptions::default()).unwrap();
+    let governed = contains_with(
+        &q1,
+        &q2,
+        &ContainmentOptions {
+            budget: Budget::with_timeout(Duration::from_secs(600))
+                .steps(u64::MAX)
+                .bytes(usize::MAX),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(free.verdict(), governed.verdict());
+    assert_eq!(free.chase_conjuncts(), governed.chase_conjuncts());
+    assert_eq!(free.max_chase_level(), governed.max_chase_level());
+    assert_eq!(free.witness().is_some(), governed.witness().is_some());
+}
+
+#[test]
+fn byte_budget_exhausts_the_pump() {
+    let q = pump_query();
+    let chase = chase_bounded(
+        &q,
+        &ChaseOptions {
+            level_bound: 1_000_000,
+            max_conjuncts: 1_000_000,
+            budget: Budget::unlimited().bytes(64 * 1024),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        matches!(
+            chase.outcome(),
+            flogic_lite::chase::ChaseOutcome::Exhausted {
+                reason: ExhaustReason::Bytes
+            }
+        ),
+        "{:?}",
+        chase.outcome()
+    );
+    assert!(chase.approx_bytes() >= 64 * 1024);
+}

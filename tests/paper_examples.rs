@@ -75,7 +75,8 @@ fn mandatory_attribute_containment_mechanism() {
             max_conjuncts: 100_000,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     use flogic_lite::model::RuleId;
     assert!(
         chase.stats().applications[RuleId::R10.index()] >= 1,
@@ -154,7 +155,8 @@ fn example_2_chain_structure() {
             max_conjuncts: 100_000,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(
         chase.outcome(),
         ChaseOutcome::LevelBounded,
@@ -193,7 +195,8 @@ fn example_2_branching_via_rho3() {
             max_conjuncts: 100_000,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let branch = chase.conjuncts().any(|(_, a, _)| {
         a.pred() == Pred::Member && a.arg(1) == Term::var("U") && a.arg(0).is_null()
     });
@@ -210,7 +213,8 @@ fn example_2_satisfies_locality_lemma() {
             max_conjuncts: 100_000,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let violations = locality_violations(&chase);
     assert!(violations.is_empty(), "locality violations: {violations:?}");
 }
@@ -224,7 +228,8 @@ fn example_2_dot_rendering_is_figure_1_shaped() {
             max_conjuncts: 100_000,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let dot = flogic_lite::chase::to_dot(&chase);
     assert!(dot.contains("mandatory(A, T)"));
     assert!(dot.contains("sub(T, U)"));

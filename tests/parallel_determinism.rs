@@ -83,6 +83,7 @@ fn example_1_chase_minus_is_thread_count_invariant() {
                 ..Default::default()
             },
         )
+        .unwrap()
     });
 }
 
@@ -97,8 +98,10 @@ fn example_2_bounded_chase_is_thread_count_invariant() {
                 level_bound: 9,
                 max_conjuncts: 100_000,
                 threads,
+                ..Default::default()
             },
         )
+        .unwrap()
     });
 }
 
@@ -119,8 +122,10 @@ fn generated_chases_are_thread_count_invariant() {
                     level_bound: 4,
                     max_conjuncts: 50_000,
                     threads,
+                    ..Default::default()
                 },
             )
+            .unwrap()
         });
     }
 }
@@ -136,8 +141,10 @@ fn truncated_chases_are_thread_count_invariant() {
                 level_bound: 40,
                 max_conjuncts: 60,
                 threads,
+                ..Default::default()
             },
         )
+        .unwrap()
     });
 }
 
@@ -168,17 +175,68 @@ fn containment_verdicts_are_thread_count_invariant() {
                 },
             )
         };
-        let Ok(base) = decide(1) else { continue }; // resource-capped pair
+        let base = decide(1).unwrap();
+        if base.is_exhausted() {
+            continue; // resource-capped pair
+        }
         compared += 1;
         for &threads in &THREAD_COUNTS[1..] {
-            let r = decide(threads).expect("same pair stays within the cap");
-            assert_eq!(base.holds(), r.holds(), "seed {seed}, threads {threads}");
+            let r = decide(threads).expect("worker threads must not fail");
+            assert_eq!(
+                base.verdict(),
+                r.verdict(),
+                "seed {seed}, threads {threads}"
+            );
             assert_eq!(base.is_vacuous(), r.is_vacuous());
             assert_eq!(base.chase_conjuncts(), r.chase_conjuncts());
             assert_eq!(base.max_chase_level(), r.max_chase_level());
         }
     }
     assert!(compared >= 10, "workload mostly within the resource cap");
+}
+
+#[test]
+fn generous_budget_verdicts_are_thread_count_invariant() {
+    // A budget that is never hit must be invisible: the governed runs are
+    // bit-identical to each other across thread counts (its checks are
+    // pure reads at deterministic points).
+    use flogic_lite::chase::Budget;
+    let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
+    assert_identical_chases("example 2 under a generous budget", |threads| {
+        chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: 9,
+                max_conjuncts: 100_000,
+                threads,
+                budget: Budget::with_timeout(std::time::Duration::from_secs(600))
+                    .steps(u64::MAX)
+                    .bytes(usize::MAX),
+            },
+        )
+        .unwrap()
+    });
+}
+
+#[test]
+fn step_capped_chases_are_thread_count_invariant() {
+    // The step cap counts candidate rule instances in the deterministic
+    // application order, so even an *exhausted* run stops at the same
+    // point for every thread count.
+    use flogic_lite::chase::Budget;
+    let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
+    assert_identical_chases("example 2 step-capped", |threads| {
+        chase_bounded(
+            &q,
+            &ChaseOptions {
+                level_bound: 40,
+                max_conjuncts: 100_000,
+                threads,
+                budget: Budget::unlimited().steps(300),
+            },
+        )
+        .unwrap()
+    });
 }
 
 #[test]

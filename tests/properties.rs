@@ -113,8 +113,9 @@ fn locality_lemma_holds() {
                 max_conjuncts: 60_000,
                 ..Default::default()
             },
-        );
-        if !chase.is_failed() && chase.outcome() != ChaseOutcome::Truncated {
+        )
+        .unwrap();
+        if !chase.is_failed() && !chase.is_exhausted() {
             let violations = locality_violations(&chase);
             assert!(
                 violations.is_empty(),
@@ -174,8 +175,9 @@ fn bounded_chase_respects_bound() {
                 max_conjuncts: 60_000,
                 ..Default::default()
             },
-        );
-        if chase.outcome() != ChaseOutcome::Truncated {
+        )
+        .unwrap();
+        if !chase.is_exhausted() {
             assert!(chase.max_level() <= bound, "seed {seed}: {q}");
         }
     }
