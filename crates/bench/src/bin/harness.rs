@@ -15,6 +15,8 @@
 //! exported as `bench_results/analysis_counters.csv`). Resource-governor
 //! stops (deadline hits, budget hits, cancellations) are tracked per
 //! experiment and exported as `bench_results/governor_counters.csv`.
+//! E10 additionally exports its aggregate chase profile as
+//! `bench_results/rule_profile.csv` and `bench_results/level_growth.csv`.
 
 use std::path::PathBuf;
 
@@ -50,6 +52,13 @@ fn run(id: &str, quick: bool, threads: usize) -> Option<ExperimentOutput> {
                 experiments::e9(5, 8, threads)
             }
         }
+        "e10" => {
+            if quick {
+                experiments::e10(10, 3)
+            } else {
+                experiments::e10(40, 5)
+            }
+        }
         _ => return None,
     };
     Some(out)
@@ -79,7 +88,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = (1..=9).map(|i| format!("e{i}")).collect();
+        ids = (1..=10).map(|i| format!("e{i}")).collect();
     }
 
     let dir = out_dir();
@@ -99,7 +108,7 @@ fn main() {
     for id in &ids {
         let before = Metrics::global().snapshot();
         let Some(output) = run(id, quick, threads) else {
-            eprintln!("unknown experiment `{id}` (expected e1..e9)");
+            eprintln!("unknown experiment `{id}` (expected e1..e10)");
             std::process::exit(2);
         };
         for (i, table) in output.tables.iter().enumerate() {
@@ -115,6 +124,14 @@ fn main() {
         }
         for note in &output.notes {
             println!("{note}");
+        }
+        for (name, contents) in &output.files {
+            let path = dir.join(name);
+            let written =
+                std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, contents));
+            if let Err(e) = written {
+                eprintln!("warning: could not write {name}: {e}");
+            }
         }
         let delta = Metrics::global().snapshot().since(&before);
         println!("[{id} metrics] {delta}\n");

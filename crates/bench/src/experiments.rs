@@ -29,6 +29,10 @@ pub struct ExperimentOutput {
     pub tables: Vec<Table>,
     /// Extra artifacts (e.g. a DOT rendering) printed after the tables.
     pub notes: Vec<String>,
+    /// Extra files to write verbatim under `bench_results/` as
+    /// `(file name, contents)` — for exports that are not shaped like a
+    /// [`Table`] (e.g. E10's profile CSVs).
+    pub files: Vec<(String, String)>,
 }
 
 fn rng(seed: u64) -> SplitMix64 {
@@ -104,6 +108,7 @@ pub fn e1() -> ExperimentOutput {
     ExperimentOutput {
         tables: vec![t],
         notes: vec![],
+        files: vec![],
     }
 }
 
@@ -147,6 +152,7 @@ pub fn e2() -> ExperimentOutput {
     ExperimentOutput {
         tables: vec![t],
         notes: vec![],
+        files: vec![],
     }
 }
 
@@ -218,6 +224,7 @@ pub fn e3() -> ExperimentOutput {
             format!("Figure 1 (text rendering):\n{text}"),
             format!("DOT:\n{dot}"),
         ],
+        files: vec![],
     }
 }
 
@@ -349,6 +356,7 @@ pub fn e4(pairs: usize, dbs_per_pair: u64) -> ExperimentOutput {
     ExperimentOutput {
         tables: vec![t],
         notes: vec![],
+        files: vec![],
     }
 }
 
@@ -500,6 +508,7 @@ pub fn e5(reps: usize) -> ExperimentOutput {
     ExperimentOutput {
         tables: vec![chains, cyclic, random],
         notes: vec![],
+        files: vec![],
     }
 }
 
@@ -632,6 +641,7 @@ pub fn e6(pairs: u64) -> ExperimentOutput {
     ExperimentOutput {
         tables: vec![t, curated],
         notes: vec![],
+        files: vec![],
     }
 }
 
@@ -681,6 +691,7 @@ pub fn e7() -> ExperimentOutput {
              lower-bound question)."
                 .into(),
         ],
+        files: vec![],
     }
 }
 
@@ -725,6 +736,7 @@ pub fn e8(reps: usize) -> ExperimentOutput {
     ExperimentOutput {
         tables: vec![t],
         notes: vec![],
+        files: vec![],
     }
 }
 
@@ -923,6 +935,142 @@ pub fn e9(distinct: usize, repeats: usize, threads: usize) -> ExperimentOutput {
              with a single core the parallel engine can only demonstrate determinism, \
              not speedup."
         )],
+        files: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E10 — overhead of the tracing layer + exported chase profiles.
+// ---------------------------------------------------------------------------
+
+/// E10: A/B microbenchmark of the disabled tracer on the E4 workload, plus
+/// an enabled pass whose aggregate [`ChaseProfile`](flogic_obs::ChaseProfile)
+/// is exported as `rule_profile.csv` and `level_growth.csv`.
+///
+/// The disabled handle is measured twice: the spread between the two
+/// disabled runs is the noise floor the enabled-run overhead must be read
+/// against. The acceptance bar is disabled-vs-disabled ≈ enabled overhead
+/// (the disabled handle costs one branch per site).
+pub fn e10(pairs: usize, reps: usize) -> ExperimentOutput {
+    use flogic_obs::{export, ChaseProfile, TraceHandle, Tracer};
+
+    let qcfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
+    let gcfg = GeneralizeConfig::default();
+    // Pre-generate the workload so every configuration decides the
+    // identical pair list (the E4 generator, first arm).
+    let workload: Vec<(ConjunctiveQuery, ConjunctiveQuery)> = (0..pairs as u64)
+        .map(|i| {
+            let q1 = random_query(&qcfg, &mut rng(i));
+            let q2 = generalize(&q1, &gcfg, &mut rng(i + 10_000));
+            (q1, q2)
+        })
+        .collect();
+
+    let decide_all = |trace: &TraceHandle| -> usize {
+        let opts = ContainmentOptions {
+            max_conjuncts: 50_000,
+            trace: trace.clone(),
+            ..Default::default()
+        };
+        workload
+            .iter()
+            .filter(|(q1, q2)| {
+                contains_with(q1, q2, &opts).is_ok_and(|v| !v.is_exhausted() && v.holds())
+            })
+            .count()
+    };
+
+    // A/B protocol: the disabled handle is benchmarked twice with the
+    // vendored microbench runner (warmed up, batch-sized, min-of-samples),
+    // then the enabled handle with one long-lived tracer (ring allocation
+    // is a per-profiling-session cost, not a per-decision cost). The
+    // minimum is the robust statistic here: the A/B claim is about the
+    // instrumentation's intrinsic cost, not scheduler noise.
+    let mut runner = crate::microbench::Runner::new("e10");
+    runner.samples(reps.max(2)).min_sample_ms(5);
+    runner.bench("disabled_a", || decide_all(&TraceHandle::Disabled));
+    runner.bench("disabled_b", || decide_all(&TraceHandle::Disabled));
+    let tracer = Tracer::with_default_capacity();
+    let enabled_handle = TraceHandle::enabled(&tracer);
+    runner.bench("enabled", || decide_all(&enabled_handle));
+    let [disabled_a, disabled_b, enabled] = runner.results() else {
+        unreachable!("three benches recorded");
+    };
+
+    let pct = |num: f64, base: f64| {
+        if base > 0.0 {
+            format!("{:+.2}%", (num - base) / base * 100.0)
+        } else {
+            "n/a".into()
+        }
+    };
+    let base = disabled_a
+        .min
+        .as_secs_f64()
+        .min(disabled_b.min.as_secs_f64());
+    let mut t = Table::new(
+        "E10: tracer overhead on the E4 workload (expected: disabled A/B within \
+         noise of each other; enabled pays only for event appends)",
+        &[
+            "config",
+            "workload min",
+            "workload median",
+            "vs disabled best",
+        ],
+    );
+    for (label, s) in [
+        ("tracing disabled (run A)", &disabled_a),
+        ("tracing disabled (run B)", &disabled_b),
+        ("tracing enabled", &enabled),
+    ] {
+        t.push(vec![
+            label.into(),
+            micros(s.min),
+            micros(s.median),
+            pct(s.min.as_secs_f64(), base),
+        ]);
+    }
+
+    // Profile pass: one tracer per pair (fresh rings, so nothing is
+    // dropped between pairs), aggregated into a single workload profile.
+    let mut profile = ChaseProfile::default();
+    for (q1, q2) in &workload {
+        let tracer = Tracer::with_default_capacity();
+        let opts = ContainmentOptions {
+            max_conjuncts: 50_000,
+            trace: TraceHandle::enabled(&tracer),
+            ..Default::default()
+        };
+        let _ = contains_with(q1, q2, &opts);
+        profile.absorb(&ChaseProfile::from_snapshot(&tracer.snapshot()));
+    }
+
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![format!(
+            "E10 workload: {pairs} generated containment pairs (E4 generator); \
+             each config benched over {reps} batch-sized samples (min is the \
+             headline). Aggregate profile over the traced pass: {} rule \
+             firings, observed depth {} (exported as rule_profile.csv and \
+             level_growth.csv).",
+            profile.total_firings(),
+            profile.observed_depth,
+        )],
+        files: vec![
+            (
+                "rule_profile.csv".into(),
+                export::rule_profile_csv(&profile),
+            ),
+            (
+                "level_growth.csv".into(),
+                export::level_growth_csv(&profile),
+            ),
+        ],
     }
 }
 

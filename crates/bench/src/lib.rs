@@ -16,6 +16,7 @@
 //! | E7 | the Theorem 12 level bound vs the level actually needed |
 //! | E8 | `chase⁻` stays polynomial (Theorem 13, step 1) |
 //! | E9 | repeated-query batches: decision cache, shared chase, parallel chase |
+//! | E10 | tracer overhead A/B (disabled handle vs enabled) + exported chase profiles |
 
 pub mod experiments;
 pub mod microbench;

@@ -7,7 +7,8 @@ use crate::engine::Chase;
 
 /// Renders the chase graph in Graphviz DOT format.
 ///
-/// Nodes are conjuncts labelled with their atom and level and ranked by
+/// Nodes are conjuncts labelled with their atom, their level, and — for
+/// derived conjuncts — the `Σ_FL` rule that invented them, ranked by
 /// level (level 0 at the top, like the paper's Figure 1); solid arcs are
 /// ordinary arcs, dashed arcs are cross-arcs; every arc is labelled with
 /// the rule (ρi) that produced it.
@@ -24,7 +25,14 @@ pub fn to_dot(chase: &Chase) -> String {
         let _ = writeln!(out, "  {{ rank=same; /* level {level} */");
         for id in ids {
             let atom = chase.atom(id);
-            let _ = writeln!(out, "    {id} [label=\"{atom}\\nlevel {level}\"];");
+            match chase.rule_of(id) {
+                Some(rule) => {
+                    let _ = writeln!(out, "    {id} [label=\"{atom}\\nlevel {level} ({rule})\"];");
+                }
+                None => {
+                    let _ = writeln!(out, "    {id} [label=\"{atom}\\nlevel {level}\"];");
+                }
+            }
         }
         out.push_str("  }\n");
     }
@@ -106,6 +114,71 @@ mod tests {
         assert!(text.contains("level 0:"));
         assert!(text.contains("level 1:"));
         assert!(text.contains("[rho5 from mandatory(A, T)]"));
+    }
+
+    /// Parses the DOT output back and checks its structural invariants:
+    /// every node is declared exactly once inside a `rank=same` block whose
+    /// level comment matches the node's `level N` label, derived nodes (the
+    /// target of at least one arc) carry an inventing-rule annotation
+    /// `(rhoN)`, and every arc endpoint refers to a declared node.
+    #[test]
+    fn dot_parses_its_own_node_and_edge_invariants() {
+        let dot = to_dot(&example2());
+        let mut declared: std::collections::HashMap<String, (u32, String)> =
+            std::collections::HashMap::new();
+        let mut edges: Vec<(String, String)> = Vec::new();
+        let mut current_level: Option<u32> = None;
+        for line in dot.lines() {
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("{ rank=same; /* level ") {
+                let n = rest.trim_end_matches(" */").parse().unwrap();
+                current_level = Some(n);
+            } else if t == "}" && current_level.is_some() {
+                current_level = None;
+            } else if let Some((from_s, rest)) = t.split_once(" -> ") {
+                let to_s = rest.split(' ').next().unwrap();
+                edges.push((from_s.to_string(), to_s.to_string()));
+            } else if let Some((id_s, rest)) = t.split_once(" [label=\"") {
+                if !id_s.starts_with('c') {
+                    continue; // the global `node [...]` attribute line
+                }
+                let label = rest.strip_suffix("\"];").expect("label line terminator");
+                let level = current_level.expect("node declared outside a rank block");
+                assert!(
+                    label.contains(&format!("\\nlevel {level}")),
+                    "node {id_s} label `{label}` disagrees with block level {level}"
+                );
+                assert!(
+                    declared
+                        .insert(id_s.to_string(), (level, label.to_string()))
+                        .is_none(),
+                    "node {id_s} declared twice"
+                );
+            }
+        }
+        assert!(!declared.is_empty() && !edges.is_empty());
+        for (from, to) in &edges {
+            assert!(
+                declared.contains_key(from),
+                "arc from undeclared node {from}"
+            );
+            assert!(declared.contains_key(to), "arc to undeclared node {to}");
+        }
+        // Derived conjuncts carry the inventing rule; initial (level-0,
+        // never-targeted) conjuncts do not.
+        let targets: std::collections::HashSet<&String> = edges.iter().map(|(_, to)| to).collect();
+        let mut annotated = 0usize;
+        for (id, (_, label)) in &declared {
+            if targets.contains(id) {
+                assert!(
+                    label.contains("(rho"),
+                    "derived node {id} label `{label}` lacks its inventing rule"
+                );
+                annotated += 1;
+            }
+        }
+        assert!(annotated > 0, "Example 2 derives at least one conjunct");
+        assert!(dot.contains("(rho5)"), "a rho5 invention is annotated");
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::time::Instant;
 use flogic_model::{
     sigma_fl, Atom, ConjunctiveQuery, Pred, RuleId, SigmaRule, Tgd, SIGMA_RULE_COUNT,
 };
+use flogic_obs::{ChaseEvent, SpanKind, TraceHandle};
 use flogic_term::{Metrics, NullGen, Subst, Term};
 
 use crate::governor::{Budget, ChaseError, ExhaustReason};
@@ -37,6 +38,11 @@ pub struct ChaseOptions {
     /// Resource budget (deadline, step/byte caps, cancellation). The
     /// default is unlimited.
     pub budget: Budget,
+    /// Structured-event sink. The default ([`TraceHandle::Disabled`])
+    /// reduces every instrumentation site to one branch; enabling tracing
+    /// never changes which rule applications happen (it only observes),
+    /// so traced runs stay bit-identical to untraced ones.
+    pub trace: TraceHandle,
 }
 
 impl Default for ChaseOptions {
@@ -46,6 +52,7 @@ impl Default for ChaseOptions {
             max_conjuncts: 1_000_000,
             threads: 1,
             budget: Budget::default(),
+            trace: TraceHandle::Disabled,
         }
     }
 }
@@ -153,6 +160,10 @@ pub struct Chase {
     merge_map: Subst,
     outcome: ChaseOutcome,
     stats: ChaseStats,
+    /// Event sink (worker 0); parallel discovery workers derive their own
+    /// handles from it. Purely observational — never consulted for
+    /// control flow.
+    trace: TraceHandle,
     /// Set when an application was skipped because of the level bound.
     hit_bound: bool,
     /// Record cross-arcs (enabled for the bounded phase only; level-0
@@ -175,6 +186,7 @@ impl Chase {
             merge_map: Subst::new(),
             outcome: ChaseOutcome::Completed,
             stats: ChaseStats::default(),
+            trace: TraceHandle::Disabled,
             hit_bound: false,
             record_cross: false,
         };
@@ -382,6 +394,16 @@ impl Chase {
     /// bumps the matching governor counter.
     fn exhaust(&mut self, reason: ExhaustReason) {
         self.outcome = ChaseOutcome::Exhausted { reason };
+        let reason_index = match reason {
+            ExhaustReason::Conjuncts => 0u8,
+            ExhaustReason::Deadline => 1,
+            ExhaustReason::Steps => 2,
+            ExhaustReason::Bytes => 3,
+            ExhaustReason::Cancelled => 4,
+        };
+        self.trace.emit(|| ChaseEvent::GovernorStop {
+            reason: reason_index,
+        });
         let m = Metrics::global();
         match reason {
             ExhaustReason::Deadline => m.record_governor_deadline(),
@@ -438,14 +460,21 @@ impl Chase {
         loop {
             // Collect all equations demanded by ρ4 in the current state.
             let mut uf: HashMap<Term, Term> = HashMap::new();
-            fn find(uf: &HashMap<Term, Term>, mut t: Term) -> Term {
+            // Walks the parent chain; returns the root and the number of
+            // hops (the union-find depth reported by `EgdMerge` events).
+            fn find_depth(uf: &HashMap<Term, Term>, mut t: Term) -> (Term, u32) {
+                let mut hops = 0u32;
                 while let Some(&p) = uf.get(&t) {
                     if p == t {
                         break;
                     }
                     t = p;
+                    hops += 1;
                 }
-                t
+                (t, hops)
+            }
+            fn find(uf: &HashMap<Term, Term>, t: Term) -> Term {
+                find_depth(uf, t).0
             }
             let mut pending = false;
             for &fid in &self.by_pred[Pred::Funct.index()] {
@@ -485,12 +514,19 @@ impl Chase {
             }
             // Normalize into a substitution and rewrite the whole chase.
             let mut merge = Subst::new();
+            let mut max_depth = 0u32;
             let keys: Vec<Term> = uf.keys().copied().collect();
             for k in keys {
-                let r = find(&uf, k);
+                let (r, hops) = find_depth(&uf, k);
+                max_depth = max_depth.max(hops);
                 merge.bind(k, r);
             }
+            let merged = u32::try_from(merge.len()).unwrap_or(u32::MAX);
             self.apply_merge(&merge);
+            self.trace.emit(|| ChaseEvent::EgdMerge {
+                merged,
+                depth: max_depth,
+            });
             changed_any = true;
         }
     }
@@ -706,7 +742,12 @@ impl Chase {
         std::thread::scope(|scope| {
             let handles: Vec<_> = frontier
                 .chunks(chunk_size)
-                .map(|chunk| {
+                .enumerate()
+                .map(|(i, chunk)| {
+                    // Worker slot i+1: slot 0 is the coordinating thread.
+                    // Handles are derived before spawning so ring creation
+                    // happens in deterministic chunk order.
+                    let worker_trace = self.trace.worker((i + 1) as u32);
                     scope.spawn(move || {
                         #[cfg(test)]
                         if INJECT_WORKER_PANIC.load(std::sync::atomic::Ordering::Relaxed) {
@@ -716,6 +757,10 @@ impl Chase {
                         for &id in chunk {
                             self.collect_candidates(tgds, id, &mut out);
                         }
+                        worker_trace.emit(|| ChaseEvent::DiscoveryChunk {
+                            conjuncts: chunk.len() as u64,
+                            candidates: out.len() as u64,
+                        });
                         out
                     })
                 })
@@ -784,6 +829,7 @@ impl Chase {
             Ok(false) => {}
         }
 
+        let mut round: u32 = 0;
         while !frontier.is_empty() {
             if governed {
                 if let Some(reason) = self.governor_checkpoint(&opts.budget) {
@@ -791,6 +837,19 @@ impl Chase {
                     return Ok(());
                 }
             }
+            // Frontier snapshot event. Guarded: `max_level` is an O(n)
+            // scan we must not pay when tracing is off.
+            if self.trace.is_enabled() {
+                let (frontier_len, atoms, max_level) =
+                    (frontier.len() as u64, self.len() as u64, self.max_level());
+                self.trace.emit(|| ChaseEvent::Frontier {
+                    round,
+                    max_level,
+                    frontier: frontier_len,
+                    atoms,
+                });
+            }
+            round = round.saturating_add(1);
             let candidates = self.discover(tgds, &frontier, threads)?;
 
             let mut next: Vec<ConjunctId> = Vec::new();
@@ -853,6 +912,11 @@ impl Chase {
                         };
                         debug_assert!(new);
                         self.stats.applications[cand.rule.index()] += 1;
+                        let rule_index = cand.rule.index() as u8;
+                        self.trace.emit(|| ChaseEvent::RuleFired {
+                            rule: rule_index,
+                            level: new_level,
+                        });
                         for &p in &parents {
                             self.add_arc(p, nid, cand.rule, false);
                         }
@@ -894,8 +958,13 @@ impl Chase {
                             self.exhaust(ExhaustReason::Conjuncts);
                             return Ok(());
                         }
-                        let fresh = Term::Null(self.nulls.fresh());
+                        let fresh_null = self.nulls.fresh();
+                        let fresh = Term::Null(fresh_null);
                         self.stats.nulls_invented += 1;
+                        self.trace.emit(|| ChaseEvent::NullInvented {
+                            null: fresh_null.0,
+                            level: new_level,
+                        });
                         let mut s = Subst::new();
                         s.bind(ex, fresh);
                         let head = head.apply(&s);
@@ -907,6 +976,11 @@ impl Chase {
                         };
                         debug_assert!(new);
                         self.stats.applications[cand.rule.index()] += 1;
+                        let rule_index = cand.rule.index() as u8;
+                        self.trace.emit(|| ChaseEvent::RuleFired {
+                            rule: rule_index,
+                            level: new_level,
+                        });
                         for &p in &parents {
                             self.add_arc(p, nid, cand.rule, false);
                         }
@@ -1020,6 +1094,7 @@ pub fn chase_minus(q: &ConjunctiveQuery) -> Chase {
 pub fn chase_minus_with(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Chase, ChaseError> {
     Metrics::global().time_chase(|| {
         let mut chase = Chase::new(q);
+        chase.trace = opts.trace.clone();
         if chase.is_exhausted() {
             return Ok(chase);
         }
@@ -1027,6 +1102,7 @@ pub fn chase_minus_with(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Cha
             level_bound: u32::MAX,
             ..opts.clone()
         };
+        let _span = chase.trace.span(SpanKind::ChaseMinus);
         chase.run(&sigma_tgds(false), &opts)?;
         chase.reset_levels();
         Ok(chase)
@@ -1047,6 +1123,7 @@ pub fn chase_minus_with(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Cha
 pub fn chase_bounded(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Chase, ChaseError> {
     Metrics::global().time_chase(|| {
         let mut chase = Chase::new(q);
+        chase.trace = opts.trace.clone();
         if chase.is_exhausted() {
             return Ok(chase);
         }
@@ -1054,13 +1131,17 @@ pub fn chase_bounded(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Chase,
             level_bound: u32::MAX,
             ..opts.clone()
         };
-        chase.run(&sigma_tgds(false), &prelim)?;
+        {
+            let _span = chase.trace.span(SpanKind::ChaseMinus);
+            chase.run(&sigma_tgds(false), &prelim)?;
+        }
         if chase.is_failed() || chase.is_exhausted() {
             return Ok(chase);
         }
         chase.reset_levels();
         chase.hit_bound = false;
         chase.record_cross = true;
+        let _span = chase.trace.span(SpanKind::ChaseBounded);
         chase.run(&sigma_tgds(true), opts)?;
         Ok(chase)
     })

@@ -300,7 +300,11 @@ impl DecisionCache {
             bound: effective_bound(q1, q2, opts),
             analysis: opts.analysis,
         };
-        if let Some(hit) = self.lookup(&key) {
+        let hit = self.lookup(&key);
+        let was_hit = hit.is_some();
+        opts.trace
+            .emit(|| flogic_obs::ChaseEvent::CacheLookup { hit: was_hit });
+        if let Some(hit) = hit {
             return Ok(hit.restore());
         }
         let result = contains_with(q1, q2, opts)?;
@@ -342,16 +346,22 @@ impl DecisionCache {
         let mut out: Vec<Option<Result<ContainmentResult, CoreError>>> =
             Vec::with_capacity(q2s.len());
         for (i, key) in keys.iter().enumerate() {
+            let was_hit;
             if let Some(&r) = rep.get(key) {
                 Metrics::global().record_cache_hit();
                 dup_of[i] = Some(r);
                 out.push(None);
+                was_hit = true;
             } else if let Some(d) = self.lookup(key) {
                 out.push(Some(Ok(d.restore())));
+                was_hit = true;
             } else {
                 rep.insert(key, i);
                 out.push(None);
+                was_hit = false;
             }
+            opts.trace
+                .emit(|| flogic_obs::ChaseEvent::CacheLookup { hit: was_hit });
         }
 
         let missed: Vec<usize> = (0..q2s.len())

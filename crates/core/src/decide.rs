@@ -2,8 +2,9 @@
 
 use flogic_analysis::{direct_unsat, QueryAnalysis};
 use flogic_chase::{chase_bounded, Budget, Chase, ChaseOptions, ChaseOutcome, ExhaustReason};
-use flogic_hom::{find_hom, Target};
+use flogic_hom::{find_hom_traced, Target};
 use flogic_model::ConjunctiveQuery;
+use flogic_obs::{ChaseEvent, SpanKind, TraceHandle};
 use flogic_term::{Metrics, Subst};
 
 use crate::CoreError;
@@ -36,6 +37,11 @@ pub struct ContainmentOptions {
     /// [`Verdict::Exhausted`] with the partial chase statistics instead of
     /// an error. Default: unlimited.
     pub budget: Budget,
+    /// Structured-event sink, threaded down into the chase engine and the
+    /// homomorphism search. The default ([`TraceHandle::Disabled`]) costs
+    /// one branch per instrumentation site; enabling tracing never changes
+    /// the verdict (it only observes). Default: disabled.
+    pub trace: TraceHandle,
 }
 
 impl Default for ContainmentOptions {
@@ -46,6 +52,7 @@ impl Default for ContainmentOptions {
             threads: 1,
             analysis: true,
             budget: Budget::default(),
+            trace: TraceHandle::Disabled,
         }
     }
 }
@@ -207,6 +214,12 @@ pub fn contains_with(
         });
     }
     let bound = opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2));
+    let _decide_span = opts.trace.span(SpanKind::Decide);
+    let theorem = theorem_bound(q1, q2);
+    opts.trace.emit(|| ChaseEvent::Bound {
+        level_bound: u64::from(bound),
+        theorem_bound: u64::from(theorem),
+    });
     if opts.analysis {
         if let Some(early) = analyze_pair(q1, q2, bound) {
             return Ok(early);
@@ -220,6 +233,7 @@ pub fn contains_with(
             max_conjuncts: opts.max_conjuncts,
             threads: opts.threads,
             budget: opts.budget.clone(),
+            trace: opts.trace.clone(),
         },
     )?;
     match chase.outcome() {
@@ -243,7 +257,7 @@ pub fn contains_with(
         ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}
     }
     let target = Target::from_chase(&chase);
-    let witness = find_hom(q2.body(), q2.head(), &target, chase.head());
+    let witness = find_hom_traced(q2.body(), q2.head(), &target, chase.head(), &opts.trace);
     Ok(ContainmentResult {
         verdict: if witness.is_some() {
             Verdict::Holds
@@ -344,6 +358,17 @@ pub fn contains_batch(
         .map(|q2| opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2)))
         .max()
         .unwrap_or(0);
+    let _decide_span = opts.trace.span(SpanKind::Decide);
+    let theorem = q2s
+        .iter()
+        .filter(|q2| q2.arity() == q1.arity())
+        .map(|q2| theorem_bound(q1, q2))
+        .max()
+        .unwrap_or(0);
+    opts.trace.emit(|| ChaseEvent::Bound {
+        level_bound: u64::from(bound),
+        theorem_bound: u64::from(theorem),
+    });
     if opts.analysis {
         if let Some((left, right)) = direct_unsat(q1) {
             // One visible ρ4 violation settles every same-arity slot
@@ -380,6 +405,7 @@ pub fn contains_batch(
             max_conjuncts: opts.max_conjuncts,
             threads: opts.threads,
             budget: opts.budget.clone(),
+            trace: opts.trace.clone(),
         },
     ) {
         Ok(chase) => chase,
@@ -442,7 +468,7 @@ pub fn contains_batch(
                 }
                 Metrics::global().record_analysis_chased();
             }
-            let witness = find_hom(q2.body(), q2.head(), &target, chase.head());
+            let witness = find_hom_traced(q2.body(), q2.head(), &target, chase.head(), &opts.trace);
             Ok(ContainmentResult {
                 verdict: if witness.is_some() {
                     Verdict::Holds

@@ -144,6 +144,7 @@ pub fn explain(
             max_conjuncts: opts.max_conjuncts,
             threads: opts.threads,
             budget: opts.budget.clone(),
+            trace: opts.trace.clone(),
         },
     )?;
     match chase.outcome() {

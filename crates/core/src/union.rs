@@ -51,6 +51,7 @@ pub fn contained_in_union(
             max_conjuncts: opts.max_conjuncts,
             threads: opts.threads,
             budget: opts.budget.clone(),
+            trace: opts.trace.clone(),
         },
     )?;
     match chase.outcome() {

@@ -1,6 +1,7 @@
 //! Backtracking homomorphism search.
 
 use flogic_model::Atom;
+use flogic_obs::{ChaseEvent, SpanKind, TraceHandle};
 use flogic_term::{Subst, Term};
 
 use crate::Target;
@@ -63,11 +64,16 @@ fn head_binding(source_head: &[Term], target_head: &[Term]) -> Option<Subst> {
 
 /// Depth-first search with dynamic fewest-candidates-first atom ordering.
 /// `found` returning `true` stops the search.
+///
+/// `trace` is purely observational: it records node expansions, candidate
+/// prunes and backtracks, but never influences atom ordering or candidate
+/// enumeration (the disabled handle is a single branch per event).
 fn search(
     source: &[Atom],
     target: &Target,
     s: Subst,
     remaining: &mut Vec<usize>,
+    trace: &TraceHandle,
     found: &mut dyn FnMut(&Subst) -> bool,
 ) -> bool {
     let Some(best_slot) = (0..remaining.len()).min_by_key(|&slot| {
@@ -77,6 +83,8 @@ fn search(
         return found(&s);
     };
     let atom_idx = remaining.swap_remove(best_slot);
+    // Source atoms mapped counting the one being matched right now.
+    let depth = (source.len() - remaining.len()) as u32;
     // The applied pattern is used for *index retrieval only* (bound
     // variables with ground images make positions selective); unification
     // always runs against the original atom so that variable images are
@@ -86,14 +94,18 @@ fn search(
     let candidates: Vec<usize> = target.candidates(&index_probe).to_vec();
     for cand in candidates {
         if let Some(s2) = unify(&source[atom_idx], target.atom_at(cand), &s) {
-            if search(source, target, s2, remaining, found) {
+            trace.emit(|| ChaseEvent::HomExpand { depth });
+            if search(source, target, s2, remaining, trace, found) {
                 remaining.push(atom_idx); // restore before unwinding
                 let last = remaining.len() - 1;
                 remaining.swap(best_slot.min(last), last);
                 return true;
             }
+        } else {
+            trace.emit(|| ChaseEvent::HomPrune { depth });
         }
     }
+    trace.emit(|| ChaseEvent::HomBacktrack { depth });
     remaining.push(atom_idx);
     let last = remaining.len() - 1;
     remaining.swap(best_slot.min(last), last);
@@ -121,14 +133,35 @@ pub fn find_hom(
     target: &Target,
     target_head: &[Term],
 ) -> Option<Subst> {
+    find_hom_traced(
+        source,
+        source_head,
+        target,
+        target_head,
+        &TraceHandle::Disabled,
+    )
+}
+
+/// [`find_hom`] with a structured-event sink: records a `HomSearch` span
+/// plus node expansions, candidate prunes and backtracks. The trace is
+/// purely observational — the search result is bit-identical to
+/// [`find_hom`]'s for every handle.
+pub fn find_hom_traced(
+    source: &[Atom],
+    source_head: &[Term],
+    target: &Target,
+    target_head: &[Term],
+    trace: &TraceHandle,
+) -> Option<Subst> {
     flogic_term::Metrics::global().time_hom(|| {
+        let _span = trace.span(SpanKind::HomSearch);
         if source_head.len() != target_head.len() {
             return None;
         }
         let s = head_binding(source_head, target_head)?;
         let mut remaining: Vec<usize> = (0..source.len()).collect();
         let mut result = None;
-        search(source, target, s, &mut remaining, &mut |hom| {
+        search(source, target, s, &mut remaining, trace, &mut |hom| {
             result = Some(hom.clone());
             true
         });
@@ -156,10 +189,17 @@ pub fn all_homs(
         };
         let mut remaining: Vec<usize> = (0..source.len()).collect();
         let mut out = Vec::new();
-        search(source, target, seed, &mut remaining, &mut |hom| {
-            out.push(hom.clone());
-            out.len() >= limit
-        });
+        search(
+            source,
+            target,
+            seed,
+            &mut remaining,
+            &TraceHandle::Disabled,
+            &mut |hom| {
+                out.push(hom.clone());
+                out.len() >= limit
+            },
+        );
         out
     })
 }
@@ -177,10 +217,17 @@ pub fn count_homs(
         };
         let mut remaining: Vec<usize> = (0..source.len()).collect();
         let mut n = 0usize;
-        search(source, target, seed, &mut remaining, &mut |_| {
-            n += 1;
-            false
-        });
+        search(
+            source,
+            target,
+            seed,
+            &mut remaining,
+            &TraceHandle::Disabled,
+            &mut |_| {
+                n += 1;
+                false
+            },
+        );
         n
     })
 }

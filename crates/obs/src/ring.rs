@@ -1,0 +1,169 @@
+//! A bounded, single-writer ring buffer of fixed-width event records.
+//!
+//! Each chase worker owns one [`Ring`] and is the only thread that ever
+//! appends to it (single-writer discipline, enforced by the tracer handing
+//! each worker its own ring). Appends are lock-free: plain relaxed stores
+//! of the payload words followed by a `Release` publish of the head
+//! counter; readers `Acquire` the head and then read the payload words.
+//!
+//! The head counter is the number of records *ever appended* — it never
+//! wraps conceptually (a `u64` at one increment per event outlives any
+//! run). When the ring is full, new records overwrite the oldest ones, so
+//! a snapshot always holds the newest `min(head, capacity)` records and
+//! [`Ring::dropped`] reports how many old records were overwritten.
+//!
+//! The workspace forbids `unsafe`, so the storage is a `Box<[AtomicU64]>`
+//! rather than a raw buffer. A reader that snapshots *while* the writer is
+//! mid-append could observe a torn record; in this workspace snapshots are
+//! only taken after workers are joined (quiescent), and even a torn read is
+//! merely a garbage word — [`crate::ChaseEvent::decode`] rejects records
+//! with unknown tags, so it can never become undefined behavior.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Words per event record: tag + three payload words.
+pub const RECORD_WORDS: usize = 4;
+
+/// A bounded single-writer ring of `[u64; RECORD_WORDS]` records.
+pub struct Ring {
+    /// Record slots, `capacity * RECORD_WORDS` words.
+    words: Box<[AtomicU64]>,
+    /// Records ever appended (monotone). `head % capacity` is the next slot.
+    head: AtomicU64,
+    /// Capacity in records (power of two not required).
+    capacity: u64,
+}
+
+impl Ring {
+    /// Creates a ring holding up to `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Ring {
+        let capacity = capacity.max(1);
+        let words = (0..capacity * RECORD_WORDS)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            words,
+            head: AtomicU64::new(0),
+            capacity: capacity as u64,
+        }
+    }
+
+    /// Capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Records ever appended (including any since overwritten).
+    pub fn appended(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.appended().saturating_sub(self.capacity)
+    }
+
+    /// Appends one record, overwriting the oldest if full.
+    ///
+    /// Must only be called by the ring's single writer thread.
+    pub fn append(&self, record: [u64; RECORD_WORDS]) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = (head % self.capacity) as usize * RECORD_WORDS;
+        for (i, &w) in record.iter().enumerate() {
+            self.words[slot + i].store(w, Ordering::Relaxed);
+        }
+        // Publish: everything stored above happens-before a reader that
+        // Acquire-loads the incremented head.
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Copies out the newest `min(appended, capacity)` records, oldest
+    /// first, paired with their global sequence numbers (0-based index in
+    /// append order). Intended to be called when the writer is quiescent.
+    pub fn snapshot(&self) -> Vec<(u64, [u64; RECORD_WORDS])> {
+        let head = self.head.load(Ordering::Acquire);
+        let len = head.min(self.capacity);
+        let first_seq = head - len;
+        let mut out = Vec::with_capacity(len as usize);
+        for seq in first_seq..head {
+            let slot = (seq % self.capacity) as usize * RECORD_WORDS;
+            let mut record = [0u64; RECORD_WORDS];
+            for (i, word) in record.iter_mut().enumerate() {
+                *word = self.words[slot + i].load(Ordering::Relaxed);
+            }
+            out.push((seq, record));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.capacity)
+            .field("appended", &self.appended())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(n: u64) -> [u64; RECORD_WORDS] {
+        [n, n + 1, n + 2, n + 3]
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let ring = Ring::new(8);
+        for n in 0..5 {
+            ring.append(rec(n));
+        }
+        assert_eq!(ring.appended(), 5);
+        assert_eq!(ring.dropped(), 0);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 5);
+        for (i, (seq, record)) in snap.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(*record, rec(i as u64));
+        }
+    }
+
+    #[test]
+    fn overflow_keeps_newest_and_counts_dropped() {
+        let ring = Ring::new(4);
+        for n in 0..10 {
+            ring.append(rec(n));
+        }
+        assert_eq!(ring.appended(), 10);
+        assert_eq!(ring.dropped(), 6);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        // The newest four records (6..10), oldest first, with true seqs.
+        for (i, (seq, record)) in snap.iter().enumerate() {
+            let n = 6 + i as u64;
+            assert_eq!(*seq, n);
+            assert_eq!(*record, rec(n));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let ring = Ring::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.append(rec(1));
+        ring.append(rec(2));
+        assert_eq!(ring.snapshot(), vec![(1, rec(2))]);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn empty_ring_snapshot_is_empty() {
+        let ring = Ring::new(4);
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+}

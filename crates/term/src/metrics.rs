@@ -19,6 +19,13 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+/// A duration as `u64` nanoseconds, saturating at `u64::MAX` instead of
+/// silently truncating the `u128` (a plain `as u64` would wrap a duration
+/// past ~584 years into a small number and corrupt the accumulator).
+fn saturating_nanos(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Process-global instrumentation counters (see the module docs).
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -61,14 +68,14 @@ impl Metrics {
     pub fn record_chase(&self, elapsed: Duration) {
         self.chase_runs.fetch_add(1, Ordering::Relaxed);
         self.chase_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(saturating_nanos(elapsed), Ordering::Relaxed);
     }
 
     /// Records one homomorphism search that took `elapsed`.
     pub fn record_hom(&self, elapsed: Duration) {
         self.hom_searches.fetch_add(1, Ordering::Relaxed);
         self.hom_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(saturating_nanos(elapsed), Ordering::Relaxed);
     }
 
     /// Records a containment-decision cache hit.
@@ -371,6 +378,26 @@ mod tests {
         assert_eq!(s.since(&s), MetricsSnapshot::default());
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn nanosecond_recording_saturates_instead_of_truncating() {
+        // Duration::MAX holds ~2^64 seconds, so its nanosecond count
+        // overflows u64 by a wide margin; the accumulator must pin at
+        // u64::MAX rather than wrap around to a small value.
+        assert!(Duration::MAX.as_nanos() > u128::from(u64::MAX));
+        assert_eq!(saturating_nanos(Duration::MAX), u64::MAX);
+        assert_eq!(saturating_nanos(Duration::from_nanos(7)), 7);
+        let m = Metrics::default();
+        m.record_chase(Duration::MAX);
+        m.record_hom(Duration::MAX);
+        let s = m.snapshot();
+        assert_eq!(s.chase_nanos, u64::MAX);
+        assert_eq!(s.hom_nanos, u64::MAX);
+        // A second overflowing record saturates the counter too (the
+        // fetch_add wraps, but each addend is already pinned; assert the
+        // run counters still advance).
+        assert_eq!((s.chase_runs, s.hom_searches), (1, 1));
     }
 
     #[test]

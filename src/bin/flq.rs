@@ -7,6 +7,11 @@
 //! flq explain   "<q1>" "<q2>" [--threads N] [--no-analysis]
 //!                             [--timeout MS] [--max-conjuncts N]
 //!                                    prove the containment step by step
+//! flq profile   "<q1>" "<q2>" [--threads N] [--timeout MS] [--max-conjuncts N]
+//!                                    decide q1 ⊆_ΣFL q2 with tracing on and
+//!                                    print the chase profile: per-rule firing
+//!                                    histogram, level growth, phase timing,
+//!                                    observed depth vs. the Theorem 12 bound
 //! flq chase     "<q>" [--bound N] [--dot] [--threads N]
 //!                     [--timeout MS] [--max-conjuncts N]
 //!                                    materialize the (bounded) chase
@@ -31,6 +36,15 @@
 //! * `--bound N` — chase level bound for `flq chase` (default `2·|q|`).
 //! * `--dot` — emit the chase graph in Graphviz DOT format.
 //!
+//! Every subcommand additionally accepts:
+//!
+//! * `--trace-out FILE` — record structured chase events and write them as
+//!   JSONL to `FILE` on exit (one flat JSON object per event; an empty run
+//!   yields an empty, still-valid file). Tracing never changes verdicts.
+//! * `--metrics` — print the process-wide
+//!   [`MetricsSnapshot`] delta for this
+//!   invocation to stderr on exit.
+//!
 //! Exit codes: `0` success, `1` failure (parse error, diagnostics, …),
 //! `2` usage error, `3` resource exhaustion — the budget ran out before
 //! the procedure could decide; nothing is known about the verdict.
@@ -41,7 +55,9 @@
 //! Queries use the paper's syntax, e.g. `q(A,B) :- T1[A*=>T2], T2[B*=>_].`
 //! Program files mix facts (`john:student.`), rules and goals (`?- X::person.`).
 
+use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use flogic_lite::analysis::lint_source;
@@ -51,8 +67,10 @@ use flogic_lite::core::{
 };
 use flogic_lite::datalog::{answers, close_database, ClosureOptions};
 use flogic_lite::model::DepGraph;
+use flogic_lite::obs::{export, ChaseProfile, TraceHandle, Tracer};
 use flogic_lite::prelude::*;
 use flogic_lite::syntax::query_to_flogic;
+use flogic_lite::term::{Metrics, MetricsSnapshot};
 
 /// Exit code for resource exhaustion: the budget ran out before the
 /// procedure could decide (distinct from failure, which means the answer
@@ -63,8 +81,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  flq contains <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N]\n  \
          flq explain <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N]\n  \
+         flq profile <q1> <q2> [--threads N] [--timeout MS] [--max-conjuncts N]\n  \
          flq chase <q> [--bound N] [--dot] [--threads N] [--timeout MS] [--max-conjuncts N]\n  \
-         flq minimize <q> [--timeout MS] [--max-conjuncts N]\n  flq lint <file>\n  flq eval <file>"
+         flq minimize <q> [--timeout MS] [--max-conjuncts N]\n  flq lint <file>\n  flq eval <file>\n\
+         every subcommand also accepts --trace-out FILE (JSONL event trace)\n\
+         and --metrics (counter deltas on stderr)"
     );
     ExitCode::from(2)
 }
@@ -74,6 +95,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("contains") => cmd_contains(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("chase") => cmd_chase(&args[1..]),
         Some("minimize") => cmd_minimize(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
@@ -89,13 +111,111 @@ fn parse_or_exit(src: &str) -> Result<flogic_lite::model::ConjunctiveQuery, Exit
     })
 }
 
-/// Splits `args` into positionals and containment options; any flag not
-/// listed in the module docs is a usage error.
-fn split_contains_args(args: &[String]) -> Result<(Vec<&String>, ContainmentOptions), ExitCode> {
+/// Cross-cutting observability state behind the `--trace-out` and
+/// `--metrics` flags every subcommand accepts.
+struct CliObs {
+    /// Event sink; present iff `--trace-out` was given (or the subcommand
+    /// forces tracing, as `flq profile` does).
+    tracer: Option<Arc<Tracer>>,
+    /// Where to write the JSONL trace at exit.
+    trace_out: Option<String>,
+    /// Baseline snapshot taken when `--metrics` was parsed; the delta
+    /// against it is printed to stderr at exit.
+    metrics_before: Option<MetricsSnapshot>,
+}
+
+impl CliObs {
+    fn disabled() -> CliObs {
+        CliObs {
+            tracer: None,
+            trace_out: None,
+            metrics_before: None,
+        }
+    }
+
+    /// Tries to consume `arg` (and, for `--trace-out`, its value from
+    /// `it`) as one of the shared observability flags. `Ok(true)` means
+    /// the flag was recognised and handled.
+    fn try_consume(
+        &mut self,
+        arg: &str,
+        it: &mut std::slice::Iter<'_, String>,
+    ) -> Result<bool, ExitCode> {
+        match arg {
+            "--trace-out" => match it.next() {
+                Some(path) => {
+                    self.trace_out = Some(path.clone());
+                    self.ensure_tracer();
+                    Ok(true)
+                }
+                None => {
+                    eprintln!("error: --trace-out needs a file path");
+                    Err(usage())
+                }
+            },
+            "--metrics" => {
+                self.metrics_before = Some(Metrics::global().snapshot());
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Makes sure an event sink exists (used by `flq profile`, which
+    /// traces even without `--trace-out`).
+    fn ensure_tracer(&mut self) {
+        if self.tracer.is_none() {
+            self.tracer = Some(Tracer::with_default_capacity());
+        }
+    }
+
+    /// The handle instrumented code should record through: enabled iff a
+    /// tracer exists, otherwise the zero-cost disabled handle.
+    fn handle(&self) -> TraceHandle {
+        match &self.tracer {
+            Some(t) => TraceHandle::enabled(t),
+            None => TraceHandle::Disabled,
+        }
+    }
+
+    /// Writes the JSONL trace (if requested) and prints the metrics delta
+    /// (if requested). Returns the exit code to use: `code` itself, or
+    /// failure when the trace file could not be written.
+    fn finish(&self, code: ExitCode) -> ExitCode {
+        let mut out = code;
+        if let (Some(tracer), Some(path)) = (&self.tracer, &self.trace_out) {
+            let snapshot = tracer.snapshot();
+            let written = std::fs::File::create(path).and_then(|f| {
+                let mut w = std::io::BufWriter::new(f);
+                export::write_jsonl(&mut w, &snapshot)?;
+                w.flush()
+            });
+            if let Err(e) = written {
+                eprintln!("error writing trace to {path}: {e}");
+                out = ExitCode::FAILURE;
+            }
+        }
+        if let Some(before) = &self.metrics_before {
+            eprintln!("metrics: {}", Metrics::global().snapshot().since(before));
+        }
+        out
+    }
+}
+
+/// Splits `args` into positionals, containment options and observability
+/// state; any flag not listed in the module docs is a usage error.
+#[allow(clippy::type_complexity)]
+fn split_contains_args(
+    args: &[String],
+) -> Result<(Vec<&String>, ContainmentOptions, CliObs), ExitCode> {
     let mut opts = ContainmentOptions::default();
+    let mut obs = CliObs::disabled();
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if obs.try_consume(a.as_str(), &mut it)? {
+            continue;
+        }
         match a.as_str() {
             "--threads" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => opts.threads = n,
@@ -126,22 +246,28 @@ fn split_contains_args(args: &[String]) -> Result<(Vec<&String>, ContainmentOpti
             _ => positional.push(a),
         }
     }
-    Ok((positional, opts))
+    opts.trace = obs.handle();
+    Ok((positional, opts, obs))
 }
 
 fn cmd_contains(args: &[String]) -> ExitCode {
-    let (positional, opts) = match split_contains_args(args) {
+    let (positional, opts, obs) = match split_contains_args(args) {
         Ok(p) => p,
         Err(code) => return code,
     };
     let [q1_src, q2_src] = positional.as_slice() else {
         return usage();
     };
+    let code = run_contains(q1_src, q2_src, &opts);
+    obs.finish(code)
+}
+
+fn run_contains(q1_src: &str, q2_src: &str, opts: &ContainmentOptions) -> ExitCode {
     let (q1, q2) = match (parse_or_exit(q1_src), parse_or_exit(q2_src)) {
         (Ok(a), Ok(b)) => (a, b),
         _ => return ExitCode::FAILURE,
     };
-    let forward = match contains_with(&q1, &q2, &opts) {
+    let forward = match contains_with(&q1, &q2, opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -185,7 +311,7 @@ fn cmd_contains(args: &[String]) -> ExitCode {
         q2.size()
     );
     let mut exhausted_back = false;
-    if let Ok(back) = contains_with(&q2, &q1, &opts) {
+    if let Ok(back) = contains_with(&q2, &q1, opts) {
         if let flogic_lite::core::Verdict::Exhausted(reason) = back.verdict() {
             println!("q2 ⊆_ΣFL q1:  EXHAUSTED ({reason})");
             exhausted_back = true;
@@ -203,18 +329,23 @@ fn cmd_contains(args: &[String]) -> ExitCode {
 }
 
 fn cmd_explain(args: &[String]) -> ExitCode {
-    let (positional, opts) = match split_contains_args(args) {
+    let (positional, opts, obs) = match split_contains_args(args) {
         Ok(p) => p,
         Err(code) => return code,
     };
     let [q1_src, q2_src] = positional.as_slice() else {
         return usage();
     };
+    let code = run_explain(q1_src, q2_src, &opts);
+    obs.finish(code)
+}
+
+fn run_explain(q1_src: &str, q2_src: &str, opts: &ContainmentOptions) -> ExitCode {
     let (q1, q2) = match (parse_or_exit(q1_src), parse_or_exit(q2_src)) {
         (Ok(a), Ok(b)) => (a, b),
         _ => return ExitCode::FAILURE,
     };
-    match explain(&q1, &q2, &opts) {
+    match explain(&q1, &q2, opts) {
         Ok(e) => {
             println!("q1: {q1}");
             println!("q2: {q2}\n");
@@ -231,6 +362,60 @@ fn cmd_explain(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let (positional, mut opts, mut obs) = match split_contains_args(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let [q1_src, q2_src] = positional.as_slice() else {
+        return usage();
+    };
+    // Profiling always traces, with or without --trace-out, and forces the
+    // chase to materialize: a containment short-circuited by static
+    // analysis would have nothing to report.
+    obs.ensure_tracer();
+    opts.analysis = false;
+    opts.trace = obs.handle();
+    let code = run_profile(q1_src, q2_src, &opts, &obs);
+    obs.finish(code)
+}
+
+fn run_profile(q1_src: &str, q2_src: &str, opts: &ContainmentOptions, obs: &CliObs) -> ExitCode {
+    let (q1, q2) = match (parse_or_exit(q1_src), parse_or_exit(q2_src)) {
+        (Ok(a), Ok(b)) => (a, b),
+        _ => return ExitCode::FAILURE,
+    };
+    let result = match contains_with(&q1, &q2, opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("q1: {q1}");
+    println!("q2: {q2}");
+    println!();
+    let exhausted = matches!(result.verdict(), flogic_lite::core::Verdict::Exhausted(_));
+    match result.verdict() {
+        flogic_lite::core::Verdict::Exhausted(reason) => println!(
+            "q1 ⊆_ΣFL q2:  EXHAUSTED ({reason}) — the profile below covers the\n\
+             prefix of the chase materialized before the budget ran out"
+        ),
+        _ => println!("q1 ⊆_ΣFL q2:  {}", result.holds()),
+    }
+    println!();
+    let snapshot = obs
+        .tracer
+        .as_ref()
+        .map(|t| t.snapshot())
+        .unwrap_or_else(flogic_lite::obs::TraceSnapshot::empty);
+    print!("{}", ChaseProfile::from_snapshot(&snapshot));
+    if exhausted {
+        return ExitCode::from(EXIT_EXHAUSTED);
+    }
+    ExitCode::SUCCESS
 }
 
 /// Why the chase must be cut off at the Theorem 12 level bound: the
@@ -269,8 +454,14 @@ fn cmd_chase(args: &[String]) -> ExitCode {
     let mut threads = 1;
     let mut max_conjuncts = 1_000_000;
     let mut budget = Budget::unlimited();
+    let mut obs = CliObs::disabled();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
+        match obs.try_consume(a.as_str(), &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(code) => return code,
+        }
         match a.as_str() {
             "--bound" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => bound = n,
@@ -295,15 +486,19 @@ fn cmd_chase(args: &[String]) -> ExitCode {
             }
         }
     }
-    let chase = match chase_bounded(
-        &q,
-        &ChaseOptions {
-            level_bound: bound,
-            max_conjuncts,
-            threads,
-            budget,
-        },
-    ) {
+    let chase_opts = ChaseOptions {
+        level_bound: bound,
+        max_conjuncts,
+        threads,
+        budget,
+        trace: obs.handle(),
+    };
+    let code = run_chase(&q, &chase_opts, dot);
+    obs.finish(code)
+}
+
+fn run_chase(q: &ConjunctiveQuery, opts: &ChaseOptions, dot: bool) -> ExitCode {
+    let chase = match chase_bounded(q, opts) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
@@ -349,18 +544,23 @@ fn cmd_chase(args: &[String]) -> ExitCode {
 }
 
 fn cmd_minimize(args: &[String]) -> ExitCode {
-    let (positional, opts) = match split_contains_args(args) {
+    let (positional, opts, obs) = match split_contains_args(args) {
         Ok(p) => p,
         Err(code) => return code,
     };
     let [q_src] = positional.as_slice() else {
         return usage();
     };
+    let code = run_minimize(q_src, &opts);
+    obs.finish(code)
+}
+
+fn run_minimize(q_src: &str, opts: &ContainmentOptions) -> ExitCode {
     let q = match parse_or_exit(q_src) {
         Ok(q) => q,
         Err(code) => return code,
     };
-    match minimize_with(&q, &opts) {
+    match minimize_with(&q, opts) {
         Ok(m) => {
             println!("input    ({} conjuncts): {q}", q.size());
             println!("minimal  ({} conjuncts): {m}", m.size());
@@ -378,12 +578,38 @@ fn cmd_minimize(args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_lint(args: &[String]) -> ExitCode {
-    let [path] = args else { return usage() };
-    if path.starts_with("--") {
-        eprintln!("error: unknown flag `{path}`");
-        return usage();
+/// Splits the args of the file-oriented subcommands (`lint`, `eval`):
+/// exactly one positional path plus the shared observability flags.
+fn split_file_args(args: &[String]) -> Result<(&String, CliObs), ExitCode> {
+    let mut obs = CliObs::disabled();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if obs.try_consume(a.as_str(), &mut it)? {
+            continue;
+        }
+        if a.starts_with("--") {
+            eprintln!("error: unknown flag `{a}`");
+            return Err(usage());
+        }
+        positional.push(a);
     }
+    let [path] = positional.as_slice() else {
+        return Err(usage());
+    };
+    Ok((path, obs))
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let (path, obs) = match split_file_args(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let code = run_lint(path);
+    obs.finish(code)
+}
+
+fn run_lint(path: &str) -> ExitCode {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -416,11 +642,15 @@ fn cmd_lint(args: &[String]) -> ExitCode {
 }
 
 fn cmd_eval(args: &[String]) -> ExitCode {
-    let [path] = args else { return usage() };
-    if path.starts_with("--") {
-        eprintln!("error: unknown flag `{path}`");
-        return usage();
-    }
+    let (path, obs) = match split_file_args(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let code = run_eval(path);
+    obs.finish(code)
+}
+
+fn run_eval(path: &str) -> ExitCode {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {

@@ -20,7 +20,9 @@
 //! * [`gen`] — seeded random workload generators;
 //! * [`analysis`] — static diagnostics (`FL001`…), the `Σ_FL` dependency
 //!   graph and the containment fast paths behind
-//!   [`ContainmentOptions::analysis`](flogic_core::ContainmentOptions).
+//!   [`ContainmentOptions::analysis`](flogic_core::ContainmentOptions);
+//! * [`obs`] — structured chase tracing: typed events, per-worker ring
+//!   buffers, `ChaseProfile` rollups and JSONL/CSV export.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use flogic_datalog as datalog;
 pub use flogic_gen as gen;
 pub use flogic_hom as hom;
 pub use flogic_model as model;
+pub use flogic_obs as obs;
 pub use flogic_syntax as syntax;
 pub use flogic_term as term;
 

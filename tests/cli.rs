@@ -260,3 +260,93 @@ fn lint_missing_file_fails() {
     assert_eq!(code, 1, "{stderr}");
     assert!(stderr.contains("error reading"), "{stderr}");
 }
+
+#[test]
+fn profile_reports_rule_histogram_and_depth_bound() {
+    // Example 2 of the paper: the pumping chase exercises rho5 (value
+    // invention); the profile must list every Sigma_FL rule including
+    // rho4/rho5 and report observed depth against the Theorem 12 bound.
+    let (stdout, stderr, ok) = flq(&[
+        "profile",
+        "q() :- mandatory(A, T), type(T, A, T), sub(T, U).",
+        "qq() :- data(T, A, V), member(V, T).",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("q1 ⊆_ΣFL q2:  true"), "{stdout}");
+    assert!(stdout.contains("rule firings"), "{stdout}");
+    for rule in ["rho1", "rho4", "rho5", "rho12"] {
+        assert!(stdout.contains(rule), "missing {rule} row: {stdout}");
+    }
+    assert!(stdout.contains("(value invention)"), "{stdout}");
+    assert!(stdout.contains("level growth:"), "{stdout}");
+    assert!(stdout.contains("phase timing:"), "{stdout}");
+    assert!(stdout.contains("theorem bound 12"), "{stdout}");
+}
+
+#[test]
+fn trace_out_writes_parseable_jsonl() {
+    let dir = std::env::temp_dir().join("flq_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let path_s = path.to_str().unwrap().to_owned();
+    let (_, stderr, ok) = flq(&[
+        "contains",
+        "q(X,Z) :- sub(X,Y), sub(Y,Z).",
+        "p(X,Z) :- sub(X,Z).",
+        "--no-analysis",
+        "--trace-out",
+        &path_s,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events = flogic_lite::obs::export::parse_jsonl(&text).expect("trace parses");
+    assert!(!events.is_empty(), "a chased containment records events");
+    // Per-worker sequence numbers are strictly increasing.
+    let mut last: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    for rec in &events {
+        if let Some(prev) = last.insert(rec.worker, rec.seq) {
+            assert!(rec.seq > prev, "worker {} seq went backwards", rec.worker);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_out_on_eval_writes_valid_empty_trace() {
+    // `flq eval` never chases a query, so its trace is empty — which must
+    // still be a well-formed (zero-line) JSONL file.
+    let dir = std::env::temp_dir().join("flq_trace_eval_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("empty.jsonl");
+    let path_s = path.to_str().unwrap().to_owned();
+    let (_, stderr, ok) = flq(&["eval", "examples/university.fl", "--trace-out", &path_s]);
+    assert!(ok, "stderr: {stderr}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let events = flogic_lite::obs::export::parse_jsonl(&text).expect("empty trace parses");
+    assert!(events.is_empty(), "eval records no chase events");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_flag_prints_delta_on_stderr() {
+    let (_, stderr, ok) = flq(&[
+        "contains",
+        "q(X,Z) :- sub(X,Y), sub(Y,Z).",
+        "p(X,Z) :- sub(X,Z).",
+        "--metrics",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("metrics: chase:"), "{stderr}");
+    assert!(stderr.contains("hom:"), "{stderr}");
+    // Accepted (and inert) on the file-oriented subcommands too.
+    let (_, stderr, ok) = flq(&["lint", "examples/university.fl", "--metrics"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("metrics:"), "{stderr}");
+}
+
+#[test]
+fn trace_out_without_path_is_usage_error() {
+    let (_, stderr, code) = flq_code(&["contains", "q() :- sub(X,Y).", "--trace-out"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--trace-out"), "{stderr}");
+}

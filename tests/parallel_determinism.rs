@@ -212,6 +212,7 @@ fn generous_budget_verdicts_are_thread_count_invariant() {
                 budget: Budget::with_timeout(std::time::Duration::from_secs(600))
                     .steps(u64::MAX)
                     .bytes(usize::MAX),
+                ..Default::default()
             },
         )
         .unwrap()
@@ -233,10 +234,91 @@ fn step_capped_chases_are_thread_count_invariant() {
                 max_conjuncts: 100_000,
                 threads,
                 budget: Budget::unlimited().steps(300),
+                ..Default::default()
             },
         )
         .unwrap()
     });
+}
+
+#[test]
+fn tracing_leaves_chases_bit_identical() {
+    // Tracing only observes: with a tracer attached the chase graph,
+    // head, outcome and stats are bit-identical to an untraced run, at
+    // every thread count — and the tracer did record something.
+    use flogic_lite::obs::{TraceHandle, Tracer};
+    let q = parse_query("q() :- mandatory(A, T), type(T, A, T), sub(T, U).").unwrap();
+    for threads in [1usize, 2, 4] {
+        let run = |trace: TraceHandle| {
+            chase_bounded(
+                &q,
+                &ChaseOptions {
+                    level_bound: 9,
+                    max_conjuncts: 100_000,
+                    threads,
+                    trace,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let off = fingerprint(&run(TraceHandle::Disabled));
+        let tracer = Tracer::with_default_capacity();
+        let on = fingerprint(&run(TraceHandle::enabled(&tracer)));
+        assert_eq!(off, on, "threads={threads}: tracing changed the chase");
+        let snap = tracer.snapshot();
+        assert!(!snap.events.is_empty(), "tracer saw the traced run");
+        assert_eq!(snap.dropped, 0, "default ring holds Example 2 easily");
+    }
+}
+
+#[test]
+fn tracing_leaves_verdicts_bit_identical() {
+    // Same for full containment decisions: verdict, vacuity, witness and
+    // chase statistics are unchanged by an attached tracer.
+    use flogic_lite::obs::{TraceHandle, Tracer};
+    let cfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
+    for seed in 0..8u64 {
+        let q1 = random_query(&cfg, &mut SplitMix64::seed_from_u64(seed));
+        let q2 = generalize(
+            &q1,
+            &GeneralizeConfig::default(),
+            &mut SplitMix64::seed_from_u64(seed + 2000),
+        );
+        for threads in [1usize, 2, 4] {
+            let decide = |trace: TraceHandle| {
+                contains_with(
+                    &q1,
+                    &q2,
+                    &ContainmentOptions {
+                        max_conjuncts: 50_000,
+                        threads,
+                        trace,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+            };
+            let off = decide(TraceHandle::Disabled);
+            let tracer = Tracer::with_default_capacity();
+            let on = decide(TraceHandle::enabled(&tracer));
+            assert_eq!(
+                off.verdict(),
+                on.verdict(),
+                "seed {seed}, threads {threads}: tracing changed the verdict"
+            );
+            assert_eq!(off.is_vacuous(), on.is_vacuous());
+            assert_eq!(off.witness(), on.witness());
+            assert_eq!(off.chase_conjuncts(), on.chase_conjuncts());
+            assert_eq!(off.max_chase_level(), on.max_chase_level());
+            assert_eq!(off.level_bound(), on.level_bound());
+        }
+    }
 }
 
 #[test]
