@@ -59,6 +59,13 @@ fn run(id: &str, quick: bool, threads: usize) -> Option<ExperimentOutput> {
                 experiments::e10(40, 5)
             }
         }
+        "e11" => {
+            if quick {
+                experiments::e11(6, 2)
+            } else {
+                experiments::e11(16, 4)
+            }
+        }
         _ => return None,
     };
     Some(out)
@@ -88,7 +95,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = (1..=10).map(|i| format!("e{i}")).collect();
+        ids = (1..=11).map(|i| format!("e{i}")).collect();
     }
 
     let dir = out_dir();
@@ -108,7 +115,7 @@ fn main() {
     for id in &ids {
         let before = Metrics::global().snapshot();
         let Some(output) = run(id, quick, threads) else {
-            eprintln!("unknown experiment `{id}` (expected e1..e10)");
+            eprintln!("unknown experiment `{id}` (expected e1..e11)");
             std::process::exit(2);
         };
         for (i, table) in output.tables.iter().enumerate() {

@@ -1,0 +1,293 @@
+//! `loadgen` — drive a running `flqd` with a seeded containment workload.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--batch N]
+//!         [--pairs N] [--seed N] [--max-conjuncts N] [--verify]
+//! ```
+//!
+//! Generates `--pairs` query pairs with the E4 workload generator
+//! (seeded, so every run and every verifier sees the same pairs), then
+//! fires `--requests` requests round-robin over them from
+//! `--concurrency` client threads. `--batch N` groups N pairs per
+//! `POST /v1/contains_batch` request instead of one per
+//! `POST /v1/contains`. Prints latency quantiles and throughput.
+//!
+//! `--verify` recomputes every pair locally with `contains_with` under
+//! the same options and exits `1` on any verdict mismatch — the
+//! bit-identity check the CI server smoke test relies on. (With only
+//! deterministic budgets in play — `--max-conjuncts`, never a deadline —
+//! verdicts, including `exhausted` ones, are reproducible.)
+//!
+//! Exit codes: `0` success, `1` mismatch or transport failure, `2` usage.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use flogic_bench::wire;
+use flogic_core::{contains_with, ContainmentOptions, Verdict};
+use flogic_gen::rng::SplitMix64;
+use flogic_gen::{generalize, random_query, GeneralizeConfig, QueryGenConfig};
+use flogic_model::ConjunctiveQuery;
+
+struct Config {
+    addr: String,
+    requests: usize,
+    concurrency: usize,
+    batch: usize,
+    pairs: usize,
+    seed: u64,
+    max_conjuncts: usize,
+    verify: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--batch N] \
+         [--pairs N] [--seed N] [--max-conjuncts N] [--verify]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Config, ExitCode> {
+    let mut config = Config {
+        addr: String::new(),
+        requests: 100,
+        concurrency: 1,
+        batch: 1,
+        pairs: 16,
+        seed: 7,
+        max_conjuncts: 50_000,
+        verify: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |what: &str| -> Result<usize, ExitCode> {
+            it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                eprintln!("error: {arg} needs {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(addr) => config.addr = addr,
+                None => {
+                    eprintln!("error: --addr needs an address");
+                    return Err(usage());
+                }
+            },
+            "--requests" => config.requests = num("a number")?,
+            "--concurrency" => config.concurrency = num("a number")?,
+            "--batch" => config.batch = num("a number")?,
+            "--pairs" => config.pairs = num("a number")?,
+            "--seed" => config.seed = num("a number")? as u64,
+            "--max-conjuncts" => config.max_conjuncts = num("a number")?,
+            "--verify" => config.verify = true,
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                return Err(usage());
+            }
+        }
+    }
+    if config.addr.is_empty() {
+        eprintln!("error: --addr is required");
+        return Err(usage());
+    }
+    if config.requests == 0 || config.concurrency == 0 || config.batch == 0 || config.pairs == 0 {
+        eprintln!("error: --requests, --concurrency, --batch and --pairs must be positive");
+        return Err(usage());
+    }
+    Ok(config)
+}
+
+/// The E4 workload, first arm: random `q1`, generalized `q2`.
+fn workload(pairs: usize, seed: u64) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+    let qcfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
+    let gcfg = GeneralizeConfig::default();
+    (0..pairs as u64)
+        .map(|i| {
+            let q1 = random_query(&qcfg, &mut SplitMix64::seed_from_u64(seed.wrapping_add(i)));
+            let q2 = generalize(
+                &q1,
+                &gcfg,
+                &mut SplitMix64::seed_from_u64(seed.wrapping_add(i + 10_000)),
+            );
+            (q1, q2)
+        })
+        .collect()
+}
+
+/// The wire name of a locally computed verdict (matching
+/// `flogic-serve`'s encoding).
+fn local_verdict_name(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Holds => "holds",
+        Verdict::NotHolds => "not_holds",
+        Verdict::Exhausted(_) => "exhausted",
+    }
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(code) => return code,
+    };
+    let pairs = Arc::new(workload(config.pairs, config.seed));
+    let texts: Arc<Vec<(String, String)>> = Arc::new(
+        pairs
+            .iter()
+            .map(|(q1, q2)| {
+                (
+                    flogic_syntax::query_to_flogic(q1),
+                    flogic_syntax::query_to_flogic(q2),
+                )
+            })
+            .collect(),
+    );
+
+    // Local ground truth for --verify, computed once per distinct pair
+    // under exactly the options the requests carry.
+    let expected: Arc<Vec<&'static str>> = Arc::new(if config.verify {
+        let opts = ContainmentOptions {
+            max_conjuncts: config.max_conjuncts,
+            ..Default::default()
+        };
+        pairs
+            .iter()
+            .map(|(q1, q2)| {
+                local_verdict_name(
+                    contains_with(q1, q2, &opts)
+                        .expect("generated pairs decide without errors")
+                        .verdict(),
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    });
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let threads: Vec<_> = (0..config.concurrency)
+        .map(|_| {
+            let texts = Arc::clone(&texts);
+            let expected = Arc::clone(&expected);
+            let next = Arc::clone(&next);
+            let addr = config.addr.clone();
+            let (requests, batch, max_conjuncts, verify) = (
+                config.requests,
+                config.batch,
+                config.max_conjuncts,
+                config.verify,
+            );
+            thread::spawn(move || -> Result<(Vec<Duration>, usize), String> {
+                let mut latencies = Vec::new();
+                let mut mismatches = 0usize;
+                loop {
+                    let r = next.fetch_add(1, Ordering::Relaxed);
+                    if r >= requests {
+                        return Ok((latencies, mismatches));
+                    }
+                    // Round-robin over the pair list, batch-sized.
+                    let picked: Vec<usize> =
+                        (0..batch).map(|j| (r * batch + j) % texts.len()).collect();
+                    let (path, body) = if batch == 1 {
+                        let (q1, q2) = &texts[picked[0]];
+                        (
+                            "/v1/contains",
+                            format!(
+                                "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":{max_conjuncts}}}",
+                                wire::json_quote(q1),
+                                wire::json_quote(q2)
+                            ),
+                        )
+                    } else {
+                        let items: Vec<String> = picked
+                            .iter()
+                            .map(|&i| {
+                                let (q1, q2) = &texts[i];
+                                format!("[{},{}]", wire::json_quote(q1), wire::json_quote(q2))
+                            })
+                            .collect();
+                        (
+                            "/v1/contains_batch",
+                            format!(
+                                "{{\"pairs\":[{}],\"max_conjuncts\":{max_conjuncts}}}",
+                                items.join(",")
+                            ),
+                        )
+                    };
+                    let t0 = Instant::now();
+                    let (status, resp) = wire::post(&addr, path, &body)
+                        .map_err(|e| format!("request failed: {e}"))?;
+                    latencies.push(t0.elapsed());
+                    if status != 200 {
+                        return Err(format!("HTTP {status}: {resp}"));
+                    }
+                    if verify {
+                        for (j, &i) in picked.iter().enumerate() {
+                            let got = wire::nth_verdict(&resp, j)
+                                .ok_or_else(|| format!("no verdict {j} in {resp}"))?;
+                            if got != expected[i] {
+                                eprintln!(
+                                    "MISMATCH pair {i}: server says {got:?}, local says {:?}",
+                                    expected[i]
+                                );
+                                mismatches += 1;
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut mismatches = 0usize;
+    for t in threads {
+        match t.join().expect("client thread panicked") {
+            Ok((lats, miss)) => {
+                latencies.extend(lats);
+                mismatches += miss;
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    latencies.sort();
+    let at = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    let decided = config.requests * config.batch;
+    println!(
+        "requests={} batch={} concurrency={} decided_pairs={}",
+        config.requests, config.batch, config.concurrency, decided
+    );
+    println!(
+        "latency_us min={:.0} p50={:.0} p95={:.0} max={:.0}",
+        at(0.0).as_secs_f64() * 1e6,
+        at(0.5).as_secs_f64() * 1e6,
+        at(0.95).as_secs_f64() * 1e6,
+        at(1.0).as_secs_f64() * 1e6,
+    );
+    println!(
+        "throughput_pairs_per_s {:.0}",
+        decided as f64 / elapsed.as_secs_f64()
+    );
+    if config.verify {
+        if mismatches > 0 {
+            eprintln!("error: {mismatches} verdict mismatches");
+            return ExitCode::FAILURE;
+        }
+        println!("verify: all {decided} verdicts match local contains_with");
+    }
+    ExitCode::SUCCESS
+}

@@ -1074,6 +1074,150 @@ pub fn e10(pairs: usize, reps: usize) -> ExperimentOutput {
     }
 }
 
+/// E11: `flqd` serving economics — the cost of a containment decision
+/// over the wire, cold (first sight of a `q1`: the server chases) versus
+/// warm (decision and snapshot caches resident), and batch throughput as
+/// the worker pool grows.
+///
+/// For each worker count an in-process server is started fresh (cold
+/// caches), the same `distinct`-pair workload (the E4 generator, first
+/// arm) is sent once cold and `repeats` rounds warm over
+/// `POST /v1/contains`, and then `workers` concurrent clients each post
+/// the full pair list `repeats` times via `POST /v1/contains_batch`.
+/// Expected shape: warm p50 well below cold p50 (the chase amortized
+/// away), batch throughput scaling with workers until decisions, not
+/// transport, dominate.
+pub fn e11(distinct: usize, repeats: usize) -> ExperimentOutput {
+    use crate::wire;
+    use flogic_serve::{Server, ServerConfig};
+    use std::sync::Arc;
+
+    // Heavier queries than E4's defaults: on loopback a request costs
+    // ~1ms of transport, so the cold chase must be comfortably more
+    // expensive than that for the cold/warm contrast to be visible.
+    let qcfg = QueryGenConfig {
+        n_atoms: 7,
+        n_vars: 5,
+        n_consts: 2,
+        ..Default::default()
+    };
+    let gcfg = GeneralizeConfig::default();
+    let texts: Arc<Vec<(String, String)>> = Arc::new(
+        (0..distinct as u64)
+            .map(|i| {
+                let q1 = random_query(&qcfg, &mut rng(i));
+                let q2 = generalize(&q1, &gcfg, &mut rng(i + 10_000));
+                (
+                    flogic_syntax::query_to_flogic(&q1),
+                    flogic_syntax::query_to_flogic(&q2),
+                )
+            })
+            .collect(),
+    );
+    let contains_body = |q1: &str, q2: &str| {
+        format!(
+            "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":50000}}",
+            wire::json_quote(q1),
+            wire::json_quote(q2)
+        )
+    };
+    let batch_body = {
+        let items: Vec<String> = texts
+            .iter()
+            .map(|(q1, q2)| format!("[{},{}]", wire::json_quote(q1), wire::json_quote(q2)))
+            .collect();
+        Arc::new(format!(
+            "{{\"pairs\":[{}],\"max_conjuncts\":50000}}",
+            items.join(",")
+        ))
+    };
+    let median = |mut samples: Vec<Duration>| -> Duration {
+        samples.sort();
+        samples[samples.len() / 2]
+    };
+
+    let mut t = Table::new(
+        "E11: flqd serving economics (cold chase vs warm caches, batch throughput by workers)",
+        &[
+            "workers",
+            "cold_p50_us",
+            "warm_p50_us",
+            "warm_speedup",
+            "batch_pairs_per_s",
+        ],
+    );
+    for workers in [1usize, 2, 4] {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            ..ServerConfig::default()
+        })
+        .expect("bind in-process server");
+        let addr = Arc::new(server.local_addr().expect("local addr").to_string());
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+
+        let shoot = |q1: &str, q2: &str| -> Duration {
+            let t0 = Instant::now();
+            let (status, body) =
+                wire::post(&addr, "/v1/contains", &contains_body(q1, q2)).expect("request");
+            assert_eq!(status, 200, "{body}");
+            t0.elapsed()
+        };
+        // Cold: first sight of every pair on a fresh server.
+        let cold = median(texts.iter().map(|(q1, q2)| shoot(q1, q2)).collect());
+        // Warm: the same pairs again, now answered from the caches.
+        let warm = median(
+            (0..repeats.max(1))
+                .flat_map(|_| texts.iter().map(|(q1, q2)| shoot(q1, q2)))
+                .collect(),
+        );
+
+        // Batch throughput: one client per worker, each posting the full
+        // pair list `repeats` times.
+        let t0 = Instant::now();
+        let clients: Vec<_> = (0..workers)
+            .map(|_| {
+                let addr = Arc::clone(&addr);
+                let batch_body = Arc::clone(&batch_body);
+                let reps = repeats.max(1);
+                std::thread::spawn(move || {
+                    for _ in 0..reps {
+                        let (status, body) =
+                            wire::post(&addr, "/v1/contains_batch", &batch_body).expect("batch");
+                        assert_eq!(status, 200, "{body}");
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("client");
+        }
+        let batch_pairs = workers * repeats.max(1) * texts.len();
+        let throughput = batch_pairs as f64 / t0.elapsed().as_secs_f64();
+
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean drain");
+
+        t.push(vec![
+            workers.to_string(),
+            micros(cold),
+            micros(warm),
+            format!("{:.1}x", cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)),
+            format!("{throughput:.0}"),
+        ]);
+    }
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![format!(
+            "{distinct} distinct pairs; warm rounds repeat the identical requests, so the \
+             decision cache answers them without re-chasing. Batch rows post all pairs per \
+             request from one client per worker."
+        )],
+        files: vec![],
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Bounded-vs-naive comparison used by the micro-benches.
 // ---------------------------------------------------------------------------

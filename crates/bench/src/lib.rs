@@ -17,9 +17,11 @@
 //! | E8 | `chase⁻` stays polynomial (Theorem 13, step 1) |
 //! | E9 | repeated-query batches: decision cache, shared chase, parallel chase |
 //! | E10 | tracer overhead A/B (disabled handle vs enabled) + exported chase profiles |
+//! | E11 | `flqd` serving economics: cold vs warm latency, batch throughput by worker count |
 
 pub mod experiments;
 pub mod microbench;
 pub mod table;
+pub mod wire;
 
 pub use table::Table;

@@ -1,0 +1,98 @@
+//! A minimal HTTP/1.1 client for benchmarking `flqd`.
+//!
+//! One connection per call, `Connection: close`, read-to-EOF: the
+//! simplest protocol usage that is unambiguous to measure. Used by the
+//! `loadgen` binary and experiment E11; deliberately independent of the
+//! server's own HTTP code so the two sides cross-check each other.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Sends `POST path body` to `addr`; returns `(status, body)`.
+pub fn post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "POST", path, body)
+}
+
+/// Sends `GET path` to `addr`; returns `(status, body)`.
+pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    request(addr, "GET", path, "")
+}
+
+fn request(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad HTTP response"))
+}
+
+fn parse_response(raw: &str) -> Option<(u16, String)> {
+    let status: u16 = raw.split(' ').nth(1)?.parse().ok()?;
+    let body = raw.split_once("\r\n\r\n")?.1.to_string();
+    Some((status, body))
+}
+
+/// Quotes `s` as a JSON string literal (enough for query surface syntax:
+/// quotes, backslashes and control characters escaped).
+pub fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Extracts the `i`-th `"verdict":"…"` value from a response body
+/// (`i = 0` for single-pair responses).
+pub fn nth_verdict(body: &str, i: usize) -> Option<&str> {
+    let mut rest = body;
+    for _ in 0..=i {
+        let at = rest.find("\"verdict\":\"")?;
+        rest = &rest[at + "\"verdict\":\"".len()..];
+        if rest.starts_with('"') {
+            return None;
+        }
+    }
+    rest.split('"').next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_extract_in_order() {
+        let body = r#"{"results":[{"verdict":"holds","vacuous":false},{"verdict":"exhausted","reason":"conjuncts"},{"verdict":"not_holds"}]}"#;
+        assert_eq!(nth_verdict(body, 0), Some("holds"));
+        assert_eq!(nth_verdict(body, 1), Some("exhausted"));
+        assert_eq!(nth_verdict(body, 2), Some("not_holds"));
+        assert_eq!(nth_verdict(body, 3), None);
+    }
+
+    #[test]
+    fn json_quote_escapes() {
+        assert_eq!(json_quote("q(X) :- a."), "\"q(X) :- a.\"");
+        assert_eq!(json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

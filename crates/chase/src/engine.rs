@@ -378,8 +378,9 @@ impl Chase {
 
     /// Approximate bytes materialized by the chase graph: node storage,
     /// arcs, and an estimate of the per-entry index overhead. This is the
-    /// quantity [`Budget::max_bytes`] caps — a bookkeeping estimate, not
-    /// an allocator measurement.
+    /// quantity [`Budget::max_bytes`] caps, and the unit resident
+    /// snapshot caches (the `flqd` server's per-`q1` chase cache) charge
+    /// entries at — a bookkeeping estimate, not an allocator measurement.
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
         // Each node also appears in `canon`, `by_pred` and (per argument)

@@ -125,6 +125,33 @@ fn canonicalize(q: &ConjunctiveQuery) -> CanonQuery {
     CanonQuery { head, body }
 }
 
+/// An opaque, hashable canonical key for a single query: equal keys mean
+/// the queries are identical up to variable renaming and body-conjunct
+/// order, hence `Σ_FL`-equivalent.
+///
+/// This is the per-query half of the [`DecisionCache`] key, exported so
+/// resident services can key *their own* caches (e.g. the `flqd` snapshot
+/// cache keys chase snapshots by the `q1` they materialize) with the same
+/// renaming-invariant discipline. Like the decision-cache key it is sound,
+/// not complete: a missed match costs a recomputation, never a wrong hit.
+///
+/// ```
+/// use flogic_core::QueryKey;
+/// use flogic_syntax::parse_query;
+/// let a = parse_query("q(X, Z) :- sub(X, Y), sub(Y, Z).").unwrap();
+/// let b = parse_query("p(A, C) :- sub(B, C), sub(A, B).").unwrap();
+/// assert_eq!(QueryKey::of(&a), QueryKey::of(&b));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct QueryKey(CanonQuery);
+
+impl QueryKey {
+    /// The canonical key of `q`.
+    pub fn of(q: &ConjunctiveQuery) -> QueryKey {
+        QueryKey(canonicalize(q))
+    }
+}
+
 /// Cache key: the canonical pair plus the *effective* level bound and the
 /// analysis toggle.
 ///
@@ -308,6 +335,45 @@ impl DecisionCache {
             return Ok(hit.restore());
         }
         let result = contains_with(q1, q2, opts)?;
+        self.store(key, &result);
+        Ok(result)
+    }
+
+    /// Like [`contains_with`](DecisionCache::contains_with), but a miss is
+    /// filled by `compute` instead of a fresh [`crate::contains_with`].
+    ///
+    /// This is the seam that lets a resident service stack its own reuse
+    /// layer *under* the memo table: the `flqd` server passes a closure
+    /// that decides through its byte-capped
+    /// [`ChaseSnapshot`](crate::ChaseSnapshot) cache, so a canonical-pair
+    /// hit skips everything and a miss still skips the chase when the
+    /// snapshot is warm.
+    ///
+    /// `compute` must answer exactly the question `(q1, q2, opts)` poses —
+    /// same verdict as [`crate::contains_with`] — or the table gets
+    /// poisoned for every later caller. The usual store rules apply:
+    /// errors and exhausted verdicts are never cached.
+    pub fn contains_with_compute(
+        &self,
+        q1: &ConjunctiveQuery,
+        q2: &ConjunctiveQuery,
+        opts: &ContainmentOptions,
+        compute: impl FnOnce() -> Result<ContainmentResult, CoreError>,
+    ) -> Result<ContainmentResult, CoreError> {
+        let key = CacheKey {
+            q1: canonicalize(q1),
+            q2: canonicalize(q2),
+            bound: effective_bound(q1, q2, opts),
+            analysis: opts.analysis,
+        };
+        let hit = self.lookup(&key);
+        let was_hit = hit.is_some();
+        opts.trace
+            .emit(|| flogic_obs::ChaseEvent::CacheLookup { hit: was_hit });
+        if let Some(hit) = hit {
+            return Ok(hit.restore());
+        }
+        let result = compute()?;
         self.store(key, &result);
         Ok(result)
     }

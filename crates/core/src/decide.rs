@@ -10,6 +10,27 @@ use flogic_term::{Metrics, Subst};
 use crate::CoreError;
 
 /// Options for [`contains_with`].
+///
+/// Every knob is verdict-preserving except [`level_bound`] below the
+/// Theorem 12 bound (sound but incomplete) and a [`budget`] that actually
+/// runs out (the verdict degrades to [`Verdict::Exhausted`]):
+///
+/// ```
+/// use flogic_core::{contains_with, ContainmentOptions, Budget};
+/// use flogic_syntax::parse_query;
+/// let q1 = parse_query("q(X, Z) :- sub(X, Y), sub(Y, Z).").unwrap();
+/// let q2 = parse_query("p(X, Z) :- sub(X, Z).").unwrap();
+/// let opts = ContainmentOptions {
+///     threads: 2,
+///     analysis: false,
+///     budget: Budget::unlimited().steps(100_000),
+///     ..Default::default()
+/// };
+/// assert!(contains_with(&q1, &q2, &opts).unwrap().holds());
+/// ```
+///
+/// [`level_bound`]: ContainmentOptions::level_bound
+/// [`budget`]: ContainmentOptions::budget
 #[derive(Clone, Debug)]
 pub struct ContainmentOptions {
     /// Chase level bound; `None` uses the Theorem 12 bound
@@ -277,7 +298,11 @@ pub fn contains_with(
 /// The undecided result for a chase stopped by the governor: the partial
 /// statistics (conjuncts materialized, deepest level completed) ride along
 /// so callers can report how far the run got.
-fn exhausted_result(chase: &Chase, bound: u32, reason: ExhaustReason) -> ContainmentResult {
+pub(crate) fn exhausted_result(
+    chase: &Chase,
+    bound: u32,
+    reason: ExhaustReason,
+) -> ContainmentResult {
     ContainmentResult {
         verdict: Verdict::Exhausted(reason),
         vacuous: false,
@@ -347,6 +372,19 @@ fn analyze_pair(
 /// [`CoreError::ArityMismatch`] in their slot; one pair failing does not
 /// poison the batch. If `chase(q1)` itself fails, every same-arity pair
 /// holds vacuously.
+///
+/// ```
+/// use flogic_core::{contains_batch, ContainmentOptions};
+/// use flogic_syntax::parse_query;
+/// let q1 = parse_query("q(O, D) :- member(O, C), sub(C, D).").unwrap();
+/// let q2s = vec![
+///     parse_query("a(O, D) :- member(O, D).").unwrap(),
+///     parse_query("b(O, D) :- sub(O, D).").unwrap(),
+/// ];
+/// let results = contains_batch(&q1, &q2s, &ContainmentOptions::default());
+/// assert!(results[0].as_ref().unwrap().holds());
+/// assert!(!results[1].as_ref().unwrap().holds());
+/// ```
 pub fn contains_batch(
     q1: &ConjunctiveQuery,
     q2s: &[ConjunctiveQuery],

@@ -27,7 +27,11 @@
 //! * [`contains_batch`] — decides one `q1` against many candidate
 //!   containers, sharing a single chase of `q1`;
 //! * [`DecisionCache`] — a memo table keyed by a variable-renaming- and
-//!   body-order-invariant canonical form of the query pair.
+//!   body-order-invariant canonical form of the query pair ([`QueryKey`]
+//!   exposes the per-query half of that key to resident services);
+//! * [`ChaseSnapshot`] — a resident, reusable chase of one `q1` so that
+//!   long-lived processes (the `flqd` server) decide repeated questions
+//!   about the same `q1` with the homomorphism search alone.
 
 mod cache;
 mod classic;
@@ -36,9 +40,10 @@ mod error;
 mod explain;
 pub mod naive;
 mod rewrite;
+mod snapshot;
 mod union;
 
-pub use cache::DecisionCache;
+pub use cache::{DecisionCache, QueryKey};
 pub use classic::classic_contains;
 pub use decide::{
     bound_from_sizes, contains, contains_batch, contains_with, theorem_bound, ContainmentOptions,
@@ -50,6 +55,7 @@ pub use error::{CoreError, DecideError};
 pub use explain::{explain, DerivationStep, Explanation};
 pub use flogic_chase::{Budget, CancelToken, ExhaustReason};
 pub use rewrite::{equivalent, equivalent_with, minimize, minimize_with};
+pub use snapshot::ChaseSnapshot;
 pub use union::{contained_in_union, union_contained_in};
 
 use flogic_model::ConjunctiveQuery;

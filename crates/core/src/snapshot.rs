@@ -1,0 +1,362 @@
+//! Reusable chase snapshots: decide many `q2`s against one resident
+//! chase of `q1`.
+//!
+//! [`contains_batch`](crate::contains_batch) already shares one chase
+//! across the candidates of a single call, but the chase dies with the
+//! call. A [`ChaseSnapshot`] makes the shared chase a first-class value
+//! that can outlive the request that built it — the containment server
+//! (`flqd`, crate `flogic-serve`) keeps a byte-capped LRU of them so that
+//! repeated questions about the same `q1` skip straight to the
+//! homomorphism search.
+//!
+//! Soundness and completeness of reuse are the same argument as for the
+//! batch API: a homomorphism into any prefix of `chase_ΣFL(q1)` witnesses
+//! containment (the chase is a model of `q1` and `Σ_FL`), and Theorem 12
+//! guarantees that when `q1 ⊆_ΣFL q2` holds a witness already exists
+//! within the pair's own bound `2·|q1|·|q2|` — hence also within any
+//! larger snapshot bound. [`ChaseSnapshot::contains`] therefore returns
+//! **verdict-identical** answers to [`contains_with`] whenever the
+//! snapshot [`covers`](ChaseSnapshot::covers) the pair, and falls back to
+//! a fresh decision when it does not, so it is *always* safe to call.
+
+use flogic_analysis::{direct_unsat, QueryAnalysis};
+use flogic_chase::{chase_bounded, Chase, ChaseOptions, ChaseOutcome};
+use flogic_hom::{find_hom_traced, Target};
+use flogic_model::ConjunctiveQuery;
+use flogic_term::{Metrics, Term};
+
+use crate::decide::{
+    contains_with, exhausted_result, theorem_bound, ContainmentOptions, ContainmentResult, Verdict,
+};
+use crate::CoreError;
+
+/// A resident, reusable chase of one `q1`, with its homomorphism-search
+/// index and static-analysis summary precomputed.
+///
+/// ```
+/// use flogic_core::{theorem_bound, ChaseSnapshot, ContainmentOptions};
+/// use flogic_syntax::parse_query;
+/// let q1 = parse_query("q(X, Z) :- sub(X, Y), sub(Y, Z).").unwrap();
+/// let q2 = parse_query("p(X, Z) :- sub(X, Z).").unwrap();
+/// let opts = ContainmentOptions::default();
+/// let snap = ChaseSnapshot::build(&q1, theorem_bound(&q1, &q2), &opts).unwrap();
+/// // Repeated q2s now skip the chase entirely.
+/// assert!(snap.contains(&q2, &opts).unwrap().holds());
+/// assert!(!snap.contains(&q1, &opts).unwrap().is_exhausted());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChaseSnapshot {
+    q1: ConjunctiveQuery,
+    chase: Chase,
+    /// Indexed hom-search target; empty when the chase failed or was
+    /// exhausted (no hom search happens in either case).
+    target: Target,
+    /// The level bound the chase was built to.
+    bound: u32,
+    /// Statically visible ρ4 clash of `q1`, precomputed for the
+    /// analysis-on fast path.
+    unsat: Option<(Term, Term)>,
+    /// Reachability summary of `q1`, precomputed for the analysis-on
+    /// early-false path.
+    analysis: QueryAnalysis,
+}
+
+impl ChaseSnapshot {
+    /// Builds the snapshot: one level-`bound` chase of `q1` plus the
+    /// hom-search index and the static-analysis summary.
+    ///
+    /// `opts.level_bound` is ignored (the explicit `bound` wins);
+    /// `opts.max_conjuncts`, `opts.threads`, `opts.budget` and
+    /// `opts.trace` govern the build exactly as they govern
+    /// [`contains_with`]. A build stopped by the budget still returns a
+    /// snapshot — [`is_exhausted`](ChaseSnapshot::is_exhausted) is then
+    /// true and every [`contains`](ChaseSnapshot::contains) reports the
+    /// undecided verdict — so callers can decide whether to keep it
+    /// (resident caches should not).
+    pub fn build(
+        q1: &ConjunctiveQuery,
+        bound: u32,
+        opts: &ContainmentOptions,
+    ) -> Result<ChaseSnapshot, CoreError> {
+        let chase = chase_bounded(
+            q1,
+            &ChaseOptions {
+                level_bound: bound,
+                max_conjuncts: opts.max_conjuncts,
+                threads: opts.threads,
+                budget: opts.budget.clone(),
+                trace: opts.trace.clone(),
+            },
+        )?;
+        let target = if chase.is_failed() || chase.is_exhausted() {
+            Target::default()
+        } else {
+            Target::from_chase(&chase)
+        };
+        Ok(ChaseSnapshot {
+            q1: q1.clone(),
+            target,
+            bound,
+            unsat: direct_unsat(q1),
+            analysis: QueryAnalysis::new(q1),
+            chase,
+        })
+    }
+
+    /// The query this snapshot chases.
+    pub fn q1(&self) -> &ConjunctiveQuery {
+        &self.q1
+    }
+
+    /// The level bound the chase was built to.
+    pub fn level_bound(&self) -> u32 {
+        self.bound
+    }
+
+    /// Number of conjuncts the chase materialized.
+    pub fn chase_conjuncts(&self) -> usize {
+        self.chase.len()
+    }
+
+    /// True when the build was stopped by its resource budget: the chase
+    /// is a prefix and every [`contains`](ChaseSnapshot::contains) that
+    /// reaches it reports [`Verdict::Exhausted`]. Resident caches should
+    /// drop such snapshots (the undecidedness is a property of the build
+    /// budget, not of `q1`).
+    pub fn is_exhausted(&self) -> bool {
+        self.chase.is_exhausted()
+    }
+
+    /// True when the chase failed (ρ4 equated two distinct constants):
+    /// `q1` is unsatisfiable and contained in every query of its arity.
+    pub fn is_failed(&self) -> bool {
+        self.chase.is_failed()
+    }
+
+    /// Approximate resident bytes: the chase graph's own accounting (the
+    /// quantity [`flogic_chase::Budget::max_bytes`] caps) plus the
+    /// hom-search index. Used by byte-capped snapshot caches.
+    pub fn approx_bytes(&self) -> usize {
+        self.chase.approx_bytes() + self.target.approx_bytes()
+    }
+
+    /// True when this snapshot's bound suffices to decide `q1 ⊆_ΣFL q2`
+    /// exactly as [`contains_with`] would under `opts`: the snapshot bound
+    /// must reach the pair's effective bound
+    /// (`min(opts.level_bound, theorem)`, or the Theorem 12 bound when no
+    /// explicit bound is set).
+    pub fn covers(&self, q2: &ConjunctiveQuery, opts: &ContainmentOptions) -> bool {
+        let theorem = theorem_bound(&self.q1, q2);
+        let effective = opts.level_bound.map_or(theorem, |b| b.min(theorem));
+        self.bound >= effective
+    }
+
+    /// Decides `q1 ⊆_ΣFL q2` against the resident chase.
+    ///
+    /// Verdicts are identical to [`contains_with`] — the analysis fast
+    /// paths run in the same order, the same homomorphism search runs
+    /// against the same (shared, possibly deeper) chase, and exhausted
+    /// builds report [`Verdict::Exhausted`] just like a budgeted fresh
+    /// run. When the snapshot does not [`covers`](ChaseSnapshot::covers)
+    /// the pair (its bound is too shallow), the call transparently falls
+    /// back to a fresh [`contains_with`] so the answer is still exact.
+    /// Reported metadata (`level_bound`, `chase_conjuncts`) describes the
+    /// shared chase, exactly as [`contains_batch`](crate::contains_batch)
+    /// reports its shared bound.
+    pub fn contains(
+        &self,
+        q2: &ConjunctiveQuery,
+        opts: &ContainmentOptions,
+    ) -> Result<ContainmentResult, CoreError> {
+        if self.q1.arity() != q2.arity() {
+            return Err(CoreError::ArityMismatch {
+                q1: self.q1.arity(),
+                q2: q2.arity(),
+            });
+        }
+        if !self.covers(q2, opts) {
+            return contains_with(&self.q1, q2, opts);
+        }
+        // Mirror `contains_with` exactly: static fast paths first (they
+        // answer without consulting the chase), then the chase outcome.
+        if opts.analysis {
+            if let Some((left, right)) = self.unsat {
+                Metrics::global().record_analysis_early_true();
+                return Ok(ContainmentResult {
+                    verdict: Verdict::Holds,
+                    vacuous: true,
+                    witness: None,
+                    chase_conjuncts: 0,
+                    chase_outcome: ChaseOutcome::Failed { left, right },
+                    level_bound: self.bound,
+                    max_chase_level: 0,
+                    decided_by_analysis: true,
+                });
+            }
+            if self.analysis.refutes_hom(q2) {
+                Metrics::global().record_analysis_early_false();
+                return Ok(ContainmentResult {
+                    verdict: Verdict::NotHolds,
+                    vacuous: false,
+                    witness: None,
+                    chase_conjuncts: self.chase.len(),
+                    chase_outcome: self.chase.outcome(),
+                    level_bound: self.bound,
+                    max_chase_level: self.chase.max_level(),
+                    decided_by_analysis: true,
+                });
+            }
+            Metrics::global().record_analysis_chased();
+        }
+        match self.chase.outcome() {
+            ChaseOutcome::Failed { .. } => {
+                return Ok(ContainmentResult {
+                    verdict: Verdict::Holds,
+                    vacuous: true,
+                    witness: None,
+                    chase_conjuncts: self.chase.len(),
+                    chase_outcome: self.chase.outcome(),
+                    level_bound: self.bound,
+                    max_chase_level: self.chase.max_level(),
+                    decided_by_analysis: false,
+                });
+            }
+            ChaseOutcome::Exhausted { reason } => {
+                return Ok(exhausted_result(&self.chase, self.bound, reason));
+            }
+            ChaseOutcome::Completed | ChaseOutcome::LevelBounded => {}
+        }
+        let witness = find_hom_traced(
+            q2.body(),
+            q2.head(),
+            &self.target,
+            self.chase.head(),
+            &opts.trace,
+        );
+        Ok(ContainmentResult {
+            verdict: if witness.is_some() {
+                Verdict::Holds
+            } else {
+                Verdict::NotHolds
+            },
+            vacuous: false,
+            witness,
+            chase_conjuncts: self.chase.len(),
+            chase_outcome: self.chase.outcome(),
+            level_bound: self.bound,
+            max_chase_level: self.chase.max_level(),
+            decided_by_analysis: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::contains;
+    use flogic_chase::{Budget, ExhaustReason};
+    use flogic_syntax::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    fn build(q1: &ConjunctiveQuery, bound: u32) -> ChaseSnapshot {
+        ChaseSnapshot::build(q1, bound, &ContainmentOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn snapshot_agrees_with_fresh_decisions() {
+        let q1 = q("q(O, D) :- member(O, C), sub(C, D).");
+        let q2s = [
+            q("a(O, D) :- member(O, D)."),
+            q("b(O, D) :- sub(O, D)."),
+            q("c(O, D) :- member(O, C), sub(C, D)."),
+            q("d(O, D) :- member(O, D), sub(D, E)."),
+        ];
+        let bound = q2s.iter().map(|q2| theorem_bound(&q1, q2)).max().unwrap();
+        let snap = build(&q1, bound);
+        for q2 in &q2s {
+            let fresh = contains(&q1, q2).unwrap();
+            let snapped = snap.contains(q2, &ContainmentOptions::default()).unwrap();
+            assert_eq!(fresh.verdict(), snapped.verdict(), "{q2}");
+            assert_eq!(fresh.is_vacuous(), snapped.is_vacuous(), "{q2}");
+        }
+    }
+
+    #[test]
+    fn shallow_snapshot_falls_back_to_fresh_decision() {
+        // Bound 0 cannot see the rho5 level the pair needs; the snapshot
+        // must notice it does not cover the pair and recompute.
+        let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
+        let q2 = q("qq() :- data(T, A, V), member(V, T).");
+        let snap = build(&q1, 0);
+        assert!(!snap.covers(&q2, &ContainmentOptions::default()));
+        let r = snap.contains(&q2, &ContainmentOptions::default()).unwrap();
+        assert!(r.holds(), "fallback must run the full-bound chase");
+        // An explicit bound of 0 is covered, and decided like contains_with.
+        let tight = ContainmentOptions {
+            level_bound: Some(0),
+            ..Default::default()
+        };
+        assert!(snap.covers(&q2, &tight));
+        assert!(!snap.contains(&q2, &tight).unwrap().holds());
+    }
+
+    #[test]
+    fn failed_chase_snapshot_is_vacuous_for_every_pair() {
+        let q1 = q("q() :- data(o, a, 1), data(o, a, 2), funct(a, o).");
+        let opts = ContainmentOptions {
+            analysis: false,
+            ..Default::default()
+        };
+        let snap = ChaseSnapshot::build(&q1, 4, &opts).unwrap();
+        assert!(snap.is_failed());
+        let r = snap.contains(&q("qq() :- sub(X, Y)."), &opts).unwrap();
+        assert!(r.holds() && r.is_vacuous());
+    }
+
+    #[test]
+    fn exhausted_build_reports_exhausted_verdicts() {
+        let q1 = q("q() :- mandatory(A, T), type(T, A, T).");
+        let opts = ContainmentOptions {
+            max_conjuncts: 5,
+            analysis: false,
+            ..Default::default()
+        };
+        let snap = ChaseSnapshot::build(&q1, 100, &opts).unwrap();
+        assert!(snap.is_exhausted());
+        let r = snap.contains(&q("qq() :- data(T, A, V)."), &opts).unwrap();
+        assert_eq!(r.verdict(), Verdict::Exhausted(ExhaustReason::Conjuncts));
+    }
+
+    #[test]
+    fn analysis_fast_paths_win_over_exhausted_chase() {
+        // A fresh budgeted run answers early-false via analysis before the
+        // chase can exhaust; the snapshot path must do the same even when
+        // its resident chase is a budget-stopped prefix.
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2 = q("p(X, Z) :- member(X, Z).");
+        let tight = ContainmentOptions {
+            budget: Budget::with_timeout(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let fresh = contains_with(&q1, &q2, &tight).unwrap();
+        let snap = ChaseSnapshot::build(&q1, theorem_bound(&q1, &q2), &tight).unwrap();
+        let snapped = snap.contains(&q2, &tight).unwrap();
+        assert_eq!(fresh.verdict(), snapped.verdict());
+        assert_eq!(fresh.verdict(), Verdict::NotHolds);
+        assert!(snapped.decided_by_analysis());
+    }
+
+    #[test]
+    fn snapshot_reports_bytes_and_metadata() {
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let snap = build(&q1, 8);
+        assert_eq!(snap.q1(), &q1);
+        assert_eq!(snap.level_bound(), 8);
+        assert!(snap.chase_conjuncts() >= 2);
+        assert!(snap.approx_bytes() > 0);
+        assert!(!snap.is_failed() && !snap.is_exhausted());
+    }
+}

@@ -80,6 +80,19 @@ impl Target {
         &self.atoms
     }
 
+    /// Approximate resident bytes of the target: atom storage plus the
+    /// per-predicate and per-position index entries. Like
+    /// `Chase::approx_bytes` this is a bookkeeping estimate (used by
+    /// byte-capped snapshot caches), not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let index_entries: usize = self.by_pred.iter().map(Vec::len).sum::<usize>()
+            + self.by_pos.values().map(Vec::len).sum::<usize>();
+        self.atoms.len() * size_of::<Atom>()
+            + index_entries * size_of::<usize>()
+            + self.by_pos.len() * size_of::<(Pred, u8, Term)>()
+    }
+
     /// Returns the indices of candidate atoms for `pattern` (whose bound
     /// positions are ground terms): the most selective index available.
     /// Every returned candidate still needs a full unification check.

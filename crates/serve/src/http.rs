@@ -1,0 +1,345 @@
+//! A strict, minimal HTTP/1.1 request reader and response writer.
+//!
+//! `flqd` speaks just enough HTTP for its four endpoints: `GET`/`POST`
+//! requests with `Content-Length` bodies over keep-alive connections.
+//! There is no TLS, no chunked transfer coding, no `Expect: continue`,
+//! and no multipart — a request that needs any of those gets a clean
+//! 4xx/5xx instead of undefined behaviour. The reader enforces hard caps
+//! on header and body size so a hostile peer cannot balloon resident
+//! memory, mirroring how the chase governor caps the decision work
+//! itself.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line plus all headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request head plus its body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target path, e.g. `/v1/contains` (query strings are
+    /// kept verbatim; no endpoint uses them).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// True when the client asked for `Connection: close` (or spoke
+    /// HTTP/1.0), so the server should drop the connection after
+    /// responding.
+    pub close: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive session, not an error to report.
+    Closed,
+    /// The socket failed or timed out mid-request.
+    Io(io::Error),
+    /// The bytes were not a well-formed HTTP/1.1 request. The string is
+    /// a short human-readable reason; the caller answers 400.
+    Malformed(String),
+    /// The declared `Content-Length` exceeded the server's cap. The
+    /// caller answers 413.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap it exceeded.
+        cap: usize,
+    },
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one request from a buffered stream.
+///
+/// `max_body_bytes` caps the declared `Content-Length`; the head is
+/// capped at 16 KiB unconditionally.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body_bytes: usize,
+) -> Result<Request, ReadError> {
+    let mut head_bytes = 0usize;
+    let request_line = read_line(reader, &mut head_bytes)?;
+    if request_line.is_empty() {
+        return Err(ReadError::Closed);
+    }
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Malformed(format!("bad version {version:?}")));
+    }
+    let mut close = version == "HTTP/1.0";
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header {line:?}")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ReadError::Malformed(
+                "transfer-encoding is not supported; send content-length".into(),
+            ));
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(ReadError::BodyTooLarge {
+            declared: content_length,
+            cap: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+        close,
+    })
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, without the terminator,
+/// charging its bytes against the head cap.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    head_bytes: &mut usize,
+) -> Result<String, ReadError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            // EOF. An empty partial line is a clean close; a truncated
+            // one is a malformed request.
+            if line.is_empty() {
+                return Ok(String::new());
+            }
+            return Err(ReadError::Malformed("EOF inside request head".into()));
+        }
+        let (consume, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                line.extend_from_slice(&buf[..i]);
+                (i + 1, true)
+            }
+            None => {
+                line.extend_from_slice(buf);
+                (buf.len(), false)
+            }
+        };
+        reader.consume(consume);
+        *head_bytes += consume;
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed("request head too large".into()));
+        }
+        if done {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| ReadError::Malformed("non-UTF-8 request head".into()));
+        }
+    }
+}
+
+/// A response ready to be written: status, extra headers, body.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra headers as `(name, value)` pairs (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+}
+
+/// The standard reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp` to `stream`. `close` controls the `Connection` header.
+pub fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    /// Runs `read_request` against raw bytes sent over a real loopback
+    /// socket (the reader is typed to `BufReader<TcpStream>`).
+    fn read_raw(raw: &'static [u8], max_body: usize) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut BufReader::new(stream), max_body);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = read_raw(
+            b"POST /v1/contains HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/contains");
+        assert_eq!(req.body, b"body");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = read_raw(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n", 1024).unwrap();
+        assert!(req.close);
+        let req = read_raw(b"GET /metrics HTTP/1.0\r\n\r\n", 1024).unwrap();
+        assert!(req.close);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_reading_it() {
+        match read_raw(
+            b"POST /v1/contains HTTP/1.1\r\nContent-Length: 999\r\n\r\n",
+            10,
+        ) {
+            Err(ReadError::BodyTooLarge {
+                declared: 999,
+                cap: 10,
+            }) => {}
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_heads_are_malformed_not_io_errors() {
+        for raw in [
+            b"NOT-HTTP\r\n\r\n".as_slice(),
+            b"GET /x HTTP/9.9\r\n\r\n".as_slice(),
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n".as_slice(),
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".as_slice(),
+        ] {
+            match read_raw(raw, 1024) {
+                Err(ReadError::Malformed(_)) => {}
+                other => panic!("expected Malformed for {raw:?}, got {other:?}"),
+            }
+        }
+        // A clean EOF before any bytes is Closed, not an error.
+        match read_raw(b"", 1024) {
+            Err(ReadError::Closed) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_carry_status_headers_and_length() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut buf = Vec::new();
+            s.read_to_end(&mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut resp = Response::json(503, "{\"error\":{}}".into());
+        resp.extra_headers.push(("retry-after", "1".into()));
+        write_response(&mut stream, &resp, true).unwrap();
+        drop(stream);
+        let text = client.join().unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.contains("content-length: 12\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.ends_with("{\"error\":{}}"), "{text}");
+    }
+}

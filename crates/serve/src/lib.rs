@@ -1,0 +1,87 @@
+//! `flqd` — a resident, batched containment service over the Theorem 12
+//! decision engine.
+//!
+//! The CLI decides one containment per process: every `flq contains`
+//! pays the chase of `q1` from scratch. This crate keeps that work
+//! *warm*: a long-lived process holds a [`DecisionCache`] of whole
+//! verdicts and a byte-capped [`SnapshotCache`] of per-`q1` chases, so a
+//! workload that keeps asking about the same queries converges to
+//! homomorphism searches (and then to cache hits) instead of repeated
+//! chases.
+//!
+//! The transport is deliberately minimal — a hand-rolled HTTP/1.1
+//! subset over `std::net`, in the same dependency-free spirit as
+//! `flogic-obs`'s JSONL layer — because the interesting contracts are
+//! semantic, not protocol-level:
+//!
+//! * **Verdict parity.** Warm or cold, every answer is bit-identical to
+//!   `flq contains` on the same pair: the snapshot path mirrors
+//!   `contains_with`'s decision order exactly, and both caches refuse to
+//!   memoize anything budget-dependent.
+//! * **Exhaustion is an outcome.** A decision stopped by its budget is
+//!   HTTP 200 with `"verdict": "exhausted"` — the server analogue of the
+//!   CLI's exit code 3 — never a 5xx.
+//! * **Explicit backpressure.** A bounded accept queue; beyond it the
+//!   server answers `503` + `Retry-After` instead of queueing without
+//!   bound.
+//!
+//! Endpoints: `POST /v1/contains`, `POST /v1/contains_batch`,
+//! `GET /metrics`, `GET /profile`. See `docs/ARCHITECTURE.md` for the
+//! request lifecycle and `docs/CLI.md` for the `flqd` / `flq serve`
+//! flags.
+//!
+//! [`DecisionCache`]: flogic_core::DecisionCache
+//! [`SnapshotCache`]: snapshots::SnapshotCache
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod signal;
+pub mod snapshots;
+
+mod server;
+
+pub use server::{Server, ServerConfig, ServerHandle, SERVE_FLAGS};
+
+/// Runs the server as a foreground process: parse `args`, bind, print
+/// the listen address on stdout, install signal handlers, serve until
+/// SIGTERM/SIGINT, drain, exit.
+///
+/// This is the shared implementation of the `flqd` binary and the
+/// `flq serve` subcommand. Returns the process exit code: `0` after a
+/// clean drain, `1` on bind/serve errors, `2` on flag errors.
+pub fn run_cli<I: IntoIterator<Item = String>>(args: I) -> u8 {
+    let config = match ServerConfig::from_args(args) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: flqd {SERVE_FLAGS}");
+            return 2;
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return 1;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("error: cannot read local address: {e}");
+            return 1;
+        }
+    };
+    // The fixed prefix lets scripts (and the CI smoke test) discover an
+    // ephemeral port: `flqd --addr 127.0.0.1:0` prints the real one.
+    println!("flqd listening on {addr}");
+    signal::install();
+    match server.run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: serve failed: {e}");
+            1
+        }
+    }
+}

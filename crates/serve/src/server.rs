@@ -1,0 +1,555 @@
+//! The server runtime: accept loop, bounded queue, worker pool, routing.
+//!
+//! The shape is deliberately boring: one blocking accept loop feeds a
+//! fixed pool of worker threads through a bounded queue. When the queue
+//! is full the accept loop answers `503` with `Retry-After` *itself* —
+//! explicit backpressure instead of an unbounded backlog, mirroring how
+//! the chase governor refuses work instead of letting it balloon.
+//!
+//! Warm state shared by every worker:
+//!
+//! * a [`DecisionCache`] memoizing whole `(q1, q2)` verdicts, and
+//! * a [`SnapshotCache`] holding each `q1`'s chase so repeated questions
+//!   about the same query pay only the homomorphism search.
+//!
+//! A decision miss flows through both: the decision cache's
+//! `contains_with_compute` fills from the snapshot cache, whose
+//! [`ChaseSnapshot::contains`](flogic_core::ChaseSnapshot::contains)
+//! mirrors `contains_with` exactly — so verdicts are bit-identical to
+//! the `flq` CLI's, warm or cold.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use flogic_core::{theorem_bound, ContainmentOptions, ContainmentResult, CoreError, DecisionCache};
+use flogic_model::ConjunctiveQuery;
+use flogic_obs::export::profile_json;
+use flogic_obs::{ChaseProfile, TraceHandle, Tracer};
+use flogic_syntax::parse_query;
+use flogic_term::Metrics;
+
+use crate::api::{self, ApiError};
+use crate::http::{self, ReadError, Request, Response};
+use crate::signal;
+use crate::snapshots::SnapshotCache;
+
+/// Configuration of a [`Server`], settable from the command line via
+/// [`ServerConfig::from_args`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Listen address (`--addr`); `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling requests (`--workers`).
+    pub workers: usize,
+    /// Bounded accept-queue depth (`--queue`); connections beyond it are
+    /// answered `503` with `Retry-After`.
+    pub queue_depth: usize,
+    /// Byte cap of the resident chase-snapshot cache (`--cache-bytes`).
+    pub cache_bytes: usize,
+    /// Cap on request bodies (`--max-body-bytes`).
+    pub max_body_bytes: usize,
+    /// Chase discovery threads per decision (`--threads`), as in
+    /// `flq contains --threads`.
+    pub threads: usize,
+    /// Server-side default wall-clock budget per decision (`--timeout`,
+    /// milliseconds); requests may override. `None` means unlimited.
+    pub default_timeout_ms: Option<u64>,
+    /// Server-side default cap on materialized chase conjuncts
+    /// (`--max-conjuncts`); requests may override.
+    pub max_conjuncts: usize,
+    /// Socket read timeout, which doubles as the keep-alive idle
+    /// timeout (`--read-timeout`, milliseconds).
+    pub read_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7171".into(),
+            workers: 2,
+            queue_depth: 64,
+            cache_bytes: 64 << 20,
+            max_body_bytes: 1 << 20,
+            threads: 1,
+            default_timeout_ms: None,
+            max_conjuncts: ContainmentOptions::default().max_conjuncts,
+            read_timeout_ms: 5_000,
+        }
+    }
+}
+
+/// The `flq serve` / `flqd` flag reference, shared by both binaries'
+/// usage text.
+pub const SERVE_FLAGS: &str = "[--addr HOST:PORT] [--workers N] [--queue N] [--cache-bytes N] \
+[--max-body-bytes N] [--threads N] [--timeout MS] [--max-conjuncts N] [--read-timeout MS]";
+
+impl ServerConfig {
+    /// Parses command-line flags into a config, starting from defaults.
+    /// Unknown flags and malformed values are errors (the caller prints
+    /// the message and exits with the usage status).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<ServerConfig, String> {
+        let mut config = ServerConfig::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut value = |what: &str| it.next().ok_or_else(|| format!("{arg} needs {what}"));
+            match arg.as_str() {
+                "--addr" => config.addr = value("an address")?,
+                "--workers" => config.workers = parse_flag(&arg, value("a number")?)?,
+                "--queue" => config.queue_depth = parse_flag(&arg, value("a number")?)?,
+                "--cache-bytes" => config.cache_bytes = parse_flag(&arg, value("a number")?)?,
+                "--max-body-bytes" => config.max_body_bytes = parse_flag(&arg, value("a number")?)?,
+                "--threads" => config.threads = parse_flag(&arg, value("a number")?)?,
+                "--timeout" => {
+                    config.default_timeout_ms =
+                        Some(parse_flag(&arg, value("a duration in milliseconds")?)?)
+                }
+                "--max-conjuncts" => config.max_conjuncts = parse_flag(&arg, value("a number")?)?,
+                "--read-timeout" => {
+                    config.read_timeout_ms = parse_flag(&arg, value("a duration in milliseconds")?)?
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if config.workers == 0 {
+            return Err("--workers must be at least 1".into());
+        }
+        if config.queue_depth == 0 {
+            return Err("--queue must be at least 1".into());
+        }
+        Ok(config)
+    }
+
+    /// The base decision options this config implies; per-request knobs
+    /// are applied on top (see [`api::RequestOpts::apply`]).
+    pub fn base_options(&self) -> ContainmentOptions {
+        let mut opts = ContainmentOptions {
+            threads: self.threads,
+            max_conjuncts: self.max_conjuncts,
+            ..ContainmentOptions::default()
+        };
+        if let Some(ms) = self.default_timeout_ms {
+            opts.budget = flogic_core::Budget::with_timeout(Duration::from_millis(ms));
+        }
+        opts
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: cannot parse {raw:?}"))
+}
+
+/// State shared between the accept loop and the workers.
+struct Shared {
+    config: ServerConfig,
+    base_opts: ContainmentOptions,
+    decisions: DecisionCache,
+    snapshots: SnapshotCache,
+    profile: Mutex<ChaseProfile>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    requests_total: AtomicU64,
+    rejected_total: AtomicU64,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal::shutdown_requested()
+    }
+}
+
+/// A handle for stopping a running [`Server`] from another thread (the
+/// in-process equivalent of SIGTERM).
+#[derive(Clone)]
+pub struct ServerHandle(Arc<Shared>);
+
+impl ServerHandle {
+    /// Asks the server to stop accepting, drain in-flight requests and
+    /// return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.0.shutdown.store(true, Ordering::Relaxed);
+        self.0.available.notify_all();
+    }
+}
+
+/// A bound, not-yet-running containment server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and allocates the shared caches. The server
+    /// does not accept until [`run`](Server::run).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let base_opts = config.base_options();
+        let snapshots = SnapshotCache::new(config.cache_bytes);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                base_opts,
+                snapshots,
+                decisions: DecisionCache::new(),
+                profile: Mutex::new(ChaseProfile::default()),
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                requests_total: AtomicU64::new(0),
+                rejected_total: AtomicU64::new(0),
+                config,
+            }),
+        })
+    }
+
+    /// The bound address (the actual port when `--addr` asked for 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle(Arc::clone(&self.shared))
+    }
+
+    /// Runs the accept loop until shutdown is requested (via
+    /// [`ServerHandle::shutdown`] or SIGTERM/SIGINT once
+    /// [`signal::install`] has run), then drains: queued and in-flight
+    /// requests complete, workers join, and `run` returns.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, shared } = self;
+        listener.set_nonblocking(true)?;
+        let workers: Vec<_> = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("flqd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        while !shared.draining() {
+            match listener.accept() {
+                Ok((stream, _peer)) => enqueue(&shared, stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // The poll interval is a floor on cold-connection
+                    // latency, so keep it tight; 1ms of idle sleep is
+                    // invisible in CPU terms.
+                    thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: stop accepting (listener drops), let workers finish the
+        // queue and their in-flight connections, then join them.
+        drop(listener);
+        shared.available.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Queues an accepted connection, or answers `503` on the spot when the
+/// queue is at capacity.
+fn enqueue(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    if queue.len() >= shared.config.queue_depth {
+        drop(queue);
+        shared.rejected_total.fetch_add(1, Ordering::Relaxed);
+        let mut stream = stream;
+        let _ = http::write_response(&mut stream, &ApiError::overloaded().to_response(), true);
+        return;
+    }
+    queue.push_back(stream);
+    drop(queue);
+    shared.available.notify_one();
+}
+
+/// One worker: pop connections until shutdown *and* the queue is empty.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.draining() {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("queue poisoned");
+                queue = guard;
+            }
+        };
+        match stream {
+            Some(stream) => handle_connection(shared, stream),
+            None => return,
+        }
+    }
+}
+
+/// Serves one (possibly keep-alive) connection to completion.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(shared.config.read_timeout_ms)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match http::read_request(&mut reader, shared.config.max_body_bytes) {
+            Ok(req) => {
+                shared.requests_total.fetch_add(1, Ordering::Relaxed);
+                // A panic below a request must not take the worker down
+                // with it; answer 500 and close.
+                let resp =
+                    catch_unwind(AssertUnwindSafe(|| route(shared, &req))).unwrap_or_else(|_| {
+                        ApiError::internal("request handler panicked").to_response()
+                    });
+                let close = req.close || shared.draining();
+                if http::write_response(&mut writer, &resp, close).is_err() || close {
+                    return;
+                }
+            }
+            // Clean close, idle timeout, or socket error: drop quietly.
+            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Malformed(msg)) => {
+                let resp = ApiError::bad_request(format!("malformed HTTP request: {msg}"));
+                let _ = http::write_response(&mut writer, &resp.to_response(), true);
+                return;
+            }
+            Err(ReadError::BodyTooLarge { declared, cap }) => {
+                let resp = ApiError::payload_too_large(declared, cap);
+                let _ = http::write_response(&mut writer, &resp.to_response(), true);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint.
+fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/contains") => contains_endpoint(shared, &req.body),
+        ("POST", "/v1/contains_batch") => batch_endpoint(shared, &req.body),
+        ("GET", "/metrics") => Response::text(200, metrics_text(shared)),
+        ("GET", "/profile") => {
+            let profile = shared.profile.lock().expect("profile poisoned");
+            Response::json(200, profile_json(&profile))
+        }
+        (_, "/v1/contains" | "/v1/contains_batch" | "/metrics" | "/profile") => {
+            ApiError::method_not_allowed(&req.method, &req.path).to_response()
+        }
+        _ => ApiError::not_found(&req.path).to_response(),
+    }
+}
+
+/// `POST /v1/contains`: one pair, one verdict object.
+fn contains_endpoint(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let req = match api::parse_contains(body) {
+        Ok(req) => req,
+        Err(e) => return e.to_response(),
+    };
+    let (q1, q2) = match (parse_wire_query(&req.q1), parse_wire_query(&req.q2)) {
+        (Ok(q1), Ok(q2)) => (q1, q2),
+        (Err(e), _) | (_, Err(e)) => return e.to_response(),
+    };
+    let tracer = Tracer::with_default_capacity();
+    let mut opts = req.opts.apply(&shared.base_opts);
+    opts.trace = TraceHandle::enabled(&tracer);
+    let out = decide_pair(shared, &q1, &q2, &opts);
+    absorb_trace(shared, &tracer);
+    match out {
+        Ok(result) => Response::json(200, api::verdict_json(&result)),
+        Err(e) => api::core_error(&e).to_response(),
+    }
+}
+
+/// `POST /v1/contains_batch`: many pairs, verdicts in request order.
+/// Pairs that share a `q1` (under the canonical key) share one resident
+/// chase — the server-side analogue of
+/// [`contains_batch`](flogic_core::contains_batch).
+fn batch_endpoint(shared: &Arc<Shared>, body: &[u8]) -> Response {
+    let req = match api::parse_batch(body) {
+        Ok(req) => req,
+        Err(e) => return e.to_response(),
+    };
+    let mut parsed = Vec::with_capacity(req.pairs.len());
+    for (i, (q1, q2)) in req.pairs.iter().enumerate() {
+        let q1 = match parse_wire_query(q1) {
+            Ok(q) => q,
+            Err(e) => {
+                return ApiError::parse_error(format!("pairs[{i}][0]: {}", e.message)).to_response()
+            }
+        };
+        let q2 = match parse_wire_query(q2) {
+            Ok(q) => q,
+            Err(e) => {
+                return ApiError::parse_error(format!("pairs[{i}][1]: {}", e.message)).to_response()
+            }
+        };
+        parsed.push((q1, q2));
+    }
+    let tracer = Tracer::with_default_capacity();
+    let mut opts = req.opts.apply(&shared.base_opts);
+    opts.trace = TraceHandle::enabled(&tracer);
+    let mut results = Vec::with_capacity(parsed.len());
+    for (q1, q2) in &parsed {
+        match decide_pair(shared, q1, q2, &opts) {
+            Ok(result) => results.push(result),
+            Err(e) => {
+                absorb_trace(shared, &tracer);
+                return api::core_error(&e).to_response();
+            }
+        }
+    }
+    absorb_trace(shared, &tracer);
+    Response::json(200, api::batch_json(&results))
+}
+
+/// The warm decision path: decision cache over snapshot cache over the
+/// Theorem 12 engine. Verdict-identical to a fresh `contains_with` (the
+/// contract both caches document).
+fn decide_pair(
+    shared: &Arc<Shared>,
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    opts: &ContainmentOptions,
+) -> Result<ContainmentResult, CoreError> {
+    shared.decisions.contains_with_compute(q1, q2, opts, || {
+        let snapshot = shared
+            .snapshots
+            .get_or_build(q1, theorem_bound(q1, q2), opts)?;
+        snapshot.contains(q2, opts)
+    })
+}
+
+fn parse_wire_query(text: &str) -> Result<ConjunctiveQuery, ApiError> {
+    parse_query(text).map_err(|e| ApiError::parse_error(e.to_string()))
+}
+
+/// Folds a request's trace into the server-lifetime profile served by
+/// `GET /profile`.
+fn absorb_trace(shared: &Arc<Shared>, tracer: &Arc<Tracer>) {
+    let request_profile = ChaseProfile::from_snapshot(&tracer.snapshot());
+    let mut profile = shared.profile.lock().expect("profile poisoned");
+    profile.absorb(&request_profile);
+}
+
+/// The `GET /metrics` body: the process-wide engine counters
+/// ([`Metrics::render_text`]) plus the server's own gauges, same
+/// `name value` line format.
+fn metrics_text(shared: &Arc<Shared>) -> String {
+    use std::fmt::Write as _;
+    let mut s = Metrics::global().snapshot().render_text();
+    let stats = shared.snapshots.stats();
+    let _ = writeln!(
+        s,
+        "flqd_requests_total {}",
+        shared.requests_total.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(
+        s,
+        "flqd_rejected_total {}",
+        shared.rejected_total.load(Ordering::Relaxed)
+    );
+    let _ = writeln!(s, "flqd_snapshot_hits {}", stats.hits);
+    let _ = writeln!(s, "flqd_snapshot_misses {}", stats.misses);
+    let _ = writeln!(s, "flqd_snapshot_evictions {}", stats.evictions);
+    let _ = writeln!(s, "flqd_snapshot_uncacheable {}", stats.uncacheable);
+    let _ = writeln!(s, "flqd_snapshot_resident_bytes {}", stats.resident_bytes);
+    let _ = writeln!(
+        s,
+        "flqd_snapshot_resident_entries {}",
+        stats.resident_entries
+    );
+    let _ = writeln!(
+        s,
+        "flqd_snapshot_cap_bytes {}",
+        shared.snapshots.cap_bytes()
+    );
+    let _ = writeln!(s, "flqd_decision_cache_entries {}", shared.decisions.len());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_parses_every_flag_and_rejects_nonsense() {
+        let args = [
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--queue",
+            "9",
+            "--cache-bytes",
+            "1024",
+            "--max-body-bytes",
+            "2048",
+            "--threads",
+            "2",
+            "--timeout",
+            "250",
+            "--max-conjuncts",
+            "77",
+            "--read-timeout",
+            "300",
+        ];
+        let config = ServerConfig::from_args(args.iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.workers, 4);
+        assert_eq!(config.queue_depth, 9);
+        assert_eq!(config.cache_bytes, 1024);
+        assert_eq!(config.max_body_bytes, 2048);
+        assert_eq!(config.threads, 2);
+        assert_eq!(config.default_timeout_ms, Some(250));
+        assert_eq!(config.max_conjuncts, 77);
+        assert_eq!(config.read_timeout_ms, 300);
+
+        for bad in [
+            vec!["--bogus"],
+            vec!["--workers"],
+            vec!["--workers", "zero"],
+            vec!["--workers", "0"],
+            vec!["--queue", "0"],
+        ] {
+            assert!(
+                ServerConfig::from_args(bad.iter().map(|s| s.to_string())).is_err(),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn base_options_carry_config_knobs() {
+        let config = ServerConfig {
+            threads: 3,
+            max_conjuncts: 42,
+            default_timeout_ms: Some(5),
+            ..ServerConfig::default()
+        };
+        let opts = config.base_options();
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.max_conjuncts, 42);
+        assert!(!opts.budget.is_unlimited());
+        assert!(opts.analysis);
+        assert_eq!(opts.level_bound, None);
+    }
+}

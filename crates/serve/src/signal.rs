@@ -1,0 +1,84 @@
+//! SIGTERM/SIGINT notification for graceful shutdown.
+//!
+//! The workspace has no signal-handling dependency and `std` exposes no
+//! portable signal API, so this module makes the one `libc` call the
+//! server needs — `signal(2)` — through a direct `extern "C"`
+//! declaration. The handler does the only thing that is async-signal-safe
+//! here: store a relaxed atomic flag. The accept loop polls the flag
+//! (it already wakes every few milliseconds to poll its non-blocking
+//! listener), so no self-pipe is needed.
+//!
+//! This is the sole `unsafe` in the workspace; the crate-level lint is
+//! `deny(unsafe_code)` (not the workspace's `forbid`) precisely so this
+//! module can scope one allowance with a justification.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the handler once a termination signal arrives.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM or SIGINT has been received (always false until
+/// [`install`] has been called).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Test/seam hook: raise the flag as if a signal had arrived.
+pub fn request_shutdown() {
+    SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[allow(unsafe_code)]
+mod ffi {
+    //! The single FFI site: registering the flag-setting handler.
+    //!
+    //! Safety rests on three facts: `signal(2)` is in every libc this
+    //! workspace targets (Linux/macOS, per `rust-version`'s platform
+    //! support); the handler only performs a relaxed atomic store, which
+    //! is async-signal-safe; and the function-pointer types match the C
+    //! prototype `void (*)(int)`.
+
+    use super::{AtomicBool, Ordering, SHUTDOWN_REQUESTED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work: one relaxed store.
+        let flag: &AtomicBool = &SHUTDOWN_REQUESTED;
+        flag.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install_handlers() {
+        // SAFETY: `signal` matches the libc prototype; `on_signal` is
+        // `extern "C" fn(i32)` and async-signal-safe (see module docs).
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handlers (process-wide; the `flqd` binary
+/// calls this once, in-process test servers do not).
+pub fn install() {
+    ffi::install_handlers();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_shutdown_raises_the_flag() {
+        // Note: the flag is process-global, so this test is written to
+        // be order-independent — it only ever raises the flag.
+        install();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

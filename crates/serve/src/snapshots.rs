@@ -1,0 +1,288 @@
+//! A byte-capped, process-resident LRU cache of chase snapshots.
+//!
+//! The server's warm path: every decision about a `q1` the service has
+//! seen before reuses that query's [`ChaseSnapshot`] and pays only the
+//! homomorphism search. Entries are keyed by [`QueryKey`] — the same
+//! variable-renaming- and body-order-invariant canonical form the
+//! [`DecisionCache`](flogic_core::DecisionCache) uses — so syntactic
+//! re-spellings of one query share one chase.
+//!
+//! Residency is capped in **bytes**, not entries, using the same
+//! `approx_bytes` accounting the chase governor's
+//! [`Budget::bytes`](flogic_core::Budget::bytes) cap charges against.
+//! Two snapshots of wildly different sizes are charged what they
+//! actually hold, and the server's RSS contribution from warm chases
+//! stays bounded by configuration.
+//!
+//! Two kinds of snapshot are never cached:
+//!
+//! * **Exhausted builds** — undecidedness is a property of the build
+//!   budget, not of `q1`; caching one would pin "exhausted" answers
+//!   (the same rule the `DecisionCache` applies to verdicts).
+//! * **Snapshots larger than the whole cap** — they are still *served*
+//!   (the decision completes) but not retained.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use flogic_core::{ChaseSnapshot, ContainmentOptions, CoreError, QueryKey};
+use flogic_model::ConjunctiveQuery;
+
+/// Running statistics of a [`SnapshotCache`], all monotonic except
+/// `resident_bytes`/`resident_entries`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotCacheStats {
+    /// Lookups answered by a resident snapshot of sufficient depth.
+    pub hits: u64,
+    /// Lookups that had to build (no entry, or an entry too shallow).
+    pub misses: u64,
+    /// Entries evicted to stay under the byte cap.
+    pub evictions: u64,
+    /// Builds discarded instead of cached (exhausted, or over-cap).
+    pub uncacheable: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub resident_entries: u64,
+}
+
+struct Entry {
+    snapshot: Arc<ChaseSnapshot>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<QueryKey, Entry>,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    uncacheable: u64,
+}
+
+/// The cache itself. Shared across workers behind one mutex: the held
+/// section only moves `Arc`s and counters around — chase building and
+/// hom search happen outside the lock.
+pub struct SnapshotCache {
+    cap_bytes: usize,
+    tick: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl SnapshotCache {
+    /// Creates a cache holding at most `cap_bytes` of snapshots.
+    pub fn new(cap_bytes: usize) -> SnapshotCache {
+        SnapshotCache {
+            cap_bytes,
+            tick: AtomicU64::new(0),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                uncacheable: 0,
+            }),
+        }
+    }
+
+    /// The configured byte cap.
+    pub fn cap_bytes(&self) -> usize {
+        self.cap_bytes
+    }
+
+    /// Returns a snapshot of `q1` chased to at least `bound` levels,
+    /// building (and usually retaining) one on miss.
+    ///
+    /// A resident snapshot with a *deeper* bound than requested is a hit
+    /// — Theorem 12 only needs a prefix, and a deeper chase contains it.
+    /// A shallower resident snapshot is treated as a miss and replaced
+    /// by a rebuild at the larger bound, so the cache converges to one
+    /// snapshot per `q1` at the deepest bound ever requested.
+    pub fn get_or_build(
+        &self,
+        q1: &ConjunctiveQuery,
+        bound: u32,
+        opts: &ContainmentOptions,
+    ) -> Result<Arc<ChaseSnapshot>, CoreError> {
+        let key = QueryKey::of(q1);
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner = self.inner.lock().expect("snapshot cache poisoned");
+            if let Some(entry) = inner.map.get_mut(&key) {
+                if entry.snapshot.level_bound() >= bound {
+                    entry.last_used = now;
+                    let snapshot = Arc::clone(&entry.snapshot);
+                    inner.hits += 1;
+                    return Ok(snapshot);
+                }
+            }
+            inner.misses += 1;
+        }
+        // Build outside the lock: other workers keep serving hits (and
+        // may race to build the same q1 — both builds are correct, and
+        // the second insert simply replaces the first).
+        let snapshot = Arc::new(ChaseSnapshot::build(q1, bound, opts)?);
+        let bytes = snapshot.approx_bytes();
+        let mut inner = self.inner.lock().expect("snapshot cache poisoned");
+        if snapshot.is_exhausted() || bytes > self.cap_bytes {
+            inner.uncacheable += 1;
+            return Ok(snapshot);
+        }
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                snapshot: Arc::clone(&snapshot),
+                bytes,
+                last_used: now,
+            },
+        );
+        while inner.bytes > self.cap_bytes {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = inner.map.remove(&oldest).expect("key just observed");
+            inner.bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+        Ok(snapshot)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SnapshotCacheStats {
+        let inner = self.inner.lock().expect("snapshot cache poisoned");
+        SnapshotCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            uncacheable: inner.uncacheable,
+            resident_bytes: inner.bytes as u64,
+            resident_entries: inner.map.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flogic_core::{theorem_bound, Budget};
+    use flogic_syntax::parse_query;
+
+    fn q(text: &str) -> ConjunctiveQuery {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_and_shares_the_snapshot() {
+        let cache = SnapshotCache::new(1 << 20);
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let opts = ContainmentOptions::default();
+        let a = cache.get_or_build(&q1, 8, &opts).unwrap();
+        let b = cache.get_or_build(&q1, 8, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // A renamed, reordered spelling of the same query also hits.
+        let q1b = q("r(A, C) :- sub(B, C), sub(A, B).");
+        let c = cache.get_or_build(&q1b, 8, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &c), "canonical key unifies spellings");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(stats.resident_entries, 1);
+        assert!(stats.resident_bytes > 0);
+    }
+
+    #[test]
+    fn deeper_resident_bound_hits_shallower_misses_and_upgrades() {
+        let cache = SnapshotCache::new(1 << 20);
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let opts = ContainmentOptions::default();
+        let shallow = cache.get_or_build(&q1, 2, &opts).unwrap();
+        assert_eq!(shallow.level_bound(), 2);
+        // Asking deeper rebuilds...
+        let deep = cache.get_or_build(&q1, 6, &opts).unwrap();
+        assert_eq!(deep.level_bound(), 6);
+        assert!(!Arc::ptr_eq(&shallow, &deep));
+        // ...and asking shallower afterwards reuses the deep snapshot.
+        let again = cache.get_or_build(&q1, 2, &opts).unwrap();
+        assert!(Arc::ptr_eq(&deep, &again));
+        assert_eq!(
+            cache.stats().resident_entries,
+            1,
+            "upgrade replaced in place"
+        );
+    }
+
+    #[test]
+    fn byte_cap_evicts_least_recently_used_first() {
+        let opts = ContainmentOptions::default();
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2 = q("r(X, Y) :- member(X, Y).");
+        let q3 = q("s(X, Y) :- data(X, Y, Z).");
+        // Measure the three snapshots, then cap the cache one byte short
+        // of all of them together: the third insert must evict.
+        let sizer = SnapshotCache::new(1 << 20);
+        let total: usize = [&q1, &q2, &q3]
+            .iter()
+            .map(|q| sizer.get_or_build(q, 8, &opts).unwrap().approx_bytes())
+            .sum();
+        let cache = SnapshotCache::new(total - 1);
+        cache.get_or_build(&q1, 8, &opts).unwrap();
+        cache.get_or_build(&q2, 8, &opts).unwrap();
+        cache.get_or_build(&q1, 8, &opts).unwrap(); // refresh q1
+        cache.get_or_build(&q3, 8, &opts).unwrap(); // evicts q2, the LRU
+        let stats = cache.stats();
+        assert!(stats.evictions >= 1, "{stats:?}");
+        assert!(stats.resident_bytes <= (total - 1) as u64, "{stats:?}");
+        // q1 survived (it was refreshed); q2 was the victim.
+        cache.get_or_build(&q1, 8, &opts).unwrap();
+        assert_eq!(cache.stats().hits, 2, "q1 still resident");
+    }
+
+    #[test]
+    fn exhausted_builds_are_served_but_never_cached() {
+        let cache = SnapshotCache::new(1 << 20);
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let opts = ContainmentOptions {
+            budget: Budget::unlimited().steps(1),
+            ..Default::default()
+        };
+        let snap = cache.get_or_build(&q1, 8, &opts).unwrap();
+        assert!(snap.is_exhausted());
+        let stats = cache.stats();
+        assert_eq!(stats.resident_entries, 0);
+        assert_eq!(stats.uncacheable, 1);
+        // With the budget lifted the next lookup builds a decided
+        // snapshot and caches it.
+        let opts = ContainmentOptions::default();
+        let snap = cache.get_or_build(&q1, 8, &opts).unwrap();
+        assert!(!snap.is_exhausted());
+        assert_eq!(cache.stats().resident_entries, 1);
+    }
+
+    #[test]
+    fn snapshot_larger_than_the_whole_cap_is_served_not_retained() {
+        let cache = SnapshotCache::new(1);
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let q2 = q("p(X, Z) :- sub(X, Z).");
+        let opts = ContainmentOptions::default();
+        let bound = theorem_bound(&q1, &q2);
+        let snap = cache.get_or_build(&q1, bound, &opts).unwrap();
+        // The decision still works off the returned snapshot...
+        assert!(snap.contains(&q2, &opts).unwrap().holds());
+        // ...but nothing stuck.
+        let stats = cache.stats();
+        assert_eq!(stats.resident_entries, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        assert_eq!(stats.uncacheable, 1);
+    }
+}

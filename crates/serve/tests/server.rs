@@ -1,0 +1,266 @@
+//! End-to-end tests of a running in-process `flqd`: real sockets, real
+//! HTTP, real decisions — only the process boundary is elided.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use flogic_serve::{Server, ServerConfig, ServerHandle};
+
+/// Binds a server with `config`, runs it on a background thread, and
+/// returns its address, its handle, and the join handle of `run`.
+fn start(
+    mut config: ServerConfig,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    thread::JoinHandle<std::io::Result<()>>,
+) {
+    config.addr = "127.0.0.1:0".into();
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+/// One full HTTP/1.1 exchange on a fresh connection; returns
+/// `(status, body)`.
+fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .to_ascii_lowercase()
+            .strip_prefix("content-length:")
+            .map(str::trim)
+            .and_then(|v| v.parse().ok())
+        {
+            content_length = v;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+const Q1: &str = "q(X, Z) :- sub(X, Y), sub(Y, Z).";
+const Q2: &str = "p(X, Z) :- sub(X, Z).";
+
+fn contains_body(q1: &str, q2: &str) -> String {
+    format!("{{\"q1\":{},\"q2\":{}}}", serde_lite(q1), serde_lite(q2))
+}
+
+/// Just enough JSON string quoting for the test queries (no escapes
+/// needed in the surface syntax used here).
+fn serde_lite(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+#[test]
+fn contains_and_batch_answer_real_verdicts() {
+    let (addr, handle, join) = start(ServerConfig::default());
+
+    // Cold single decision: holds.
+    let (status, body) = exchange(addr, "POST", "/v1/contains", &contains_body(Q1, Q2));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"verdict\":\"holds\""), "{body}");
+
+    // Reverse direction: not_holds.
+    let (status, body) = exchange(addr, "POST", "/v1/contains", &contains_body(Q2, Q1));
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"verdict\":\"not_holds\""), "{body}");
+
+    // Batch sharing one q1; results in request order.
+    let batch = format!(
+        "{{\"pairs\":[[{q1},{q2}],[{q1},{q1}],[{q2},{q1}]]}}",
+        q1 = serde_lite(Q1),
+        q2 = serde_lite(Q2)
+    );
+    let (status, body) = exchange(addr, "POST", "/v1/contains_batch", &batch);
+    assert_eq!(status, 200, "{body}");
+    let verdicts: Vec<&str> = body.matches("\"verdict\":\"holds\"").collect();
+    assert_eq!(verdicts.len(), 2, "{body}");
+    assert!(body.contains("\"verdict\":\"not_holds\""), "{body}");
+
+    // Warm repeat of the first pair still answers identically.
+    let (status, body) = exchange(addr, "POST", "/v1/contains", &contains_body(Q1, Q2));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"verdict\":\"holds\""), "{body}");
+
+    // Metrics and profile report the work.
+    let (status, metrics) = exchange(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("flq_chase_runs "), "{metrics}");
+    assert!(metrics.contains("flqd_requests_total "), "{metrics}");
+    assert!(metrics.contains("flqd_snapshot_hits "), "{metrics}");
+    let (status, profile) = exchange(addr, "GET", "/profile", "");
+    assert_eq!(status, 200);
+    assert!(profile.contains("\"rule_firings\":["), "{profile}");
+
+    handle.shutdown();
+    join.join().expect("join").expect("clean drain");
+}
+
+#[test]
+fn exhausted_decisions_are_200_with_exhausted_verdict() {
+    let (addr, handle, join) = start(ServerConfig::default());
+    let body = format!(
+        "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":1,\"analysis\":false}}",
+        serde_lite(Q1),
+        serde_lite(Q2)
+    );
+    let (status, body) = exchange(addr, "POST", "/v1/contains", &body);
+    assert_eq!(
+        status, 200,
+        "exhaustion is an outcome, not an error: {body}"
+    );
+    assert!(body.contains("\"verdict\":\"exhausted\""), "{body}");
+    assert!(body.contains("\"reason\":\"conjuncts\""), "{body}");
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn bad_requests_get_typed_errors() {
+    let (addr, handle, join) = start(ServerConfig {
+        max_body_bytes: 256,
+        ..ServerConfig::default()
+    });
+
+    let (status, body) = exchange(addr, "POST", "/v1/contains", "not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"code\":\"parse_error\""), "{body}");
+
+    let (status, body) = exchange(
+        addr,
+        "POST",
+        "/v1/contains",
+        &contains_body("q(X) :- nonsense", Q2),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("\"code\":\"parse_error\""), "{body}");
+
+    // Arity mismatch is its own code.
+    let (status, body) = exchange(
+        addr,
+        "POST",
+        "/v1/contains",
+        &contains_body("q(X) :- sub(X, Y).", Q2),
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("\"code\":\"arity_mismatch\""), "{body}");
+
+    let (status, body) = exchange(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"code\":\"not_found\""), "{body}");
+
+    let (status, body) = exchange(addr, "GET", "/v1/contains", "");
+    assert_eq!(status, 405);
+    assert!(body.contains("\"code\":\"method_not_allowed\""), "{body}");
+
+    let oversized = contains_body(&"x".repeat(500), Q2);
+    let (status, body) = exchange(addr, "POST", "/v1/contains", &oversized);
+    assert_eq!(status, 413);
+    assert!(body.contains("\"code\":\"payload_too_large\""), "{body}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn full_queue_answers_503_with_retry_after() {
+    // One worker, queue depth one. Tie up the worker with an idle
+    // connection (it blocks reading the request until the read timeout),
+    // park a second connection in the queue, and watch the third bounce.
+    let (addr, handle, join) = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout_ms: 2_000,
+        ..ServerConfig::default()
+    });
+
+    let hold_worker = TcpStream::connect(addr).expect("connect");
+    thread::sleep(Duration::from_millis(200)); // worker picks it up
+    let hold_queue = TcpStream::connect(addr).expect("connect");
+    thread::sleep(Duration::from_millis(200)); // it sits in the queue
+
+    let mut rejected = TcpStream::connect(addr).expect("connect");
+    rejected
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // The 503 arrives before we even send a request: backpressure is
+    // applied at accept time.
+    let mut raw = String::new();
+    rejected.read_to_string(&mut raw).expect("read 503");
+    assert!(raw.starts_with("HTTP/1.1 503 "), "{raw}");
+    assert!(raw.to_ascii_lowercase().contains("retry-after: 1"), "{raw}");
+    assert!(raw.contains("\"code\":\"overloaded\""), "{raw}");
+
+    // Release the parked connections; the server recovers and serves.
+    drop(hold_worker);
+    drop(hold_queue);
+    thread::sleep(Duration::from_millis(100));
+    let (status, body) = exchange(addr, "POST", "/v1/contains", &contains_body(Q1, Q2));
+    assert_eq!(status, 200, "{body}");
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let (addr, handle, join) = start(ServerConfig {
+        workers: 1,
+        read_timeout_ms: 500,
+        ..ServerConfig::default()
+    });
+
+    // A keep-alive connection with one answered request stays open...
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let body = contains_body(Q1, Q2);
+    write!(
+        stream,
+        "POST /v1/contains HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let (status, body) = read_response(&mut stream);
+    assert_eq!(status, 200, "{body}");
+
+    // ...and shutdown still completes: the worker finishes the idle
+    // connection (read timeout) and run() returns Ok.
+    handle.shutdown();
+    join.join().expect("join").expect("clean drain");
+}

@@ -20,6 +20,12 @@
 //!                                    (FL001…FL007) with line:col spans
 //! flq eval      <file>               run a program: facts are closed under
 //!                                    Σ_FL, goals/queries are answered
+//! flq serve     [--addr HOST:PORT] [--workers N] [--queue N]
+//!               [--cache-bytes N] [--max-body-bytes N] [--threads N]
+//!               [--timeout MS] [--max-conjuncts N] [--read-timeout MS]
+//!                                    run flqd, the resident containment
+//!                                    service, in the foreground
+//! flq help                           print this reference on stdout, exit 0
 //! ```
 //!
 //! Flags (an unknown flag is an error):
@@ -35,6 +41,11 @@
 //!   approximate memory budget; default one million).
 //! * `--bound N` — chase level bound for `flq chase` (default `2·|q|`).
 //! * `--dot` — emit the chase graph in Graphviz DOT format.
+//! * `--addr HOST:PORT`, `--workers N`, `--queue N`, `--cache-bytes N`,
+//!   `--max-body-bytes N`, `--read-timeout MS` — `flq serve` knobs
+//!   (listen address, worker pool, accept-queue depth, snapshot-cache
+//!   byte cap, request-body cap, socket/keep-alive timeout); see
+//!   `docs/CLI.md` for the full server reference.
 //!
 //! Every subcommand additionally accepts:
 //!
@@ -69,6 +80,7 @@ use flogic_lite::datalog::{answers, close_database, ClosureOptions};
 use flogic_lite::model::DepGraph;
 use flogic_lite::obs::{export, ChaseProfile, TraceHandle, Tracer};
 use flogic_lite::prelude::*;
+use flogic_lite::serve::SERVE_FLAGS;
 use flogic_lite::syntax::query_to_flogic;
 use flogic_lite::term::{Metrics, MetricsSnapshot};
 
@@ -77,16 +89,31 @@ use flogic_lite::term::{Metrics, MetricsSnapshot};
 /// is known to be an error).
 const EXIT_EXHAUSTED: u8 = 3;
 
-fn usage() -> ExitCode {
-    eprintln!(
+/// The subcommands `main` dispatches on, for the unknown-subcommand
+/// error message and the `help` output.
+const SUBCOMMANDS: &[&str] = &[
+    "contains", "explain", "profile", "chase", "minimize", "lint", "eval", "serve", "help",
+];
+
+/// The full usage text, shared by `flq help` (stdout, exit 0) and usage
+/// errors (stderr, exit 2). The serve flags come verbatim from
+/// `flogic-serve` so the two stay in lockstep.
+fn usage_text() -> String {
+    format!(
         "usage:\n  flq contains <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N]\n  \
          flq explain <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N]\n  \
          flq profile <q1> <q2> [--threads N] [--timeout MS] [--max-conjuncts N]\n  \
          flq chase <q> [--bound N] [--dot] [--threads N] [--timeout MS] [--max-conjuncts N]\n  \
-         flq minimize <q> [--timeout MS] [--max-conjuncts N]\n  flq lint <file>\n  flq eval <file>\n\
+         flq minimize <q> [--timeout MS] [--max-conjuncts N]\n  flq lint <file>\n  flq eval <file>\n  \
+         flq serve {SERVE_FLAGS}\n  flq help (also --help, -h)\n\
          every subcommand also accepts --trace-out FILE (JSONL event trace)\n\
-         and --metrics (counter deltas on stderr)"
-    );
+         and --metrics (counter deltas on stderr)\n\
+         exit codes: 0 success, 1 failure, 2 usage error, 3 exhausted budget"
+    )
+}
+
+fn usage() -> ExitCode {
+    eprintln!("{}", usage_text());
     ExitCode::from(2)
 }
 
@@ -100,7 +127,19 @@ fn main() -> ExitCode {
         Some("minimize") => cmd_minimize(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
-        _ => usage(),
+        Some("serve") => ExitCode::from(flogic_lite::serve::run_cli(args[1..].to_vec())),
+        Some("help" | "--help" | "-h") => {
+            println!("{}", usage_text());
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!(
+                "error: unknown subcommand {other:?} (available: {})",
+                SUBCOMMANDS.join(", ")
+            );
+            usage()
+        }
+        None => usage(),
     }
 }
 

@@ -22,7 +22,10 @@
 //!   graph and the containment fast paths behind
 //!   [`ContainmentOptions::analysis`](flogic_core::ContainmentOptions);
 //! * [`obs`] — structured chase tracing: typed events, per-worker ring
-//!   buffers, `ChaseProfile` rollups and JSONL/CSV export.
+//!   buffers, `ChaseProfile` rollups and JSONL/CSV export;
+//! * [`serve`] — `flqd`, the resident batched containment service: a
+//!   dependency-free HTTP/1.1 server with warm decision and
+//!   chase-snapshot caches (also reachable as `flq serve`).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use flogic_gen as gen;
 pub use flogic_hom as hom;
 pub use flogic_model as model;
 pub use flogic_obs as obs;
+pub use flogic_serve as serve;
 pub use flogic_syntax as syntax;
 pub use flogic_term as term;
 

@@ -1,0 +1,141 @@
+//! Drift tests between `docs/CLI.md` and the actual `flq` interface.
+//!
+//! Documentation that references flags which no longer exist — or omits
+//! flags that do — is worse than no documentation. These tests extract
+//! the flag and subcommand vocabulary from both `flq help` and
+//! `docs/CLI.md` and require the two to agree in *both* directions, so
+//! adding a flag without documenting it (or documenting one without
+//! adding it) fails CI.
+
+use std::collections::BTreeSet;
+use std::process::Command;
+
+fn flq(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flq"))
+        .args(args)
+        .output()
+        .expect("flq binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("flq exits normally"),
+    )
+}
+
+fn docs() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/CLI.md");
+    std::fs::read_to_string(path).expect("docs/CLI.md exists")
+}
+
+/// Every `--flag` token in `text` (longest run of `[a-z-]` after `--`,
+/// requiring a letter first so table rules like `|----|` don't match).
+fn flags(text: &str) -> BTreeSet<String> {
+    let bytes = text.as_bytes();
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i + 2 < bytes.len() {
+        if &bytes[i..i + 2] == b"--" && bytes[i + 2].is_ascii_lowercase() {
+            let start = i + 2;
+            let mut end = start;
+            while end < bytes.len() && (bytes[end].is_ascii_lowercase() || bytes[end] == b'-') {
+                end += 1;
+            }
+            out.insert(format!("--{}", &text[start..end]));
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Every word following an occurrence of `prefix` in `text`.
+fn words_after<'a>(text: &'a str, prefix: &str) -> BTreeSet<&'a str> {
+    let mut out = BTreeSet::new();
+    let mut rest = text;
+    while let Some(at) = rest.find(prefix) {
+        rest = &rest[at + prefix.len()..];
+        let word: &str = rest
+            .split(|c: char| !(c.is_ascii_lowercase() || c == '-'))
+            .next()
+            .unwrap_or("");
+        if !word.is_empty() {
+            out.insert(word);
+        }
+    }
+    out
+}
+
+#[test]
+fn documented_flags_match_flq_help_exactly() {
+    let (help, _, code) = flq(&["help"]);
+    assert_eq!(code, 0);
+    let in_help = flags(&help);
+    let in_docs = flags(&docs());
+    let undocumented: Vec<_> = in_help.difference(&in_docs).collect();
+    let phantom: Vec<_> = in_docs.difference(&in_help).collect();
+    assert!(
+        undocumented.is_empty(),
+        "flags in `flq help` missing from docs/CLI.md: {undocumented:?}"
+    );
+    assert!(
+        phantom.is_empty(),
+        "flags documented in docs/CLI.md that `flq help` does not print: {phantom:?}"
+    );
+}
+
+#[test]
+fn documented_subcommands_match_flq_help_exactly() {
+    let (help, _, code) = flq(&["help"]);
+    assert_eq!(code, 0);
+    // Help lists subcommands as `  flq <name> …` usage lines; the docs
+    // reference them as backticked `` `flq <name>` `` spans.
+    let in_help: BTreeSet<&str> = help
+        .lines()
+        .filter_map(|l| l.strip_prefix("  flq "))
+        .map(|l| l.split_whitespace().next().unwrap())
+        .collect();
+    let doc_text = docs();
+    let in_docs = words_after(&doc_text, "`flq ");
+    assert!(
+        in_help.contains("serve") && in_help.contains("contains"),
+        "help extraction looks broken: {in_help:?}"
+    );
+    let undocumented: Vec<_> = in_help.difference(&in_docs).collect();
+    let phantom: Vec<_> = in_docs.difference(&in_help).collect();
+    assert!(
+        undocumented.is_empty(),
+        "subcommands in `flq help` missing from docs/CLI.md: {undocumented:?}"
+    );
+    assert!(
+        phantom.is_empty(),
+        "docs/CLI.md references subcommands `flq help` does not list: {phantom:?}"
+    );
+}
+
+#[test]
+fn help_prints_reference_on_stdout_and_exits_zero() {
+    for invocation in [&["help"][..], &["--help"], &["-h"]] {
+        let (stdout, stderr, code) = flq(invocation);
+        assert_eq!(code, 0, "{invocation:?}");
+        assert!(stdout.starts_with("usage:"), "{invocation:?}: {stdout}");
+        assert!(stdout.contains("exit codes:"), "{invocation:?}: {stdout}");
+        assert!(stderr.is_empty(), "{invocation:?}: {stderr}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_lists_the_available_ones() {
+    let (stdout, stderr, code) = flq(&["containz"]);
+    assert_eq!(code, 2, "unknown subcommand is a usage error");
+    assert!(stdout.is_empty(), "errors go to stderr: {stdout}");
+    assert!(
+        stderr.contains("unknown subcommand \"containz\""),
+        "{stderr}"
+    );
+    for name in [
+        "contains", "explain", "profile", "chase", "minimize", "lint", "eval", "serve", "help",
+    ] {
+        assert!(stderr.contains(name), "missing {name} in: {stderr}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Cross-validation of `flqd` against the in-process decision procedure.
+//!
+//! The server's contract is that a verdict over the wire is *bit-identical*
+//! to the verdict `contains_with` computes locally under the same options —
+//! including `exhausted` outcomes, which must surface as HTTP 200 payloads
+//! rather than errors. This suite drives an in-process [`Server`] with the
+//! E4 workload generator (seeded, so failures reproduce) and checks every
+//! pair in both the single and the batch endpoint, plus a budget-starved
+//! round where most verdicts exhaust.
+//!
+//! The client here is deliberately primitive (one connection per request,
+//! read to EOF): independent of both the server's HTTP code and the bench
+//! crate's `wire` client, so a bug in either cannot hide itself.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use flogic_lite::core::{contains_with, ContainmentOptions, Verdict};
+use flogic_lite::gen::rng::SplitMix64;
+use flogic_lite::gen::{generalize, random_query, GeneralizeConfig, QueryGenConfig};
+use flogic_lite::model::ConjunctiveQuery;
+use flogic_lite::serve::{Server, ServerConfig, ServerHandle};
+
+fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed)
+}
+
+/// Starts an in-process server on an ephemeral port with `workers` workers.
+fn start(
+    workers: usize,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral server");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+/// One-shot `POST path body`; returns `(status, body)`.
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("receive");
+    let status = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .expect("header break")
+        .1
+        .to_string();
+    (status, body)
+}
+
+/// Extracts the string value of `"key":"…"` occurrence number `nth`.
+fn nth_string_field<'a>(body: &'a str, key: &str, nth: usize) -> Option<&'a str> {
+    let marker = format!("\"{key}\":\"");
+    let mut rest = body;
+    for _ in 0..=nth {
+        let at = rest.find(&marker)?;
+        rest = &rest[at + marker.len()..];
+    }
+    rest.split('"').next()
+}
+
+/// JSON-quotes a query's surface syntax.
+fn quote(q: &ConjunctiveQuery) -> String {
+    let text = flogic_lite::syntax::query_to_flogic(q);
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The wire encoding of a local verdict (and, for exhaustion, its reason).
+fn wire_verdict(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Holds => "holds",
+        Verdict::NotHolds => "not_holds",
+        Verdict::Exhausted(_) => "exhausted",
+    }
+}
+
+/// A seeded pair corpus covering both E4 arms: generalizations (mostly
+/// contained) and independent pairs (mostly not contained).
+fn corpus(pairs: usize) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+    let qcfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
+    let gcfg = GeneralizeConfig::default();
+    (0..pairs as u64)
+        .map(|i| {
+            let q1 = random_query(&qcfg, &mut rng(1_000 + i));
+            let q2 = if i % 2 == 0 {
+                generalize(&q1, &gcfg, &mut rng(2_000 + i))
+            } else {
+                random_query(&qcfg, &mut rng(3_000 + i))
+            };
+            (q1, q2)
+        })
+        .collect()
+}
+
+/// Local ground truth under exactly the options the requests will carry.
+fn local_verdicts(
+    pairs: &[(ConjunctiveQuery, ConjunctiveQuery)],
+    max_conjuncts: usize,
+) -> Vec<&'static str> {
+    let opts = ContainmentOptions {
+        max_conjuncts,
+        ..Default::default()
+    };
+    pairs
+        .iter()
+        .map(|(q1, q2)| {
+            wire_verdict(
+                contains_with(q1, q2, &opts)
+                    .expect("generated pairs decide without errors")
+                    .verdict(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn single_endpoint_verdicts_are_bit_identical() {
+    let pairs = corpus(12);
+    let expected = local_verdicts(&pairs, 50_000);
+    let (addr, handle, join) = start(2);
+    for (i, (q1, q2)) in pairs.iter().enumerate() {
+        let body = format!(
+            "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":50000}}",
+            quote(q1),
+            quote(q2)
+        );
+        let (status, resp) = post(addr, "/v1/contains", &body);
+        assert_eq!(status, 200, "pair {i}: {resp}");
+        let got = nth_string_field(&resp, "verdict", 0).expect("verdict field");
+        assert_eq!(got, expected[i], "pair {i}: server vs local, {resp}");
+    }
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn batch_endpoint_matches_local_order_and_verdicts() {
+    let pairs = corpus(10);
+    let expected = local_verdicts(&pairs, 50_000);
+    let (addr, handle, join) = start(2);
+    let items: Vec<String> = pairs
+        .iter()
+        .map(|(q1, q2)| format!("[{},{}]", quote(q1), quote(q2)))
+        .collect();
+    let body = format!(
+        "{{\"pairs\":[{}],\"max_conjuncts\":50000}}",
+        items.join(",")
+    );
+    let (status, resp) = post(addr, "/v1/contains_batch", &body);
+    assert_eq!(status, 200, "{resp}");
+    for (i, want) in expected.iter().enumerate() {
+        let got = nth_string_field(&resp, "verdict", i).expect("verdict field");
+        assert_eq!(got, *want, "batch slot {i}: {resp}");
+    }
+    assert!(
+        nth_string_field(&resp, "verdict", expected.len()).is_none(),
+        "batch answers exactly one verdict per pair: {resp}"
+    );
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn starved_budgets_exhaust_identically_over_the_wire() {
+    let pairs = corpus(8);
+    // A deterministic budget tight enough that real chases cannot finish:
+    // `max_conjuncts` is checked against the growing chase, never wall
+    // clock, so local and remote exhaust at exactly the same point.
+    let expected = local_verdicts(&pairs, 2);
+    assert!(
+        expected.contains(&"exhausted"),
+        "corpus must exercise the exhaustion path: {expected:?}"
+    );
+    let (addr, handle, join) = start(1);
+    for (i, (q1, q2)) in pairs.iter().enumerate() {
+        let body = format!(
+            "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":2}}",
+            quote(q1),
+            quote(q2)
+        );
+        let (status, resp) = post(addr, "/v1/contains", &body);
+        assert_eq!(
+            status, 200,
+            "exhaustion is an outcome, not an error: {resp}"
+        );
+        let got = nth_string_field(&resp, "verdict", 0).expect("verdict field");
+        assert_eq!(got, expected[i], "pair {i}: {resp}");
+        if got == "exhausted" {
+            let reason = nth_string_field(&resp, "reason", 0).expect("reason field");
+            assert_eq!(reason, "conjuncts", "budget kind must round-trip: {resp}");
+        }
+    }
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean drain");
+}
