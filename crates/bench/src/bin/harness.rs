@@ -66,6 +66,13 @@ fn run(id: &str, quick: bool, threads: usize) -> Option<ExperimentOutput> {
                 experiments::e11(16, 4)
             }
         }
+        "e12" => {
+            if quick {
+                experiments::e12(6, 2)
+            } else {
+                experiments::e12(16, 4)
+            }
+        }
         _ => return None,
     };
     Some(out)
@@ -95,7 +102,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = (1..=11).map(|i| format!("e{i}")).collect();
+        ids = (1..=12).map(|i| format!("e{i}")).collect();
     }
 
     let dir = out_dir();
@@ -115,7 +122,7 @@ fn main() {
     for id in &ids {
         let before = Metrics::global().snapshot();
         let Some(output) = run(id, quick, threads) else {
-            eprintln!("unknown experiment `{id}` (expected e1..e11)");
+            eprintln!("unknown experiment `{id}` (expected e1..e12)");
             std::process::exit(2);
         };
         for (i, table) in output.tables.iter().enumerate() {

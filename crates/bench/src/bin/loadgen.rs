@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--batch N]
-//!         [--pairs N] [--seed N] [--max-conjuncts N] [--verify]
+//!         [--pairs N] [--seed N] [--max-conjuncts N] [--warmup N]
+//!         [--keep-alive] [--pipeline N] [--csv FILE] [--verify]
 //! ```
 //!
 //! Generates `--pairs` query pairs with the E4 workload generator
@@ -10,7 +11,23 @@
 //! fires `--requests` requests round-robin over them from
 //! `--concurrency` client threads. `--batch N` groups N pairs per
 //! `POST /v1/contains_batch` request instead of one per
-//! `POST /v1/contains`. Prints latency quantiles and throughput.
+//! `POST /v1/contains`.
+//!
+//! Three connection modes:
+//!
+//! * default — a fresh connection per request, `Connection: close`.
+//! * `--keep-alive` — one persistent connection per thread, reused for
+//!   every request.
+//! * `--keep-alive --pipeline N` — additionally keep N requests in
+//!   flight per connection; per-request latency is then the window
+//!   round trip divided by the window size (service time, not queueing
+//!   delay).
+//!
+//! Connect and request phases are timed separately in every mode, so
+//! TCP handshake cost is never conflated with decision cost. Output is
+//! `key=value` lines (p50/p95/p99); `--csv FILE` appends one summary
+//! row (header written when the file is new). `--warmup N` sends N
+//! unmeasured requests first to warm the server's caches.
 //!
 //! `--verify` recomputes every pair locally with `contains_with` under
 //! the same options and exits `1` on any verdict mismatch — the
@@ -20,6 +37,7 @@
 //!
 //! Exit codes: `0` success, `1` mismatch or transport failure, `2` usage.
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -40,13 +58,18 @@ struct Config {
     pairs: usize,
     seed: u64,
     max_conjuncts: usize,
+    warmup: usize,
+    keep_alive: bool,
+    pipeline: usize,
+    csv: Option<String>,
     verify: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--batch N] \
-         [--pairs N] [--seed N] [--max-conjuncts N] [--verify]"
+         [--pairs N] [--seed N] [--max-conjuncts N] [--warmup N] [--keep-alive] \
+         [--pipeline N] [--csv FILE] [--verify]"
     );
     ExitCode::from(2)
 }
@@ -60,30 +83,47 @@ fn parse_args() -> Result<Config, ExitCode> {
         pairs: 16,
         seed: 7,
         max_conjuncts: 50_000,
+        warmup: 0,
+        keep_alive: false,
+        pipeline: 1,
+        csv: None,
         verify: false,
     };
+    fn text<I: Iterator<Item = String>>(
+        it: &mut I,
+        arg: &str,
+        what: &str,
+    ) -> Result<String, ExitCode> {
+        it.next().ok_or_else(|| {
+            eprintln!("error: {arg} needs {what}");
+            usage()
+        })
+    }
+    fn num<I: Iterator<Item = String>>(
+        it: &mut I,
+        arg: &str,
+        what: &str,
+    ) -> Result<usize, ExitCode> {
+        let raw = text(it, arg, what)?;
+        raw.parse().map_err(|_| {
+            eprintln!("error: {arg} needs {what}, got {raw:?}");
+            usage()
+        })
+    }
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut num = |what: &str| -> Result<usize, ExitCode> {
-            it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
-                eprintln!("error: {arg} needs {what}");
-                usage()
-            })
-        };
         match arg.as_str() {
-            "--addr" => match it.next() {
-                Some(addr) => config.addr = addr,
-                None => {
-                    eprintln!("error: --addr needs an address");
-                    return Err(usage());
-                }
-            },
-            "--requests" => config.requests = num("a number")?,
-            "--concurrency" => config.concurrency = num("a number")?,
-            "--batch" => config.batch = num("a number")?,
-            "--pairs" => config.pairs = num("a number")?,
-            "--seed" => config.seed = num("a number")? as u64,
-            "--max-conjuncts" => config.max_conjuncts = num("a number")?,
+            "--addr" => config.addr = text(&mut it, &arg, "an address")?,
+            "--requests" => config.requests = num(&mut it, &arg, "a number")?,
+            "--concurrency" => config.concurrency = num(&mut it, &arg, "a number")?,
+            "--batch" => config.batch = num(&mut it, &arg, "a number")?,
+            "--pairs" => config.pairs = num(&mut it, &arg, "a number")?,
+            "--seed" => config.seed = num(&mut it, &arg, "a number")? as u64,
+            "--max-conjuncts" => config.max_conjuncts = num(&mut it, &arg, "a number")?,
+            "--warmup" => config.warmup = num(&mut it, &arg, "a number")?,
+            "--keep-alive" => config.keep_alive = true,
+            "--pipeline" => config.pipeline = num(&mut it, &arg, "a number")?,
+            "--csv" => config.csv = Some(text(&mut it, &arg, "a file path")?),
             "--verify" => config.verify = true,
             other => {
                 eprintln!("error: unknown flag {other:?}");
@@ -95,8 +135,19 @@ fn parse_args() -> Result<Config, ExitCode> {
         eprintln!("error: --addr is required");
         return Err(usage());
     }
-    if config.requests == 0 || config.concurrency == 0 || config.batch == 0 || config.pairs == 0 {
-        eprintln!("error: --requests, --concurrency, --batch and --pairs must be positive");
+    if config.requests == 0
+        || config.concurrency == 0
+        || config.batch == 0
+        || config.pairs == 0
+        || config.pipeline == 0
+    {
+        eprintln!(
+            "error: --requests, --concurrency, --batch, --pairs and --pipeline must be positive"
+        );
+        return Err(usage());
+    }
+    if config.pipeline > 1 && !config.keep_alive {
+        eprintln!("error: --pipeline needs --keep-alive (pipelining reuses one connection)");
         return Err(usage());
     }
     Ok(config)
@@ -134,12 +185,167 @@ fn local_verdict_name(v: Verdict) -> &'static str {
     }
 }
 
+/// The request body (and path) for measured request number `r`:
+/// round-robin over the pair list, batch-sized. Also returns the pair
+/// indices for `--verify`.
+fn build_request(
+    texts: &[(String, String)],
+    r: usize,
+    batch: usize,
+    max_conjuncts: usize,
+) -> (&'static str, String, Vec<usize>) {
+    let picked: Vec<usize> = (0..batch).map(|j| (r * batch + j) % texts.len()).collect();
+    if batch == 1 {
+        let (q1, q2) = &texts[picked[0]];
+        (
+            "/v1/contains",
+            format!(
+                "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":{max_conjuncts}}}",
+                wire::json_quote(q1),
+                wire::json_quote(q2)
+            ),
+            picked,
+        )
+    } else {
+        let items: Vec<String> = picked
+            .iter()
+            .map(|&i| {
+                let (q1, q2) = &texts[i];
+                format!("[{},{}]", wire::json_quote(q1), wire::json_quote(q2))
+            })
+            .collect();
+        (
+            "/v1/contains_batch",
+            format!(
+                "{{\"pairs\":[{}],\"max_conjuncts\":{max_conjuncts}}}",
+                items.join(",")
+            ),
+            picked,
+        )
+    }
+}
+
+/// Checks the verdicts of one response against local ground truth;
+/// returns the mismatch count.
+fn check_verdicts(
+    resp: &str,
+    picked: &[usize],
+    expected: &[&'static str],
+) -> Result<usize, String> {
+    let mut mismatches = 0;
+    for (j, &i) in picked.iter().enumerate() {
+        let got = wire::nth_verdict(resp, j).ok_or_else(|| format!("no verdict {j} in {resp}"))?;
+        if got != expected[i] {
+            eprintln!(
+                "MISMATCH pair {i}: server says {got:?}, local says {:?}",
+                expected[i]
+            );
+            mismatches += 1;
+        }
+    }
+    Ok(mismatches)
+}
+
+/// What one client thread measured.
+struct ThreadStats {
+    connects: Vec<Duration>,
+    requests: Vec<Duration>,
+    mismatches: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_thread(
+    config: &Config,
+    texts: &[(String, String)],
+    expected: &[&'static str],
+    next: &AtomicUsize,
+) -> Result<ThreadStats, String> {
+    let mut stats = ThreadStats {
+        connects: Vec::new(),
+        requests: Vec::new(),
+        mismatches: 0,
+    };
+    let conn_err = |e: std::io::Error| format!("connect failed: {e}");
+    let req_err = |e: std::io::Error| format!("request failed: {e}");
+
+    if config.keep_alive {
+        let mut client = wire::Client::connect(&config.addr).map_err(conn_err)?;
+        stats.connects.push(client.connect_time());
+        loop {
+            // Claim a window of `pipeline` request numbers (one, when
+            // not pipelining).
+            let base = next.fetch_add(config.pipeline, Ordering::Relaxed);
+            if base >= config.requests {
+                return Ok(stats);
+            }
+            let window = config.pipeline.min(config.requests - base);
+            let mut picks = Vec::with_capacity(window);
+            let mut bodies = Vec::with_capacity(window);
+            let mut path = "/v1/contains";
+            for w in 0..window {
+                let (p, body, picked) =
+                    build_request(texts, base + w, config.batch, config.max_conjuncts);
+                path = p;
+                bodies.push(body);
+                picks.push(picked);
+            }
+            let t0 = Instant::now();
+            let responses = if window == 1 {
+                vec![client.post(path, &bodies[0]).map_err(req_err)?]
+            } else {
+                client.post_pipelined(path, &bodies).map_err(req_err)?
+            };
+            // Per-request service time: the window round trip shared
+            // evenly. Exact for window == 1.
+            let per_request = t0.elapsed() / window as u32;
+            for ((status, resp), picked) in responses.iter().zip(&picks) {
+                stats.requests.push(per_request);
+                if *status != 200 {
+                    return Err(format!("HTTP {status}: {resp}"));
+                }
+                if config.verify {
+                    stats.mismatches += check_verdicts(resp, picked, expected)?;
+                }
+            }
+        }
+    } else {
+        loop {
+            let r = next.fetch_add(1, Ordering::Relaxed);
+            if r >= config.requests {
+                return Ok(stats);
+            }
+            let (path, body, picked) = build_request(texts, r, config.batch, config.max_conjuncts);
+            // A fresh connection per request, but timed as two phases:
+            // the handshake is transport cost, not decision cost.
+            let mut client = wire::Client::connect(&config.addr).map_err(conn_err)?;
+            stats.connects.push(client.connect_time());
+            let t0 = Instant::now();
+            let (status, resp) = client.post(path, &body).map_err(req_err)?;
+            stats.requests.push(t0.elapsed());
+            if status != 200 {
+                return Err(format!("HTTP {status}: {resp}"));
+            }
+            if config.verify {
+                stats.mismatches += check_verdicts(&resp, picked.as_slice(), expected)?;
+            }
+        }
+    }
+}
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    sorted[((sorted.len() - 1) as f64 * q) as usize]
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
 fn main() -> ExitCode {
     let config = match parse_args() {
         Ok(config) => config,
         Err(code) => return code,
     };
-    let pairs = Arc::new(workload(config.pairs, config.seed));
+    let pairs = workload(config.pairs, config.seed);
     let texts: Arc<Vec<(String, String)>> = Arc::new(
         pairs
             .iter()
@@ -173,89 +379,47 @@ fn main() -> ExitCode {
         Vec::new()
     });
 
+    // Unmeasured warmup: fill the server's decision/snapshot caches so
+    // the measured phase reports steady-state latency.
+    if config.warmup > 0 {
+        let mut client = match wire::Client::connect(&config.addr) {
+            Ok(client) => client,
+            Err(e) => {
+                eprintln!("error: warmup connect failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for r in 0..config.warmup {
+            let (path, body, _) = build_request(&texts, r, config.batch, config.max_conjuncts);
+            if let Err(e) = client.post(path, &body) {
+                eprintln!("error: warmup request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let next = Arc::new(AtomicUsize::new(0));
+    let config = Arc::new(config);
     let started = Instant::now();
     let threads: Vec<_> = (0..config.concurrency)
         .map(|_| {
             let texts = Arc::clone(&texts);
             let expected = Arc::clone(&expected);
             let next = Arc::clone(&next);
-            let addr = config.addr.clone();
-            let (requests, batch, max_conjuncts, verify) = (
-                config.requests,
-                config.batch,
-                config.max_conjuncts,
-                config.verify,
-            );
-            thread::spawn(move || -> Result<(Vec<Duration>, usize), String> {
-                let mut latencies = Vec::new();
-                let mut mismatches = 0usize;
-                loop {
-                    let r = next.fetch_add(1, Ordering::Relaxed);
-                    if r >= requests {
-                        return Ok((latencies, mismatches));
-                    }
-                    // Round-robin over the pair list, batch-sized.
-                    let picked: Vec<usize> =
-                        (0..batch).map(|j| (r * batch + j) % texts.len()).collect();
-                    let (path, body) = if batch == 1 {
-                        let (q1, q2) = &texts[picked[0]];
-                        (
-                            "/v1/contains",
-                            format!(
-                                "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":{max_conjuncts}}}",
-                                wire::json_quote(q1),
-                                wire::json_quote(q2)
-                            ),
-                        )
-                    } else {
-                        let items: Vec<String> = picked
-                            .iter()
-                            .map(|&i| {
-                                let (q1, q2) = &texts[i];
-                                format!("[{},{}]", wire::json_quote(q1), wire::json_quote(q2))
-                            })
-                            .collect();
-                        (
-                            "/v1/contains_batch",
-                            format!(
-                                "{{\"pairs\":[{}],\"max_conjuncts\":{max_conjuncts}}}",
-                                items.join(",")
-                            ),
-                        )
-                    };
-                    let t0 = Instant::now();
-                    let (status, resp) = wire::post(&addr, path, &body)
-                        .map_err(|e| format!("request failed: {e}"))?;
-                    latencies.push(t0.elapsed());
-                    if status != 200 {
-                        return Err(format!("HTTP {status}: {resp}"));
-                    }
-                    if verify {
-                        for (j, &i) in picked.iter().enumerate() {
-                            let got = wire::nth_verdict(&resp, j)
-                                .ok_or_else(|| format!("no verdict {j} in {resp}"))?;
-                            if got != expected[i] {
-                                eprintln!(
-                                    "MISMATCH pair {i}: server says {got:?}, local says {:?}",
-                                    expected[i]
-                                );
-                                mismatches += 1;
-                            }
-                        }
-                    }
-                }
-            })
+            let config = Arc::clone(&config);
+            thread::spawn(move || client_thread(&config, &texts, &expected, &next))
         })
         .collect();
 
+    let mut connects: Vec<Duration> = Vec::new();
     let mut latencies: Vec<Duration> = Vec::new();
     let mut mismatches = 0usize;
     for t in threads {
         match t.join().expect("client thread panicked") {
-            Ok((lats, miss)) => {
-                latencies.extend(lats);
-                mismatches += miss;
+            Ok(stats) => {
+                connects.extend(stats.connects);
+                latencies.extend(stats.requests);
+                mismatches += stats.mismatches;
             }
             Err(msg) => {
                 eprintln!("error: {msg}");
@@ -264,24 +428,67 @@ fn main() -> ExitCode {
         }
     }
     let elapsed = started.elapsed();
+    connects.sort();
     latencies.sort();
-    let at = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
-    let decided = config.requests * config.batch;
+    let decided = latencies.len() * config.batch;
+    let mode = if config.pipeline > 1 {
+        "pipeline"
+    } else if config.keep_alive {
+        "keep-alive"
+    } else {
+        "close"
+    };
     println!(
-        "requests={} batch={} concurrency={} decided_pairs={}",
-        config.requests, config.batch, config.concurrency, decided
+        "mode={mode} requests={} batch={} concurrency={} pipeline={} decided_pairs={decided}",
+        config.requests, config.batch, config.concurrency, config.pipeline
     );
     println!(
-        "latency_us min={:.0} p50={:.0} p95={:.0} max={:.0}",
-        at(0.0).as_secs_f64() * 1e6,
-        at(0.5).as_secs_f64() * 1e6,
-        at(0.95).as_secs_f64() * 1e6,
-        at(1.0).as_secs_f64() * 1e6,
+        "connect_us count={} p50={:.0} max={:.0}",
+        connects.len(),
+        us(quantile(&connects, 0.5)),
+        us(quantile(&connects, 1.0)),
     );
     println!(
-        "throughput_pairs_per_s {:.0}",
-        decided as f64 / elapsed.as_secs_f64()
+        "latency_us min={:.0} p50={:.0} p95={:.0} p99={:.0} max={:.0}",
+        us(quantile(&latencies, 0.0)),
+        us(quantile(&latencies, 0.5)),
+        us(quantile(&latencies, 0.95)),
+        us(quantile(&latencies, 0.99)),
+        us(quantile(&latencies, 1.0)),
     );
+    let throughput = decided as f64 / elapsed.as_secs_f64();
+    println!("throughput_pairs_per_s {throughput:.0}");
+
+    if let Some(path) = &config.csv {
+        let header = "mode,requests,batch,concurrency,pipeline,connect_p50_us,p50_us,p95_us,p99_us,throughput_pairs_per_s\n";
+        let row = format!(
+            "{mode},{},{},{},{},{:.0},{:.0},{:.0},{:.0},{throughput:.0}\n",
+            config.requests,
+            config.batch,
+            config.concurrency,
+            config.pipeline,
+            us(quantile(&connects, 0.5)),
+            us(quantile(&latencies, 0.5)),
+            us(quantile(&latencies, 0.95)),
+            us(quantile(&latencies, 0.99)),
+        );
+        let new = !std::path::Path::new(path).exists();
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| {
+                if new {
+                    f.write_all(header.as_bytes())?;
+                }
+                f.write_all(row.as_bytes())
+            });
+        if let Err(e) = written {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     if config.verify {
         if mismatches > 0 {
             eprintln!("error: {mismatches} verdict mismatches");

@@ -1140,6 +1140,7 @@ pub fn e11(distinct: usize, repeats: usize) -> ExperimentOutput {
         "E11: flqd serving economics (cold chase vs warm caches, batch throughput by workers)",
         &[
             "workers",
+            "connect_p50_us",
             "cold_p50_us",
             "warm_p50_us",
             "warm_speedup",
@@ -1157,21 +1158,46 @@ pub fn e11(distinct: usize, repeats: usize) -> ExperimentOutput {
         let handle = server.handle();
         let join = std::thread::spawn(move || server.run());
 
-        let shoot = |q1: &str, q2: &str| -> Duration {
+        // A fresh connection per request (the worst-case client), but
+        // timed as two phases so TCP handshake cost never pollutes the
+        // decision numbers.
+        let shoot = |q1: &str, q2: &str| -> (Duration, Duration) {
+            let mut client = wire::Client::connect(&addr).expect("connect");
             let t0 = Instant::now();
-            let (status, body) =
-                wire::post(&addr, "/v1/contains", &contains_body(q1, q2)).expect("request");
+            let (status, body) = client
+                .post("/v1/contains", &contains_body(q1, q2))
+                .expect("request");
             assert_eq!(status, 200, "{body}");
-            t0.elapsed()
+            (client.connect_time(), t0.elapsed())
         };
+        let mut connects = Vec::new();
         // Cold: first sight of every pair on a fresh server.
-        let cold = median(texts.iter().map(|(q1, q2)| shoot(q1, q2)).collect());
+        let cold = median(
+            texts
+                .iter()
+                .map(|(q1, q2)| {
+                    let (connect, request) = shoot(q1, q2);
+                    connects.push(connect);
+                    request
+                })
+                .collect(),
+        );
         // Warm: the same pairs again, now answered from the caches.
         let warm = median(
             (0..repeats.max(1))
-                .flat_map(|_| texts.iter().map(|(q1, q2)| shoot(q1, q2)))
+                .flat_map(|_| {
+                    texts
+                        .iter()
+                        .map(|(q1, q2)| {
+                            let (connect, request) = shoot(q1, q2);
+                            connects.push(connect);
+                            request
+                        })
+                        .collect::<Vec<_>>()
+                })
                 .collect(),
         );
+        let connect = median(connects);
 
         // Batch throughput: one client per worker, each posting the full
         // pair list `repeats` times.
@@ -1201,6 +1227,7 @@ pub fn e11(distinct: usize, repeats: usize) -> ExperimentOutput {
 
         t.push(vec![
             workers.to_string(),
+            micros(connect),
             micros(cold),
             micros(warm),
             format!("{:.1}x", cold.as_secs_f64() / warm.as_secs_f64().max(1e-9)),
@@ -1212,7 +1239,240 @@ pub fn e11(distinct: usize, repeats: usize) -> ExperimentOutput {
         notes: vec![format!(
             "{distinct} distinct pairs; warm rounds repeat the identical requests, so the \
              decision cache answers them without re-chasing. Batch rows post all pairs per \
-             request from one client per worker."
+             request from one client per worker. Every request opens a fresh connection; \
+             connect_p50_us reports that handshake phase separately so cold/warm reflect \
+             request time only (see E12 for kept-alive and pipelined clients)."
+        )],
+        files: vec![],
+    }
+}
+
+/// E12: blocking-vs-reactor client economics — what the transport shape
+/// costs once decisions are warm.
+///
+/// One server, one warm workload, three client shapes over
+/// `POST /v1/contains`: a fresh connection per request (`close`, the
+/// only mode the pre-reactor server supported), one kept-alive
+/// connection (`keep-alive`), and a kept-alive connection with a window
+/// of requests in flight (`pipeline`). A local baseline row decides the
+/// same pairs in-process with `contains_with` — the raw decision cost
+/// with no transport at all.
+///
+/// Expected shape: keep-alive within ~2× the raw warm decision cost
+/// (one loopback round trip plus JSON framing), pipelining amortizing
+/// the round trip below it, and `close` paying the extra handshake —
+/// reported separately, never folded into request time.
+pub fn e12(distinct: usize, repeats: usize) -> ExperimentOutput {
+    use crate::wire;
+    use flogic_serve::{Server, ServerConfig};
+
+    const PIPELINE_WINDOW: usize = 8;
+
+    // The E11 workload, so the two tables are directly comparable.
+    let qcfg = QueryGenConfig {
+        n_atoms: 7,
+        n_vars: 5,
+        n_consts: 2,
+        ..Default::default()
+    };
+    let gcfg = GeneralizeConfig::default();
+    let pairs: Vec<(ConjunctiveQuery, ConjunctiveQuery)> = (0..distinct as u64)
+        .map(|i| {
+            let q1 = random_query(&qcfg, &mut rng(i));
+            let q2 = generalize(&q1, &gcfg, &mut rng(i + 10_000));
+            (q1, q2)
+        })
+        .collect();
+    let texts: Vec<(String, String)> = pairs
+        .iter()
+        .map(|(q1, q2)| {
+            (
+                flogic_syntax::query_to_flogic(q1),
+                flogic_syntax::query_to_flogic(q2),
+            )
+        })
+        .collect();
+    let bodies: Vec<String> = texts
+        .iter()
+        .map(|(q1, q2)| {
+            format!(
+                "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":50000}}",
+                wire::json_quote(q1),
+                wire::json_quote(q2)
+            )
+        })
+        .collect();
+    let median = |mut samples: Vec<Duration>| -> Duration {
+        samples.sort();
+        samples[samples.len() / 2]
+    };
+    let rounds = repeats.max(1);
+
+    // Local baseline: deciding a pair given its *text* — parse both
+    // queries, then decide — warm (one unmeasured round first, exactly
+    // like the server's warmup below). Parsing belongs to the decision,
+    // not the transport: the wire carries text, and so does `flq
+    // contains`.
+    let opts = ContainmentOptions {
+        max_conjuncts: 50_000,
+        ..ContainmentOptions::default()
+    };
+    for (q1, q2) in &pairs {
+        let _ = contains_with(q1, q2, &opts).expect("baseline decision");
+    }
+    let decision = median(
+        (0..rounds)
+            .flat_map(|_| {
+                texts.iter().map(|(t1, t2)| {
+                    let t0 = Instant::now();
+                    let q1 = flogic_syntax::parse_query(t1).expect("baseline parse");
+                    let q2 = flogic_syntax::parse_query(t2).expect("baseline parse");
+                    let _ = contains_with(&q1, &q2, &opts).expect("baseline decision");
+                    t0.elapsed()
+                })
+            })
+            .collect(),
+    );
+
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind in-process server");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    // Warm every pair once so each mode below measures steady state.
+    {
+        let mut client = wire::Client::connect(&addr).expect("connect");
+        for body in &bodies {
+            let (status, resp) = client.post("/v1/contains", body).expect("warmup");
+            assert_eq!(status, 200, "{resp}");
+        }
+    }
+
+    let mut t = Table::new(
+        "E12: client shapes over warm decisions (close vs keep-alive vs pipelined vs no transport)",
+        &[
+            "mode",
+            "connect_p50_us",
+            "warm_p50_us",
+            "vs_decision",
+            "pairs_per_s",
+        ],
+    );
+    let ratio = |warm: Duration| -> String {
+        format!(
+            "{:.1}x",
+            warm.as_secs_f64() / decision.as_secs_f64().max(1e-9)
+        )
+    };
+    let throughput = |n: usize, elapsed: Duration| -> String {
+        format!("{:.0}", n as f64 / elapsed.as_secs_f64().max(1e-9))
+    };
+
+    // close: a fresh connection per request, phases timed separately.
+    {
+        let mut connects = Vec::new();
+        let mut requests = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for body in &bodies {
+                let mut client = wire::Client::connect(&addr).expect("connect");
+                connects.push(client.connect_time());
+                let r0 = Instant::now();
+                let (status, resp) = client.post("/v1/contains", body).expect("request");
+                requests.push(r0.elapsed());
+                assert_eq!(status, 200, "{resp}");
+            }
+        }
+        let elapsed = t0.elapsed();
+        let warm = median(requests);
+        t.push(vec![
+            "close".into(),
+            micros(median(connects)),
+            micros(warm),
+            ratio(warm),
+            throughput(rounds * bodies.len(), elapsed),
+        ]);
+    }
+
+    // keep-alive: one connection for everything.
+    {
+        let mut client = wire::Client::connect(&addr).expect("connect");
+        let connect = client.connect_time();
+        let mut requests = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for body in &bodies {
+                let r0 = Instant::now();
+                let (status, resp) = client.post("/v1/contains", body).expect("request");
+                requests.push(r0.elapsed());
+                assert_eq!(status, 200, "{resp}");
+            }
+        }
+        let elapsed = t0.elapsed();
+        let warm = median(requests);
+        t.push(vec![
+            "keep-alive".into(),
+            micros(connect),
+            micros(warm),
+            ratio(warm),
+            throughput(rounds * bodies.len(), elapsed),
+        ]);
+    }
+
+    // pipeline: windows of requests in flight on one connection;
+    // per-request time is the window round trip shared evenly.
+    {
+        let mut client = wire::Client::connect(&addr).expect("connect");
+        let connect = client.connect_time();
+        let mut requests = Vec::new();
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            for window in bodies.chunks(PIPELINE_WINDOW) {
+                let r0 = Instant::now();
+                let responses = client
+                    .post_pipelined("/v1/contains", window)
+                    .expect("pipelined request");
+                let per_request = r0.elapsed() / window.len() as u32;
+                for (status, resp) in &responses {
+                    assert_eq!(*status, 200, "{resp}");
+                    requests.push(per_request);
+                }
+            }
+        }
+        let elapsed = t0.elapsed();
+        let warm = median(requests);
+        t.push(vec![
+            format!("pipeline-{PIPELINE_WINDOW}"),
+            micros(connect),
+            micros(warm),
+            ratio(warm),
+            throughput(rounds * bodies.len(), elapsed),
+        ]);
+    }
+
+    handle.shutdown();
+    join.join().expect("server thread").expect("clean drain");
+
+    t.push(vec![
+        "decision (no transport)".into(),
+        "-".into(),
+        micros(decision),
+        "1.0x".into(),
+        "-".into(),
+    ]);
+
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![format!(
+            "{distinct} distinct pairs, {rounds} warm round(s) per mode, decisions warmed \
+             before measuring. vs_decision compares each transport shape against deciding \
+             the same pairs in-process; keep-alive is the shape the CI latency gate holds \
+             under its budget."
         )],
         files: vec![],
     }

@@ -1,13 +1,19 @@
 //! A minimal HTTP/1.1 client for benchmarking `flqd`.
 //!
-//! One connection per call, `Connection: close`, read-to-EOF: the
-//! simplest protocol usage that is unambiguous to measure. Used by the
-//! `loadgen` binary and experiment E11; deliberately independent of the
-//! server's own HTTP code so the two sides cross-check each other.
+//! Two protocol shapes, both deliberately independent of the server's
+//! own HTTP code so the two sides cross-check each other:
+//!
+//! * [`post`]/[`get`] — one connection per call, `Connection: close`,
+//!   read-to-EOF. Simple, but every call pays the TCP connect, so it
+//!   measures transport + decision conflated.
+//! * [`Client`] — a persistent keep-alive connection with
+//!   `content-length`-framed response reads and optional pipelining.
+//!   Connect cost is paid (and measured) once; per-request latency is
+//!   then the decision plus one round trip.
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Sends `POST path body` to `addr`; returns `(status, body)`.
 pub fn post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
@@ -19,11 +25,14 @@ pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
     request(addr, "GET", path, "")
 }
 
-fn request(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
-    let addr = addr
-        .to_socket_addrs()?
+fn resolve(addr: &str) -> std::io::Result<std::net::SocketAddr> {
+    addr.to_socket_addrs()?
         .next()
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))?;
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad address"))
+}
+
+fn request(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let addr = resolve(addr)?;
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     write!(
@@ -41,6 +50,115 @@ fn parse_response(raw: &str) -> Option<(u16, String)> {
     let status: u16 = raw.split(' ').nth(1)?.parse().ok()?;
     let body = raw.split_once("\r\n\r\n")?.1.to_string();
     Some((status, body))
+}
+
+/// A persistent keep-alive connection to `flqd`.
+pub struct Client {
+    stream: TcpStream,
+    /// Received-but-unconsumed bytes (the tail of a read that crossed a
+    /// response boundary — routine under pipelining).
+    buf: Vec<u8>,
+    connect_time: Duration,
+}
+
+impl Client {
+    /// Connects (timing the TCP handshake) and disables Nagle, mirroring
+    /// the server side.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let addr = resolve(addr)?;
+        let t0 = Instant::now();
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+        let connect_time = t0.elapsed();
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+            connect_time,
+        })
+    }
+
+    /// How long the TCP connect took.
+    pub fn connect_time(&self) -> Duration {
+        self.connect_time
+    }
+
+    /// One keep-alive `POST`; returns `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        write!(
+            self.stream,
+            "POST {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+        self.read_response()
+    }
+
+    /// Writes all `bodies` as pipelined `POST`s in a single burst, then
+    /// reads the same number of responses, in order.
+    pub fn post_pipelined(
+        &mut self,
+        path: &str,
+        bodies: &[String],
+    ) -> std::io::Result<Vec<(u16, String)>> {
+        let mut burst = Vec::new();
+        for body in bodies {
+            burst.extend_from_slice(
+                format!(
+                    "POST {path} HTTP/1.1\r\nhost: loadgen\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+        }
+        self.stream.write_all(&burst)?;
+        bodies.iter().map(|_| self.read_response()).collect()
+    }
+
+    /// Reads one `content-length`-framed response from the connection.
+    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        loop {
+            if let Some(head_end) = find_subsequence(&self.buf, b"\r\n\r\n") {
+                let head = std::str::from_utf8(&self.buf[..head_end])
+                    .map_err(|_| bad("non-UTF-8 response head"))?;
+                let status: u16 = head
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("bad status line"))?;
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        l.to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(|v| v.trim().to_string())
+                    })
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("missing content-length"))?;
+                let total = head_end + 4 + content_length;
+                if self.buf.len() >= total {
+                    let body = String::from_utf8(self.buf[head_end + 4..total].to_vec())
+                        .map_err(|_| bad("non-UTF-8 response body"))?;
+                    self.buf.drain(..total);
+                    return Ok((status, body));
+                }
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 /// Quotes `s` as a JSON string literal (enough for query surface syntax:

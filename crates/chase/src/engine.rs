@@ -268,7 +268,7 @@ impl Chase {
                 .get(&(pattern.pred(), pos as u8, effective))
                 .map(|v| v.as_slice())
                 .unwrap_or(&[]);
-            if best.is_none_or(|b| list.len() < b.len()) {
+            if best.map_or(true, |b| list.len() < b.len()) {
                 best = Some(list);
             }
         }
@@ -863,7 +863,7 @@ impl Chase {
                         return Ok(());
                     }
                 }
-                if governed && self.stats.steps.is_multiple_of(CHECK_EVERY) {
+                if governed && self.stats.steps % CHECK_EVERY == 0 {
                     if let Some(reason) = self.governor_checkpoint(&opts.budget) {
                         self.exhaust(reason);
                         return Ok(());

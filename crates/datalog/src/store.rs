@@ -251,7 +251,7 @@ impl FactStore {
                         .get(&(pos as u8, effective))
                         .map(|v| v.as_slice())
                         .unwrap_or(&[]);
-                    if best.is_none_or(|b| list.len() < b.len()) {
+                    if best.map_or(true, |b| list.len() < b.len()) {
                         best = Some(list);
                     }
                 }

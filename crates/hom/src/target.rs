@@ -107,7 +107,7 @@ impl Target {
                 .get(&(pattern.pred(), pos as u8, term))
                 .map(|v| v.as_slice())
                 .unwrap_or(&[]);
-            if best.is_none_or(|b| list.len() < b.len()) {
+            if best.map_or(true, |b| list.len() < b.len()) {
                 best = Some(list);
             }
         }

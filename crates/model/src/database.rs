@@ -138,7 +138,7 @@ impl Database {
                         continue;
                     }
                     let list = self.facts_with(first.pred(), pos, effective);
-                    if best.is_none_or(|b| list.len() < b.len()) {
+                    if best.map_or(true, |b| list.len() < b.len()) {
                         best = Some(list);
                     }
                 }

@@ -9,10 +9,13 @@
 //! homomorphism searches (and then to cache hits) instead of repeated
 //! chases.
 //!
-//! The transport is deliberately minimal — a hand-rolled HTTP/1.1
-//! subset over `std::net`, in the same dependency-free spirit as
-//! `flogic-obs`'s JSONL layer — because the interesting contracts are
-//! semantic, not protocol-level:
+//! The transport is a hand-rolled nonblocking reactor — `epoll` via the
+//! same one-scoped-FFI pattern as [`signal`], a single event loop owning
+//! every socket, and a bounded worker pool owning every chase (see
+//! [`reactor`](crate::conn)) — still dependency-free in the same spirit
+//! as `flogic-obs`'s JSONL layer. Connections are kept alive and may
+//! pipeline; responses always come back in request order. The
+//! interesting contracts stay semantic, not protocol-level:
 //!
 //! * **Verdict parity.** Warm or cold, every answer is bit-identical to
 //!   `flq contains` on the same pair: the snapshot path mirrors
@@ -21,9 +24,10 @@
 //! * **Exhaustion is an outcome.** A decision stopped by its budget is
 //!   HTTP 200 with `"verdict": "exhausted"` — the server analogue of the
 //!   CLI's exit code 3 — never a 5xx.
-//! * **Explicit backpressure.** A bounded accept queue; beyond it the
-//!   server answers `503` + `Retry-After` instead of queueing without
-//!   bound.
+//! * **Explicit backpressure.** A bounded dispatch queue (`--queue-cap`);
+//!   a request arriving while it is full is answered `503` +
+//!   `Retry-After` on the spot — the connection stays open, and nothing
+//!   queues without bound.
 //!
 //! Endpoints: `POST /v1/contains`, `POST /v1/contains_batch`,
 //! `GET /metrics`, `GET /profile`. See `docs/ARCHITECTURE.md` for the
@@ -34,11 +38,14 @@
 //! [`SnapshotCache`]: snapshots::SnapshotCache
 
 pub mod api;
+pub mod conn;
 pub mod http;
 pub mod json;
+pub mod poll;
 pub mod signal;
 pub mod snapshots;
 
+mod reactor;
 mod server;
 
 pub use server::{Server, ServerConfig, ServerHandle, SERVE_FLAGS};
@@ -59,6 +66,7 @@ pub fn run_cli<I: IntoIterator<Item = String>>(args: I) -> u8 {
             return 2;
         }
     };
+    let ready_fd = config.ready_fd;
     let server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {
@@ -76,6 +84,17 @@ pub fn run_cli<I: IntoIterator<Item = String>>(args: I) -> u8 {
     // The fixed prefix lets scripts (and the CI smoke test) discover an
     // ephemeral port: `flqd --addr 127.0.0.1:0` prints the real one.
     println!("flqd listening on {addr}");
+    if let Some(fd) = ready_fd {
+        // Readiness protocol: the supervisor passed us a pipe; one
+        // `HOST:PORT\n` line on it means "bound and about to serve".
+        // Closing the fd afterwards lets a blocked `head -n1` return
+        // even if the write path is a FIFO.
+        if let Err(e) = poll::write_to_raw_fd(fd, format!("{addr}\n").as_bytes()) {
+            eprintln!("error: cannot write readiness line to fd {fd}: {e}");
+            return 1;
+        }
+        poll::close_raw_fd(fd);
+    }
     signal::install();
     match server.run() {
         Ok(()) => 0,

@@ -1,30 +1,29 @@
-//! The server runtime: accept loop, bounded queue, worker pool, routing.
+//! Server configuration, shared warm state, and request routing.
 //!
-//! The shape is deliberately boring: one blocking accept loop feeds a
-//! fixed pool of worker threads through a bounded queue. When the queue
-//! is full the accept loop answers `503` with `Retry-After` *itself* —
-//! explicit backpressure instead of an unbounded backlog, mirroring how
-//! the chase governor refuses work instead of letting it balloon.
+//! The runtime itself lives in [`reactor`](crate::reactor): a single
+//! epoll event loop owns every socket, and a bounded worker pool owns
+//! the chase/decide work. This module owns what the reactor shares:
 //!
-//! Warm state shared by every worker:
+//! * a [`DecisionCache`] memoizing whole `(q1, q2)` verdicts,
+//! * a [`SnapshotCache`] holding each `q1`'s chase so repeated
+//!   questions about the same query pay only the homomorphism search,
+//! * the dispatch queue feeding the workers — bounded at
+//!   `--queue-cap`, beyond which requests are answered `503` with
+//!   `Retry-After` (explicit backpressure, mirroring how the chase
+//!   governor refuses work instead of letting it balloon), and
+//! * the process counters behind `GET /metrics`.
 //!
-//! * a [`DecisionCache`] memoizing whole `(q1, q2)` verdicts, and
-//! * a [`SnapshotCache`] holding each `q1`'s chase so repeated questions
-//!   about the same query pay only the homomorphism search.
-//!
-//! A decision miss flows through both: the decision cache's
+//! A decision miss flows through both caches: the decision cache's
 //! `contains_with_compute` fills from the snapshot cache, whose
 //! [`ChaseSnapshot::contains`](flogic_core::ChaseSnapshot::contains)
 //! mirrors `contains_with` exactly — so verdicts are bit-identical to
 //! the `flq` CLI's, warm or cold.
 
 use std::collections::VecDeque;
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread;
 use std::time::Duration;
 
 use flogic_core::{theorem_bound, ContainmentOptions, ContainmentResult, CoreError, DecisionCache};
@@ -35,7 +34,9 @@ use flogic_syntax::parse_query;
 use flogic_term::Metrics;
 
 use crate::api::{self, ApiError};
-use crate::http::{self, ReadError, Request, Response};
+use crate::http::{Request, Response};
+use crate::poll::Waker;
+use crate::reactor::{self, Completion, Job};
 use crate::signal;
 use crate::snapshots::SnapshotCache;
 
@@ -45,10 +46,11 @@ use crate::snapshots::SnapshotCache;
 pub struct ServerConfig {
     /// Listen address (`--addr`); `127.0.0.1:0` picks an ephemeral port.
     pub addr: String,
-    /// Worker threads handling requests (`--workers`).
+    /// Worker threads deciding containments (`--workers`). The reactor
+    /// itself runs on the calling thread and never chases.
     pub workers: usize,
-    /// Bounded accept-queue depth (`--queue`); connections beyond it are
-    /// answered `503` with `Retry-After`.
+    /// Bounded dispatch-queue depth (`--queue-cap`); requests arriving
+    /// while the queue is full are answered `503` with `Retry-After`.
     pub queue_depth: usize,
     /// Byte cap of the resident chase-snapshot cache (`--cache-bytes`).
     pub cache_bytes: usize,
@@ -63,9 +65,14 @@ pub struct ServerConfig {
     /// Server-side default cap on materialized chase conjuncts
     /// (`--max-conjuncts`); requests may override.
     pub max_conjuncts: usize,
-    /// Socket read timeout, which doubles as the keep-alive idle
-    /// timeout (`--read-timeout`, milliseconds).
+    /// Keep-alive idle timeout (`--read-timeout`, milliseconds): a
+    /// connection with no pending work and no bytes moving for this
+    /// long is closed.
     pub read_timeout_ms: u64,
+    /// File descriptor to write a `HOST:PORT\n` readiness line to once
+    /// bound (`--ready-fd`), then close. Lets supervisors and CI block
+    /// on actual readiness instead of polling logs.
+    pub ready_fd: Option<i32>,
 }
 
 impl Default for ServerConfig {
@@ -80,14 +87,16 @@ impl Default for ServerConfig {
             default_timeout_ms: None,
             max_conjuncts: ContainmentOptions::default().max_conjuncts,
             read_timeout_ms: 5_000,
+            ready_fd: None,
         }
     }
 }
 
 /// The `flq serve` / `flqd` flag reference, shared by both binaries'
 /// usage text.
-pub const SERVE_FLAGS: &str = "[--addr HOST:PORT] [--workers N] [--queue N] [--cache-bytes N] \
-[--max-body-bytes N] [--threads N] [--timeout MS] [--max-conjuncts N] [--read-timeout MS]";
+pub const SERVE_FLAGS: &str = "[--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-bytes N] \
+[--max-body-bytes N] [--threads N] [--timeout MS] [--max-conjuncts N] [--read-timeout MS] \
+[--ready-fd FD]";
 
 impl ServerConfig {
     /// Parses command-line flags into a config, starting from defaults.
@@ -101,7 +110,7 @@ impl ServerConfig {
             match arg.as_str() {
                 "--addr" => config.addr = value("an address")?,
                 "--workers" => config.workers = parse_flag(&arg, value("a number")?)?,
-                "--queue" => config.queue_depth = parse_flag(&arg, value("a number")?)?,
+                "--queue-cap" => config.queue_depth = parse_flag(&arg, value("a number")?)?,
                 "--cache-bytes" => config.cache_bytes = parse_flag(&arg, value("a number")?)?,
                 "--max-body-bytes" => config.max_body_bytes = parse_flag(&arg, value("a number")?)?,
                 "--threads" => config.threads = parse_flag(&arg, value("a number")?)?,
@@ -113,6 +122,9 @@ impl ServerConfig {
                 "--read-timeout" => {
                     config.read_timeout_ms = parse_flag(&arg, value("a duration in milliseconds")?)?
                 }
+                "--ready-fd" => {
+                    config.ready_fd = Some(parse_flag(&arg, value("a file descriptor")?)?)
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -120,7 +132,7 @@ impl ServerConfig {
             return Err("--workers must be at least 1".into());
         }
         if config.queue_depth == 0 {
-            return Err("--queue must be at least 1".into());
+            return Err("--queue-cap must be at least 1".into());
         }
         Ok(config)
     }
@@ -145,22 +157,28 @@ fn parse_flag<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String
         .map_err(|_| format!("{flag}: cannot parse {raw:?}"))
 }
 
-/// State shared between the accept loop and the workers.
-struct Shared {
-    config: ServerConfig,
+/// State shared between the reactor and the workers.
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
     base_opts: ContainmentOptions,
     decisions: DecisionCache,
     snapshots: SnapshotCache,
     profile: Mutex<ChaseProfile>,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+    /// The bounded dispatch queue feeding the worker pool.
+    pub(crate) jobs: Mutex<VecDeque<Job>>,
+    pub(crate) jobs_cv: Condvar,
+    /// Finished decisions on their way back to the reactor.
+    pub(crate) completions: Mutex<Vec<Completion>>,
+    /// Wakes the reactor's epoll loop when completions land.
+    pub(crate) waker: Waker,
     shutdown: AtomicBool,
-    requests_total: AtomicU64,
-    rejected_total: AtomicU64,
+    pub(crate) requests_total: AtomicU64,
+    pub(crate) rejected_total: AtomicU64,
+    pub(crate) connections_total: AtomicU64,
 }
 
 impl Shared {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed) || signal::shutdown_requested()
     }
 }
@@ -175,7 +193,8 @@ impl ServerHandle {
     /// return from [`Server::run`].
     pub fn shutdown(&self) {
         self.0.shutdown.store(true, Ordering::Relaxed);
-        self.0.available.notify_all();
+        self.0.jobs_cv.notify_all();
+        self.0.waker.wake();
     }
 }
 
@@ -186,8 +205,8 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and allocates the shared caches. The server
-    /// does not accept until [`run`](Server::run).
+    /// Binds the listener and allocates the shared caches and reactor
+    /// waker. The server does not accept until [`run`](Server::run).
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let base_opts = config.base_options();
@@ -199,11 +218,14 @@ impl Server {
                 snapshots,
                 decisions: DecisionCache::new(),
                 profile: Mutex::new(ChaseProfile::default()),
-                queue: Mutex::new(VecDeque::new()),
-                available: Condvar::new(),
+                jobs: Mutex::new(VecDeque::new()),
+                jobs_cv: Condvar::new(),
+                completions: Mutex::new(Vec::new()),
+                waker: Waker::new()?,
                 shutdown: AtomicBool::new(false),
                 requests_total: AtomicU64::new(0),
                 rejected_total: AtomicU64::new(0),
+                connections_total: AtomicU64::new(0),
                 config,
             }),
         })
@@ -219,130 +241,19 @@ impl Server {
         ServerHandle(Arc::clone(&self.shared))
     }
 
-    /// Runs the accept loop until shutdown is requested (via
+    /// Runs the reactor until shutdown is requested (via
     /// [`ServerHandle::shutdown`] or SIGTERM/SIGINT once
-    /// [`signal::install`] has run), then drains: queued and in-flight
-    /// requests complete, workers join, and `run` returns.
+    /// [`signal::install`] has run), then drains: parsed and queued
+    /// requests complete — pipelined tails included — workers join, and
+    /// `run` returns.
     pub fn run(self) -> io::Result<()> {
         let Server { listener, shared } = self;
-        listener.set_nonblocking(true)?;
-        let workers: Vec<_> = (0..shared.config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("flqd-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
-        while !shared.draining() {
-            match listener.accept() {
-                Ok((stream, _peer)) => enqueue(&shared, stream),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    // The poll interval is a floor on cold-connection
-                    // latency, so keep it tight; 1ms of idle sleep is
-                    // invisible in CPU terms.
-                    thread::sleep(Duration::from_millis(1));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-        }
-        // Drain: stop accepting (listener drops), let workers finish the
-        // queue and their in-flight connections, then join them.
-        drop(listener);
-        shared.available.notify_all();
-        for worker in workers {
-            let _ = worker.join();
-        }
-        Ok(())
+        reactor::run(listener, shared)
     }
 }
 
-/// Queues an accepted connection, or answers `503` on the spot when the
-/// queue is at capacity.
-fn enqueue(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_nonblocking(false);
-    let mut queue = shared.queue.lock().expect("queue poisoned");
-    if queue.len() >= shared.config.queue_depth {
-        drop(queue);
-        shared.rejected_total.fetch_add(1, Ordering::Relaxed);
-        let mut stream = stream;
-        let _ = http::write_response(&mut stream, &ApiError::overloaded().to_response(), true);
-        return;
-    }
-    queue.push_back(stream);
-    drop(queue);
-    shared.available.notify_one();
-}
-
-/// One worker: pop connections until shutdown *and* the queue is empty.
-fn worker_loop(shared: &Arc<Shared>) {
-    loop {
-        let stream = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
-                }
-                if shared.draining() {
-                    break None;
-                }
-                let (guard, _timeout) = shared
-                    .available
-                    .wait_timeout(queue, Duration::from_millis(50))
-                    .expect("queue poisoned");
-                queue = guard;
-            }
-        };
-        match stream {
-            Some(stream) => handle_connection(shared, stream),
-            None => return,
-        }
-    }
-}
-
-/// Serves one (possibly keep-alive) connection to completion.
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(shared.config.read_timeout_ms)));
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        match http::read_request(&mut reader, shared.config.max_body_bytes) {
-            Ok(req) => {
-                shared.requests_total.fetch_add(1, Ordering::Relaxed);
-                // A panic below a request must not take the worker down
-                // with it; answer 500 and close.
-                let resp =
-                    catch_unwind(AssertUnwindSafe(|| route(shared, &req))).unwrap_or_else(|_| {
-                        ApiError::internal("request handler panicked").to_response()
-                    });
-                let close = req.close || shared.draining();
-                if http::write_response(&mut writer, &resp, close).is_err() || close {
-                    return;
-                }
-            }
-            // Clean close, idle timeout, or socket error: drop quietly.
-            Err(ReadError::Closed) | Err(ReadError::Io(_)) => return,
-            Err(ReadError::Malformed(msg)) => {
-                let resp = ApiError::bad_request(format!("malformed HTTP request: {msg}"));
-                let _ = http::write_response(&mut writer, &resp.to_response(), true);
-                return;
-            }
-            Err(ReadError::BodyTooLarge { declared, cap }) => {
-                let resp = ApiError::payload_too_large(declared, cap);
-                let _ = http::write_response(&mut writer, &resp.to_response(), true);
-                return;
-            }
-        }
-    }
-}
-
-/// Dispatches one request to its endpoint.
-fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+/// Dispatches one request to its endpoint. Called from worker threads.
+pub(crate) fn route(shared: &Arc<Shared>, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/contains") => contains_endpoint(shared, &req.body),
         ("POST", "/v1/contains_batch") => batch_endpoint(shared, &req.body),
@@ -467,6 +378,11 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
         "flqd_rejected_total {}",
         shared.rejected_total.load(Ordering::Relaxed)
     );
+    let _ = writeln!(
+        s,
+        "flqd_connections_total {}",
+        shared.connections_total.load(Ordering::Relaxed)
+    );
     let _ = writeln!(s, "flqd_snapshot_hits {}", stats.hits);
     let _ = writeln!(s, "flqd_snapshot_misses {}", stats.misses);
     let _ = writeln!(s, "flqd_snapshot_evictions {}", stats.evictions);
@@ -497,7 +413,7 @@ mod tests {
             "127.0.0.1:0",
             "--workers",
             "4",
-            "--queue",
+            "--queue-cap",
             "9",
             "--cache-bytes",
             "1024",
@@ -511,6 +427,8 @@ mod tests {
             "77",
             "--read-timeout",
             "300",
+            "--ready-fd",
+            "5",
         ];
         let config = ServerConfig::from_args(args.iter().map(|s| s.to_string())).unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
@@ -522,13 +440,16 @@ mod tests {
         assert_eq!(config.default_timeout_ms, Some(250));
         assert_eq!(config.max_conjuncts, 77);
         assert_eq!(config.read_timeout_ms, 300);
+        assert_eq!(config.ready_fd, Some(5));
 
         for bad in [
             vec!["--bogus"],
+            vec!["--queue", "4"],
             vec!["--workers"],
             vec!["--workers", "zero"],
             vec!["--workers", "0"],
-            vec!["--queue", "0"],
+            vec!["--queue-cap", "0"],
+            vec!["--ready-fd", "three"],
         ] {
             assert!(
                 ServerConfig::from_args(bad.iter().map(|s| s.to_string())).is_err(),

@@ -1,7 +1,7 @@
 //! End-to-end tests of a running in-process `flqd`: real sockets, real
 //! HTTP, real decisions — only the process boundary is elided.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::Duration;
@@ -38,11 +38,19 @@ fn exchange(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Str
         body.len()
     )
     .expect("write request");
-    read_response(&mut stream)
+    read_response(&mut BufReader::new(&mut stream))
 }
 
-fn read_response(stream: &mut TcpStream) -> (u16, String) {
-    let mut reader = BufReader::new(stream);
+fn read_response<R: BufRead>(reader: &mut R) -> (u16, String) {
+    let (status, _headers, body) = read_response_full(reader);
+    (status, body)
+}
+
+/// Reads one `content-length`-framed response; returns status, the
+/// lowercased header block, and the body. Takes a caller-owned reader so
+/// pipelined responses on one connection are not lost to a discarded
+/// buffer.
+fn read_response_full<R: BufRead>(reader: &mut R) -> (u16, String, String) {
     let mut status_line = String::new();
     reader.read_line(&mut status_line).expect("status line");
     let status: u16 = status_line
@@ -51,6 +59,7 @@ fn read_response(stream: &mut TcpStream) -> (u16, String) {
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
     let mut content_length = 0usize;
+    let mut headers = String::new();
     loop {
         let mut line = String::new();
         reader.read_line(&mut line).expect("header line");
@@ -58,18 +67,24 @@ fn read_response(stream: &mut TcpStream) -> (u16, String) {
         if line.is_empty() {
             break;
         }
+        let line = line.to_ascii_lowercase();
         if let Some(v) = line
-            .to_ascii_lowercase()
             .strip_prefix("content-length:")
             .map(str::trim)
             .and_then(|v| v.parse().ok())
         {
             content_length = v;
         }
+        headers.push_str(&line);
+        headers.push('\n');
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).expect("body");
-    (status, String::from_utf8(body).expect("utf-8 body"))
+    (
+        status,
+        headers,
+        String::from_utf8(body).expect("utf-8 body"),
+    )
 }
 
 const Q1: &str = "q(X, Z) :- sub(X, Y), sub(Y, Z).";
@@ -198,39 +213,59 @@ fn bad_requests_get_typed_errors() {
 
 #[test]
 fn full_queue_answers_503_with_retry_after() {
-    // One worker, queue depth one. Tie up the worker with an idle
-    // connection (it blocks reading the request until the read timeout),
-    // park a second connection in the queue, and watch the third bounce.
+    // One worker, queue depth one. Pipeline three requests in a single
+    // write: the reactor dispatches them back-to-back (nanoseconds
+    // apart), while even a cache-hit decision costs the worker tens of
+    // microseconds — so the queue is necessarily full for at least one
+    // of the tail requests. That one is answered 503 + Retry-After on
+    // the spot, per request: the connection stays open and responses
+    // stay in pipeline order.
     let (addr, handle, join) = start(ServerConfig {
         workers: 1,
         queue_depth: 1,
-        read_timeout_ms: 2_000,
         ..ServerConfig::default()
     });
 
-    let hold_worker = TcpStream::connect(addr).expect("connect");
-    thread::sleep(Duration::from_millis(200)); // worker picks it up
-    let hold_queue = TcpStream::connect(addr).expect("connect");
-    thread::sleep(Duration::from_millis(200)); // it sits in the queue
-
-    let mut rejected = TcpStream::connect(addr).expect("connect");
-    rejected
-        .set_read_timeout(Some(Duration::from_secs(10)))
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
         .unwrap();
-    // The 503 arrives before we even send a request: backpressure is
-    // applied at accept time.
-    let mut raw = String::new();
-    rejected.read_to_string(&mut raw).expect("read 503");
-    assert!(raw.starts_with("HTTP/1.1 503 "), "{raw}");
-    assert!(raw.to_ascii_lowercase().contains("retry-after: 1"), "{raw}");
-    assert!(raw.contains("\"code\":\"overloaded\""), "{raw}");
+    let mut writer = &stream;
+    let mut reader = BufReader::new(&stream);
+    let body = contains_body(Q1, Q2);
+    let one = format!(
+        "POST /v1/contains HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    writer
+        .write_all(format!("{one}{one}{one}").as_bytes())
+        .unwrap();
 
-    // Release the parked connections; the server recovers and serves.
-    drop(hold_worker);
-    drop(hold_queue);
-    thread::sleep(Duration::from_millis(100));
-    let (status, body) = exchange(addr, "POST", "/v1/contains", &contains_body(Q1, Q2));
-    assert_eq!(status, 200, "{body}");
+    // First into an empty queue: always served.
+    let (status, body1) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body1}");
+    assert!(body1.contains("\"verdict\":\"holds\""), "{body1}");
+    // Of the two tail requests, at least one bounced; whichever did
+    // carries the typed 503 and its Retry-After.
+    let mut statuses = Vec::new();
+    for _ in 0..2 {
+        let (status, headers, body) = read_response_full(&mut reader);
+        if status == 503 {
+            assert!(headers.contains("retry-after: 1"), "{headers}");
+            assert!(body.contains("\"code\":\"overloaded\""), "{body}");
+        } else {
+            assert_eq!(status, 200, "{body}");
+            assert!(body.contains("\"verdict\":\"holds\""), "{body}");
+        }
+        statuses.push(status);
+    }
+    assert!(statuses.contains(&503), "{statuses:?}");
+
+    // The connection survived the rejection: the same socket serves a
+    // fourth request once the queue has room again.
+    write!(writer, "{one}").unwrap();
+    let (status, body4) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body4}");
 
     handle.shutdown();
     join.join().unwrap().unwrap();
@@ -256,7 +291,7 @@ fn shutdown_drains_in_flight_requests() {
         body.len()
     )
     .unwrap();
-    let (status, body) = read_response(&mut stream);
+    let (status, body) = read_response(&mut BufReader::new(&mut stream));
     assert_eq!(status, 200, "{body}");
 
     // ...and shutdown still completes: the worker finishes the idle

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Blocking latency gate: the warm keep-alive p50 on a single persistent
+# connection must stay under BUDGET_US microseconds. The run's summary
+# row is exported to bench_results/ci_latency.csv for the CI artifact.
+#
+# Expects release binaries already built; override with FLQD= / LOADGEN=.
+set -euo pipefail
+
+FLQD=${FLQD:-./target/release/flqd}
+LOADGEN=${LOADGEN:-./target/release/loadgen}
+BUDGET_US=${BUDGET_US:-500}
+CSV=${CSV:-bench_results/ci_latency.csv}
+
+[ -x "$FLQD" ] || { echo "missing $FLQD (build flqd first)" >&2; exit 2; }
+[ -x "$LOADGEN" ] || { echo "missing $LOADGEN (build loadgen first)" >&2; exit 2; }
+
+tmp=$(mktemp -d)
+FLQD_PID=
+cleanup() {
+    [ -n "$FLQD_PID" ] && kill "$FLQD_PID" 2>/dev/null
+    rm -rf "$tmp"
+    return 0
+}
+trap cleanup EXIT
+
+fifo="$tmp/ready.fifo"
+mkfifo "$fifo"
+"$FLQD" --addr 127.0.0.1:0 --workers 2 --ready-fd 3 3>"$fifo" &
+FLQD_PID=$!
+ADDR=$(head -n1 "$fifo")
+[ -n "$ADDR" ] || { echo "no readiness line from flqd" >&2; exit 1; }
+echo "flqd up at $ADDR"
+
+mkdir -p "$(dirname "$CSV")"
+rm -f "$CSV"
+
+# Warmup fills the decision and snapshot caches over the same pair pool
+# the measured phase reuses, so the gate sees warm decisions plus one
+# round trip — the steady-state serving cost, not chase cost.
+out=$("$LOADGEN" --addr "$ADDR" --requests 400 --warmup 100 --concurrency 1 \
+    --keep-alive --csv "$CSV")
+echo "$out"
+
+p50=$(sed -n 's/^latency_us .*p50=\([0-9.]*\).*/\1/p' <<<"$out")
+[ -n "$p50" ] || { echo "could not parse warm p50 from loadgen output" >&2; exit 1; }
+
+kill -TERM "$FLQD_PID"
+wait "$FLQD_PID"
+FLQD_PID=
+
+echo "warm keep-alive p50: ${p50}us (budget ${BUDGET_US}us)"
+awk -v p50="$p50" -v budget="$BUDGET_US" 'BEGIN { exit !(p50 < budget) }' || {
+    echo "latency gate FAILED: p50 ${p50}us >= budget ${BUDGET_US}us" >&2
+    exit 1
+}
+echo "latency gate OK"

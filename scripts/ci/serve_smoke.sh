@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# CI smoke for flqd: --ready-fd readiness (no sleep/grep polling),
+# verified verdicts in every client mode (close / batch / keep-alive /
+# pipelined), a pipelined burst over a tiny queue cap answering its tail
+# with 503 + retry-after, and graceful SIGTERM drain.
+#
+# Expects release binaries already built; override with FLQD= / LOADGEN=.
+set -euo pipefail
+
+FLQD=${FLQD:-./target/release/flqd}
+LOADGEN=${LOADGEN:-./target/release/loadgen}
+
+[ -x "$FLQD" ] || { echo "missing $FLQD (build flqd first)" >&2; exit 2; }
+[ -x "$LOADGEN" ] || { echo "missing $LOADGEN (build loadgen first)" >&2; exit 2; }
+
+tmp=$(mktemp -d)
+FLQD_PID=
+cleanup() {
+    [ -n "$FLQD_PID" ] && kill "$FLQD_PID" 2>/dev/null
+    rm -rf "$tmp"
+    return 0
+}
+trap cleanup EXIT
+
+# Starts flqd with the given extra flags; sets ADDR and FLQD_PID. The
+# server writes HOST:PORT to the inherited --ready-fd once the listener
+# is bound, so readiness is an event, not a poll.
+start_flqd() {
+    local fifo="$tmp/ready.$$.$RANDOM.fifo"
+    mkfifo "$fifo"
+    "$FLQD" --addr 127.0.0.1:0 --ready-fd 3 "$@" 3>"$fifo" &
+    FLQD_PID=$!
+    ADDR=$(head -n1 "$fifo")
+    [ -n "$ADDR" ] || { echo "no readiness line from flqd" >&2; exit 1; }
+    echo "flqd up at $ADDR (pid $FLQD_PID)"
+}
+
+# SIGTERM must drain gracefully: exit 0, not a signal death.
+stop_flqd() {
+    kill -TERM "$FLQD_PID"
+    wait "$FLQD_PID"
+    FLQD_PID=
+}
+
+echo "== verified verdicts in every client mode =="
+start_flqd --workers 2
+"$LOADGEN" --addr "$ADDR" --requests 50 --concurrency 2 --verify
+"$LOADGEN" --addr "$ADDR" --requests 20 --batch 4 --verify
+"$LOADGEN" --addr "$ADDR" --requests 50 --concurrency 2 --keep-alive --verify
+"$LOADGEN" --addr "$ADDR" --requests 48 --concurrency 2 --keep-alive --pipeline 8 --verify
+
+echo "== graceful SIGTERM drain =="
+stop_flqd
+
+echo "== pipelined burst over a tiny queue: tail answered 503 =="
+# One worker, queue cap 1: three requests pipelined in a single write
+# arrive nanoseconds apart while each decision costs tens of
+# microseconds, so at least one of the trailing two must be rejected
+# with 503 + retry-after — and the connection must survive to carry the
+# rejection. The last request says `connection: close` so the response
+# stream has an EOF for cat to find.
+start_flqd --workers 1 --queue-cap 1
+host=${ADDR%:*}
+port=${ADDR##*:}
+burst=""
+for i in 1 2 3; do
+    body="{\"q1\":\"q(X) :- sub(X, k$i), sub(k$i, X).\",\"q2\":\"p(X) :- sub(X, Y).\"}"
+    extra=""
+    [ "$i" -eq 3 ] && extra=$'connection: close\r\n'
+    burst+="POST /v1/contains HTTP/1.1"$'\r\n'"host: smoke"$'\r\n'"content-length: ${#body}"$'\r\n'"$extra"$'\r\n'"$body"
+done
+exec 3<>"/dev/tcp/$host/$port"
+printf '%s' "$burst" >&3
+responses=$(timeout 10 cat <&3)
+exec 3<&- 3>&-
+# No line anchors: a response body and the next status line share a
+# line (bodies carry no trailing newline), so count occurrences.
+ok=$(grep -o 'HTTP/1\.1 200 ' <<<"$responses" | wc -l)
+busy=$(grep -o 'HTTP/1\.1 503 ' <<<"$responses" | wc -l)
+echo "pipelined burst: ${ok:-0} x 200, ${busy:-0} x 503"
+head -n1 <<<"$responses" | grep -q ' 200 ' || { echo "first pipelined response was not 200" >&2; exit 1; }
+[ "$((ok + busy))" -eq 3 ] || { echo "expected 3 responses" >&2; exit 1; }
+[ "$busy" -ge 1 ] || { echo "expected at least one 503 at queue-cap 1" >&2; exit 1; }
+grep -qi 'retry-after: 1' <<<"$responses" || { echo "503 missing retry-after" >&2; exit 1; }
+stop_flqd
+
+echo "serve smoke OK"

@@ -20,9 +20,10 @@
 //!                                    (FL001…FL007) with line:col spans
 //! flq eval      <file>               run a program: facts are closed under
 //!                                    Σ_FL, goals/queries are answered
-//! flq serve     [--addr HOST:PORT] [--workers N] [--queue N]
+//! flq serve     [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!               [--cache-bytes N] [--max-body-bytes N] [--threads N]
 //!               [--timeout MS] [--max-conjuncts N] [--read-timeout MS]
+//!               [--ready-fd FD]
 //!                                    run flqd, the resident containment
 //!                                    service, in the foreground
 //! flq help                           print this reference on stdout, exit 0
@@ -41,11 +42,12 @@
 //!   approximate memory budget; default one million).
 //! * `--bound N` — chase level bound for `flq chase` (default `2·|q|`).
 //! * `--dot` — emit the chase graph in Graphviz DOT format.
-//! * `--addr HOST:PORT`, `--workers N`, `--queue N`, `--cache-bytes N`,
-//!   `--max-body-bytes N`, `--read-timeout MS` — `flq serve` knobs
-//!   (listen address, worker pool, accept-queue depth, snapshot-cache
-//!   byte cap, request-body cap, socket/keep-alive timeout); see
-//!   `docs/CLI.md` for the full server reference.
+//! * `--addr HOST:PORT`, `--workers N`, `--queue-cap N`,
+//!   `--cache-bytes N`, `--max-body-bytes N`, `--read-timeout MS`,
+//!   `--ready-fd FD` — `flq serve` knobs (listen address, worker pool,
+//!   dispatch-queue depth, snapshot-cache byte cap, request-body cap,
+//!   keep-alive idle timeout, readiness fd); see `docs/CLI.md` for the
+//!   full server reference.
 //!
 //! Every subcommand additionally accepts:
 //!

@@ -2,9 +2,9 @@
 //! daemon.
 //!
 //! ```text
-//! flqd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-bytes N]
+//! flqd [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-bytes N]
 //!      [--max-body-bytes N] [--threads N] [--timeout MS]
-//!      [--max-conjuncts N] [--read-timeout MS]
+//!      [--max-conjuncts N] [--read-timeout MS] [--ready-fd FD]
 //! ```
 //!
 //! Prints `flqd listening on HOST:PORT` on stdout once bound (with the
