@@ -1,0 +1,923 @@
+//! Σ-admission: the constraint-set static analyzer.
+//!
+//! User-supplied rule sets (`.sigma` files of TGDs/EGDs over the fixed
+//! `P_FL` schema) are *gated* before they ever reach the chase engine:
+//!
+//! 1. **Schema & safety validation** — unknown predicates and arity
+//!    mismatches (`FL010`), unsafe rules (`FL011`: an EGD side that is
+//!    not a body variable, more than one existentially quantified head
+//!    variable, an oversized rule set). These are errors: the set is
+//!    rejected outright.
+//! 2. **Chase-termination classification** — the three classes of the
+//!    Calì–Gottlob–Kifer taxonomy, each with a coded diagnostic when it
+//!    fails: weak acyclicity (`FL012`: a value-invention cycle in the
+//!    dependency graph), guardedness (`FL013`: an existential rule with
+//!    no body atom covering its frontier), stickiness (`FL014`: a marked
+//!    variable occurring twice in a body). These are warnings
+//!    individually; the set is **admitted** when it is error-free and at
+//!    least one class holds. The built-in `Σ_FL` itself is *not* weakly
+//!    acyclic (the `data[2] → member[0] → mandatory[1]` pump) and *not*
+//!    sticky, but is guarded — it is admitted via the guarded class.
+//! 3. **Chase-depth bound derivation** ([`SigmaAdmission::level_bound`])
+//!    — weakly acyclic sets get a terminating-chase bound from the
+//!    existential ranks of the dependency graph; guarded/sticky sets get
+//!    the Theorem 12 shape `2·|q1|·|q2|` (so `Σ_FL`-shaped sets derive
+//!    exactly the built-in bound).
+//!
+//! The guardedness check is deliberately the *frontier-guardedness of
+//! existential rules only*: a Datalog (full) TGD invents nothing, so it
+//! cannot pump the chase regardless of its shape. Textbook guardedness
+//! over all rules would reject `Σ_FL` (ρ2's body `sub(C1,C2), sub(C2,C3)`
+//! has no single guard atom), contradicting the paper's own Theorem 12.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use flogic_model::{Atom, DepGraph, Egd, Pred, PredPos, RuleId, RuleSet, SigmaRule, Tgd};
+use flogic_syntax::{
+    parse_sigma, AstTerm, Pos, SigmaAtomAst, SigmaRuleKindAst, SpannedTerm, SyntaxError,
+};
+use flogic_term::Term;
+
+use crate::diagnostics::{DiagCode, Diagnostic, Severity};
+
+/// A chase-termination class a rule set can fall into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SigmaClass {
+    /// No cycle through an existential edge in the dependency graph: the
+    /// chase terminates on every input.
+    WeaklyAcyclic,
+    /// Every existential rule has a body atom covering all of its
+    /// frontier variables.
+    Guarded,
+    /// The marked-variable propagation terminates with no marked variable
+    /// occurring twice in a rule body.
+    Sticky,
+}
+
+impl SigmaClass {
+    /// All classes, in a fixed order.
+    pub const ALL: [SigmaClass; 3] = [
+        SigmaClass::WeaklyAcyclic,
+        SigmaClass::Guarded,
+        SigmaClass::Sticky,
+    ];
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SigmaClass::WeaklyAcyclic => "weakly acyclic",
+            SigmaClass::Guarded => "guarded",
+            SigmaClass::Sticky => "sticky",
+        }
+    }
+}
+
+impl std::fmt::Display for SigmaClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The analyzer's complete verdict on one rule set: the translated set,
+/// the classes that hold, every diagnostic, and the admission decision.
+#[derive(Clone, Debug)]
+pub struct SigmaAdmission {
+    rule_set: Arc<RuleSet>,
+    classes: Vec<SigmaClass>,
+    diagnostics: Vec<Diagnostic>,
+    admitted: bool,
+}
+
+impl SigmaAdmission {
+    /// The translated rule set (usable with `ChaseOptions::sigma` when
+    /// [`is_admitted`](Self::is_admitted)).
+    pub fn rule_set(&self) -> &Arc<RuleSet> {
+        &self.rule_set
+    }
+
+    /// The chase-termination classes that hold, in [`SigmaClass::ALL`]
+    /// order.
+    pub fn classes(&self) -> &[SigmaClass] {
+        &self.classes
+    }
+
+    /// Every diagnostic, sorted by `(position, code)`.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Whether the set may be handed to the engine: error-free and in at
+    /// least one chase-termination class.
+    pub fn is_admitted(&self) -> bool {
+        self.admitted
+    }
+
+    /// The derived chase level bound for deciding `q1 ⊆_Σ q2` with body
+    /// sizes `n1`, `n2`.
+    ///
+    /// * Weakly acyclic sets: the chase *terminates*; the bound is an
+    ///   upper bound on its depth, derived from the existential ranks of
+    ///   the dependency graph (saturating, clamped to `u32::MAX`). The
+    ///   bounded chase is then the full chase — sound and complete.
+    /// * Guarded or sticky (non-WA) sets: the Theorem 12 shape
+    ///   `2·n1·n2`, matching `flogic-core::bound_from_sizes` exactly, so
+    ///   a `Σ_FL`-shaped custom set derives the identical bound.
+    pub fn level_bound(&self, n1: usize, n2: usize) -> u32 {
+        if self.classes.contains(&SigmaClass::WeaklyAcyclic) {
+            wa_level_bound(&self.rule_set, n1)
+        } else {
+            let product = 2u64.saturating_mul(n1 as u64).saturating_mul(n2 as u64);
+            u32::try_from(product).unwrap_or(u32::MAX)
+        }
+    }
+
+    /// One-line summary of the verdict, e.g.
+    /// `"admitted (guarded); 12 rules"`.
+    pub fn summary(&self) -> String {
+        let classes = if self.classes.is_empty() {
+            "no chase-termination class holds".to_string()
+        } else {
+            self.classes
+                .iter()
+                .map(|c| c.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "{} ({classes}); {} rule(s)",
+            if self.admitted {
+                "admitted"
+            } else {
+                "rejected"
+            },
+            self.rule_set.len(),
+        )
+    }
+}
+
+/// Source positions for diagnostics, indexed by `RuleId::index()`.
+struct Spans {
+    /// Position of each rule's first token.
+    rules: Vec<Pos>,
+    /// Per rule: first *body* occurrence of each (translated) variable.
+    vars: Vec<HashMap<Term, Pos>>,
+}
+
+impl Spans {
+    /// Synthetic spans for sets without source text (built-in or
+    /// generated): rule `i` is said to be at line `i+1`, column 1.
+    fn synthetic(n: usize) -> Spans {
+        Spans {
+            rules: (0..n)
+                .map(|i| Pos {
+                    line: u32::try_from(i).unwrap_or(u32::MAX).saturating_add(1),
+                    col: 1,
+                })
+                .collect(),
+            vars: vec![HashMap::new(); n],
+        }
+    }
+
+    fn rule_pos(&self, id: RuleId) -> Pos {
+        self.rules
+            .get(id.index())
+            .copied()
+            .unwrap_or(Pos { line: 1, col: 1 })
+    }
+
+    fn var_pos(&self, id: RuleId, var: Term) -> Pos {
+        self.vars
+            .get(id.index())
+            .and_then(|m| m.get(&var).copied())
+            .unwrap_or_else(|| self.rule_pos(id))
+    }
+}
+
+/// Renders a translated rule variable for messages, without the reserved
+/// `#` prefix.
+fn var_name(t: Term) -> String {
+    t.to_string().trim_start_matches('#').to_string()
+}
+
+/// Parses and analyzes a `.sigma` source: schema/safety validation,
+/// chase-termination classification, admission decision. `name` labels
+/// the resulting [`RuleSet`] (conventionally the file path).
+///
+/// `Err` only for *parse* errors (malformed tokens or rule shapes);
+/// schema-level problems come back as `FL010`/`FL011` diagnostics in the
+/// (rejected) [`SigmaAdmission`] so one run reports all of them.
+pub fn admit_sigma(src: &str, name: &str) -> Result<SigmaAdmission, SyntaxError> {
+    let ast = parse_sigma(src)?;
+    let mut diagnostics = Vec::new();
+    let mut rules = Vec::new();
+    let mut spans = Spans {
+        rules: Vec::new(),
+        vars: Vec::new(),
+    };
+    let truncated = ast.rules.len().min(usize::from(u16::MAX));
+    if ast.rules.len() > truncated {
+        diagnostics.push(Diagnostic::new(
+            DiagCode::Fl011UnsafeRule,
+            ast.rules[truncated].pos,
+            format!(
+                "rule set has {} rules; at most {} are supported",
+                ast.rules.len(),
+                u16::MAX
+            ),
+        ));
+    }
+    for (i, rule) in ast.rules[..truncated].iter().enumerate() {
+        let id = RuleId::Custom(i as u16);
+        spans.rules.push(rule.pos);
+        let mut var_spans: HashMap<Term, Pos> = HashMap::new();
+        let mut anon = 0u32;
+        let translated = match &rule.kind {
+            SigmaRuleKindAst::Tgd { head, body } => translate_tgd(
+                id,
+                rule.pos,
+                head,
+                body,
+                &mut anon,
+                &mut var_spans,
+                &mut diagnostics,
+            )
+            .map(SigmaRule::Tgd),
+            SigmaRuleKindAst::Egd { left, right, body } => translate_egd(
+                id,
+                left,
+                right,
+                body,
+                &mut anon,
+                &mut var_spans,
+                &mut diagnostics,
+            )
+            .map(SigmaRule::Egd),
+        };
+        spans.vars.push(var_spans);
+        if let Some(r) = translated {
+            rules.push(r);
+        }
+    }
+    let rule_set = Arc::new(RuleSet::new(name, rules));
+    Ok(finish(rule_set, &spans, diagnostics))
+}
+
+/// Classifies an already-built rule set (the built-in `Σ_FL`, or a
+/// generated set) without source text; diagnostics carry synthetic spans
+/// (rule `i` ↦ line `i+1`, column 1).
+pub fn classify_rule_set(rule_set: Arc<RuleSet>) -> SigmaAdmission {
+    let spans = Spans::synthetic(
+        rule_set
+            .rules()
+            .iter()
+            .map(|r| r.id().index() + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    finish(rule_set, &spans, Vec::new())
+}
+
+/// Shared tail of both entry points: classify, sort diagnostics, decide.
+fn finish(
+    rule_set: Arc<RuleSet>,
+    spans: &Spans,
+    mut diagnostics: Vec<Diagnostic>,
+) -> SigmaAdmission {
+    let classes = classify(rule_set.rules(), spans, &mut diagnostics);
+    diagnostics.sort_by_key(|a| (a.pos, a.code));
+    let errors = diagnostics.iter().any(|d| d.severity == Severity::Error);
+    let admitted = !errors && !classes.is_empty();
+    SigmaAdmission {
+        rule_set,
+        classes,
+        diagnostics,
+        admitted,
+    }
+}
+
+// ---- translation (.sigma AST → model rules) ------------------------------
+
+/// Converts one surface term; anonymous `_` gets a fresh reserved
+/// variable per occurrence (so each `_` is independent, as in queries).
+fn translate_term(t: &AstTerm, anon: &mut u32) -> Term {
+    match t {
+        AstTerm::Const(s) => Term::constant(s),
+        AstTerm::Var(s) => Term::var(&format!("#{s}")),
+        AstTerm::Anon => {
+            *anon += 1;
+            Term::var(&format!("#_g{anon}"))
+        }
+    }
+}
+
+/// Validates and converts one atom: predicate must be in the `P_FL`
+/// schema with the right arity (`FL010` otherwise). Records first body
+/// occurrences of variables into `var_spans` when `record_vars`.
+fn translate_atom(
+    atom: &SigmaAtomAst,
+    anon: &mut u32,
+    var_spans: &mut HashMap<Term, Pos>,
+    record_vars: bool,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Option<Atom> {
+    let Some(pred) = Pred::from_name(&atom.name) else {
+        diagnostics.push(Diagnostic::new(
+            DiagCode::Fl010UnknownPredicate,
+            atom.pos,
+            format!(
+                "unknown predicate `{}`; the P_FL schema is member/2, sub/2, \
+                 data/3, type/3, mandatory/2, funct/2",
+                atom.name
+            ),
+        ));
+        return None;
+    };
+    if atom.args.len() != pred.arity() {
+        diagnostics.push(Diagnostic::new(
+            DiagCode::Fl010UnknownPredicate,
+            atom.pos,
+            format!(
+                "predicate `{}` takes {} arguments, got {}",
+                atom.name,
+                pred.arity(),
+                atom.args.len()
+            ),
+        ));
+        return None;
+    }
+    let args: Vec<Term> = atom
+        .args
+        .iter()
+        .map(|SpannedTerm { term, pos }| {
+            let t = translate_term(term, anon);
+            if record_vars && t.is_var() {
+                var_spans.entry(t).or_insert(*pos);
+            }
+            t
+        })
+        .collect();
+    Atom::new(pred, &args).ok()
+}
+
+fn translate_body(
+    body: &[SigmaAtomAst],
+    anon: &mut u32,
+    var_spans: &mut HashMap<Term, Pos>,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Option<Vec<Atom>> {
+    let atoms: Vec<Option<Atom>> = body
+        .iter()
+        .map(|a| translate_atom(a, anon, var_spans, true, diagnostics))
+        .collect();
+    // Collect() after the map so every bad atom is diagnosed, not just
+    // the first.
+    atoms.into_iter().collect()
+}
+
+fn translate_tgd(
+    id: RuleId,
+    rule_pos: Pos,
+    head: &SigmaAtomAst,
+    body: &[SigmaAtomAst],
+    anon: &mut u32,
+    var_spans: &mut HashMap<Term, Pos>,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Option<Tgd> {
+    let body_atoms = translate_body(body, anon, var_spans, diagnostics);
+    let head_atom = translate_atom(head, anon, var_spans, false, diagnostics);
+    let (body, head) = (body_atoms?, head_atom?);
+    let body_vars: Vec<Term> = body.iter().flat_map(Atom::vars).collect();
+    // Head variables absent from the body are implicitly existentially
+    // quantified; the engine supports at most one per rule.
+    let mut existentials: Vec<Term> = Vec::new();
+    for v in head.vars() {
+        if !body_vars.contains(&v) && !existentials.contains(&v) {
+            existentials.push(v);
+        }
+    }
+    if existentials.len() > 1 {
+        diagnostics.push(Diagnostic::new(
+            DiagCode::Fl011UnsafeRule,
+            rule_pos,
+            format!(
+                "rule has {} existentially quantified head variables ({}); \
+                 at most one is supported",
+                existentials.len(),
+                existentials
+                    .iter()
+                    .map(|v| format!("`{}`", var_name(*v)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        ));
+        return None;
+    }
+    Some(Tgd {
+        id,
+        body,
+        head,
+        existential: existentials.pop(),
+    })
+}
+
+fn translate_egd(
+    id: RuleId,
+    left: &SpannedTerm,
+    right: &SpannedTerm,
+    body: &[SigmaAtomAst],
+    anon: &mut u32,
+    var_spans: &mut HashMap<Term, Pos>,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Option<Egd> {
+    let body_atoms = translate_body(body, anon, var_spans, diagnostics)?;
+    let body_vars: Vec<Term> = body_atoms.iter().flat_map(Atom::vars).collect();
+    let mut side = |s: &SpannedTerm| -> Option<Term> {
+        let ok = matches!(s.term, AstTerm::Var(_));
+        let t = translate_term(&s.term, anon);
+        if !ok || !body_vars.contains(&t) {
+            diagnostics.push(Diagnostic::new(
+                DiagCode::Fl011UnsafeRule,
+                s.pos,
+                format!(
+                    "EGD side `{}` must be a variable occurring in the body",
+                    match &s.term {
+                        AstTerm::Const(c) | AstTerm::Var(c) => c.as_str(),
+                        AstTerm::Anon => "_",
+                    }
+                ),
+            ));
+            return None;
+        }
+        Some(t)
+    };
+    let (l, r) = (side(left), side(right));
+    Some(Egd {
+        id,
+        body: body_atoms,
+        left: l?,
+        right: r?,
+    })
+}
+
+// ---- classification ------------------------------------------------------
+
+/// Runs the three classifiers, emitting `FL012`–`FL014` for the failing
+/// ones. Returns the classes that hold, in [`SigmaClass::ALL`] order.
+fn classify(
+    rules: &[SigmaRule],
+    spans: &Spans,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Vec<SigmaClass> {
+    let graph = DepGraph::for_rules(rules);
+    let mut classes = Vec::new();
+    if check_weak_acyclicity(&graph, spans, diagnostics) {
+        classes.push(SigmaClass::WeaklyAcyclic);
+    }
+    if check_guardedness(rules, spans, diagnostics) {
+        classes.push(SigmaClass::Guarded);
+    }
+    if check_stickiness(rules, spans, diagnostics) {
+        classes.push(SigmaClass::Sticky);
+    }
+    classes
+}
+
+/// Weak acyclicity: the dependency graph has no cycle through an
+/// existential edge ([`DepGraph::invention_cycles`] is empty). One
+/// `FL012` per cycle, anchored at the existential rule that closes it.
+fn check_weak_acyclicity(
+    graph: &DepGraph,
+    spans: &Spans,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> bool {
+    let cycles = graph.invention_cycles();
+    for cycle in &cycles {
+        let (first, last) = (cycle[0], cycle[cycle.len() - 1]);
+        // The existential edge last → first closes the cycle; its rule is
+        // the value inventor the diagnostic points at.
+        let closing_rule = graph
+            .edges()
+            .iter()
+            .find(|e| e.existential && e.from == last && e.to == first)
+            .map(|e| e.rule);
+        let path = cycle
+            .iter()
+            .map(PredPos::to_string)
+            .collect::<Vec<_>>()
+            .join(" → ");
+        let (pos, via) = match closing_rule {
+            Some(id) => (spans.rule_pos(id), format!(" (closed by rule {id})")),
+            None => (Pos { line: 1, col: 1 }, String::new()),
+        };
+        diagnostics.push(Diagnostic::new(
+            DiagCode::Fl012NotWeaklyAcyclic,
+            pos,
+            format!(
+                "value-invention cycle {path}{via}: the chase may invent \
+                 unboundedly many nulls"
+            ),
+        ));
+    }
+    cycles.is_empty()
+}
+
+/// Guardedness (for admission): every *existential* rule must have a body
+/// atom containing all of its frontier variables (head variables that
+/// also occur in the body). Datalog rules invent nothing and are exempt —
+/// see the module docs for why this deliberately differs from textbook
+/// guardedness.
+fn check_guardedness(
+    rules: &[SigmaRule],
+    spans: &Spans,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> bool {
+    let mut guarded = true;
+    for rule in rules {
+        let SigmaRule::Tgd(tgd) = rule else { continue };
+        if tgd.existential.is_none() {
+            continue;
+        }
+        let body_vars: Vec<Term> = tgd.body.iter().flat_map(Atom::vars).collect();
+        let frontier: Vec<Term> = tgd.head.vars().filter(|v| body_vars.contains(v)).collect();
+        let covers = |a: &Atom, v: Term| a.vars().any(|x| x == v);
+        if tgd
+            .body
+            .iter()
+            .any(|a| frontier.iter().all(|v| covers(a, *v)))
+        {
+            continue;
+        }
+        guarded = false;
+        // Anchor at a frontier variable the best-covering atom misses.
+        let best = tgd
+            .body
+            .iter()
+            .max_by_key(|a| frontier.iter().filter(|v| covers(a, **v)).count())
+            .expect("TGD bodies are non-empty");
+        let missing = frontier
+            .iter()
+            .copied()
+            .find(|v| !covers(best, *v))
+            .unwrap_or(frontier[0]);
+        diagnostics.push(Diagnostic::new(
+            DiagCode::Fl013NotGuarded,
+            spans.var_pos(tgd.id, missing),
+            format!(
+                "existential rule {} has no body atom covering its frontier \
+                 variables {}; `{}` is left unguarded",
+                tgd.id,
+                frontier
+                    .iter()
+                    .map(|v| format!("`{}`", var_name(*v)))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                var_name(missing)
+            ),
+        ));
+    }
+    guarded
+}
+
+/// Stickiness: the marked-variable propagation of the sticky-Datalog±
+/// test. Initially every body variable absent from its rule's head is
+/// marked; then, to a fixpoint, a head variable sitting at a predicate
+/// position where *any* rule has a marked body occurrence becomes marked
+/// in its own rule's body. Sticky iff no marked variable occurs twice in
+/// a body. One `FL014` per violating rule.
+fn check_stickiness(rules: &[SigmaRule], spans: &Spans, diagnostics: &mut Vec<Diagnostic>) -> bool {
+    let tgds: Vec<&Tgd> = rules
+        .iter()
+        .filter_map(|r| match r {
+            SigmaRule::Tgd(t) => Some(t),
+            SigmaRule::Egd(_) => None,
+        })
+        .collect();
+    // marked[r]: the marked variables of rule r. marked_pos: predicate
+    // positions holding a marked body occurrence in any rule.
+    let mut marked: Vec<Vec<Term>> = Vec::with_capacity(tgds.len());
+    for tgd in &tgds {
+        let head_vars: Vec<Term> = tgd.head.vars().collect();
+        let mut m: Vec<Term> = Vec::new();
+        for a in &tgd.body {
+            for v in a.vars() {
+                if !head_vars.contains(&v) && !m.contains(&v) {
+                    m.push(v);
+                }
+            }
+        }
+        marked.push(m);
+    }
+    let mut marked_pos: Vec<bool> = vec![false; PredPos::COUNT];
+    loop {
+        let mut changed = false;
+        for (r, tgd) in tgds.iter().enumerate() {
+            for v in &marked[r] {
+                for a in &tgd.body {
+                    for (i, t) in a.args().iter().enumerate() {
+                        if t == v {
+                            let idx = PredPos {
+                                pred: a.pred(),
+                                pos: i,
+                            }
+                            .index();
+                            if !marked_pos[idx] {
+                                marked_pos[idx] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (r, tgd) in tgds.iter().enumerate() {
+            for (j, t) in tgd.head.args().iter().enumerate() {
+                if !t.is_var() || marked[r].contains(t) {
+                    continue;
+                }
+                let idx = PredPos {
+                    pred: tgd.head.pred(),
+                    pos: j,
+                }
+                .index();
+                if marked_pos[idx] {
+                    marked[r].push(*t);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut sticky = true;
+    for (r, tgd) in tgds.iter().enumerate() {
+        let violator = marked[r].iter().copied().find(|v| {
+            tgds[r]
+                .body
+                .iter()
+                .flat_map(|a| a.args().iter().filter(|t| *t == v))
+                .count()
+                >= 2
+        });
+        let Some(v) = violator else { continue };
+        sticky = false;
+        diagnostics.push(Diagnostic::new(
+            DiagCode::Fl014NotSticky,
+            spans.var_pos(tgd.id, v),
+            format!(
+                "marked variable `{}` occurs more than once in the body of \
+                 rule {}: derivations do not stick",
+                var_name(v),
+                tgd.id
+            ),
+        ));
+    }
+    sticky
+}
+
+// ---- derived bounds ------------------------------------------------------
+
+/// Chase-depth bound for a weakly acyclic rule set on a query with `n1`
+/// body atoms: the standard rank argument (Fagin et al.). Every value in
+/// the chase sits at positions of bounded *existential rank* (max number
+/// of existential edges on a dependency path); per rank step the number
+/// of distinct values grows at most polynomially, the total number of
+/// distinct conjuncts is bounded by the value count raised to the
+/// predicate arities, and the level of a conjunct never exceeds the
+/// number of conjuncts (each level needs a strictly deeper parent).
+/// All arithmetic saturates; the result clamps to `u32::MAX` (a clamp is
+/// sound: a too-*large* bound only lets the chase run to its natural
+/// fixpoint, which weak acyclicity guarantees it reaches).
+fn wa_level_bound(rule_set: &RuleSet, n1: usize) -> u32 {
+    let graph = DepGraph::for_rules(rule_set.rules());
+    // Existential ranks by relaxation; weak acyclicity (checked before
+    // this is called) guarantees convergence, the iteration cap is a
+    // defensive backstop for direct callers.
+    let mut rank = [0u64; PredPos::COUNT];
+    for _ in 0..=graph.edges().len() * PredPos::COUNT {
+        let mut changed = false;
+        for e in graph.edges() {
+            let bump = u64::from(e.existential);
+            let candidate = rank[e.from.index()].saturating_add(bump);
+            if candidate > rank[e.to.index()] {
+                rank[e.to.index()] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let max_rank = rank.iter().copied().max().unwrap_or(0).min(64);
+    // Values at rank 0: the query's own terms (≤ 3 per atom, arities ≤ 3).
+    let mut values: u64 = (n1 as u64).saturating_mul(3).max(1);
+    let inventors = rule_set
+        .tgds()
+        .iter()
+        .filter(|t| t.existential.is_some())
+        .count() as u64;
+    for _ in 0..max_rank {
+        // Each existential rule invents at most one null per distinct
+        // image of its (≤ 3) frontier variables.
+        let invented = inventors.saturating_mul(values.saturating_pow(3));
+        values = values.saturating_add(invented);
+    }
+    // Distinct conjuncts: 4 binary and 2 ternary predicates.
+    let conjuncts = values
+        .saturating_pow(2)
+        .saturating_mul(4)
+        .saturating_add(values.saturating_pow(3).saturating_mul(2));
+    u32::try_from(conjuncts).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(a: &SigmaAdmission) -> Vec<DiagCode> {
+        a.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn sigma_fl_is_guarded_not_wa_not_sticky_and_admitted() {
+        let a = classify_rule_set(RuleSet::sigma_fl().clone());
+        assert!(a.is_admitted());
+        assert_eq!(a.classes(), &[SigmaClass::Guarded]);
+        // The value-invention pump of Σ_FL, exactly as the dependency
+        // graph reports it, closed by ρ5.
+        let fl012: Vec<_> = a
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == DiagCode::Fl012NotWeaklyAcyclic)
+            .collect();
+        assert_eq!(fl012.len(), 1);
+        assert!(
+            fl012[0]
+                .message
+                .contains("data[2] → member[0] → mandatory[1]"),
+            "unexpected cycle message: {}",
+            fl012[0].message
+        );
+        assert!(fl012[0].message.contains("rho5"));
+        // Synthetic span: ρ5 is the 5th rule.
+        assert_eq!(fl012[0].pos, Pos { line: 5, col: 1 });
+        // Not sticky either (ρ1 marks `O`, which repeats in its body).
+        assert!(codes(&a).contains(&DiagCode::Fl014NotSticky));
+        // Warnings only: the set is admitted via the guarded class.
+        assert!(a
+            .diagnostics()
+            .iter()
+            .all(|d| d.severity == Severity::Warning));
+        assert!(a.summary().starts_with("admitted (guarded)"));
+    }
+
+    #[test]
+    fn transitive_set_is_weakly_acyclic_but_not_sticky() {
+        let a = admit_sigma("sub(X, Z) :- sub(X, Y), sub(Y, Z).", "transitive").unwrap();
+        assert!(a.is_admitted());
+        assert_eq!(
+            a.classes(),
+            &[SigmaClass::WeaklyAcyclic, SigmaClass::Guarded],
+            "no existential rules: trivially guarded"
+        );
+        // `Y` is marked (absent from the head) and occurs twice.
+        let d = &a.diagnostics()[0];
+        assert_eq!(d.code, DiagCode::Fl014NotSticky);
+        assert!(d.message.contains("`Y`"));
+        // First body occurrence of Y: `sub(X, Y)`'s second argument.
+        assert_eq!(d.pos, Pos { line: 1, col: 21 });
+    }
+
+    #[test]
+    fn unknown_predicates_and_arities_are_fl010_errors_with_spans() {
+        let src = "frobnicate(A, B) :- member(A, B).\n\
+                   member(V, C) :- data(O, V).\n";
+        let a = admit_sigma(src, "bad").unwrap();
+        assert!(!a.is_admitted());
+        let diags = a.diagnostics();
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::Fl010UnknownPredicate
+                && d.severity == Severity::Error
+                && d.pos == Pos { line: 1, col: 1 }
+                && d.message.contains("frobnicate")));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::Fl010UnknownPredicate
+                && d.pos == Pos { line: 2, col: 17 }
+                && d.message.contains("takes 3 arguments, got 2")));
+    }
+
+    #[test]
+    fn unsafe_rules_are_fl011_errors() {
+        // EGD side is a constant.
+        let a = admit_sigma("c = W :- data(O, A, W), funct(A, O).", "egd").unwrap();
+        assert!(!a.is_admitted());
+        assert!(a
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::Fl011UnsafeRule
+                && d.pos == Pos { line: 1, col: 1 }
+                && d.message.contains("`c`")));
+        // EGD side is a variable that never occurs in the body.
+        let a = admit_sigma("V = W :- data(O, A, W), funct(A, O).", "egd2").unwrap();
+        assert!(!a.is_admitted());
+        assert!(codes(&a).contains(&DiagCode::Fl011UnsafeRule));
+        // Two existential head variables.
+        let a = admit_sigma("data(O, A, V) :- member(O, C).", "two-ex").unwrap();
+        assert!(!a.is_admitted());
+        assert!(a
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagCode::Fl011UnsafeRule
+                && d.message.contains("2 existentially quantified")));
+    }
+
+    #[test]
+    fn set_failing_all_three_classes_is_rejected_with_warnings_only() {
+        let src = "data(O, A, V) :- member(O, C), type(C, A, T).\n\
+                   member(V, C) :- data(O, A, V), type(O, A, C).\n\
+                   type(V, A, T) :- member(V, T), mandatory(A, T).\n";
+        let a = admit_sigma(src, "rejected").unwrap();
+        assert!(!a.is_admitted());
+        assert!(a.classes().is_empty());
+        let cs = codes(&a);
+        assert!(cs.contains(&DiagCode::Fl012NotWeaklyAcyclic));
+        assert!(cs.contains(&DiagCode::Fl013NotGuarded));
+        assert!(cs.contains(&DiagCode::Fl014NotSticky));
+        // Every diagnostic carries a real span.
+        assert!(a
+            .diagnostics()
+            .iter()
+            .all(|d| d.pos.line >= 1 && d.pos.col >= 1));
+        assert!(a.summary().starts_with("rejected"));
+    }
+
+    #[test]
+    fn unguarded_existential_rule_span_points_at_missing_frontier_var() {
+        let src = "data(O, A, V) :- member(O, C), type(C, A, T).";
+        let a = admit_sigma(src, "unguarded").unwrap();
+        let d = a
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == DiagCode::Fl013NotGuarded)
+            .expect("FL013 expected");
+        // Frontier is {O, A}; whichever atom is picked as best guard, the
+        // missing variable's span is its first body occurrence.
+        let o_pos = Pos { line: 1, col: 25 };
+        let a_pos = Pos { line: 1, col: 40 };
+        assert!(d.pos == o_pos || d.pos == a_pos, "got {:?}", d.pos);
+    }
+
+    #[test]
+    fn non_wa_sets_derive_the_theorem_12_bound() {
+        let a = classify_rule_set(RuleSet::sigma_fl().clone());
+        assert_eq!(a.level_bound(3, 4), 24);
+        assert_eq!(a.level_bound(1, 1), 2);
+        // Saturation, not overflow.
+        assert_eq!(a.level_bound(usize::MAX, 2), u32::MAX);
+    }
+
+    #[test]
+    fn wa_sets_derive_a_rank_based_bound_independent_of_q2() {
+        let a = admit_sigma("sub(X, Z) :- sub(X, Y), sub(Y, Z).", "transitive").unwrap();
+        let b = a.level_bound(2, 5);
+        assert_eq!(b, a.level_bound(2, 500));
+        // No existential rules: values stay at 3·n1 = 6, conjuncts at
+        // 4·6² + 2·6³.
+        assert_eq!(b, 4 * 36 + 2 * 216);
+    }
+
+    #[test]
+    fn guarded_existential_non_wa_set_admits_via_guardedness() {
+        let src = "data(O, A, V) :- mandatory(A, O).\n\
+                   mandatory(A, V) :- data(O, A, V).\n";
+        let a = admit_sigma(src, "pump").unwrap();
+        assert!(a.is_admitted());
+        assert!(a.classes().contains(&SigmaClass::Guarded));
+        assert!(!a.classes().contains(&SigmaClass::WeaklyAcyclic));
+        assert!(codes(&a).contains(&DiagCode::Fl012NotWeaklyAcyclic));
+    }
+
+    #[test]
+    fn anonymous_body_variables_are_fresh_and_legal() {
+        let a = admit_sigma("member(O, C) :- member(O, _), sub(_, C).", "anon").unwrap();
+        // Each `_` is a distinct variable; the rule is a plain Datalog TGD.
+        assert!(a.is_admitted());
+        assert_eq!(a.rule_set().len(), 1);
+    }
+
+    #[test]
+    fn empty_rule_set_is_admitted_and_trivially_in_every_class() {
+        let a = admit_sigma("% nothing here\n", "empty").unwrap();
+        assert!(a.is_admitted());
+        assert_eq!(a.classes(), &SigmaClass::ALL);
+        assert!(a.diagnostics().is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_err_not_diagnostics() {
+        assert!(admit_sigma("member(A, B) :- ", "broken").is_err());
+    }
+}

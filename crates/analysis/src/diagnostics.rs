@@ -29,11 +29,26 @@ pub enum DiagCode {
     /// A query atom whose predicate is not derivable from the fact base:
     /// the atom can never be satisfied and the query is statically empty.
     Fl007DeadQueryAtom,
+    /// A `.sigma` rule uses a predicate outside the fixed `P_FL` schema,
+    /// or with the wrong number of arguments.
+    Fl010UnknownPredicate,
+    /// A `.sigma` rule is unsafe: an EGD side that is not a body variable,
+    /// more than one existential head variable, or an oversized rule set.
+    Fl011UnsafeRule,
+    /// The rule set is not weakly acyclic: its dependency graph has a
+    /// cycle through an existential edge, so the chase may not terminate.
+    Fl012NotWeaklyAcyclic,
+    /// An existential rule is unguarded: no single body atom covers all
+    /// of its frontier variables.
+    Fl013NotGuarded,
+    /// The rule set is not sticky: a marked variable occurs more than
+    /// once in some rule body.
+    Fl014NotSticky,
 }
 
 impl DiagCode {
     /// All codes, in numeric order.
-    pub const ALL: [DiagCode; 7] = [
+    pub const ALL: [DiagCode; 12] = [
         DiagCode::Fl001SingletonVariable,
         DiagCode::Fl002AnonymousInHead,
         DiagCode::Fl003ConflictingCardinality,
@@ -41,6 +56,11 @@ impl DiagCode {
         DiagCode::Fl005UndeclaredReference,
         DiagCode::Fl006ShadowedSignature,
         DiagCode::Fl007DeadQueryAtom,
+        DiagCode::Fl010UnknownPredicate,
+        DiagCode::Fl011UnsafeRule,
+        DiagCode::Fl012NotWeaklyAcyclic,
+        DiagCode::Fl013NotGuarded,
+        DiagCode::Fl014NotSticky,
     ];
 
     /// The stable code string, e.g. `"FL001"`.
@@ -53,6 +73,11 @@ impl DiagCode {
             DiagCode::Fl005UndeclaredReference => "FL005",
             DiagCode::Fl006ShadowedSignature => "FL006",
             DiagCode::Fl007DeadQueryAtom => "FL007",
+            DiagCode::Fl010UnknownPredicate => "FL010",
+            DiagCode::Fl011UnsafeRule => "FL011",
+            DiagCode::Fl012NotWeaklyAcyclic => "FL012",
+            DiagCode::Fl013NotGuarded => "FL013",
+            DiagCode::Fl014NotSticky => "FL014",
         }
     }
 
@@ -66,13 +91,25 @@ impl DiagCode {
             DiagCode::Fl005UndeclaredReference => "reference to undeclared constant",
             DiagCode::Fl006ShadowedSignature => "shadowed signature redeclaration",
             DiagCode::Fl007DeadQueryAtom => "dead query atom",
+            DiagCode::Fl010UnknownPredicate => "unknown predicate or wrong arity",
+            DiagCode::Fl011UnsafeRule => "unsafe rule",
+            DiagCode::Fl012NotWeaklyAcyclic => "rule set is not weakly acyclic",
+            DiagCode::Fl013NotGuarded => "unguarded existential rule",
+            DiagCode::Fl014NotSticky => "rule set is not sticky",
         }
     }
 
     /// The default severity of the code.
+    ///
+    /// `FL012`–`FL014` are warnings individually: each reports one failed
+    /// chase-termination class, and a rule set is admitted as long as *at
+    /// least one* class holds (the built-in `Σ_FL` itself is not weakly
+    /// acyclic, but is guarded).
     pub const fn severity(self) -> Severity {
         match self {
-            DiagCode::Fl002AnonymousInHead => Severity::Error,
+            DiagCode::Fl002AnonymousInHead
+            | DiagCode::Fl010UnknownPredicate
+            | DiagCode::Fl011UnsafeRule => Severity::Error,
             _ => Severity::Warning,
         }
     }
@@ -150,13 +187,18 @@ mod tests {
             assert_eq!(c.code().len(), 5);
             assert!(!c.title().is_empty());
         }
-        assert_eq!(seen.len(), 7);
+        assert_eq!(seen.len(), 12);
     }
 
     #[test]
-    fn only_anonymous_head_is_an_error() {
+    fn error_codes_are_exactly_the_rejecting_ones() {
         for c in DiagCode::ALL {
-            let expect = c == DiagCode::Fl002AnonymousInHead;
+            let expect = matches!(
+                c,
+                DiagCode::Fl002AnonymousInHead
+                    | DiagCode::Fl010UnknownPredicate
+                    | DiagCode::Fl011UnsafeRule
+            );
             assert_eq!(c.severity() == Severity::Error, expect, "{c}");
         }
     }

@@ -22,7 +22,7 @@
 //!    bound. `q1` is unsatisfiable w.r.t. `Σ_FL`, hence vacuously
 //!    contained in every query of its arity.
 //!
-use flogic_model::{ConjunctiveQuery, DepGraph, Pred, PredSet};
+use flogic_model::{ConjunctiveQuery, DepGraph, Pred, PredSet, RuleSet};
 use flogic_term::Term;
 
 /// Static facts about one (left-hand) query, computed once and reusable
@@ -31,13 +31,33 @@ use flogic_term::Term;
 pub struct QueryAnalysis {
     closure: PredSet,
     distinct_constants: usize,
+    egd_may_fire: bool,
 }
 
 impl QueryAnalysis {
-    /// Analyzes `q1` (the contained side of `q1 ⊆ q2`).
+    /// Analyzes `q1` (the contained side of `q1 ⊆ q2`) against the
+    /// built-in `Σ_FL`.
     pub fn new(q1: &ConjunctiveQuery) -> QueryAnalysis {
-        let seed: PredSet = q1.body().iter().map(|a| a.pred()).collect();
-        let closure = DepGraph::sigma_fl().derivable_preds(seed);
+        QueryAnalysis::for_rules(q1, RuleSet::sigma_fl())
+    }
+
+    /// Analyzes `q1` against an arbitrary (admitted) rule set: the
+    /// derivability closure uses the set's own dependency graph, and the
+    /// cannot-fail guard asks whether *any* of its EGDs could fire (all
+    /// of an EGD's body predicates derivable). For `Σ_FL` this reduces to
+    /// exactly the ρ4 check [`QueryAnalysis::new`] always made (ρ4's body
+    /// predicates are `data` and `funct`).
+    pub fn for_rules(q1: &ConjunctiveQuery, sigma: &RuleSet) -> QueryAnalysis {
+        let seed: PredSet = q1.body().iter().map(flogic_model::Atom::pred).collect();
+        let closure = if sigma.is_sigma_fl() {
+            DepGraph::sigma_fl().derivable_preds(seed)
+        } else {
+            DepGraph::for_rules(sigma.rules()).derivable_preds(seed)
+        };
+        let egd_may_fire = sigma
+            .egds()
+            .iter()
+            .any(|e| e.body.iter().all(|a| closure.contains(a.pred())));
         let mut constants: Vec<Term> = q1
             .body()
             .iter()
@@ -49,6 +69,7 @@ impl QueryAnalysis {
         QueryAnalysis {
             closure,
             distinct_constants: constants.len(),
+            egd_may_fire,
         }
     }
 
@@ -62,15 +83,14 @@ impl QueryAnalysis {
     /// constants)? `false` is a *proof* that it cannot; `true` only means
     /// the static analysis cannot rule it out.
     ///
-    /// ρ4 needs a full body `data, data, funct` in the chase and two
+    /// An EGD needs its full body derivable in the chase and two
     /// **distinct constants** in the equated value positions (merging a
     /// variable or null always succeeds). So the chase provably cannot
-    /// fail when `data` or `funct` is underivable, or when the body
+    /// fail when no EGD has all its body predicates in the closure (for
+    /// `Σ_FL`: ρ4's `data` or `funct` underivable), or when the body
     /// mentions at most one distinct constant.
     pub fn chase_may_fail(&self) -> bool {
-        self.closure.contains(Pred::Data)
-            && self.closure.contains(Pred::Funct)
-            && self.distinct_constants >= 2
+        self.egd_may_fire && self.distinct_constants >= 2
     }
 
     /// Sound early-`false` check: `true` means `q1 ⊄ q2` is certain —

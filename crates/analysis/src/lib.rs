@@ -19,18 +19,30 @@
 //!    when `q1` carries a visible ρ4 violation and is unsatisfiable.
 //!    `flogic-core::contains_with` consults these before chasing (toggle
 //!    with `ContainmentOptions::analysis`).
+//! 4. **Σ-admission** ([`admit_sigma`], [`classify_rule_set`]): the
+//!    constraint-set gate for user-supplied `.sigma` rule files. It
+//!    validates rules against the `P_FL` schema (`FL010`/`FL011`,
+//!    errors), classifies the set into the chase-termination taxonomy —
+//!    weak acyclicity, guardedness, stickiness — with `FL012`–`FL014`
+//!    warnings for the failing classes, and derives a per-class chase
+//!    level bound ([`SigmaAdmission::level_bound`]). A set is admitted
+//!    when it is error-free and at least one class holds.
 //!
 //! The diagnostic surface is the `flq lint` subcommand:
 //!
 //! ```text
 //! $ flq lint program.fl
 //! program.fl:3:7: warning[FL001]: variable `X` occurs only once in `q`; …
+//! $ flq lint --sigma rules.sigma
+//! rules.sigma:2:11: error[FL010]: unknown predicate `frobnicate`; …
 //! ```
 
+mod admission;
 mod diagnostics;
 mod fastpath;
 mod lints;
 
+pub use admission::{admit_sigma, classify_rule_set, SigmaAdmission, SigmaClass};
 pub use diagnostics::{DiagCode, Diagnostic, Severity};
 pub use fastpath::{direct_unsat, QueryAnalysis};
 pub use lints::{analyze_program, lint_source};

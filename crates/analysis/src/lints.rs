@@ -62,14 +62,14 @@ struct FactInfo {
 
 impl FactInfo {
     fn collect(program: &Program) -> FactInfo {
+        // (class, attr) → earlier signature declarations (card, typ, pos).
+        type SigDecls = Vec<(Option<Card>, Option<String>, Pos)>;
         let mut info = FactInfo {
             any: false,
             declared: HashSet::new(),
             preds: PredSet::EMPTY,
             diagnostics: Vec::new(),
         };
-        // (class, attr) → earlier signature declarations (card, typ, pos).
-        type SigDecls = Vec<(Option<Card>, Option<String>, Pos)>;
         let mut signatures: HashMap<(String, String), SigDecls> = HashMap::new();
         // Canonical rendering of each declared unit, for FL004.
         let mut seen_decls: HashSet<String> = HashSet::new();
@@ -312,11 +312,9 @@ fn schema_constants(m: &Molecule) -> Vec<(&str, Pos)> {
         } => {
             // Class/attribute argument positions of each P_FL predicate.
             let check: &[usize] = match Pred::from_name(name) {
-                Some(Pred::Member) => &[1],
-                Some(Pred::Sub) => &[0, 1],
-                Some(Pred::Data) => &[1],
+                Some(Pred::Member | Pred::Data) => &[1],
+                Some(Pred::Sub | Pred::Mandatory | Pred::Funct) => &[0, 1],
                 Some(Pred::Type) => &[1, 2],
-                Some(Pred::Mandatory) | Some(Pred::Funct) => &[0, 1],
                 None => &[],
             };
             check
@@ -359,7 +357,7 @@ fn decl_units(m: &Molecule) -> Vec<(String, Pos)> {
             })
             .collect(),
         Molecule::Pred { name, args, pos } => {
-            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            let args: Vec<String> = args.iter().map(std::string::ToString::to_string).collect();
             vec![(format!("{name}({})", args.join(", ")), *pos)]
         }
     }

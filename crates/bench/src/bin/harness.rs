@@ -73,6 +73,13 @@ fn run(id: &str, quick: bool, threads: usize) -> Option<ExperimentOutput> {
                 experiments::e12(16, 4)
             }
         }
+        "e13" => {
+            if quick {
+                experiments::e13(40, 3)
+            } else {
+                experiments::e13(150, 5)
+            }
+        }
         _ => return None,
     };
     Some(out)
@@ -102,7 +109,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = (1..=12).map(|i| format!("e{i}")).collect();
+        ids = (1..=13).map(|i| format!("e{i}")).collect();
     }
 
     let dir = out_dir();
@@ -122,7 +129,7 @@ fn main() {
     for id in &ids {
         let before = Metrics::global().snapshot();
         let Some(output) = run(id, quick, threads) else {
-            eprintln!("unknown experiment `{id}` (expected e1..e12)");
+            eprintln!("unknown experiment `{id}` (expected e1..e13)");
             std::process::exit(2);
         };
         for (i, table) in output.tables.iter().enumerate() {

@@ -2,10 +2,11 @@
 //! discipline of Section 4).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use flogic_model::{
-    sigma_fl, Atom, ConjunctiveQuery, Pred, RuleId, SigmaRule, Tgd, SIGMA_RULE_COUNT,
+    sigma_fl, Atom, ConjunctiveQuery, Egd, Pred, RuleId, RuleSet, SigmaRule, Tgd, SIGMA_RULE_COUNT,
 };
 use flogic_obs::{ChaseEvent, SpanKind, TraceHandle};
 use flogic_term::{Metrics, NullGen, Subst, Term};
@@ -43,6 +44,13 @@ pub struct ChaseOptions {
     /// never changes which rule applications happen (it only observes),
     /// so traced runs stay bit-identical to untraced ones.
     pub trace: TraceHandle,
+    /// The rule set to chase with. Defaults to the built-in `Σ_FL`; any
+    /// set structurally equal to it (`RuleSet::is_sigma_fl`) is routed
+    /// onto the specialized `Σ_FL` code paths, so a parsed copy of the
+    /// built-in rules behaves bit-identically to the default. Custom sets
+    /// must be admitted by the Σ-admission analyzer (`flogic-analysis`)
+    /// before they reach the engine.
+    pub sigma: Arc<RuleSet>,
 }
 
 impl Default for ChaseOptions {
@@ -53,6 +61,7 @@ impl Default for ChaseOptions {
             threads: 1,
             budget: Budget::default(),
             trace: TraceHandle::Disabled,
+            sigma: RuleSet::sigma_fl().clone(),
         }
     }
 }
@@ -94,7 +103,12 @@ impl ChaseOutcome {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ChaseStats {
     /// Successful applications per rule (index = `RuleId::index()`).
+    /// Custom rule sets with more than [`SIGMA_RULE_COUNT`] rules spill
+    /// applications of the excess rules into [`ChaseStats::applications_tail`].
     pub applications: [usize; SIGMA_RULE_COUNT],
+    /// Applications of custom rules with `RuleId::index() >= SIGMA_RULE_COUNT`
+    /// (zero on every `Σ_FL` run).
+    pub applications_tail: usize,
     /// Number of term merges performed by ρ4.
     pub merges: usize,
     /// Number of cross-arcs recorded.
@@ -110,7 +124,15 @@ pub struct ChaseStats {
 impl ChaseStats {
     /// Total successful rule applications.
     pub fn total_applications(&self) -> usize {
-        self.applications.iter().sum()
+        self.applications.iter().sum::<usize>() + self.applications_tail
+    }
+
+    /// Records one successful application of `rule`.
+    fn record_application(&mut self, rule: RuleId) {
+        match self.applications.get_mut(rule.index()) {
+            Some(slot) => *slot += 1,
+            None => self.applications_tail += 1,
+        }
     }
 }
 
@@ -169,6 +191,10 @@ pub struct Chase {
     /// Record cross-arcs (enabled for the bounded phase only; level-0
     /// cross-arcs carry no information and would bloat the graph).
     record_cross: bool,
+    /// EGDs of a custom rule set; `None` runs the specialized ρ4 scan of
+    /// the built-in `Σ_FL` (which every structurally-`Σ_FL` set routes
+    /// onto, keeping default runs bit-identical).
+    custom_egds: Option<Vec<Egd>>,
 }
 
 impl Chase {
@@ -189,6 +215,7 @@ impl Chase {
             trace: TraceHandle::Disabled,
             hit_bound: false,
             record_cross: false,
+            custom_egds: None,
         };
         for atom in q.body() {
             if chase.insert(*atom, 0, None, Vec::new()).is_none() {
@@ -450,7 +477,68 @@ impl Chase {
             .collect()
     }
 
-    // ---- EGD (ρ4) ---------------------------------------------------------
+    // ---- EGDs -------------------------------------------------------------
+
+    /// Applies the active EGDs to exhaustion (Definition 2, chase step
+    /// (a)): the specialized ρ4 scan for the built-in `Σ_FL`, or the
+    /// generic per-EGD matcher for a custom rule set.
+    ///
+    /// Returns `Err((left, right))` when two distinct rigid constants must
+    /// be equated, `Ok(true)` if any merge happened.
+    fn drain_egds(&mut self) -> Result<bool, (Term, Term)> {
+        match self.custom_egds.take() {
+            None => self.egd_fixpoint(),
+            Some(egds) => {
+                let out = self.egd_fixpoint_general(&egds);
+                self.custom_egds = Some(egds);
+                out
+            }
+        }
+    }
+
+    /// The generic EGD fixpoint for custom rule sets: each EGD's body is
+    /// matched with [`Chase::match_body_pinned`] (pinned on its first
+    /// atom, over a cloned per-predicate index in numeric id order, so
+    /// enumeration order is a pure function of the chase history), and
+    /// every homomorphism demands one equation. Union-find semantics are
+    /// identical to the ρ4 scan: lexicographically smaller representative
+    /// wins, two distinct constants clash.
+    fn egd_fixpoint_general(&mut self, egds: &[Egd]) -> Result<bool, (Term, Term)> {
+        let mut changed_any = false;
+        loop {
+            let mut uf: HashMap<Term, Term> = HashMap::new();
+            let mut pending = false;
+            for egd in egds {
+                let Some(first) = egd.body.first() else {
+                    continue;
+                };
+                let ids: Vec<ConjunctId> = self.by_pred[first.pred().index()].clone();
+                let mut equations: Vec<(Term, Term)> = Vec::new();
+                for id in ids {
+                    self.match_body_pinned(&egd.body, 0, id, &mut |s, _| {
+                        equations.push((s.apply(egd.left), s.apply(egd.right)));
+                    });
+                }
+                for (l, r) in equations {
+                    let rl = find(&uf, l);
+                    let rr = find(&uf, r);
+                    if rl != rr {
+                        if rl.is_const() && rr.is_const() {
+                            return Err((rl.min(rr), rl.max(rr)));
+                        }
+                        let (keep, drop) = if rl < rr { (rl, rr) } else { (rr, rl) };
+                        uf.insert(drop, keep);
+                        pending = true;
+                    }
+                }
+            }
+            if !pending {
+                return Ok(changed_any);
+            }
+            self.commit_merge(&uf);
+            changed_any = true;
+        }
+    }
 
     /// Applies ρ4 to exhaustion (Definition 2, chase step (a)).
     ///
@@ -461,22 +549,6 @@ impl Chase {
         loop {
             // Collect all equations demanded by ρ4 in the current state.
             let mut uf: HashMap<Term, Term> = HashMap::new();
-            // Walks the parent chain; returns the root and the number of
-            // hops (the union-find depth reported by `EgdMerge` events).
-            fn find_depth(uf: &HashMap<Term, Term>, mut t: Term) -> (Term, u32) {
-                let mut hops = 0u32;
-                while let Some(&p) = uf.get(&t) {
-                    if p == t {
-                        break;
-                    }
-                    t = p;
-                    hops += 1;
-                }
-                (t, hops)
-            }
-            fn find(uf: &HashMap<Term, Term>, t: Term) -> Term {
-                find_depth(uf, t).0
-            }
             let mut pending = false;
             for &fid in &self.by_pred[Pred::Funct.index()] {
                 let f = &self.nodes[fid.index()].atom;
@@ -513,23 +585,29 @@ impl Chase {
             if !pending {
                 return Ok(changed_any);
             }
-            // Normalize into a substitution and rewrite the whole chase.
-            let mut merge = Subst::new();
-            let mut max_depth = 0u32;
-            let keys: Vec<Term> = uf.keys().copied().collect();
-            for k in keys {
-                let (r, hops) = find_depth(&uf, k);
-                max_depth = max_depth.max(hops);
-                merge.bind(k, r);
-            }
-            let merged = u32::try_from(merge.len()).unwrap_or(u32::MAX);
-            self.apply_merge(&merge);
-            self.trace.emit(|| ChaseEvent::EgdMerge {
-                merged,
-                depth: max_depth,
-            });
+            self.commit_merge(&uf);
             changed_any = true;
         }
+    }
+
+    /// Normalizes a union-find of demanded equations into a substitution,
+    /// rewrites the whole chase through it, and emits the `EgdMerge`
+    /// event. Shared tail of both EGD fixpoints.
+    fn commit_merge(&mut self, uf: &HashMap<Term, Term>) {
+        let mut merge = Subst::new();
+        let mut max_depth = 0u32;
+        let keys: Vec<Term> = uf.keys().copied().collect();
+        for k in keys {
+            let (r, hops) = find_depth(uf, k);
+            max_depth = max_depth.max(hops);
+            merge.bind(k, r);
+        }
+        let merged = u32::try_from(merge.len()).unwrap_or(u32::MAX);
+        self.apply_merge(&merge);
+        self.trace.emit(|| ChaseEvent::EgdMerge {
+            merged,
+            depth: max_depth,
+        });
     }
 
     /// Rewrites every conjunct and the head through `merge`, fusing
@@ -686,6 +764,53 @@ impl Chase {
         );
     }
 
+    /// Conjuncts that already witness an existential head: same
+    /// predicate, equal at every non-existential position, with all
+    /// occurrences of the existential variable mapped to one common value
+    /// (Definition 2(2)(ii): the rule is applicable only if *no*
+    /// extension of the binding maps the head into the chase). Probes the
+    /// positional index at the first non-existential head position,
+    /// falling back to the per-predicate list for the degenerate
+    /// all-existential head. For ρ5 (`data(O, A, ∃V)`) this probes
+    /// `(data, 0, O)` — exactly the scan the specialized `Σ_FL` engine
+    /// performed, in the same index order.
+    fn existential_witnesses(&self, head: &Atom, ex: Term) -> Vec<ConjunctId> {
+        let probe = head
+            .args()
+            .iter()
+            .enumerate()
+            .find(|&(_, &t)| t != ex)
+            .map(|(pos, &t)| (pos as u8, t));
+        let ids: &[ConjunctId] = match probe {
+            Some((pos, t)) => self
+                .by_pos
+                .get(&(head.pred(), pos, t))
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]),
+            None => &self.by_pred[head.pred().index()],
+        };
+        ids.iter()
+            .copied()
+            .filter(|&id| {
+                let witness = &self.nodes[id.index()].atom;
+                let mut ex_image: Option<Term> = None;
+                head.args().iter().zip(witness.args()).all(|(&h, &w)| {
+                    if h == ex {
+                        match ex_image {
+                            Some(img) => img == w,
+                            None => {
+                                ex_image = Some(w);
+                                true
+                            }
+                        }
+                    } else {
+                        h == w
+                    }
+                })
+            })
+            .collect()
+    }
+
     // ---- main loop ----------------------------------------------------------
 
     /// Collects every applicable rule instance with `id` pinned in each
@@ -787,8 +912,8 @@ impl Chase {
     }
 
     /// Runs the chase with the given rules until fixpoint (up to the level
-    /// bound). `tgds` is a subset of `Σ_FL` TGDs (ρ4 is always handled,
-    /// eagerly).
+    /// bound). `tgds` is a subset of the active rule set's TGDs; the
+    /// active EGDs (ρ4, or the custom set's) are always drained eagerly.
     ///
     /// The loop is *frontier-batched* (semi-naive): each round discovers
     /// the rule instances pinned on the conjuncts of the current frontier
@@ -818,8 +943,8 @@ impl Chase {
         let governed = !opts.budget.is_unlimited();
         let mut frontier: Vec<ConjunctId> = self.live_ids();
 
-        // Initial EGD drain (the query body itself may violate ρ4).
-        match self.egd_fixpoint() {
+        // Initial EGD drain (the query body itself may violate an EGD).
+        match self.drain_egds() {
             Err((l, r)) => {
                 self.outcome = ChaseOutcome::Failed { left: l, right: r };
                 return Ok(());
@@ -912,8 +1037,8 @@ impl Chase {
                             return Ok(());
                         };
                         debug_assert!(new);
-                        self.stats.applications[cand.rule.index()] += 1;
-                        let rule_index = cand.rule.index() as u8;
+                        self.stats.record_application(cand.rule);
+                        let rule_index = u8::try_from(cand.rule.index()).unwrap_or(u8::MAX);
                         self.trace.emit(|| ChaseEvent::RuleFired {
                             rule: rule_index,
                             level: new_level,
@@ -925,22 +1050,10 @@ impl Chase {
                         added_any = true;
                     }
                     Some(ex) => {
-                        // ρ5: applicable only if no extension of the binding
-                        // maps the head into the chase (Definition 2(2)(ii)).
-                        debug_assert_eq!(head.pred(), Pred::Data);
-                        let (o, a) = (head.arg(0), head.arg(1));
-                        let witnesses: Vec<ConjunctId> = self
-                            .by_pos
-                            .get(&(Pred::Data, 0, o))
-                            .map(|v| v.as_slice())
-                            .unwrap_or(&[])
-                            .iter()
-                            .copied()
-                            .filter(|&d| {
-                                let da = &self.nodes[d.index()].atom;
-                                da.arg(0) == o && da.arg(1) == a
-                            })
-                            .collect();
+                        // Existential TGD: applicable only if no extension of
+                        // the binding maps the head into the chase
+                        // (Definition 2(2)(ii)).
+                        let witnesses = self.existential_witnesses(&head, ex);
                         if !witnesses.is_empty() {
                             if self.record_cross {
                                 for w in witnesses {
@@ -976,8 +1089,8 @@ impl Chase {
                             return Ok(());
                         };
                         debug_assert!(new);
-                        self.stats.applications[cand.rule.index()] += 1;
-                        let rule_index = cand.rule.index() as u8;
+                        self.stats.record_application(cand.rule);
+                        let rule_index = u8::try_from(cand.rule.index()).unwrap_or(u8::MAX);
                         self.trace.emit(|| ChaseEvent::RuleFired {
                             rule: rule_index,
                             level: new_level,
@@ -992,8 +1105,8 @@ impl Chase {
             }
 
             if added_any {
-                // Definition 2: ρ4 is drained after TGD applications.
-                match self.egd_fixpoint() {
+                // Definition 2: EGDs are drained after TGD applications.
+                match self.drain_egds() {
                     Err((l, r)) => {
                         self.outcome = ChaseOutcome::Failed { left: l, right: r };
                         return Ok(());
@@ -1032,6 +1145,25 @@ impl Chase {
             n.level = 0;
         }
     }
+}
+
+/// Walks a union-find parent chain; returns the root and the number of
+/// hops (the depth reported by `EgdMerge` events).
+fn find_depth(uf: &HashMap<Term, Term>, mut t: Term) -> (Term, u32) {
+    let mut hops = 0u32;
+    while let Some(&p) = uf.get(&t) {
+        if p == t {
+            break;
+        }
+        t = p;
+        hops += 1;
+    }
+    (t, hops)
+}
+
+/// The root of `t` in a union-find of demanded equations.
+fn find(uf: &HashMap<Term, Term>, t: Term) -> Term {
+    find_depth(uf, t).0
 }
 
 /// Test-only switch that makes every spawned discovery worker panic, so
@@ -1099,12 +1231,20 @@ pub fn chase_minus_with(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Cha
         if chase.is_exhausted() {
             return Ok(chase);
         }
-        let opts = ChaseOptions {
+        let run_opts = ChaseOptions {
             level_bound: u32::MAX,
             ..opts.clone()
         };
+        // Structurally-Σ_FL sets take the specialized built-in path, so a
+        // parsed copy of the shipped rules is bit-identical to the default.
+        let tgds: Vec<&Tgd> = if opts.sigma.is_sigma_fl() {
+            sigma_tgds(false)
+        } else {
+            chase.custom_egds = Some(opts.sigma.egds().into_iter().cloned().collect());
+            opts.sigma.datalog_tgds()
+        };
         let _span = chase.trace.span(SpanKind::ChaseMinus);
-        chase.run(&sigma_tgds(false), &opts)?;
+        chase.run(&tgds, &run_opts)?;
         chase.reset_levels();
         Ok(chase)
     })
@@ -1132,9 +1272,16 @@ pub fn chase_bounded(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Chase,
             level_bound: u32::MAX,
             ..opts.clone()
         };
+        let builtin = opts.sigma.is_sigma_fl();
+        let prelim_tgds: Vec<&Tgd> = if builtin {
+            sigma_tgds(false)
+        } else {
+            chase.custom_egds = Some(opts.sigma.egds().into_iter().cloned().collect());
+            opts.sigma.datalog_tgds()
+        };
         {
             let _span = chase.trace.span(SpanKind::ChaseMinus);
-            chase.run(&sigma_tgds(false), &prelim)?;
+            chase.run(&prelim_tgds, &prelim)?;
         }
         if chase.is_failed() || chase.is_exhausted() {
             return Ok(chase);
@@ -1142,8 +1289,13 @@ pub fn chase_bounded(q: &ConjunctiveQuery, opts: &ChaseOptions) -> Result<Chase,
         chase.reset_levels();
         chase.hit_bound = false;
         chase.record_cross = true;
+        let all_tgds: Vec<&Tgd> = if builtin {
+            sigma_tgds(true)
+        } else {
+            opts.sigma.tgds()
+        };
         let _span = chase.trace.span(SpanKind::ChaseBounded);
-        chase.run(&sigma_tgds(true), opts)?;
+        chase.run(&all_tgds, opts)?;
         Ok(chase)
     })
 }

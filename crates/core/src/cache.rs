@@ -25,7 +25,7 @@ use flogic_model::{ConjunctiveQuery, Pred};
 use flogic_term::{Metrics, Symbol, Term};
 
 use crate::decide::{
-    contains_batch, contains_with, theorem_bound, ContainmentOptions, ContainmentResult, Verdict,
+    contains_batch, contains_with, ContainmentOptions, ContainmentResult, Verdict,
 };
 use crate::CoreError;
 
@@ -172,17 +172,26 @@ impl QueryKey {
 /// `max_conjuncts`, `threads` and the budget are deliberately *not* in
 /// the key: they never change a decided verdict (exhausted results are
 /// never cached, so a tight budget cannot poison later generous calls).
+///
+/// The active rule set *is* in the key, by its canonical (renaming- and
+/// name-invariant) fingerprint: verdicts under different Σ are answers to
+/// different questions. A structurally-`Σ_FL` custom set shares the
+/// built-in set's fingerprint, so it also shares its cache entries —
+/// consistent with it sharing the built-in code paths everywhere else.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct CacheKey {
     q1: CanonQuery,
     q2: CanonQuery,
     bound: u32,
     analysis: bool,
+    sigma: u64,
 }
 
-/// The effective bound for [`CacheKey::bound`] (see there).
+/// The effective bound for [`CacheKey::bound`] (see there). The clamp
+/// point is the active rule set's derived bound (the Theorem 12 bound
+/// under `Σ_FL`).
 fn effective_bound(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, opts: &ContainmentOptions) -> u32 {
-    let theorem = theorem_bound(q1, q2);
+    let theorem = crate::decide::derived_bound(opts, q1.size(), q2.size());
     opts.level_bound.map_or(theorem, |b| b.min(theorem))
 }
 
@@ -326,6 +335,7 @@ impl DecisionCache {
             q2: canonicalize(q2),
             bound: effective_bound(q1, q2, opts),
             analysis: opts.analysis,
+            sigma: opts.sigma.fingerprint(),
         };
         let hit = self.lookup(&key);
         let was_hit = hit.is_some();
@@ -365,6 +375,7 @@ impl DecisionCache {
             q2: canonicalize(q2),
             bound: effective_bound(q1, q2, opts),
             analysis: opts.analysis,
+            sigma: opts.sigma.fingerprint(),
         };
         let hit = self.lookup(&key);
         let was_hit = hit.is_some();
@@ -401,6 +412,7 @@ impl DecisionCache {
                 // per-pair question (Theorem 12 completeness).
                 bound: effective_bound(q1, q2, opts),
                 analysis: opts.analysis,
+                sigma: opts.sigma.fingerprint(),
             })
             .collect();
 
@@ -463,6 +475,7 @@ impl DecisionCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decide::theorem_bound;
     use flogic_syntax::parse_query;
 
     fn q(s: &str) -> ConjunctiveQuery {

@@ -1,9 +1,11 @@
 //! The Theorem 12 decision procedure.
 
-use flogic_analysis::{direct_unsat, QueryAnalysis};
+use std::sync::Arc;
+
+use flogic_analysis::{classify_rule_set, direct_unsat, QueryAnalysis};
 use flogic_chase::{chase_bounded, Budget, Chase, ChaseOptions, ChaseOutcome, ExhaustReason};
 use flogic_hom::{find_hom_traced, Target};
-use flogic_model::ConjunctiveQuery;
+use flogic_model::{ConjunctiveQuery, RuleSet};
 use flogic_obs::{ChaseEvent, SpanKind, TraceHandle};
 use flogic_term::{Metrics, Subst};
 
@@ -63,6 +65,15 @@ pub struct ContainmentOptions {
     /// one branch per instrumentation site; enabling tracing never changes
     /// the verdict (it only observes). Default: disabled.
     pub trace: TraceHandle,
+    /// The active rule set Σ. Default: the built-in `Σ_FL`, which keeps
+    /// every code path bit-identical to the classic decider. A custom set
+    /// (from `flq --sigma FILE` or `flogic_analysis::admit_sigma`) must be
+    /// *admitted* by the Σ-admission analyzer; the default Theorem 12
+    /// bound is then replaced by the admission-derived bound for the
+    /// set's chase-termination class, and the `Σ_FL`-specific analysis
+    /// fast paths are re-derived against the custom set (the `direct
+    /// unsat` ρ4 shortcut applies only to `Σ_FL` itself).
+    pub sigma: Arc<RuleSet>,
 }
 
 impl Default for ContainmentOptions {
@@ -74,6 +85,7 @@ impl Default for ContainmentOptions {
             analysis: true,
             budget: Budget::default(),
             trace: TraceHandle::Disabled,
+            sigma: RuleSet::sigma_fl().clone(),
         }
     }
 }
@@ -96,6 +108,28 @@ pub fn theorem_bound(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> u32 {
 pub fn bound_from_sizes(n1: usize, n2: usize) -> u32 {
     let product = 2u64.saturating_mul(n1 as u64).saturating_mul(n2 as u64);
     u32::try_from(product).unwrap_or(u32::MAX)
+}
+
+/// The level bound an options struct implies for body sizes `n1`, `n2`:
+/// the explicit [`ContainmentOptions::level_bound`] override if set, the
+/// Theorem 12 bound for the built-in `Σ_FL`, or the admission-derived
+/// bound of a custom rule set (weakly acyclic sets get the rank-based
+/// terminating bound, guarded/sticky sets the `2·n1·n2` shape — see
+/// [`flogic_analysis::SigmaAdmission::level_bound`]).
+pub(crate) fn sigma_bound(opts: &ContainmentOptions, n1: usize, n2: usize) -> u32 {
+    opts.level_bound
+        .unwrap_or_else(|| derived_bound(opts, n1, n2))
+}
+
+/// The rule-set-derived bound alone, ignoring any explicit
+/// [`ContainmentOptions::level_bound`] override (used by
+/// [`crate::ChaseSnapshot::covers`], which combines the two itself).
+pub(crate) fn derived_bound(opts: &ContainmentOptions, n1: usize, n2: usize) -> u32 {
+    if opts.sigma.is_sigma_fl() {
+        bound_from_sizes(n1, n2)
+    } else {
+        classify_rule_set(opts.sigma.clone()).level_bound(n1, n2)
+    }
 }
 
 /// The three-valued answer of a containment check.
@@ -234,7 +268,7 @@ pub fn contains_with(
             q2: q2.arity(),
         });
     }
-    let bound = opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2));
+    let bound = sigma_bound(opts, q1.size(), q2.size());
     let _decide_span = opts.trace.span(SpanKind::Decide);
     let theorem = theorem_bound(q1, q2);
     opts.trace.emit(|| ChaseEvent::Bound {
@@ -242,7 +276,7 @@ pub fn contains_with(
         theorem_bound: u64::from(theorem),
     });
     if opts.analysis {
-        if let Some(early) = analyze_pair(q1, q2, bound) {
+        if let Some(early) = analyze_pair(q1, q2, bound, &opts.sigma) {
             return Ok(early);
         }
         Metrics::global().record_analysis_chased();
@@ -255,6 +289,7 @@ pub fn contains_with(
             threads: opts.threads,
             budget: opts.budget.clone(),
             trace: opts.trace.clone(),
+            sigma: opts.sigma.clone(),
         },
     )?;
     match chase.outcome() {
@@ -322,23 +357,29 @@ fn analyze_pair(
     q1: &ConjunctiveQuery,
     q2: &ConjunctiveQuery,
     bound: u32,
+    sigma: &Arc<RuleSet>,
 ) -> Option<ContainmentResult> {
-    if let Some((left, right)) = direct_unsat(q1) {
-        // The chase of q1 fails in its first Datalog/EGD phase at every
-        // level bound: vacuous containment, no chase needed.
-        Metrics::global().record_analysis_early_true();
-        return Some(ContainmentResult {
-            verdict: Verdict::Holds,
-            vacuous: true,
-            witness: None,
-            chase_conjuncts: 0,
-            chase_outcome: ChaseOutcome::Failed { left, right },
-            level_bound: bound,
-            max_chase_level: 0,
-            decided_by_analysis: true,
-        });
+    // The visible-ρ4-violation shortcut is specific to Σ_FL's EGD; under
+    // a custom rule set it is skipped (soundly: it only ever *adds* an
+    // early answer).
+    if sigma.is_sigma_fl() {
+        if let Some((left, right)) = direct_unsat(q1) {
+            // The chase of q1 fails in its first Datalog/EGD phase at every
+            // level bound: vacuous containment, no chase needed.
+            Metrics::global().record_analysis_early_true();
+            return Some(ContainmentResult {
+                verdict: Verdict::Holds,
+                vacuous: true,
+                witness: None,
+                chase_conjuncts: 0,
+                chase_outcome: ChaseOutcome::Failed { left, right },
+                level_bound: bound,
+                max_chase_level: 0,
+                decided_by_analysis: true,
+            });
+        }
     }
-    let analysis = QueryAnalysis::new(q1);
+    let analysis = QueryAnalysis::for_rules(q1, sigma);
     if analysis.refutes_hom(q2) {
         // q2 needs a predicate chase(q1) can never contain, and the chase
         // provably cannot fail: the containment is definitely false.
@@ -393,7 +434,7 @@ pub fn contains_batch(
     let bound = q2s
         .iter()
         .filter(|q2| q2.arity() == q1.arity())
-        .map(|q2| opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2)))
+        .map(|q2| sigma_bound(opts, q1.size(), q2.size()))
         .max()
         .unwrap_or(0);
     let _decide_span = opts.trace.span(SpanKind::Decide);
@@ -407,7 +448,7 @@ pub fn contains_batch(
         level_bound: u64::from(bound),
         theorem_bound: u64::from(theorem),
     });
-    if opts.analysis {
+    if opts.analysis && opts.sigma.is_sigma_fl() {
         if let Some((left, right)) = direct_unsat(q1) {
             // One visible ρ4 violation settles every same-arity slot
             // without building the shared chase at all.
@@ -435,7 +476,9 @@ pub fn contains_batch(
                 .collect();
         }
     }
-    let analysis = opts.analysis.then(|| QueryAnalysis::new(q1));
+    let analysis = opts
+        .analysis
+        .then(|| QueryAnalysis::for_rules(q1, &opts.sigma));
     let chase = match chase_bounded(
         q1,
         &ChaseOptions {
@@ -444,6 +487,7 @@ pub fn contains_batch(
             threads: opts.threads,
             budget: opts.budget.clone(),
             trace: opts.trace.clone(),
+            sigma: opts.sigma.clone(),
         },
     ) {
         Ok(chase) => chase,

@@ -13,7 +13,7 @@ use flogic_chase::{chase_bounded, Chase, ChaseOptions, ChaseOutcome, ConjunctId}
 use flogic_hom::{find_hom, Target};
 use flogic_model::{Atom, ConjunctiveQuery, RuleId};
 
-use crate::decide::{theorem_bound, ContainmentOptions};
+use crate::decide::ContainmentOptions;
 use crate::CoreError;
 
 /// One step of a derivation: `conclusion` was obtained by applying `rule`
@@ -136,7 +136,7 @@ pub fn explain(
             q2: q2.arity(),
         });
     }
-    let bound = opts.level_bound.unwrap_or_else(|| theorem_bound(q1, q2));
+    let bound = crate::decide::sigma_bound(opts, q1.size(), q2.size());
     let chase = chase_bounded(
         q1,
         &ChaseOptions {
@@ -145,6 +145,7 @@ pub fn explain(
             threads: opts.threads,
             budget: opts.budget.clone(),
             trace: opts.trace.clone(),
+            sigma: opts.sigma.clone(),
         },
     )?;
     match chase.outcome() {

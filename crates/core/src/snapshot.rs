@@ -26,7 +26,7 @@ use flogic_model::ConjunctiveQuery;
 use flogic_term::{Metrics, Term};
 
 use crate::decide::{
-    contains_with, exhausted_result, theorem_bound, ContainmentOptions, ContainmentResult, Verdict,
+    contains_with, exhausted_result, ContainmentOptions, ContainmentResult, Verdict,
 };
 use crate::CoreError;
 
@@ -86,6 +86,7 @@ impl ChaseSnapshot {
                 threads: opts.threads,
                 budget: opts.budget.clone(),
                 trace: opts.trace.clone(),
+                sigma: opts.sigma.clone(),
             },
         )?;
         let target = if chase.is_failed() || chase.is_exhausted() {
@@ -97,8 +98,9 @@ impl ChaseSnapshot {
             q1: q1.clone(),
             target,
             bound,
-            unsat: direct_unsat(q1),
-            analysis: QueryAnalysis::new(q1),
+            // The ρ4 shortcut only applies under Σ_FL itself.
+            unsat: opts.sigma.is_sigma_fl().then(|| direct_unsat(q1)).flatten(),
+            analysis: QueryAnalysis::for_rules(q1, &opts.sigma),
             chase,
         })
     }
@@ -146,7 +148,7 @@ impl ChaseSnapshot {
     /// (`min(opts.level_bound, theorem)`, or the Theorem 12 bound when no
     /// explicit bound is set).
     pub fn covers(&self, q2: &ConjunctiveQuery, opts: &ContainmentOptions) -> bool {
-        let theorem = theorem_bound(&self.q1, q2);
+        let theorem = crate::decide::derived_bound(opts, self.q1.size(), q2.size());
         let effective = opts.level_bound.map_or(theorem, |b| b.min(theorem));
         self.bound >= effective
     }
@@ -254,6 +256,7 @@ impl ChaseSnapshot {
 mod tests {
     use super::*;
     use crate::decide::contains;
+    use crate::decide::theorem_bound;
     use flogic_chase::{Budget, ExhaustReason};
     use flogic_syntax::parse_query;
 

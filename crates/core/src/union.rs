@@ -17,7 +17,7 @@ use flogic_chase::{chase_bounded, ChaseOptions, ChaseOutcome};
 use flogic_hom::{find_hom, Target};
 use flogic_model::ConjunctiveQuery;
 
-use crate::decide::{contains_with, theorem_bound, ContainmentOptions};
+use crate::decide::{contains_with, ContainmentOptions};
 use crate::CoreError;
 
 /// Decides `q ⊆_ΣFL (q2s[0] ∪ q2s[1] ∪ …)`.
@@ -41,9 +41,11 @@ pub fn contained_in_union(
         }
     }
     // One chase serves all disjuncts; use the largest bound needed.
-    let bound = opts
-        .level_bound
-        .unwrap_or_else(|| q2s.iter().map(|q2| theorem_bound(q, q2)).max().unwrap_or(0));
+    let bound = q2s
+        .iter()
+        .map(|q2| crate::decide::sigma_bound(opts, q.size(), q2.size()))
+        .max()
+        .unwrap_or(0);
     let chase = chase_bounded(
         q,
         &ChaseOptions {
@@ -52,6 +54,7 @@ pub fn contained_in_union(
             threads: opts.threads,
             budget: opts.budget.clone(),
             trace: opts.trace.clone(),
+            sigma: opts.sigma.clone(),
         },
     )?;
     match chase.outcome() {

@@ -17,7 +17,11 @@
 //!   frequently *not* classically — the paper's headline phenomenon;
 //! * [`random_database`] — random ground databases shaped like class
 //!   hierarchies with attributes, members and cardinality constraints,
-//!   suitable for closing under `Σ_FL` and evaluating queries.
+//!   suitable for closing under `Σ_FL` and evaluating queries;
+//! * [`random_rule_set`] — random well-formed TGD/EGD constraint sets
+//!   over `P_FL`, for exercising the Σ-admission classifier
+//!   (`flogic-analysis`) and the E13 experiment: structural safety is
+//!   guaranteed by construction, chase-termination is deliberately not.
 //!
 //! All generators take an explicit seeded RNG (the vendored
 //! [`rng::SplitMix64`], re-exported here), so every workload is
@@ -28,7 +32,7 @@ pub use flogic_term::rng;
 use flogic_term::rng::{Rng, SliceRandom};
 
 use flogic_chase::chase_minus;
-use flogic_model::{Atom, ConjunctiveQuery, Database, Pred};
+use flogic_model::{Atom, ConjunctiveQuery, Database, Egd, Pred, RuleId, RuleSet, SigmaRule, Tgd};
 use flogic_term::{Subst, Symbol, Term};
 
 /// Configuration for [`random_query`].
@@ -404,6 +408,109 @@ pub fn random_database<R: Rng>(cfg: &DbGenConfig, rng: &mut R) -> Database {
     db
 }
 
+/// Configuration for [`random_rule_set`].
+#[derive(Clone, Debug)]
+pub struct SigmaGenConfig {
+    /// Number of rules in the set.
+    pub n_rules: usize,
+    /// Size of the per-rule variable pool.
+    pub n_vars: usize,
+    /// Body atoms per rule are drawn uniformly from `1..=max_body_atoms`.
+    pub max_body_atoms: usize,
+    /// Probability that a rule is an EGD (both equated sides are body
+    /// variables, so generated EGDs are always safe).
+    pub egd_prob: f64,
+    /// Probability that a TGD head gets one fresh, existentially
+    /// quantified variable in a random argument position.
+    pub existential_prob: f64,
+    /// Relative weight per predicate, indexed by [`Pred::index`]. Zero
+    /// disables a predicate.
+    pub pred_weights: [u32; 6],
+}
+
+impl Default for SigmaGenConfig {
+    fn default() -> Self {
+        SigmaGenConfig {
+            n_rules: 6,
+            n_vars: 4,
+            max_body_atoms: 3,
+            egd_prob: 0.15,
+            existential_prob: 0.35,
+            pred_weights: [3, 3, 2, 3, 2, 1],
+        }
+    }
+}
+
+/// A variable in the reserved `#`-prefixed rule namespace, mirroring how
+/// the built-in `Σ_FL` names its variables so generated rules can never
+/// capture query variables.
+fn rule_var(i: usize) -> Term {
+    Term::var(&format!("#G{i}"))
+}
+
+/// Generates a random, *well-formed* TGD/EGD rule set over the `P_FL`
+/// schema.
+///
+/// Well-formed means structurally safe by construction — every head and
+/// EGD variable occurs in the body, except at most one existential head
+/// variable per TGD — so the only thing deciding admissibility is the
+/// chase-termination classification (`flogic-analysis`'s `FL012`–`FL014`):
+/// generated sets exercise the *classifier*, not the translator. Whether a
+/// given seed yields an admitted or a rejected set is therefore a property
+/// of its dependency structure, which is exactly what property tests and
+/// the E13 experiment want to sample.
+pub fn random_rule_set<R: Rng>(cfg: &SigmaGenConfig, rng: &mut R) -> RuleSet {
+    assert!(cfg.n_rules > 0, "rule sets need at least one rule");
+    assert!(cfg.n_vars > 0, "the variable pool must be non-empty");
+    assert!(cfg.max_body_atoms > 0, "bodies are never empty");
+    let mut rules = Vec::with_capacity(cfg.n_rules);
+    for i in 0..cfg.n_rules {
+        let id = RuleId::Custom(u16::try_from(i).expect("rule count fits u16"));
+        let n_atoms = rng.random_range(0..cfg.max_body_atoms) + 1;
+        let mut body = Vec::with_capacity(n_atoms);
+        for _ in 0..n_atoms {
+            let pred = pick_pred(&cfg.pred_weights, rng);
+            let args: Vec<Term> = (0..pred.arity())
+                .map(|_| rule_var(rng.random_range(0..cfg.n_vars)))
+                .collect();
+            body.push(Atom::new(pred, &args).expect("arity matches by construction"));
+        }
+        let body_vars: Vec<Term> = {
+            let mut vs: Vec<Term> = body.iter().flat_map(|a| a.vars()).collect();
+            vs.sort();
+            vs.dedup();
+            vs
+        };
+        if rng.random_bool(cfg.egd_prob) {
+            rules.push(SigmaRule::Egd(Egd {
+                id,
+                left: *body_vars.choose(rng).expect("non-empty body"),
+                right: *body_vars.choose(rng).expect("non-empty body"),
+                body,
+            }));
+            continue;
+        }
+        let head_pred = pick_pred(&cfg.pred_weights, rng);
+        let mut head_args: Vec<Term> = (0..head_pred.arity())
+            .map(|_| *body_vars.choose(rng).expect("non-empty body"))
+            .collect();
+        let mut existential = None;
+        if rng.random_bool(cfg.existential_prob) {
+            let fresh = Term::var(&format!("#E{i}"));
+            let slot = rng.random_range(0..head_args.len());
+            head_args[slot] = fresh;
+            existential = Some(fresh);
+        }
+        rules.push(SigmaRule::Tgd(Tgd {
+            id,
+            body,
+            head: Atom::new(head_pred, &head_args).expect("arity matches by construction"),
+            existential,
+        }));
+    }
+    RuleSet::new("generated", rules)
+}
+
 /// Checks that `hom` witnesses `q2 → q1`: useful for asserting generator
 /// guarantees in tests.
 pub fn is_witnessing_hom(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, hom: &Subst) -> bool {
@@ -504,6 +611,55 @@ mod tests {
             let db = random_database(&cfg, &mut rng(seed));
             assert!(!db.is_empty());
             assert!(db.iter().all(|a| a.is_ground()));
+        }
+    }
+
+    #[test]
+    fn random_rule_sets_are_well_formed() {
+        let cfg = SigmaGenConfig::default();
+        for seed in 0..100 {
+            let set = random_rule_set(&cfg, &mut rng(seed));
+            assert_eq!(set.len(), cfg.n_rules);
+            for rule in set.rules() {
+                let body_vars: Vec<Term> = rule.body().iter().flat_map(|a| a.vars()).collect();
+                match rule {
+                    SigmaRule::Egd(e) => {
+                        assert!(body_vars.contains(&e.left));
+                        assert!(body_vars.contains(&e.right));
+                    }
+                    SigmaRule::Tgd(t) => {
+                        for v in t.head.vars() {
+                            assert!(
+                                body_vars.contains(&v) || t.existential == Some(v),
+                                "head variable {v} neither in body nor existential"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rule_set_generation_is_deterministic_per_seed() {
+        let cfg = SigmaGenConfig::default();
+        let a = random_rule_set(&cfg, &mut rng(11));
+        let b = random_rule_set(&cfg, &mut rng(11));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = random_rule_set(&cfg, &mut rng(12));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn generated_sets_are_never_sigma_fl() {
+        // Σ_FL has a very specific 12-rule structure; random sets should
+        // never collide with it (and must say so via `is_sigma_fl`).
+        let cfg = SigmaGenConfig {
+            n_rules: 12,
+            ..Default::default()
+        };
+        for seed in 0..50 {
+            assert!(!random_rule_set(&cfg, &mut rng(seed)).is_sigma_fl());
         }
     }
 

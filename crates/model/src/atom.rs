@@ -145,6 +145,7 @@ impl Atom {
     }
 
     /// Returns a copy with the substitution applied to every argument.
+    #[must_use]
     pub fn apply(&self, s: &Subst) -> Atom {
         let mut out = *self;
         s.apply_slice(out.args.as_mut_slice());

@@ -83,8 +83,7 @@ impl Database {
     pub fn facts_with(&self, pred: Pred, pos: usize, term: Term) -> &[Atom] {
         self.by_pos
             .get(&(pred, pos as u8, term))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+            .map_or(&[], std::vec::Vec::as_slice)
     }
 
     /// Membership test.
@@ -167,20 +166,17 @@ impl Database {
                     SigmaRule::Egd(e) => binding.apply(e.left) != binding.apply(e.right),
                     SigmaRule::Tgd(t) => {
                         let head = t.head.apply(binding);
-                        match t.existential {
+                        if t.existential.is_none() {
                             // Plain TGD: the instantiated head must be a fact.
-                            None => !self.contains(&head),
+                            !self.contains(&head)
+                        } else {
                             // ρ5: some extension of the binding must map the
                             // head to a fact (the head still contains the
                             // existential variable).
-                            Some(_) => {
-                                let mut probe = binding.clone();
-                                !self.match_body(
-                                    std::slice::from_ref(&t.head),
-                                    &mut probe,
-                                    &mut |_| true,
-                                )
-                            }
+                            let mut probe = binding.clone();
+                            !self.match_body(std::slice::from_ref(&t.head), &mut probe, &mut |_| {
+                                true
+                            })
                         }
                     }
                 };

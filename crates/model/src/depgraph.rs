@@ -45,9 +45,12 @@ impl fmt::Display for PredPos {
 }
 
 impl PredPos {
-    /// Dense index in `0..NODE_COUNT` (predicates in `Pred::ALL` order,
-    /// positions within a predicate in order).
-    fn index(self) -> usize {
+    /// Total number of predicate positions across `P_FL` (2+2+3+3+2+2).
+    pub const COUNT: usize = NODE_COUNT;
+
+    /// Dense index in `0..PredPos::COUNT` (predicates in `Pred::ALL`
+    /// order, positions within a predicate in order).
+    pub fn index(self) -> usize {
         let mut base = 0;
         for p in Pred::ALL {
             if p == self.pred {
@@ -160,15 +163,25 @@ impl DepGraph {
     }
 
     fn build_sigma_fl() -> DepGraph {
+        DepGraph::for_rules(sigma_fl())
+    }
+
+    /// Builds the dependency graph of an arbitrary rule set over the
+    /// `P_FL` schema. [`DepGraph::sigma_fl`] is this applied to the
+    /// built-in rules (and cached).
+    pub fn for_rules(rules: &[SigmaRule]) -> DepGraph {
         let mut edges = Vec::new();
         let mut rule_shapes = Vec::new();
-        for rule in sigma_fl() {
+        for rule in rules {
             let SigmaRule::Tgd(tgd) = rule else {
-                // The EGD ρ4 equates existing values; it neither generates
-                // atoms nor propagates values into new positions.
+                // EGDs equate existing values; they neither generate
+                // atoms nor propagate values into new positions.
                 continue;
             };
-            rule_shapes.push((tgd.body.iter().map(|a| a.pred()).collect(), tgd.head.pred()));
+            rule_shapes.push((
+                tgd.body.iter().map(super::atom::Atom::pred).collect(),
+                tgd.head.pred(),
+            ));
             let head_args = tgd.head.args();
             for body_atom in &tgd.body {
                 for (i, bt) in body_atom.args().iter().enumerate() {

@@ -24,6 +24,7 @@ mod depgraph;
 mod error;
 mod predicate;
 mod query;
+mod ruleset;
 mod sigma;
 
 pub use atom::Atom;
@@ -32,4 +33,5 @@ pub use depgraph::{DepEdge, DepGraph, PredPos, PredSet};
 pub use error::ModelError;
 pub use predicate::Pred;
 pub use query::ConjunctiveQuery;
+pub use ruleset::RuleSet;
 pub use sigma::{sigma_fl, Egd, RuleId, SigmaRule, Tgd, SIGMA_RULE_COUNT};

@@ -43,7 +43,7 @@ impl ConjunctiveQuery {
         {
             return Err(ModelError::NullInQuery);
         }
-        let body_vars: BTreeSet<Term> = body.iter().flat_map(|a| a.vars()).collect();
+        let body_vars: BTreeSet<Term> = body.iter().flat_map(super::atom::Atom::vars).collect();
         for &t in &head {
             if t.is_var() && !body_vars.contains(&t) {
                 return Err(ModelError::UnsafeHeadVariable { var: t });
@@ -83,7 +83,7 @@ impl ConjunctiveQuery {
     pub fn vars(&self) -> BTreeSet<Term> {
         self.body
             .iter()
-            .flat_map(|a| a.vars())
+            .flat_map(super::atom::Atom::vars)
             .chain(self.head.iter().copied().filter(|t| t.is_var()))
             .collect()
     }
@@ -94,6 +94,7 @@ impl ConjunctiveQuery {
     /// paper shows the head of a query changing during the chase). The
     /// result is *not* re-validated: merging may ground a head variable,
     /// which is fine.
+    #[must_use]
     pub fn apply(&self, s: &Subst) -> ConjunctiveQuery {
         ConjunctiveQuery {
             name: self.name,
@@ -106,6 +107,7 @@ impl ConjunctiveQuery {
     /// suffixing `'` marks, so that the two queries share no variables.
     ///
     /// Containment checks must not confuse `X` in `q1` with `X` in `q2`.
+    #[must_use]
     pub fn rename_apart(&self, other: &ConjunctiveQuery) -> ConjunctiveQuery {
         let taken = other.vars();
         let mut s = Subst::new();

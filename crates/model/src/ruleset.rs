@@ -1,0 +1,306 @@
+//! Rule sets: `Σ_FL` or a user-supplied collection of TGDs/EGDs over the
+//! fixed `P_FL` schema.
+//!
+//! A [`RuleSet`] is the unit the chase engine and the containment
+//! procedure are parameterized by. The built-in instance
+//! ([`RuleSet::sigma_fl`]) wraps the paper's twelve rules; user-supplied
+//! sets come from `.sigma` files parsed by `flogic-syntax` and are gated
+//! by the Σ-admission analyzer in `flogic-analysis` before anything runs.
+//!
+//! Two derived properties matter downstream:
+//!
+//! * the **fingerprint** — a 64-bit hash of the rules' canonical form
+//!   (invariant under variable renaming, sensitive to everything else) —
+//!   is folded into decision-cache keys so verdicts under one Σ can never
+//!   be replayed under another;
+//! * **`is_sigma_fl`** — structural equality with the built-in set, again
+//!   up to variable renaming — routes a set onto the specialized `Σ_FL`
+//!   code paths, which keeps a `.sigma` copy of the built-in rules
+//!   bit-identical with the default.
+
+use std::sync::{Arc, LazyLock};
+
+use flogic_term::Term;
+
+use crate::sigma::{sigma_fl, Egd, SigmaRule, Tgd};
+use crate::Atom;
+
+/// A named set of TGDs/EGDs over the `P_FL` schema (see module docs).
+#[derive(Clone, Debug)]
+pub struct RuleSet {
+    name: String,
+    rules: Vec<SigmaRule>,
+    fingerprint: u64,
+    builtin: bool,
+}
+
+static SIGMA_FL_SET: LazyLock<Arc<RuleSet>> =
+    LazyLock::new(|| Arc::new(RuleSet::new("sigma_fl", sigma_fl().to_vec())));
+
+static SIGMA_FL_CANON: LazyLock<Vec<String>> =
+    LazyLock::new(|| sigma_fl().iter().map(canon_rule).collect());
+
+impl RuleSet {
+    /// Wraps `rules` under `name`, computing the fingerprint and the
+    /// `Σ_FL` structural-equality flag.
+    pub fn new(name: impl Into<String>, rules: Vec<SigmaRule>) -> RuleSet {
+        let canon: Vec<String> = rules.iter().map(canon_rule).collect();
+        let mut h = Fnv1a::new();
+        for c in &canon {
+            h.write(c.as_bytes());
+            h.write(b"\n");
+        }
+        let builtin = canon == *SIGMA_FL_CANON;
+        RuleSet {
+            name: name.into(),
+            rules,
+            fingerprint: h.finish(),
+            builtin,
+        }
+    }
+
+    /// The built-in `Σ_FL` instance (built once, shared).
+    pub fn sigma_fl() -> &'static Arc<RuleSet> {
+        &SIGMA_FL_SET
+    }
+
+    /// The set's name (a file path for parsed sets, `"sigma_fl"` for the
+    /// built-in).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rules, in declaration order.
+    pub fn rules(&self) -> &[SigmaRule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the set has no rules (legal: the chase is then the
+    /// identity and containment degenerates to classical containment).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// A 64-bit hash of the canonical form: invariant under variable
+    /// renaming, sensitive to rule order, shapes and constants. Folded
+    /// into decision-cache keys so verdicts under different rule sets can
+    /// never collide.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// True when this set is structurally `Σ_FL` (same rules in the same
+    /// order, up to variable renaming). Such sets are routed onto the
+    /// specialized built-in code paths, which makes a parsed
+    /// `sigma_fl.sigma` behave bit-identically to the default.
+    pub fn is_sigma_fl(&self) -> bool {
+        self.builtin
+    }
+
+    /// All TGDs, in declaration order.
+    pub fn tgds(&self) -> Vec<&Tgd> {
+        self.rules
+            .iter()
+            .filter_map(|r| match r {
+                SigmaRule::Tgd(t) => Some(t),
+                SigmaRule::Egd(_) => None,
+            })
+            .collect()
+    }
+
+    /// The TGDs without an existential head variable (the chase⁻ rules of
+    /// this set), in declaration order.
+    pub fn datalog_tgds(&self) -> Vec<&Tgd> {
+        self.rules
+            .iter()
+            .filter_map(|r| match r {
+                SigmaRule::Tgd(t) if t.existential.is_none() => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All EGDs, in declaration order.
+    pub fn egds(&self) -> Vec<&Egd> {
+        self.rules
+            .iter()
+            .filter_map(|r| match r {
+                SigmaRule::Egd(e) => Some(e),
+                SigmaRule::Tgd(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Canonical rendering of one rule, ignoring its [`crate::RuleId`] and
+/// variable names: variables are numbered by first occurrence scanning
+/// the body left to right, then the head (resp. the equated pair).
+fn canon_rule(rule: &SigmaRule) -> String {
+    let mut names: Vec<Term> = Vec::new();
+    let mut out = String::new();
+    match rule {
+        SigmaRule::Tgd(t) => {
+            out.push_str("T ");
+            for a in &t.body {
+                canon_atom(a, &mut names, &mut out);
+            }
+            out.push_str("=> ");
+            canon_atom(&t.head, &mut names, &mut out);
+        }
+        SigmaRule::Egd(e) => {
+            out.push_str("E ");
+            for a in &e.body {
+                canon_atom(a, &mut names, &mut out);
+            }
+            out.push_str("=> ");
+            canon_term(&e.left, &mut names, &mut out);
+            out.push('=');
+            canon_term(&e.right, &mut names, &mut out);
+        }
+    }
+    out
+}
+
+fn canon_atom(atom: &Atom, names: &mut Vec<Term>, out: &mut String) {
+    out.push_str(atom.pred().name());
+    out.push('(');
+    for (i, t) in atom.args().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        canon_term(t, names, out);
+    }
+    out.push_str(") ");
+}
+
+fn canon_term(t: &Term, names: &mut Vec<Term>, out: &mut String) {
+    match t {
+        Term::Var(_) => {
+            let i = names.iter().position(|n| n == t).unwrap_or_else(|| {
+                names.push(*t);
+                names.len() - 1
+            });
+            out.push('?');
+            out.push_str(&i.to_string());
+        }
+        // Constants (and nulls, which cannot appear in well-formed rules
+        // but keep the rendering total) by value.
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Vendored FNV-1a 64 (the dependency-free classic).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuleId;
+
+    #[test]
+    fn builtin_set_is_sigma_fl() {
+        let s = RuleSet::sigma_fl();
+        assert!(s.is_sigma_fl());
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.tgds().len(), 11);
+        assert_eq!(s.datalog_tgds().len(), 10);
+        assert_eq!(s.egds().len(), 1);
+        assert_eq!(s.name(), "sigma_fl");
+    }
+
+    #[test]
+    fn renamed_copy_is_structurally_sigma_fl() {
+        // Rebuild Σ_FL with every variable renamed: still recognised, same
+        // fingerprint.
+        let renamed: Vec<SigmaRule> = sigma_fl()
+            .iter()
+            .map(|r| rename_rule(r, "fresh_"))
+            .collect();
+        let set = RuleSet::new("copy", renamed);
+        assert!(set.is_sigma_fl());
+        assert_eq!(set.fingerprint(), RuleSet::sigma_fl().fingerprint());
+    }
+
+    #[test]
+    fn subset_is_not_sigma_fl_and_fingerprints_differ() {
+        let subset = RuleSet::new("subset", sigma_fl()[..11].to_vec());
+        assert!(!subset.is_sigma_fl());
+        assert_ne!(subset.fingerprint(), RuleSet::sigma_fl().fingerprint());
+    }
+
+    #[test]
+    fn variable_sharing_is_part_of_the_canonical_form() {
+        let x = Term::var("#X");
+        let y = Term::var("#Y");
+        let shared = SigmaRule::Tgd(Tgd {
+            id: RuleId::Custom(0),
+            body: vec![Atom::sub(x, x)],
+            head: Atom::sub(x, x),
+            existential: None,
+        });
+        let distinct = SigmaRule::Tgd(Tgd {
+            id: RuleId::Custom(0),
+            body: vec![Atom::sub(x, y)],
+            head: Atom::sub(x, y),
+            existential: None,
+        });
+        assert_ne!(
+            RuleSet::new("a", vec![shared]).fingerprint(),
+            RuleSet::new("b", vec![distinct]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn empty_set_is_legal() {
+        let s = RuleSet::new("empty", Vec::new());
+        assert!(s.is_empty());
+        assert!(!s.is_sigma_fl());
+    }
+
+    fn rename_rule(r: &SigmaRule, prefix: &str) -> SigmaRule {
+        let ren = |t: &Term| match t {
+            Term::Var(v) => Term::var(&format!("#{prefix}{}", v.as_str())),
+            other => *other,
+        };
+        let ren_atom = |a: &Atom| {
+            let args: Vec<Term> = a.args().iter().map(ren).collect();
+            Atom::new(a.pred(), &args).expect("same arity")
+        };
+        match r {
+            SigmaRule::Tgd(t) => SigmaRule::Tgd(Tgd {
+                id: t.id,
+                body: t.body.iter().map(ren_atom).collect(),
+                head: ren_atom(&t.head),
+                existential: t.existential.as_ref().map(ren),
+            }),
+            SigmaRule::Egd(e) => SigmaRule::Egd(Egd {
+                id: e.id,
+                body: e.body.iter().map(ren_atom).collect(),
+                left: ren(&e.left),
+                right: ren(&e.right),
+            }),
+        }
+    }
+}

@@ -11,9 +11,10 @@ use crate::Atom;
 /// Number of rules in `Σ_FL`.
 pub const SIGMA_RULE_COUNT: usize = 12;
 
-/// Identifier of a rule in `Σ_FL` (the paper's ρ1 … ρ12).
+/// Identifier of a rule: one of `Σ_FL`'s ρ1 … ρ12, or the `i`-th rule of
+/// a user-supplied set (see `RuleSet`).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-#[allow(missing_docs)] // the variants are the paper's ρ1..ρ12, documented as a group
+#[allow(missing_docs)] // the R1..R12 variants are the paper's ρ1..ρ12, documented as a group
 pub enum RuleId {
     R1,
     R2,
@@ -27,6 +28,9 @@ pub enum RuleId {
     R10,
     R11,
     R12,
+    /// The `i`-th rule (0-based) of a user-supplied rule set. Indices are
+    /// assigned in file order by the `.sigma` parser.
+    Custom(u16),
 }
 
 impl RuleId {
@@ -46,9 +50,23 @@ impl RuleId {
         RuleId::R12,
     ];
 
-    /// Dense index in `0..12` (ρ1 ↦ 0).
+    /// Dense index: ρ1 ↦ 0 … ρ12 ↦ 11, `Custom(i)` ↦ `i`.
     pub const fn index(self) -> usize {
-        self as usize
+        match self {
+            RuleId::R1 => 0,
+            RuleId::R2 => 1,
+            RuleId::R3 => 2,
+            RuleId::R4 => 3,
+            RuleId::R5 => 4,
+            RuleId::R6 => 5,
+            RuleId::R7 => 6,
+            RuleId::R8 => 7,
+            RuleId::R9 => 8,
+            RuleId::R10 => 9,
+            RuleId::R11 => 10,
+            RuleId::R12 => 11,
+            RuleId::Custom(i) => i as usize,
+        }
     }
 
     /// One-line description, matching the paper's annotations.
@@ -66,13 +84,17 @@ impl RuleId {
             RuleId::R10 => "inheritance of mandatory attributes to members",
             RuleId::R11 => "inheritance of functional property to subclasses",
             RuleId::R12 => "inheritance of functional property to members",
+            RuleId::Custom(_) => "user-supplied dependency",
         }
     }
 }
 
 impl fmt::Display for RuleId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rho{}", self.index() + 1)
+        match self {
+            RuleId::Custom(i) => write!(f, "r{}", i + 1),
+            _ => write!(f, "rho{}", self.index() + 1),
+        }
     }
 }
 
@@ -334,7 +356,11 @@ mod tests {
         let SigmaRule::Egd(e) = &sigma_fl()[3] else {
             panic!("rho4 is the EGD")
         };
-        let body_vars: Vec<Term> = e.body.iter().flat_map(|a| a.vars()).collect();
+        let body_vars: Vec<Term> = e
+            .body
+            .iter()
+            .flat_map(super::super::atom::Atom::vars)
+            .collect();
         assert!(body_vars.contains(&e.left));
         assert!(body_vars.contains(&e.right));
     }

@@ -8,7 +8,7 @@
 //! The pipeline is the part worth reading twice. HTTP/1.1 requires
 //! responses in request order, but the worker pool completes decisions
 //! in *any* order — so each parsed request claims the next sequence
-//! number and a [`Slot`] in a queue. Completions fill their slot by
+//! number and a `Slot` in a queue. Completions fill their slot by
 //! sequence number; only the contiguous ready prefix is serialized into
 //! the write buffer. A fast second answer sits in its slot until the
 //! slow first one lands, and ordering holds under any interleaving.

@@ -41,6 +41,8 @@ pub enum TokenKind {
     SigArrow,
     /// `*` (inside cardinality braces)
     Star,
+    /// `=` — the equated pair of an EGD in `.sigma` rule files.
+    Eq,
     /// `?-` — goal prefix for ad-hoc queries.
     Goal,
     /// End of input.
@@ -66,6 +68,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Arrow => f.write_str("->"),
             TokenKind::SigArrow => f.write_str("*=>"),
             TokenKind::Star => f.write_str("*"),
+            TokenKind::Eq => f.write_str("="),
             TokenKind::Goal => f.write_str("?-"),
             TokenKind::Eof => f.write_str("<eof>"),
         }
@@ -213,6 +216,10 @@ impl<'a> Lexer<'a> {
                 } else {
                     return Err(self.err(SyntaxErrorKind::UnexpectedChar('-')));
                 }
+            }
+            '=' => {
+                self.bump();
+                TokenKind::Eq
             }
             '?' => {
                 self.bump();

@@ -27,12 +27,14 @@ mod error;
 mod lexer;
 mod parser;
 mod pretty;
+mod sigma;
 mod translate;
 
 pub use ast::{AstQuery, AstTerm, Card, Molecule, Program, Spec, Statement};
 pub use error::{Pos, SyntaxError, SyntaxErrorKind};
 pub use lexer::{Lexer, Token, TokenKind};
 pub use pretty::{atom_to_flogic, query_to_flogic, query_to_predicates};
+pub use sigma::{parse_sigma, SigmaAst, SigmaAtomAst, SigmaRuleAst, SigmaRuleKindAst, SpannedTerm};
 
 use flogic_model::{ConjunctiveQuery, Database};
 

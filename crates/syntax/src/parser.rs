@@ -110,9 +110,8 @@ impl Parser {
     fn pred_shape(&mut self) -> Result<(String, Pos, Vec<AstTerm>, Vec<Pos>), SyntaxError> {
         let tok = self.bump();
         let pos = tok.pos;
-        let name = match tok.kind {
-            TokenKind::LIdent(s) => s,
-            _ => unreachable!("caller checked LIdent"),
+        let TokenKind::LIdent(name) = tok.kind else {
+            unreachable!("caller checked LIdent")
         };
         self.eat(&TokenKind::LParen, "`(`")?;
         let mut args = Vec::new();

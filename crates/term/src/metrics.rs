@@ -205,6 +205,7 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Counter-wise difference since an earlier snapshot (saturating).
+    #[must_use]
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             chase_runs: self.chase_runs.saturating_sub(earlier.chase_runs),

@@ -3,7 +3,7 @@
 //! The workload generators and the benchmark harness need reproducible
 //! randomness, not cryptographic quality. To keep the build hermetic (no
 //! registry dependencies, no network at build time) this module vendors
-//! the classic **SplitMix64** generator — the same mixer `rand` uses to
+//! the classic **`SplitMix64`** generator — the same mixer `rand` uses to
 //! seed its own engines — behind a minimal [`Rng`] trait mirroring the
 //! handful of `rand` methods the codebase relies on.
 //!
@@ -32,13 +32,13 @@ pub trait Rng {
         let span = (range.end - range.start) as u64;
         // widening multiply: map the 64-bit stream onto [0, span)
         let mut x = self.next_u64();
-        let mut m = (x as u128).wrapping_mul(span as u128);
+        let mut m = u128::from(x).wrapping_mul(u128::from(span));
         let mut lo = m as u64;
         if lo < span {
             let t = span.wrapping_neg() % span;
             while lo < t {
                 x = self.next_u64();
-                m = (x as u128).wrapping_mul(span as u128);
+                m = u128::from(x).wrapping_mul(u128::from(span));
                 lo = m as u64;
             }
         }
@@ -76,9 +76,9 @@ impl<T> SliceRandom<T> for [T] {
     }
 }
 
-/// SplitMix64 (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number
+/// `SplitMix64` (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number
 /// Generators*, OOPSLA 2014): a 64-bit state, one add and two xor-shift
-/// multiplies per draw. Passes BigCrush when seeded arbitrarily; perfect
+/// multiplies per draw. Passes `BigCrush` when seeded arbitrarily; perfect
 /// for reproducible synthetic workloads.
 #[derive(Clone, Debug)]
 pub struct SplitMix64 {

@@ -128,6 +128,7 @@ impl Subst {
     /// Composition: `self.compose(other)` maps `t` to `other.apply(self.apply(t))`.
     ///
     /// All keys of both substitutions appear in the result.
+    #[must_use]
     pub fn compose(&self, other: &Subst) -> Subst {
         let mut out = Subst::new();
         for (k, v) in self.iter() {

@@ -83,9 +83,8 @@ impl PartialOrd for Term {
 impl Ord for Term {
     fn cmp(&self, other: &Self) -> Ordering {
         match (self, other) {
-            (Term::Const(a), Term::Const(b)) => a.cmp(b),
+            (Term::Const(a), Term::Const(b)) | (Term::Var(a), Term::Var(b)) => a.cmp(b),
             (Term::Null(a), Term::Null(b)) => a.cmp(b),
-            (Term::Var(a), Term::Var(b)) => a.cmp(b),
             _ => self.rank().cmp(&other.rank()),
         }
     }
@@ -104,9 +103,8 @@ impl fmt::Debug for Term {
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Term::Const(s) => f.write_str(s.as_str()),
+            Term::Const(s) | Term::Var(s) => f.write_str(s.as_str()),
             Term::Null(n) => write!(f, "{n}"),
-            Term::Var(s) => f.write_str(s.as_str()),
         }
     }
 }

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI smoke for Σ-admission: `flq lint --sigma` must admit the known-good
+# example sets (exit 0, warnings allowed) and reject the known-bad one
+# (exit 2, with at least one FL01x admission code in the output). Also
+# checks that a rejected set blocks `flq contains --sigma` with the same
+# exit code, so no subcommand sneaks an inadmissible Σ past the gate.
+#
+# Expects the flq binary already built; override with FLQ=.
+set -euo pipefail
+
+FLQ=${FLQ:-./target/release/flq}
+
+[ -x "$FLQ" ] || { echo "missing $FLQ (build flq first)" >&2; exit 2; }
+
+# Admitted sets: exit 0 and a summary saying so.
+for f in examples/sigma/sigma_fl.sigma examples/sigma/transitive.sigma \
+         examples/sigma/guarded.sigma; do
+    echo "== lint --sigma $f (expect admitted, exit 0) =="
+    out=$("$FLQ" lint --sigma "$f" 2>&1)
+    echo "$out"
+    echo "$out" | grep -q 'admitted' || { echo "FAIL: no admission summary" >&2; exit 1; }
+done
+
+# Rejected set: exit 2 and at least one coded FL01x diagnostic.
+f=examples/sigma/rejected.sigma
+echo "== lint --sigma $f (expect rejected, exit 2) =="
+set +e
+out=$("$FLQ" lint --sigma "$f" 2>&1)
+code=$?
+set -e
+echo "$out"
+echo "exit code $code (want 2)"
+[ "$code" -eq 2 ] || { echo "FAIL: wrong exit code" >&2; exit 1; }
+echo "$out" | grep -Eq 'FL01[0-9]' || { echo "FAIL: no FL01x code in output" >&2; exit 1; }
+echo "$out" | grep -q 'rejected' || { echo "FAIL: no rejection summary" >&2; exit 1; }
+
+# The gate is shared: a rejected Σ must block the decision subcommands too.
+echo "== contains --sigma $f (expect exit 2) =="
+set +e
+"$FLQ" contains 'q(X) :- member(X, c).' 'p(X) :- member(X, c).' --sigma "$f"
+code=$?
+set -e
+echo "exit code $code (want 2)"
+[ "$code" -eq 2 ] || { echo "FAIL: wrong exit code" >&2; exit 1; }
+
+echo "admission smoke OK"

@@ -2,22 +2,28 @@
 //!
 //! ```text
 //! flq contains  "<q1>" "<q2>" [--threads N] [--no-analysis]
-//!                             [--timeout MS] [--max-conjuncts N]
-//!                                    decide q1 ⊆_ΣFL q2 (and the converse)
+//!                             [--timeout MS] [--max-conjuncts N] [--sigma FILE]
+//!                                    decide q1 ⊆_Σ q2 (and the converse)
 //! flq explain   "<q1>" "<q2>" [--threads N] [--no-analysis]
-//!                             [--timeout MS] [--max-conjuncts N]
+//!                             [--timeout MS] [--max-conjuncts N] [--sigma FILE]
 //!                                    prove the containment step by step
 //! flq profile   "<q1>" "<q2>" [--threads N] [--timeout MS] [--max-conjuncts N]
-//!                                    decide q1 ⊆_ΣFL q2 with tracing on and
+//!               [--sigma FILE]
+//!                                    decide q1 ⊆_Σ q2 with tracing on and
 //!                                    print the chase profile: per-rule firing
 //!                                    histogram, level growth, phase timing,
 //!                                    observed depth vs. the Theorem 12 bound
 //! flq chase     "<q>" [--bound N] [--dot] [--threads N]
-//!                     [--timeout MS] [--max-conjuncts N]
+//!                     [--timeout MS] [--max-conjuncts N] [--sigma FILE]
 //!                                    materialize the (bounded) chase
 //! flq minimize  "<q>"                Σ_FL-aware query minimisation
-//! flq lint      <file>               static analysis: coded diagnostics
+//! flq lint      <file> [--json]      static analysis: coded diagnostics
 //!                                    (FL001…FL007) with line:col spans
+//! flq lint      --sigma FILE [--json]
+//!                                    Σ-admission: classify a constraint set
+//!                                    (weak acyclicity / guardedness /
+//!                                    stickiness, FL010…FL014) and report
+//!                                    whether it is admitted for the chase
 //! flq eval      <file>               run a program: facts are closed under
 //!                                    Σ_FL, goals/queries are answered
 //! flq serve     [--addr HOST:PORT] [--workers N] [--queue-cap N]
@@ -42,6 +48,14 @@
 //!   approximate memory budget; default one million).
 //! * `--bound N` — chase level bound for `flq chase` (default `2·|q|`).
 //! * `--dot` — emit the chase graph in Graphviz DOT format.
+//! * `--sigma FILE` — replace the built-in `Σ_FL` with a user-supplied
+//!   constraint set (`.sigma` TGD/EGD syntax, see `docs/CLI.md`). The set
+//!   is admission-checked first: a set that fails every chase-termination
+//!   class (or has hard errors, FL010/FL011) is rejected with exit 2 and
+//!   the chase never runs. A structurally-`Σ_FL` file behaves bit-identically
+//!   to the default.
+//! * `--json` — `flq lint` only: emit diagnostics as JSONL (one flat JSON
+//!   object per diagnostic) instead of the human-readable form.
 //! * `--addr HOST:PORT`, `--workers N`, `--queue-cap N`,
 //!   `--cache-bytes N`, `--max-body-bytes N`, `--read-timeout MS`,
 //!   `--ready-fd FD` — `flq serve` knobs (listen address, worker pool,
@@ -62,8 +76,10 @@
 //! `2` usage error, `3` resource exhaustion — the budget ran out before
 //! the procedure could decide; nothing is known about the verdict.
 //!
-//! `flq lint` exits 0 when the program is clean, 1 when any diagnostic
-//! (or a parse error) is reported, 2 on usage errors.
+//! `flq lint <file>` exits 0 when the program is clean, 1 when any
+//! diagnostic (or a parse error) is reported, 2 on usage errors.
+//! `flq lint --sigma FILE` exits 0 when the set is *admitted* (warnings
+//! allowed), 1 on read/parse errors, 2 when the set is rejected.
 //!
 //! Queries use the paper's syntax, e.g. `q(A,B) :- T1[A*=>T2], T2[B*=>_].`
 //! Program files mix facts (`john:student.`), rules and goals (`?- X::person.`).
@@ -73,13 +89,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use flogic_lite::analysis::lint_source;
+use flogic_lite::analysis::{admit_sigma, classify_rule_set, lint_source};
 use flogic_lite::chase::{chase_bounded, to_dot, to_text, Budget, ChaseOptions};
 use flogic_lite::core::{
     classic_contains, contains_with, explain, minimize_with, ContainmentOptions, CoreError,
 };
 use flogic_lite::datalog::{answers, close_database, ClosureOptions};
-use flogic_lite::model::DepGraph;
+use flogic_lite::model::{DepGraph, RuleSet};
 use flogic_lite::obs::{export, ChaseProfile, TraceHandle, Tracer};
 use flogic_lite::prelude::*;
 use flogic_lite::serve::SERVE_FLAGS;
@@ -102,15 +118,16 @@ const SUBCOMMANDS: &[&str] = &[
 /// `flogic-serve` so the two stay in lockstep.
 fn usage_text() -> String {
     format!(
-        "usage:\n  flq contains <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N]\n  \
-         flq explain <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N]\n  \
-         flq profile <q1> <q2> [--threads N] [--timeout MS] [--max-conjuncts N]\n  \
-         flq chase <q> [--bound N] [--dot] [--threads N] [--timeout MS] [--max-conjuncts N]\n  \
-         flq minimize <q> [--timeout MS] [--max-conjuncts N]\n  flq lint <file>\n  flq eval <file>\n  \
+        "usage:\n  flq contains <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N] [--sigma FILE]\n  \
+         flq explain <q1> <q2> [--threads N] [--no-analysis] [--timeout MS] [--max-conjuncts N] [--sigma FILE]\n  \
+         flq profile <q1> <q2> [--threads N] [--timeout MS] [--max-conjuncts N] [--sigma FILE]\n  \
+         flq chase <q> [--bound N] [--dot] [--threads N] [--timeout MS] [--max-conjuncts N] [--sigma FILE]\n  \
+         flq minimize <q> [--timeout MS] [--max-conjuncts N]\n  flq lint <file> [--json]\n  \
+         flq lint --sigma FILE [--json]\n  flq eval <file>\n  \
          flq serve {SERVE_FLAGS}\n  flq help (also --help, -h)\n\
          every subcommand also accepts --trace-out FILE (JSONL event trace)\n\
          and --metrics (counter deltas on stderr)\n\
-         exit codes: 0 success, 1 failure, 2 usage error, 3 exhausted budget"
+         exit codes: 0 success, 1 failure, 2 usage error (incl. rejected --sigma sets), 3 exhausted budget"
     )
 }
 
@@ -150,6 +167,38 @@ fn parse_or_exit(src: &str) -> Result<flogic_lite::model::ConjunctiveQuery, Exit
         eprintln!("error: {e}");
         ExitCode::FAILURE
     })
+}
+
+/// Loads a `--sigma FILE` constraint set and gates it through Σ-admission.
+///
+/// A set that fails admission (no chase-termination class holds, or hard
+/// FL010/FL011 errors) prints its diagnostics to stderr and exits 2 — the
+/// invocation asked for a Σ the bounded chase cannot soundly run under.
+/// Unreadable or unparsable files exit 1. Warnings of an *admitted* set
+/// are printed to stderr but do not change the exit code.
+fn load_sigma(path: &str) -> Result<Arc<RuleSet>, ExitCode> {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let admission = match admit_sigma(&src, path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{path}: error: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    for d in admission.diagnostics() {
+        eprintln!("{path}:{d}");
+    }
+    if !admission.is_admitted() {
+        eprintln!("{path}: {}", admission.summary());
+        return Err(ExitCode::from(2));
+    }
+    Ok(admission.rule_set().clone())
 }
 
 /// Cross-cutting observability state behind the `--trace-out` and
@@ -280,6 +329,13 @@ fn split_contains_args(
                     return Err(usage());
                 }
             },
+            "--sigma" => match it.next() {
+                Some(path) => opts.sigma = load_sigma(path)?,
+                None => {
+                    eprintln!("error: --sigma needs a file path");
+                    return Err(usage());
+                }
+            },
             s if s.starts_with("--") => {
                 eprintln!("error: unknown flag `{s}`");
                 return Err(usage());
@@ -315,12 +371,17 @@ fn run_contains(q1_src: &str, q2_src: &str, opts: &ContainmentOptions) -> ExitCo
             return ExitCode::FAILURE;
         }
     };
+    let rel = if opts.sigma.is_sigma_fl() {
+        "⊆_ΣFL"
+    } else {
+        "⊆_Σ"
+    };
     println!("q1: {q1}");
     println!("q2: {q2}");
     println!();
     if let flogic_lite::core::Verdict::Exhausted(reason) = forward.verdict() {
         println!(
-            "q1 ⊆_ΣFL q2:  EXHAUSTED ({reason}) — undecided after {} chase conjuncts, level {} of bound {}",
+            "q1 {rel} q2:  EXHAUSTED ({reason}) — undecided after {} chase conjuncts, level {} of bound {}",
             forward.chase_conjuncts(),
             forward.max_chase_level(),
             forward.level_bound()
@@ -328,7 +389,7 @@ fn run_contains(q1_src: &str, q2_src: &str, opts: &ContainmentOptions) -> ExitCo
         return ExitCode::from(EXIT_EXHAUSTED);
     }
     println!(
-        "q1 ⊆_ΣFL q2:  {}{}{}",
+        "q1 {rel} q2:  {}{}{}",
         forward.holds(),
         if forward.is_vacuous() {
             "  (vacuous: q1 unsatisfiable)"
@@ -344,20 +405,28 @@ fn run_contains(q1_src: &str, q2_src: &str, opts: &ContainmentOptions) -> ExitCo
     if let Some(w) = forward.witness() {
         println!("  witness: {w}");
     }
-    println!(
-        "  chase: {} conjuncts, bound {} (Theorem 12: 2*{}*{})",
-        forward.chase_conjuncts(),
-        forward.level_bound(),
-        q1.size(),
-        q2.size()
-    );
+    if opts.sigma.is_sigma_fl() {
+        println!(
+            "  chase: {} conjuncts, bound {} (Theorem 12: 2*{}*{})",
+            forward.chase_conjuncts(),
+            forward.level_bound(),
+            q1.size(),
+            q2.size()
+        );
+    } else {
+        println!(
+            "  chase: {} conjuncts, bound {} (derived from the admitted Σ)",
+            forward.chase_conjuncts(),
+            forward.level_bound()
+        );
+    }
     let mut exhausted_back = false;
     if let Ok(back) = contains_with(&q2, &q1, opts) {
         if let flogic_lite::core::Verdict::Exhausted(reason) = back.verdict() {
-            println!("q2 ⊆_ΣFL q1:  EXHAUSTED ({reason})");
+            println!("q2 {rel} q1:  EXHAUSTED ({reason})");
             exhausted_back = true;
         } else {
-            println!("q2 ⊆_ΣFL q1:  {}", back.holds());
+            println!("q2 {rel} q1:  {}", back.holds());
         }
     }
     if let Ok(classic) = classic_contains(&q1, &q2) {
@@ -391,7 +460,7 @@ fn run_explain(q1_src: &str, q2_src: &str, opts: &ContainmentOptions) -> ExitCod
             println!("q1: {q1}");
             println!("q2: {q2}\n");
             println!("{e}");
-            print_invention_cycles(&q1, &q2);
+            print_invention_cycles(&q1, &q2, opts);
             ExitCode::SUCCESS
         }
         Err(e @ CoreError::Exhausted { .. }) => {
@@ -459,11 +528,31 @@ fn run_profile(q1_src: &str, q2_src: &str, opts: &ContainmentOptions, obs: &CliO
     ExitCode::SUCCESS
 }
 
-/// Why the chase must be cut off at the Theorem 12 level bound: the
-/// `Σ_FL` dependency graph contains a cycle through ρ5's existential
+/// Why the chase must be cut off at a level bound: the active constraint
+/// set's dependency graph contains a cycle through an existential
 /// (value-inventing) edge, so the unrestricted chase need not terminate.
-fn print_invention_cycles(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) {
-    let cycles = DepGraph::sigma_fl().invention_cycles();
+fn print_invention_cycles(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, opts: &ContainmentOptions) {
+    if opts.sigma.is_sigma_fl() {
+        let cycles = DepGraph::sigma_fl().invention_cycles();
+        if cycles.is_empty() {
+            return;
+        }
+        println!();
+        for cycle in &cycles {
+            let path: Vec<String> = cycle.iter().map(|p| p.to_string()).collect();
+            println!(
+                "note: Σ_FL has a value-invention cycle {} -> (rho5, fresh value) -> {},",
+                path.join(" -> "),
+                path[0]
+            );
+        }
+        println!(
+            "      so the chase may be infinite and is cut at level 2*|q1|*|q2| = {} (Theorem 12).",
+            flogic_lite::core::theorem_bound(q1, q2)
+        );
+        return;
+    }
+    let cycles = DepGraph::for_rules(opts.sigma.rules()).invention_cycles();
     if cycles.is_empty() {
         return;
     }
@@ -471,14 +560,14 @@ fn print_invention_cycles(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) {
     for cycle in &cycles {
         let path: Vec<String> = cycle.iter().map(|p| p.to_string()).collect();
         println!(
-            "note: Σ_FL has a value-invention cycle {} -> (rho5, fresh value) -> {},",
+            "note: the active Σ has a value-invention cycle {} -> (fresh value) -> {},",
             path.join(" -> "),
             path[0]
         );
     }
     println!(
-        "      so the chase may be infinite and is cut at level 2*|q1|*|q2| = {} (Theorem 12).",
-        flogic_lite::core::theorem_bound(q1, q2)
+        "      so the chase may be infinite and is cut at the derived level bound {}.",
+        classify_rule_set(opts.sigma.clone()).level_bound(q1.size(), q2.size())
     );
 }
 
@@ -495,6 +584,7 @@ fn cmd_chase(args: &[String]) -> ExitCode {
     let mut threads = 1;
     let mut max_conjuncts = 1_000_000;
     let mut budget = Budget::unlimited();
+    let mut sigma = RuleSet::sigma_fl().clone();
     let mut obs = CliObs::disabled();
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -521,6 +611,16 @@ fn cmd_chase(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--dot" => dot = true,
+            "--sigma" => match it.next() {
+                Some(path) => match load_sigma(path) {
+                    Ok(s) => sigma = s,
+                    Err(code) => return code,
+                },
+                None => {
+                    eprintln!("error: --sigma needs a file path");
+                    return usage();
+                }
+            },
             s => {
                 eprintln!("error: unknown argument `{s}`");
                 return usage();
@@ -533,6 +633,7 @@ fn cmd_chase(args: &[String]) -> ExitCode {
         threads,
         budget,
         trace: obs.handle(),
+        sigma,
     };
     let code = run_chase(&q, &chase_opts, dot);
     obs.finish(code)
@@ -619,8 +720,8 @@ fn run_minimize(q_src: &str, opts: &ContainmentOptions) -> ExitCode {
     }
 }
 
-/// Splits the args of the file-oriented subcommands (`lint`, `eval`):
-/// exactly one positional path plus the shared observability flags.
+/// Splits the args of the file-oriented subcommand (`eval`): exactly one
+/// positional path plus the shared observability flags.
 fn split_file_args(args: &[String]) -> Result<(&String, CliObs), ExitCode> {
     let mut obs = CliObs::disabled();
     let mut positional = Vec::new();
@@ -642,15 +743,76 @@ fn split_file_args(args: &[String]) -> Result<(&String, CliObs), ExitCode> {
 }
 
 fn cmd_lint(args: &[String]) -> ExitCode {
-    let (path, obs) = match split_file_args(args) {
-        Ok(p) => p,
-        Err(code) => return code,
+    let mut obs = CliObs::disabled();
+    let mut json = false;
+    let mut sigma_path: Option<&String> = None;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match obs.try_consume(a.as_str(), &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(code) => return code,
+        }
+        match a.as_str() {
+            "--json" => json = true,
+            "--sigma" => match it.next() {
+                Some(p) => sigma_path = Some(p),
+                None => {
+                    eprintln!("error: --sigma needs a file path");
+                    return usage();
+                }
+            },
+            s if s.starts_with("--") => {
+                eprintln!("error: unknown flag `{s}`");
+                return usage();
+            }
+            _ => positional.push(a),
+        }
+    }
+    let code = match (sigma_path, positional.as_slice()) {
+        (Some(path), []) => run_lint_sigma(path, json),
+        (None, [path]) => run_lint(path, json),
+        _ => usage(),
     };
-    let code = run_lint(path);
     obs.finish(code)
 }
 
-fn run_lint(path: &str) -> ExitCode {
+/// One diagnostic as a flat JSON object — one line of `lint --json`
+/// output.
+fn diagnostic_json(path: &str, d: &Diagnostic) -> String {
+    format!(
+        "{{\"code\":\"{}\",\"severity\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\",\"path\":\"{}\"}}",
+        d.code,
+        d.severity,
+        d.pos.line,
+        d.pos.col,
+        json_escape(&d.message),
+        json_escape(path)
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars);
+/// non-ASCII is passed through as UTF-8, which JSON allows.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn run_lint(path: &str, json: bool) -> ExitCode {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -666,11 +828,19 @@ fn run_lint(path: &str) -> ExitCode {
         }
     };
     if diagnostics.is_empty() {
-        println!("{path}: clean");
+        // With --json an empty output is the (still valid) JSONL for
+        // "no diagnostics"; the human-readable confirmation would corrupt it.
+        if !json {
+            println!("{path}: clean");
+        }
         return ExitCode::SUCCESS;
     }
     for d in &diagnostics {
-        println!("{path}:{d}");
+        if json {
+            println!("{}", diagnostic_json(path, d));
+        } else {
+            println!("{path}:{d}");
+        }
     }
     let (errors, warnings) = diagnostics
         .iter()
@@ -680,6 +850,40 @@ fn run_lint(path: &str) -> ExitCode {
         });
     eprintln!("{path}: {errors} error(s), {warnings} warning(s)");
     ExitCode::FAILURE
+}
+
+/// `flq lint --sigma FILE`: parse and admission-check a constraint set,
+/// reporting its chase-termination classification. Exit 0 when admitted
+/// (possibly with warnings), 2 when rejected, 1 on read/parse errors.
+fn run_lint_sigma(path: &str, json: bool) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let admission = match admit_sigma(&src, path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{path}: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in admission.diagnostics() {
+        if json {
+            println!("{}", diagnostic_json(path, d));
+        } else {
+            println!("{path}:{d}");
+        }
+    }
+    // The verdict goes to stderr so --json stdout stays pure JSONL.
+    eprintln!("{path}: {}", admission.summary());
+    if admission.is_admitted() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
 }
 
 fn cmd_eval(args: &[String]) -> ExitCode {

@@ -1,0 +1,249 @@
+//! Golden-message tests for the analyzer's coded diagnostics.
+//!
+//! Each test pins the *exact* rendered diagnostic — `line:col`,
+//! severity, code, and the full message text — so any drift in spans or
+//! wording is caught, not just the code. The CLI-level tests additionally
+//! pin the `flq lint --json` JSONL shape byte for byte.
+
+use std::process::Command;
+
+use flogic_lite::analysis::{admit_sigma, lint_source};
+
+/// Renders every diagnostic of `src` the way `flq lint` prints it
+/// (minus the path prefix).
+fn lint_golden(src: &str) -> Vec<String> {
+    lint_source(src)
+        .expect("source parses")
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+/// Renders every admission diagnostic of a `.sigma` source.
+fn sigma_golden(src: &str) -> Vec<String> {
+    admit_sigma(src, "test.sigma")
+        .expect("sigma parses")
+        .diagnostics()
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn fl001_singleton_variable() {
+    assert_eq!(
+        lint_golden("q(X, Y) :- X:c.\n"),
+        [
+            "1:6: warning[FL001]: variable `Y` occurs only once in `q`; \
+          prefix it with `_` (or use `_`) if that is intentional"
+        ]
+    );
+}
+
+#[test]
+fn fl002_anonymous_in_head() {
+    assert_eq!(
+        lint_golden("q(_) :- X:c, X:d.\n"),
+        [
+            "1:3: error[FL002]: anonymous `_` in the head of `q`: each `_` is a \
+          fresh variable, so the head cannot be bound by the body"
+        ]
+    );
+}
+
+#[test]
+fn fl003_conflicting_cardinality() {
+    assert_eq!(
+        lint_golden("c[a {0:1} *=> t].\nc[a {1:*} *=> t].\n"),
+        [
+            "2:3: warning[FL003]: attribute `a` on `c` is declared both {0:1} and \
+          {1:*}; together they mean \"exactly one value\", which is usually a \
+          redeclaration mistake"
+        ]
+    );
+}
+
+#[test]
+fn fl004_duplicate_declaration() {
+    assert_eq!(
+        lint_golden("john : student.\njohn : student.\n"),
+        [
+            "2:1: warning[FL004]: `john : student` is already declared; \
+          this repetition is redundant"
+        ]
+    );
+}
+
+#[test]
+fn fl005_undeclared_reference() {
+    assert_eq!(
+        lint_golden("john : student.\n?- X : teacher.\n"),
+        ["2:4: warning[FL005]: `teacher` is not declared by any fact in this program"]
+    );
+}
+
+#[test]
+fn fl006_shadowed_signature() {
+    assert_eq!(
+        lint_golden("c[a *=> t].\nc[a *=> s].\n"),
+        [
+            "2:3: warning[FL006]: signature `c[a *=> s]` shadows the earlier \
+          declaration with type `t`"
+        ]
+    );
+}
+
+#[test]
+fn fl007_dead_query_atom() {
+    // The same span carries FL005 (constant `a` undeclared) and FL007
+    // (no `data` atom derivable); sorting is by position, then code.
+    assert_eq!(
+        lint_golden("john : student.\n?- X[a -> V].\n"),
+        [
+            "2:6: warning[FL005]: `a` is not declared by any fact in this program".to_string(),
+            "2:6: warning[FL007]: no `data` atom is derivable from the facts \
+             (Σ_FL dependency graph): this atom can never be satisfied, so the \
+             query is statically empty"
+                .to_string(),
+        ]
+    );
+}
+
+#[test]
+fn fl010_unknown_predicate_and_arity() {
+    assert_eq!(
+        sigma_golden("foo(X, Y) :- member(X, Y).\nmember(X) :- sub(X, Y).\n"),
+        [
+            "1:1: error[FL010]: unknown predicate `foo`; the P_FL schema is \
+             member/2, sub/2, data/3, type/3, mandatory/2, funct/2"
+                .to_string(),
+            "2:1: error[FL010]: predicate `member` takes 2 arguments, got 1".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn fl011_unsafe_rules() {
+    assert_eq!(
+        sigma_golden("X = c :- sub(X, Y).\ndata(O, A, V) :- sub(W, W1).\n"),
+        [
+            "1:5: error[FL011]: EGD side `c` must be a variable occurring in the body".to_string(),
+            "2:1: error[FL011]: rule has 3 existentially quantified head variables \
+             (`O`, `A`, `V`); at most one is supported"
+                .to_string(),
+        ]
+    );
+}
+
+#[test]
+fn fl012_fl013_fl014_on_a_rejected_set() {
+    // The example set that fails all three chase-termination classes.
+    let src = "data(O, A, V) :- member(O, C), type(C, A, T).\n\
+               member(V, C) :- data(O, A, V), type(O, A, C).\n\
+               type(V, A, T) :- member(V, T), mandatory(A, T).\n";
+    assert_eq!(
+        sigma_golden(src),
+        [
+            "1:1: warning[FL012]: value-invention cycle data[2] → member[0] \
+             (closed by rule r1): the chase may invent unboundedly many nulls"
+                .to_string(),
+            "1:1: warning[FL012]: value-invention cycle data[2] → member[0] → type[0] \
+             (closed by rule r1): the chase may invent unboundedly many nulls"
+                .to_string(),
+            "1:25: warning[FL013]: existential rule r1 has no body atom covering \
+             its frontier variables `O`, `A`; `O` is left unguarded"
+                .to_string(),
+            "1:28: warning[FL014]: marked variable `C` occurs more than once in \
+             the body of rule r1: derivations do not stick"
+                .to_string(),
+            "2:22: warning[FL014]: marked variable `O` occurs more than once in \
+             the body of rule r2: derivations do not stick"
+                .to_string(),
+            "3:28: warning[FL014]: marked variable `T` occurs more than once in \
+             the body of rule r3: derivations do not stick"
+                .to_string(),
+        ]
+    );
+}
+
+// --- CLI level: `flq lint --json` golden ---------------------------------
+
+fn flq(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flq"))
+        .args(args)
+        .output()
+        .expect("flq binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("flq exits normally"),
+    )
+}
+
+/// Writes `content` to a unique temp file and returns its path.
+fn temp_file(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("flq-golden-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).expect("temp file writes");
+    path
+}
+
+#[test]
+fn lint_json_is_golden_jsonl() {
+    let path = temp_file("json.fl", "john : student.\n?- X[a -> V].\n");
+    let p = path.to_str().unwrap();
+    let (stdout, stderr, code) = flq(&["lint", p, "--json"]);
+    assert_eq!(code, 1);
+    assert_eq!(
+        stdout,
+        format!(
+            "{{\"code\":\"FL005\",\"severity\":\"warning\",\"line\":2,\"col\":6,\
+             \"message\":\"`a` is not declared by any fact in this program\",\
+             \"path\":\"{p}\"}}\n\
+             {{\"code\":\"FL007\",\"severity\":\"warning\",\"line\":2,\"col\":6,\
+             \"message\":\"no `data` atom is derivable from the facts (Σ_FL \
+             dependency graph): this atom can never be satisfied, so the query \
+             is statically empty\",\"path\":\"{p}\"}}\n"
+        )
+    );
+    // Every stdout line parses as a flat JSON object (the server's strict
+    // parser is the arbiter of what "valid JSON" means in this repo).
+    for line in stdout.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    assert_eq!(stderr, format!("{p}: 0 error(s), 2 warning(s)\n"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn lint_json_clean_file_is_empty_output() {
+    let path = temp_file("clean.fl", "john : student.\n?- X : student.\n");
+    let p = path.to_str().unwrap();
+    let (stdout, _, code) = flq(&["lint", p, "--json"]);
+    assert_eq!(code, 0);
+    assert_eq!(stdout, "");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn lint_sigma_json_passes_unicode_through() {
+    // The FL012 message contains `→` arrows and backticks: both must
+    // survive the JSON encoding verbatim (JSON allows raw UTF-8).
+    let path = temp_file(
+        "adm.sigma",
+        "data(O, A, V) :- mandatory(A, O).\nmandatory(A, V) :- data(O, A, V).\n",
+    );
+    let p = path.to_str().unwrap();
+    let (stdout, stderr, code) = flq(&["lint", "--sigma", p, "--json"]);
+    assert_eq!(code, 0, "guarded set admits: {stderr}");
+    assert_eq!(
+        stdout,
+        format!(
+            "{{\"code\":\"FL012\",\"severity\":\"warning\",\"line\":1,\"col\":1,\
+             \"message\":\"value-invention cycle data[2] → mandatory[1] (closed \
+             by rule r1): the chase may invent unboundedly many nulls\",\
+             \"path\":\"{p}\"}}\n"
+        )
+    );
+    assert!(stderr.contains("admitted"), "{stderr}");
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,244 @@
+//! Cross-validation of user-supplied `Σ` against the built-in `Σ_FL`,
+//! plus property tests of the Σ-admission classifier.
+//!
+//! The central contract: a `.sigma` transcription of the paper's twelve
+//! rules must be *bit-identical* to the built-in set — same structural
+//! recognition, same fingerprint (hence shared cache entries), same
+//! verdicts and chase statistics, same CLI output. And for arbitrary
+//! generated rule sets the classifier must never panic, must always
+//! attach spans to its rejections, and must derive chase-depth bounds
+//! the actual chase never exceeds.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use flogic_lite::analysis::{admit_sigma, classify_rule_set, SigmaClass};
+use flogic_lite::chase::{chase_bounded, ChaseOptions, ChaseOutcome};
+use flogic_lite::core::{contains_with, ContainmentOptions};
+use flogic_lite::gen::rng::SplitMix64;
+use flogic_lite::gen::{random_query, random_rule_set, QueryGenConfig, SigmaGenConfig};
+use flogic_lite::model::RuleSet;
+use flogic_lite::prelude::*;
+
+fn example(name: &str) -> String {
+    let path = format!("{}/examples/sigma/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).expect("example .sigma file exists")
+}
+
+fn parsed_sigma_fl() -> Arc<RuleSet> {
+    let admission = admit_sigma(&example("sigma_fl.sigma"), "sigma_fl.sigma").expect("parses");
+    assert!(admission.is_admitted());
+    admission.rule_set().clone()
+}
+
+fn q(s: &str) -> ConjunctiveQuery {
+    parse_query(s).unwrap()
+}
+
+#[test]
+fn parsed_sigma_fl_is_structurally_the_builtin() {
+    let parsed = parsed_sigma_fl();
+    assert!(parsed.is_sigma_fl(), "transcription must be recognised");
+    assert_eq!(
+        parsed.fingerprint(),
+        RuleSet::sigma_fl().fingerprint(),
+        "renaming-invariant fingerprints must agree (shared cache entries)"
+    );
+    assert_eq!(parsed.len(), 12);
+}
+
+#[test]
+fn parsed_sigma_fl_classifies_like_the_builtin() {
+    // Σ_FL is guarded, not weakly acyclic (the ρ5 cycle), not sticky.
+    let admission = classify_rule_set(parsed_sigma_fl());
+    assert!(admission.is_admitted());
+    assert_eq!(admission.classes(), [SigmaClass::Guarded]);
+    let builtin = classify_rule_set(RuleSet::sigma_fl().clone());
+    assert_eq!(builtin.classes(), admission.classes());
+    assert_eq!(builtin.is_admitted(), admission.is_admitted());
+}
+
+#[test]
+fn verdicts_under_parsed_sigma_fl_are_bit_identical() {
+    let pairs = [
+        // Positive, needs Σ_FL reasoning (rho2 transitivity).
+        ("q(X, Z) :- sub(X, Y), sub(Y, Z).", "p(X, Z) :- sub(X, Z)."),
+        // Positive with value invention (rho5 + rho1).
+        (
+            "q(O) :- member(O, c), mandatory(a, c), type(c, a, t).",
+            "p(O) :- data(O, a, V), member(V, T).",
+        ),
+        // Negative.
+        ("q(X) :- member(X, c).", "p(X) :- sub(X, c)."),
+        // Vacuous: rho4 equates two distinct constants.
+        (
+            "q() :- data(o, a, 1), data(o, a, 2), funct(a, o).",
+            "p() :- sub(X, Y).",
+        ),
+    ];
+    let custom_opts = ContainmentOptions {
+        sigma: parsed_sigma_fl(),
+        ..Default::default()
+    };
+    for (s1, s2) in pairs {
+        let (q1, q2) = (q(s1), q(s2));
+        let default = contains_with(&q1, &q2, &ContainmentOptions::default()).unwrap();
+        let custom = contains_with(&q1, &q2, &custom_opts).unwrap();
+        assert_eq!(default.verdict(), custom.verdict(), "{s1} vs {s2}");
+        assert_eq!(default.holds(), custom.holds());
+        assert_eq!(default.is_vacuous(), custom.is_vacuous());
+        assert_eq!(default.witness(), custom.witness());
+        assert_eq!(default.level_bound(), custom.level_bound());
+        assert_eq!(default.chase_conjuncts(), custom.chase_conjuncts());
+        assert_eq!(default.max_chase_level(), custom.max_chase_level());
+        assert_eq!(
+            default.decided_by_analysis(),
+            custom.decided_by_analysis(),
+            "the static fast paths must stay active for a structural Σ_FL"
+        );
+    }
+}
+
+#[test]
+fn cli_output_under_parsed_sigma_fl_is_bit_identical() {
+    let flq = env!("CARGO_BIN_EXE_flq");
+    let sigma = format!(
+        "{}/examples/sigma/sigma_fl.sigma",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let q1 = "q(X, Z) :- sub(X, Y), sub(Y, Z).";
+    let q2 = "p(X, Z) :- sub(X, Z).";
+    let default = Command::new(flq)
+        .args(["contains", q1, q2])
+        .output()
+        .expect("flq runs");
+    let custom = Command::new(flq)
+        .args(["contains", q1, q2, "--sigma", &sigma])
+        .output()
+        .expect("flq runs");
+    assert_eq!(default.status.code(), custom.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&default.stdout),
+        String::from_utf8_lossy(&custom.stdout),
+        "stdout must match byte for byte"
+    );
+}
+
+#[test]
+fn rejected_set_blocks_every_sigma_subcommand_with_exit_2() {
+    let flq = env!("CARGO_BIN_EXE_flq");
+    let rejected = format!(
+        "{}/examples/sigma/rejected.sigma",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    for args in [
+        vec!["lint", "--sigma", rejected.as_str()],
+        vec![
+            "contains",
+            "q(X) :- member(X, c).",
+            "p(X) :- member(X, c).",
+            "--sigma",
+            rejected.as_str(),
+        ],
+        vec![
+            "chase",
+            "q(X) :- member(X, c).",
+            "--sigma",
+            rejected.as_str(),
+        ],
+    ] {
+        let out = Command::new(flq).args(&args).output().expect("flq runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let text = format!(
+            "{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(text.contains("FL01"), "diagnostics must be shown: {text}");
+    }
+}
+
+#[test]
+fn classifier_never_panics_and_rejections_carry_spans() {
+    let cfg = SigmaGenConfig::default();
+    let mut rejected = 0;
+    let mut admitted = 0;
+    for seed in 0..200 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let set = random_rule_set(&cfg, &mut rng);
+        let admission = classify_rule_set(Arc::new(set));
+        if admission.is_admitted() {
+            admitted += 1;
+            assert!(!admission.classes().is_empty());
+        } else {
+            rejected += 1;
+            // Generated rules are well-formed, so rejection can only mean
+            // "all three classes failed" — and each failure must be
+            // reported with a coded, positioned diagnostic.
+            assert!(
+                admission
+                    .diagnostics()
+                    .iter()
+                    .any(|d| d.code.code().starts_with("FL01")),
+                "seed {seed}: rejection without an FL01x code"
+            );
+            assert!(
+                admission.diagnostics().iter().all(|d| d.pos.line >= 1),
+                "seed {seed}: diagnostic without a span"
+            );
+        }
+        // The summary always renders.
+        assert!(!admission.summary().is_empty());
+    }
+    // The default config must actually sample both outcomes, or this
+    // property test is vacuous.
+    assert!(admitted > 10, "only {admitted} admitted sets in 200 seeds");
+    assert!(rejected > 10, "only {rejected} rejected sets in 200 seeds");
+}
+
+#[test]
+fn weakly_acyclic_chase_never_exceeds_the_derived_bound() {
+    let set_cfg = SigmaGenConfig::default();
+    let query_cfg = QueryGenConfig {
+        n_atoms: 3,
+        n_vars: 3,
+        n_consts: 2,
+        ..Default::default()
+    };
+    let mut checked = 0;
+    for seed in 0..120 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let set = Arc::new(random_rule_set(&set_cfg, &mut rng));
+        let admission = classify_rule_set(set.clone());
+        if !admission.classes().contains(&SigmaClass::WeaklyAcyclic) {
+            continue;
+        }
+        let query = random_query(&query_cfg, &mut rng);
+        let bound = admission.level_bound(query.size(), 4);
+        let chase = chase_bounded(
+            &query,
+            &ChaseOptions {
+                level_bound: bound,
+                max_conjuncts: 200_000,
+                sigma: set,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        match chase.outcome() {
+            ChaseOutcome::Completed | ChaseOutcome::Failed { .. } => {}
+            other => panic!(
+                "seed {seed}: weakly acyclic chase should terminate below \
+                 the derived bound {bound}, got {other:?} at level {}",
+                chase.max_level()
+            ),
+        }
+        assert!(
+            chase.max_level() <= bound,
+            "seed {seed}: level {} exceeded the derived bound {bound}",
+            chase.max_level()
+        );
+        checked += 1;
+    }
+    assert!(checked > 10, "only {checked} weakly acyclic sets sampled");
+}
