@@ -80,6 +80,13 @@ fn run(id: &str, quick: bool, threads: usize) -> Option<ExperimentOutput> {
                 experiments::e13(150, 5)
             }
         }
+        "e14" => {
+            if quick {
+                experiments::e14(6, 2)
+            } else {
+                experiments::e14(12, 4)
+            }
+        }
         _ => return None,
     };
     Some(out)
@@ -109,7 +116,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = (1..=13).map(|i| format!("e{i}")).collect();
+        ids = (1..=14).map(|i| format!("e{i}")).collect();
     }
 
     let dir = out_dir();
@@ -129,7 +136,7 @@ fn main() {
     for id in &ids {
         let before = Metrics::global().snapshot();
         let Some(output) = run(id, quick, threads) else {
-            eprintln!("unknown experiment `{id}` (expected e1..e13)");
+            eprintln!("unknown experiment `{id}` (expected e1..e14)");
             std::process::exit(2);
         };
         for (i, table) in output.tables.iter().enumerate() {

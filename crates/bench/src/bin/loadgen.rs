@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--batch N]
-//!         [--pairs N] [--seed N] [--max-conjuncts N] [--warmup N]
-//!         [--keep-alive] [--pipeline N] [--csv FILE] [--verify]
+//!         [--pairs N] [--variants N] [--seed N] [--max-conjuncts N]
+//!         [--warmup N] [--keep-alive] [--pipeline N] [--csv FILE] [--verify]
 //! ```
 //!
 //! Generates `--pairs` query pairs with the E4 workload generator
@@ -12,6 +12,14 @@
 //! `--concurrency` client threads. `--batch N` groups N pairs per
 //! `POST /v1/contains_batch` request instead of one per
 //! `POST /v1/contains`.
+//!
+//! `--variants N` appends N mutated respellings of every base pair to
+//! the pair list (redundant atoms + variable renaming + body
+//! permutation, seeded like everything else) — the variant-storm
+//! workload that exercises the server's semantic cache keys. Combined
+//! with `--verify`, every variant's verdict is still checked against a
+//! local `contains_with` of that exact variant, so the storm doubles as
+//! a canonicalization soundness gate.
 //!
 //! Three connection modes:
 //!
@@ -47,7 +55,7 @@ use std::time::{Duration, Instant};
 use flogic_bench::wire;
 use flogic_core::{contains_with, ContainmentOptions, Verdict};
 use flogic_gen::rng::SplitMix64;
-use flogic_gen::{generalize, random_query, GeneralizeConfig, QueryGenConfig};
+use flogic_gen::{generalize, mutate_variant, random_query, GeneralizeConfig, QueryGenConfig};
 use flogic_model::ConjunctiveQuery;
 
 struct Config {
@@ -56,6 +64,7 @@ struct Config {
     concurrency: usize,
     batch: usize,
     pairs: usize,
+    variants: usize,
     seed: u64,
     max_conjuncts: usize,
     warmup: usize,
@@ -68,8 +77,8 @@ struct Config {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--batch N] \
-         [--pairs N] [--seed N] [--max-conjuncts N] [--warmup N] [--keep-alive] \
-         [--pipeline N] [--csv FILE] [--verify]"
+         [--pairs N] [--variants N] [--seed N] [--max-conjuncts N] [--warmup N] \
+         [--keep-alive] [--pipeline N] [--csv FILE] [--verify]"
     );
     ExitCode::from(2)
 }
@@ -81,6 +90,7 @@ fn parse_args() -> Result<Config, ExitCode> {
         concurrency: 1,
         batch: 1,
         pairs: 16,
+        variants: 0,
         seed: 7,
         max_conjuncts: 50_000,
         warmup: 0,
@@ -118,6 +128,7 @@ fn parse_args() -> Result<Config, ExitCode> {
             "--concurrency" => config.concurrency = num(&mut it, &arg, "a number")?,
             "--batch" => config.batch = num(&mut it, &arg, "a number")?,
             "--pairs" => config.pairs = num(&mut it, &arg, "a number")?,
+            "--variants" => config.variants = num(&mut it, &arg, "a number")?,
             "--seed" => config.seed = num(&mut it, &arg, "a number")? as u64,
             "--max-conjuncts" => config.max_conjuncts = num(&mut it, &arg, "a number")?,
             "--warmup" => config.warmup = num(&mut it, &arg, "a number")?,
@@ -153,8 +164,11 @@ fn parse_args() -> Result<Config, ExitCode> {
     Ok(config)
 }
 
-/// The E4 workload, first arm: random `q1`, generalized `q2`.
-fn workload(pairs: usize, seed: u64) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
+/// The E4 workload, first arm: random `q1`, generalized `q2` — plus
+/// `variants` mutated respellings of every base pair (both sides
+/// independently mutated), appended after the base pairs so round-robin
+/// traffic interleaves originals and variants.
+fn workload(pairs: usize, variants: usize, seed: u64) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)> {
     let qcfg = QueryGenConfig {
         n_atoms: 4,
         n_vars: 4,
@@ -162,7 +176,7 @@ fn workload(pairs: usize, seed: u64) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)
         ..Default::default()
     };
     let gcfg = GeneralizeConfig::default();
-    (0..pairs as u64)
+    let base: Vec<(ConjunctiveQuery, ConjunctiveQuery)> = (0..pairs as u64)
         .map(|i| {
             let q1 = random_query(&qcfg, &mut SplitMix64::seed_from_u64(seed.wrapping_add(i)));
             let q2 = generalize(
@@ -172,7 +186,18 @@ fn workload(pairs: usize, seed: u64) -> Vec<(ConjunctiveQuery, ConjunctiveQuery)
             );
             (q1, q2)
         })
-        .collect()
+        .collect();
+    let mut all = base.clone();
+    for v in 1..=variants as u64 {
+        for (i, (q1, q2)) in base.iter().enumerate() {
+            let s = seed.wrapping_add(v * 1_000_000 + i as u64);
+            all.push((
+                mutate_variant(q1, &mut SplitMix64::seed_from_u64(s.wrapping_add(20_000))),
+                mutate_variant(q2, &mut SplitMix64::seed_from_u64(s.wrapping_add(40_000))),
+            ));
+        }
+    }
+    all
 }
 
 /// The wire name of a locally computed verdict (matching
@@ -345,7 +370,7 @@ fn main() -> ExitCode {
         Ok(config) => config,
         Err(code) => return code,
     };
-    let pairs = workload(config.pairs, config.seed);
+    let pairs = workload(config.pairs, config.variants, config.seed);
     let texts: Arc<Vec<(String, String)>> = Arc::new(
         pairs
             .iter()

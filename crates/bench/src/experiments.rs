@@ -15,12 +15,12 @@ use flogic_core::{
 };
 use flogic_datalog::{answers, close_database, ClosureOptions};
 use flogic_gen::{
-    generalize, generalize_from_chase, random_database, random_query, random_rule_set, DbGenConfig,
-    GeneralizeConfig, QueryGenConfig, SigmaGenConfig,
+    generalize, generalize_from_chase, mutate_variant, random_database, random_query,
+    random_rule_set, DbGenConfig, GeneralizeConfig, QueryGenConfig, SigmaGenConfig,
 };
 use flogic_model::{Atom, ConjunctiveQuery, Pred, RuleSet};
 use flogic_syntax::parse_query;
-use flogic_term::{Symbol, Term};
+use flogic_term::{Metrics, Subst, Symbol, Term};
 
 use crate::Table;
 
@@ -1615,6 +1615,250 @@ pub fn e13(sets_per_size: usize, reps: usize) -> ExperimentOutput {
              wa_bound_* columns are the rank-derived terminating-chase bounds of the \
              weakly acyclic sets at n1 = n2 = 4; non-WA admitted sets derive the \
              Theorem 12 bound exactly (asserted, not just tabulated)."
+        )],
+        files: vec![],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// E14 — semantic cache keys under variant-heavy traffic.
+// ---------------------------------------------------------------------------
+
+/// A fresh semantic question with the same body size as `q2`: one
+/// variable (preferring one that does not appear in the head) is ground
+/// to a constant never used anywhere else. The Theorem 12 bound is a
+/// function of body sizes, so a snapshot warm for `q2`-sized questions
+/// can usually serve the new one — while the decision itself has never
+/// been asked, in either canon mode.
+fn freshen(q2: &ConjunctiveQuery, k: usize) -> ConjunctiveQuery {
+    let head_vars: std::collections::BTreeSet<Term> =
+        q2.head().iter().copied().filter(|t| t.is_var()).collect();
+    let vars = q2.vars();
+    let pick = vars
+        .iter()
+        .find(|v| !head_vars.contains(v))
+        .or_else(|| vars.iter().next());
+    match pick {
+        Some(&v) => q2.apply(&Subst::singleton(v, Term::constant(&format!("fz{k}")))),
+        None => q2.clone(),
+    }
+}
+
+/// E14: what semantic (canonicalized) cache keys buy on variant-heavy
+/// traffic — the workload the raw structural keys get ~0% on.
+///
+/// `distinct` base pairs (the E4 workload shape) are warmed on two
+/// in-process `flqd` servers, one default (canon on) and one
+/// `--no-canon`. Two measured phases follow, `variants` rounds each:
+///
+/// 1. **variant decisions** — every base pair mutated on both sides
+///    ([`mutate_variant`]: redundant atoms + renaming + permutation).
+///    Canon keys fold the mutations back to the warmed core pair, so the
+///    decision cache answers without re-chasing; raw keys miss every
+///    time. Hit rate comes from the engine's global cache counters,
+///    scoped to the phase; `variant_p50_us` is the request p50.
+/// 2. **fresh questions** — a mutated `q1` against a freshened `q2`
+///    (a question never asked before, in either mode). The decision
+///    cache *must* miss; what is measured is the snapshot LRU: canon
+///    substitutes the warm canonical `q1`, raw keys see a brand-new
+///    spelling. Hit rate comes from scraping `GET /metrics`.
+///
+/// The acceptance contract from the canonicalization work is asserted,
+/// not just tabulated: canon-on hits ≥ 80% on both caches while
+/// canon-off hits ≤ 5%, and every request decides with HTTP 200.
+pub fn e14(distinct: usize, variants: usize) -> ExperimentOutput {
+    use crate::wire;
+    use flogic_serve::{Server, ServerConfig};
+
+    let qcfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
+    let gcfg = GeneralizeConfig::default();
+    let base: Vec<(ConjunctiveQuery, ConjunctiveQuery)> = (0..distinct as u64)
+        .map(|i| {
+            let q1 = random_query(&qcfg, &mut rng(i));
+            let q2 = generalize(&q1, &gcfg, &mut rng(i + 10_000));
+            (q1, q2)
+        })
+        .collect();
+    let text = flogic_syntax::query_to_flogic;
+    let base_texts: Vec<(String, String)> = base.iter().map(|(a, b)| (text(a), text(b))).collect();
+    // The *structural* key already folds renaming and permutation, so
+    // two independently seeded mutants of the same q1 can coincide by
+    // chance and hand the raw-key server an accidental snapshot hit.
+    // That folding is fine — it is the seed behavior — but this
+    // experiment isolates the *semantic* folding on top of it, so the
+    // q1 mutants are drawn to be pairwise structurally distinct.
+    let mut seen: std::collections::HashSet<flogic_core::QueryKey> = base
+        .iter()
+        .map(|(q1, _)| flogic_core::QueryKey::structural(q1))
+        .collect();
+    let mut distinct_mutant = |q: &ConjunctiveQuery, seed: u64| -> ConjunctiveQuery {
+        let mut s = seed;
+        loop {
+            let m = mutate_variant(q, &mut rng(s));
+            if seen.insert(flogic_core::QueryKey::structural(&m)) {
+                return m;
+            }
+            s = s.wrapping_add(1_000_000_000);
+        }
+    };
+    // Phase 1: both sides mutated. The canonical keys must fold these
+    // back onto the warmed entries; the raw keys cannot.
+    let mut variant_texts: Vec<(String, String)> = Vec::new();
+    for v in 0..variants as u64 {
+        for (i, (q1, q2)) in base.iter().enumerate() {
+            let s = 700_000 + v * 10_000 + i as u64;
+            variant_texts.push((
+                text(&distinct_mutant(q1, s)),
+                text(&mutate_variant(q2, &mut rng(s + 100_000))),
+            ));
+        }
+    }
+    // Phase 2: mutated q1, never-asked q2. Forces a decision miss in
+    // both modes, so the snapshot cache is what answers (or doesn't).
+    let mut fresh_texts: Vec<(String, String)> = Vec::new();
+    for v in 0..variants {
+        for (i, (q1, q2)) in base.iter().enumerate() {
+            let s = 900_000 + v as u64 * 10_000 + i as u64;
+            fresh_texts.push((
+                text(&distinct_mutant(q1, s)),
+                text(&freshen(q2, v * distinct + i)),
+            ));
+        }
+    }
+
+    let contains_body = |q1: &str, q2: &str| {
+        format!(
+            "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":50000}}",
+            wire::json_quote(q1),
+            wire::json_quote(q2)
+        )
+    };
+    // One counter line of the GET /metrics body (keys carry a trailing
+    // space so e.g. `flqd_snapshot_hits` never matches a longer name).
+    let scrape = |addr: &str, key: &str| -> u64 {
+        let (status, body) = wire::get(addr, "/metrics").expect("metrics");
+        assert_eq!(status, 200, "{body}");
+        body.lines()
+            .find_map(|l| {
+                l.strip_prefix(key)
+                    .and_then(|rest| rest.trim().parse().ok())
+            })
+            .unwrap_or(0)
+    };
+    let pct = |hits: u64, misses: u64| -> f64 {
+        if hits + misses == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / (hits + misses) as f64
+        }
+    };
+
+    let mut t = Table::new(
+        "E14: semantic vs raw cache keys on variant-heavy traffic (mutated spellings of warm pairs)",
+        &[
+            "mode",
+            "warm_reqs",
+            "variant_reqs",
+            "decision_hit_pct",
+            "variant_p50_us",
+            "fresh_reqs",
+            "snapshot_hit_pct",
+            "canon_keys",
+        ],
+    );
+    let mut contrast: Vec<(f64, f64, Duration)> = Vec::new();
+    for canon in [true, false] {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            canon,
+            ..ServerConfig::default()
+        })
+        .expect("bind in-process server");
+        let addr = server.local_addr().expect("local addr").to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        let mut client = wire::Client::connect(&addr).expect("connect");
+        let post = |client: &mut wire::Client, q1: &str, q2: &str| -> Duration {
+            let t0 = Instant::now();
+            let (status, body) = client
+                .post("/v1/contains", &contains_body(q1, q2))
+                .expect("request");
+            let dt = t0.elapsed();
+            assert_eq!(status, 200, "{body}");
+            dt
+        };
+
+        for (q1, q2) in &base_texts {
+            post(&mut client, q1, q2);
+        }
+        let m0 = Metrics::global().snapshot();
+        let mut latencies: Vec<Duration> = variant_texts
+            .iter()
+            .map(|(q1, q2)| post(&mut client, q1, q2))
+            .collect();
+        let decisions = Metrics::global().snapshot().since(&m0);
+        latencies.sort();
+        let p50 = latencies[latencies.len() / 2];
+
+        let h0 = scrape(&addr, "flqd_snapshot_hits ");
+        let s0 = scrape(&addr, "flqd_snapshot_misses ");
+        for (q1, q2) in &fresh_texts {
+            post(&mut client, q1, q2);
+        }
+        let snap_hits = scrape(&addr, "flqd_snapshot_hits ") - h0;
+        let snap_misses = scrape(&addr, "flqd_snapshot_misses ") - s0;
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean drain");
+
+        let decision_pct = pct(decisions.cache_hits, decisions.cache_misses);
+        let snapshot_pct = pct(snap_hits, snap_misses);
+        contrast.push((decision_pct, snapshot_pct, p50));
+        t.push(vec![
+            if canon {
+                "canon (default)"
+            } else {
+                "--no-canon"
+            }
+            .into(),
+            base_texts.len().to_string(),
+            variant_texts.len().to_string(),
+            format!("{decision_pct:.1}"),
+            micros(p50),
+            fresh_texts.len().to_string(),
+            format!("{snapshot_pct:.1}"),
+            decisions.canon_keys.to_string(),
+        ]);
+    }
+    // The acceptance contract: semantic keys make variant traffic a hit
+    // workload, raw keys leave it a miss workload.
+    let (on, off) = (&contrast[0], &contrast[1]);
+    assert!(
+        on.0 >= 80.0 && on.1 >= 80.0,
+        "canon-on hit rates below the 80% floor: decision {:.1}%, snapshot {:.1}%",
+        on.0,
+        on.1
+    );
+    assert!(
+        off.0 <= 5.0 && off.1 <= 5.0,
+        "canon-off hit rates above the 5% ceiling: decision {:.1}%, snapshot {:.1}%",
+        off.0,
+        off.1
+    );
+
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![format!(
+            "{distinct} warm base pairs, {variants} variant round(s) per phase, one kept-alive \
+             client. Variant requests mutate both sides (redundant atoms + renaming + \
+             permutation); fresh requests pair a mutated q1 with a never-asked q2 of the same \
+             size, so only the snapshot cache can help. decision_hit_pct is scoped to the \
+             variant phase via engine counter deltas; snapshot_hit_pct to the fresh phase via \
+             GET /metrics. Asserted: canon >= 80% on both caches, --no-canon <= 5%."
         )],
         files: vec![],
     }

@@ -18,6 +18,9 @@
 //! | E9 | repeated-query batches: decision cache, shared chase, parallel chase |
 //! | E10 | tracer overhead A/B (disabled handle vs enabled) + exported chase profiles |
 //! | E11 | `flqd` serving economics: cold vs warm latency, batch throughput by worker count |
+//! | E12 | transport shapes over warm decisions: close vs keep-alive vs pipelined clients |
+//! | E13 | Σ-admission classifier cost and derived chase bounds vs the Theorem 12 bound |
+//! | E14 | semantic (canonicalized) cache keys vs raw keys on variant-heavy traffic |
 
 pub mod experiments;
 pub mod microbench;

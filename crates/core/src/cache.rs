@@ -2,36 +2,57 @@
 //!
 //! Deciding `q1 ⊆_ΣFL q2` is expensive (a bounded chase plus a
 //! backtracking homomorphism search), while real workloads — query
-//! minimisation, union checks, benchmark sweeps — keep asking about the
-//! *same pairs up to variable renaming*. [`DecisionCache`] memoizes
-//! verdicts under a canonical form that is invariant under renaming
-//! variables and permuting body conjuncts, so a query rewritten apart
-//! (fresh variable names, shuffled body) still hits.
+//! minimisation, union checks, many users asking about syntactic variants
+//! of the same schema queries — keep asking *semantically identical*
+//! questions. [`DecisionCache`] memoizes verdicts under a **semantic
+//! canonical form**: the classic core ([`flogic_hom::classic_core`])
+//! under a deterministic total variable/atom ordering. Renamed variables,
+//! permuted conjuncts and redundant (core-foldable) atoms all land on the
+//! same entry, because classically equivalent queries answer every
+//! Σ-containment question alike (equivalent queries have identical
+//! answers on every database, hence on every model of Σ).
 //!
-//! The canonical form is **sound, not complete**: equal keys imply
-//! isomorphic queries (the key *is* the renamed query), but two isomorphic
-//! queries whose bodies sort differently under the variable-blind shape
-//! order may get distinct keys. A missed hit costs one recomputation,
-//! never a wrong answer.
+//! The total ordering replaces an earlier greedy pass whose tie-breaking
+//! fell back to input order, so isomorphic queries could get distinct
+//! keys. The new pass backtracks over tied choices and emits the
+//! lexicographically least complete encoding; for any two isomorphic
+//! queries within the (deterministic) search budget the encodings are
+//! equal, so equal keys are now both sound *and* — up to the budget —
+//! complete: equal keys always mean equivalent queries, and equivalent
+//! queries get equal keys unless a pathologically symmetric body exhausts
+//! [`CANON_NODE_BUDGET`], in which case the pass degrades to the greedy
+//! choice and the only cost is a possible extra recomputation, never a
+//! wrong answer.
 //!
-//! Cache hits and misses are reported to the process-global
-//! [`flogic_term::Metrics`], which the benchmark harness prints.
+//! Canonicalization is governed by [`ContainmentOptions::canon`]
+//! (default on; `flqd` exposes `--no-canon`): with it off, keys use the
+//! structural form only (no core), reproducing the pre-semantic
+//! behaviour. Truncated runs (an explicit level bound *below* the
+//! Theorem 12 bound) always key structurally with their effective bound —
+//! their verdicts answer a bound-dependent question about the literal
+//! query, not its core, and must never be replayed across bounds.
+//!
+//! Cache hits/misses and canonicalization passes are reported to the
+//! process-global [`flogic_term::Metrics`] (`flq_canon_*` counters),
+//! which `flq --metrics` and the benchmark harness print.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use flogic_chase::ChaseOutcome;
-use flogic_model::{ConjunctiveQuery, Pred};
+use flogic_hom::classic_core;
+use flogic_model::{Atom, ConjunctiveQuery, Pred};
 use flogic_term::{Metrics, Symbol, Term};
 
 use crate::decide::{
-    contains_batch, contains_with, ContainmentOptions, ContainmentResult, Verdict,
+    contains_batch, contains_with, derived_bound, ContainmentOptions, ContainmentResult, Verdict,
 };
 use crate::CoreError;
 
 /// A term in canonical form: variables are replaced by their
-/// first-occurrence index (head first, then the sorted body), everything
-/// else is kept verbatim.
+/// first-occurrence index (head first, then the canonically ordered
+/// body), everything else is kept verbatim.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 enum CanonTerm {
     /// A rigid constant, by name.
@@ -56,7 +77,10 @@ struct CanonQuery {
 /// constants sort by name, numbered variables by their number, and
 /// not-yet-numbered variables by their first-occurrence pattern within
 /// the atom (so `sub(U, U)` and `sub(U, V)` stay distinguishable).
-/// Derived `Ord` puts `Const < Null < Var < Fresh`.
+/// Derived `Ord` puts `Const < Null < Var < Fresh`, which mirrors how the
+/// terms compare once the fresh variables are numbered: freshly numbered
+/// variables always receive indices above every already-numbered one, so
+/// minimising `atom_key`s is the same as minimising emitted encodings.
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
 enum KeyTerm {
     Const(&'static str),
@@ -65,7 +89,11 @@ enum KeyTerm {
     Fresh(u32),
 }
 
-fn atom_key(atom: &flogic_model::Atom, numbering: &HashMap<Symbol, u32>) -> (usize, Vec<KeyTerm>) {
+/// An atom encoded under a *complete* numbering (no `Fresh` inside):
+/// one entry of the canonical encoding the search minimises.
+type EncodedAtom = (usize, Vec<KeyTerm>);
+
+fn atom_key(atom: &Atom, numbering: &HashMap<Symbol, u32>) -> EncodedAtom {
     let mut local: HashMap<Symbol, u32> = HashMap::new();
     let args = atom
         .args()
@@ -85,35 +113,135 @@ fn atom_key(atom: &flogic_model::Atom, numbering: &HashMap<Symbol, u32>) -> (usi
     (atom.pred().index(), args)
 }
 
-/// Computes the canonical form: number the head variables in head order
-/// (the head is the one part of a query whose order is semantically
-/// fixed), then greedily emit body atoms smallest-key-first, extending the
-/// numbering with each emitted atom's fresh variables. Anchoring on the
-/// head makes the result independent of the input body order whenever the
-/// greedy choice is unambiguous; symmetric ties fall back to input order,
-/// which can only cause cache misses, never wrong hits.
-fn canonicalize(q: &ConjunctiveQuery) -> CanonQuery {
-    let mut numbering: HashMap<Symbol, u32> = HashMap::new();
-    let assign = |t: &Term, numbering: &mut HashMap<Symbol, u32>| match t {
+/// Numbers an atom's variables into `numbering` (extending it with fresh
+/// indices in argument order) and returns the fully-numbered encoding.
+fn number_atom(atom: &Atom, numbering: &mut HashMap<Symbol, u32>) -> EncodedAtom {
+    let args = atom
+        .args()
+        .iter()
+        .map(|t| match t {
+            Term::Const(s) => KeyTerm::Const(s.as_str()),
+            Term::Null(n) => KeyTerm::Null(n.0),
+            Term::Var(v) => {
+                let next = numbering.len() as u32;
+                KeyTerm::Var(*numbering.entry(*v).or_insert(next))
+            }
+        })
+        .collect();
+    (atom.pred().index(), args)
+}
+
+/// Cap on the number of *extra* branches (beyond the greedy first choice)
+/// the tie-backtracking search may explore per query. Real queries hit a
+/// handful of ties at most; the cap only bites on pathologically
+/// symmetric bodies, where the pass deterministically degrades to the
+/// greedy choice for the branches it cannot afford — costing at worst a
+/// cache miss, never a wrong hit.
+const CANON_NODE_BUDGET: usize = 512;
+
+/// Backtracking search for the lexicographically least body encoding.
+///
+/// Each round computes every remaining atom's [`atom_key`] **once**
+/// (the earlier greedy pass rebuilt both sides' keys inside every
+/// `min_by` comparison — O(n³) key builds on wide bodies; this is O(n²)
+/// plus whatever tie branches the budget admits). Because `atom_key`
+/// ordering agrees with emitted-encoding ordering (see [`KeyTerm`]), the
+/// minimal-key atoms are exactly the candidates for the least encoding's
+/// next entry, so restricting branching to them loses nothing.
+struct CanonSearch<'a> {
+    atoms: &'a [Atom],
+    budget: usize,
+}
+
+impl CanonSearch<'_> {
+    /// The emission order (indices into `self.atoms`) of the least
+    /// encoding reachable within budget, starting from `numbering`.
+    fn emission_order(mut self, numbering: &HashMap<Symbol, u32>) -> Vec<usize> {
+        let remaining: Vec<usize> = (0..self.atoms.len()).collect();
+        self.search(&remaining, numbering).1
+    }
+
+    fn search(
+        &mut self,
+        remaining: &[usize],
+        numbering: &HashMap<Symbol, u32>,
+    ) -> (Vec<EncodedAtom>, Vec<usize>) {
+        if remaining.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let keys: Vec<EncodedAtom> = remaining
+            .iter()
+            .map(|&i| atom_key(&self.atoms[i], numbering))
+            .collect();
+        let min = keys.iter().min().expect("remaining is non-empty");
+        // Tied positions, deduplicated: literally identical atoms lead to
+        // identical states, so exploring one of them suffices.
+        let mut tied: Vec<usize> = Vec::new();
+        for (pos, key) in keys.iter().enumerate() {
+            if key == min
+                && !tied
+                    .iter()
+                    .any(|&p| self.atoms[remaining[p]] == self.atoms[remaining[pos]])
+            {
+                tied.push(pos);
+            }
+        }
+        let take = tied.len().min(self.budget + 1);
+        self.budget -= take - 1;
+        let mut best: Option<(Vec<EncodedAtom>, Vec<usize>)> = None;
+        for &pos in &tied[..take] {
+            let idx = remaining[pos];
+            let mut extended = numbering.clone();
+            let entry = number_atom(&self.atoms[idx], &mut extended);
+            let rest: Vec<usize> = remaining.iter().copied().filter(|&j| j != idx).collect();
+            let (tail, order) = self.search(&rest, &extended);
+            let mut enc = Vec::with_capacity(tail.len() + 1);
+            enc.push(entry);
+            enc.extend(tail);
+            let better = match &best {
+                None => true,
+                Some((b, _)) => enc < *b,
+            };
+            if better {
+                let mut ord = Vec::with_capacity(order.len() + 1);
+                ord.push(idx);
+                ord.extend(order);
+                best = Some((enc, ord));
+            }
+        }
+        best.expect("at least one branch explored")
+    }
+}
+
+fn assign(t: &Term, numbering: &mut HashMap<Symbol, u32>) -> CanonTerm {
+    match t {
         Term::Const(s) => CanonTerm::Const(*s),
         Term::Null(n) => CanonTerm::Null(n.0),
         Term::Var(v) => {
             let next = numbering.len() as u32;
             CanonTerm::Var(*numbering.entry(*v).or_insert(next))
         }
-    };
-    let head = q.head().iter().map(|t| assign(t, &mut numbering)).collect();
+    }
+}
 
-    let mut remaining: Vec<&flogic_model::Atom> = q.body().iter().collect();
-    let mut body = Vec::with_capacity(remaining.len());
-    while !remaining.is_empty() {
-        let best = remaining
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| atom_key(a, &numbering).cmp(&atom_key(b, &numbering)))
-            .map(|(i, _)| i)
-            .expect("remaining is non-empty");
-        let atom = remaining.remove(best);
+/// Computes the *structural* canonical form: number the head variables in
+/// head order (the head is the one part of a query whose order is
+/// semantically fixed), then emit body atoms in the order found by
+/// [`CanonSearch`], extending the numbering with each emitted atom's
+/// fresh variables. Also returns the emission order (indices into
+/// `q.body()`) and the final variable numbering, so callers can rebuild a
+/// real [`ConjunctiveQuery`] in canonical shape.
+fn canonicalize_full(q: &ConjunctiveQuery) -> (CanonQuery, Vec<usize>, HashMap<Symbol, u32>) {
+    let mut numbering: HashMap<Symbol, u32> = HashMap::new();
+    let head = q.head().iter().map(|t| assign(t, &mut numbering)).collect();
+    let order = CanonSearch {
+        atoms: q.body(),
+        budget: CANON_NODE_BUDGET,
+    }
+    .emission_order(&numbering);
+    let mut body = Vec::with_capacity(order.len());
+    for &i in &order {
+        let atom = &q.body()[i];
         body.push((
             atom.pred(),
             atom.args()
@@ -122,18 +250,111 @@ fn canonicalize(q: &ConjunctiveQuery) -> CanonQuery {
                 .collect(),
         ));
     }
-    CanonQuery { head, body }
+    (CanonQuery { head, body }, order, numbering)
 }
 
-/// An opaque, hashable canonical key for a single query: equal keys mean
-/// the queries are identical up to variable renaming and body-conjunct
-/// order, hence `Σ_FL`-equivalent.
+fn canonicalize(q: &ConjunctiveQuery) -> CanonQuery {
+    canonicalize_full(q).0
+}
+
+/// The semantic half of a cache key — the canonicalized classic core plus
+/// the core's size — with the pass recorded on the global metrics.
+fn semantic_parts(q: &ConjunctiveQuery) -> (CanonQuery, usize) {
+    let start = Instant::now();
+    let core = classic_core(q);
+    let reduced = core.size() < q.size();
+    let canon = canonicalize(&core);
+    Metrics::global().record_canon(start.elapsed(), reduced);
+    (canon, core.size())
+}
+
+/// The semantic canonical representative of `q` as a real query: the
+/// classic core with canonical variable names (`C0`, `C1`, … in canonical
+/// numbering order) and body atoms in canonical emission order. The query
+/// name is preserved (containment ignores it).
+///
+/// Every query in an equivalence class maps to the *same* representative
+/// (up to the search budget, see the module docs), so deciding on the
+/// representative instead of the original makes *everything* downstream —
+/// decision-cache keys, chase-snapshot keys, derived level bounds —
+/// agree across syntactic variants. This is how `flqd` unifies variant
+/// traffic: it substitutes the representatives up front and runs the
+/// whole decision stack on them.
+///
+/// The pass is recorded on the process-global [`Metrics`]
+/// (`flq_canon_keys`, `flq_canon_reduced`, `flq_canon_nanos`).
+///
+/// ```
+/// use flogic_core::canonical_query;
+/// use flogic_syntax::parse_query;
+/// let a = parse_query("q(X) :- member(X, C), sub(C, D).").unwrap();
+/// // Renamed, reordered, and with a redundant (core-foldable) copy.
+/// let b = parse_query("q(U) :- sub(K, L), member(U, K), member(U, M), sub(M, N).").unwrap();
+/// assert_eq!(canonical_query(&a), canonical_query(&b));
+/// ```
+pub fn canonical_query(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let start = Instant::now();
+    let core = classic_core(q);
+    let reduced = core.size() < q.size();
+    let (_, order, numbering) = canonicalize_full(&core);
+    let rename = |t: &Term| match t {
+        Term::Var(v) => Term::var(&format!("C{}", numbering[v])),
+        other => *other,
+    };
+    let head: Vec<Term> = core.head().iter().map(rename).collect();
+    let body: Vec<Atom> = order
+        .iter()
+        .map(|&i| {
+            let a = &core.body()[i];
+            let args: Vec<Term> = a.args().iter().map(rename).collect();
+            Atom::new(a.pred(), &args).expect("renaming preserves arity")
+        })
+        .collect();
+    let out = ConjunctiveQuery::new(core.name(), head, body)
+        .expect("canonical renaming preserves well-formedness");
+    Metrics::global().record_canon(start.elapsed(), reduced);
+    out
+}
+
+/// The canonical representatives of a pair, when substituting them is
+/// sound for the run `opts` describes: [`ContainmentOptions::canon`] must
+/// be on and the run must be *exact* (no explicit level bound below the
+/// bound derived from the original sizes). Returns `None` otherwise —
+/// truncated runs answer a bound-dependent question about the literal
+/// queries, so their inputs must be left alone.
+///
+/// On `Some((c1, c2))`, deciding `c1 ⊆ c2` under the bound derived from
+/// the *core* sizes gives the same verdict as the original pair under its
+/// own derived bound: classically equivalent queries have identical
+/// answers on every model of Σ, and Theorem 12 applied to the core pair
+/// is complete for that question.
+pub fn canonical_pair(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    opts: &ContainmentOptions,
+) -> Option<(ConjunctiveQuery, ConjunctiveQuery)> {
+    if !opts.canon {
+        return None;
+    }
+    let derived = derived_bound(opts, q1.size(), q2.size());
+    if opts.level_bound.is_some_and(|b| b < derived) {
+        return None;
+    }
+    Some((canonical_query(q1), canonical_query(q2)))
+}
+
+/// An opaque, hashable canonical key for a single query.
+///
+/// [`QueryKey::of`] is the *semantic* key (classic core + total
+/// ordering): equal keys mean classically equivalent queries, which
+/// answer every `Σ`-containment question alike. [`QueryKey::structural`]
+/// skips the core: equal keys mean identical up to variable renaming and
+/// body-conjunct order only.
 ///
 /// This is the per-query half of the [`DecisionCache`] key, exported so
-/// resident services can key *their own* caches (e.g. the `flqd` snapshot
-/// cache keys chase snapshots by the `q1` they materialize) with the same
-/// renaming-invariant discipline. Like the decision-cache key it is sound,
-/// not complete: a missed match costs a recomputation, never a wrong hit.
+/// resident services can key *their own* caches with the same discipline
+/// (the `flqd` snapshot cache keys chase snapshots structurally, because
+/// the server substitutes [`canonical_query`] representatives up front).
 ///
 /// ```
 /// use flogic_core::QueryKey;
@@ -141,28 +362,59 @@ fn canonicalize(q: &ConjunctiveQuery) -> CanonQuery {
 /// let a = parse_query("q(X, Z) :- sub(X, Y), sub(Y, Z).").unwrap();
 /// let b = parse_query("p(A, C) :- sub(B, C), sub(A, B).").unwrap();
 /// assert_eq!(QueryKey::of(&a), QueryKey::of(&b));
+/// // A redundant atom folds into the core, so the semantic keys agree …
+/// let c = parse_query("q(X, Z) :- sub(X, Y), sub(Y, Z), sub(X, W), sub(W, Z).").unwrap();
+/// assert_eq!(QueryKey::of(&a), QueryKey::of(&c));
+/// // … while the structural keys (no core) see different bodies.
+/// assert_ne!(QueryKey::structural(&a), QueryKey::structural(&c));
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct QueryKey(CanonQuery);
 
 impl QueryKey {
-    /// The canonical key of `q`.
+    /// The semantic canonical key of `q`: its classic core under the
+    /// deterministic total ordering. Invariant under renaming, body
+    /// permutation, and redundant-atom insertion. Records the pass on
+    /// the global `flq_canon_*` metrics.
     pub fn of(q: &ConjunctiveQuery) -> QueryKey {
+        QueryKey(semantic_parts(q).0)
+    }
+
+    /// The structural canonical key of `q`: the total ordering without
+    /// core reduction. Invariant under renaming and body permutation
+    /// only — redundant atoms stay part of the key. Use this when the
+    /// keyed artifact depends on the query's literal body (e.g. a chase
+    /// built to a bound derived from `q`'s size).
+    pub fn structural(q: &ConjunctiveQuery) -> QueryKey {
         QueryKey(canonicalize(q))
     }
 }
 
-/// Cache key: the canonical pair plus the *effective* level bound and the
-/// analysis toggle.
+/// Cache key: a canonical pair plus a level bound, the analysis toggle
+/// and the rule-set fingerprint.
 ///
-/// The effective bound is `min(requested, theorem)`: an explicit
-/// [`ContainmentOptions::level_bound`] below the Theorem 12 bound makes
-/// the procedure sound but incomplete, so its verdicts are answers to a
-/// *different question* and must never be replayed for a default-bound
-/// call (that would be a stale, possibly wrong hit). Clamping at the
-/// theorem bound also makes all *sufficient* bounds share one entry:
-/// `None`, `Some(theorem)` and any larger bound ask the same exact
-/// question.
+/// Two key shapes share the table, told apart by their `bound`:
+///
+/// * **Exact, semantic** (canon on, no truncating explicit bound): `q1`
+///   and `q2` are the canonicalized *cores*, and `bound` is re-derived
+///   from the **core** sizes — so every variant with the same cores lands
+///   on one key even though the variants' own sizes (hence their own
+///   Theorem 12 bounds) differ.
+/// * **Structural** (canon off, or an explicit bound below the derived
+///   one): `q1`/`q2` are the structural forms of the literal queries and
+///   `bound` is the *effective* bound `min(requested, derived)`. An
+///   explicit bound below the derived one makes the procedure sound but
+///   incomplete, so its verdicts answer a *different question* and must
+///   never be replayed for an exact call. Clamping at the derived bound
+///   also makes all *sufficient* bounds share one entry.
+///
+/// The shapes cannot collide wrongly: if a structural key ever equals a
+/// semantic key, the structural query *is* (isomorphic to) a core, so the
+/// bound derived from its own sizes equals the semantic entry's
+/// core-derived bound — and then either the structural entry is an exact
+/// canon-off entry asking the very same question (sharing is a correct
+/// bonus hit), or it is truncated and its strictly smaller bound keeps
+/// the entries apart.
 ///
 /// The analysis toggle is in the key because the fast path, while
 /// verdict-identical, reports different run metadata
@@ -187,12 +439,55 @@ struct CacheKey {
     sigma: u64,
 }
 
-/// The effective bound for [`CacheKey::bound`] (see there). The clamp
-/// point is the active rule set's derived bound (the Theorem 12 bound
-/// under `Σ_FL`).
-fn effective_bound(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery, opts: &ContainmentOptions) -> u32 {
-    let theorem = crate::decide::derived_bound(opts, q1.size(), q2.size());
-    opts.level_bound.map_or(theorem, |b| b.min(theorem))
+/// Builds [`CacheKey`]s for one `q1` against one or many `q2`s, computing
+/// each canonical form of `q1` at most once (the batch path shares it
+/// across the whole batch).
+struct PairKeyer<'a> {
+    opts: &'a ContainmentOptions,
+    sigma: u64,
+    structural_q1: Option<CanonQuery>,
+    semantic_q1: Option<(CanonQuery, usize)>,
+}
+
+impl<'a> PairKeyer<'a> {
+    fn new(opts: &'a ContainmentOptions) -> PairKeyer<'a> {
+        PairKeyer {
+            opts,
+            sigma: opts.sigma.fingerprint(),
+            structural_q1: None,
+            semantic_q1: None,
+        }
+    }
+
+    fn key(&mut self, q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> CacheKey {
+        let derived = derived_bound(self.opts, q1.size(), q2.size());
+        let effective = self.opts.level_bound.map_or(derived, |b| b.min(derived));
+        if self.opts.canon && effective == derived {
+            let (c1, s1) = self
+                .semantic_q1
+                .get_or_insert_with(|| semantic_parts(q1))
+                .clone();
+            let (c2, s2) = semantic_parts(q2);
+            CacheKey {
+                q1: c1,
+                q2: c2,
+                bound: derived_bound(self.opts, s1, s2),
+                analysis: self.opts.analysis,
+                sigma: self.sigma,
+            }
+        } else {
+            CacheKey {
+                q1: self
+                    .structural_q1
+                    .get_or_insert_with(|| canonicalize(q1))
+                    .clone(),
+                q2: canonicalize(q2),
+                bound: effective,
+                analysis: self.opts.analysis,
+                sigma: self.sigma,
+            }
+        }
+    }
 }
 
 /// A cached verdict: everything in a [`ContainmentResult`] except the
@@ -241,7 +536,9 @@ impl CachedDecision {
 /// Thread-safe (a mutex around a hash map — lookups are far cheaper than
 /// the decisions they save, so contention is not a concern). Cached
 /// results carry no [`ContainmentResult::witness`]; ask the uncached
-/// [`crate::contains_with`] when the homomorphism itself is needed.
+/// [`crate::contains_with`] when the homomorphism itself is needed. A
+/// miss is always computed on the *original* pair, so the first caller
+/// does get its witness in its own variable names.
 ///
 /// ```
 /// use flogic_core::DecisionCache;
@@ -330,23 +627,7 @@ impl DecisionCache {
         q2: &ConjunctiveQuery,
         opts: &ContainmentOptions,
     ) -> Result<ContainmentResult, CoreError> {
-        let key = CacheKey {
-            q1: canonicalize(q1),
-            q2: canonicalize(q2),
-            bound: effective_bound(q1, q2, opts),
-            analysis: opts.analysis,
-            sigma: opts.sigma.fingerprint(),
-        };
-        let hit = self.lookup(&key);
-        let was_hit = hit.is_some();
-        opts.trace
-            .emit(|| flogic_obs::ChaseEvent::CacheLookup { hit: was_hit });
-        if let Some(hit) = hit {
-            return Ok(hit.restore());
-        }
-        let result = contains_with(q1, q2, opts)?;
-        self.store(key, &result);
-        Ok(result)
+        self.contains_with_compute(q1, q2, opts, || contains_with(q1, q2, opts))
     }
 
     /// Like [`contains_with`](DecisionCache::contains_with), but a miss is
@@ -370,13 +651,7 @@ impl DecisionCache {
         opts: &ContainmentOptions,
         compute: impl FnOnce() -> Result<ContainmentResult, CoreError>,
     ) -> Result<ContainmentResult, CoreError> {
-        let key = CacheKey {
-            q1: canonicalize(q1),
-            q2: canonicalize(q2),
-            bound: effective_bound(q1, q2, opts),
-            analysis: opts.analysis,
-            sigma: opts.sigma.fingerprint(),
-        };
+        let key = PairKeyer::new(opts).key(q1, q2);
         let hit = self.lookup(&key);
         let was_hit = hit.is_some();
         opts.trace
@@ -390,31 +665,23 @@ impl DecisionCache {
     }
 
     /// [`crate::contains_batch`] through the cache: pairs already decided
-    /// (up to renaming) are answered from the memo table, within-batch
-    /// repeats of the same canonical pair are decided once and fanned out,
-    /// and the single shared chase of `q1` is built only when at least one
-    /// pair misses.
+    /// (up to semantic equivalence) are answered from the memo table,
+    /// within-batch repeats of the same canonical pair are decided once
+    /// and fanned out, and the single shared chase of `q1` is built only
+    /// when at least one pair misses. `q1`'s canonical forms are computed
+    /// once for the whole batch.
     pub fn contains_batch(
         &self,
         q1: &ConjunctiveQuery,
         q2s: &[ConjunctiveQuery],
         opts: &ContainmentOptions,
     ) -> Vec<Result<ContainmentResult, CoreError>> {
-        let canon_q1 = canonicalize(q1);
-        let keys: Vec<CacheKey> = q2s
-            .iter()
-            .map(|q2| CacheKey {
-                q1: canon_q1.clone(),
-                q2: canonicalize(q2),
-                // Per-pair effective bound, even though the shared chase is
-                // built to the batch maximum: a verdict computed at a bound
-                // ≥ the pair's own effective bound answers exactly the
-                // per-pair question (Theorem 12 completeness).
-                bound: effective_bound(q1, q2, opts),
-                analysis: opts.analysis,
-                sigma: opts.sigma.fingerprint(),
-            })
-            .collect();
+        let mut keyer = PairKeyer::new(opts);
+        // Per-pair effective bound, even though the shared chase is built
+        // to the batch maximum: a verdict computed at a bound ≥ the
+        // pair's own effective bound answers exactly the per-pair
+        // question (Theorem 12 completeness).
+        let keys: Vec<CacheKey> = q2s.iter().map(|q2| keyer.key(q1, q2)).collect();
 
         // One representative slot per canonical pair that misses the memo
         // table; later occurrences of the same key are served from the
@@ -507,6 +774,42 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_ties_are_resolved_canonically() {
+        // Before any variable is numbered, both body atoms key as
+        // (sub, [fresh0, fresh1]) — a symmetric tie. The old greedy pass
+        // fell back to input order here, so these two renamings of the
+        // same path query got distinct keys; the backtracking search
+        // picks the least complete encoding for both.
+        let a = q("q() :- sub(X, Y), sub(Y, Z).");
+        let b = q("q() :- sub(B, C), sub(A, B).");
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        // Deeper tie: two interleaved chains, emitted from whichever end
+        // minimises the encoding regardless of input order.
+        let c = q("r() :- sub(X, Y), sub(Y, Z), member(M, Y).");
+        let d = q("r() :- sub(V2, V3), member(V4, V2), sub(V1, V2).");
+        assert_eq!(canonicalize(&c), canonicalize(&d));
+    }
+
+    #[test]
+    fn canonical_query_unifies_variants() {
+        let a = q("q(X) :- member(X, C), sub(C, D).");
+        let b = q("p(U) :- sub(K2, L2), member(U, K2), member(U, K1), sub(K1, L1).");
+        let ca = canonical_query(&a);
+        let cb = canonical_query(&b);
+        assert_eq!(ca.head(), cb.head());
+        assert_eq!(ca.body(), cb.body());
+        assert_eq!(ca.size(), 2, "redundant pair folded into the core");
+    }
+
+    #[test]
+    fn semantic_keys_fold_redundant_atoms() {
+        let a = q("q(X) :- member(X, C), sub(C, D).");
+        let b = q("p(U) :- member(U, C1), sub(C1, D1), member(U, C2), sub(C2, D2).");
+        assert_eq!(QueryKey::of(&a), QueryKey::of(&b));
+        assert_ne!(QueryKey::structural(&a), QueryKey::structural(&b));
+    }
+
+    #[test]
     fn renamed_pair_hits_the_cache() {
         let cache = DecisionCache::new();
         let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
@@ -526,6 +829,43 @@ mod tests {
         let delta = Metrics::global().snapshot().since(&before);
         assert!(delta.cache_hits >= 1);
         assert!(delta.cache_misses >= 1);
+        assert!(delta.canon_keys >= 4, "semantic keys record canon passes");
+    }
+
+    #[test]
+    fn core_equivalent_pair_hits_the_cache() {
+        let cache = DecisionCache::new();
+        let q1 = q("q(X) :- member(X, C), sub(C, D).");
+        let q2 = q("r(O) :- member(O, C).");
+        assert!(cache.contains(&q1, &q2).unwrap().holds());
+        assert_eq!(cache.len(), 1);
+        // A variant with a redundant copy of the member/sub pair reduces
+        // to the same core, so it must be answered from the cache.
+        let q1v = q("qq(U) :- member(U, K1), sub(K1, L1), member(U, K2), sub(K2, L2).");
+        let before = Metrics::global().snapshot();
+        assert!(cache.contains(&q1v, &q2).unwrap().holds());
+        let delta = Metrics::global().snapshot().since(&before);
+        assert!(delta.cache_hits >= 1);
+        assert_eq!(cache.len(), 1, "one semantic class, one entry");
+    }
+
+    #[test]
+    fn canon_off_keys_structurally() {
+        let cache = DecisionCache::new();
+        let off = ContainmentOptions {
+            canon: false,
+            ..Default::default()
+        };
+        let q1 = q("q(X) :- member(X, C), sub(C, D).");
+        let q1v = q("qq(U) :- member(U, K1), sub(K1, L1), member(U, K2), sub(K2, L2).");
+        let q2 = q("r(O) :- member(O, C).");
+        assert!(cache.contains_with(&q1, &q2, &off).unwrap().holds());
+        assert!(cache.contains_with(&q1v, &q2, &off).unwrap().holds());
+        assert_eq!(cache.len(), 2, "canon off: variants key separately");
+        // Renaming alone still hits (the structural form handles it).
+        let q1r = q("z(A) :- sub(B, C), member(A, B).");
+        assert!(cache.contains_with(&q1r, &q2, &off).unwrap().holds());
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -74,6 +74,16 @@ pub struct ContainmentOptions {
     /// fast paths are re-derived against the custom set (the `direct
     /// unsat` ρ4 shortcut applies only to `Σ_FL` itself).
     pub sigma: Arc<RuleSet>,
+    /// Key caches *semantically*: [`crate::DecisionCache`] keys complete
+    /// (non-truncated) decisions by the classic core of each query, so
+    /// classically equivalent spellings — renamed variables, permuted
+    /// conjuncts, redundant atoms — share one entry. The verdict is
+    /// identical with the toggle on or off (a core answers every
+    /// Σ-containment question exactly like the query it minimizes); only
+    /// hit rates and the [`Metrics`] canon counters change. The
+    /// uncached [`contains_with`] ignores this knob entirely.
+    /// Default: `true`.
+    pub canon: bool,
 }
 
 impl Default for ContainmentOptions {
@@ -86,6 +96,7 @@ impl Default for ContainmentOptions {
             budget: Budget::default(),
             trace: TraceHandle::Disabled,
             sigma: RuleSet::sigma_fl().clone(),
+            canon: true,
         }
     }
 }

@@ -15,6 +15,11 @@
 //! * [`generalize_from_chase`] — like `generalize` but sampling atoms from
 //!   `chase⁻(q1)`: the resulting pairs are contained **under `Σ_FL`** but
 //!   frequently *not* classically — the paper's headline phenomenon;
+//! * [`rename_vars`] / [`permute_body`] / [`add_redundant_atoms`] /
+//!   [`mutate_variant`] — equivalence-preserving mutators producing
+//!   syntactic variants of a query (same classic core up to isomorphism,
+//!   different bytes) — the variant-heavy traffic shape that semantic
+//!   cache keys exist for;
 //! * [`random_database`] — random ground databases shaped like class
 //!   hierarchies with attributes, members and cardinality constraints,
 //!   suitable for closing under `Σ_FL` and evaluating queries;
@@ -294,6 +299,90 @@ pub fn generalize_from_chase<R: Rng>(
     }
     let atoms: Vec<Atom> = chase.conjuncts().map(|(_, a, _)| *a).collect();
     Some(generalize_atoms(&atoms, chase.head(), cfg, rng))
+}
+
+/// Fisher–Yates shuffle on a slice (the vendored RNG exposes `choose`
+/// but not `shuffle`).
+fn shuffle<T, R: Rng>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.random_range(0..i + 1));
+    }
+}
+
+/// Consistently renames every variable of `q` to a fresh shuffled name
+/// (`M0`, `M1`, … assigned in random order). The result is isomorphic to
+/// `q` — same answers on every database — but shares no variable names
+/// with it, so byte-level and name-sensitive cache keys miss while
+/// canonical keys hit.
+pub fn rename_vars<R: Rng>(q: &ConjunctiveQuery, rng: &mut R) -> ConjunctiveQuery {
+    let vars: Vec<Term> = q.vars().into_iter().collect();
+    let mut slots: Vec<usize> = (0..vars.len()).collect();
+    shuffle(&mut slots, rng);
+    let mut s = Subst::new();
+    for (v, slot) in vars.iter().zip(slots) {
+        s.bind(*v, Term::var(&format!("M{slot}")));
+    }
+    q.apply(&s)
+}
+
+/// Randomly permutes the body conjuncts of `q` (the head is untouched —
+/// its order is semantically fixed). Conjunction is commutative, so the
+/// result is equivalent to `q`.
+pub fn permute_body<R: Rng>(q: &ConjunctiveQuery, rng: &mut R) -> ConjunctiveQuery {
+    let mut body = q.body().to_vec();
+    shuffle(&mut body, rng);
+    ConjunctiveQuery::new(q.name(), q.head().to_vec(), body)
+        .expect("permuting conjuncts preserves well-formedness")
+}
+
+/// Appends `n` redundant atoms to `q`: each is a copy of a random
+/// existing body atom with each argument independently blurred to a
+/// fresh variable (probability ½, and at least one argument is always
+/// blurred so the copy is never a literal duplicate). Every copy folds
+/// back onto its source atom by mapping the fresh variables to the terms
+/// they replaced, so `q`'s classic core — and hence every containment
+/// verdict — is unchanged, while the literal body grows.
+pub fn add_redundant_atoms<R: Rng>(
+    q: &ConjunctiveQuery,
+    n: usize,
+    rng: &mut R,
+) -> ConjunctiveQuery {
+    let used: std::collections::HashSet<Term> = q.body().iter().flat_map(|a| a.vars()).collect();
+    let mut fresh = 0usize;
+    let mut next_fresh = move || loop {
+        fresh += 1;
+        let v = Term::var(&format!("F{fresh}"));
+        if !used.contains(&v) {
+            return v;
+        }
+    };
+    let mut body = q.body().to_vec();
+    for _ in 0..n {
+        let source = *q.body().choose(rng).expect("bodies are never empty");
+        let mut args: Vec<Term> = source.args().to_vec();
+        let forced = rng.random_range(0..args.len());
+        for (i, arg) in args.iter_mut().enumerate() {
+            if i == forced || rng.random_bool(0.5) {
+                *arg = next_fresh();
+            }
+        }
+        body.push(Atom::new(source.pred(), &args).expect("same predicate, same arity"));
+    }
+    ConjunctiveQuery::new(q.name(), q.head().to_vec(), body)
+        .expect("redundant atoms never touch the head")
+}
+
+/// A composite syntactic variant of `q`: one or two redundant atoms,
+/// then a consistent random renaming, then a body permutation. The
+/// result is classically equivalent to `q` (identical classic core up to
+/// isomorphism) but differs from it in every byte-level and structural
+/// respect — the adversarial traffic shape semantic cache keys exist
+/// for.
+pub fn mutate_variant<R: Rng>(q: &ConjunctiveQuery, rng: &mut R) -> ConjunctiveQuery {
+    let n = 1 + rng.random_range(0..2);
+    let q = add_redundant_atoms(q, n, rng);
+    let q = rename_vars(&q, rng);
+    permute_body(&q, rng)
 }
 
 /// Configuration for [`random_database`].
@@ -602,6 +691,50 @@ mod tests {
             }
         }
         assert!(produced > 20, "most seeds should produce a pair");
+    }
+
+    #[test]
+    fn mutators_preserve_the_classic_core() {
+        use flogic_hom::classic_core;
+        let cfg = QueryGenConfig {
+            n_atoms: 5,
+            head_arity: 1,
+            ..Default::default()
+        };
+        for seed in 0..30 {
+            let q = random_query(&cfg, &mut rng(seed));
+            let core_size = classic_core(&q).size();
+            let renamed = rename_vars(&q, &mut rng(seed + 100));
+            assert_eq!(classic_core(&renamed).size(), core_size, "seed {seed}");
+            assert_eq!(renamed.size(), q.size());
+            let permuted = permute_body(&q, &mut rng(seed + 200));
+            assert_eq!(classic_core(&permuted).size(), core_size, "seed {seed}");
+            let padded = add_redundant_atoms(&q, 2, &mut rng(seed + 300));
+            assert_eq!(padded.size(), q.size() + 2);
+            assert_eq!(
+                classic_core(&padded).size(),
+                core_size,
+                "seed {seed}: redundant atoms must fold back into the core"
+            );
+            let variant = mutate_variant(&q, &mut rng(seed + 400));
+            assert!(variant.size() > q.size());
+            assert_eq!(classic_core(&variant).size(), core_size, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mutators_are_deterministic_per_seed_and_change_spelling() {
+        let cfg = QueryGenConfig::default();
+        let q = random_query(&cfg, &mut rng(5));
+        let a = mutate_variant(&q, &mut rng(77));
+        let b = mutate_variant(&q, &mut rng(77));
+        assert_eq!(a, b);
+        let c = mutate_variant(&q, &mut rng(78));
+        assert_ne!(a, c, "different seeds should (almost surely) differ");
+        // A renaming never reuses the original spelling wholesale.
+        let renamed = rename_vars(&q, &mut rng(9));
+        assert_ne!(q, renamed);
+        assert!(q.vars().iter().all(|v| !renamed.vars().contains(v)));
     }
 
     #[test]

@@ -26,7 +26,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use flogic_core::{theorem_bound, ContainmentOptions, ContainmentResult, CoreError, DecisionCache};
+use flogic_core::{
+    canonical_pair, theorem_bound, ContainmentOptions, ContainmentResult, CoreError, DecisionCache,
+};
 use flogic_model::ConjunctiveQuery;
 use flogic_obs::export::profile_json;
 use flogic_obs::{ChaseProfile, TraceHandle, Tracer};
@@ -73,6 +75,13 @@ pub struct ServerConfig {
     /// bound (`--ready-fd`), then close. Lets supervisors and CI block
     /// on actual readiness instead of polling logs.
     pub ready_fd: Option<i32>,
+    /// Canonicalize incoming queries to their semantic representatives
+    /// (classic core + total ordering) before the warm caches
+    /// (`--no-canon` turns it off). On by default: syntactic variants —
+    /// renamed variables, permuted conjuncts, redundant atoms — share
+    /// decision-cache entries and chase snapshots. Verdicts are
+    /// identical with the toggle on or off.
+    pub canon: bool,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +97,7 @@ impl Default for ServerConfig {
             max_conjuncts: ContainmentOptions::default().max_conjuncts,
             read_timeout_ms: 5_000,
             ready_fd: None,
+            canon: true,
         }
     }
 }
@@ -96,7 +106,7 @@ impl Default for ServerConfig {
 /// usage text.
 pub const SERVE_FLAGS: &str = "[--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-bytes N] \
 [--max-body-bytes N] [--threads N] [--timeout MS] [--max-conjuncts N] [--read-timeout MS] \
-[--ready-fd FD]";
+[--ready-fd FD] [--no-canon]";
 
 impl ServerConfig {
     /// Parses command-line flags into a config, starting from defaults.
@@ -125,6 +135,7 @@ impl ServerConfig {
                 "--ready-fd" => {
                     config.ready_fd = Some(parse_flag(&arg, value("a file descriptor")?)?)
                 }
+                "--no-canon" => config.canon = false,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -143,6 +154,7 @@ impl ServerConfig {
         let mut opts = ContainmentOptions {
             threads: self.threads,
             max_conjuncts: self.max_conjuncts,
+            canon: self.canon,
             ..ContainmentOptions::default()
         };
         if let Some(ms) = self.default_timeout_ms {
@@ -335,12 +347,37 @@ fn batch_endpoint(shared: &Arc<Shared>, body: &[u8]) -> Response {
 /// The warm decision path: decision cache over snapshot cache over the
 /// Theorem 12 engine. Verdict-identical to a fresh `contains_with` (the
 /// contract both caches document).
+///
+/// With canonicalization on (the default), the pair is substituted by
+/// its semantic representatives ([`canonical_pair`]) *before* the cache
+/// stack: every syntactic variant of a pair — renamed variables,
+/// permuted conjuncts, redundant atoms — collapses to one decision-cache
+/// entry, one chase snapshot, and one consistent Theorem 12 bound
+/// (derived from the core sizes). The substituted run sets
+/// `opts.canon = false` so the decision cache keys the already-canonical
+/// inputs structurally instead of recomputing cores per lookup. Sound
+/// because classically equivalent queries answer every Σ-containment
+/// question alike; the wire format carries no witness, so canonical
+/// variable names never leak to clients.
 fn decide_pair(
     shared: &Arc<Shared>,
     q1: &ConjunctiveQuery,
     q2: &ConjunctiveQuery,
     opts: &ContainmentOptions,
 ) -> Result<ContainmentResult, CoreError> {
+    if q1.arity() == q2.arity() {
+        if let Some((c1, c2)) = canonical_pair(q1, q2, opts) {
+            let mut opts = opts.clone();
+            opts.canon = false;
+            return shared.decisions.contains_with_compute(&c1, &c2, &opts, || {
+                let snapshot =
+                    shared
+                        .snapshots
+                        .get_or_build(&c1, theorem_bound(&c1, &c2), &opts)?;
+                snapshot.contains(&c2, &opts)
+            });
+        }
+    }
     shared.decisions.contains_with_compute(q1, q2, opts, || {
         let snapshot = shared
             .snapshots
@@ -429,6 +466,7 @@ mod tests {
             "300",
             "--ready-fd",
             "5",
+            "--no-canon",
         ];
         let config = ServerConfig::from_args(args.iter().map(|s| s.to_string())).unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
@@ -441,6 +479,8 @@ mod tests {
         assert_eq!(config.max_conjuncts, 77);
         assert_eq!(config.read_timeout_ms, 300);
         assert_eq!(config.ready_fd, Some(5));
+        assert!(!config.canon);
+        assert!(ServerConfig::default().canon, "canon is on by default");
 
         for bad in [
             vec!["--bogus"],
@@ -472,5 +512,11 @@ mod tests {
         assert!(!opts.budget.is_unlimited());
         assert!(opts.analysis);
         assert_eq!(opts.level_bound, None);
+        assert!(opts.canon);
+        let no_canon = ServerConfig {
+            canon: false,
+            ..ServerConfig::default()
+        };
+        assert!(!no_canon.base_options().canon);
     }
 }

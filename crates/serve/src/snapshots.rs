@@ -2,10 +2,14 @@
 //!
 //! The server's warm path: every decision about a `q1` the service has
 //! seen before reuses that query's [`ChaseSnapshot`] and pays only the
-//! homomorphism search. Entries are keyed by [`QueryKey`] — the same
-//! variable-renaming- and body-order-invariant canonical form the
-//! [`DecisionCache`](flogic_core::DecisionCache) uses — so syntactic
-//! re-spellings of one query share one chase.
+//! homomorphism search. Entries are keyed by [`QueryKey::structural`]
+//! (renaming- and body-order-invariant, no core reduction) because a
+//! snapshot's depth is derived from the keyed query's literal size.
+//! Semantic unification — renamed, permuted *and* redundant-atom
+//! variants sharing one chase — comes from the server substituting
+//! [`flogic_core::canonical_query`] representatives before it reaches
+//! this cache (see `decide_pair`), so with canonicalization on, the
+//! structural key of the representative *is* the semantic key.
 //!
 //! Residency is capped in **bytes**, not entries, using the same
 //! `approx_bytes` accounting the chase governor's
@@ -107,7 +111,7 @@ impl SnapshotCache {
         bound: u32,
         opts: &ContainmentOptions,
     ) -> Result<Arc<ChaseSnapshot>, CoreError> {
-        let key = QueryKey::of(q1);
+        let key = QueryKey::structural(q1);
         let now = self.tick.fetch_add(1, Ordering::Relaxed);
         {
             let mut inner = self.inner.lock().expect("snapshot cache poisoned");
@@ -129,6 +133,14 @@ impl SnapshotCache {
         let mut inner = self.inner.lock().expect("snapshot cache poisoned");
         if snapshot.is_exhausted() || bytes > self.cap_bytes {
             inner.uncacheable += 1;
+            // The rebuild was triggered because any resident entry is too
+            // shallow for the depths now being requested: it burns cap
+            // bytes but can never serve them, so drop it rather than
+            // letting it sit until LRU pressure gets around to it.
+            if let Some(stale) = inner.map.remove(&key) {
+                inner.bytes -= stale.bytes;
+                inner.evictions += 1;
+            }
             return Ok(snapshot);
         }
         if let Some(old) = inner.map.remove(&key) {
@@ -266,6 +278,34 @@ mod tests {
         let opts = ContainmentOptions::default();
         let snap = cache.get_or_build(&q1, 8, &opts).unwrap();
         assert!(!snap.is_exhausted());
+        assert_eq!(cache.stats().resident_entries, 1);
+    }
+
+    #[test]
+    fn uncacheable_rebuild_evicts_the_stale_shallow_entry() {
+        let cache = SnapshotCache::new(1 << 20);
+        let q1 = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let opts = ContainmentOptions::default();
+        let shallow = cache.get_or_build(&q1, 2, &opts).unwrap();
+        assert_eq!(cache.stats().resident_entries, 1);
+        // A deeper request under a starvation budget exhausts: the build
+        // is served but not cached — and the shallow entry, which can
+        // never serve the depths now being asked for, must go with it.
+        let tight = ContainmentOptions {
+            budget: Budget::unlimited().steps(1),
+            ..Default::default()
+        };
+        let deep = cache.get_or_build(&q1, 6, &tight).unwrap();
+        assert!(deep.is_exhausted());
+        assert!(!Arc::ptr_eq(&shallow, &deep));
+        let stats = cache.stats();
+        assert_eq!(stats.uncacheable, 1);
+        assert_eq!(stats.evictions, 1, "stale shallow entry evicted");
+        assert_eq!(stats.resident_entries, 0, "{stats:?}");
+        assert_eq!(stats.resident_bytes, 0, "{stats:?}");
+        // The next exact request rebuilds cleanly and re-caches.
+        let fixed = cache.get_or_build(&q1, 6, &opts).unwrap();
+        assert!(!fixed.is_exhausted());
         assert_eq!(cache.stats().resident_entries, 1);
     }
 

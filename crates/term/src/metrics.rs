@@ -41,6 +41,9 @@ pub struct Metrics {
     governor_deadline_hits: AtomicU64,
     governor_budget_hits: AtomicU64,
     governor_cancellations: AtomicU64,
+    canon_keys: AtomicU64,
+    canon_reduced: AtomicU64,
+    canon_nanos: AtomicU64,
 }
 
 static GLOBAL: Metrics = Metrics {
@@ -56,6 +59,9 @@ static GLOBAL: Metrics = Metrics {
     governor_deadline_hits: AtomicU64::new(0),
     governor_budget_hits: AtomicU64::new(0),
     governor_cancellations: AtomicU64::new(0),
+    canon_keys: AtomicU64::new(0),
+    canon_reduced: AtomicU64::new(0),
+    canon_nanos: AtomicU64::new(0),
 };
 
 impl Metrics {
@@ -120,6 +126,18 @@ impl Metrics {
         self.governor_cancellations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one semantic canonicalization pass (core + total ordering)
+    /// that took `elapsed`; `reduced` says whether the core was strictly
+    /// smaller than the input query.
+    pub fn record_canon(&self, elapsed: Duration, reduced: bool) {
+        self.canon_keys.fetch_add(1, Ordering::Relaxed);
+        if reduced {
+            self.canon_reduced.fetch_add(1, Ordering::Relaxed);
+        }
+        self.canon_nanos
+            .fetch_add(saturating_nanos(elapsed), Ordering::Relaxed);
+    }
+
     /// Times `f`, records the duration as a chase run, returns its result.
     pub fn time_chase<T>(&self, f: impl FnOnce() -> T) -> T {
         let t0 = Instant::now();
@@ -153,6 +171,9 @@ impl Metrics {
             governor_deadline_hits: self.governor_deadline_hits.load(Ordering::Relaxed),
             governor_budget_hits: self.governor_budget_hits.load(Ordering::Relaxed),
             governor_cancellations: self.governor_cancellations.load(Ordering::Relaxed),
+            canon_keys: self.canon_keys.load(Ordering::Relaxed),
+            canon_reduced: self.canon_reduced.load(Ordering::Relaxed),
+            canon_nanos: self.canon_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -170,6 +191,9 @@ impl Metrics {
         self.governor_deadline_hits.store(0, Ordering::Relaxed);
         self.governor_budget_hits.store(0, Ordering::Relaxed);
         self.governor_cancellations.store(0, Ordering::Relaxed);
+        self.canon_keys.store(0, Ordering::Relaxed);
+        self.canon_reduced.store(0, Ordering::Relaxed);
+        self.canon_nanos.store(0, Ordering::Relaxed);
     }
 }
 
@@ -201,6 +225,14 @@ pub struct MetricsSnapshot {
     pub governor_budget_hits: u64,
     /// Chase runs stopped by cooperative cancellation.
     pub governor_cancellations: u64,
+    /// Semantic canonicalization passes (core + total variable/atom
+    /// ordering) performed for cache keying.
+    pub canon_keys: u64,
+    /// Canonicalization passes where the core was strictly smaller than
+    /// the input query (redundant conjuncts were folded away).
+    pub canon_reduced: u64,
+    /// Total wall-clock nanoseconds spent canonicalizing.
+    pub canon_nanos: u64,
 }
 
 impl MetricsSnapshot {
@@ -230,6 +262,9 @@ impl MetricsSnapshot {
             governor_cancellations: self
                 .governor_cancellations
                 .saturating_sub(earlier.governor_cancellations),
+            canon_keys: self.canon_keys.saturating_sub(earlier.canon_keys),
+            canon_reduced: self.canon_reduced.saturating_sub(earlier.canon_reduced),
+            canon_nanos: self.canon_nanos.saturating_sub(earlier.canon_nanos),
         }
     }
 
@@ -265,7 +300,7 @@ impl MetricsSnapshot {
     /// `GET /metrics`. Every counter is always present, so scrapers see a
     /// stable schema.
     pub fn render_text(&self) -> String {
-        let rows: [(&str, u64); 12] = [
+        let rows: [(&str, u64); 15] = [
             ("flq_chase_runs", self.chase_runs),
             ("flq_chase_nanos", self.chase_nanos),
             ("flq_hom_searches", self.hom_searches),
@@ -278,6 +313,9 @@ impl MetricsSnapshot {
             ("flq_governor_deadline_hits", self.governor_deadline_hits),
             ("flq_governor_budget_hits", self.governor_budget_hits),
             ("flq_governor_cancellations", self.governor_cancellations),
+            ("flq_canon_keys", self.canon_keys),
+            ("flq_canon_reduced", self.canon_reduced),
+            ("flq_canon_nanos", self.canon_nanos),
         ];
         let mut out = String::with_capacity(rows.len() * 32);
         for (name, value) in rows {
@@ -315,6 +353,15 @@ impl std::fmt::Display for MetricsSnapshot {
                 f,
                 "; governor: {} deadline / {} budget / {} cancelled",
                 self.governor_deadline_hits, self.governor_budget_hits, self.governor_cancellations,
+            )?;
+        }
+        if self.canon_keys > 0 {
+            write!(
+                f,
+                "; canon: {} keys / {} reduced / {:.2} ms",
+                self.canon_keys,
+                self.canon_reduced,
+                self.canon_nanos as f64 / 1e6,
             )?;
         }
         Ok(())
@@ -412,6 +459,22 @@ mod tests {
     }
 
     #[test]
+    fn canon_counters_accumulate_and_render() {
+        let m = Metrics::default();
+        assert!(!m.snapshot().to_string().contains("canon:"));
+        m.record_canon(Duration::from_micros(2), true);
+        m.record_canon(Duration::from_micros(3), false);
+        let s = m.snapshot();
+        assert_eq!(s.canon_keys, 2);
+        assert_eq!(s.canon_reduced, 1);
+        assert_eq!(s.canon_nanos, 5_000);
+        assert!(s.to_string().contains("canon: 2 keys / 1 reduced"));
+        assert_eq!(s.since(&s), MetricsSnapshot::default());
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
     fn nanosecond_recording_saturates_instead_of_truncating() {
         // Duration::MAX holds ~2^64 seconds, so its nanosecond count
         // overflows u64 by a wide margin; the accumulator must pin at
@@ -439,10 +502,11 @@ mod tests {
         let text = m.snapshot().render_text();
         assert!(text.ends_with('\n'));
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 12, "stable scrape schema");
+        assert_eq!(lines.len(), 15, "stable scrape schema");
         assert!(lines.contains(&"flq_chase_runs 1"));
         assert!(lines.contains(&"flq_cache_hits 1"));
         assert!(lines.contains(&"flq_governor_cancellations 0"));
+        assert!(lines.contains(&"flq_canon_keys 0"));
         for line in lines {
             let mut parts = line.split(' ');
             assert!(parts.next().unwrap().starts_with("flq_"));

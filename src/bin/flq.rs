@@ -29,7 +29,7 @@
 //! flq serve     [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!               [--cache-bytes N] [--max-body-bytes N] [--threads N]
 //!               [--timeout MS] [--max-conjuncts N] [--read-timeout MS]
-//!               [--ready-fd FD]
+//!               [--ready-fd FD] [--no-canon]
 //!                                    run flqd, the resident containment
 //!                                    service, in the foreground
 //! flq help                           print this reference on stdout, exit 0
@@ -58,10 +58,11 @@
 //!   object per diagnostic) instead of the human-readable form.
 //! * `--addr HOST:PORT`, `--workers N`, `--queue-cap N`,
 //!   `--cache-bytes N`, `--max-body-bytes N`, `--read-timeout MS`,
-//!   `--ready-fd FD` — `flq serve` knobs (listen address, worker pool,
-//!   dispatch-queue depth, snapshot-cache byte cap, request-body cap,
-//!   keep-alive idle timeout, readiness fd); see `docs/CLI.md` for the
-//!   full server reference.
+//!   `--ready-fd FD`, `--no-canon` — `flq serve` knobs (listen address,
+//!   worker pool, dispatch-queue depth, snapshot-cache byte cap,
+//!   request-body cap, keep-alive idle timeout, readiness fd, and an
+//!   escape hatch disabling semantic cache-key canonicalization); see
+//!   `docs/CLI.md` for the full server reference.
 //!
 //! Every subcommand additionally accepts:
 //!
