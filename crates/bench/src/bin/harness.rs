@@ -87,6 +87,13 @@ fn run(id: &str, quick: bool, threads: usize) -> Option<ExperimentOutput> {
                 experiments::e14(12, 4)
             }
         }
+        "e15" => {
+            if quick {
+                experiments::e15(6, 120)
+            } else {
+                experiments::e15(12, 400)
+            }
+        }
         _ => return None,
     };
     Some(out)
@@ -116,7 +123,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = (1..=14).map(|i| format!("e{i}")).collect();
+        ids = (1..=15).map(|i| format!("e{i}")).collect();
     }
 
     let dir = out_dir();
@@ -136,7 +143,7 @@ fn main() {
     for id in &ids {
         let before = Metrics::global().snapshot();
         let Some(output) = run(id, quick, threads) else {
-            eprintln!("unknown experiment `{id}` (expected e1..e14)");
+            eprintln!("unknown experiment `{id}` (expected e1..e15)");
             std::process::exit(2);
         };
         for (i, table) in output.tables.iter().enumerate() {

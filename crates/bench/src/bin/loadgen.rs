@@ -4,6 +4,7 @@
 //! loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--batch N]
 //!         [--pairs N] [--variants N] [--seed N] [--max-conjuncts N]
 //!         [--warmup N] [--keep-alive] [--pipeline N] [--csv FILE] [--verify]
+//!         [--server-stats]
 //! ```
 //!
 //! Generates `--pairs` query pairs with the E4 workload generator
@@ -43,6 +44,13 @@
 //! deterministic budgets in play — `--max-conjuncts`, never a deadline —
 //! verdicts, including `exhausted` ones, are reproducible.)
 //!
+//! `--server-stats` scrapes the server's Prometheus `GET /metrics`
+//! before and after the measured phase, diffs the per-stage
+//! `flqd_stage_duration_nanoseconds` histograms, and prints one
+//! `server_stage NAME count= p50_us= p99_us=` line per pipeline stage —
+//! the server's own view of where this run's time went — plus the run's
+//! `server_batch_dedup_hits` delta.
+//!
 //! Exit codes: `0` success, `1` mismatch or transport failure, `2` usage.
 
 use std::io::Write as _;
@@ -52,6 +60,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use flogic_bench::promstats::{diff_stages, scrape_server_stats, ServerStats};
 use flogic_bench::wire;
 use flogic_core::{contains_with, ContainmentOptions, Verdict};
 use flogic_gen::rng::SplitMix64;
@@ -72,13 +81,14 @@ struct Config {
     pipeline: usize,
     csv: Option<String>,
     verify: bool,
+    server_stats: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen --addr HOST:PORT [--requests N] [--concurrency N] [--batch N] \
          [--pairs N] [--variants N] [--seed N] [--max-conjuncts N] [--warmup N] \
-         [--keep-alive] [--pipeline N] [--csv FILE] [--verify]"
+         [--keep-alive] [--pipeline N] [--csv FILE] [--verify] [--server-stats]"
     );
     ExitCode::from(2)
 }
@@ -98,6 +108,7 @@ fn parse_args() -> Result<Config, ExitCode> {
         pipeline: 1,
         csv: None,
         verify: false,
+        server_stats: false,
     };
     fn text<I: Iterator<Item = String>>(
         it: &mut I,
@@ -136,6 +147,7 @@ fn parse_args() -> Result<Config, ExitCode> {
             "--pipeline" => config.pipeline = num(&mut it, &arg, "a number")?,
             "--csv" => config.csv = Some(text(&mut it, &arg, "a file path")?),
             "--verify" => config.verify = true,
+            "--server-stats" => config.server_stats = true,
             other => {
                 eprintln!("error: unknown flag {other:?}");
                 return Err(usage());
@@ -357,6 +369,25 @@ fn client_thread(
     }
 }
 
+/// Prints the `server_stage` / `server_batch_dedup_hits` lines for the
+/// window between two scrapes.
+fn print_server_stats(before: &ServerStats, after: &ServerStats) {
+    for (stage, diff) in diff_stages(before, after) {
+        println!(
+            "server_stage {stage} count={} p50_us={} p99_us={}",
+            diff.count,
+            diff.p50() / 1_000,
+            diff.p99() / 1_000
+        );
+    }
+    println!(
+        "server_batch_dedup_hits {}",
+        after
+            .batch_dedup_hits
+            .saturating_sub(before.batch_dedup_hits)
+    );
+}
+
 fn quantile(sorted: &[Duration], q: f64) -> Duration {
     sorted[((sorted.len() - 1) as f64 * q) as usize]
 }
@@ -423,6 +454,20 @@ fn main() -> ExitCode {
         }
     }
 
+    // Baseline scrape for --server-stats: after warmup, so the diff
+    // covers exactly the measured phase.
+    let baseline = if config.server_stats {
+        match scrape_server_stats(&config.addr) {
+            Ok(stats) => Some(stats),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
     let next = Arc::new(AtomicUsize::new(0));
     let config = Arc::new(config);
     let started = Instant::now();
@@ -483,6 +528,16 @@ fn main() -> ExitCode {
     );
     let throughput = decided as f64 / elapsed.as_secs_f64();
     println!("throughput_pairs_per_s {throughput:.0}");
+
+    if let Some(before) = &baseline {
+        match scrape_server_stats(&config.addr) {
+            Ok(after) => print_server_stats(before, &after),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if let Some(path) = &config.csv {
         let header = "mode,requests,batch,concurrency,pipeline,connect_p50_us,p50_us,p95_us,p99_us,throughput_pairs_per_s\n";

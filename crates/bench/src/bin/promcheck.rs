@@ -1,0 +1,274 @@
+//! `promcheck` — validate Prometheus text exposition (format 0.0.4).
+//!
+//! ```text
+//! promcheck <HOST:PORT[/path]>   scrape an endpoint and validate it
+//! promcheck -                    validate exposition read from stdin
+//! ```
+//!
+//! The structural invariants CI holds `flqd`'s `GET /metrics` to:
+//!
+//! * every sample line's metric family has a preceding `# TYPE` header,
+//!   and every `# TYPE` header is followed by at least one sample of its
+//!   family (no headerless series, no sampleless families);
+//! * `histogram` families expose `_bucket` series whose counts are
+//!   monotone non-decreasing in `le` order per label set, end with
+//!   `le="+Inf"`, and agree with the matching `_count` series;
+//! * every sample value parses as an unsigned integer (nothing `flqd`
+//!   exports is fractional).
+//!
+//! Exit codes: `0` valid, `1` invalid or scrape failure, `2` usage.
+
+use std::collections::HashMap;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use flogic_bench::wire;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [target] = args.as_slice() else {
+        eprintln!("usage: promcheck <HOST:PORT[/path]> | promcheck -");
+        return ExitCode::from(2);
+    };
+    let body = match fetch(target) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problems = validate(&body);
+    if problems.is_empty() {
+        println!("promcheck: ok ({} lines)", body.lines().count());
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("promcheck: {p}");
+        }
+        eprintln!("promcheck: {} problem(s)", problems.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Reads the exposition text: stdin for `-`, otherwise a scrape of
+/// `HOST:PORT[/path]` (default path `/metrics`).
+fn fetch(target: &str) -> Result<String, String> {
+    if target == "-" {
+        let mut body = String::new();
+        std::io::stdin()
+            .read_to_string(&mut body)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        return Ok(body);
+    }
+    let (addr, path) = match target.find('/') {
+        Some(i) => (&target[..i], &target[i..]),
+        None => (target, "/metrics"),
+    };
+    let (status, body) =
+        wire::get(addr, path).map_err(|e| format!("cannot scrape {addr}{path}: {e}"))?;
+    if status != 200 {
+        return Err(format!("{addr}{path} answered HTTP {status}"));
+    }
+    Ok(body)
+}
+
+/// One sample line, split into its parts.
+struct Sample<'a> {
+    /// The full series name as written (`flqd_foo_bucket`, …).
+    series: &'a str,
+    /// The `k="v"` pairs inside braces, minus any `le`.
+    labels: String,
+    /// The value of the `le` label, when present.
+    le: Option<&'a str>,
+    value: &'a str,
+}
+
+fn split_sample(line: &str) -> Option<Sample<'_>> {
+    let (head, value) = line.rsplit_once(' ')?;
+    let (series, labels, le) = match head.split_once('{') {
+        None => (head, String::new(), None),
+        Some((series, rest)) => {
+            let inner = rest.strip_suffix('}')?;
+            let mut le = None;
+            let mut kept = Vec::new();
+            for part in inner.split(',') {
+                match part.strip_prefix("le=\"") {
+                    Some(v) => le = Some(v.strip_suffix('"')?),
+                    None => kept.push(part),
+                }
+            }
+            (series, kept.join(","), le)
+        }
+    };
+    Some(Sample {
+        series,
+        labels,
+        le,
+        value,
+    })
+}
+
+/// The family a series belongs to: histogram series drop their
+/// `_bucket` / `_sum` / `_count` suffix.
+fn family_of<'a>(series: &'a str, histograms: &HashMap<String, bool>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = series.strip_suffix(suffix) {
+            if histograms.contains_key(base) {
+                return base;
+            }
+        }
+    }
+    series
+}
+
+/// Checks the whole exposition; returns every violation found.
+fn validate(body: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    // family name -> is histogram; tracks declared # TYPE headers.
+    let mut declared: HashMap<String, bool> = HashMap::new();
+    let mut sampled: HashMap<String, u64> = HashMap::new();
+    // (histogram family, label set) -> (ordered cumulative counts, count series value)
+    #[allow(clippy::type_complexity)]
+    let mut buckets: HashMap<(String, String), (Vec<(Option<String>, u64)>, Option<u64>)> =
+        HashMap::new();
+    for (n, line) in body.lines().enumerate() {
+        let lineno = n + 1;
+        if line.is_empty() || line.starts_with("# HELP") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            match rest.split_once(' ') {
+                Some((name, kind)) => {
+                    declared.insert(name.to_string(), kind == "histogram");
+                }
+                None => problems.push(format!("line {lineno}: malformed TYPE header {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            problems.push(format!("line {lineno}: unknown comment {line:?}"));
+            continue;
+        }
+        let Some(sample) = split_sample(line) else {
+            problems.push(format!("line {lineno}: malformed sample {line:?}"));
+            continue;
+        };
+        let Ok(value) = sample.value.parse::<u64>() else {
+            problems.push(format!(
+                "line {lineno}: non-integer value {:?} in {line:?}",
+                sample.value
+            ));
+            continue;
+        };
+        let family = family_of(sample.series, &declared);
+        match declared.get(family) {
+            None => problems.push(format!(
+                "line {lineno}: series {:?} has no preceding # TYPE header",
+                sample.series
+            )),
+            Some(_) => {
+                *sampled.entry(family.to_string()).or_insert(0) += 1;
+            }
+        }
+        if declared.get(family) == Some(&true) {
+            let entry = buckets
+                .entry((family.to_string(), sample.labels.clone()))
+                .or_default();
+            if sample.series.ends_with("_bucket") {
+                entry.0.push((sample.le.map(str::to_string), value));
+            } else if sample.series.ends_with("_count") {
+                entry.1 = Some(value);
+            }
+        }
+    }
+    for family in declared.keys() {
+        if sampled.get(family).copied().unwrap_or(0) == 0 {
+            problems.push(format!("family {family:?} declared but has no samples"));
+        }
+    }
+    for ((family, labels), (series, count)) in &buckets {
+        let label = if labels.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{labels}}}")
+        };
+        let mut prev = 0u64;
+        for (le, cum) in series {
+            if *cum < prev {
+                problems.push(format!(
+                    "{label}: bucket le={le:?} count {cum} decreases from {prev}"
+                ));
+            }
+            prev = *cum;
+        }
+        match series.last() {
+            Some((Some(le), last)) if le == "+Inf" => {
+                if let Some(count) = count {
+                    if last != count {
+                        problems.push(format!(
+                            "{label}: le=\"+Inf\" bucket {last} != _count {count}"
+                        ));
+                    }
+                }
+            }
+            Some(_) => problems.push(format!(
+                "{label}: bucket series does not end at le=\"+Inf\""
+            )),
+            None => problems.push(format!("{label}: histogram exposes no _bucket series")),
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn a_valid_exposition_passes() {
+        let body = "# TYPE flqd_requests_total counter\n\
+                    flqd_requests_total 4\n\
+                    # TYPE flqd_stage_duration_nanoseconds histogram\n\
+                    flqd_stage_duration_nanoseconds_bucket{stage=\"parse\",le=\"1\"} 1\n\
+                    flqd_stage_duration_nanoseconds_bucket{stage=\"parse\",le=\"3\"} 2\n\
+                    flqd_stage_duration_nanoseconds_bucket{stage=\"parse\",le=\"+Inf\"} 2\n\
+                    flqd_stage_duration_nanoseconds_sum{stage=\"parse\"} 5\n\
+                    flqd_stage_duration_nanoseconds_count{stage=\"parse\"} 2\n";
+        assert_eq!(validate(body), Vec::<String>::new());
+    }
+
+    #[test]
+    fn violations_are_reported() {
+        let headerless = "flqd_mystery_total 1\n";
+        assert!(validate(headerless)[0].contains("no preceding # TYPE"));
+
+        let sampleless = "# TYPE flqd_ghost_total counter\n";
+        assert!(validate(sampleless)[0].contains("no samples"));
+
+        let nonmonotone = "# TYPE h histogram\n\
+                           h_bucket{le=\"1\"} 5\n\
+                           h_bucket{le=\"3\"} 2\n\
+                           h_bucket{le=\"+Inf\"} 5\n\
+                           h_count 5\n";
+        assert!(validate(nonmonotone)
+            .iter()
+            .any(|p| p.contains("decreases")));
+
+        let inf_mismatch = "# TYPE h histogram\n\
+                            h_bucket{le=\"+Inf\"} 3\n\
+                            h_count 4\n";
+        assert!(validate(inf_mismatch)
+            .iter()
+            .any(|p| p.contains("!= _count")));
+
+        let no_inf = "# TYPE h histogram\n\
+                      h_bucket{le=\"1\"} 3\n\
+                      h_count 3\n";
+        assert!(validate(no_inf)
+            .iter()
+            .any(|p| p.contains("does not end at le=\"+Inf\"")));
+
+        let float = "# TYPE g gauge\ng 1.5\n";
+        assert!(validate(float).iter().any(|p| p.contains("non-integer")));
+    }
+}

@@ -21,9 +21,11 @@
 //! | E12 | transport shapes over warm decisions: close vs keep-alive vs pipelined clients |
 //! | E13 | Σ-admission classifier cost and derived chase bounds vs the Theorem 12 bound |
 //! | E14 | semantic (canonicalized) cache keys vs raw keys on variant-heavy traffic |
+//! | E15 | request-level observability overhead (spans + histograms + access log) and per-stage latency |
 
 pub mod experiments;
 pub mod microbench;
+pub mod promstats;
 pub mod table;
 pub mod wire;
 

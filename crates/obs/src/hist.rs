@@ -1,0 +1,371 @@
+//! A lock-free, fixed-size log2-bucketed latency histogram.
+//!
+//! `flqd` needs latency *distributions*, not just totals: a p99 that
+//! doubles while the mean holds still is exactly the regression a flat
+//! counter dump cannot show. [`Histogram`] is built for the reactor's
+//! constraints — recording a sample is three relaxed atomic adds and
+//! one atomic max (no locks, no allocation, no clock reads beyond the
+//! caller's own), so it can sit on the per-request hot path of every
+//! stage without perturbing what it measures.
+//!
+//! Buckets are powers of two: bucket `i` holds samples whose bit length
+//! is `i` — the half-open value range `[2^(i-1), 2^i - 1]` (bucket 0
+//! holds exactly the value 0). Sixty-four buckets therefore cover the
+//! whole `u64` nanosecond range with a worst-case relative error of 2×,
+//! tightened by linear interpolation inside the winning bucket and
+//! clamped by the exactly-tracked maximum. Snapshots are plain arrays:
+//! mergeable across workers, diffable across scrapes, and renderable as
+//! Prometheus cumulative `_bucket{le="..."}` series.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit length of a `u64` sample.
+pub const BUCKET_COUNT: usize = 64;
+
+/// The bucket a value lands in: its bit length, clamped to the last
+/// bucket (so bucket 63 also absorbs 64-bit values).
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).min(BUCKET_COUNT - 1)
+}
+
+/// Inclusive lower bound of bucket `i` (`0`, then `2^(i-1)`).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`; the last bucket is
+/// unbounded and reports `u64::MAX`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= BUCKET_COUNT - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A lock-free log2-bucketed histogram of `u64` samples (nanoseconds by
+/// convention). Recording never blocks, never allocates, and is safe
+/// from any number of threads; snapshots are taken with relaxed loads
+/// and are exact once writers quiesce.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Three relaxed `fetch_add`s and one
+    /// `fetch_max`; callable concurrently from any thread.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]: mergeable, diffable, and
+/// renderable. All fields are public so external tooling (e.g. a load
+/// generator diffing two Prometheus scrapes) can reconstruct one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i` = bit length `i`).
+    pub buckets: [u64; BUCKET_COUNT],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen (exact, not bucketed).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self` (bucket-wise sums; `max` takes the
+    /// larger). Merging per-worker snapshots then taking a percentile
+    /// equals taking the percentile of the union of samples, up to the
+    /// same in-bucket interpolation.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `p` in `[0, 1]`: the winning bucket is
+    /// found by cumulative rank, then the position inside it is
+    /// linearly interpolated and clamped by the exact recorded maximum.
+    /// Returns 0 on an empty snapshot.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let lo = bucket_lower_bound(i);
+                let hi = bucket_upper_bound(i).min(self.max);
+                let within = (rank - cum - 1) as f64 / c as f64;
+                return lo + ((hi.saturating_sub(lo)) as f64 * within).round() as u64;
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// The median (`percentile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Appends this snapshot as Prometheus cumulative histogram sample
+    /// lines: `<name>_bucket{<labels>,le="..."}` for every bucket up to
+    /// the highest non-empty one, the mandatory `le="+Inf"` bucket, and
+    /// the `_sum` / `_count` series. `labels` is either empty or a
+    /// comma-joined `key="value"` list without braces. The caller emits
+    /// the family's `# TYPE <name> histogram` header once.
+    pub fn render_prometheus(&self, out: &mut String, name: &str, labels: &str) {
+        use std::fmt::Write as _;
+        let highest = self
+            .buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        let mut cum = 0u64;
+        for i in 0..highest {
+            cum += self.buckets[i];
+            let le = bucket_upper_bound(i);
+            match labels.is_empty() {
+                true => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                }
+                false => {
+                    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cum}");
+                }
+            }
+        }
+        let (lb, rb) = if labels.is_empty() {
+            (String::from("{"), String::from("}"))
+        } else {
+            (format!("{{{labels},"), String::from("}"))
+        };
+        let _ = writeln!(out, "{name}_bucket{lb}le=\"+Inf\"{rb} {}", self.count);
+        let sep = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(out, "{name}_sum{sep} {}", self.sum);
+        let _ = writeln!(out, "{name}_count{sep} {}", self.count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        for i in 1..BUCKET_COUNT - 1 {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            assert_eq!(hi, 2u64.pow(i as u32) - 1, "bucket {i} upper bound");
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_index(hi + 1), i + 1, "first value past bucket {i}");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+
+        // Recording exactly the boundary values lands each in its own
+        // bucket, observable through the snapshot.
+        let h = Histogram::new();
+        for v in [0u64, 1, 511, 512, 1023, 1024] {
+            h.record_nanos(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1, "value 0");
+        assert_eq!(s.buckets[1], 1, "value 1");
+        assert_eq!(s.buckets[9], 1, "511 has 9 bits");
+        assert_eq!(s.buckets[10], 2, "512 and 1023 have 10 bits");
+        assert_eq!(s.buckets[11], 1, "1024 has 11 bits");
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, 1024);
+    }
+
+    #[test]
+    fn concurrent_records_from_eight_threads_sum_to_the_total() {
+        const PER_THREAD: u64 = 10_000;
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record_nanos(t * 1000 + (i % 97));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 8 * PER_THREAD);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 8 * PER_THREAD);
+        let expected_sum: u64 = (0..8u64)
+            .flat_map(|t| (0..PER_THREAD).map(move |i| t * 1000 + (i % 97)))
+            .sum();
+        assert_eq!(s.sum, expected_sum);
+        assert_eq!(s.max, 7 * 1000 + 96);
+    }
+
+    #[test]
+    fn merge_then_percentile_equals_percentile_of_merged() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let union = Histogram::new();
+        for v in 0..500u64 {
+            let sample = v * v % 70_000;
+            if v % 2 == 0 {
+                a.record_nanos(sample);
+            } else {
+                b.record_nanos(sample);
+            }
+            union.record_nanos(sample);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let direct = union.snapshot();
+        assert_eq!(merged, direct);
+        for p in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.percentile(p), direct.percentile(p), "p={p}");
+        }
+        assert_eq!(merged.max, direct.max);
+    }
+
+    #[test]
+    fn zero_count_snapshot_renders_valid_exposition() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        let mut out = String::new();
+        s.render_prometheus(&mut out, "x_nanos", "stage=\"parse\"");
+        assert_eq!(
+            out,
+            "x_nanos_bucket{stage=\"parse\",le=\"+Inf\"} 0\n\
+             x_nanos_sum{stage=\"parse\"} 0\n\
+             x_nanos_count{stage=\"parse\"} 0\n"
+        );
+        let mut bare = String::new();
+        s.render_prometheus(&mut bare, "x_nanos", "");
+        assert!(bare.contains("x_nanos_bucket{le=\"+Inf\"} 0\n"), "{bare}");
+    }
+
+    #[test]
+    fn rendered_buckets_are_cumulative_and_monotone() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 5_000, 5_001, 70_000] {
+            h.record_nanos(v);
+        }
+        let mut out = String::new();
+        h.snapshot().render_prometheus(&mut out, "d", "");
+        let mut last = 0u64;
+        let mut bucket_lines = 0;
+        for line in out.lines().filter(|l| l.starts_with("d_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone bucket line: {line}");
+            last = v;
+            bucket_lines += 1;
+        }
+        assert!(bucket_lines > 3);
+        assert!(out.ends_with("d_count 7\n"), "{out}");
+        assert!(out.contains("le=\"+Inf\"} 7"), "{out}");
+    }
+
+    #[test]
+    fn percentiles_interpolate_and_clamp_to_max() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record_nanos(1000);
+        }
+        let s = h.snapshot();
+        // Every sample is 1000: all percentiles clamp inside
+        // [512, min(1023, max)] = [512, 1000].
+        for p in [0.5, 0.9, 0.99, 1.0] {
+            let v = s.percentile(p);
+            assert!((512..=1000).contains(&v), "p{p} = {v}");
+        }
+        assert_eq!(s.percentile(1.0), 1000, "p100 is the exact max");
+        assert_eq!(s.max, 1000);
+    }
+}

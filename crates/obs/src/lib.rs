@@ -21,7 +21,11 @@
 //!   growth curve, observed chase depth vs. the Theorem 12 bound, and
 //!   per-phase timing;
 //! * [`export`] — JSONL and CSV renderings of traces and profiles, plus a
-//!   line-oriented JSONL parser for external validators.
+//!   line-oriented JSONL parser for external validators;
+//! * [`Histogram`] / [`RequestSpan`] — the request-level layer `flqd`
+//!   builds on: a lock-free log2-bucketed latency histogram with
+//!   mergeable, Prometheus-renderable snapshots, and an allocation-free
+//!   per-request span that ids a request and times its named stages.
 //!
 //! **Overhead contract.** Tracing is opt-in per run. The disabled handle
 //! ([`TraceHandle::Disabled`], the default) reduces every instrumentation
@@ -42,10 +46,16 @@ mod ring;
 mod tracer;
 
 pub mod export;
+pub mod hist;
+pub mod span;
 
 pub use event::{ChaseEvent, Recorded, SpanKind, SPAN_KIND_COUNT};
+pub use hist::{
+    bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKET_COUNT,
+};
 pub use profile::{ChaseProfile, LevelGrowth, RoundGrowth};
 pub use ring::{Ring, RECORD_WORDS};
+pub use span::{RequestSpan, MAX_STAGES};
 pub use tracer::{SpanGuard, TraceHandle, TraceSnapshot, Tracer, DEFAULT_RING_CAPACITY};
 
 /// Number of rules in `Σ_FL` (the paper's ρ1…ρ12). Mirrors

@@ -110,6 +110,7 @@ impl ApiError {
         escape_into(&mut body, &self.message);
         body.push_str("}}");
         let mut resp = Response::json(self.status, body);
+        resp.cause = Some(self.code);
         if self.status == 503 {
             resp.extra_headers.push(("retry-after", "1".into()));
         }

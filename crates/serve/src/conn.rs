@@ -25,6 +25,7 @@ use std::net::{Shutdown, TcpStream};
 use std::time::Instant;
 
 use crate::http::{self, Parse, Request, Response};
+use crate::obs::ReqMeta;
 
 /// Cap on in-flight (parsed, not yet fully written) requests per
 /// connection; beyond it the reactor pauses reading, it never rejects.
@@ -41,8 +42,10 @@ enum Slot {
     /// Dispatched to the worker pool; response pending.
     InFlight,
     /// Response ready, not yet serialized (it is not at the head yet,
-    /// or the head was not flushed in this reactor turn).
-    Ready(Response),
+    /// or the head was not flushed in this reactor turn), plus the
+    /// request's observability record when one is being kept. Boxed:
+    /// the pair is ~400 bytes and most live slots are `InFlight`.
+    Ready(Box<(Response, Option<ReqMeta>)>),
 }
 
 /// What a connection wants from the poller right now.
@@ -94,6 +97,14 @@ pub struct Conn {
     write_shut: bool,
     /// Instant of the last byte in or out, for idle keep-alive sweeps.
     pub last_activity: Instant,
+    /// Cumulative response bytes ever queued into `write_buf`.
+    queued_total: u64,
+    /// Cumulative response bytes ever written to the socket.
+    flushed_total: u64,
+    /// Observability records of serialized responses, keyed by the
+    /// `queued_total` offset at which their last byte sits; a record is
+    /// finished once `flushed_total` reaches that offset.
+    pending_finish: VecDeque<(u64, ReqMeta)>,
 }
 
 /// A request parsed off a connection, tagged with the sequence number
@@ -103,6 +114,9 @@ pub struct Incoming {
     pub seq: u64,
     /// The parsed request.
     pub request: Request,
+    /// The request's observability record (span begun, parse stage
+    /// marked, `bytes_in` filled).
+    pub meta: ReqMeta,
 }
 
 impl Conn {
@@ -121,6 +135,9 @@ impl Conn {
             discarding: false,
             write_shut: false,
             last_activity: now,
+            queued_total: 0,
+            flushed_total: 0,
+            pending_finish: VecDeque::new(),
         }
     }
 
@@ -195,10 +212,13 @@ impl Conn {
         Turn::Keep
     }
 
-    /// Parses every complete request currently buffered.
+    /// Parses every complete request currently buffered. Each complete
+    /// request begins its observability span here: the `parse` stage is
+    /// the duration of its (final, successful) parse attempt.
     fn parse_available(&mut self, out: &mut Vec<Incoming>, max_body_bytes: usize) -> Turn {
         let mut consumed_total = 0usize;
         while !self.closing && self.slots.len() < MAX_PIPELINE {
+            let parse_start = Instant::now();
             match http::parse_request(&self.read_buf[consumed_total..], max_body_bytes) {
                 Parse::NeedMore => break,
                 Parse::Complete { request, consumed } => {
@@ -212,7 +232,10 @@ impl Conn {
                         self.closing = true;
                     }
                     self.slots.push_back(Slot::InFlight);
-                    out.push(Incoming { seq, request });
+                    let mut meta = ReqMeta::begin_at(parse_start);
+                    meta.span.mark("parse");
+                    meta.bytes_in = consumed as u64;
+                    out.push(Incoming { seq, request, meta });
                 }
                 Parse::Refused(e) => {
                     // Answer the refusal in-order through a slot, then
@@ -222,13 +245,15 @@ impl Conn {
                     self.slots.push_back(Slot::InFlight);
                     self.closing = true;
                     self.discarding = true;
+                    let mut meta = ReqMeta::begin_at(parse_start);
+                    meta.span.mark("parse");
                     let resp = crate::api::ApiError {
                         status: e.status,
                         code: e.code,
                         message: e.message,
                     }
                     .to_response();
-                    self.complete(seq, resp);
+                    self.complete_traced(seq, resp, Some(meta));
                     break;
                 }
             }
@@ -247,6 +272,14 @@ impl Conn {
     /// Out-of-range sequences (a slot dropped by a racing close) are
     /// ignored.
     pub fn complete(&mut self, seq: u64, response: Response) {
+        self.complete_traced(seq, response, None);
+    }
+
+    /// [`complete`](Conn::complete), carrying the request's
+    /// observability record; the record is finished (write stage
+    /// marked, handed to [`take_finished`](Conn::take_finished)) once
+    /// the response's last byte is flushed to the socket.
+    pub fn complete_traced(&mut self, seq: u64, response: Response, meta: Option<ReqMeta>) {
         let Some(idx) = seq.checked_sub(self.base_seq) else {
             return;
         };
@@ -256,22 +289,51 @@ impl Conn {
         if idx >= self.slots.len() {
             return;
         }
-        self.slots[idx] = Slot::Ready(response);
+        self.slots[idx] = Slot::Ready(Box::new((response, meta)));
         self.serialize_ready();
     }
 
     /// Moves the contiguous ready prefix of the pipeline into the write
     /// buffer, in order.
     fn serialize_ready(&mut self) {
-        while let Some(Slot::Ready(_)) = self.slots.front() {
-            let Some(Slot::Ready(resp)) = self.slots.pop_front() else {
+        while let Some(Slot::Ready(..)) = self.slots.front() {
+            let Some(Slot::Ready(slot)) = self.slots.pop_front() else {
                 unreachable!("front() said Ready");
             };
+            let (resp, meta) = *slot;
             self.base_seq += 1;
             // `connection: close` on the last response of a closing
             // pipeline tells the client not to wait for more.
             let close = self.closing && self.slots.is_empty();
+            let before = self.write_buf.len();
             http::encode_response(&mut self.write_buf, &resp, close);
+            let added = (self.write_buf.len() - before) as u64;
+            self.queued_total += added;
+            if let Some(mut meta) = meta {
+                meta.status = resp.status;
+                if meta.cause.is_none() {
+                    meta.cause = resp.cause;
+                }
+                meta.bytes_out = added;
+                self.pending_finish.push_back((self.queued_total, meta));
+            }
+        }
+    }
+
+    /// Drains the observability records of responses whose last byte
+    /// has reached the socket, closing their `write` stage at `now`.
+    /// Called by the reactor after [`flush`](Conn::flush).
+    pub fn take_finished(&mut self, now: Instant, out: &mut Vec<ReqMeta>) {
+        while let Some((end, _)) = self.pending_finish.front() {
+            if *end > self.flushed_total {
+                break;
+            }
+            let (_, mut meta) = self
+                .pending_finish
+                .pop_front()
+                .expect("front() said present");
+            meta.span.mark_at("write", now);
+            out.push(meta);
         }
     }
 
@@ -284,6 +346,7 @@ impl Conn {
                 Ok(0) => return Turn::Close,
                 Ok(n) => {
                     self.last_activity = now;
+                    self.flushed_total += n as u64;
                     self.write_buf.drain(..n);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,

@@ -208,26 +208,33 @@ pub struct Response {
     pub extra_headers: Vec<(&'static str, String)>,
     /// The response body.
     pub body: String,
+    /// Machine-readable cause for non-2xx responses, carried for the
+    /// access log (never serialized onto the wire; the body's typed
+    /// `error.code` is the wire form).
+    pub cause: Option<&'static str>,
 }
 
 impl Response {
     /// A JSON response with the given status.
     pub fn json(status: u16, body: String) -> Response {
-        Response {
-            status,
-            content_type: "application/json",
-            extra_headers: Vec::new(),
-            body,
-        }
+        Response::with_content_type(status, "application/json", body)
     }
 
-    /// A plain-text response with the given status.
+    /// A plain-text response with the given status
+    /// (`text/plain; charset=utf-8`).
     pub fn text(status: u16, body: String) -> Response {
+        Response::with_content_type(status, "text/plain; charset=utf-8", body)
+    }
+
+    /// A response with an explicit `Content-Type` (e.g. the Prometheus
+    /// exposition's mandated `text/plain; version=0.0.4`).
+    pub fn with_content_type(status: u16, content_type: &'static str, body: String) -> Response {
         Response {
             status,
-            content_type: "text/plain; charset=utf-8",
+            content_type,
             extra_headers: Vec::new(),
             body,
+            cause: None,
         }
     }
 }

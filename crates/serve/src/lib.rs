@@ -29,10 +29,19 @@
 //!   `Retry-After` on the spot — the connection stays open, and nothing
 //!   queues without bound.
 //!
+//! * **Observability built in.** Every request carries a stage-timed
+//!   span from parse to socket write; per-stage and per-endpoint
+//!   latency histograms back `GET /metrics` (Prometheus text
+//!   exposition) and `GET /v1/status` (a JSON rollup), and
+//!   `--access-log` emits one structured JSONL line per request through
+//!   a dedicated logger thread that drops-and-counts rather than block
+//!   the reactor (see [`obs`]).
+//!
 //! Endpoints: `POST /v1/contains`, `POST /v1/contains_batch`,
-//! `GET /metrics`, `GET /profile`. See `docs/ARCHITECTURE.md` for the
-//! request lifecycle and `docs/CLI.md` for the `flqd` / `flq serve`
-//! flags.
+//! `GET /metrics` (Prometheus; `?format=text` for the legacy
+//! `name value` lines), `GET /v1/status`, `GET /profile`. See
+//! `docs/ARCHITECTURE.md` for the request lifecycle and `docs/CLI.md`
+//! for the `flqd` / `flq serve` flags.
 //!
 //! [`DecisionCache`]: flogic_core::DecisionCache
 //! [`SnapshotCache`]: snapshots::SnapshotCache
@@ -41,6 +50,7 @@ pub mod api;
 pub mod conn;
 pub mod http;
 pub mod json;
+pub mod obs;
 pub mod poll;
 pub mod signal;
 pub mod snapshots;
@@ -48,7 +58,7 @@ pub mod snapshots;
 mod reactor;
 mod server;
 
-pub use server::{Server, ServerConfig, ServerHandle, SERVE_FLAGS};
+pub use server::{Server, ServerConfig, ServerHandle, PROMETHEUS_CONTENT_TYPE, SERVE_FLAGS};
 
 /// Runs the server as a foreground process: parse `args`, bind, print
 /// the listen address on stdout, install signal handlers, serve until

@@ -47,6 +47,7 @@ use std::time::{Duration, Instant};
 use crate::api::ApiError;
 use crate::conn::{Conn, Incoming, Turn, Wants};
 use crate::http::{Request, Response};
+use crate::obs::ReqMeta;
 use crate::poll::{Event, Interest, Poller};
 use crate::server::{route, Shared};
 
@@ -66,6 +67,9 @@ pub(crate) struct Job {
     token: u64,
     seq: u64,
     request: Request,
+    /// The request's observability record; the worker marks the queue
+    /// and handler stages on it.
+    meta: ReqMeta,
 }
 
 /// A finished decision on its way back to the reactor.
@@ -73,6 +77,7 @@ pub(crate) struct Completion {
     token: u64,
     seq: u64,
     response: Response,
+    meta: ReqMeta,
 }
 
 /// A connection plus the interest it is currently registered under.
@@ -102,6 +107,7 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) -> io::Result<()> 
     let mut next_token = TOKEN_FIRST_CONN;
     let mut events: Vec<Event> = Vec::new();
     let mut incoming: Vec<Incoming> = Vec::new();
+    let mut finished: Vec<ReqMeta> = Vec::new();
     let mut accepting = true;
     let mut last_sweep = Instant::now();
     let idle_timeout = Duration::from_millis(shared.config.read_timeout_ms);
@@ -112,8 +118,7 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) -> io::Result<()> 
             // Stop accepting; serve out what is already here.
             let _ = poller.deregister(listener.as_raw_fd());
             accepting = false;
-            let now = Instant::now();
-            close_or_mark_draining(&poller, &mut conns, now);
+            close_or_mark_draining(&poller, &mut conns, &shared);
         }
         if draining && conns.is_empty() {
             break;
@@ -131,7 +136,7 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) -> io::Result<()> 
         let mut touched: Vec<u64> = Vec::new();
         for c in done {
             if let Some(reg) = conns.get_mut(&c.token) {
-                reg.conn.complete(c.seq, c.response);
+                reg.conn.complete_traced(c.seq, c.response, Some(c.meta));
                 touched.push(c.token);
             }
         }
@@ -174,7 +179,7 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) -> io::Result<()> 
                         }
                     }
                     if close {
-                        remove_conn(&poller, &mut conns, token);
+                        remove_conn(&poller, &mut conns, token, &shared);
                     } else {
                         touched.push(token);
                     }
@@ -192,9 +197,11 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) -> io::Result<()> 
                 continue;
             };
             if reg.conn.flush(now) == Turn::Close {
-                remove_conn(&poller, &mut conns, token);
+                reg.conn.take_finished(now, &mut finished);
+                remove_conn(&poller, &mut conns, token, &shared);
                 continue;
             }
+            reg.conn.take_finished(now, &mut finished);
             let wants = reg.conn.wants();
             if wants != reg.interest {
                 let interest = Interest {
@@ -204,6 +211,11 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) -> io::Result<()> 
                 let _ = poller.reregister(reg.conn.stream().as_raw_fd(), token, interest);
                 reg.interest = wants;
             }
+        }
+
+        // Fold fully-written requests into the histograms / access log.
+        for meta in finished.drain(..) {
+            shared.obs.record(&meta);
         }
 
         // Idle keep-alive sweep (and, during drain, a stuck-peer sweep:
@@ -220,7 +232,7 @@ pub(crate) fn run(listener: TcpListener, shared: Arc<Shared>) -> io::Result<()> 
                 .map(|(&t, _)| t)
                 .collect();
             for token in stale {
-                remove_conn(&poller, &mut conns, token);
+                remove_conn(&poller, &mut conns, token, &shared);
             }
         }
     }
@@ -261,6 +273,7 @@ fn accept_ready(
                     continue;
                 }
                 shared.connections_total.fetch_add(1, Ordering::Relaxed);
+                shared.obs.open_connections.fetch_add(1, Ordering::Relaxed);
                 conns.insert(
                     token,
                     Registered {
@@ -285,47 +298,61 @@ fn accept_ready(
 /// overloaded server promises).
 fn dispatch(shared: &Arc<Shared>, conn: &mut Conn, inc: Incoming, draining: bool) {
     shared.requests_total.fetch_add(1, Ordering::Relaxed);
+    let Incoming { seq, request, meta } = inc;
     if draining {
         // Between the drain flag rising and this connection's
         // begin_close, a parsed request may slip through; refuse it
         // rather than racing the worker shutdown.
         shared.rejected_total.fetch_add(1, Ordering::Relaxed);
-        conn.complete(inc.seq, ApiError::overloaded().to_response());
+        conn.complete_traced(seq, ApiError::overloaded().to_response(), Some(meta));
         return;
     }
     let mut jobs = shared.jobs.lock().expect("jobs poisoned");
     if jobs.len() >= shared.config.queue_depth {
         drop(jobs);
         shared.rejected_total.fetch_add(1, Ordering::Relaxed);
-        conn.complete(inc.seq, ApiError::overloaded().to_response());
+        conn.complete_traced(seq, ApiError::overloaded().to_response(), Some(meta));
         return;
     }
     jobs.push_back(Job {
         token: conn.token(),
-        seq: inc.seq,
-        request: inc.request,
+        seq,
+        request,
+        meta,
     });
+    let depth = jobs.len() as u64;
     drop(jobs);
+    shared.obs.note_queue_depth(depth);
     shared.jobs_cv.notify_one();
 }
 
 /// Deregisters and drops one connection.
-fn remove_conn(poller: &Poller, conns: &mut HashMap<u64, Registered>, token: u64) {
+fn remove_conn(
+    poller: &Poller,
+    conns: &mut HashMap<u64, Registered>,
+    token: u64,
+    shared: &Arc<Shared>,
+) {
     if let Some(reg) = conns.remove(&token) {
         let _ = poller.deregister(reg.conn.stream().as_raw_fd());
+        shared.obs.open_connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
 /// At drain start: close idle connections now, mark the busy ones to
 /// close once their pipeline finishes.
-fn close_or_mark_draining(poller: &Poller, conns: &mut HashMap<u64, Registered>, _now: Instant) {
+fn close_or_mark_draining(
+    poller: &Poller,
+    conns: &mut HashMap<u64, Registered>,
+    shared: &Arc<Shared>,
+) {
     let idle: Vec<u64> = conns
         .iter()
         .filter(|(_, reg)| !reg.conn.has_pending_work())
         .map(|(&t, _)| t)
         .collect();
     for token in idle {
-        remove_conn(poller, conns, token);
+        remove_conn(poller, conns, token, shared);
     }
     for reg in conns.values_mut() {
         reg.conn.begin_close();
@@ -354,13 +381,26 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
-        let response = catch_unwind(AssertUnwindSafe(|| route(shared, &job.request)))
+        let Job {
+            token,
+            seq,
+            request,
+            mut meta,
+        } = job;
+        meta.span.mark("queue");
+        shared.obs.in_flight_workers.fetch_add(1, Ordering::Relaxed);
+        let response = catch_unwind(AssertUnwindSafe(|| route(shared, &request, &mut meta)))
             .unwrap_or_else(|_| ApiError::internal("request handler panicked").to_response());
+        shared.obs.in_flight_workers.fetch_sub(1, Ordering::Relaxed);
+        // The handler's JSON body is built; what remains is the header
+        // encode and the socket write, timed by the reactor.
+        meta.span.mark("serialize");
         let mut done = shared.completions.lock().expect("completions poisoned");
         done.push(Completion {
-            token: job.token,
-            seq: job.seq,
+            token,
+            seq,
             response,
+            meta,
         });
         drop(done);
         shared.waker.wake();

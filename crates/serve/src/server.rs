@@ -19,15 +19,18 @@
 //! mirrors `contains_with` exactly — so verdicts are bit-identical to
 //! the `flq` CLI's, warm or cold.
 
-use std::collections::VecDeque;
+use std::cell::Cell;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use flogic_core::{
-    canonical_pair, theorem_bound, ContainmentOptions, ContainmentResult, CoreError, DecisionCache,
+    canonical_pair, canonical_query, theorem_bound, ContainmentOptions, ContainmentResult,
+    CoreError, DecisionCache, QueryKey, Verdict,
 };
 use flogic_model::ConjunctiveQuery;
 use flogic_obs::export::profile_json;
@@ -37,10 +40,14 @@ use flogic_term::Metrics;
 
 use crate::api::{self, ApiError};
 use crate::http::{Request, Response};
+use crate::obs::{Endpoint, ReqMeta, ServerObs};
 use crate::poll::Waker;
 use crate::reactor::{self, Completion, Job};
 use crate::signal;
 use crate::snapshots::SnapshotCache;
+
+/// The content type Prometheus scrapers require of text exposition.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
 
 /// Configuration of a [`Server`], settable from the command line via
 /// [`ServerConfig::from_args`].
@@ -82,6 +89,17 @@ pub struct ServerConfig {
     /// decision-cache entries and chase snapshots. Verdicts are
     /// identical with the toggle on or off.
     pub canon: bool,
+    /// Structured JSONL access-log destination (`--access-log`): a file
+    /// path, or `-` for stdout. `None` disables the log entirely — the
+    /// per-request logging path then allocates nothing.
+    pub access_log: Option<String>,
+    /// Slow-request threshold in microseconds (`--slow-us`): requests
+    /// at or over it are always logged, even when sampled out.
+    pub slow_us: Option<u64>,
+    /// Access-log sampling divisor (`--log-sample 1/N` or `N`): only
+    /// requests whose id is divisible by N produce a line. 1 (the
+    /// default) logs every request.
+    pub log_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -98,6 +116,9 @@ impl Default for ServerConfig {
             read_timeout_ms: 5_000,
             ready_fd: None,
             canon: true,
+            access_log: None,
+            slow_us: None,
+            log_sample: 1,
         }
     }
 }
@@ -106,7 +127,7 @@ impl Default for ServerConfig {
 /// usage text.
 pub const SERVE_FLAGS: &str = "[--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-bytes N] \
 [--max-body-bytes N] [--threads N] [--timeout MS] [--max-conjuncts N] [--read-timeout MS] \
-[--ready-fd FD] [--no-canon]";
+[--ready-fd FD] [--no-canon] [--access-log FILE|-] [--slow-us N] [--log-sample 1/N]";
 
 impl ServerConfig {
     /// Parses command-line flags into a config, starting from defaults.
@@ -136,6 +157,13 @@ impl ServerConfig {
                     config.ready_fd = Some(parse_flag(&arg, value("a file descriptor")?)?)
                 }
                 "--no-canon" => config.canon = false,
+                "--access-log" => config.access_log = Some(value("a file path or -")?),
+                "--slow-us" => {
+                    config.slow_us = Some(parse_flag(&arg, value("a duration in microseconds")?)?)
+                }
+                "--log-sample" => {
+                    config.log_sample = parse_sample(&arg, &value("a rate like 1/16")?)?
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -169,6 +197,17 @@ fn parse_flag<T: std::str::FromStr>(flag: &str, raw: String) -> Result<T, String
         .map_err(|_| format!("{flag}: cannot parse {raw:?}"))
 }
 
+/// Parses a sampling rate written `1/N` (or bare `N`) into the divisor
+/// N; zero is rejected.
+fn parse_sample(flag: &str, raw: &str) -> Result<u64, String> {
+    let divisor = raw.strip_prefix("1/").unwrap_or(raw);
+    let n: u64 = parse_flag(flag, divisor.to_string())?;
+    if n == 0 {
+        return Err(format!("{flag}: the divisor must be at least 1"));
+    }
+    Ok(n)
+}
+
 /// State shared between the reactor and the workers.
 pub(crate) struct Shared {
     pub(crate) config: ServerConfig,
@@ -187,6 +226,9 @@ pub(crate) struct Shared {
     pub(crate) requests_total: AtomicU64,
     pub(crate) rejected_total: AtomicU64,
     pub(crate) connections_total: AtomicU64,
+    /// Request-level observability: stage/endpoint histograms, gauges,
+    /// and the access log.
+    pub(crate) obs: ServerObs,
 }
 
 impl Shared {
@@ -223,11 +265,13 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let base_opts = config.base_options();
         let snapshots = SnapshotCache::new(config.cache_bytes);
+        let obs = ServerObs::new(&config)?;
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 base_opts,
                 snapshots,
+                obs,
                 decisions: DecisionCache::new(),
                 profile: Mutex::new(ChaseProfile::default()),
                 jobs: Mutex::new(VecDeque::new()),
@@ -265,24 +309,62 @@ impl Server {
 }
 
 /// Dispatches one request to its endpoint. Called from worker threads.
-pub(crate) fn route(shared: &Arc<Shared>, req: &Request) -> Response {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/contains") => contains_endpoint(shared, &req.body),
-        ("POST", "/v1/contains_batch") => batch_endpoint(shared, &req.body),
-        ("GET", "/metrics") => Response::text(200, metrics_text(shared)),
+/// Fills `meta.endpoint` so per-endpoint histograms and the access log
+/// name what actually ran; the query string (split off before matching)
+/// selects presentation variants like `/metrics?format=text`.
+pub(crate) fn route(shared: &Arc<Shared>, req: &Request, meta: &mut ReqMeta) -> Response {
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
+        ("POST", "/v1/contains") => {
+            meta.endpoint = Endpoint::Contains;
+            contains_endpoint(shared, &req.body, meta)
+        }
+        ("POST", "/v1/contains_batch") => {
+            meta.endpoint = Endpoint::Batch;
+            batch_endpoint(shared, &req.body, meta)
+        }
+        ("GET", "/metrics") => {
+            meta.endpoint = Endpoint::Metrics;
+            if query == "format=text" {
+                Response::text(200, metrics_text(shared))
+            } else {
+                Response::with_content_type(
+                    200,
+                    PROMETHEUS_CONTENT_TYPE,
+                    metrics_prometheus(shared),
+                )
+            }
+        }
+        ("GET", "/v1/status") => {
+            meta.endpoint = Endpoint::Status;
+            Response::json(200, status_json(shared))
+        }
         ("GET", "/profile") => {
+            meta.endpoint = Endpoint::Profile;
             let profile = shared.profile.lock().expect("profile poisoned");
             Response::json(200, profile_json(&profile))
         }
-        (_, "/v1/contains" | "/v1/contains_batch" | "/metrics" | "/profile") => {
-            ApiError::method_not_allowed(&req.method, &req.path).to_response()
+        (_, "/v1/contains" | "/v1/contains_batch" | "/v1/status" | "/metrics" | "/profile") => {
+            ApiError::method_not_allowed(&req.method, path).to_response()
         }
-        _ => ApiError::not_found(&req.path).to_response(),
+        _ => ApiError::not_found(path).to_response(),
+    }
+}
+
+/// The access-log name of a decision verdict.
+fn verdict_name(result: &ContainmentResult) -> &'static str {
+    match result.verdict() {
+        Verdict::Holds => "holds",
+        Verdict::NotHolds => "not_holds",
+        Verdict::Exhausted(_) => "exhausted",
     }
 }
 
 /// `POST /v1/contains`: one pair, one verdict object.
-fn contains_endpoint(shared: &Arc<Shared>, body: &[u8]) -> Response {
+fn contains_endpoint(shared: &Arc<Shared>, body: &[u8], meta: &mut ReqMeta) -> Response {
     let req = match api::parse_contains(body) {
         Ok(req) => req,
         Err(e) => return e.to_response(),
@@ -294,19 +376,27 @@ fn contains_endpoint(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let tracer = Tracer::with_default_capacity();
     let mut opts = req.opts.apply(&shared.base_opts);
     opts.trace = TraceHandle::enabled(&tracer);
-    let out = decide_pair(shared, &q1, &q2, &opts);
+    let out = decide_pair(shared, &q1, &q2, &opts, Some(meta));
     absorb_trace(shared, &tracer);
     match out {
-        Ok(result) => Response::json(200, api::verdict_json(&result)),
+        Ok(result) => {
+            meta.verdict = Some(verdict_name(&result));
+            Response::json(200, api::verdict_json(&result))
+        }
         Err(e) => api::core_error(&e).to_response(),
     }
 }
 
 /// `POST /v1/contains_batch`: many pairs, verdicts in request order.
-/// Pairs that share a `q1` (under the canonical key) share one resident
-/// chase — the server-side analogue of
-/// [`contains_batch`](flogic_core::contains_batch).
-fn batch_endpoint(shared: &Arc<Shared>, body: &[u8]) -> Response {
+/// Pairs that share a `q1` *semantically* share one canonical
+/// representative — and therefore one decision-cache key and one
+/// resident chase — the server-side analogue of
+/// [`contains_batch`](flogic_core::contains_batch). The grouping keys on
+/// [`QueryKey::of`] (core + canonical ordering), so renamed, permuted,
+/// or redundant variants of the same `q1` all land in one group; a raw
+/// text memo in front skips even the key computation for byte-identical
+/// repeats. Each reuse counts one `flqd_batch_dedup_hits_total`.
+fn batch_endpoint(shared: &Arc<Shared>, body: &[u8], meta: &mut ReqMeta) -> Response {
     let req = match api::parse_batch(body) {
         Ok(req) => req,
         Err(e) => return e.to_response(),
@@ -330,9 +420,46 @@ fn batch_endpoint(shared: &Arc<Shared>, body: &[u8]) -> Response {
     let tracer = Tracer::with_default_capacity();
     let mut opts = req.opts.apply(&shared.base_opts);
     opts.trace = TraceHandle::enabled(&tracer);
+    // Dedup is sound exactly when the canonical substitution would run
+    // for the pair anyway: canonicalization on and no level-bound cap
+    // that could undercut the derived Theorem 12 bound (flqd requests
+    // never set one — mirrors `canonical_pair`'s own gate).
+    let dedup_ok = opts.canon && opts.level_bound.is_none();
+    let mut rep_of_text: HashMap<&str, usize> = HashMap::new();
+    let mut rep_of_key: HashMap<QueryKey, usize> = HashMap::new();
+    let mut reps: Vec<ConjunctiveQuery> = Vec::new();
     let mut results = Vec::with_capacity(parsed.len());
-    for (q1, q2) in &parsed {
-        match decide_pair(shared, q1, q2, &opts) {
+    for (i, (q1, q2)) in parsed.iter().enumerate() {
+        let out = if dedup_ok && q1.arity() == q2.arity() {
+            let raw = req.pairs[i].0.as_str();
+            let idx = if let Some(&idx) = rep_of_text.get(raw) {
+                shared.obs.batch_dedup_hits.fetch_add(1, Ordering::Relaxed);
+                idx
+            } else {
+                match rep_of_key.entry(QueryKey::of(q1)) {
+                    Entry::Occupied(e) => {
+                        shared.obs.batch_dedup_hits.fetch_add(1, Ordering::Relaxed);
+                        let idx = *e.get();
+                        rep_of_text.insert(raw, idx);
+                        idx
+                    }
+                    Entry::Vacant(v) => {
+                        reps.push(canonical_query(q1));
+                        let idx = reps.len() - 1;
+                        v.insert(idx);
+                        rep_of_text.insert(raw, idx);
+                        idx
+                    }
+                }
+            };
+            let c2 = canonical_query(q2);
+            let mut o = opts.clone();
+            o.canon = false;
+            decide_canonical(shared, &reps[idx], &c2, &o).0
+        } else {
+            decide_pair(shared, q1, q2, &opts, None)
+        };
+        match out {
             Ok(result) => results.push(result),
             Err(e) => {
                 absorb_trace(shared, &tracer);
@@ -340,6 +467,7 @@ fn batch_endpoint(shared: &Arc<Shared>, body: &[u8]) -> Response {
             }
         }
     }
+    meta.span.mark("decide");
     absorb_trace(shared, &tracer);
     Response::json(200, api::batch_json(&results))
 }
@@ -364,26 +492,69 @@ fn decide_pair(
     q1: &ConjunctiveQuery,
     q2: &ConjunctiveQuery,
     opts: &ContainmentOptions,
+    mut meta: Option<&mut ReqMeta>,
 ) -> Result<ContainmentResult, CoreError> {
-    if q1.arity() == q2.arity() {
-        if let Some((c1, c2)) = canonical_pair(q1, q2, opts) {
+    let canonical = if q1.arity() == q2.arity() {
+        canonical_pair(q1, q2, opts)
+    } else {
+        None
+    };
+    if let Some(m) = meta.as_deref_mut() {
+        m.span.mark("canon");
+    }
+    let (out, computed) = match canonical {
+        Some((c1, c2)) => {
             let mut opts = opts.clone();
             opts.canon = false;
-            return shared.decisions.contains_with_compute(&c1, &c2, &opts, || {
-                let snapshot =
-                    shared
-                        .snapshots
-                        .get_or_build(&c1, theorem_bound(&c1, &c2), &opts)?;
-                snapshot.contains(&c2, &opts)
-            });
+            decide_canonical(shared, &c1, &c2, &opts)
+        }
+        None => decide_canonical(shared, q1, q2, opts),
+    };
+    if let Some(m) = meta {
+        match computed {
+            // The cache stage ends where compute began; everything from
+            // there to now is the decide stage.
+            Some(compute_start) => {
+                m.span.mark_at("cache", compute_start);
+                m.span.mark("decide");
+                m.cache = Some("miss");
+            }
+            None => {
+                m.span.mark("cache");
+                m.cache = Some("hit");
+            }
         }
     }
-    shared.decisions.contains_with_compute(q1, q2, opts, || {
+    out
+}
+
+/// Runs one (already canonical, or deliberately uncanonicalized) pair
+/// through the decision cache over the snapshot cache, reporting *when*
+/// the compute closure started — `None` means the decision cache
+/// answered outright. Feeds the `flqd_decision_cache_{hits,misses}`
+/// counters.
+fn decide_canonical(
+    shared: &Arc<Shared>,
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    opts: &ContainmentOptions,
+) -> (Result<ContainmentResult, CoreError>, Option<Instant>) {
+    let compute_start = Cell::new(None);
+    let out = shared.decisions.contains_with_compute(q1, q2, opts, || {
+        compute_start.set(Some(Instant::now()));
         let snapshot = shared
             .snapshots
             .get_or_build(q1, theorem_bound(q1, q2), opts)?;
         snapshot.contains(q2, opts)
-    })
+    });
+    let computed = compute_start.get();
+    let counter = if computed.is_some() {
+        &shared.obs.decision_misses
+    } else {
+        &shared.obs.decision_hits
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    (out, computed)
 }
 
 fn parse_wire_query(text: &str) -> Result<ConjunctiveQuery, ApiError> {
@@ -439,6 +610,252 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
     s
 }
 
+/// The default `GET /metrics` body: Prometheus text exposition
+/// (format 0.0.4). Every family gets its `# TYPE` header and at least
+/// one sample line, so scrapers and the exposition checker never see a
+/// headerless series or a sampleless family. Latency histograms use
+/// cumulative `_bucket{le=...}` series in nanoseconds, one labeled
+/// series per pipeline stage and per endpoint.
+fn metrics_prometheus(shared: &Arc<Shared>) -> String {
+    use std::fmt::Write as _;
+    let snap = shared.obs.snapshot();
+    let stats = shared.snapshots.stats();
+    let mut s = String::with_capacity(8 << 10);
+    let simple = |s: &mut String, name: &str, kind: &str, value: u64| {
+        let _ = writeln!(s, "# TYPE {name} {kind}");
+        let _ = writeln!(s, "{name} {value}");
+    };
+    simple(&mut s, "flqd_uptime_seconds", "gauge", snap.uptime_s);
+    simple(
+        &mut s,
+        "flqd_requests_total",
+        "counter",
+        shared.requests_total.load(Ordering::Relaxed),
+    );
+    simple(
+        &mut s,
+        "flqd_rejected_total",
+        "counter",
+        shared.rejected_total.load(Ordering::Relaxed),
+    );
+    simple(
+        &mut s,
+        "flqd_connections_total",
+        "counter",
+        shared.connections_total.load(Ordering::Relaxed),
+    );
+    let _ = writeln!(s, "# TYPE flqd_responses_total counter");
+    for (class, count) in [
+        ("2xx", snap.responses_2xx),
+        ("4xx", snap.responses_4xx),
+        ("5xx", snap.responses_5xx),
+    ] {
+        let _ = writeln!(s, "flqd_responses_total{{class=\"{class}\"}} {count}");
+    }
+    simple(
+        &mut s,
+        "flqd_open_connections",
+        "gauge",
+        snap.open_connections,
+    );
+    simple(
+        &mut s,
+        "flqd_queue_depth_highwater",
+        "gauge",
+        snap.queue_highwater,
+    );
+    simple(
+        &mut s,
+        "flqd_in_flight_workers",
+        "gauge",
+        snap.in_flight_workers,
+    );
+    simple(
+        &mut s,
+        "flqd_decision_cache_hits_total",
+        "counter",
+        snap.decision_hits,
+    );
+    simple(
+        &mut s,
+        "flqd_decision_cache_misses_total",
+        "counter",
+        snap.decision_misses,
+    );
+    simple(
+        &mut s,
+        "flqd_decision_cache_entries",
+        "gauge",
+        shared.decisions.len() as u64,
+    );
+    simple(
+        &mut s,
+        "flqd_snapshot_cache_hits_total",
+        "counter",
+        stats.hits,
+    );
+    simple(
+        &mut s,
+        "flqd_snapshot_cache_misses_total",
+        "counter",
+        stats.misses,
+    );
+    simple(
+        &mut s,
+        "flqd_snapshot_cache_evictions_total",
+        "counter",
+        stats.evictions,
+    );
+    simple(
+        &mut s,
+        "flqd_snapshot_cache_uncacheable_total",
+        "counter",
+        stats.uncacheable,
+    );
+    simple(
+        &mut s,
+        "flqd_snapshot_resident_bytes",
+        "gauge",
+        stats.resident_bytes,
+    );
+    simple(
+        &mut s,
+        "flqd_snapshot_resident_entries",
+        "gauge",
+        stats.resident_entries,
+    );
+    simple(
+        &mut s,
+        "flqd_snapshot_cap_bytes",
+        "gauge",
+        shared.snapshots.cap_bytes() as u64,
+    );
+    simple(
+        &mut s,
+        "flqd_batch_dedup_hits_total",
+        "counter",
+        snap.batch_dedup_hits,
+    );
+    // Process-global canonicalization counters, mirrored from the legacy
+    // text exposition so `--no-canon` vs canon-on is scrapeable.
+    let global = Metrics::global().snapshot();
+    simple(
+        &mut s,
+        "flqd_canon_keys_total",
+        "counter",
+        global.canon_keys,
+    );
+    simple(
+        &mut s,
+        "flqd_canon_reduced_total",
+        "counter",
+        global.canon_reduced,
+    );
+    simple(
+        &mut s,
+        "flqd_canon_nanoseconds_total",
+        "counter",
+        global.canon_nanos,
+    );
+    simple(
+        &mut s,
+        "flqd_access_log_lines_total",
+        "counter",
+        snap.log_lines,
+    );
+    simple(
+        &mut s,
+        "flqd_access_log_dropped_total",
+        "counter",
+        snap.log_dropped,
+    );
+    let _ = writeln!(s, "# TYPE flqd_stage_duration_nanoseconds histogram");
+    for (stage, hist) in &snap.stages {
+        hist.render_prometheus(
+            &mut s,
+            "flqd_stage_duration_nanoseconds",
+            &format!("stage=\"{stage}\""),
+        );
+    }
+    let _ = writeln!(s, "# TYPE flqd_request_duration_nanoseconds histogram");
+    for (endpoint, hist) in &snap.endpoints {
+        hist.render_prometheus(
+            &mut s,
+            "flqd_request_duration_nanoseconds",
+            &format!("endpoint=\"{endpoint}\""),
+        );
+    }
+    s
+}
+
+/// The `GET /v1/status` body: a JSON rollup of uptime, per-stage and
+/// per-endpoint latency percentiles (microseconds), live gauges, cache
+/// hit ratios, and access-log health. Integer-only JSON, parseable by
+/// the strict [`json`](crate::json) parser; ratios are whole percents.
+fn status_json(shared: &Arc<Shared>) -> String {
+    use std::fmt::Write as _;
+    fn pct(hits: u64, misses: u64) -> u64 {
+        (hits * 100).checked_div(hits + misses).unwrap_or(0)
+    }
+    fn write_percentiles(s: &mut String, series: &[(&'static str, flogic_obs::HistogramSnapshot)]) {
+        for (i, (name, hist)) in series.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                hist.count,
+                hist.p50() / 1_000,
+                hist.p90() / 1_000,
+                hist.p99() / 1_000,
+                hist.max / 1_000
+            );
+        }
+    }
+    let snap = shared.obs.snapshot();
+    let stats = shared.snapshots.stats();
+    let mut s = String::with_capacity(4 << 10);
+    let _ = write!(
+        s,
+        "{{\"uptime_s\":{},\"requests_total\":{},\"rejected_total\":{},\"connections_total\":{}",
+        snap.uptime_s,
+        shared.requests_total.load(Ordering::Relaxed),
+        shared.rejected_total.load(Ordering::Relaxed),
+        shared.connections_total.load(Ordering::Relaxed)
+    );
+    let _ = write!(
+        s,
+        ",\"gauges\":{{\"open_connections\":{},\"queue_depth_highwater\":{},\"in_flight_workers\":{},\"snapshot_resident_bytes\":{}}}",
+        snap.open_connections, snap.queue_highwater, snap.in_flight_workers, stats.resident_bytes
+    );
+    s.push_str(",\"stages\":{");
+    write_percentiles(&mut s, &snap.stages);
+    s.push_str("},\"endpoints\":{");
+    write_percentiles(&mut s, &snap.endpoints);
+    let _ = write!(
+        s,
+        "}},\"cache\":{{\"decision_hits\":{},\"decision_misses\":{},\"decision_hit_pct\":{},\"snapshot_hits\":{},\"snapshot_misses\":{},\"snapshot_hit_pct\":{}}}",
+        snap.decision_hits,
+        snap.decision_misses,
+        pct(snap.decision_hits, snap.decision_misses),
+        stats.hits,
+        stats.misses,
+        pct(stats.hits, stats.misses)
+    );
+    let _ = write!(
+        s,
+        ",\"batch_dedup_hits\":{},\"responses\":{{\"2xx\":{},\"4xx\":{},\"5xx\":{}}},\"access_log\":{{\"lines\":{},\"dropped\":{}}}}}",
+        snap.batch_dedup_hits,
+        snap.responses_2xx,
+        snap.responses_4xx,
+        snap.responses_5xx,
+        snap.log_lines,
+        snap.log_dropped
+    );
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +884,12 @@ mod tests {
             "--ready-fd",
             "5",
             "--no-canon",
+            "--access-log",
+            "/tmp/access.jsonl",
+            "--slow-us",
+            "750",
+            "--log-sample",
+            "1/16",
         ];
         let config = ServerConfig::from_args(args.iter().map(|s| s.to_string())).unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
@@ -481,6 +904,12 @@ mod tests {
         assert_eq!(config.ready_fd, Some(5));
         assert!(!config.canon);
         assert!(ServerConfig::default().canon, "canon is on by default");
+        assert_eq!(config.access_log.as_deref(), Some("/tmp/access.jsonl"));
+        assert_eq!(config.slow_us, Some(750));
+        assert_eq!(config.log_sample, 16);
+        let bare = ServerConfig::from_args(["--log-sample".into(), "8".into()]).unwrap();
+        assert_eq!(bare.log_sample, 8, "bare N accepted alongside 1/N");
+        assert_eq!(ServerConfig::default().log_sample, 1);
 
         for bad in [
             vec!["--bogus"],
@@ -490,6 +919,11 @@ mod tests {
             vec!["--workers", "0"],
             vec!["--queue-cap", "0"],
             vec!["--ready-fd", "three"],
+            vec!["--access-log"],
+            vec!["--slow-us", "soon"],
+            vec!["--log-sample", "0"],
+            vec!["--log-sample", "1/0"],
+            vec!["--log-sample", "2/3"],
         ] {
             assert!(
                 ServerConfig::from_args(bad.iter().map(|s| s.to_string())).is_err(),

@@ -131,8 +131,23 @@ fn contains_and_batch_answer_real_verdicts() {
     assert_eq!(status, 200);
     assert!(body.contains("\"verdict\":\"holds\""), "{body}");
 
-    // Metrics and profile report the work.
+    // Metrics and profile report the work. The default /metrics body is
+    // Prometheus exposition; ?format=text keeps the legacy flat lines.
     let (status, metrics) = exchange(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("# TYPE flqd_requests_total counter"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE flqd_stage_duration_nanoseconds histogram"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("flqd_stage_duration_nanoseconds_bucket{stage=\"decide\",le=\"+Inf\"}"),
+        "{metrics}"
+    );
+    let (status, metrics) = exchange(addr, "GET", "/metrics?format=text", "");
     assert_eq!(status, 200);
     assert!(metrics.contains("flq_chase_runs "), "{metrics}");
     assert!(metrics.contains("flqd_requests_total "), "{metrics}");

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Blocking latency gate: the warm keep-alive p50 on a single persistent
-# connection must stay under BUDGET_US microseconds. The run's summary
-# row is exported to bench_results/ci_latency.csv for the CI artifact.
+# connection must stay under BUDGET_US microseconds — with the full
+# observability stack live (spans, histograms, access log), so span
+# overhead is inside the gate, not beside it. The server-reported
+# decide-stage p50 from /v1/status is cross-checked: it must be present
+# and under the budget too. The run's summary row is exported to
+# bench_results/ci_latency.csv for the CI artifact.
 #
 # Expects release binaries already built; override with FLQD= / LOADGEN=.
 set -euo pipefail
@@ -25,7 +29,10 @@ trap cleanup EXIT
 
 fifo="$tmp/ready.fifo"
 mkfifo "$fifo"
-"$FLQD" --addr 127.0.0.1:0 --workers 2 --ready-fd 3 3>"$fifo" &
+# Access log on (sampled 1/8) so the gate measures the fully
+# instrumented request path, logger thread included.
+"$FLQD" --addr 127.0.0.1:0 --workers 2 --ready-fd 3 \
+    --access-log "$tmp/access.jsonl" --log-sample 1/8 3>"$fifo" &
 FLQD_PID=$!
 ADDR=$(head -n1 "$fifo")
 [ -n "$ADDR" ] || { echo "no readiness line from flqd" >&2; exit 1; }
@@ -44,6 +51,18 @@ echo "$out"
 p50=$(sed -n 's/^latency_us .*p50=\([0-9.]*\).*/\1/p' <<<"$out")
 [ -n "$p50" ] || { echo "could not parse warm p50 from loadgen output" >&2; exit 1; }
 
+# Cross-check the server's own view: the decide-stage p50 from
+# /v1/status must exist (spans are live) and sit under the same budget.
+host=${ADDR%:*}
+port=${ADDR##*:}
+exec 3<>"/dev/tcp/$host/$port"
+printf 'GET /v1/status HTTP/1.1\r\nhost: gate\r\nconnection: close\r\n\r\n' >&3
+status_body=$(timeout 10 cat <&3)
+exec 3<&- 3>&-
+decide_p50=$(sed -n 's/.*"decide":{"count":[0-9]*,"p50_us":\([0-9]*\).*/\1/p' <<<"$status_body")
+[ -n "$decide_p50" ] || { echo "could not parse decide-stage p50 from /v1/status" >&2; exit 1; }
+echo "server-reported decide-stage p50: ${decide_p50}us"
+
 kill -TERM "$FLQD_PID"
 wait "$FLQD_PID"
 FLQD_PID=
@@ -51,6 +70,10 @@ FLQD_PID=
 echo "warm keep-alive p50: ${p50}us (budget ${BUDGET_US}us)"
 awk -v p50="$p50" -v budget="$BUDGET_US" 'BEGIN { exit !(p50 < budget) }' || {
     echo "latency gate FAILED: p50 ${p50}us >= budget ${BUDGET_US}us" >&2
+    exit 1
+}
+awk -v p50="$decide_p50" -v budget="$BUDGET_US" 'BEGIN { exit !(p50 < budget) }' || {
+    echo "latency gate FAILED: server decide-stage p50 ${decide_p50}us >= budget ${BUDGET_US}us" >&2
     exit 1
 }
 echo "latency gate OK"

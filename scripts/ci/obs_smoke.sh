@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# CI smoke for the observability layer: a live flqd with --access-log
+# must emit one parseable JSONL line per finished request across every
+# client mode, its /metrics must pass promcheck's structural validation
+# (Prometheus 0.0.4: headers, sampleless families, bucket monotonicity,
+# +Inf/_count agreement), loadgen --server-stats must report non-zero
+# server-side stage percentiles, and `flq status` must render the
+# /v1/status rollup. Sampling and the slow-only filter are exercised on
+# a second server instance.
+#
+# Expects release binaries already built; override with FLQD= /
+# LOADGEN= / PROMCHECK= / FLQ=.
+set -euo pipefail
+
+FLQD=${FLQD:-./target/release/flqd}
+LOADGEN=${LOADGEN:-./target/release/loadgen}
+PROMCHECK=${PROMCHECK:-./target/release/promcheck}
+FLQ=${FLQ:-./target/release/flq}
+
+for bin in "$FLQD" "$LOADGEN" "$PROMCHECK" "$FLQ"; do
+    [ -x "$bin" ] || { echo "missing $bin (build it first)" >&2; exit 2; }
+done
+
+tmp=$(mktemp -d)
+FLQD_PID=
+cleanup() {
+    [ -n "$FLQD_PID" ] && kill "$FLQD_PID" 2>/dev/null
+    rm -rf "$tmp"
+    return 0
+}
+trap cleanup EXIT
+
+start_flqd() {
+    local fifo="$tmp/ready.$$.$RANDOM.fifo"
+    mkfifo "$fifo"
+    "$FLQD" --addr 127.0.0.1:0 --ready-fd 3 "$@" 3>"$fifo" &
+    FLQD_PID=$!
+    ADDR=$(head -n1 "$fifo")
+    [ -n "$ADDR" ] || { echo "no readiness line from flqd" >&2; exit 1; }
+    echo "flqd up at $ADDR (pid $FLQD_PID)"
+}
+
+stop_flqd() {
+    kill -TERM "$FLQD_PID"
+    wait "$FLQD_PID"
+    FLQD_PID=
+}
+
+LOG="$tmp/access.jsonl"
+
+echo "== every client mode under --access-log =="
+start_flqd --workers 2 --access-log "$LOG"
+# The first run is cold, so its server-stats delta must show real
+# decide-stage samples; the later warm runs hit the decision cache and
+# record only the cheap stages.
+stats=$("$LOADGEN" --addr "$ADDR" --requests 50 --concurrency 2 --verify --server-stats)
+echo "$stats"
+grep -q '^server_stage decide count=[1-9]' <<<"$stats" \
+    || { echo "loadgen --server-stats reported no decide-stage samples" >&2; exit 1; }
+"$LOADGEN" --addr "$ADDR" --requests 20 --batch 4 --verify
+"$LOADGEN" --addr "$ADDR" --requests 50 --concurrency 2 --keep-alive --verify
+"$LOADGEN" --addr "$ADDR" --requests 48 --concurrency 2 --keep-alive --pipeline 8
+
+echo "== promcheck over the live /metrics =="
+"$PROMCHECK" "$ADDR"
+
+echo "== flq status against the running server =="
+status_out=$("$FLQ" status "$ADDR")
+echo "$status_out"
+grep -q "flqd at" <<<"$status_out" || { echo "flq status printed no header" >&2; exit 1; }
+grep -q "decide" <<<"$status_out" || { echo "flq status printed no decide stage" >&2; exit 1; }
+
+echo "== access log is complete and parseable =="
+stop_flqd
+# 168 decision requests; /metrics and /v1/status requests are logged
+# too, so the line count is a floor, not an exact match.
+lines=$(wc -l <"$LOG")
+echo "access log: $lines lines"
+[ "$lines" -ge 168 ] || { echo "expected >= 168 access-log lines, got $lines" >&2; exit 1; }
+contains_lines=$(grep -c '"endpoint":"contains"' "$LOG")
+batch_lines=$(grep -c '"endpoint":"batch"' "$LOG")
+echo "by endpoint: $contains_lines contains, $batch_lines batch"
+[ "$contains_lines" -ge 148 ] || { echo "missing contains lines" >&2; exit 1; }
+[ "$batch_lines" -ge 20 ] || { echo "missing batch lines" >&2; exit 1; }
+# Every line is a flat JSON object carrying the span fields; decision
+# requests additionally carry the decide-stage timing.
+bad=$(grep -cv '^{"id":[0-9]*,"endpoint":"[a-z]*","status":[0-9]*.*"stages":{.*}}$' "$LOG" || true)
+[ "$bad" -eq 0 ] || { echo "$bad access-log line(s) malformed" >&2; exit 1; }
+grep -q '"decide_us":' "$LOG" || { echo "no line carries decide-stage timing" >&2; exit 1; }
+
+echo "== sampling and the slow-only filter =="
+LOG2="$tmp/sampled.jsonl"
+start_flqd --workers 2 --access-log "$LOG2" --log-sample 1/4 --slow-us 10000000
+"$LOADGEN" --addr "$ADDR" --requests 40 --keep-alive >/dev/null
+stop_flqd
+sampled=$(wc -l <"$LOG2")
+echo "sampled log: $sampled lines for 40 fast requests at 1/4"
+# 40 decision requests at 1/4 -> ~10 lines; the slow threshold (10s)
+# admits nothing extra. Allow slack for the loadgen's own probes.
+[ "$sampled" -ge 5 ] || { echo "sampling logged too few lines" >&2; exit 1; }
+[ "$sampled" -le 20 ] || { echo "sampling logged too many lines ($sampled/40)" >&2; exit 1; }
+
+echo "obs smoke OK"

@@ -29,9 +29,14 @@
 //! flq serve     [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!               [--cache-bytes N] [--max-body-bytes N] [--threads N]
 //!               [--timeout MS] [--max-conjuncts N] [--read-timeout MS]
-//!               [--ready-fd FD] [--no-canon]
+//!               [--ready-fd FD] [--no-canon] [--access-log FILE|-]
+//!               [--slow-us N] [--log-sample 1/N]
 //!                                    run flqd, the resident containment
 //!                                    service, in the foreground
+//! flq status    <url>                fetch a running flqd's /v1/status and
+//!                                    render it as a human-readable table:
+//!                                    uptime, per-stage latency percentiles,
+//!                                    gauges, cache hit ratios
 //! flq help                           print this reference on stdout, exit 0
 //! ```
 //!
@@ -63,6 +68,10 @@
 //!   request-body cap, keep-alive idle timeout, readiness fd, and an
 //!   escape hatch disabling semantic cache-key canonicalization); see
 //!   `docs/CLI.md` for the full server reference.
+//! * `--access-log FILE|-`, `--slow-us N`, `--log-sample 1/N` —
+//!   `flq serve` observability knobs: a structured JSONL access log (one
+//!   line per request; `-` for stdout), a slow-request threshold in
+//!   microseconds that bypasses sampling, and a 1-in-N sampling divisor.
 //!
 //! Every subcommand additionally accepts:
 //!
@@ -111,7 +120,8 @@ const EXIT_EXHAUSTED: u8 = 3;
 /// The subcommands `main` dispatches on, for the unknown-subcommand
 /// error message and the `help` output.
 const SUBCOMMANDS: &[&str] = &[
-    "contains", "explain", "profile", "chase", "minimize", "lint", "eval", "serve", "help",
+    "contains", "explain", "profile", "chase", "minimize", "lint", "eval", "serve", "status",
+    "help",
 ];
 
 /// The full usage text, shared by `flq help` (stdout, exit 0) and usage
@@ -125,7 +135,8 @@ fn usage_text() -> String {
          flq chase <q> [--bound N] [--dot] [--threads N] [--timeout MS] [--max-conjuncts N] [--sigma FILE]\n  \
          flq minimize <q> [--timeout MS] [--max-conjuncts N]\n  flq lint <file> [--json]\n  \
          flq lint --sigma FILE [--json]\n  flq eval <file>\n  \
-         flq serve {SERVE_FLAGS}\n  flq help (also --help, -h)\n\
+         flq serve {SERVE_FLAGS}\n  \
+         flq status <url>\n  flq help (also --help, -h)\n\
          every subcommand also accepts --trace-out FILE (JSONL event trace)\n\
          and --metrics (counter deltas on stderr)\n\
          exit codes: 0 success, 1 failure, 2 usage error (incl. rejected --sigma sets), 3 exhausted budget"
@@ -148,6 +159,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&args[1..]),
         Some("eval") => cmd_eval(&args[1..]),
         Some("serve") => ExitCode::from(flogic_lite::serve::run_cli(args[1..].to_vec())),
+        Some("status") => cmd_status(&args[1..]),
         Some("help" | "--help" | "-h") => {
             println!("{}", usage_text());
             ExitCode::SUCCESS
@@ -885,6 +897,155 @@ fn run_lint_sigma(path: &str, json: bool) -> ExitCode {
     } else {
         ExitCode::from(2)
     }
+}
+
+/// `flq status <url>`: fetch `/v1/status` from a running `flqd` and
+/// render the JSON rollup as a human-readable table.
+fn cmd_status(args: &[String]) -> ExitCode {
+    let (url, obs) = match split_file_args(args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let code = match fetch_status(url) {
+        Ok((addr, body)) => match render_status(&addr, &body) {
+            Ok(table) => {
+                print!("{table}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    obs.finish(code)
+}
+
+/// One `GET /v1/status` exchange over a fresh connection. Accepts
+/// `HOST:PORT` or `http://HOST:PORT[/]`; returns the normalized address
+/// and the response body.
+fn fetch_status(url: &str) -> Result<(String, String), String> {
+    use std::io::Read as _;
+    let addr = url
+        .strip_prefix("http://")
+        .unwrap_or(url)
+        .trim_end_matches('/');
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("cannot set read timeout: {e}"))?;
+    write!(
+        stream,
+        "GET /v1/status HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("cannot send request to {addr}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("cannot read response from {addr}: {e}"))?;
+    let text = String::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from {addr}"))?;
+    let status = head.split(' ').nth(1).unwrap_or("<none>");
+    if status != "200" {
+        return Err(format!("{addr} answered HTTP {status}"));
+    }
+    Ok((addr.to_string(), body.to_string()))
+}
+
+/// Renders the `/v1/status` JSON as the `flq status` table.
+fn render_status(addr: &str, body: &str) -> Result<String, String> {
+    use flogic_lite::serve::json::{self, Json};
+    let value = json::parse(body).map_err(|e| format!("cannot parse status body: {e}"))?;
+    let root = value.as_obj().ok_or("status body is not a JSON object")?;
+    let num = |obj: &std::collections::BTreeMap<String, Json>, key: &str| {
+        obj.get(key).and_then(Json::as_u64).unwrap_or(0)
+    };
+    let child = |key: &str| {
+        root.get(key)
+            .and_then(Json::as_obj)
+            .cloned()
+            .unwrap_or_default()
+    };
+    let gauges = child("gauges");
+    let cache = child("cache");
+    let responses = child("responses");
+    let access = child("access_log");
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "flqd at {addr} — up {}s", num(root, "uptime_s"));
+    let _ = writeln!(
+        out,
+        "requests    {} total, {} rejected, {} connections",
+        num(root, "requests_total"),
+        num(root, "rejected_total"),
+        num(root, "connections_total")
+    );
+    let _ = writeln!(
+        out,
+        "responses   {} 2xx, {} 4xx, {} 5xx",
+        num(&responses, "2xx"),
+        num(&responses, "4xx"),
+        num(&responses, "5xx")
+    );
+    let _ = writeln!(
+        out,
+        "gauges      open_connections={} queue_highwater={} in_flight_workers={} snapshot_resident_bytes={}",
+        num(&gauges, "open_connections"),
+        num(&gauges, "queue_depth_highwater"),
+        num(&gauges, "in_flight_workers"),
+        num(&gauges, "snapshot_resident_bytes")
+    );
+    let _ = writeln!(
+        out,
+        "caches      decision {}% hit ({} hit / {} miss), snapshot {}% hit ({} hit / {} miss)",
+        num(&cache, "decision_hit_pct"),
+        num(&cache, "decision_hits"),
+        num(&cache, "decision_misses"),
+        num(&cache, "snapshot_hit_pct"),
+        num(&cache, "snapshot_hits"),
+        num(&cache, "snapshot_misses")
+    );
+    let _ = writeln!(
+        out,
+        "batch       {} dedup hits",
+        num(root, "batch_dedup_hits")
+    );
+    let _ = writeln!(
+        out,
+        "access log  {} lines, {} dropped",
+        num(&access, "lines"),
+        num(&access, "dropped")
+    );
+    for (key, title) in [("stages", "stage"), ("endpoints", "endpoint")] {
+        let section = child(key);
+        let _ = writeln!(
+            out,
+            "\n{title:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "count", "p50_us", "p90_us", "p99_us", "max_us"
+        );
+        for (name, stats) in &section {
+            let Some(stats) = stats.as_obj() else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "{name:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                num(stats, "count"),
+                num(stats, "p50_us"),
+                num(stats, "p90_us"),
+                num(stats, "p99_us"),
+                num(stats, "max_us")
+            );
+        }
+    }
+    Ok(out)
 }
 
 fn cmd_eval(args: &[String]) -> ExitCode {

@@ -5,6 +5,7 @@
 //! flqd [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-bytes N]
 //!      [--max-body-bytes N] [--threads N] [--timeout MS]
 //!      [--max-conjuncts N] [--read-timeout MS] [--ready-fd FD]
+//!      [--no-canon] [--access-log FILE|-] [--slow-us N] [--log-sample 1/N]
 //! ```
 //!
 //! Prints `flqd listening on HOST:PORT` on stdout once bound (with the

@@ -220,10 +220,10 @@ fn one_connection_serves_many_requests() {
         let (status, _headers, body) = read_response(&mut reader);
         assert_eq!(status, 200, "request {i}: {body}");
     }
-    // The metrics (read over the same connection — request n+1) agree
-    // this was a single connection carrying all traffic.
+    // The legacy flat metrics (read over the same connection — request
+    // n+1) agree this was a single connection carrying all traffic.
     writer
-        .write_all(b"GET /metrics HTTP/1.1\r\nhost: t\r\n\r\n")
+        .write_all(b"GET /metrics?format=text HTTP/1.1\r\nhost: t\r\n\r\n")
         .unwrap();
     let (status, _headers, metrics) = read_response(&mut reader);
     assert_eq!(status, 200);
@@ -235,6 +235,237 @@ fn one_connection_serves_many_requests() {
 
     handle.shutdown();
     join.join().unwrap().unwrap();
+}
+
+/// Golden-shape assertions on the default Prometheus `/metrics` body:
+/// every `# TYPE` family has at least one sample, histogram `_bucket`
+/// series are cumulative-monotone and end at `le="+Inf"` equal to
+/// `_count`, and the stage/endpoint series that just did work are
+/// nonzero.
+#[test]
+fn prometheus_metrics_have_golden_shape() {
+    let (addr, handle, join) = start(ServerConfig::default());
+    let stream = connect(addr);
+    let mut writer = &stream;
+    let mut reader = BufReader::new(&stream);
+
+    write!(writer, "{}", contains_request(0)).unwrap();
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+
+    writer
+        .write_all(b"GET /metrics HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let (status, headers, metrics) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        headers.contains("content-type: text/plain; version=0.0.4"),
+        "{headers}"
+    );
+
+    // Every # TYPE header is followed by at least one sample of its
+    // family before the next header.
+    let mut current_family: Option<(&str, usize)> = None;
+    let mut buckets: Vec<(String, u64)> = Vec::new();
+    for line in metrics.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            if let Some((family, samples)) = current_family.take() {
+                assert!(samples > 0, "family {family} has no samples:\n{metrics}");
+            }
+            let name = rest.split(' ').next().unwrap();
+            current_family = Some((name, 0));
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line:?}"));
+        let Some(family) = current_family.as_mut() else {
+            panic!("sample before any # TYPE header: {line:?}");
+        };
+        let base = series.split('{').next().unwrap();
+        assert!(
+            base.starts_with(family.0),
+            "sample {series:?} outside its family {:?}",
+            family.0
+        );
+        family.1 += 1;
+        if let Some((labels, _)) = series
+            .strip_prefix("flqd_stage_duration_nanoseconds_bucket{")
+            .and_then(|r| r.split_once('}'))
+        {
+            buckets.push((labels.to_string(), value.parse().unwrap()));
+        }
+    }
+    if let Some((family, samples)) = current_family {
+        assert!(samples > 0, "family {family} has no samples");
+    }
+
+    // Per-stage bucket series are monotone non-decreasing in file order
+    // (the exposition renders le ascending within one stage).
+    let mut prev: Option<(String, u64)> = None;
+    for (labels, cum) in &buckets {
+        let stage = labels.split(",le=").next().unwrap().to_string();
+        if let Some((prev_stage, prev_cum)) = &prev {
+            if *prev_stage == stage {
+                assert!(
+                    cum >= prev_cum,
+                    "bucket series for {stage} not monotone: {prev_cum} -> {cum}"
+                );
+            }
+        }
+        prev = Some((stage, *cum));
+    }
+
+    // The decide stage just ran once: its +Inf bucket counts it.
+    assert!(
+        metrics.contains("flqd_stage_duration_nanoseconds_bucket{stage=\"decide\",le=\"+Inf\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains(
+            "flqd_request_duration_nanoseconds_bucket{endpoint=\"contains\",le=\"+Inf\"} 1"
+        ),
+        "{metrics}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// `GET /v1/status` returns strict integer-only JSON whose rollup agrees
+/// with the requests this connection just made.
+#[test]
+fn status_endpoint_reports_the_rollup() {
+    let (addr, handle, join) = start(ServerConfig::default());
+    let stream = connect(addr);
+    let mut writer = &stream;
+    let mut reader = BufReader::new(&stream);
+
+    for i in 0..3 {
+        write!(writer, "{}", contains_request(i)).unwrap();
+        let (status, _, body) = read_response(&mut reader);
+        assert_eq!(status, 200, "{body}");
+    }
+    writer
+        .write_all(b"GET /v1/status HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let (status, headers, body) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        headers.contains("content-type: application/json"),
+        "{headers}"
+    );
+
+    let value = flogic_lite::serve::json::parse(&body).expect("status body parses strictly");
+    let root = value.as_obj().expect("status body is an object");
+    assert_eq!(
+        root.get("requests_total").and_then(|v| v.as_u64()),
+        Some(4),
+        "{body}"
+    );
+    assert_eq!(
+        root.get("connections_total").and_then(|v| v.as_u64()),
+        Some(1),
+        "{body}"
+    );
+    let stages = root
+        .get("stages")
+        .and_then(|v| v.as_obj())
+        .expect("stages object");
+    let decide = stages
+        .get("decide")
+        .and_then(|v| v.as_obj())
+        .expect("decide stage");
+    assert_eq!(
+        decide.get("count").and_then(|v| v.as_u64()),
+        Some(3),
+        "{body}"
+    );
+    let cache = root
+        .get("cache")
+        .and_then(|v| v.as_obj())
+        .expect("cache object");
+    assert_eq!(
+        cache.get("decision_misses").and_then(|v| v.as_u64()),
+        Some(3),
+        "three cold pairs: {body}"
+    );
+    let gauges = root
+        .get("gauges")
+        .and_then(|v| v.as_obj())
+        .expect("gauges object");
+    assert_eq!(
+        gauges.get("open_connections").and_then(|v| v.as_u64()),
+        Some(1),
+        "{body}"
+    );
+
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+}
+
+/// With `--access-log`, every request emits one JSONL line that parses
+/// back with the server's own strict JSON parser and carries the
+/// request's identity: endpoint, verdict, cache outcome, stage micros.
+#[test]
+fn access_log_lines_parse_back() {
+    let dir = std::env::temp_dir().join(format!("flqd-proto-log-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("access.jsonl");
+    let (addr, handle, join) = start(ServerConfig {
+        access_log: Some(path.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    });
+    let stream = connect(addr);
+    let mut writer = &stream;
+    let mut reader = BufReader::new(&stream);
+
+    write!(writer, "{}", contains_request(0)).unwrap();
+    let (status, _, body) = read_response(&mut reader);
+    assert_eq!(status, 200, "{body}");
+    write!(writer, "{}", contains_request(0)).unwrap();
+    let (status, _, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    drop(stream);
+
+    // Releasing every handle drops ServerObs, which joins the logger
+    // thread — only then is the log file guaranteed complete.
+    handle.shutdown();
+    join.join().unwrap().unwrap();
+    drop(handle);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one line per request: {text:?}");
+    for (i, line) in lines.iter().enumerate() {
+        let value = flogic_lite::serve::json::parse(line)
+            .unwrap_or_else(|e| panic!("line {i} does not parse: {e}: {line}"));
+        let obj = value.as_obj().unwrap();
+        assert_eq!(
+            obj.get("endpoint").and_then(|v| v.as_str()),
+            Some("contains")
+        );
+        assert_eq!(obj.get("status").and_then(|v| v.as_u64()), Some(200));
+        assert_eq!(obj.get("verdict").and_then(|v| v.as_str()), Some("holds"));
+        let stages = obj.get("stages").and_then(|v| v.as_obj()).unwrap();
+        for stage in ["parse_us", "queue_us", "canon_us", "cache_us", "write_us"] {
+            assert!(
+                stages.contains_key(stage),
+                "line {i} missing {stage}: {line}"
+            );
+        }
+        assert!(obj.get("id").and_then(|v| v.as_u64()).is_some(), "{line}");
+        assert!(
+            obj.get("bytes_in").and_then(|v| v.as_u64()).unwrap() > 0,
+            "{line}"
+        );
+        assert!(
+            obj.get("bytes_out").and_then(|v| v.as_u64()).unwrap() > 0,
+            "{line}"
+        );
+    }
+    // First request was a cold decision, the identical repeat a cache hit.
+    assert!(lines[0].contains("\"cache\":\"miss\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"cache\":\"hit\""), "{}", lines[1]);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
