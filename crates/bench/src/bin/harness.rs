@@ -94,6 +94,13 @@ fn run(id: &str, quick: bool, threads: usize) -> Option<ExperimentOutput> {
                 experiments::e15(12, 400)
             }
         }
+        "e16" => {
+            if quick {
+                experiments::e16(6, 2)
+            } else {
+                experiments::e16(12, 3)
+            }
+        }
         _ => return None,
     };
     Some(out)
@@ -123,7 +130,7 @@ fn main() {
         }
     }
     if ids.is_empty() {
-        ids = (1..=15).map(|i| format!("e{i}")).collect();
+        ids = (1..=16).map(|i| format!("e{i}")).collect();
     }
 
     let dir = out_dir();
@@ -143,7 +150,7 @@ fn main() {
     for id in &ids {
         let before = Metrics::global().snapshot();
         let Some(output) = run(id, quick, threads) else {
-            eprintln!("unknown experiment `{id}` (expected e1..e15)");
+            eprintln!("unknown experiment `{id}` (expected e1..e16)");
             std::process::exit(2);
         };
         for (i, table) in output.tables.iter().enumerate() {

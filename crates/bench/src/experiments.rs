@@ -2109,6 +2109,172 @@ pub fn e15(distinct: usize, requests: usize) -> ExperimentOutput {
     }
 }
 
+/// E16 — restart-warm serving: latency tiers of the durable decision
+/// store. For each store size the same pairs are decided cold (first
+/// sight, chase + persist), RAM-warm (repeat on the same process), and
+/// disk-warm (first sight after a restart on the same `--data-dir` —
+/// every answer must come from the LSM store, bit-identical to the
+/// cold response), alongside the restart-open (recovery) time.
+pub fn e16(distinct: usize, scales: usize) -> ExperimentOutput {
+    use crate::wire;
+    use flogic_serve::{Server, ServerConfig};
+
+    let qcfg = QueryGenConfig {
+        n_atoms: 4,
+        n_vars: 4,
+        n_consts: 2,
+        ..Default::default()
+    };
+    let gcfg = GeneralizeConfig::default();
+    let contains_body = |q1: &str, q2: &str| {
+        format!(
+            "{{\"q1\":{},\"q2\":{},\"max_conjuncts\":50000}}",
+            wire::json_quote(q1),
+            wire::json_quote(q2)
+        )
+    };
+    // Returns (addr, handle, join, bind time). Binding opens the store,
+    // so the bind time on a reopened dir IS the restart-recovery cost.
+    let spawn = |data_dir: Option<String>| {
+        let t0 = Instant::now();
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir,
+            ..ServerConfig::default()
+        })
+        .expect("bind in-process server");
+        let open = t0.elapsed();
+        let addr = server.local_addr().expect("local addr").to_string();
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.run());
+        (addr, handle, join, open)
+    };
+    let metric = |addr: &str, name: &str| -> u64 {
+        let (status, body) = wire::get(addr, "/metrics").expect("scrape /metrics");
+        assert_eq!(status, 200);
+        body.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|r| r.trim().parse().ok()))
+            .unwrap_or(0)
+    };
+    let percentiles = |mut lat: Vec<Duration>| {
+        lat.sort();
+        let p50 = lat[lat.len() / 2];
+        let p99 = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
+        (p50, p99)
+    };
+
+    let mut t = Table::new(
+        "E16: restart-warm serving — cold vs RAM-warm vs disk-warm, restart-open time",
+        &[
+            "store_pairs",
+            "tier",
+            "p50_us",
+            "p99_us",
+            "restart_open_us",
+            "disk_hits",
+            "hit_rate_pct",
+        ],
+    );
+    let mut summaries = Vec::new();
+    for scale in 0..scales.max(1) {
+        let n = distinct << scale;
+        let texts: Vec<(String, String)> = (0..n as u64)
+            .map(|i| {
+                let q1 = random_query(&qcfg, &mut rng(i));
+                let q2 = generalize(&q1, &gcfg, &mut rng(i + 10_000));
+                (
+                    flogic_syntax::query_to_flogic(&q1),
+                    flogic_syntax::query_to_flogic(&q2),
+                )
+            })
+            .collect();
+        let dir = std::env::temp_dir().join(format!("flq_e16_{}_{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.display().to_string();
+
+        // Pass 1 (cold) and pass 2 (RAM-warm) on the first process.
+        let (addr, handle, join, _) = spawn(Some(dir_s.clone()));
+        let mut client = wire::Client::connect(&addr).expect("connect");
+        let pass = |client: &mut wire::Client| -> (Vec<Duration>, Vec<String>) {
+            let mut lat = Vec::with_capacity(texts.len());
+            let mut bodies = Vec::with_capacity(texts.len());
+            for (q1, q2) in &texts {
+                let body = contains_body(q1, q2);
+                let t0 = Instant::now();
+                let (status, resp) = client.post("/v1/contains", &body).expect("request");
+                lat.push(t0.elapsed());
+                assert_eq!(status, 200, "{resp}");
+                bodies.push(resp);
+            }
+            (lat, bodies)
+        };
+        let (cold_lat, cold_bodies) = pass(&mut client);
+        let (ram_lat, _) = pass(&mut client);
+        drop(client);
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean drain");
+
+        // Restart on the same dir: bind time is recovery, and the first
+        // pass must be served entirely by the durable tier.
+        let (addr, handle, join, open) = spawn(Some(dir_s.clone()));
+        let mut client = wire::Client::connect(&addr).expect("connect");
+        let (disk_lat, disk_bodies) = pass(&mut client);
+        for (i, (cold, disk)) in cold_bodies.iter().zip(&disk_bodies).enumerate() {
+            assert_eq!(
+                cold, disk,
+                "pair {i}: disk-warm answer differs from the cold one"
+            );
+        }
+        let disk_hits = metric(&addr, "flqd_store_disk_hits_total");
+        drop(client);
+        handle.shutdown();
+        join.join().expect("server thread").expect("clean drain");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let hit_rate = 100.0 * disk_hits as f64 / n as f64;
+        for (tier, lat) in [("cold", cold_lat), ("ram_warm", ram_lat)] {
+            let (p50, p99) = percentiles(lat);
+            t.push(vec![
+                n.to_string(),
+                tier.into(),
+                micros(p50),
+                micros(p99),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        let (p50, p99) = percentiles(disk_lat);
+        t.push(vec![
+            n.to_string(),
+            "disk_warm".into(),
+            micros(p50),
+            micros(p99),
+            micros(open),
+            disk_hits.to_string(),
+            format!("{hit_rate:.1}"),
+        ]);
+        summaries.push(format!(
+            "{n} pairs: restart open {}, disk hit rate {hit_rate:.1}%",
+            format_args!("{:.1}us", open.as_secs_f64() * 1e6)
+        ));
+    }
+
+    ExperimentOutput {
+        tables: vec![t],
+        notes: vec![format!(
+            "Each store size decides the same generated pairs cold (first sight, chase + \
+             persist), RAM-warm (repeat, decision-cache hit), and disk-warm (first sight \
+             after SIGTERM-style drain + restart on the same --data-dir; every response \
+             asserted byte-identical to the cold one, hits counted by the server's \
+             flqd_store_disk_hits_total). restart_open_us is the Server::bind time on the \
+             reopened dir, i.e. manifest + segment-metadata recovery. {}",
+            summaries.join("; ")
+        )],
+        files: vec![],
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Bounded-vs-naive comparison used by the micro-benches.
 // ---------------------------------------------------------------------------

@@ -54,7 +54,7 @@ use crate::CoreError;
 /// first-occurrence index (head first, then the canonically ordered
 /// body), everything else is kept verbatim.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum CanonTerm {
+pub(crate) enum CanonTerm {
     /// A rigid constant, by name.
     Const(Symbol),
     /// A labelled null (cannot appear in well-formed queries, but the
@@ -68,9 +68,9 @@ enum CanonTerm {
 /// identical up to variable renaming and body-conjunct order, hence
 /// `Σ_FL`-equivalent — they answer every containment question alike.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct CanonQuery {
-    head: Vec<CanonTerm>,
-    body: Vec<(Pred, Vec<CanonTerm>)>,
+pub(crate) struct CanonQuery {
+    pub(crate) head: Vec<CanonTerm>,
+    pub(crate) body: Vec<(Pred, Vec<CanonTerm>)>,
 }
 
 /// Ordering key for an atom *under a partial variable numbering*:
@@ -431,12 +431,24 @@ impl QueryKey {
 /// built-in set's fingerprint, so it also shares its cache entries —
 /// consistent with it sharing the built-in code paths everywhere else.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct CacheKey {
-    q1: CanonQuery,
-    q2: CanonQuery,
-    bound: u32,
-    analysis: bool,
-    sigma: u64,
+pub(crate) struct CacheKey {
+    pub(crate) q1: CanonQuery,
+    pub(crate) q2: CanonQuery,
+    pub(crate) bound: u32,
+    pub(crate) analysis: bool,
+    pub(crate) sigma: u64,
+}
+
+/// The cache key a [`DecisionCache`] lookup would use for `(q1, q2)`
+/// under `opts` — exposed crate-internally so the persistence codec
+/// ([`crate::decision_key_bytes`]) serializes *exactly* the key the
+/// in-RAM tier hashes, shapes and all.
+pub(crate) fn pair_cache_key(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    opts: &ContainmentOptions,
+) -> CacheKey {
+    PairKeyer::new(opts).key(q1, q2)
 }
 
 /// Builds [`CacheKey`]s for one `q1` against one or many `q2`s, computing

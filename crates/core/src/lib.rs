@@ -34,7 +34,11 @@
 //!   expose the canonical representatives themselves);
 //! * [`ChaseSnapshot`] — a resident, reusable chase of one `q1` so that
 //!   long-lived processes (the `flqd` server) decide repeated questions
-//!   about the same `q1` with the homomorphism search alone.
+//!   about the same `q1` with the homomorphism search alone;
+//! * [`decision_key_bytes`] / [`encode_decision`] / [`decode_decision`]
+//!   — portable, versioned byte codecs keyed exactly like
+//!   [`DecisionCache`], for the durable decision tier (the
+//!   `flogic-store` crate; format in `docs/STORAGE.md`).
 
 mod cache;
 mod classic;
@@ -42,6 +46,7 @@ mod decide;
 mod error;
 mod explain;
 pub mod naive;
+mod persist;
 mod rewrite;
 mod snapshot;
 mod union;
@@ -53,6 +58,7 @@ pub use decide::{
     ContainmentResult, Verdict,
 };
 pub use error::{CoreError, DecideError};
+pub use persist::{decision_key_bytes, decode_decision, encode_decision, PERSIST_FORMAT_VERSION};
 // Governor types, re-exported so callers can set budgets without a direct
 // dependency on the chase crate.
 pub use explain::{explain, DerivationStep, Explanation};

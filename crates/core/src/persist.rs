@@ -1,0 +1,480 @@
+//! Stable byte encodings of decision-cache keys and cached verdicts.
+//!
+//! The in-RAM [`DecisionCache`](crate::DecisionCache) hashes its keys
+//! in-process, so it can lean on [`Symbol`]'s interner ids — which are
+//! assigned in first-intern order and are therefore **not** stable
+//! across processes. A durable tier (see the `flogic-store` crate and
+//! `docs/STORAGE.md`) needs keys and values that mean the same thing
+//! after a restart, so this module defines a portable encoding:
+//!
+//! * constants and variables are serialized **by name** (length-prefixed
+//!   UTF-8), never by interner id;
+//! * predicates are serialized by their [`Pred::index`], which is fixed
+//!   by the `Σ_FL` signature and stable by construction;
+//! * canonical variables are serialized by their first-occurrence index,
+//!   which the canonicalization pass already makes deterministic;
+//! * all integers are little-endian and fixed-width.
+//!
+//! [`decision_key_bytes`] serializes *exactly* the key the in-RAM tier
+//! would hash for the same `(q1, q2, opts)` triple — both key shapes
+//! (semantic and structural, see [`crate::DecisionCache`]), the
+//! effective bound, the analysis toggle, and the Σ fingerprint — so the
+//! two tiers always agree on which question a persisted entry answers.
+//!
+//! [`encode_decision`] / [`decode_decision`] round-trip everything a
+//! cache hit restores: the three-valued [`Verdict`], the chase outcome,
+//! the effective bound and run metadata. Exhausted verdicts are **never
+//! encoded** ([`encode_decision`] returns `None`), mirroring the in-RAM
+//! rule: an exhausted run describes the budget, not the pair. The
+//! witness substitution is not persisted for the same reason it is not
+//! cached in RAM — it is expressed in the original queries' variable
+//! names, which do not survive canonicalization.
+//!
+//! Every encoding opens with [`PERSIST_FORMAT_VERSION`]; decoders
+//! reject any other version (and any trailing or truncated bytes), so a
+//! future format change invalidates old entries instead of misreading
+//! them. The full compatibility policy lives in `docs/STORAGE.md`.
+
+use flogic_chase::{ChaseOutcome, ExhaustReason};
+use flogic_model::ConjunctiveQuery;
+use flogic_term::{NullId, Symbol, Term};
+
+use crate::cache::{pair_cache_key, CanonQuery, CanonTerm};
+use crate::decide::{ContainmentOptions, ContainmentResult, Verdict};
+
+/// Version byte leading every persisted key and value produced by this
+/// module. Bump on any layout change; decoders reject other versions.
+pub const PERSIST_FORMAT_VERSION: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Little-endian write/read helpers over plain byte vectors.
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor over an encoded buffer; every read is bounds-checked so a
+/// corrupt or truncated value decodes to `None`, never a panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<&'a str> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Key encoding.
+// ---------------------------------------------------------------------------
+
+fn put_canon_term(out: &mut Vec<u8>, t: &CanonTerm) {
+    match t {
+        CanonTerm::Const(s) => {
+            out.push(0);
+            put_str(out, s.as_str());
+        }
+        CanonTerm::Null(n) => {
+            out.push(1);
+            put_u64(out, *n);
+        }
+        CanonTerm::Var(v) => {
+            out.push(2);
+            put_u32(out, *v);
+        }
+    }
+}
+
+fn put_canon_query(out: &mut Vec<u8>, q: &CanonQuery) {
+    put_u32(out, q.head.len() as u32);
+    for t in &q.head {
+        put_canon_term(out, t);
+    }
+    put_u32(out, q.body.len() as u32);
+    for (pred, args) in &q.body {
+        out.push(pred.index() as u8);
+        put_u32(out, args.len() as u32);
+        for t in args {
+            put_canon_term(out, t);
+        }
+    }
+}
+
+/// The portable byte key a durable decision tier should file
+/// `(q1, q2, opts)` under.
+///
+/// This is the byte-for-byte serialization of the same [`CacheKey`]
+/// shape the in-RAM [`DecisionCache`](crate::DecisionCache) hashes —
+/// semantic (canonicalized cores + core-derived bound) when the run is
+/// exact and canonicalization is on, structural (literal queries +
+/// effective bound) otherwise — so a persisted entry is a hit exactly
+/// when the in-RAM tier would have hit, across restarts and across
+/// processes with differently-populated interners. Two calls with
+/// semantically equivalent inputs produce identical byte keys.
+///
+/// [`CacheKey`]: crate::DecisionCache
+///
+/// ```
+/// use flogic_core::{decision_key_bytes, ContainmentOptions};
+/// use flogic_syntax::parse_query;
+/// let opts = ContainmentOptions::default();
+/// let a = parse_query("q(X, Z) :- sub(X, Y), sub(Y, Z).").unwrap();
+/// let b = parse_query("p(A, C) :- sub(B, C), sub(A, B).").unwrap();
+/// let q2 = parse_query("r(X, Z) :- sub(X, Z).").unwrap();
+/// assert_eq!(
+///     decision_key_bytes(&a, &q2, &opts),
+///     decision_key_bytes(&b, &q2, &opts),
+/// );
+/// ```
+pub fn decision_key_bytes(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    opts: &ContainmentOptions,
+) -> Vec<u8> {
+    let key = pair_cache_key(q1, q2, opts);
+    let mut out = Vec::with_capacity(128);
+    out.push(PERSIST_FORMAT_VERSION);
+    put_canon_query(&mut out, &key.q1);
+    put_canon_query(&mut out, &key.q2);
+    put_u32(&mut out, key.bound);
+    out.push(key.analysis as u8);
+    put_u64(&mut out, key.sigma);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Value encoding.
+// ---------------------------------------------------------------------------
+
+fn put_term(out: &mut Vec<u8>, t: &Term) {
+    match t {
+        Term::Const(s) => {
+            out.push(0);
+            put_str(out, s.as_str());
+        }
+        Term::Null(n) => {
+            out.push(1);
+            put_u64(out, n.0);
+        }
+        Term::Var(v) => {
+            out.push(2);
+            put_str(out, v.as_str());
+        }
+    }
+}
+
+fn read_term(r: &mut Reader<'_>) -> Option<Term> {
+    match r.u8()? {
+        0 => Some(Term::Const(Symbol::intern(r.str()?))),
+        1 => Some(Term::Null(NullId(r.u64()?))),
+        2 => Some(Term::Var(Symbol::intern(r.str()?))),
+        _ => None,
+    }
+}
+
+fn reason_tag(reason: ExhaustReason) -> u8 {
+    match reason {
+        ExhaustReason::Conjuncts => 0,
+        ExhaustReason::Deadline => 1,
+        ExhaustReason::Steps => 2,
+        ExhaustReason::Bytes => 3,
+        ExhaustReason::Cancelled => 4,
+    }
+}
+
+fn read_reason(tag: u8) -> Option<ExhaustReason> {
+    Some(match tag {
+        0 => ExhaustReason::Conjuncts,
+        1 => ExhaustReason::Deadline,
+        2 => ExhaustReason::Steps,
+        3 => ExhaustReason::Bytes,
+        4 => ExhaustReason::Cancelled,
+        _ => return None,
+    })
+}
+
+/// Serializes a decided [`ContainmentResult`] for the durable tier, or
+/// `None` for exhausted verdicts — which must never be persisted: an
+/// exhausted run is a statement about the budget that happened to govern
+/// it, and replaying "undecided" for future callers with generous
+/// budgets would be wrong (the same rule the in-RAM cache enforces).
+///
+/// The witness substitution is stripped exactly as in-RAM hits strip it;
+/// [`decode_decision`] restores `witness: None`. Everything else —
+/// verdict, vacuity, chase outcome (including `Failed` clash terms, by
+/// name), effective bound, chase size/level, the analysis attribution —
+/// round-trips bit-identically, which `tests/store_cross_validation.rs`
+/// pins against fresh recomputation.
+pub fn encode_decision(r: &ContainmentResult) -> Option<Vec<u8>> {
+    if r.is_exhausted() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(32);
+    out.push(PERSIST_FORMAT_VERSION);
+    out.push(match r.verdict {
+        Verdict::Holds => 0,
+        Verdict::NotHolds => 1,
+        // Unreachable past the is_exhausted gate, but keep the encoder
+        // total: refuse rather than write a lying record.
+        Verdict::Exhausted(_) => return None,
+    });
+    out.push(r.vacuous as u8);
+    put_u64(&mut out, r.chase_conjuncts as u64);
+    match &r.chase_outcome {
+        ChaseOutcome::Completed => out.push(0),
+        ChaseOutcome::LevelBounded => out.push(1),
+        ChaseOutcome::Failed { left, right } => {
+            out.push(2);
+            put_term(&mut out, left);
+            put_term(&mut out, right);
+        }
+        ChaseOutcome::Exhausted { reason } => {
+            out.push(3);
+            out.push(reason_tag(*reason));
+        }
+    }
+    put_u32(&mut out, r.level_bound);
+    put_u32(&mut out, r.max_chase_level);
+    out.push(r.decided_by_analysis as u8);
+    Some(out)
+}
+
+/// Decodes a value written by [`encode_decision`]. Returns `None` on any
+/// corruption: unknown version byte, unknown tag, truncated or trailing
+/// bytes. Callers treat `None` as a cache miss and recompute — a corrupt
+/// persisted entry can cost a recomputation, never a wrong answer.
+pub fn decode_decision(bytes: &[u8]) -> Option<ContainmentResult> {
+    let mut r = Reader::new(bytes);
+    if r.u8()? != PERSIST_FORMAT_VERSION {
+        return None;
+    }
+    let verdict = match r.u8()? {
+        0 => Verdict::Holds,
+        1 => Verdict::NotHolds,
+        _ => return None,
+    };
+    let vacuous = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let chase_conjuncts = usize::try_from(r.u64()?).ok()?;
+    let chase_outcome = match r.u8()? {
+        0 => ChaseOutcome::Completed,
+        1 => ChaseOutcome::LevelBounded,
+        2 => ChaseOutcome::Failed {
+            left: read_term(&mut r)?,
+            right: read_term(&mut r)?,
+        },
+        3 => ChaseOutcome::Exhausted {
+            reason: read_reason(r.u8()?)?,
+        },
+        _ => return None,
+    };
+    let level_bound = r.u32()?;
+    let max_chase_level = r.u32()?;
+    let decided_by_analysis = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    if !r.done() {
+        return None;
+    }
+    Some(ContainmentResult {
+        verdict,
+        vacuous,
+        witness: None,
+        chase_conjuncts,
+        chase_outcome,
+        level_bound,
+        max_chase_level,
+        decided_by_analysis,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::contains_with;
+    use flogic_syntax::parse_query;
+
+    fn q(s: &str) -> ConjunctiveQuery {
+        parse_query(s).unwrap()
+    }
+
+    fn strip(r: &ContainmentResult) -> ContainmentResult {
+        ContainmentResult {
+            witness: None,
+            ..r.clone()
+        }
+    }
+
+    fn assert_same(a: &ContainmentResult, b: &ContainmentResult) {
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.vacuous, b.vacuous);
+        assert!(a.witness.is_none() && b.witness.is_none());
+        assert_eq!(a.chase_conjuncts, b.chase_conjuncts);
+        assert_eq!(a.chase_outcome, b.chase_outcome);
+        assert_eq!(a.level_bound, b.level_bound);
+        assert_eq!(a.max_chase_level, b.max_chase_level);
+        assert_eq!(a.decided_by_analysis, b.decided_by_analysis);
+    }
+
+    #[test]
+    fn key_bytes_agree_across_variants() {
+        let opts = ContainmentOptions::default();
+        let a = q("q(X) :- member(X, C), sub(C, D).");
+        // Renamed, reordered, with a core-foldable redundant pair.
+        let b = q("p(U) :- sub(K2, L2), member(U, K2), member(U, K1), sub(K1, L1).");
+        let q2 = q("r(O) :- member(O, C).");
+        assert_eq!(
+            decision_key_bytes(&a, &q2, &opts),
+            decision_key_bytes(&b, &q2, &opts)
+        );
+    }
+
+    #[test]
+    fn key_bytes_separate_bounds_and_toggles() {
+        let a = q("q(X, Z) :- sub(X, Y), sub(Y, Z).");
+        let b = q("p(X, Z) :- sub(X, Z).");
+        let base = decision_key_bytes(&a, &b, &ContainmentOptions::default());
+        let truncated = decision_key_bytes(
+            &a,
+            &b,
+            &ContainmentOptions {
+                level_bound: Some(0),
+                ..Default::default()
+            },
+        );
+        assert_ne!(base, truncated, "truncated runs key differently");
+        let no_analysis = decision_key_bytes(
+            &a,
+            &b,
+            &ContainmentOptions {
+                analysis: false,
+                ..Default::default()
+            },
+        );
+        assert_ne!(base, no_analysis, "analysis toggle is part of the key");
+    }
+
+    #[test]
+    fn decided_results_roundtrip() {
+        let opts = ContainmentOptions::default();
+        for (s1, s2) in [
+            ("q(X, Z) :- sub(X, Y), sub(Y, Z).", "p(X, Z) :- sub(X, Z)."),
+            ("q(X, Z) :- sub(X, Z).", "p(X, Z) :- sub(X, Y), sub(Y, Z)."),
+            (
+                "q() :- mandatory(A, T), type(T, A, T).",
+                "qq() :- data(T, A, V), member(V, T).",
+            ),
+        ] {
+            let r = contains_with(&q(s1), &q(s2), &opts).unwrap();
+            let bytes = encode_decision(&r).expect("decided result encodes");
+            let back = decode_decision(&bytes).expect("own encoding decodes");
+            assert_same(&strip(&r), &back);
+        }
+    }
+
+    #[test]
+    fn failed_chase_outcome_roundtrips_terms_by_name() {
+        // type(T, A, T) + funct-style clash paths can produce Failed
+        // outcomes; synthesize one directly to pin the term codec.
+        let r = ContainmentResult {
+            verdict: Verdict::Holds,
+            vacuous: true,
+            witness: None,
+            chase_conjuncts: 7,
+            chase_outcome: ChaseOutcome::Failed {
+                left: Term::constant("alpha"),
+                right: Term::Null(NullId(42)),
+            },
+            level_bound: 3,
+            max_chase_level: 2,
+            decided_by_analysis: false,
+        };
+        let back = decode_decision(&encode_decision(&r).unwrap()).unwrap();
+        assert_same(&r, &back);
+    }
+
+    #[test]
+    fn exhausted_results_never_encode() {
+        let tight = ContainmentOptions {
+            max_conjuncts: 5,
+            analysis: false,
+            ..Default::default()
+        };
+        let r = contains_with(
+            &q("q() :- mandatory(A, T), type(T, A, T)."),
+            &q("qq() :- data(T, A, V), member(V, T)."),
+            &tight,
+        )
+        .unwrap();
+        assert!(r.is_exhausted());
+        assert!(encode_decision(&r).is_none());
+    }
+
+    #[test]
+    fn corrupt_values_decode_to_none() {
+        let r = contains_with(
+            &q("q(X, Z) :- sub(X, Y), sub(Y, Z)."),
+            &q("p(X, Z) :- sub(X, Z)."),
+            &ContainmentOptions::default(),
+        )
+        .unwrap();
+        let bytes = encode_decision(&r).unwrap();
+        // Truncation, trailing garbage, bad version, bad tag.
+        assert!(decode_decision(&bytes[..bytes.len() - 1]).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_decision(&trailing).is_none());
+        let mut versioned = bytes.clone();
+        versioned[0] = PERSIST_FORMAT_VERSION + 1;
+        assert!(decode_decision(&versioned).is_none());
+        let mut tagged = bytes.clone();
+        tagged[1] = 9;
+        assert!(decode_decision(&tagged).is_none());
+        assert!(decode_decision(&[]).is_none());
+    }
+}

@@ -4,7 +4,10 @@
 //! epoll event loop owns every socket, and a bounded worker pool owns
 //! the chase/decide work. This module owns what the reactor shares:
 //!
-//! * a [`DecisionCache`] memoizing whole `(q1, q2)` verdicts,
+//! * a [`DurableDecisionCache`] memoizing whole `(q1, q2)` verdicts —
+//!   in-RAM always, and additionally persisted to an LSM store when
+//!   `--data-dir` is set, so a restarted server begins disk-warm
+//!   (format spec in `docs/STORAGE.md`),
 //! * a [`SnapshotCache`] holding each `q1`'s chase so repeated
 //!   questions about the same query pay only the homomorphism search,
 //! * the dispatch queue feeding the workers — bounded at
@@ -30,11 +33,12 @@ use std::time::{Duration, Instant};
 
 use flogic_core::{
     canonical_pair, canonical_query, theorem_bound, ContainmentOptions, ContainmentResult,
-    CoreError, DecisionCache, QueryKey, Verdict,
+    CoreError, QueryKey, Verdict,
 };
 use flogic_model::ConjunctiveQuery;
 use flogic_obs::export::profile_json;
 use flogic_obs::{ChaseProfile, TraceHandle, Tracer};
+use flogic_store::DurableDecisionCache;
 use flogic_syntax::parse_query;
 use flogic_term::Metrics;
 
@@ -100,6 +104,13 @@ pub struct ServerConfig {
     /// requests whose id is divisible by N produce a line. 1 (the
     /// default) logs every request.
     pub log_sample: u64,
+    /// Durable decision-store directory (`--data-dir`). When set,
+    /// decided containments are persisted to an LSM store under this
+    /// directory (created if absent) and a restarted server serves
+    /// prior decisions from disk instead of recomputing them. `None`
+    /// (the default) keeps the caches RAM-only. On-disk format:
+    /// `docs/STORAGE.md`.
+    pub data_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +130,7 @@ impl Default for ServerConfig {
             access_log: None,
             slow_us: None,
             log_sample: 1,
+            data_dir: None,
         }
     }
 }
@@ -127,7 +139,8 @@ impl Default for ServerConfig {
 /// usage text.
 pub const SERVE_FLAGS: &str = "[--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-bytes N] \
 [--max-body-bytes N] [--threads N] [--timeout MS] [--max-conjuncts N] [--read-timeout MS] \
-[--ready-fd FD] [--no-canon] [--access-log FILE|-] [--slow-us N] [--log-sample 1/N]";
+[--ready-fd FD] [--no-canon] [--access-log FILE|-] [--slow-us N] [--log-sample 1/N] \
+[--data-dir DIR]";
 
 impl ServerConfig {
     /// Parses command-line flags into a config, starting from defaults.
@@ -164,6 +177,7 @@ impl ServerConfig {
                 "--log-sample" => {
                     config.log_sample = parse_sample(&arg, &value("a rate like 1/16")?)?
                 }
+                "--data-dir" => config.data_dir = Some(value("a directory")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -212,7 +226,7 @@ fn parse_sample(flag: &str, raw: &str) -> Result<u64, String> {
 pub(crate) struct Shared {
     pub(crate) config: ServerConfig,
     base_opts: ContainmentOptions,
-    decisions: DecisionCache,
+    decisions: DurableDecisionCache,
     snapshots: SnapshotCache,
     profile: Mutex<ChaseProfile>,
     /// The bounded dispatch queue feeding the worker pool.
@@ -266,13 +280,21 @@ impl Server {
         let base_opts = config.base_options();
         let snapshots = SnapshotCache::new(config.cache_bytes);
         let obs = ServerObs::new(&config)?;
+        // Opening the durable tier is part of bind: a server asked to
+        // persist but unable to must fail loudly before serving, not
+        // degrade to silent RAM-only mode.
+        let decisions = match &config.data_dir {
+            Some(dir) => DurableDecisionCache::open(std::path::Path::new(dir))
+                .map_err(|e| io::Error::other(format!("--data-dir {dir}: {e}")))?,
+            None => DurableDecisionCache::memory(),
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 base_opts,
                 snapshots,
                 obs,
-                decisions: DecisionCache::new(),
+                decisions,
                 profile: Mutex::new(ChaseProfile::default()),
                 jobs: Mutex::new(VecDeque::new()),
                 jobs_cv: Condvar::new(),
@@ -304,7 +326,15 @@ impl Server {
     /// `run` returns.
     pub fn run(self) -> io::Result<()> {
         let Server { listener, shared } = self;
-        reactor::run(listener, shared)
+        let out = reactor::run(listener, Arc::clone(&shared));
+        // Graceful drain done: flush the durable tier's memtable so a
+        // clean shutdown never loses decided containments to the WAL's
+        // relaxed fsync policy.
+        shared
+            .decisions
+            .flush()
+            .map_err(|e| io::Error::other(format!("flushing decision store: {e}")))?;
+        out
     }
 }
 
@@ -607,6 +637,26 @@ fn metrics_text(shared: &Arc<Shared>) -> String {
         shared.snapshots.cap_bytes()
     );
     let _ = writeln!(s, "flqd_decision_cache_entries {}", shared.decisions.len());
+    if let Some(store) = shared.decisions.store() {
+        let durable = shared.decisions.durable_stats();
+        let store_stats = store.stats();
+        let _ = writeln!(s, "flqd_store_disk_hits {}", durable.disk_hits);
+        let _ = writeln!(s, "flqd_store_disk_misses {}", durable.disk_misses);
+        let _ = writeln!(s, "flqd_store_disk_errors {}", durable.disk_errors);
+        let _ = writeln!(s, "flqd_store_segments {}", store_stats.segments);
+        let _ = writeln!(
+            s,
+            "flqd_store_segment_entries {}",
+            store_stats.segment_entries
+        );
+        let _ = writeln!(
+            s,
+            "flqd_store_memtable_entries {}",
+            store_stats.memtable_entries
+        );
+        let _ = writeln!(s, "flqd_store_wal_bytes {}", store_stats.wal_bytes);
+        let _ = writeln!(s, "flqd_store_generation {}", store_stats.generation);
+    }
     s
 }
 
@@ -757,6 +807,71 @@ fn metrics_prometheus(shared: &Arc<Shared>) -> String {
         "counter",
         global.canon_nanos,
     );
+    // The durable decision tier, present only when `--data-dir` is set
+    // (no sampleless families for a tier that does not exist).
+    if let Some(store) = shared.decisions.store() {
+        let durable = shared.decisions.durable_stats();
+        let ss = store.stats();
+        simple(
+            &mut s,
+            "flqd_store_disk_hits_total",
+            "counter",
+            durable.disk_hits,
+        );
+        simple(
+            &mut s,
+            "flqd_store_disk_misses_total",
+            "counter",
+            durable.disk_misses,
+        );
+        simple(
+            &mut s,
+            "flqd_store_disk_errors_total",
+            "counter",
+            durable.disk_errors,
+        );
+        simple(&mut s, "flqd_store_puts_total", "counter", ss.puts);
+        simple(&mut s, "flqd_store_flushes_total", "counter", ss.flushes);
+        simple(
+            &mut s,
+            "flqd_store_compactions_total",
+            "counter",
+            ss.compactions,
+        );
+        simple(
+            &mut s,
+            "flqd_store_quarantined_total",
+            "counter",
+            ss.quarantined,
+        );
+        simple(&mut s, "flqd_store_segments", "gauge", ss.segments);
+        simple(
+            &mut s,
+            "flqd_store_segment_entries",
+            "gauge",
+            ss.segment_entries,
+        );
+        simple(
+            &mut s,
+            "flqd_store_memtable_entries",
+            "gauge",
+            ss.memtable_entries,
+        );
+        simple(
+            &mut s,
+            "flqd_store_memtable_bytes",
+            "gauge",
+            ss.memtable_bytes,
+        );
+        simple(&mut s, "flqd_store_wal_bytes", "gauge", ss.wal_bytes);
+        simple(&mut s, "flqd_store_generation", "gauge", ss.generation);
+        simple(
+            &mut s,
+            "flqd_store_wal_replayed_records",
+            "gauge",
+            ss.wal_replayed,
+        );
+    }
     simple(
         &mut s,
         "flqd_access_log_lines_total",
@@ -890,6 +1005,8 @@ mod tests {
             "750",
             "--log-sample",
             "1/16",
+            "--data-dir",
+            "/tmp/flq-data",
         ];
         let config = ServerConfig::from_args(args.iter().map(|s| s.to_string())).unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
@@ -910,6 +1027,8 @@ mod tests {
         let bare = ServerConfig::from_args(["--log-sample".into(), "8".into()]).unwrap();
         assert_eq!(bare.log_sample, 8, "bare N accepted alongside 1/N");
         assert_eq!(ServerConfig::default().log_sample, 1);
+        assert_eq!(config.data_dir.as_deref(), Some("/tmp/flq-data"));
+        assert_eq!(ServerConfig::default().data_dir, None, "RAM-only default");
 
         for bad in [
             vec!["--bogus"],
@@ -920,6 +1039,7 @@ mod tests {
             vec!["--queue-cap", "0"],
             vec!["--ready-fd", "three"],
             vec!["--access-log"],
+            vec!["--data-dir"],
             vec!["--slow-us", "soon"],
             vec!["--log-sample", "0"],
             vec!["--log-sample", "1/0"],

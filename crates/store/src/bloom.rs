@@ -1,0 +1,165 @@
+//! Per-segment bloom filters.
+//!
+//! Classic double hashing (Kirsch–Mitzenmacher): two 64-bit hashes of
+//! the key, probe `i` at `h1 + i·h2`. Sized at construction from the
+//! key count and a bits-per-key budget (default 10, ~1% false
+//! positives with 7 probes). The hash is a dependency-free FNV-1a
+//! variant, keyed by two different offsets so the pair behaves as
+//! independent hash functions for this purpose.
+//!
+//! Serialized form (embedded in the segment file, see
+//! `docs/STORAGE.md`): `n_bits u64 · k u32 · word* u64` — fixed-width
+//! little-endian, covered by the segment's footer CRC.
+
+/// Bits budgeted per key (10 ⇒ ~1% false-positive rate at k = 7).
+pub const BITS_PER_KEY: usize = 10;
+
+fn fnv64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Final avalanche (splitmix64 tail) so short keys spread too.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+fn hashes(key: &[u8]) -> (u64, u64) {
+    (
+        fnv64(0xCBF2_9CE4_8422_2325, key),
+        fnv64(0x9747_B28C_8412_FE4D, key) | 1, // odd stride never cycles on 0
+    )
+}
+
+/// An immutable bloom filter over a segment's key set.
+#[derive(Clone, Debug)]
+pub struct Bloom {
+    n_bits: u64,
+    k: u32,
+    words: Vec<u64>,
+}
+
+impl Bloom {
+    /// Builds a filter sized for `keys` at [`BITS_PER_KEY`].
+    pub fn from_keys<'a>(keys: impl IntoIterator<Item = &'a [u8]>) -> Bloom {
+        let keys: Vec<&[u8]> = keys.into_iter().collect();
+        let n_bits = (keys.len().max(1) * BITS_PER_KEY).next_multiple_of(64) as u64;
+        // k = ln 2 · bits/key ≈ 0.69 · 10, clamped to a sane range.
+        let k = ((BITS_PER_KEY as f64 * 0.69).round() as u32).clamp(1, 30);
+        let mut bloom = Bloom {
+            n_bits,
+            k,
+            words: vec![0u64; (n_bits / 64) as usize],
+        };
+        for key in keys {
+            let (h1, h2) = hashes(key);
+            for i in 0..k as u64 {
+                let bit = h1.wrapping_add(i.wrapping_mul(h2)) % bloom.n_bits;
+                bloom.words[(bit / 64) as usize] |= 1 << (bit % 64);
+            }
+        }
+        bloom
+    }
+
+    /// `false` means the key is definitely absent from the segment;
+    /// `true` means "probably present" (the segment index decides).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = hashes(key);
+        (0..self.k as u64).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
+            self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Serializes to the on-disk form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.words.len() * 8);
+        out.extend_from_slice(&self.n_bits.to_le_bytes());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes the on-disk form; `None` on any shape mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Bloom> {
+        if bytes.len() < 12 {
+            return None;
+        }
+        let n_bits = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let k = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        if n_bits == 0 || n_bits % 64 != 0 || k == 0 || k > 64 {
+            return None;
+        }
+        let body = &bytes[12..];
+        if body.len() as u64 != n_bits / 8 {
+            return None;
+        }
+        let words = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        Some(Bloom { n_bits, k, words })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("decision-key-{i}").into_bytes()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..500).map(key).collect();
+        let bloom = Bloom::from_keys(keys.iter().map(Vec::as_slice));
+        for k in &keys {
+            assert!(bloom.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let keys: Vec<Vec<u8>> = (0..1000).map(key).collect();
+        let bloom = Bloom::from_keys(keys.iter().map(Vec::as_slice));
+        let fp = (1000..11_000)
+            .map(key)
+            .filter(|k| bloom.may_contain(k))
+            .count();
+        // ~1% expected at 10 bits/key; allow generous slack.
+        assert!(fp < 400, "false-positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn roundtrips_through_bytes() {
+        let keys: Vec<Vec<u8>> = (0..64).map(key).collect();
+        let bloom = Bloom::from_keys(keys.iter().map(Vec::as_slice));
+        let back = Bloom::from_bytes(&bloom.to_bytes()).unwrap();
+        for k in &keys {
+            assert!(back.may_contain(k));
+        }
+        assert_eq!(bloom.to_bytes(), back.to_bytes());
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        assert!(Bloom::from_bytes(&[]).is_none());
+        assert!(Bloom::from_bytes(&[0; 12]).is_none());
+        let good = Bloom::from_keys([b"x".as_slice()]).to_bytes();
+        assert!(Bloom::from_bytes(&good[..good.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn empty_filter_is_well_formed() {
+        let bloom = Bloom::from_keys(std::iter::empty());
+        assert!(!bloom.may_contain(b"anything"));
+        assert!(Bloom::from_bytes(&bloom.to_bytes()).is_some());
+    }
+}

@@ -1,0 +1,326 @@
+//! The manifest: the store's single source of truth for which segments
+//! are live, fenced by generation numbers and an atomic rename.
+//!
+//! Layout (`MANIFEST`; full spec in `docs/STORAGE.md`):
+//!
+//! ```text
+//! magic "FLQM" (4) · format-version (1) · generation u64 · count u32
+//! · (name_len u32 · name · gen u64 · entries u64)*
+//! · crc u32      — CRC-32C of everything before it
+//! ```
+//!
+//! Writes go to `MANIFEST.tmp`, fsync, then `rename(2)` over `MANIFEST`
+//! and a directory fsync — readers observe either the old or the new
+//! manifest, never a mix, and a crash leaves at worst a stale `.tmp`
+//! that the next open deletes.
+//!
+//! **Generation fencing.** Every mutation of the segment set (flush,
+//! compaction) writes a manifest whose `generation` strictly exceeds
+//! the previous one, and every segment is stamped with the generation
+//! that created it. On load the entries are fenced: if two entries
+//! claim the same generation (the signature of a crashed writer racing
+//! a rename, or a restored backup mixing epochs), the **last-listed**
+//! entry wins — manifest order is append order, so last-listed is the
+//! newest write — and the losers are reported for quarantine. Segment
+//! files on disk that the manifest does not list are likewise orphans:
+//! never opened, quarantined by `Store::open`.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32c;
+use crate::segment::sync_dir;
+use crate::{StoreError, FORMAT_VERSION};
+
+/// Manifest file magic.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"FLQM";
+
+/// Manifest file name within a data dir.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// One live segment, as recorded in the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// File name relative to the data dir (e.g. `seg-000000000003.flqs`).
+    pub name: String,
+    /// Generation that created the segment.
+    pub gen: u64,
+    /// Number of entries, for stats without opening the file.
+    pub entries: u64,
+}
+
+/// The decoded manifest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// The store's current generation (strictly increases per mutation).
+    pub generation: u64,
+    /// Live segments, oldest first.
+    pub segments: Vec<SegmentEntry>,
+}
+
+/// Result of loading + fencing a manifest.
+#[derive(Debug)]
+pub struct FencedManifest {
+    /// The fenced manifest (duplicate generations resolved).
+    pub manifest: Manifest,
+    /// Entries fenced off because a newer entry claimed their
+    /// generation; their files should be quarantined.
+    pub fenced: Vec<SegmentEntry>,
+}
+
+impl Manifest {
+    /// Serializes to the on-disk form.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.push(FORMAT_VERSION);
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for seg in &self.segments {
+            out.extend_from_slice(&(seg.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(seg.name.as_bytes());
+            out.extend_from_slice(&seg.gen.to_le_bytes());
+            out.extend_from_slice(&seg.entries.to_le_bytes());
+        }
+        let crc = crc32c(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses the on-disk form, checking magic, version and CRC.
+    fn from_bytes(bytes: &[u8]) -> Result<Manifest, StoreError> {
+        let corrupt = |what: &str| StoreError::Corrupt {
+            what: format!("MANIFEST: {what}"),
+        };
+        if bytes.len() < 4 + 1 + 8 + 4 + 4 {
+            return Err(corrupt("too short"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32c(body) != crc {
+            return Err(corrupt("checksum mismatch"));
+        }
+        if &body[..4] != MANIFEST_MAGIC {
+            return Err(corrupt("foreign magic"));
+        }
+        if body[4] != FORMAT_VERSION {
+            return Err(StoreError::FormatVersion {
+                found: body[4],
+                expected: FORMAT_VERSION,
+            });
+        }
+        let generation = u64::from_le_bytes(body[5..13].try_into().expect("8 bytes"));
+        let count = u32::from_le_bytes(body[13..17].try_into().expect("4 bytes"));
+        let mut segments = Vec::with_capacity(count as usize);
+        let mut pos = 17usize;
+        for _ in 0..count {
+            let name_len = body
+                .get(pos..pos + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+                .ok_or_else(|| corrupt("entry truncated"))?;
+            let name = body
+                .get(pos + 4..pos + 4 + name_len)
+                .and_then(|b| std::str::from_utf8(b).ok())
+                .ok_or_else(|| corrupt("entry name truncated or not UTF-8"))?;
+            let tail = body
+                .get(pos + 4 + name_len..pos + 20 + name_len)
+                .ok_or_else(|| corrupt("entry numbers truncated"))?;
+            segments.push(SegmentEntry {
+                name: name.to_string(),
+                gen: u64::from_le_bytes(tail[..8].try_into().expect("8 bytes")),
+                entries: u64::from_le_bytes(tail[8..].try_into().expect("8 bytes")),
+            });
+            pos += 20 + name_len;
+        }
+        if pos != body.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Manifest {
+            generation,
+            segments,
+        })
+    }
+
+    /// Fences the entry list: for each generation, the last-listed entry
+    /// wins (manifest order is append order, so last-listed is the
+    /// newest write); earlier claimants are returned for quarantine.
+    pub fn fence(self) -> FencedManifest {
+        let mut fenced = Vec::new();
+        let mut kept: Vec<SegmentEntry> = Vec::with_capacity(self.segments.len());
+        for entry in self.segments {
+            if let Some(pos) = kept.iter().position(|k| k.gen == entry.gen) {
+                fenced.push(kept.remove(pos));
+            }
+            kept.push(entry);
+        }
+        FencedManifest {
+            manifest: Manifest {
+                generation: self.generation,
+                segments: kept,
+            },
+            fenced,
+        }
+    }
+}
+
+/// Loads the manifest from `dir`, or an empty generation-0 manifest if
+/// none exists yet. A leftover `MANIFEST.tmp` (crashed writer) is
+/// deleted — the rename never happened, so the old manifest is the
+/// truth.
+pub fn load(dir: &Path) -> Result<Manifest, StoreError> {
+    let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    if tmp.exists() {
+        std::fs::remove_file(&tmp)?;
+    }
+    let path = dir.join(MANIFEST_NAME);
+    if !path.exists() {
+        return Ok(Manifest::default());
+    }
+    let mut bytes = Vec::new();
+    File::open(&path)?.read_to_end(&mut bytes)?;
+    Manifest::from_bytes(&bytes)
+}
+
+/// Durably installs `manifest` as the store's truth: write to `.tmp`,
+/// fsync, atomic rename over [`MANIFEST_NAME`], fsync the directory.
+pub fn store(dir: &Path, manifest: &Manifest) -> Result<(), StoreError> {
+    let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+    let path = dir.join(MANIFEST_NAME);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    file.write_all(&manifest.to_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, &path)?;
+    sync_dir(dir)?;
+    Ok(())
+}
+
+/// Quarantine a file by renaming it to `<name>.quarantined` (never
+/// deleting — the bytes may matter for forensics). Collisions append a
+/// numeric suffix.
+pub fn quarantine(dir: &Path, name: &str) -> Result<PathBuf, StoreError> {
+    let src = dir.join(name);
+    let mut target = dir.join(format!("{name}.quarantined"));
+    let mut n = 1;
+    while target.exists() {
+        target = dir.join(format!("{name}.quarantined.{n}"));
+        n += 1;
+    }
+    std::fs::rename(&src, &target)?;
+    sync_dir(dir)?;
+    Ok(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flq_manifest_test_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entry(name: &str, gen: u64) -> SegmentEntry {
+        SegmentEntry {
+            name: name.to_string(),
+            gen,
+            entries: gen * 10,
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let dir = tmp("roundtrip");
+        let m = Manifest {
+            generation: 7,
+            segments: vec![entry("seg-a", 3), entry("seg-b", 7)],
+        };
+        store(&dir, &m).unwrap();
+        assert_eq!(load(&dir).unwrap(), m);
+        // Overwrite installs atomically.
+        let m2 = Manifest {
+            generation: 8,
+            segments: vec![entry("seg-c", 8)],
+        };
+        store(&dir, &m2).unwrap();
+        assert_eq!(load(&dir).unwrap(), m2);
+    }
+
+    #[test]
+    fn missing_manifest_is_generation_zero() {
+        let dir = tmp("missing");
+        let m = load(&dir).unwrap();
+        assert_eq!(m.generation, 0);
+        assert!(m.segments.is_empty());
+    }
+
+    #[test]
+    fn stale_tmp_is_discarded() {
+        let dir = tmp("staletmp");
+        let m = Manifest {
+            generation: 2,
+            segments: vec![entry("seg-a", 2)],
+        };
+        store(&dir, &m).unwrap();
+        // A crashed writer left garbage in MANIFEST.tmp.
+        std::fs::write(dir.join("MANIFEST.tmp"), b"half-written").unwrap();
+        assert_eq!(load(&dir).unwrap(), m, "tmp never renamed, old truth wins");
+        assert!(!dir.join("MANIFEST.tmp").exists());
+    }
+
+    #[test]
+    fn corrupt_manifest_is_refused() {
+        let dir = tmp("corrupt");
+        store(
+            &dir,
+            &Manifest {
+                generation: 1,
+                segments: vec![entry("seg-a", 1)],
+            },
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(dir.join(MANIFEST_NAME)).unwrap();
+        bytes[6] ^= 0xFF;
+        std::fs::write(dir.join(MANIFEST_NAME), &bytes).unwrap();
+        assert!(matches!(load(&dir), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn duplicate_generations_are_fenced_newest_wins() {
+        let m = Manifest {
+            generation: 5,
+            segments: vec![
+                entry("seg-old-epoch", 4),
+                entry("seg-a", 3),
+                entry("seg-new-epoch", 4), // later-listed: the newer write
+            ],
+        };
+        let fenced = m.fence();
+        assert_eq!(
+            fenced.manifest.segments,
+            vec![entry("seg-a", 3), entry("seg-new-epoch", 4)]
+        );
+        assert_eq!(fenced.fenced, vec![entry("seg-old-epoch", 4)]);
+    }
+
+    #[test]
+    fn quarantine_renames_without_deleting() {
+        let dir = tmp("quarantine");
+        std::fs::write(dir.join("seg-x.flqs"), b"bytes").unwrap();
+        let target = quarantine(&dir, "seg-x.flqs").unwrap();
+        assert!(!dir.join("seg-x.flqs").exists());
+        assert_eq!(std::fs::read(target).unwrap(), b"bytes");
+        // A second quarantine of the same name gets a distinct target.
+        std::fs::write(dir.join("seg-x.flqs"), b"again").unwrap();
+        let target2 = quarantine(&dir, "seg-x.flqs").unwrap();
+        assert!(target2.to_string_lossy().ends_with(".quarantined.1"));
+    }
+}

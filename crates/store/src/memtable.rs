@@ -1,0 +1,102 @@
+//! The in-memory write buffer: a sorted map mirroring the WAL.
+//!
+//! Every [`crate::Store::put`] lands here (after its WAL append); reads
+//! consult the memtable before any segment, so the newest write always
+//! wins. When the approximate footprint passes the flush threshold the
+//! whole table is written out as one sorted immutable segment and the
+//! WAL is reset — `BTreeMap` keeps the keys sorted, so the flush is a
+//! single in-order walk.
+
+use std::collections::BTreeMap;
+
+/// Sorted in-memory key→value buffer with an approximate byte count.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    bytes: usize,
+}
+
+/// Fixed per-entry overhead charged on top of key/value bytes, so many
+/// tiny entries still trip the flush threshold.
+const ENTRY_OVERHEAD: usize = 64;
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Inserts (or overwrites) one entry.
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        let (klen, vlen) = (key.len(), value.len());
+        match self.map.insert(key, value) {
+            Some(old) => self.bytes = self.bytes - old.len() + vlen,
+            None => self.bytes += klen + vlen + ENTRY_OVERHEAD,
+        }
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Sorted iteration over the entries (flush order).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Empties the table (after a successful flush).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newest_write_wins_and_iteration_is_sorted() {
+        let mut m = Memtable::new();
+        m.insert(b"b".to_vec(), b"1".to_vec());
+        m.insert(b"a".to_vec(), b"2".to_vec());
+        m.insert(b"b".to_vec(), b"3".to_vec());
+        assert_eq!(m.get(b"b"), Some(b"3".as_slice()));
+        assert_eq!(m.len(), 2);
+        let keys: Vec<&[u8]> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b".as_slice()]);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_and_overwrites() {
+        let mut m = Memtable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.insert(b"key".to_vec(), vec![0u8; 100]);
+        let one = m.approx_bytes();
+        assert!(one >= 103);
+        m.insert(b"key".to_vec(), vec![0u8; 10]);
+        assert!(
+            m.approx_bytes() < one,
+            "overwrite with smaller value shrinks"
+        );
+        m.clear();
+        assert_eq!(m.approx_bytes(), 0);
+        assert!(m.is_empty());
+    }
+}

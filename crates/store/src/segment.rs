@@ -1,0 +1,460 @@
+//! Sorted immutable segment files.
+//!
+//! A segment is one flushed memtable (or one compaction output): sorted
+//! unique keys, written once, never modified, dropped as a whole when
+//! compaction supersedes it. Layout (`seg-<generation>.flqs`, full spec
+//! in `docs/STORAGE.md`):
+//!
+//! ```text
+//! header : magic "FLQS" (4) · format-version (1)
+//! entry* : key_len u32 · value_len u32 · key · value       (sorted)
+//! index  : count u32 · (key_len u32 · key · offset u64)*   (sparse)
+//! bloom  : n_bits u64 · k u32 · word* u64
+//! footer : index_off u64 · index_len u64 · bloom_off u64 · bloom_len u64
+//!          · entry_count u64 · data_crc u32 · meta_crc u32
+//!          · magic "FLQE" (4)
+//! ```
+//!
+//! `data_crc` checksums the whole entry region; `meta_crc` checksums the
+//! index block, the bloom block, and the footer up to itself — so every
+//! byte of the file is covered by exactly one of the two checksums.
+//! Opening a segment reads only footer + index + bloom (and verifies
+//! `meta_crc`); entry data stays on disk and is read per lookup via
+//! `read_at`, so a store's resident footprint is index + bloom, not
+//! data. [`Segment::verify`] streams the entry region to check
+//! `data_crc` — that is what quarantines a bit-rotted file at open
+//! (see `Store::open`) and what `flq cache verify` runs on demand.
+//!
+//! Every `index`-ed offset points at an entry start; a lookup bloom-gates,
+//! binary-searches the sparse index for the greatest indexed key ≤ the
+//! probe, then scans forward at most [`INDEX_EVERY`] entries.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use crate::bloom::Bloom;
+use crate::crc::Crc32c;
+use crate::{StoreError, FORMAT_VERSION};
+
+/// Segment header magic.
+pub const SEGMENT_MAGIC: &[u8; 4] = b"FLQS";
+/// Segment footer magic.
+pub const FOOTER_MAGIC: &[u8; 4] = b"FLQE";
+
+/// Header length: magic + format-version byte.
+const HEADER_LEN: u64 = 5;
+/// Fixed footer length (5 × u64 + 2 × u32 + magic).
+const FOOTER_LEN: u64 = 5 * 8 + 2 * 4 + 4;
+/// One sparse-index entry per this many data entries.
+pub const INDEX_EVERY: usize = 16;
+
+/// The canonical file name for a segment of generation `gen`.
+pub fn segment_file_name(gen: u64) -> String {
+    format!("seg-{gen:012}.flqs")
+}
+
+/// Writes a new segment from sorted, deduplicated `(key, value)` pairs.
+/// The file is assembled under a `.tmp` name, fsynced, then atomically
+/// renamed into place — readers can never observe a half-written
+/// segment (crash recovery simply deletes leftover `.tmp` files).
+pub fn write_segment<'a>(
+    dir: &Path,
+    gen: u64,
+    entries: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
+) -> Result<PathBuf, StoreError> {
+    let final_path = dir.join(segment_file_name(gen));
+    let tmp_path = dir.join(format!("{}.tmp", segment_file_name(gen)));
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp_path)?;
+
+    file.write_all(SEGMENT_MAGIC)?;
+    file.write_all(&[FORMAT_VERSION])?;
+
+    let mut data_crc = Crc32c::new();
+    let mut index: Vec<u8> = Vec::new();
+    let mut index_count = 0u32;
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    let mut offset = HEADER_LEN;
+    let mut count = 0u64;
+    let mut last_key: Option<Vec<u8>> = None;
+    for (key, value) in entries {
+        if let Some(prev) = &last_key {
+            debug_assert!(prev.as_slice() < key, "segment input must be sorted unique");
+        }
+        last_key = Some(key.to_vec());
+        if count as usize % INDEX_EVERY == 0 {
+            index.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            index.extend_from_slice(key);
+            index.extend_from_slice(&offset.to_le_bytes());
+            index_count += 1;
+        }
+        let mut entry = Vec::with_capacity(8 + key.len() + value.len());
+        entry.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        entry.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        entry.extend_from_slice(key);
+        entry.extend_from_slice(value);
+        data_crc.update(&entry);
+        file.write_all(&entry)?;
+        offset += entry.len() as u64;
+        keys.push(key.to_vec());
+        count += 1;
+    }
+
+    let index_off = offset;
+    let mut meta = Vec::new();
+    meta.extend_from_slice(&index_count.to_le_bytes());
+    meta.extend_from_slice(&index);
+    let index_len = meta.len() as u64;
+    let bloom = Bloom::from_keys(keys.iter().map(Vec::as_slice)).to_bytes();
+    let bloom_off = index_off + index_len;
+    let bloom_len = bloom.len() as u64;
+    meta.extend_from_slice(&bloom);
+
+    let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+    footer.extend_from_slice(&index_off.to_le_bytes());
+    footer.extend_from_slice(&index_len.to_le_bytes());
+    footer.extend_from_slice(&bloom_off.to_le_bytes());
+    footer.extend_from_slice(&bloom_len.to_le_bytes());
+    footer.extend_from_slice(&count.to_le_bytes());
+    footer.extend_from_slice(&data_crc.finish().to_le_bytes());
+    let mut meta_crc = Crc32c::new();
+    meta_crc.update(&meta);
+    meta_crc.update(&footer);
+    footer.extend_from_slice(&meta_crc.finish().to_le_bytes());
+    footer.extend_from_slice(FOOTER_MAGIC);
+
+    file.write_all(&meta)?;
+    file.write_all(&footer)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Fsyncs a directory so a rename within it is durable.
+pub fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    File::open(dir)?.sync_all()?;
+    Ok(())
+}
+
+/// An open segment: resident sparse index + bloom, on-disk entry data.
+#[derive(Debug)]
+pub struct Segment {
+    path: PathBuf,
+    gen: u64,
+    file: File,
+    bloom: Bloom,
+    /// Sparse index: (first key of block, entry offset), sorted.
+    index: Vec<(Vec<u8>, u64)>,
+    /// Offset one past the last entry (= index block offset).
+    data_end: u64,
+    entry_count: u64,
+    data_crc: u32,
+}
+
+impl Segment {
+    /// Opens the segment at `path`, reading footer, index and bloom and
+    /// verifying `meta_crc` (cheap). The entry region is *not* read;
+    /// call [`Segment::verify`] to stream-check `data_crc`.
+    pub fn open(path: &Path, gen: u64) -> Result<Segment, StoreError> {
+        let corrupt = |what: &str| StoreError::Corrupt {
+            what: format!("{}: {what}", path.display()),
+        };
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN + FOOTER_LEN {
+            return Err(corrupt("too short for header + footer"));
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        if &header[..4] != SEGMENT_MAGIC {
+            return Err(corrupt("foreign header magic"));
+        }
+        if header[4] != FORMAT_VERSION {
+            return Err(StoreError::FormatVersion {
+                found: header[4],
+                expected: FORMAT_VERSION,
+            });
+        }
+
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        file.read_exact_at(&mut footer, file_len - FOOTER_LEN)?;
+        let u64_at =
+            |i: usize| u64::from_le_bytes(footer[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        let index_off = u64_at(0);
+        let index_len = u64_at(1);
+        let bloom_off = u64_at(2);
+        let bloom_len = u64_at(3);
+        let entry_count = u64_at(4);
+        let data_crc = u32::from_le_bytes(footer[40..44].try_into().expect("4 bytes"));
+        let meta_crc = u32::from_le_bytes(footer[44..48].try_into().expect("4 bytes"));
+        if &footer[48..52] != FOOTER_MAGIC {
+            return Err(corrupt("foreign footer magic"));
+        }
+        let meta_end = bloom_off.checked_add(bloom_len);
+        if index_off < HEADER_LEN
+            || bloom_off != index_off + index_len
+            || meta_end != Some(file_len - FOOTER_LEN)
+        {
+            return Err(corrupt("inconsistent footer offsets"));
+        }
+
+        let mut meta = vec![0u8; (index_len + bloom_len) as usize];
+        file.read_exact_at(&mut meta, index_off)?;
+        let mut check = Crc32c::new();
+        check.update(&meta);
+        check.update(&footer[..44]);
+        if check.finish() != meta_crc {
+            return Err(corrupt("meta checksum mismatch"));
+        }
+
+        // Parse the sparse index.
+        let (index_bytes, bloom_bytes) = meta.split_at(index_len as usize);
+        if index_bytes.len() < 4 {
+            return Err(corrupt("index block too short"));
+        }
+        let declared = u32::from_le_bytes(index_bytes[..4].try_into().expect("4 bytes"));
+        let mut index = Vec::with_capacity(declared as usize);
+        let mut pos = 4usize;
+        for _ in 0..declared {
+            let klen = index_bytes
+                .get(pos..pos + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+                .ok_or_else(|| corrupt("index entry truncated"))?;
+            let key = index_bytes
+                .get(pos + 4..pos + 4 + klen)
+                .ok_or_else(|| corrupt("index key truncated"))?;
+            let off = index_bytes
+                .get(pos + 4 + klen..pos + 12 + klen)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .ok_or_else(|| corrupt("index offset truncated"))?;
+            index.push((key.to_vec(), off));
+            pos = pos + 12 + klen;
+        }
+        if pos != index_bytes.len() {
+            return Err(corrupt("trailing bytes in index block"));
+        }
+        let bloom =
+            Bloom::from_bytes(bloom_bytes).ok_or_else(|| corrupt("malformed bloom block"))?;
+
+        Ok(Segment {
+            path: path.to_path_buf(),
+            gen,
+            file,
+            bloom,
+            index,
+            data_end: index_off,
+            entry_count,
+            data_crc,
+        })
+    }
+
+    /// The segment's generation number.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Number of entries.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Looks `key` up: bloom gate, sparse-index binary search, then a
+    /// bounded forward scan of one block.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        if !self.bloom.may_contain(key) {
+            return Ok(None);
+        }
+        // Greatest indexed key ≤ key; if the probe sorts before the
+        // first indexed key it is absent (block firsts are entry keys).
+        let block = match self.index.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => i,
+            Err(0) => return Ok(None),
+            Err(i) => i - 1,
+        };
+        let mut offset = self.index[block].1;
+        for _ in 0..INDEX_EVERY {
+            if offset >= self.data_end {
+                break;
+            }
+            let mut lens = [0u8; 8];
+            self.file.read_exact_at(&mut lens, offset)?;
+            let klen = u32::from_le_bytes(lens[..4].try_into().expect("4 bytes")) as u64;
+            let vlen = u32::from_le_bytes(lens[4..].try_into().expect("4 bytes")) as u64;
+            if offset + 8 + klen + vlen > self.data_end {
+                return Err(StoreError::Corrupt {
+                    what: format!("{}: entry overruns data region", self.path.display()),
+                });
+            }
+            let mut entry_key = vec![0u8; klen as usize];
+            self.file.read_exact_at(&mut entry_key, offset + 8)?;
+            match entry_key.as_slice().cmp(key) {
+                std::cmp::Ordering::Less => offset += 8 + klen + vlen,
+                std::cmp::Ordering::Equal => {
+                    let mut value = vec![0u8; vlen as usize];
+                    self.file.read_exact_at(&mut value, offset + 8 + klen)?;
+                    return Ok(Some(value));
+                }
+                std::cmp::Ordering::Greater => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Streams every entry in key order (compaction input).
+    pub fn scan(&self) -> Result<crate::KvPairs, StoreError> {
+        let mut out = Vec::with_capacity(self.entry_count as usize);
+        let mut data = vec![0u8; (self.data_end - HEADER_LEN) as usize];
+        self.file.read_exact_at(&mut data, HEADER_LEN)?;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let overrun = || StoreError::Corrupt {
+                what: format!("{}: entry overruns data region", self.path.display()),
+            };
+            let head = data.get(pos..pos + 8).ok_or_else(overrun)?;
+            let klen = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+            let vlen = u32::from_le_bytes(head[4..].try_into().expect("4 bytes")) as usize;
+            let key = data.get(pos + 8..pos + 8 + klen).ok_or_else(overrun)?;
+            let value = data
+                .get(pos + 8 + klen..pos + 8 + klen + vlen)
+                .ok_or_else(overrun)?;
+            out.push((key.to_vec(), value.to_vec()));
+            pos += 8 + klen + vlen;
+        }
+        Ok(out)
+    }
+
+    /// Stream-checks `data_crc` over the whole entry region.
+    pub fn verify(&self) -> Result<(), StoreError> {
+        let mut crc = Crc32c::new();
+        let mut offset = HEADER_LEN;
+        let mut buf = vec![0u8; 64 * 1024];
+        while offset < self.data_end {
+            let n = (self.data_end - offset).min(buf.len() as u64) as usize;
+            self.file.read_exact_at(&mut buf[..n], offset)?;
+            crc.update(&buf[..n]);
+            offset += n as u64;
+        }
+        if crc.finish() != self.data_crc {
+            return Err(StoreError::Corrupt {
+                what: format!("{}: data checksum mismatch", self.path.display()),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("flq_segment_test_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entries(n: u32) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    format!("key-{i:06}").into_bytes(),
+                    format!("value-{i}").into_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    fn write(dir: &Path, gen: u64, pairs: &[(Vec<u8>, Vec<u8>)]) -> PathBuf {
+        write_segment(
+            dir,
+            gen,
+            pairs.iter().map(|(k, v)| (k.as_slice(), v.as_slice())),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_key_is_found_and_absent_keys_are_not() {
+        let dir = tmp("lookup");
+        let pairs = entries(100);
+        let path = write(&dir, 1, &pairs);
+        let seg = Segment::open(&path, 1).unwrap();
+        assert_eq!(seg.entry_count(), 100);
+        for (k, v) in &pairs {
+            assert_eq!(seg.get(k).unwrap().as_deref(), Some(v.as_slice()), "{k:?}");
+        }
+        assert!(seg.get(b"key-999999").unwrap().is_none());
+        assert!(seg.get(b"aaa").unwrap().is_none(), "before first key");
+        assert!(seg.get(b"zzz").unwrap().is_none(), "after last key");
+        seg.verify().unwrap();
+    }
+
+    #[test]
+    fn scan_returns_all_entries_in_order() {
+        let dir = tmp("scan");
+        let pairs = entries(50);
+        let path = write(&dir, 2, &pairs);
+        let seg = Segment::open(&path, 2).unwrap();
+        assert_eq!(seg.scan().unwrap(), pairs);
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let dir = tmp("empty");
+        let path = write(&dir, 3, &[]);
+        let seg = Segment::open(&path, 3).unwrap();
+        assert_eq!(seg.entry_count(), 0);
+        assert!(seg.get(b"anything").unwrap().is_none());
+        seg.verify().unwrap();
+    }
+
+    #[test]
+    fn data_corruption_is_caught_by_verify() {
+        let dir = tmp("corrupt_data");
+        let pairs = entries(64);
+        let path = write(&dir, 4, &pairs);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN as usize + 10] ^= 0xFF; // flip a data byte
+        std::fs::write(&path, &bytes).unwrap();
+        let seg = Segment::open(&path, 4).unwrap(); // meta still intact
+        assert!(matches!(seg.verify(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn meta_corruption_is_caught_at_open() {
+        let dir = tmp("corrupt_meta");
+        let pairs = entries(64);
+        let path = write(&dir, 5, &pairs);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - FOOTER_LEN as usize - 3] ^= 0xFF; // flip a bloom byte
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Segment::open(&path, 5),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let dir = tmp("truncated");
+        let path = write(&dir, 6, &entries(10));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(Segment::open(&path, 6).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! Append-only write-ahead log with CRC-framed records and torn-tail
+//! recovery.
+//!
+//! Layout (`wal.flqw`; full spec in `docs/STORAGE.md`):
+//!
+//! ```text
+//! header  : magic "FLQW" (4) · format-version (1)
+//! record* : frame_len u32 · frame_crc u32 · payload[frame_len]
+//! payload : key_len u32 · key[key_len] · value[frame_len - 4 - key_len]
+//! ```
+//!
+//! `frame_crc` is the CRC-32C of the payload alone, so a frame is valid
+//! iff its length fits the file and its payload checksums. Replay walks
+//! frames from the header and stops at the **first** invalid frame —
+//! a short read, an implausible length, or a CRC mismatch — then
+//! truncates the file back to the end of the valid prefix. That is the
+//! whole crash story for the log: a crash mid-append tears at most the
+//! final frame, every earlier frame is intact (appends are sequential),
+//! and recovery drops exactly the torn tail. Records are only ever
+//! appended; the log is truncated to empty after a successful memtable
+//! flush, once the data is durable in a segment.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32c;
+use crate::{StoreError, FORMAT_VERSION};
+
+/// WAL file magic.
+pub const WAL_MAGIC: &[u8; 4] = b"FLQW";
+
+/// Header length: magic + format-version byte.
+const HEADER_LEN: u64 = 5;
+
+/// Upper bound on a single frame's payload. Real records are tiny
+/// (a canonical pair key + a ~30-byte decision); the cap only exists so
+/// a corrupt length field is classified as a torn tail instead of
+/// triggering a giant allocation.
+const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// The append-only log. One per store; protected by the store's
+/// memtable lock (appends and truncations always happen under it).
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Bytes in the valid prefix (header included).
+    len: u64,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// The recovered records, in append order (newest last).
+    pub records: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Bytes dropped from the tail during torn-tail recovery.
+    pub torn_bytes: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the log at `path`, replaying the valid record
+    /// prefix and truncating any torn tail.
+    ///
+    /// A file with a foreign magic or format version is refused rather
+    /// than rewritten — it is someone else's data (see the
+    /// compatibility policy in `docs/STORAGE.md`).
+    pub fn open(path: &Path) -> Result<(Wal, WalReplay), StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let file_len = file.metadata()?.len();
+
+        if file_len < HEADER_LEN {
+            // Fresh (or torn-before-header) log: write the header anew.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+            file.write_all(&[FORMAT_VERSION])?;
+            file.sync_all()?;
+            let wal = Wal {
+                path: path.to_path_buf(),
+                file,
+                len: HEADER_LEN,
+            };
+            return Ok((
+                wal,
+                WalReplay {
+                    records: Vec::new(),
+                    torn_bytes: file_len,
+                },
+            ));
+        }
+
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)?;
+        if &header[..4] != WAL_MAGIC {
+            return Err(StoreError::Corrupt {
+                what: format!("{} has a foreign magic", path.display()),
+            });
+        }
+        if header[4] != FORMAT_VERSION {
+            return Err(StoreError::FormatVersion {
+                found: header[4],
+                expected: FORMAT_VERSION,
+            });
+        }
+
+        // Replay the valid prefix.
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        let mut valid = 0usize; // end of the last fully-valid frame
+        while let Some(head) = buf.get(pos..pos + 8) {
+            let frame_len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
+            let frame_crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
+            if !(4..=MAX_FRAME_LEN).contains(&frame_len) {
+                break;
+            }
+            let Some(payload) = buf.get(pos + 8..pos + 8 + frame_len as usize) else {
+                break;
+            };
+            if crc32c(payload) != frame_crc {
+                break;
+            }
+            let klen = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+            let Some(key) = payload.get(4..4 + klen) else {
+                break;
+            };
+            let value = &payload[4 + klen..];
+            records.push((key.to_vec(), value.to_vec()));
+            pos += 8 + frame_len as usize;
+            valid = pos;
+        }
+
+        let keep = HEADER_LEN + valid as u64;
+        let torn = file_len - keep;
+        if torn > 0 {
+            file.set_len(keep)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(keep))?;
+        Ok((
+            Wal {
+                path: path.to_path_buf(),
+                file,
+                len: keep,
+            },
+            WalReplay {
+                records,
+                torn_bytes: torn,
+            },
+        ))
+    }
+
+    /// Appends one record. Not fsynced — durability for unflushed
+    /// records is best-effort by design (`docs/STORAGE.md` §WAL); a
+    /// crash costs at most the records since the last [`Wal::sync`] or
+    /// flush, never an inconsistent file.
+    pub fn append(&mut self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        let frame_len = 4 + key.len() + value.len();
+        if frame_len > MAX_FRAME_LEN as usize {
+            return Err(StoreError::RecordTooLarge { bytes: frame_len });
+        }
+        let mut payload = Vec::with_capacity(frame_len);
+        payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        payload.extend_from_slice(key);
+        payload.extend_from_slice(value);
+        let mut frame = Vec::with_capacity(8 + frame_len);
+        frame.extend_from_slice(&(frame_len as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32c(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Forces appended records to disk.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Drops every record (after a successful flush made them durable in
+    /// a segment): truncates back to the bare header and fsyncs.
+    pub fn reset(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(HEADER_LEN)?;
+        self.file.sync_all()?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        self.len = HEADER_LEN;
+        Ok(())
+    }
+
+    /// Current log size in bytes (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("flq_wal_test_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.flqw")
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let path = tmp("roundtrip");
+        {
+            let (mut wal, replay) = Wal::open(&path).unwrap();
+            assert!(replay.records.is_empty());
+            wal.append(b"k1", b"v1").unwrap();
+            wal.append(b"k2", b"").unwrap();
+            wal.append(b"", b"v3").unwrap();
+            wal.sync().unwrap();
+        }
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(
+            replay.records,
+            vec![
+                (b"k1".to_vec(), b"v1".to_vec()),
+                (b"k2".to_vec(), Vec::new()),
+                (Vec::new(), b"v3".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_earlier_records_survive() {
+        let path = tmp("torn");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(b"alpha", b"1").unwrap();
+            wal.append(b"beta", b"2").unwrap();
+            wal.sync().unwrap();
+        }
+        // Simulate a crash mid-append: chop the final frame in half.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![(b"alpha".to_vec(), b"1".to_vec())]);
+        assert!(replay.torn_bytes > 0);
+        // Recovery truncated the torn tail, so a second open is clean.
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.torn_bytes, 0);
+    }
+
+    #[test]
+    fn corrupt_crc_fences_the_suffix() {
+        let path = tmp("crc");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(b"good", b"1").unwrap();
+            wal.append(b"bad", b"2").unwrap();
+            wal.append(b"after", b"3").unwrap();
+            wal.sync().unwrap();
+        }
+        // Flip one payload byte of the middle record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_frame = 8 + 4 + 4 + 1; // header offset of record 2
+        let idx = 5 + first_frame + 8 + 4; // into record 2's key
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replay) = Wal::open(&path).unwrap();
+        // The log has no way to resync past a bad frame; everything from
+        // the corruption on is dropped, everything before survives.
+        assert_eq!(replay.records, vec![(b"good".to_vec(), b"1".to_vec())]);
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = tmp("reset");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"k", b"v").unwrap();
+        wal.reset().unwrap();
+        wal.append(b"k2", b"v2").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![(b"k2".to_vec(), b"v2".to_vec())]);
+    }
+
+    #[test]
+    fn foreign_magic_is_refused() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"NOTAWALFILE").unwrap();
+        assert!(matches!(Wal::open(&path), Err(StoreError::Corrupt { .. })));
+    }
+}

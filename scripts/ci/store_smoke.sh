@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# CI smoke for the durable decision store (flqd --data-dir):
+#
+#   1. start flqd on a fresh data dir and warm it with verified traffic;
+#   2. SIGTERM (graceful drain flushes the memtable), then verify the
+#      store offline with `flq cache verify`;
+#   3. restart on the same dir and replay the same seeded workload —
+#      the restarted server must answer from disk (disk hits > 0 on
+#      /metrics) instead of re-chasing;
+#   4. verify again, print `flq cache stat`, and export a
+#      restart-to-warm CSV (bench_results/ci_store.csv) as an artifact.
+#
+# Expects release binaries already built; override with FLQD= /
+# LOADGEN= / FLQ=.
+set -euo pipefail
+
+FLQD=${FLQD:-./target/release/flqd}
+LOADGEN=${LOADGEN:-./target/release/loadgen}
+FLQ=${FLQ:-./target/release/flq}
+CSV=${CSV:-bench_results/ci_store.csv}
+
+for bin in "$FLQD" "$LOADGEN" "$FLQ"; do
+    [ -x "$bin" ] || { echo "missing $bin (build it first)" >&2; exit 2; }
+done
+
+tmp=$(mktemp -d)
+DATA="$tmp/store"
+FLQD_PID=
+cleanup() {
+    [ -n "$FLQD_PID" ] && kill "$FLQD_PID" 2>/dev/null
+    rm -rf "$tmp"
+    return 0
+}
+trap cleanup EXIT
+
+# Same readiness protocol as serve_smoke.sh: flqd writes HOST:PORT to
+# the inherited --ready-fd once bound, so readiness is an event.
+start_flqd() {
+    local fifo="$tmp/ready.$$.$RANDOM.fifo"
+    mkfifo "$fifo"
+    "$FLQD" --addr 127.0.0.1:0 --ready-fd 3 "$@" 3>"$fifo" &
+    FLQD_PID=$!
+    ADDR=$(head -n1 "$fifo")
+    [ -n "$ADDR" ] || { echo "no readiness line from flqd" >&2; exit 1; }
+    echo "flqd up at $ADDR (pid $FLQD_PID)"
+}
+
+stop_flqd() {
+    kill -TERM "$FLQD_PID"
+    wait "$FLQD_PID"
+    FLQD_PID=
+}
+
+# One GET over /dev/tcp; prints the response body-and-headers.
+request() {
+    local addr=$1 path=$2
+    local host=${addr%:*} port=${addr##*:}
+    exec 3<>"/dev/tcp/$host/$port"
+    printf 'GET %s HTTP/1.1\r\nhost: smoke\r\ncontent-length: 0\r\nconnection: close\r\n\r\n' \
+        "$path" >&3
+    timeout 10 cat <&3
+    exec 3<&- 3>&-
+}
+
+# First sample of a Prometheus metric family, 0 if absent.
+metric() {
+    local addr=$1 name=$2
+    request "$addr" "/metrics" \
+        | awk -v n="$name" '$1 == n { print $2; found = 1; exit } END { if (!found) print 0 }' \
+        | tr -d '\r'
+}
+
+now_ms() { date +%s%3N; }
+
+# The workload: fixed seed, so the restarted server sees byte-identical
+# queries and every decided pair must hit the durable tier.
+LOAD=(--requests 60 --concurrency 2 --pairs 12 --seed 7 --keep-alive --verify)
+
+echo "== cold start on a fresh --data-dir, warmed with verified traffic =="
+start_flqd --workers 2 --data-dir "$DATA"
+t0=$(now_ms)
+"$LOADGEN" --addr "$ADDR" "${LOAD[@]}"
+warm_ms=$(( $(now_ms) - t0 ))
+puts=$(metric "$ADDR" flqd_store_puts_total)
+[ "$puts" -gt 0 ] || { echo "expected store puts after warm traffic, saw $puts" >&2; exit 1; }
+echo "warm run: ${warm_ms} ms, $puts decisions persisted"
+
+echo "== SIGTERM drain flushes; offline verify must be clean =="
+stop_flqd
+"$FLQ" cache verify "$DATA"
+"$FLQ" cache stat "$DATA"
+
+echo "== restart on the same dir: prior decisions served from disk =="
+t0=$(now_ms)
+start_flqd --workers 2 --data-dir "$DATA"
+open_ms=$(( $(now_ms) - t0 ))
+t0=$(now_ms)
+"$LOADGEN" --addr "$ADDR" "${LOAD[@]}"
+replay_ms=$(( $(now_ms) - t0 ))
+disk_hits=$(metric "$ADDR" flqd_store_disk_hits_total)
+echo "restart: open ${open_ms} ms, replay ${replay_ms} ms, $disk_hits disk hits"
+[ "$disk_hits" -gt 0 ] || { echo "restarted server took zero disk hits" >&2; exit 1; }
+stop_flqd
+
+echo "== store still clean after the second generation of traffic =="
+"$FLQ" cache verify "$DATA"
+
+mkdir -p "$(dirname "$CSV")"
+{
+    echo "phase,ms,persisted_puts,disk_hits"
+    echo "cold_warmup,$warm_ms,$puts,0"
+    echo "restart_open,$open_ms,,"
+    echo "disk_warm_replay,$replay_ms,,$disk_hits"
+} > "$CSV"
+echo "wrote $CSV"
+
+echo "store smoke OK"

@@ -37,6 +37,12 @@
 //!                                    render it as a human-readable table:
 //!                                    uptime, per-stage latency percentiles,
 //!                                    gauges, cache hit ratios
+//! flq cache     <stat|compact|inspect|verify> DIR [--limit N]
+//!                                    operate offline on a `flqd --data-dir`
+//!                                    decision store: print counters and the
+//!                                    live segment set, merge all segments
+//!                                    into one, decode a sample of persisted
+//!                                    verdicts, or re-checksum every segment
 //! flq help                           print this reference on stdout, exit 0
 //! ```
 //!
@@ -72,6 +78,11 @@
 //!   `flq serve` observability knobs: a structured JSONL access log (one
 //!   line per request; `-` for stdout), a slow-request threshold in
 //!   microseconds that bypasses sampling, and a 1-in-N sampling divisor.
+//! * `--data-dir DIR` — `flq serve` only: persist decided containments to
+//!   an LSM store under `DIR` so a restarted server begins disk-warm
+//!   (`docs/STORAGE.md` specifies the format; `flq cache` inspects it).
+//! * `--limit N` — `flq cache inspect` only: how many persisted decisions
+//!   to decode and print (default 10).
 //!
 //! Every subcommand additionally accepts:
 //!
@@ -121,7 +132,7 @@ const EXIT_EXHAUSTED: u8 = 3;
 /// error message and the `help` output.
 const SUBCOMMANDS: &[&str] = &[
     "contains", "explain", "profile", "chase", "minimize", "lint", "eval", "serve", "status",
-    "help",
+    "cache", "help",
 ];
 
 /// The full usage text, shared by `flq help` (stdout, exit 0) and usage
@@ -136,7 +147,8 @@ fn usage_text() -> String {
          flq minimize <q> [--timeout MS] [--max-conjuncts N]\n  flq lint <file> [--json]\n  \
          flq lint --sigma FILE [--json]\n  flq eval <file>\n  \
          flq serve {SERVE_FLAGS}\n  \
-         flq status <url>\n  flq help (also --help, -h)\n\
+         flq status <url>\n  \
+         flq cache <stat|compact|inspect|verify> DIR [--limit N]\n  flq help (also --help, -h)\n\
          every subcommand also accepts --trace-out FILE (JSONL event trace)\n\
          and --metrics (counter deltas on stderr)\n\
          exit codes: 0 success, 1 failure, 2 usage error (incl. rejected --sigma sets), 3 exhausted budget"
@@ -160,6 +172,7 @@ fn main() -> ExitCode {
         Some("eval") => cmd_eval(&args[1..]),
         Some("serve") => ExitCode::from(flogic_lite::serve::run_cli(args[1..].to_vec())),
         Some("status") => cmd_status(&args[1..]),
+        Some("cache") => cmd_cache(&args[1..]),
         Some("help" | "--help" | "-h") => {
             println!("{}", usage_text());
             ExitCode::SUCCESS
@@ -1046,6 +1059,161 @@ fn render_status(addr: &str, body: &str) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// `flq cache <stat|compact|inspect|verify> DIR`: offline operations on
+/// a `flqd --data-dir` decision store. Opening runs the same recovery
+/// path the server does (WAL replay, manifest fencing, quarantine), so
+/// `stat` on a just-crashed dir also reports what recovery found.
+fn cmd_cache(args: &[String]) -> ExitCode {
+    let mut obs = CliObs::disabled();
+    let mut limit = 10usize;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match obs.try_consume(a.as_str(), &mut it) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(code) => return code,
+        }
+        match a.as_str() {
+            "--limit" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => limit = n,
+                None => {
+                    eprintln!("error: --limit needs a number");
+                    return usage();
+                }
+            },
+            s if s.starts_with("--") => {
+                eprintln!("error: unknown flag `{s}`");
+                return usage();
+            }
+            _ => positional.push(a),
+        }
+    }
+    let [action, dir] = positional.as_slice() else {
+        return usage();
+    };
+    let code = run_cache(action, dir, limit);
+    obs.finish(code)
+}
+
+fn run_cache(action: &str, dir: &str, limit: usize) -> ExitCode {
+    use flogic_lite::store::{Store, StoreOptions};
+    if !matches!(action, "stat" | "compact" | "inspect" | "verify") {
+        eprintln!(
+            "error: unknown cache action {action:?} (available: stat, compact, inspect, verify)"
+        );
+        return usage();
+    }
+    let store = match Store::open(std::path::Path::new(dir), StoreOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error opening store at {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match action {
+        "stat" => {
+            let s = store.stats();
+            println!("store at {dir}");
+            println!("generation        {}", s.generation);
+            println!("segments          {}", s.segments);
+            println!("segment entries   {}", s.segment_entries);
+            println!("memtable entries  {}", s.memtable_entries);
+            println!("wal bytes         {}", s.wal_bytes);
+            println!("wal replayed      {} record(s)", s.wal_replayed);
+            if s.wal_torn_bytes > 0 {
+                println!(
+                    "wal torn tail     {} byte(s) dropped on open",
+                    s.wal_torn_bytes
+                );
+            }
+            if s.quarantined > 0 {
+                println!("quarantined       {} file(s) on open", s.quarantined);
+            }
+            for (name, gen, entries) in store.segment_rows() {
+                println!("  {name}  gen {gen}  {entries} entries");
+            }
+            ExitCode::SUCCESS
+        }
+        "compact" => {
+            let before = store.stats();
+            if let Err(e) = store.compact_now() {
+                eprintln!("error compacting {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let after = store.stats();
+            println!(
+                "compacted {dir}: {} segment(s) ({} entries) -> {} segment(s) ({} entries)",
+                before.segments, before.segment_entries, after.segments, after.segment_entries
+            );
+            ExitCode::SUCCESS
+        }
+        "inspect" => {
+            let entries = match store.sample(limit) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("error reading {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{} persisted decision(s) (limit {limit}):", entries.len());
+            for (i, (key, value)) in entries.iter().enumerate() {
+                match flogic_lite::core::decode_decision(value) {
+                    Some(r) => {
+                        let verdict = match r.verdict() {
+                            flogic_lite::core::Verdict::Holds => "holds",
+                            flogic_lite::core::Verdict::NotHolds => "not_holds",
+                            flogic_lite::core::Verdict::Exhausted(_) => "exhausted",
+                        };
+                        println!(
+                            "  [{i}] key {} bytes  {verdict}{}{}  ({} chase conjuncts, bound {})",
+                            key.len(),
+                            if r.is_vacuous() { "  vacuous" } else { "" },
+                            if r.decided_by_analysis() {
+                                "  static"
+                            } else {
+                                ""
+                            },
+                            r.chase_conjuncts(),
+                            r.level_bound()
+                        );
+                    }
+                    None => println!(
+                        "  [{i}] key {} bytes  UNDECODABLE ({} value bytes; version skew or corruption)",
+                        key.len(),
+                        value.len()
+                    ),
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let report = match store.verify() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error verifying {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "verified {} segment(s), {} entries",
+                report.segments_ok, report.entries
+            );
+            for problem in &report.problems {
+                eprintln!("problem: {problem}");
+            }
+            if report.is_clean() {
+                println!("clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("{} problem(s) found", report.problems.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => unreachable!("gated above"),
+    }
 }
 
 fn cmd_eval(args: &[String]) -> ExitCode {

@@ -6,6 +6,7 @@
 //!      [--max-body-bytes N] [--threads N] [--timeout MS]
 //!      [--max-conjuncts N] [--read-timeout MS] [--ready-fd FD]
 //!      [--no-canon] [--access-log FILE|-] [--slow-us N] [--log-sample 1/N]
+//!      [--data-dir DIR]
 //! ```
 //!
 //! Prints `flqd listening on HOST:PORT` on stdout once bound (with the

@@ -25,7 +25,11 @@
 //!   buffers, `ChaseProfile` rollups and JSONL/CSV export;
 //! * [`serve`] — `flqd`, the resident batched containment service: a
 //!   dependency-free HTTP/1.1 server with warm decision and
-//!   chase-snapshot caches (also reachable as `flq serve`).
+//!   chase-snapshot caches (also reachable as `flq serve`);
+//! * [`store`] — the durable decision tier: a dependency-free LSM store
+//!   (WAL, segments, bloom filters, fenced manifest, background
+//!   compaction) persisting containment verdicts across restarts behind
+//!   `flqd --data-dir`; on-disk format in `docs/STORAGE.md`.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@ pub use flogic_hom as hom;
 pub use flogic_model as model;
 pub use flogic_obs as obs;
 pub use flogic_serve as serve;
+pub use flogic_store as store;
 pub use flogic_syntax as syntax;
 pub use flogic_term as term;
 

@@ -140,8 +140,38 @@ fn unknown_subcommand_lists_the_available_ones() {
         "{stderr}"
     );
     for name in [
-        "contains", "explain", "profile", "chase", "minimize", "lint", "eval", "serve", "help",
+        "contains", "explain", "profile", "chase", "minimize", "lint", "eval", "serve", "cache",
+        "help",
     ] {
         assert!(stderr.contains(name), "missing {name} in: {stderr}");
     }
+}
+
+#[test]
+fn cache_subcommand_stats_and_verifies_a_fresh_store() {
+    let dir = std::env::temp_dir().join(format!("flq_cli_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().expect("utf-8 temp path");
+
+    // An unknown action is a usage error before any store is touched.
+    let (_, stderr, code) = flq(&["cache", "frobnicate", dir_s]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("unknown cache action"), "{stderr}");
+    assert!(!dir.exists(), "usage error must not create the dir");
+
+    // `stat` creates-or-opens; a fresh dir is an empty, clean store.
+    let (stdout, stderr, code) = flq(&["cache", "stat", dir_s]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("generation"), "{stdout}");
+    assert!(stdout.contains("segments          0"), "{stdout}");
+
+    let (stdout, stderr, code) = flq(&["cache", "verify", dir_s]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("clean"), "{stdout}");
+
+    let (stdout, stderr, code) = flq(&["cache", "inspect", dir_s, "--limit", "3"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("0 persisted decision(s)"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

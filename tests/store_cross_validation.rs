@@ -1,0 +1,227 @@
+//! Cross-validation of the durable decision tier: a decision served
+//! from disk must be indistinguishable — field for field — from the
+//! same decision computed fresh, across process boundaries (modeled
+//! here as reopened stores and restarted in-process servers).
+//!
+//! This is the acceptance gate for `flqd --data-dir`: restart-warm
+//! serving is only sound if the persisted verdicts are bit-identical
+//! to recomputation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use flogic_lite::core::{contains_with, ContainmentOptions, ContainmentResult};
+use flogic_lite::prelude::*;
+use flogic_lite::serve::{Server, ServerConfig};
+use flogic_lite::store::DurableDecisionCache;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flq_xval_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn q(s: &str) -> ConjunctiveQuery {
+    parse_query(s).unwrap()
+}
+
+/// Every observable field of a decision except the witness (which the
+/// codec deliberately drops: it names chase-internal nulls that are
+/// meaningless in another process's interner).
+fn fields(r: &ContainmentResult) -> (bool, bool, usize, u32, u32, bool) {
+    (
+        r.holds(),
+        r.is_vacuous(),
+        r.chase_conjuncts(),
+        r.level_bound(),
+        r.max_chase_level(),
+        r.decided_by_analysis(),
+    )
+}
+
+/// The pair corpus: containments that hold, fail, hold vacuously, and
+/// are decided with and without static analysis.
+fn corpus() -> Vec<(ConjunctiveQuery, ConjunctiveQuery, ContainmentOptions)> {
+    let plain = ContainmentOptions::default();
+    let no_analysis = ContainmentOptions {
+        analysis: false,
+        ..Default::default()
+    };
+    vec![
+        (
+            q("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_]."),
+            q("qq(A,B) :- T1[A*=>T2], T2[B*=>_]."),
+            plain.clone(),
+        ),
+        (
+            q("qq(A,B) :- T1[A*=>T2], T2[B*=>_]."),
+            q("q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_]."),
+            plain.clone(),
+        ),
+        (
+            q("q(X, Z) :- sub(X, Y), sub(Y, Z)."),
+            q("p(X, Z) :- sub(X, Z)."),
+            plain.clone(),
+        ),
+        (
+            q("q(X, Z) :- sub(X, Y), sub(Y, Z)."),
+            q("p(X, Z) :- sub(X, Z)."),
+            no_analysis.clone(),
+        ),
+        (
+            q("q() :- mandatory(A, T), type(T, A, T)."),
+            q("qq() :- data(T, A, V), member(V, T)."),
+            no_analysis,
+        ),
+    ]
+}
+
+#[test]
+fn persisted_decisions_are_bit_identical_to_fresh_computation() {
+    let dir = tmp("bits");
+    let pairs = corpus();
+    let fresh: Vec<ContainmentResult> = pairs
+        .iter()
+        .map(|(q1, q2, opts)| contains_with(q1, q2, opts).unwrap())
+        .collect();
+    {
+        let cache = DurableDecisionCache::open(&dir).unwrap();
+        for ((q1, q2, opts), want) in pairs.iter().zip(&fresh) {
+            let got = cache.contains_with(q1, q2, opts).unwrap();
+            assert_eq!(fields(&got), fields(want), "first computation differs");
+        }
+        cache.flush().unwrap();
+    }
+    // "New process": a cold RAM tier over the same dir. Every pair must
+    // come back from disk — the compute closure is a bomb.
+    let cache = DurableDecisionCache::open(&dir).unwrap();
+    for ((q1, q2, opts), want) in pairs.iter().zip(&fresh) {
+        let got = cache
+            .contains_with_compute(q1, q2, opts, || {
+                panic!("decision for {q1} vs {q2} was not served from disk")
+            })
+            .unwrap();
+        assert_eq!(
+            fields(&got),
+            fields(want),
+            "persisted decision for {q1} vs {q2} differs from fresh computation"
+        );
+    }
+    assert_eq!(cache.durable_stats().disk_hits as usize, pairs.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reopened_store_survives_compaction_with_identical_answers() {
+    let dir = tmp("compact");
+    let pairs = corpus();
+    {
+        let cache = DurableDecisionCache::open(&dir).unwrap();
+        for (q1, q2, opts) in &pairs {
+            cache.contains_with(q1, q2, opts).unwrap();
+        }
+        cache.flush().unwrap();
+        // Force a second segment, then squash both.
+        let extra = (
+            q("r(X) :- member(X, Y)."),
+            q("s(X) :- member(X, Y), sub(Y, Y)."),
+            ContainmentOptions::default(),
+        );
+        cache.contains_with(&extra.0, &extra.1, &extra.2).unwrap();
+        cache.flush().unwrap();
+        let store = cache.store().unwrap();
+        assert!(store.stats().segments >= 2);
+        store.compact_now().unwrap();
+        assert_eq!(store.stats().segments, 1);
+    }
+    let cache = DurableDecisionCache::open(&dir).unwrap();
+    for (q1, q2, opts) in &pairs {
+        cache
+            .contains_with_compute(q1, q2, opts, || {
+                panic!("lost across compaction: {q1} vs {q2}")
+            })
+            .unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One raw HTTP/1.1 exchange against an in-process server.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("http response");
+    let status: u16 = head.split(' ').nth(1).unwrap().parse().unwrap();
+    (status, body.to_string())
+}
+
+fn start(
+    data_dir: &str,
+) -> (
+    flogic_lite::serve::ServerHandle,
+    String,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: Some(data_dir.to_string()),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (handle, addr, join)
+}
+
+#[test]
+fn restarted_server_serves_prior_decisions_from_disk() {
+    let dir = tmp("server");
+    let dir_s = dir.to_str().unwrap().to_string();
+    let body = r#"{"q1": "q(A,B) :- T1[A*=>T2], T2::T3, T3[B*=>_].", "q2": "qq(A,B) :- T1[A*=>T2], T2[B*=>_]."}"#;
+    let warm_answer;
+    {
+        let (handle, addr, join) = start(&dir_s);
+        let (status, answer) = http(&addr, "POST", "/v1/contains", body);
+        assert_eq!(status, 200, "{answer}");
+        assert!(answer.contains("\"verdict\""), "{answer}");
+        warm_answer = answer;
+        // Graceful shutdown flushes the memtable (Server::run's contract).
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+    {
+        let (handle, addr, join) = start(&dir_s);
+        // A renamed respelling of the same pair: the semantic key maps it
+        // onto the persisted decision.
+        let renamed = r#"{"q1": "zz(U,V) :- S1[U*=>S2], S2::S3, S3[V*=>_].", "q2": "yy(U,V) :- S1[U*=>S2], S2[V*=>_]."}"#;
+        let (status, answer) = http(&addr, "POST", "/v1/contains", renamed);
+        assert_eq!(status, 200, "{answer}");
+        assert_eq!(answer, warm_answer, "disk-warm answer differs from cold");
+        let (status, metrics) = http(&addr, "GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(
+            metrics.contains("flqd_store_disk_hits_total 1"),
+            "expected one disk hit in: {}",
+            metrics
+                .lines()
+                .filter(|l| l.contains("flqd_store"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
